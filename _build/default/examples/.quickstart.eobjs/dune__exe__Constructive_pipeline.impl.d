@@ -1,0 +1,1 @@
+examples/constructive_pipeline.ml: Aparser Check12 Derive Design Domain Equation Fdbs Fdbs_algebra Fdbs_kernel Fdbs_refine Fdbs_rpr Fdbs_temporal Fdbs_wgrammar Fmt List Spec Synthesize Tparser Value

@@ -1,0 +1,1 @@
+examples/constructive_pipeline.mli:

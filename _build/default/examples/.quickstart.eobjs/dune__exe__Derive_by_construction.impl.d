@@ -1,0 +1,1 @@
+examples/derive_by_construction.ml: Asig Completeness Derive Domain Equation Eval Fdbs Fdbs_algebra Fdbs_kernel Fmt List Sdesc Spec Trace University Util Value

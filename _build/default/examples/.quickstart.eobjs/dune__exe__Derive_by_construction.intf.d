@@ -1,0 +1,1 @@
+examples/derive_by_construction.mli:

@@ -1,0 +1,1 @@
+examples/inventory.ml: Asig Aterm Completeness Confluence Domain Equation Eval Fdbs_algebra Fdbs_kernel Fdbs_logic Fmt Fun List Observability Reach Sdesc Sort Spec Term Trace Value

@@ -1,0 +1,1 @@
+examples/library_loans.ml: Aparser Db Design Domain Fdbs Fdbs_algebra Fdbs_kernel Fdbs_logic Fdbs_rpr Fdbs_temporal Fmt Formula Rparser Schema Semantics Signature Term Tparser Ttheory Value

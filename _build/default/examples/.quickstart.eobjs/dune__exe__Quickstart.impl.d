@@ -1,0 +1,1 @@
+examples/quickstart.ml: Db Design Fdbs Fdbs_algebra Fdbs_kernel Fdbs_rpr Fdbs_temporal Fdbs_wgrammar Fmt Schema Semantics University Value

@@ -1,0 +1,1 @@
+examples/wgrammar_tour.ml: Classic Fdbs Fdbs_wgrammar Fmt List Recognize Rpr_grammar String Wg

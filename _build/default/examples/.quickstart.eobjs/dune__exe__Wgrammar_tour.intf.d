@@ -1,0 +1,1 @@
+examples/wgrammar_tour.mli:

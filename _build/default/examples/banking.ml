@@ -1,0 +1,188 @@
+(* A third domain: bank accounts with an irreversible closure.
+
+   Run with:  dune exec examples/banking.exe
+
+   Accounts are opened, held by customers, and closed; closure is
+   irreversible (a transition constraint), an account must be open to be
+   held (a static constraint), and closing requires releasing every
+   holder first — the same guard discipline as the paper's cancel. *)
+
+open Fdbs
+open Fdbs_kernel
+open Fdbs_logic
+open Fdbs_temporal
+open Fdbs_algebra
+open Fdbs_rpr
+
+let sg1 =
+  Signature.make
+    ~sorts:[ "account"; "customer" ]
+    ~funcs:[]
+    ~preds:
+      [
+        Signature.db_pred "open_acct" [ "account" ];
+        Signature.db_pred "closed" [ "account" ];
+        Signature.db_pred "holds" [ "customer"; "account" ];
+      ]
+
+let info =
+  Ttheory.make_exn ~name:"banking-information" ~signature:sg1
+    ~axioms:
+      [
+        Ttheory.axiom "holder-open"
+          (Tparser.formula_exn sg1
+             "~(exists c:customer, a:account. holds(c, a) & ~open_acct(a))");
+        Ttheory.axiom "open-xor-closed"
+          (Tparser.formula_exn sg1 "~(exists a:account. open_acct(a) & closed(a))");
+        Ttheory.axiom "closed-forever"
+          (Tparser.formula_exn sg1
+             "~(exists a:account. dia (closed(a) & dia ~closed(a)))");
+        Ttheory.axiom "closed-never-reopened"
+          (Tparser.formula_exn sg1
+             "~(exists a:account. dia (closed(a) & dia open_acct(a)))");
+      ]
+
+let functions_src =
+  {|
+spec banking
+
+sort account
+sort customer
+const acc1 : account
+const acc2 : account
+const carol : customer
+const dave : customer
+
+query open_acct : account -> bool
+query closed : account -> bool
+query holds : customer, account -> bool
+
+update initiate
+update open_account : account
+update close_account : account
+update add_holder : customer, account
+update remove_holder : customer, account
+
+eq i1: open_acct(a, initiate) = false
+eq i2: closed(a, initiate) = false
+eq i3: holds(c, a, initiate) = false
+
+# opening: only an account that is neither open nor closed
+eq o1: open_acct(a, open_account(a, U)) = (open_acct(a, U) | ~closed(a, U))
+eq o2: a /= a2 => open_acct(a, open_account(a2, U)) = open_acct(a, U)
+eq o3: closed(a, open_account(a2, U)) = closed(a, U)
+eq o4: holds(c, a, open_account(a2, U)) = holds(c, a, U)
+
+# closing: only an open account with no holders; irreversible
+eq c1: open_acct(a, close_account(a, U)) =
+       (open_acct(a, U) & (exists c:customer. holds(c, a, U)))
+eq c2: a /= a2 => open_acct(a, close_account(a2, U)) = open_acct(a, U)
+eq c3: closed(a, close_account(a, U)) =
+       (closed(a, U) | (open_acct(a, U) & ~(exists c:customer. holds(c, a, U))))
+eq c4: a /= a2 => closed(a, close_account(a2, U)) = closed(a, U)
+eq c5: holds(c, a, close_account(a2, U)) = holds(c, a, U)
+
+# holders
+eq h1: open_acct(a, add_holder(c, a2, U)) = open_acct(a, U)
+eq h2: closed(a, add_holder(c, a2, U)) = closed(a, U)
+eq h3: holds(c, a, add_holder(c, a, U)) = open_acct(a, U)
+eq h4: c /= c2 | a /= a2 => holds(c, a, add_holder(c2, a2, U)) = holds(c, a, U)
+
+eq r1: open_acct(a, remove_holder(c, a2, U)) = open_acct(a, U)
+eq r2: closed(a, remove_holder(c, a2, U)) = closed(a, U)
+eq r3: holds(c, a, remove_holder(c, a, U)) = false
+eq r4: c /= c2 | a /= a2 => holds(c, a, remove_holder(c2, a2, U)) = holds(c, a, U)
+|}
+
+let functions = Aparser.spec_exn functions_src
+
+let representation_src =
+  {|
+schema banking
+
+relation OPEN_ACCT(account)
+relation CLOSED(account)
+relation HOLDS(customer, account)
+
+proc initiate() =
+  (OPEN_ACCT := {(a:account) | false} ;
+   (CLOSED := {(a:account) | false} ;
+    HOLDS := {(c:customer, a:account) | false}))
+
+proc open_account(a: account) =
+  if (~OPEN_ACCT(a) & ~CLOSED(a)) then insert OPEN_ACCT(a)
+
+proc close_account(a: account) =
+  if (OPEN_ACCT(a) & ~(exists c:customer. HOLDS(c, a)))
+  then (delete OPEN_ACCT(a) ; insert CLOSED(a))
+
+proc add_holder(c: customer, a: account) =
+  if (OPEN_ACCT(a)) then insert HOLDS(c, a)
+
+proc remove_holder(c: customer, a: account) =
+  delete HOLDS(c, a)
+
+end-schema
+|}
+
+let representation = Rparser.schema_exn representation_src
+
+(* The canonical mapping matches open_acct <-> OPEN_ACCT etc. by name. *)
+let design = Design.canonical_exn ~name:"banking" ~info ~functions ~representation
+
+let small_domain =
+  Domain.of_list
+    [ ("account", [ Value.Sym "acc1" ]); ("customer", [ Value.Sym "carol" ]) ]
+
+let domain =
+  Domain.of_list
+    [
+      ("account", [ Value.Sym "acc1"; Value.Sym "acc2" ]);
+      ("customer", [ Value.Sym "carol"; Value.Sym "dave" ]);
+    ]
+
+let () =
+  Fmt.pr "== Banking, specified at three levels ==@.@.";
+  Fmt.pr "%a@.@." Ttheory.pp info;
+
+  Fmt.pr "== Verification over 1 account / 1 customer ==@.";
+  let v = Design.verify ~domain:small_domain ~depth:2 design in
+  Fmt.pr "%a@.@." Design.pp_verification v;
+  if not (Design.verified v) then exit 1;
+
+  Fmt.pr "== Verification over 2 accounts / 2 customers ==@.";
+  let v = Design.verify ~domain ~depth:1 design in
+  Fmt.pr "%a@.@." Design.pp_verification v;
+  if not (Design.verified v) then exit 1;
+
+  Fmt.pr "== A banking session ==@.";
+  let env = Semantics.env ~domain representation in
+  let s x = Value.Sym x in
+  let db = Schema.empty_db representation in
+  let step name args db =
+    let db = Semantics.call_det_exn env name args db in
+    Fmt.pr "after %s(%a): %d tuples@." name
+      Fmt.(list ~sep:(any ", ") Value.pp)
+      args (Db.size db);
+    db
+  in
+  let db = step "initiate" [] db in
+  let db = step "open_account" [ s "acc1" ] db in
+  let db = step "add_holder" [ s "carol"; s "acc1" ] db in
+  (* closing is blocked while carol holds the account *)
+  let db = step "close_account" [ s "acc1" ] db in
+  let still_open =
+    Semantics.query env db (Formula.Pred ("OPEN_ACCT", [ Term.Lit (s "acc1") ]))
+  in
+  Fmt.pr "acc1 still open under a holder: %b (expected true)@." still_open;
+  assert still_open;
+  let db = step "remove_holder" [ s "carol"; s "acc1" ] db in
+  let db = step "close_account" [ s "acc1" ] db in
+  (* reopening a closed account is refused *)
+  let db = step "open_account" [ s "acc1" ] db in
+  let reopened =
+    Semantics.query env db (Formula.Pred ("OPEN_ACCT", [ Term.Lit (s "acc1") ]))
+  in
+  Fmt.pr "closed acc1 reopened: %b (expected false)@." reopened;
+  assert (not reopened);
+  Fmt.pr "banking: all good.@."

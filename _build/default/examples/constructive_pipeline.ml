@@ -1,0 +1,151 @@
+(* The whole methodology in one run, on a fresh domain: project
+   tracking. Only two artifacts are written by hand — the
+   information-level theory (the constraints) and the structured
+   descriptions of the updates. Everything else is constructed:
+
+     descriptions --Derive-----> conditional equations   (level 2)
+     descriptions --Synthesize-> RPR procedures          (level 3)
+
+   and the bundled design is then verified against the hand-written
+   constraints: sufficient completeness, refinement T1->T2 (static +
+   transition consistency, reachability), refinement T2->T3, W-grammar
+   syntax, cross-level agreement.
+
+   Run with:  dune exec examples/constructive_pipeline.exe *)
+
+open Fdbs
+open Fdbs_kernel
+open Fdbs_temporal
+open Fdbs_algebra
+open Fdbs_refine
+
+(* ---------- hand-written artifact 1: the constraints ----------------- *)
+
+let theory_src =
+  {|
+theory projects
+sort project
+sort employee
+pred active : project
+pred archived : project
+pred assigned : employee, project
+
+# an employee is assigned only to an active project
+axiom assigned_active:
+  ~(exists e:employee, p:project. assigned(e, p) & ~active(p))
+
+# active and archived are mutually exclusive
+axiom not_both: ~(exists p:project. active(p) & archived(p))
+
+# archiving is irreversible
+axiom archived_forever:
+  ~(exists p:project. dia (archived(p) & dia ~archived(p)))
+
+# an archived project is never re-activated
+axiom archived_inactive:
+  ~(exists p:project. dia (archived(p) & dia active(p)))
+|}
+
+let info = Tparser.theory_exn theory_src
+
+(* ---------- hand-written artifact 2: the structured descriptions ----- *)
+
+let spec_src =
+  {|
+spec projects
+
+sort project
+sort employee
+const apollo : project
+const hermes : project
+const eva : employee
+const finn : employee
+
+query active : project -> bool
+query archived : project -> bool
+query assigned : employee, project -> bool
+
+update initiate
+update launch : project
+update archive : project
+update assign : employee, project
+update unassign : employee, project
+
+describe initiate()
+  effect: active(p) := false
+  effect: archived(p) := false
+  effect: assigned(e, p) := false
+
+describe launch(p: project)
+  pre: active(p, U) = false & archived(p, U) = false
+  effect: active(p) := true
+
+describe archive(p: project)
+  pre: active(p, U) = true & (forall e:employee. assigned(e, p, U) = false)
+  effect: active(p) := false
+  effect: archived(p) := true
+
+describe assign(e: employee, p: project)
+  pre: active(p, U) = true
+  effect: assigned(e, p) := true
+
+describe unassign(e: employee, p: project)
+  effect: assigned(e, p) := false
+|}
+
+let skeleton, descriptions =
+  match Aparser.spec_with_descriptions spec_src with
+  | Ok pair -> pair
+  | Error e -> invalid_arg e
+
+(* ---------- everything else is constructed --------------------------- *)
+
+let functions : Spec.t =
+  Spec.make_exn ~name:"projects"
+    ~signature:skeleton.Spec.signature
+    ~equations:(Derive.equations_exn skeleton.Spec.signature descriptions)
+    ()
+
+let representation =
+  match Synthesize.schema ~name:"projects" skeleton.Spec.signature descriptions with
+  | Ok sc -> sc
+  | Error e -> invalid_arg e
+
+let design =
+  Design.canonical_exn ~name:"projects" ~info ~functions ~representation
+
+let small_domain =
+  Domain.of_list
+    [ ("project", [ Value.Sym "apollo" ]); ("employee", [ Value.Sym "eva" ]) ]
+
+let () =
+  Fmt.pr "== Derived equations (level 2) ==@.";
+  List.iter (fun eq -> Fmt.pr "  %a@." Equation.pp eq) functions.Spec.equations;
+
+  Fmt.pr "@.== Synthesized schema (level 3) ==@.";
+  Fmt.pr "%a@.@." Fdbs_rpr.Schema.pp representation;
+
+  Fmt.pr "== W-grammar check of the synthesized schema text ==@.";
+  let schema_text = Fmt.str "%a" Fdbs_rpr.Schema.pp representation in
+  Fmt.pr "recognized: %b@.@." (Fdbs_wgrammar.Rpr_grammar.recognizes schema_text);
+
+  Fmt.pr "== Verification over 1 project / 1 employee ==@.";
+  let v = Design.verify ~domain:small_domain ~depth:2 design in
+  Fmt.pr "%a@.@." Design.pp_verification v;
+  if not (Design.verified v) then exit 1;
+
+  Fmt.pr "== Verification over the full parameter names (2x2) ==@.";
+  let v = Design.verify ~depth:1 design in
+  Fmt.pr "%a@.@." Design.pp_verification v;
+  if not (Design.verified v) then exit 1;
+
+  Fmt.pr "== The transition-coverage gap (Sec 4.4c remark) ==@.";
+  (match
+     Check12.transition_coverage info functions design.Design.interp
+       ~domain:small_domain
+   with
+   | Error e -> Fmt.epr "%s@." e; exit 1
+   | Ok (realized, valid) ->
+     Fmt.pr "single updates realize %d of %d valid transitions@." realized valid);
+
+  Fmt.pr "@.constructive_pipeline: all good.@."

@@ -1,0 +1,67 @@
+(* The paper's constructive methodology (Section 4.2): start from
+   structured descriptions of the updates — intended effects,
+   pre-conditions, side-effects, not-affected — and *derive* the
+   conditional equations, correct with respect to the description by
+   construction. Then verify sufficient completeness and compare with
+   the hand-written equations of the paper.
+
+   Run with:  dune exec examples/derive_by_construction.exe *)
+
+open Fdbs
+open Fdbs_kernel
+open Fdbs_algebra
+
+let () =
+  Fmt.pr "== Structured descriptions (Section 4.2) ==@.@.";
+  List.iter (fun d -> Fmt.pr "%a@.@." Sdesc.pp d) University.descriptions;
+
+  Fmt.pr "== Derived conditional equations ==@.@.";
+  let sg = University.functions.Spec.signature in
+  let eqs = Derive.equations_exn sg University.descriptions in
+  List.iter (fun eq -> Fmt.pr "  %a@." Equation.pp eq) eqs;
+  Fmt.pr "@.%d equations derived (the paper hand-writes 15; the derived
+set is the unsimplified form, one frame equation per query/update pair
+plus effect/no-effect pairs guarded by the pre-conditions).@.@."
+    (List.length eqs);
+
+  Fmt.pr "== Sufficient completeness of the derived system ==@.";
+  let spec = University.derived_functions in
+  let report = Completeness.check ~depth:2 spec in
+  Fmt.pr "%a@.@." Completeness.pp_report report;
+  if not (Completeness.is_complete report) then exit 1;
+
+  Fmt.pr "== Agreement with the paper's equations 1-15 ==@.";
+  let domain = University.domain in
+  let traces =
+    List.concat_map
+      (fun d -> Trace.enumerate sg ~domain:University.small_domain ~depth:d)
+      [ 0; 1; 2; 3 ]
+  in
+  let compared = ref 0 in
+  let disagreements = ref 0 in
+  List.iter
+    (fun trace ->
+      List.iter
+        (fun (q : Asig.op) ->
+          let carriers =
+            List.map (Domain.carrier University.small_domain) (Asig.param_args q)
+          in
+          List.iter
+            (fun params ->
+              incr compared;
+              let a =
+                Eval.query_on_trace ~domain University.functions ~q:q.Asig.oname
+                  ~params trace
+              in
+              let b =
+                Eval.query_on_trace ~domain spec ~q:q.Asig.oname ~params trace
+              in
+              match (a, b) with
+              | Ok va, Ok vb when Value.equal va vb -> ()
+              | _ -> incr disagreements)
+            (Util.cartesian carriers))
+        sg.Asig.queries)
+    traces;
+  Fmt.pr "%d ground queries compared, %d disagreements@." !compared !disagreements;
+  if !disagreements > 0 then exit 1;
+  Fmt.pr "derive_by_construction: all good.@."

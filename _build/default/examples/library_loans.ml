@@ -1,0 +1,206 @@
+(* A second domain built with the public API: a lending library.
+
+   Run with:  dune exec examples/library_loans.exe
+
+   Books are catalogued, loaned to members (one member at a time — a
+   static constraint using equality), and may be retired; a retired book
+   is never catalogued again (a transition constraint with nested
+   modalities). All three levels are specified and verified. *)
+
+open Fdbs
+open Fdbs_kernel
+open Fdbs_logic
+open Fdbs_temporal
+open Fdbs_algebra
+open Fdbs_rpr
+
+(* ---------- Level 1: information ----------------------------------- *)
+
+let sg1 =
+  Signature.make
+    ~sorts:[ "book"; "member" ]
+    ~funcs:[]
+    ~preds:
+      [
+        Signature.db_pred "catalogued" [ "book" ];
+        Signature.db_pred "loaned" [ "book"; "member" ];
+        Signature.db_pred "retired" [ "book" ];
+      ]
+
+let info =
+  Ttheory.make_exn ~name:"library-information" ~signature:sg1
+    ~axioms:
+      [
+        (* a loaned book is catalogued *)
+        Ttheory.axiom "loaned-catalogued"
+          (Tparser.formula_exn sg1
+             "~(exists b:book, m:member. loaned(b, m) & ~catalogued(b))");
+        (* a book is loaned to at most one member *)
+        Ttheory.axiom "one-borrower"
+          (Tparser.formula_exn sg1
+             "forall b:book, m:member, m2:member. loaned(b, m) & loaned(b, m2) -> m = m2");
+        (* catalogued and retired are mutually exclusive *)
+        Ttheory.axiom "not-both"
+          (Tparser.formula_exn sg1 "~(exists b:book. catalogued(b) & retired(b))");
+        (* once retired, a book never comes back *)
+        Ttheory.axiom "retired-forever"
+          (Tparser.formula_exn sg1
+             "~(exists b:book. dia (retired(b) & dia ~retired(b)))");
+      ]
+
+(* ---------- Level 2: functions ------------------------------------- *)
+
+let functions_src =
+  {|
+spec library
+
+sort book
+sort member
+const hobbit : book
+const dune_novel : book
+const alice : member
+const bea : member
+
+query catalogued : book -> bool
+query loaned : book, member -> bool
+query retired : book -> bool
+
+update initiate
+update acquire : book
+update retire : book
+update loan : book, member
+update return_loan : book, member
+
+eq c1: catalogued(b, initiate) = false
+eq c2: loaned(b, m, initiate) = false
+eq c3: retired(b, initiate) = false
+
+# acquire: catalogue a book unless it was retired (or already there)
+eq a1: catalogued(b, acquire(b, U)) = (catalogued(b, U) | ~retired(b, U))
+eq a2: b /= b2 => catalogued(b, acquire(b2, U)) = catalogued(b, U)
+eq a3: loaned(b, m, acquire(b2, U)) = loaned(b, m, U)
+eq a4: retired(b, acquire(b2, U)) = retired(b, U)
+
+# retire: only a catalogued book nobody borrows
+eq r1: catalogued(b, retire(b, U)) =
+       (catalogued(b, U) & (exists m:member. loaned(b, m, U)))
+eq r2: b /= b2 => catalogued(b, retire(b2, U)) = catalogued(b, U)
+eq r3: loaned(b, m, retire(b2, U)) = loaned(b, m, U)
+eq r4: retired(b, retire(b, U)) =
+       (retired(b, U) | (catalogued(b, U) & ~(exists m:member. loaned(b, m, U))))
+eq r5: b /= b2 => retired(b, retire(b2, U)) = retired(b, U)
+
+# loan: catalogued and not loaned to anyone
+eq l1: catalogued(b, loan(b2, m, U)) = catalogued(b, U)
+eq l2: loaned(b, m, loan(b, m, U)) =
+       (loaned(b, m, U) | (catalogued(b, U) & ~(exists m2:member. loaned(b, m2, U))))
+eq l3: b /= b2 | m /= m2 => loaned(b, m, loan(b2, m2, U)) = loaned(b, m, U)
+eq l4: retired(b, loan(b2, m, U)) = retired(b, U)
+
+# return: the named member returns the book
+eq t1: catalogued(b, return_loan(b2, m, U)) = catalogued(b, U)
+eq t2: loaned(b, m, return_loan(b, m, U)) = false
+eq t3: b /= b2 | m /= m2 => loaned(b, m, return_loan(b2, m2, U)) = loaned(b, m, U)
+eq t4: retired(b, return_loan(b2, m, U)) = retired(b, U)
+|}
+
+let functions = Aparser.spec_exn functions_src
+
+(* ---------- Level 3: representation -------------------------------- *)
+
+let representation_src =
+  {|
+schema library
+
+relation CATALOGUED(book)
+relation LOANED(book, member)
+relation RETIRED(book)
+
+proc initiate() =
+  (CATALOGUED := {(b:book) | false} ;
+   (LOANED := {(b:book, m:member) | false} ;
+    RETIRED := {(b:book) | false}))
+
+proc acquire(b: book) =
+  if (~RETIRED(b)) then insert CATALOGUED(b)
+
+proc retire(b: book) =
+  if (CATALOGUED(b) & ~(exists m:member. LOANED(b, m)))
+  then (delete CATALOGUED(b) ; insert RETIRED(b))
+
+proc loan(b: book, m: member) =
+  if (CATALOGUED(b) & ~(exists m2:member. LOANED(b, m2)))
+  then insert LOANED(b, m)
+
+proc return_loan(b: book, m: member) =
+  delete LOANED(b, m)
+
+end-schema
+|}
+
+let representation = Rparser.schema_exn representation_src
+
+(* ---------- Binding and verification -------------------------------- *)
+
+let design =
+  Design.canonical_exn ~name:"library" ~info ~functions ~representation
+
+let domain =
+  Domain.of_list
+    [
+      ("book", [ Value.Sym "hobbit"; Value.Sym "dune_novel" ]);
+      ("member", [ Value.Sym "alice"; Value.Sym "bea" ]);
+    ]
+
+let small_domain =
+  Domain.of_list
+    [ ("book", [ Value.Sym "hobbit" ]); ("member", [ Value.Sym "alice" ]) ]
+
+let () =
+  Fmt.pr "== The lending library, specified at three levels ==@.@.";
+  Fmt.pr "%a@.@." Ttheory.pp info;
+
+  Fmt.pr "== Verification over a 1-book / 1-member domain ==@.";
+  let v = Design.verify ~domain:small_domain ~depth:2 design in
+  Fmt.pr "%a@.@." Design.pp_verification v;
+  if not (Design.verified v) then exit 1;
+
+  Fmt.pr "== Verification over a 2-book / 2-member domain ==@.";
+  let v = Design.verify ~domain ~depth:2 design in
+  Fmt.pr "%a@.@." Design.pp_verification v;
+  if not (Design.verified v) then exit 1;
+
+  (* a session *)
+  Fmt.pr "== A library session ==@.";
+  let env = Semantics.env ~domain representation in
+  let b s = Value.Sym s in
+  let db = Schema.empty_db representation in
+  let step name args db =
+    let db = Semantics.call_det_exn env name args db in
+    Fmt.pr "after %s(%a): %d tuples@." name
+      Fmt.(list ~sep:(any ", ") Value.pp)
+      args (Db.size db);
+    db
+  in
+  let db = step "initiate" [] db in
+  let db = step "acquire" [ b "hobbit" ] db in
+  let db = step "loan" [ b "hobbit"; b "alice" ] db in
+  (* loan to bea is blocked: one borrower at a time *)
+  let db = step "loan" [ b "hobbit"; b "bea" ] db in
+  let bea_has_it =
+    Semantics.query env db
+      (Formula.Pred ("LOANED", [ Term.Lit (b "hobbit"); Term.Lit (b "bea") ]))
+  in
+  Fmt.pr "bea borrowed the already-loaned hobbit: %b (expected false)@." bea_has_it;
+  assert (not bea_has_it);
+  let db = step "return_loan" [ b "hobbit"; b "alice" ] db in
+  let db = step "retire" [ b "hobbit" ] db in
+  (* acquiring a retired book is refused *)
+  let db = step "acquire" [ b "hobbit" ] db in
+  let catalogued =
+    Semantics.query env db
+      (Formula.Pred ("CATALOGUED", [ Term.Lit (b "hobbit") ]))
+  in
+  Fmt.pr "hobbit catalogued after retire + acquire: %b (expected false)@." catalogued;
+  assert (not catalogued);
+  Fmt.pr "library_loans: all good.@."

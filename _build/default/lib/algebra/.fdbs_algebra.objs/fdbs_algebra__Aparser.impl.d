@@ -1,0 +1,1 @@
+lib/algebra/aparser.ml: Asig Aterm Atyping Equation Fdbs_kernel Fdbs_logic Fmt Lexer List Parse Result Sdesc Sort Spec Term Util Value

@@ -1,0 +1,1 @@
+lib/algebra/aparser.mli: Asig Aterm Fdbs_kernel Sdesc Sort Spec

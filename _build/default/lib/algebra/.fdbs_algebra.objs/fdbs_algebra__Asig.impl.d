@@ -1,0 +1,1 @@
+lib/algebra/asig.ml: Fdbs_kernel Fdbs_logic Fmt List Option Signature Sort

@@ -1,0 +1,1 @@
+lib/algebra/asig.mli: Fdbs_kernel Fmt Sort

@@ -1,0 +1,1 @@
+lib/algebra/aterm.ml: Fdbs_kernel Fdbs_logic Fmt List Sort Stdlib Term Util Value

@@ -1,0 +1,1 @@
+lib/algebra/aterm.mli: Fdbs_kernel Fdbs_logic Fmt Sort Term Value

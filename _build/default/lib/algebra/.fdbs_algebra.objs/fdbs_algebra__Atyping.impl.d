@@ -1,0 +1,1 @@
+lib/algebra/atyping.ml: Asig Aterm Fdbs_kernel Fdbs_logic Fmt List Result Sort Term Util Value

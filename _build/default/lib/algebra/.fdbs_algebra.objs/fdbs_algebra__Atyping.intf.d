@@ -1,0 +1,1 @@
+lib/algebra/atyping.mli: Asig Aterm Fdbs_kernel Sort

@@ -1,0 +1,1 @@
+lib/algebra/completeness.ml: Asig Aterm Domain Equation Eval Fdbs_kernel Fmt Fun List Spec Trace Util

@@ -1,0 +1,1 @@
+lib/algebra/completeness.mli: Aterm Eval Fmt Spec

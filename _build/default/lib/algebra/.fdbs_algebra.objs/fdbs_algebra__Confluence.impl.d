@@ -1,0 +1,1 @@
+lib/algebra/confluence.ml: Array Aterm Domain Equation Eval Fdbs_kernel Fdbs_logic Fmt Fun List Sort Spec Term Trace Util Value

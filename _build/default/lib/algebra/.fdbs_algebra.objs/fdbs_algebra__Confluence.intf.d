@@ -1,0 +1,1 @@
+lib/algebra/confluence.mli: Aterm Domain Eval Fdbs_kernel Fdbs_logic Fmt Spec Term Trace Value

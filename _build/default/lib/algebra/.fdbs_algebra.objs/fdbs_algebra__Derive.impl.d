@@ -1,0 +1,1 @@
+lib/algebra/derive.ml: Asig Aterm Equation Fdbs_kernel Fdbs_logic Fmt Fun List Option Result Sdesc String Term

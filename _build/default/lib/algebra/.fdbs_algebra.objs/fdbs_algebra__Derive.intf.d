@@ -1,0 +1,1 @@
+lib/algebra/derive.mli: Asig Equation Sdesc

@@ -1,0 +1,1 @@
+lib/algebra/equation.ml: Asig Aterm Atyping Fdbs_kernel Fdbs_logic Fmt List Result Sort Term

@@ -1,0 +1,1 @@
+lib/algebra/equation.mli: Asig Aterm Fmt

@@ -1,0 +1,1 @@
+lib/algebra/eval.ml: Asig Aterm Domain Equation Fdbs_kernel Fdbs_logic Fmt List Result Sort Spec Term Trace Value

@@ -1,0 +1,1 @@
+lib/algebra/eval.mli: Aterm Domain Fdbs_kernel Fmt Spec Trace Value

@@ -1,0 +1,1 @@
+lib/algebra/observability.ml: Array Asig Fmt Hashtbl List Observe Reach Spec

@@ -1,0 +1,1 @@
+lib/algebra/observability.mli: Fmt Reach Spec

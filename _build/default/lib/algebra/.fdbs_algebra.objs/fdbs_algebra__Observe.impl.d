@@ -1,0 +1,1 @@
+lib/algebra/observe.ml: Asig Domain Eval Fdbs_kernel Fmt List Spec Trace Util Value

@@ -1,0 +1,1 @@
+lib/algebra/observe.mli: Domain Eval Fdbs_kernel Fmt Spec Trace Value

@@ -1,0 +1,1 @@
+lib/algebra/reach.ml: Array Asig Domain Eval Fdbs_kernel Fmt Hashtbl List Observe Queue Spec Trace Util Value

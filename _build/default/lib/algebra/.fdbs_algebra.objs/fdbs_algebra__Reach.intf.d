@@ -1,0 +1,1 @@
+lib/algebra/reach.mli: Domain Eval Fdbs_kernel Fmt Observe Spec Trace Value

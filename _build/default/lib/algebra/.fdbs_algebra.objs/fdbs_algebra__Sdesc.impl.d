@@ -1,0 +1,1 @@
+lib/algebra/sdesc.ml: Asig Aterm Atyping Fdbs_kernel Fdbs_logic Fmt List Result Sort Term

@@ -1,0 +1,1 @@
+lib/algebra/sdesc.mli: Asig Aterm Fdbs_logic Fmt Term

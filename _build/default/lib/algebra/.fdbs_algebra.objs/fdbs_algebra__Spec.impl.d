@@ -1,0 +1,1 @@
+lib/algebra/spec.ml: Asig Domain Equation Fdbs_kernel Fmt List Value

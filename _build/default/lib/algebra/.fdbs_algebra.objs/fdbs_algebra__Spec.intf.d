@@ -1,0 +1,1 @@
+lib/algebra/spec.mli: Asig Domain Equation Fdbs_kernel Fmt Value

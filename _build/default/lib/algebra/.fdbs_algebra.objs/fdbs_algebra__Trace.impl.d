@@ -1,0 +1,1 @@
+lib/algebra/trace.ml: Asig Aterm Domain Fdbs_kernel Fmt List Option Util Value

@@ -1,0 +1,1 @@
+lib/algebra/trace.mli: Asig Aterm Domain Fdbs_kernel Fmt Value

@@ -1,0 +1,493 @@
+(** Concrete syntax for algebraic specifications.
+
+    A specification file looks like:
+    {v
+    spec university
+
+    sort course
+    sort student
+    const cs101 : course          # optional explicit parameter names
+
+    query offered : course -> bool
+    query takes : student, course -> bool
+
+    update initiate
+    update offer : course
+    update cancel : course
+
+    eq q1: offered(c, initiate) = false
+    eq q6: (exists s:student. takes(s, c, U) = true)
+           => offered(c, cancel(c, U)) = true
+    v}
+
+    Queries implicitly take a final [state] argument; updates implicitly
+    map a final [state] argument to [state] (an update declared with no
+    argument sorts, like [initiate], is an initializer). Equation
+    variables need not be declared: their sorts are inferred from the
+    argument positions in which they occur. [=>] separates an equation's
+    condition from its conclusion; [->] is Boolean implication inside
+    terms. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+(* ------------------------------------------------------------------ *)
+(* Raw (unsorted) terms                                                *)
+(* ------------------------------------------------------------------ *)
+
+type raw =
+  | RName of string
+  | RApp of string * raw list
+  | RInt of int
+  | RNot of raw
+  | RAnd of raw * raw
+  | ROr of raw * raw
+  | RImp of raw * raw
+  | RIff of raw * raw
+  | REq of raw * raw
+  | RNeq of raw * raw
+  | RQuant of bool * (string * Sort.t) list * raw  (* true = exists *)
+
+let rec parse_raw st : raw = parse_iff st
+
+and parse_iff st =
+  let lhs = parse_imp st in
+  let rec loop acc =
+    if Parse.accept_sym st "<->" || Parse.accept_sym st "<=>" then
+      loop (RIff (acc, parse_imp st))
+    else acc
+  in
+  loop lhs
+
+and parse_imp st =
+  let lhs = parse_or st in
+  if Parse.accept_sym st "->" then RImp (lhs, parse_imp st) else lhs
+
+and parse_or st =
+  let lhs = parse_and st in
+  let rec loop acc =
+    if Parse.accept_sym st "|" || Parse.accept_sym st "||" then
+      loop (ROr (acc, parse_and st))
+    else acc
+  in
+  loop lhs
+
+and parse_and st =
+  let lhs = parse_unary st in
+  let rec loop acc =
+    if Parse.accept_sym st "&" || Parse.accept_sym st "&&" then
+      loop (RAnd (acc, parse_unary st))
+    else acc
+  in
+  loop lhs
+
+and parse_unary st =
+  if Parse.accept_sym st "~" || Parse.accept_sym st "!" then RNot (parse_unary st)
+  else if Parse.accept_kw st "exists" then parse_quant st true
+  else if Parse.accept_kw st "forall" then parse_quant st false
+  else parse_cmp st
+
+and parse_quant st existential =
+  let binder st =
+    let name = Parse.ident st in
+    Parse.expect_sym st ":";
+    (name, Sort.make (Parse.ident st))
+  in
+  let binders = Parse.sep_list st ~sep:"," binder in
+  Parse.expect_sym st ".";
+  RQuant (existential, binders, parse_raw st)
+
+and parse_cmp st =
+  let lhs = parse_app st in
+  if Parse.accept_sym st "=" then REq (lhs, parse_app st)
+  else if Parse.accept_sym st "/=" || Parse.accept_sym st "<>" then RNeq (lhs, parse_app st)
+  else lhs
+
+and parse_app st =
+  match Parse.peek st with
+  | Lexer.Int n ->
+    Parse.advance st;
+    RInt n
+  | Lexer.Sym "(" ->
+    Parse.advance st;
+    let t = parse_raw st in
+    Parse.expect_sym st ")";
+    t
+  | Lexer.Ident name | Lexer.Uident name ->
+    Parse.advance st;
+    if Parse.accept_sym st "(" then begin
+      let args = Parse.sep_list st ~sep:"," parse_raw in
+      Parse.expect_sym st ")";
+      RApp (name, args)
+    end
+    else RName name
+  | other -> Parse.fail st (Fmt.str "expected a term but found %a" Lexer.pp_token other)
+
+(* ------------------------------------------------------------------ *)
+(* Sort resolution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+exception Resolve_error of string
+exception Cannot_infer of string
+
+type env = { mutable vars : (string * Sort.t) list }
+
+let builtin_arity0 = [ "true"; "false" ]
+
+(* Resolve a raw term to an Aterm, inferring variable sorts.
+   [expected] is the sort demanded by the context, if known. *)
+let rec resolve (sg : Asig.t) (env : env) ~(expected : Sort.t option) (r : raw) : Aterm.t =
+  let check_expected actual =
+    match expected with
+    | Some s when not (Sort.equal s actual) ->
+      raise (Resolve_error (Fmt.str "sort %s found where %s expected" actual s))
+    | Some _ | None -> ()
+  in
+  match r with
+  | RInt n ->
+    let s = match expected with Some s -> s | None -> Sort.make "int" in
+    Aterm.Val (Value.Int n, s)
+  | RName name when List.mem name builtin_arity0 ->
+    check_expected Sort.bool;
+    if name = "true" then Aterm.tru else Aterm.fls
+  | RName name ->
+    (match List.assoc_opt name env.vars with
+     | Some s ->
+       check_expected s;
+       Aterm.var name s
+     | None ->
+       (match Asig.find sg name with
+        | Some (_, o) when o.Asig.oargs = [] ->
+          check_expected o.Asig.ores;
+          Aterm.App (name, [])
+        | Some _ -> raise (Resolve_error (Fmt.str "operator %s needs arguments" name))
+        | None ->
+          (match expected with
+           | Some s ->
+             env.vars <- (name, s) :: env.vars;
+             Aterm.var name s
+           | None -> raise (Cannot_infer name))))
+  | RApp (name, args) ->
+    (match Asig.find sg name with
+     | None -> raise (Resolve_error (Fmt.str "undeclared operator %s" name))
+     | Some (_, o) ->
+       if List.length args <> List.length o.Asig.oargs then
+         raise
+           (Resolve_error
+              (Fmt.str "operator %s expects %d arguments, got %d" name
+                 (List.length o.Asig.oargs) (List.length args)))
+       else begin
+         check_expected o.Asig.ores;
+         let args' =
+           List.map2
+             (fun a s -> resolve sg env ~expected:(Some s) a)
+             args o.Asig.oargs
+         in
+         Aterm.App (name, args')
+       end)
+  | RNot a -> Aterm.not_ (resolve_bool sg env a)
+  | RAnd (a, b) -> Aterm.and_ (resolve_bool sg env a) (resolve_bool sg env b)
+  | ROr (a, b) -> Aterm.or_ (resolve_bool sg env a) (resolve_bool sg env b)
+  | RImp (a, b) -> Aterm.imp (resolve_bool sg env a) (resolve_bool sg env b)
+  | RIff (a, b) -> Aterm.iff (resolve_bool sg env a) (resolve_bool sg env b)
+  | REq (a, b) -> resolve_eq sg env a b false
+  | RNeq (a, b) -> resolve_eq sg env a b true
+  | RQuant (existential, binders, body) ->
+    check_expected Sort.bool;
+    let saved = env.vars in
+    env.vars <- binders @ env.vars;
+    let body' = resolve_bool sg env body in
+    env.vars <- saved;
+    let vars = List.map (fun (n, s) -> { Term.vname = n; vsort = s }) binders in
+    List.fold_right
+      (fun v acc -> if existential then Aterm.Exists (v, acc) else Aterm.Forall (v, acc))
+      vars body'
+
+and resolve_bool sg env r =
+  let t = resolve sg env ~expected:(Some Sort.bool) r in
+  t
+
+and resolve_eq sg env a b negate =
+  (* Infer the shared sort from whichever side determines it first. *)
+  let ta, tb =
+    match resolve sg env ~expected:None a with
+    | ta ->
+      let sa =
+        match Atyping.sort_of sg ta with
+        | Ok s -> s
+        | Error e -> raise (Resolve_error e)
+      in
+      (ta, resolve sg env ~expected:(Some sa) b)
+    | exception Cannot_infer _ ->
+      let tb = resolve sg env ~expected:None b in
+      let sb =
+        match Atyping.sort_of sg tb with
+        | Ok s -> s
+        | Error e -> raise (Resolve_error e)
+      in
+      (resolve sg env ~expected:(Some sb) a, tb)
+  in
+  let eq = Aterm.eq ta tb in
+  if negate then Aterm.not_ eq else eq
+
+(* ------------------------------------------------------------------ *)
+(* Specification files                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type raw_effect = {
+  re_query : string;
+  re_args : raw list;
+  re_value : raw;
+}
+
+type raw_desc = {
+  rd_update : string;
+  rd_params : (string * Sort.t) list;
+  rd_pre : raw option;
+  rd_effects : raw_effect list;
+}
+
+type decl =
+  | Dsort of Sort.t
+  | Dconst of string * Sort.t
+  | Dquery of string * Sort.t list * Sort.t
+  | Dupdate of string * Sort.t list
+  | Deq of string * raw option * raw * raw  (* name, cond, lhs, rhs *)
+  | Ddesc of raw_desc
+
+let parse_decl st : decl =
+  if Parse.accept_kw st "sort" then Dsort (Sort.make (Parse.ident st))
+  else if Parse.accept_kw st "const" then begin
+    let name = Parse.ident st in
+    Parse.expect_sym st ":";
+    Dconst (name, Sort.make (Parse.ident st))
+  end
+  else if Parse.accept_kw st "query" then begin
+    let name = Parse.ident st in
+    Parse.expect_sym st ":";
+    let sorts = Parse.sep_list st ~sep:"," (fun st -> Sort.make (Parse.ident st)) in
+    if Parse.accept_sym st "->" then Dquery (name, sorts, Sort.make (Parse.ident st))
+    else Dquery (name, [], List.hd sorts)
+  end
+  else if Parse.accept_kw st "update" then begin
+    let name = Parse.ident st in
+    if Parse.accept_sym st ":" then
+      Dupdate (name, Parse.sep_list st ~sep:"," (fun st -> Sort.make (Parse.ident st)))
+    else Dupdate (name, [])
+  end
+  else if Parse.accept_kw st "eq" then begin
+    let name = Parse.ident st in
+    Parse.expect_sym st ":";
+    let first = parse_raw st in
+    if Parse.accept_sym st "=>" then begin
+      let lhs = parse_app st in
+      Parse.expect_sym st "=";
+      let rhs = parse_raw st in
+      Deq (name, Some first, lhs, rhs)
+    end
+    else
+      (* [first] must be of the shape lhs = rhs. *)
+      match first with
+      | REq (lhs, rhs) -> Deq (name, None, lhs, rhs)
+      | _ -> Parse.fail st (Fmt.str "equation %s must have the form [cond =>] lhs = rhs" name)
+  end
+  else if Parse.accept_kw st "describe" then begin
+    let name = Parse.ident st in
+    let params =
+      if Parse.accept_sym st "(" then begin
+        if Parse.accept_sym st ")" then []
+        else begin
+          let param st =
+            let n = Parse.ident st in
+            Parse.expect_sym st ":";
+            (n, Sort.make (Parse.ident st))
+          in
+          let ps = Parse.sep_list st ~sep:"," param in
+          Parse.expect_sym st ")";
+          ps
+        end
+      end
+      else []
+    in
+    let pre = ref None in
+    let effects = ref [] in
+    let rec clauses () =
+      if Parse.accept_kw st "pre" then begin
+        Parse.expect_sym st ":";
+        pre := Some (parse_raw st);
+        clauses ()
+      end
+      else if Parse.accept_kw st "effect" then begin
+        Parse.expect_sym st ":";
+        let q = Parse.ident st in
+        Parse.expect_sym st "(";
+        let args =
+          if Parse.accept_sym st ")" then []
+          else begin
+            let args = Parse.sep_list st ~sep:"," parse_raw in
+            Parse.expect_sym st ")";
+            args
+          end
+        in
+        Parse.expect_sym st ":=";
+        let value = parse_raw st in
+        effects := { re_query = q; re_args = args; re_value = value } :: !effects;
+        clauses ()
+      end
+    in
+    clauses ();
+    Ddesc { rd_update = name; rd_params = params; rd_pre = !pre;
+            rd_effects = List.rev !effects }
+  end
+  else Parse.fail st "expected one of: sort, const, query, update, eq, describe"
+
+let parse_spec_file st : string * decl list =
+  Parse.expect_kw st "spec";
+  let name = Parse.ident st in
+  let rec decls acc = if Parse.at_eof st then List.rev acc else decls (parse_decl st :: acc) in
+  (name, decls [])
+
+(** Parse a full specification file together with any [describe]
+    blocks (structured descriptions, Section 4.2). *)
+let spec_with_descriptions (src : string) : (Spec.t * Sdesc.t list, string) result =
+  match
+    Parse.run parse_spec_file src
+  with
+  | Error e -> Error e
+  | Ok (name, decls) ->
+    let sorts = List.filter_map (function Dsort s -> Some s | _ -> None) decls in
+    let consts =
+      List.filter_map (function Dconst (n, s) -> Some (Asig.op n [] s) | _ -> None) decls
+    in
+    let queries =
+      List.filter_map
+        (function Dquery (n, args, res) -> Some (Asig.query n args res) | _ -> None)
+        decls
+    in
+    let updates =
+      List.filter_map
+        (function
+          | Dupdate (n, []) -> Some (Asig.initializer_ n)
+          | Dupdate (n, args) -> Some (Asig.update n args)
+          | _ -> None)
+        decls
+    in
+    (match Asig.make ~param_sorts:sorts ~param_ops:consts ~queries ~updates with
+     | Error e -> Error e
+     | Ok sg ->
+       let resolve_eq_decl (name, cond, lhs, rhs) =
+         let env = { vars = [] } in
+         try
+           let lhs' = resolve sg env ~expected:None lhs in
+           let lhs_sort =
+             match Atyping.sort_of sg lhs' with
+             | Ok s -> s
+             | Error e -> raise (Resolve_error e)
+           in
+           let rhs' = resolve sg env ~expected:(Some lhs_sort) rhs in
+           let cond' =
+             match cond with
+             | None -> Aterm.tru
+             | Some c -> resolve_bool sg env c
+           in
+           Ok (Equation.make ~cond:cond' name lhs' rhs')
+         with
+         | Resolve_error e -> Error (Fmt.str "equation %s: %s" name e)
+         | Cannot_infer v ->
+           Error (Fmt.str "equation %s: cannot infer the sort of variable %s" name v)
+       in
+       let eqs =
+         List.filter_map
+           (function Deq (n, c, l, r) -> Some (n, c, l, r) | _ -> None)
+           decls
+       in
+       (match Util.result_all (List.map resolve_eq_decl eqs) with
+        | Error e -> Error e
+        | Ok equations ->
+          (match Spec.make ~name ~signature:sg ~equations () with
+           | Error e -> Error e
+           | Ok spec ->
+             let resolve_desc (rd : raw_desc) : (Sdesc.t, string) result =
+               let where = "description of " ^ rd.rd_update in
+               let env =
+                 { vars = (Sdesc.state_var.Term.vname, Sort.state) :: rd.rd_params }
+               in
+               try
+                 let pre =
+                   match rd.rd_pre with
+                   | None -> Aterm.tru
+                   | Some raw -> resolve_bool sg env raw
+                 in
+                 let effect (re : raw_effect) : (Sdesc.effect_, string) result =
+                   match Asig.find_query sg re.re_query with
+                   | None -> Error (Fmt.str "%s: unknown query %s" where re.re_query)
+                   | Some q ->
+                     let sorts = Asig.param_args q in
+                     if List.length sorts <> List.length re.re_args then
+                       Error (Fmt.str "%s: effect on %s has wrong arity" where re.re_query)
+                     else begin
+                       let args =
+                         List.map2
+                           (fun raw srt -> resolve sg env ~expected:(Some srt) raw)
+                           re.re_args sorts
+                       in
+                       let value =
+                         resolve sg env ~expected:(Some q.Asig.ores) re.re_value
+                       in
+                       Ok (Sdesc.effect_ re.re_query args value)
+                     end
+                 in
+                 match Util.result_all (List.map effect rd.rd_effects) with
+                 | Error e -> Error e
+                 | Ok effects ->
+                   let params =
+                     List.map
+                       (fun (n, srt) -> { Term.vname = n; vsort = srt })
+                       rd.rd_params
+                   in
+                   let d = Sdesc.make ~pre ~update:rd.rd_update ~params ~effects () in
+                   (match Sdesc.check sg d with
+                    | Ok () -> Ok d
+                    | Error e -> Error (Fmt.str "%s: %s" where e))
+               with
+               | Resolve_error e -> Error (Fmt.str "%s: %s" where e)
+               | Cannot_infer v ->
+                 Error (Fmt.str "%s: cannot infer the sort of %s" where v)
+             in
+             let raw_descs =
+               List.filter_map (function Ddesc d -> Some d | _ -> None) decls
+             in
+             (match Util.result_all (List.map resolve_desc raw_descs) with
+              | Error e -> Error e
+              | Ok descriptions -> Ok (spec, descriptions)))))
+
+(** Parse a specification file (ignoring any [describe] blocks). *)
+let spec (src : string) : (Spec.t, string) result =
+  Result.map fst (spec_with_descriptions src)
+
+let spec_exn src =
+  match spec src with
+  | Ok s -> s
+  | Error e -> invalid_arg ("Aparser.spec_exn: " ^ e)
+
+(** Parse a single term against a signature, with optional pre-bound
+    variables. *)
+let term ?(vars : (string * Sort.t) list = []) (sg : Asig.t) (src : string) :
+  (Aterm.t, string) result =
+  match
+    Parse.run
+      (fun st ->
+        let raw = parse_raw st in
+        let env = { vars } in
+        resolve sg env ~expected:None raw)
+      src
+  with
+  | Ok t -> Ok t
+  | Error e -> Error e
+  | exception Resolve_error e -> Error e
+  | exception Cannot_infer v -> Error (Fmt.str "cannot infer the sort of variable %s" v)
+
+let term_exn ?vars sg src =
+  match term ?vars sg src with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Aparser.term_exn: " ^ e)

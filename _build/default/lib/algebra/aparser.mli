@@ -1,0 +1,51 @@
+(** Concrete syntax for algebraic specifications.
+
+    A specification file looks like:
+    {v
+    spec university
+
+    sort course
+    sort student
+    const cs101 : course          # optional explicit parameter names
+
+    query offered : course -> bool
+    query takes : student, course -> bool
+
+    update initiate
+    update offer : course
+    update cancel : course
+
+    eq q1: offered(c, initiate) = false
+    eq q6: (exists s:student. takes(s, c, U) = true)
+           => offered(c, cancel(c, U)) = true
+
+    describe cancel(c: course)
+      pre: forall s:student. takes(s, c, U) = false
+      effect: offered(c) := false
+    v}
+
+    Queries implicitly take a final [state] argument; updates implicitly
+    map a final [state] argument to [state] (an update declared with no
+    argument sorts is an initializer). Equation variables need not be
+    declared: their sorts are inferred from the argument positions in
+    which they occur. [=>] separates an equation's condition from its
+    conclusion; [->] is Boolean implication inside terms. [describe]
+    blocks give structured descriptions (Section 4.2). *)
+
+open Fdbs_kernel
+
+(** Parse a full specification file together with any [describe]
+    blocks. *)
+val spec_with_descriptions : string -> (Spec.t * Sdesc.t list, string) result
+
+(** Parse a specification file (ignoring any [describe] blocks). *)
+val spec : string -> (Spec.t, string) result
+
+val spec_exn : string -> Spec.t
+
+(** Parse a single term against a signature, with optional pre-bound
+    variables (name, sort). *)
+val term :
+  ?vars:(string * Sort.t) list -> Asig.t -> string -> (Aterm.t, string) result
+
+val term_exn : ?vars:(string * Sort.t) list -> Asig.t -> string -> Aterm.t

@@ -1,0 +1,140 @@
+(** Signatures of algebraic specifications (paper Section 4.1).
+
+    The set of sorts comprises the Boolean sort, the designated sort
+    [state] (sort-of-interest) and the remaining {e parameter} sorts.
+    Operators split into: parameter operators (constants and functions
+    not involving [state] — they generate the {e parameter names});
+    {e query} functions, whose last argument sort is [state] and whose
+    result is not [state]; and {e update} functions, whose result sort
+    is [state]. By convention [state] is the last domain sort. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+type op = {
+  oname : string;
+  oargs : Sort.t list;  (** argument sorts; for queries/updates the last is [state] *)
+  ores : Sort.t;
+}
+
+type kind = Parameter_op | Query | Update
+
+type t = {
+  param_sorts : Sort.t list;
+  param_ops : op list;
+  queries : op list;
+  updates : op list;
+}
+
+let op name args res = { oname = name; oargs = args; ores = res }
+
+(** A query [q : s1 * ... * sn * state -> res]; pass the parameter
+    sorts only. *)
+let query name param_args res = op name (param_args @ [ Sort.state ]) res
+
+(** An update [u : s1 * ... * sn * state -> state]; pass parameter
+    sorts only. [initiate]-like initializers are declared with
+    {!initializer_} instead. *)
+let update name param_args = op name (param_args @ [ Sort.state ]) Sort.state
+
+(** An initializer such as the paper's [initiate : <state>]: a constant
+    of sort [state]. *)
+let initializer_ name = op name [] Sort.state
+
+let make ~param_sorts ~param_ops ~queries ~updates : (t, string) result =
+  let all_sorts = Sort.bool :: Sort.state :: param_sorts in
+  let check_op kind o =
+    let check_sort s =
+      if not (List.exists (Sort.equal s) all_sorts) then
+        Error (Fmt.str "operator %s uses undeclared sort %s" o.oname s)
+      else Ok ()
+    in
+    let rec all = function
+      | [] -> Ok ()
+      | s :: rest -> (match check_sort s with Ok () -> all rest | e -> e)
+    in
+    match all (o.ores :: o.oargs) with
+    | Error _ as e -> e
+    | Ok () ->
+      (match kind with
+       | Parameter_op ->
+         if List.exists (Sort.equal Sort.state) (o.ores :: o.oargs) then
+           Error (Fmt.str "parameter operator %s must not involve sort state" o.oname)
+         else Ok ()
+       | Query ->
+         (match List.rev o.oargs with
+          | last :: _ when Sort.is_state last ->
+            if Sort.is_state o.ores then
+              Error (Fmt.str "query %s must not return sort state" o.oname)
+            else Ok ()
+          | _ -> Error (Fmt.str "query %s must take state as its last argument" o.oname))
+       | Update ->
+         if not (Sort.is_state o.ores) then
+           Error (Fmt.str "update %s must return sort state" o.oname)
+         else
+           (match List.rev o.oargs with
+            | [] -> Ok () (* initializer *)
+            | last :: _ when Sort.is_state last -> Ok ()
+            | _ -> Error (Fmt.str "update %s must take state as its last argument" o.oname)))
+  in
+  let names =
+    List.map (fun o -> o.oname) (param_ops @ queries @ updates)
+  in
+  match Signature.find_dup names with
+  | Some d -> Error (Fmt.str "duplicate operator name %s" d)
+  | None ->
+    let rec check_all = function
+      | [] -> Ok { param_sorts; param_ops; queries; updates }
+      | (kind, o) :: rest ->
+        (match check_op kind o with Ok () -> check_all rest | Error _ as e -> e)
+    in
+    check_all
+      (List.map (fun o -> (Parameter_op, o)) param_ops
+      @ List.map (fun o -> (Query, o)) queries
+      @ List.map (fun o -> (Update, o)) updates)
+
+let make_exn ~param_sorts ~param_ops ~queries ~updates =
+  match make ~param_sorts ~param_ops ~queries ~updates with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Asig.make_exn: " ^ e)
+
+let find (sg : t) name : (kind * op) option =
+  let find_in kind ops =
+    Option.map (fun o -> (kind, o)) (List.find_opt (fun o -> o.oname = name) ops)
+  in
+  match find_in Query sg.queries with
+  | Some _ as r -> r
+  | None ->
+    (match find_in Update sg.updates with
+     | Some _ as r -> r
+     | None -> find_in Parameter_op sg.param_ops)
+
+let find_query (sg : t) name = List.find_opt (fun o -> o.oname = name) sg.queries
+let find_update (sg : t) name = List.find_opt (fun o -> o.oname = name) sg.updates
+
+let is_query (sg : t) name = find_query sg name <> None
+let is_update (sg : t) name = find_update sg name <> None
+
+(** Updates that take no state argument (initializers, e.g. [initiate]):
+    the generators of the set of ground state terms. *)
+let initializers (sg : t) =
+  List.filter (fun o -> not (List.exists Sort.is_state o.oargs)) sg.updates
+
+(** Updates proper: those mapping a state to a new state. *)
+let transformers (sg : t) =
+  List.filter (fun o -> List.exists Sort.is_state o.oargs) sg.updates
+
+(** Parameter argument sorts of a query/update (the sorts before the
+    final [state]). *)
+let param_args (o : op) =
+  List.filter (fun s -> not (Sort.is_state s)) o.oargs
+
+let pp_op ppf o =
+  Fmt.pf ppf "%s : %a -> %a" o.oname
+    Fmt.(list ~sep:(any " * ") Sort.pp) o.oargs Sort.pp o.ores
+
+let pp ppf (sg : t) =
+  Fmt.pf ppf "@[<v>parameter sorts: %a@,queries:@,  %a@,updates:@,  %a@]"
+    Fmt.(list ~sep:(any ", ") Sort.pp) sg.param_sorts
+    Fmt.(list ~sep:(any "@,  ") pp_op) sg.queries
+    Fmt.(list ~sep:(any "@,  ") pp_op) sg.updates

@@ -1,0 +1,74 @@
+(** Signatures of algebraic specifications (paper Section 4.1).
+
+    The set of sorts comprises the Boolean sort, the designated sort
+    [state] (sort-of-interest) and the remaining {e parameter} sorts.
+    Operators split into: parameter operators (constants and functions
+    not involving [state] — they generate the {e parameter names});
+    {e query} functions, whose last argument sort is [state] and whose
+    result is not [state]; and {e update} functions, whose result sort
+    is [state]. By convention [state] is the last domain sort. *)
+
+open Fdbs_kernel
+
+type op = {
+  oname : string;
+  oargs : Sort.t list;  (** argument sorts; for queries/updates the last is [state] *)
+  ores : Sort.t;
+}
+
+type kind = Parameter_op | Query | Update
+
+type t = {
+  param_sorts : Sort.t list;
+  param_ops : op list;
+  queries : op list;
+  updates : op list;
+}
+
+val op : string -> Sort.t list -> Sort.t -> op
+
+(** A query [q : s1 * ... * sn * state -> res]; pass the parameter
+    sorts only. *)
+val query : string -> Sort.t list -> Sort.t -> op
+
+(** An update [u : s1 * ... * sn * state -> state]; pass parameter
+    sorts only. *)
+val update : string -> Sort.t list -> op
+
+(** An initializer such as the paper's [initiate : <state>]: a constant
+    of sort [state]. *)
+val initializer_ : string -> op
+
+val make :
+  param_sorts:Sort.t list ->
+  param_ops:op list ->
+  queries:op list ->
+  updates:op list ->
+  (t, string) result
+
+val make_exn :
+  param_sorts:Sort.t list ->
+  param_ops:op list ->
+  queries:op list ->
+  updates:op list ->
+  t
+
+val find : t -> string -> (kind * op) option
+val find_query : t -> string -> op option
+val find_update : t -> string -> op option
+val is_query : t -> string -> bool
+val is_update : t -> string -> bool
+
+(** Updates that take no state argument (initializers): the generators
+    of the set of ground state terms. *)
+val initializers : t -> op list
+
+(** Updates proper: those mapping a state to a new state. *)
+val transformers : t -> op list
+
+(** Parameter argument sorts of a query/update (the sorts before the
+    final [state]). *)
+val param_args : op -> Sort.t list
+
+val pp_op : op Fmt.t
+val pp : t Fmt.t

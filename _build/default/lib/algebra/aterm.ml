@@ -1,0 +1,192 @@
+(** Terms of an algebraic specification language L2 (paper Section 4.1).
+
+    The applicative fragment is ordinary many-sorted terms; in addition,
+    Boolean-sorted terms may quantify over {e parameter} sorts (the
+    paper's conditions such as [exists s (takes(s,c,U) = True)] — never
+    over the state sort). The Boolean sort's constants and connectives
+    are the built-in operators {!builtin_ops}. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+type t =
+  | Var of Term.var
+  | App of string * t list
+  | Val of Value.t * Sort.t  (** sorted literal: a parameter name's value *)
+  | Exists of Term.var * t  (** Boolean-sorted, over a parameter sort *)
+  | Forall of Term.var * t
+
+(** The built-in Boolean operators every L2 is equipped with
+    (paper: True, False, ¬ ∨ ∧ ⇒ ≡) plus overloaded equality "eq". *)
+let builtin_ops = [ "true"; "false"; "not"; "and"; "or"; "imp"; "iff"; "eq" ]
+
+let is_builtin name = List.mem name builtin_ops
+
+let tru = App ("true", [])
+let fls = App ("false", [])
+let of_bool b = if b then tru else fls
+let not_ t = App ("not", [ t ])
+let and_ t1 t2 = App ("and", [ t1; t2 ])
+let or_ t1 t2 = App ("or", [ t1; t2 ])
+let imp t1 t2 = App ("imp", [ t1; t2 ])
+let iff t1 t2 = App ("iff", [ t1; t2 ])
+let eq t1 t2 = App ("eq", [ t1; t2 ])
+let neq t1 t2 = not_ (eq t1 t2)
+
+let conj = function [] -> tru | t :: rest -> List.fold_left and_ t rest
+let disj = function [] -> fls | t :: rest -> List.fold_left or_ t rest
+
+let var name sort = Var { Term.vname = name; vsort = sort }
+let state_var name = var name Sort.state
+let sym name sort = Val (Value.Sym name, sort)
+
+let rec equal t1 t2 =
+  match (t1, t2) with
+  | Var v1, Var v2 -> Term.var_equal v1 v2
+  | App (f, a1), App (g, a2) ->
+    f = g && List.length a1 = List.length a2 && List.for_all2 equal a1 a2
+  | Val (v1, s1), Val (v2, s2) -> Value.equal v1 v2 && Sort.equal s1 s2
+  | Exists (v1, b1), Exists (v2, b2) | Forall (v1, b1), Forall (v2, b2) ->
+    Term.var_equal v1 v2 && equal b1 b2
+  | (Var _ | App _ | Val _ | Exists _ | Forall _), _ -> false
+
+let compare = Stdlib.compare
+
+(** Free variables in first-occurrence order. *)
+let free_vars (t : t) : Term.var list =
+  let mem v l = List.exists (Term.var_equal v) l in
+  let rec go bound acc = function
+    | Var v -> if mem v bound || mem v acc then acc else v :: acc
+    | App (_, args) -> List.fold_left (go bound) acc args
+    | Val _ -> acc
+    | Exists (v, b) | Forall (v, b) -> go (v :: bound) acc b
+  in
+  List.rev (go [] [] t)
+
+let is_ground t = free_vars t = []
+
+(** Substitution (maps variables to algebraic terms). *)
+module Subst = struct
+  type aterm = t
+  type t = (Term.var * aterm) list
+
+  let empty : t = []
+  let of_list (l : (Term.var * aterm) list) : t = l
+  let bindings (s : t) = s
+
+  let lookup (s : t) v =
+    let rec go = function
+      | [] -> None
+      | (v', t) :: rest -> if Term.var_equal v v' then Some t else go rest
+    in
+    go s
+
+  let bind (s : t) v t : t = (v, t) :: s
+end
+
+(** Apply a substitution; bound variables are assumed distinct from the
+    substitution's domain (equations use fresh quantified names). *)
+let rec subst (s : Subst.t) = function
+  | Var v as t -> (match Subst.lookup s v with Some t' -> t' | None -> t)
+  | App (f, args) -> App (f, List.map (subst s) args)
+  | Val _ as t -> t
+  | Exists (v, b) ->
+    let s' = List.filter (fun (v', _) -> not (Term.var_equal v v')) s in
+    Exists (v, subst s' b)
+  | Forall (v, b) ->
+    let s' = List.filter (fun (v', _) -> not (Term.var_equal v v')) s in
+    Forall (v, subst s' b)
+
+let rec size = function
+  | Var _ | Val _ -> 1
+  | App (_, args) -> 1 + Util.sum (List.map size args)
+  | Exists (_, b) | Forall (_, b) -> 1 + size b
+
+(** [is_subterm s t]: does [s] occur within [t]? *)
+let rec is_subterm s t =
+  equal s t
+  || match t with
+     | App (_, args) -> List.exists (is_subterm s) args
+     | Exists (_, b) | Forall (_, b) -> is_subterm s b
+     | Var _ | Val _ -> false
+
+(** First-order matching of the applicative fragment: instantiate the
+    pattern's variables so it equals [target]. Quantified patterns do
+    not occur on equation left-hand sides, so matching under binders is
+    unsupported (returns [None]). *)
+let match_term (pattern : t) (target : t) : Subst.t option =
+  let rec go sub pattern target =
+    match (pattern, target) with
+    | Var v, _ ->
+      (match Subst.lookup sub v with
+       | Some bound -> if equal bound target then Some sub else None
+       | None -> Some (Subst.bind sub v target))
+    | Val (v1, s1), Val (v2, s2) ->
+      if Value.equal v1 v2 && Sort.equal s1 s2 then Some sub else None
+    | App (f, a1), App (g, a2) when f = g && List.length a1 = List.length a2 ->
+      let rec fold sub = function
+        | [] -> Some sub
+        | (p, t) :: rest ->
+          (match go sub p t with None -> None | Some sub -> fold sub rest)
+      in
+      fold sub (Util.zip_exn a1 a2)
+    | (App _ | Val _ | Exists _ | Forall _), _ -> None
+  in
+  go Subst.empty pattern target
+
+let rec rename_vars (prefix : string) = function
+  | Var v -> Var { v with Term.vname = prefix ^ v.Term.vname }
+  | App (f, args) -> App (f, List.map (rename_vars prefix) args)
+  | Val _ as t -> t
+  | Exists (v, b) ->
+    Exists ({ v with Term.vname = prefix ^ v.Term.vname }, rename_vars prefix b)
+  | Forall (v, b) ->
+    Forall ({ v with Term.vname = prefix ^ v.Term.vname }, rename_vars prefix b)
+
+let rec occurs v = function
+  | Var v' -> Term.var_equal v v'
+  | App (_, args) -> List.exists (occurs v) args
+  | Val _ -> false
+  | Exists (_, b) | Forall (_, b) -> occurs v b
+
+(** Most general unifier of the applicative fragments of two terms
+    (quantified subterms must be syntactically equal); used by the
+    critical-pair analysis. *)
+let unify (t1 : t) (t2 : t) : Subst.t option =
+  let rec go sub = function
+    | [] -> Some sub
+    | (t1, t2) :: rest ->
+      let t1 = subst sub t1 and t2 = subst sub t2 in
+      (match (t1, t2) with
+       | _ when equal t1 t2 -> go sub rest
+       | Var v, t | t, Var v ->
+         if occurs v t then None
+         else
+           let bind = Subst.of_list [ (v, t) ] in
+           let sub' =
+             Subst.of_list
+               (List.map (fun (v', tm) -> (v', subst bind tm)) (Subst.bindings sub))
+           in
+           go (Subst.bind sub' v t) rest
+       | App (f, a1), App (g, a2) when f = g && List.length a1 = List.length a2 ->
+         go sub (Util.zip_exn a1 a2 @ rest)
+       | (App _ | Val _ | Exists _ | Forall _), _ -> None)
+  in
+  go Subst.empty [ (t1, t2) ]
+
+let rec pp ppf = function
+  | Var v -> Fmt.string ppf v.Term.vname
+  | Val (v, _) -> Value.pp ppf v
+  | App ("eq", [ a; b ]) -> Fmt.pf ppf "(%a = %a)" pp a pp b
+  | App ("not", [ App ("eq", [ a; b ]) ]) -> Fmt.pf ppf "(%a /= %a)" pp a pp b
+  | App ("not", [ a ]) -> Fmt.pf ppf "~%a" pp a
+  | App ("and", [ a; b ]) -> Fmt.pf ppf "(%a & %a)" pp a pp b
+  | App ("or", [ a; b ]) -> Fmt.pf ppf "(%a | %a)" pp a pp b
+  | App ("imp", [ a; b ]) -> Fmt.pf ppf "(%a -> %a)" pp a pp b
+  | App ("iff", [ a; b ]) -> Fmt.pf ppf "(%a <-> %a)" pp a pp b
+  | App (f, []) -> Fmt.string ppf f
+  | App (f, args) -> Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(any ", ") pp) args
+  | Exists (v, b) -> Fmt.pf ppf "exists %s:%a. %a" v.Term.vname Sort.pp v.Term.vsort pp b
+  | Forall (v, b) -> Fmt.pf ppf "forall %s:%a. %a" v.Term.vname Sort.pp v.Term.vsort pp b
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,90 @@
+(** Terms of an algebraic specification language L2 (paper Section 4.1).
+
+    The applicative fragment is ordinary many-sorted terms; in addition,
+    Boolean-sorted terms may quantify over {e parameter} sorts (the
+    paper's conditions such as [exists s (takes(s,c,U) = True)] — never
+    over the state sort). The Boolean sort's constants and connectives
+    are the built-in operators {!builtin_ops}. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+type t =
+  | Var of Term.var
+  | App of string * t list
+  | Val of Value.t * Sort.t  (** sorted literal: a parameter name's value *)
+  | Exists of Term.var * t  (** Boolean-sorted, over a parameter sort *)
+  | Forall of Term.var * t
+
+(** The built-in Boolean operators every L2 is equipped with
+    (True, False, ¬ ∨ ∧ ⇒ ≡) plus overloaded equality ["eq"]. *)
+val builtin_ops : string list
+
+val is_builtin : string -> bool
+
+val tru : t
+val fls : t
+val of_bool : bool -> t
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val imp : t -> t -> t
+val iff : t -> t -> t
+val eq : t -> t -> t
+val neq : t -> t -> t
+
+(** Conjunction of a list; {!tru} when empty. *)
+val conj : t list -> t
+
+(** Disjunction of a list; {!fls} when empty. *)
+val disj : t list -> t
+
+val var : string -> Sort.t -> t
+val state_var : string -> t
+val sym : string -> Sort.t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Free variables in first-occurrence order. *)
+val free_vars : t -> Term.var list
+
+val is_ground : t -> bool
+
+(** Substitutions mapping variables to algebraic terms. *)
+module Subst : sig
+  type aterm = t
+  type t = (Term.var * aterm) list
+
+  val empty : t
+  val of_list : (Term.var * aterm) list -> t
+  val bindings : t -> (Term.var * aterm) list
+  val lookup : t -> Term.var -> aterm option
+  val bind : t -> Term.var -> aterm -> t
+end
+
+(** Apply a substitution; quantified variables shadow the domain. *)
+val subst : Subst.t -> t -> t
+
+val size : t -> int
+
+(** [is_subterm s t]: does [s] occur within [t]? *)
+val is_subterm : t -> t -> bool
+
+(** First-order matching of the applicative fragment: instantiate the
+    pattern's variables so it equals the target (non-linear patterns
+    supported; matching under binders is not). *)
+val match_term : t -> t -> Subst.t option
+
+(** Rename every variable with a prefix (standardizing rules apart). *)
+val rename_vars : string -> t -> t
+
+val occurs : Term.var -> t -> bool
+
+(** Most general unifier of the applicative fragments of two terms
+    (quantified subterms must be syntactically equal); used by the
+    critical-pair analysis. *)
+val unify : t -> t -> Subst.t option
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,61 @@
+(** Sort checking for algebraic terms. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+let ( let* ) = Result.bind
+
+(** Sort of an algebraic term under a signature. Built-in Boolean
+    operators are checked structurally; [eq] requires both sides to
+    share a sort. *)
+let rec sort_of (sg : Asig.t) (t : Aterm.t) : (Sort.t, string) result =
+  match t with
+  | Aterm.Var v -> Ok v.Term.vsort
+  | Aterm.Val (Value.Bool _, s) ->
+    if Sort.is_bool s then Ok s else Error "boolean value with non-bool sort tag"
+  | Aterm.Val (_, s) -> Ok s
+  | Aterm.Exists (v, b) | Aterm.Forall (v, b) ->
+    if Sort.is_state v.Term.vsort then
+      Error "quantification over sort state is not allowed in L2"
+    else
+      let* bs = sort_of sg b in
+      if Sort.is_bool bs then Ok Sort.bool
+      else Error "quantified body must be Boolean"
+  | Aterm.App ("true", []) | Aterm.App ("false", []) -> Ok Sort.bool
+  | Aterm.App ("not", [ a ]) ->
+    let* s = sort_of sg a in
+    if Sort.is_bool s then Ok Sort.bool else Error "argument of ~ must be Boolean"
+  | Aterm.App (("and" | "or" | "imp" | "iff"), [ a; b ]) ->
+    let* sa = sort_of sg a in
+    let* sb = sort_of sg b in
+    if Sort.is_bool sa && Sort.is_bool sb then Ok Sort.bool
+    else Error "connective arguments must be Boolean"
+  | Aterm.App ("eq", [ a; b ]) ->
+    let* sa = sort_of sg a in
+    let* sb = sort_of sg b in
+    if Sort.equal sa sb then Ok Sort.bool
+    else Error (Fmt.str "equality between distinct sorts %s and %s" sa sb)
+  | Aterm.App (f, args) when Aterm.is_builtin f ->
+    Error (Fmt.str "built-in operator %s applied to %d arguments" f (List.length args))
+  | Aterm.App (f, args) ->
+    (match Asig.find sg f with
+     | None -> Error (Fmt.str "undeclared operator %s" f)
+     | Some (_, o) ->
+       if List.length args <> List.length o.Asig.oargs then
+         Error (Fmt.str "operator %s expects %d arguments, got %d" f
+                  (List.length o.Asig.oargs) (List.length args))
+       else
+         let rec check_args = function
+           | [] -> Ok o.Asig.ores
+           | (expected, a) :: rest ->
+             let* s = sort_of sg a in
+             if Sort.equal s expected then check_args rest
+             else
+               Error (Fmt.str "argument of %s has sort %s, expected %s" f s expected)
+         in
+         check_args (Util.zip_exn o.Asig.oargs args))
+
+let check_bool (sg : Asig.t) (t : Aterm.t) : (unit, string) result =
+  let* s = sort_of sg t in
+  if Sort.is_bool s then Ok ()
+  else Error (Fmt.str "expected a Boolean term, got sort %s" s)

@@ -1,0 +1,10 @@
+(** Sort checking for algebraic terms. *)
+
+open Fdbs_kernel
+
+(** Sort of an algebraic term under a signature. Built-in Boolean
+    operators are checked structurally; [eq] requires both sides to
+    share a sort; quantification over [state] is rejected. *)
+val sort_of : Asig.t -> Aterm.t -> (Sort.t, string) result
+
+val check_bool : Asig.t -> Aterm.t -> (unit, string) result

@@ -1,0 +1,150 @@
+(** Sufficient completeness of an algebraic specification (paper
+    Sections 4.1 and 4.4(a)).
+
+    A specification is sufficiently complete iff every ground query term
+    can be proved equal to a parameter name. Viewing the Q-equations as
+    a system of mutually recursive definitions, this amounts to (i)
+    every query/update pair being covered by some equation, (ii)
+    termination of the rewriting system — checked here through the
+    paper's "simpler expression" discipline: each query occurring in a
+    condition or right-hand side must interrogate a proper subterm of
+    the state argument being defined — and (iii) exhaustiveness of the
+    conditions, which we probe by ground evaluation over enumerated
+    traces. *)
+
+open Fdbs_kernel
+
+type issue =
+  | Missing_pair of string * string
+      (** no equation defines query [q] over update [u] *)
+  | Non_decreasing of string * Aterm.t
+      (** equation [name] applies a query to a state that is not a
+          proper subterm of the lhs state argument *)
+  | Ground_failure of Aterm.t * Eval.error
+      (** a ground query failed to evaluate *)
+
+let pp_issue ppf = function
+  | Missing_pair (q, u) -> Fmt.pf ppf "no equation for query %s over update %s" q u
+  | Non_decreasing (name, t) ->
+    Fmt.pf ppf "equation %s: query application %a does not decrease the state argument"
+      name Aterm.pp t
+  | Ground_failure (t, e) ->
+    Fmt.pf ppf "ground term %a failed to evaluate: %a" Aterm.pp t Eval.pp_error e
+
+type report = {
+  issues : issue list;
+  pairs_checked : int;
+  ground_terms_checked : int;
+}
+
+let is_complete (r : report) = r.issues = []
+
+(** (i) Coverage: every (query, update) pair has at least one equation. *)
+let coverage_issues (spec : Spec.t) : issue list * int =
+  let sg = spec.Spec.signature in
+  let pairs =
+    List.concat_map
+      (fun (q : Asig.op) ->
+        List.map (fun (u : Asig.op) -> (q.Asig.oname, u.Asig.oname)) sg.Asig.updates)
+      sg.Asig.queries
+  in
+  let missing =
+    List.filter
+      (fun (q, u) -> Spec.equations_for spec ~query:q ~update:u = [])
+      pairs
+  in
+  (List.map (fun (q, u) -> Missing_pair (q, u)) missing, List.length pairs)
+
+(** (ii) Termination through the decreasing-state discipline. For each
+    equation whose lhs is [q(p̄, u(p̄', S))], every query application in
+    the condition and the right-hand side must have a state argument
+    that is a proper subterm of [u(p̄', S)] (typically the variable [S]
+    itself). *)
+let termination_issues (spec : Spec.t) : issue list =
+  let sg = spec.Spec.signature in
+  let lhs_state_arg (eq : Equation.t) : Aterm.t option =
+    match eq.Equation.lhs with
+    | Aterm.App (q, args) when Asig.is_query sg q ->
+      (match List.rev args with st :: _ -> Some st | [] -> None)
+    | _ -> None
+  in
+  let rec query_apps acc (t : Aterm.t) =
+    match t with
+    | Aterm.App (q, args) when Asig.is_query sg q ->
+      List.fold_left query_apps (t :: acc) args
+    | Aterm.App (_, args) -> List.fold_left query_apps acc args
+    | Aterm.Exists (_, b) | Aterm.Forall (_, b) -> query_apps acc b
+    | Aterm.Var _ | Aterm.Val _ -> acc
+  in
+  List.concat_map
+    (fun (eq : Equation.t) ->
+      match lhs_state_arg eq with
+      | None -> []
+      | Some lhs_state ->
+        let apps = query_apps [] eq.Equation.cond @ query_apps [] eq.Equation.rhs in
+        List.filter_map
+          (fun app ->
+            match app with
+            | Aterm.App (_, args) ->
+              (match List.rev args with
+               | st :: _ ->
+                 let decreasing =
+                   Aterm.is_subterm st lhs_state && not (Aterm.equal st lhs_state)
+                 in
+                 if decreasing then None else Some (Non_decreasing (eq.Equation.eq_name, app))
+               | [] -> Some (Non_decreasing (eq.Equation.eq_name, app)))
+            | _ -> None)
+          apps)
+    spec.Spec.equations
+
+(** (iii) Ground probing: evaluate every query on every parameter tuple
+    for every trace of length [<= depth] over the spec's base domain.
+    Reports the first [max_failures] failures. *)
+let ground_issues ?(max_failures = 10) (spec : Spec.t) ~(depth : int) : issue list * int =
+  let sg = spec.Spec.signature in
+  let domain = spec.Spec.base_domain in
+  let traces =
+    List.concat_map
+      (fun d -> Trace.enumerate sg ~domain ~depth:d)
+      (List.init (depth + 1) Fun.id)
+  in
+  let checked = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun trace ->
+      List.iter
+        (fun (q : Asig.op) ->
+          let carriers = List.map (Domain.carrier domain) (Asig.param_args q) in
+          List.iter
+            (fun params ->
+              if List.length !failures < max_failures then begin
+                incr checked;
+                match
+                  Eval.query_on_trace ~domain spec ~q:q.Asig.oname ~params trace
+                with
+                | Ok _ -> ()
+                | Error e ->
+                  let args = List.map2 (fun v s -> Aterm.Val (v, s)) params (Asig.param_args q) in
+                  let t = Aterm.App (q.Asig.oname, args @ [ Trace.to_aterm sg trace ]) in
+                  failures := Ground_failure (t, e) :: !failures
+              end)
+            (Util.cartesian carriers))
+        sg.Asig.queries)
+    traces;
+  (List.rev !failures, !checked)
+
+(** Full sufficient-completeness check: coverage + termination +
+    ground probing to [depth]. *)
+let check ?(depth = 3) ?max_failures (spec : Spec.t) : report =
+  let cov, pairs = coverage_issues spec in
+  let term = termination_issues spec in
+  let ground, checked = ground_issues ?max_failures spec ~depth in
+  { issues = cov @ term @ ground; pairs_checked = pairs; ground_terms_checked = checked }
+
+let pp_report ppf (r : report) =
+  if is_complete r then
+    Fmt.pf ppf "sufficiently complete (%d query/update pairs, %d ground terms checked)"
+      r.pairs_checked r.ground_terms_checked
+  else
+    Fmt.pf ppf "@[<v>NOT sufficiently complete:@,%a@]"
+      Fmt.(list ~sep:cut pp_issue) r.issues

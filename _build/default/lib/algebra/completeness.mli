@@ -1,0 +1,44 @@
+(** Sufficient completeness of an algebraic specification (paper
+    Sections 4.1 and 4.4(a)): every ground query term can be proved
+    equal to a parameter name.
+
+    Checked in three parts: (i) coverage — every query/update pair has
+    an equation; (ii) termination — the paper's "simpler expression"
+    discipline, every query in a condition or right-hand side
+    interrogates a proper subterm of the state argument being defined;
+    (iii) ground probing — every query evaluable on every trace up to a
+    depth. *)
+
+type issue =
+  | Missing_pair of string * string
+      (** no equation defines this query over this update *)
+  | Non_decreasing of string * Aterm.t
+      (** the named equation applies a query to a state that is not a
+          proper subterm of the lhs state argument *)
+  | Ground_failure of Aterm.t * Eval.error
+      (** a ground query failed to evaluate *)
+
+val pp_issue : issue Fmt.t
+
+type report = {
+  issues : issue list;
+  pairs_checked : int;
+  ground_terms_checked : int;
+}
+
+val is_complete : report -> bool
+
+(** Coverage issues, plus the number of pairs examined. *)
+val coverage_issues : Spec.t -> issue list * int
+
+(** Violations of the decreasing-state discipline. *)
+val termination_issues : Spec.t -> issue list
+
+(** Ground probing to the given trace depth; reports at most
+    [max_failures] failures, plus the number of terms checked. *)
+val ground_issues : ?max_failures:int -> Spec.t -> depth:int -> issue list * int
+
+(** The full check: coverage + termination + probing. *)
+val check : ?depth:int -> ?max_failures:int -> Spec.t -> report
+
+val pp_report : report Fmt.t

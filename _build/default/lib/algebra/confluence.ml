@@ -1,0 +1,153 @@
+(** Critical-pair analysis of the conditional rewriting system.
+
+    The paper reads the equations as conditional term-rewriting rules
+    and relies on every ground query having one well-defined value. Two
+    rules whose left-hand sides overlap can threaten this: if both apply
+    to the same ground instance with their conditions true, their
+    right-hand sides must agree. Because equation left-hand sides are
+    flat — [q(p̄, u(p̄', U))] with variable arguments — overlaps occur
+    only at the root, between rules for the same query/update pair; this
+    module computes those {e conditional critical pairs} and decides
+    their joinability on bounded ground instances (complementing the
+    runtime conflict detection of the evaluator). *)
+
+module Aeval = Eval (* the sibling evaluator, before Fdbs_logic shadows it *)
+open Fdbs_kernel
+open Fdbs_logic
+
+type pair = {
+  cp_eq1 : string;
+  cp_eq2 : string;
+  cp_cond : Aterm.t;  (** conjunction of both instantiated conditions *)
+  cp_left : Aterm.t;  (** instantiated rhs of the first rule *)
+  cp_right : Aterm.t;  (** instantiated rhs of the second rule *)
+}
+
+let pp_pair ppf (p : pair) =
+  Fmt.pf ppf "@[%s vs %s: %a => %a =? %a@]" p.cp_eq1 p.cp_eq2 Aterm.pp p.cp_cond
+    Aterm.pp p.cp_left Aterm.pp p.cp_right
+
+(** All root overlaps between distinct rules (pairs are unordered). *)
+let critical_pairs (spec : Spec.t) : pair list =
+  let eqs = Array.of_list spec.Spec.equations in
+  let pairs = ref [] in
+  for i = 0 to Array.length eqs - 1 do
+    for j = i + 1 to Array.length eqs - 1 do
+      let e1 = eqs.(i) in
+      let e2 = eqs.(j) in
+      (* standardize apart *)
+      let l2 = Aterm.rename_vars "r_" e2.Equation.lhs in
+      match Aterm.unify e1.Equation.lhs l2 with
+      | None -> ()
+      | Some mgu ->
+        let inst t = Aterm.subst mgu t in
+        pairs :=
+          {
+            cp_eq1 = e1.Equation.eq_name;
+            cp_eq2 = e2.Equation.eq_name;
+            cp_cond =
+              Aterm.and_ (inst e1.Equation.cond)
+                (inst (Aterm.rename_vars "r_" e2.Equation.cond));
+            cp_left = inst e1.Equation.rhs;
+            cp_right = inst (Aterm.rename_vars "r_" e2.Equation.rhs);
+          }
+          :: !pairs
+    done
+  done;
+  List.rev !pairs
+
+type verdict =
+  | Joinable of int  (** instances where both conditions held and the sides agreed *)
+  | Vacuous  (** no bounded instance satisfies both conditions *)
+  | Diverging of (Term.var * Value.t) list * Trace.t list
+      (** a ground instance on which the sides disagree *)
+
+let pp_verdict ppf = function
+  | Joinable n -> Fmt.pf ppf "joinable (%d live instances)" n
+  | Vacuous -> Fmt.string ppf "vacuous (conditions never jointly satisfiable)"
+  | Diverging (rho, _) ->
+    Fmt.pf ppf "DIVERGING at [%a]"
+      Fmt.(list ~sep:(any ", ")
+             (fun ppf ((v : Term.var), value) ->
+               Fmt.pf ppf "%s=%a" v.Term.vname Value.pp value))
+      rho
+
+(** Decide a critical pair on ground instances: parameter variables
+    range over [domain] (default: the spec's base domain), state
+    variables over all traces of length [<= depth]. *)
+let check_pair ?domain ?(depth = 2) (spec : Spec.t) (p : pair) : (verdict, Aeval.error) result =
+  let sg = spec.Spec.signature in
+  let domain = match domain with Some d -> d | None -> spec.Spec.base_domain in
+  let vars =
+    Util.dedup ~eq:Term.var_equal
+      (Aterm.free_vars p.cp_cond @ Aterm.free_vars p.cp_left @ Aterm.free_vars p.cp_right)
+  in
+  let param_vars, state_vars =
+    List.partition (fun v -> not (Sort.is_state v.Term.vsort)) vars
+  in
+  let traces =
+    List.concat_map (fun d -> Trace.enumerate sg ~domain ~depth:d) (List.init (depth + 1) Fun.id)
+  in
+  let param_choices =
+    Util.cartesian (List.map (fun v -> Domain.carrier domain v.Term.vsort) param_vars)
+  in
+  let state_choices = Util.cartesian (List.map (fun _ -> traces) state_vars) in
+  let live = ref 0 in
+  let exception Found of (Term.var * Value.t) list * Trace.t list in
+  let exception Eval_err of Aeval.error in
+  match
+    List.iter
+      (fun param_values ->
+        let rho = Util.zip_exn param_vars param_values in
+        List.iter
+          (fun trace_values ->
+            let sigma = Util.zip_exn state_vars trace_values in
+            let sub =
+              List.map (fun (v, value) -> (v, Aterm.Val (value, v.Term.vsort))) rho
+              @ List.map (fun (v, tr) -> (v, Trace.to_aterm sg tr)) sigma
+            in
+            let eval t =
+              match Aeval.query ~domain spec (Aterm.subst sub t) with
+              | Ok v -> v
+              | Error e -> raise (Eval_err e)
+            in
+            match Value.to_bool (eval p.cp_cond) with
+            | Some true ->
+              incr live;
+              if not (Value.equal (eval p.cp_left) (eval p.cp_right)) then
+                raise (Found (rho, trace_values))
+            | Some false | None -> ())
+          state_choices)
+      param_choices
+  with
+  | () -> Ok (if !live = 0 then Vacuous else Joinable !live)
+  | exception Found (rho, traces) -> Ok (Diverging (rho, traces))
+  | exception Eval_err e -> Error e
+
+type report = {
+  pairs : (pair * verdict) list;
+  diverging : int;
+}
+
+(** Full analysis: compute all root critical pairs and decide each. *)
+let check ?domain ?depth (spec : Spec.t) : (report, Aeval.error) result =
+  let rec go acc diverging = function
+    | [] -> Ok { pairs = List.rev acc; diverging }
+    | p :: rest ->
+      (match check_pair ?domain ?depth spec p with
+       | Error e -> Error e
+       | Ok v ->
+         let diverging =
+           match v with Diverging _ -> diverging + 1 | Joinable _ | Vacuous -> diverging
+         in
+         go ((p, v) :: acc) diverging rest)
+  in
+  go [] 0 (critical_pairs spec)
+
+let is_confluent (r : report) = r.diverging = 0
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "@[<v>%d critical pairs, %d diverging@,%a@]" (List.length r.pairs)
+    r.diverging
+    Fmt.(list ~sep:cut (fun ppf (p, v) -> Fmt.pf ppf "%a: %a" pp_pair p pp_verdict v))
+    (List.filter (fun (_, v) -> match v with Diverging _ -> true | _ -> false) r.pairs)

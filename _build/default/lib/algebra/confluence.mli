@@ -1,0 +1,52 @@
+(** Critical-pair analysis of the conditional rewriting system.
+
+    Two rules whose left-hand sides overlap can threaten the
+    well-definedness of query values: if both apply to one ground
+    instance with their conditions true, their right-hand sides must
+    agree. Equation left-hand sides are flat, so overlaps occur only at
+    the root; this module computes those {e conditional critical pairs}
+    and decides their joinability on bounded ground instances
+    (complementing the runtime conflict detection of the evaluator). *)
+
+module Aeval = Eval (* the sibling evaluator, before Fdbs_logic shadows it *)
+open Fdbs_kernel
+open Fdbs_logic
+
+type pair = {
+  cp_eq1 : string;
+  cp_eq2 : string;
+  cp_cond : Aterm.t;  (** conjunction of both instantiated conditions *)
+  cp_left : Aterm.t;  (** instantiated rhs of the first rule *)
+  cp_right : Aterm.t;  (** instantiated rhs of the second rule *)
+}
+
+val pp_pair : pair Fmt.t
+
+(** All root overlaps between distinct rules (unordered pairs). *)
+val critical_pairs : Spec.t -> pair list
+
+type verdict =
+  | Joinable of int
+      (** instances where both conditions held and the sides agreed *)
+  | Vacuous  (** no bounded instance satisfies both conditions *)
+  | Diverging of (Term.var * Value.t) list * Trace.t list
+      (** a ground instance on which the sides disagree *)
+
+val pp_verdict : verdict Fmt.t
+
+(** Decide a critical pair on ground instances: parameter variables
+    range over [domain] (default: the spec's base domain), state
+    variables over all traces of length up to [depth]. *)
+val check_pair :
+  ?domain:Domain.t -> ?depth:int -> Spec.t -> pair -> (verdict, Aeval.error) result
+
+type report = {
+  pairs : (pair * verdict) list;
+  diverging : int;
+}
+
+(** Full analysis: compute all root critical pairs and decide each. *)
+val check : ?domain:Domain.t -> ?depth:int -> Spec.t -> (report, Aeval.error) result
+
+val is_confluent : report -> bool
+val pp_report : report Fmt.t

@@ -1,0 +1,152 @@
+(** Constructive derivation of conditional equations from structured
+    descriptions (paper Section 4.2).
+
+    For every query [q] and every update [u] with description [d], the
+    method emits:
+
+    - for each effect [q(ā, ·) := w] of [d]: if the pre-condition is
+      trivial, the equation [q(ā, u(p̄,U)) = w]; otherwise the pair
+      [pre => q(ā, u(p̄,U)) = w] and [~pre => q(ā, u(p̄,U)) = q(ā, U)]
+      ("if the pre-condition holds we have the intended effect,
+      otherwise the value remains unchanged");
+    - a frame equation on fresh variables x̄,
+      [(x̄ ≠ ā for every effect) => q(x̄, u(p̄,U)) = q(x̄, U)],
+      capturing the not-affected part of the description.
+
+    The equations are correct with respect to the description by
+    construction; sufficient completeness is verified afterwards
+    ({!Completeness.check}). *)
+
+open Fdbs_logic
+
+let ( let* ) = Result.bind
+
+(* Fresh frame variables x1..xk of the query's parameter sorts, avoiding
+   the description's parameter names. *)
+let frame_vars (taken : string list) (sorts : Fdbs_kernel.Sort.t list) : Term.var list =
+  List.mapi
+    (fun i srt ->
+      let rec pick n =
+        let name = Fmt.str "x%d%s" (i + 1) (String.concat "" (List.init n (fun _ -> "'"))) in
+        if List.mem name taken then pick (n + 1) else name
+      in
+      { Term.vname = pick 0; vsort = srt })
+    sorts
+
+(* Is this effect argument a wildcard (a variable that is not one of the
+   update's formal parameters)? Wildcards match any tuple component. *)
+let is_wildcard (params : Term.var list) = function
+  | Aterm.Var v -> not (List.exists (Term.var_equal v) params)
+  | Aterm.App _ | Aterm.Val _ | Aterm.Exists _ | Aterm.Forall _ -> false
+
+(* Equations for query [q] over the update described by [d]. *)
+let equations_for_query (sg : Asig.t) (d : Sdesc.t) (q : Asig.op) :
+  (Equation.t list, string) result =
+  let u_op =
+    match Asig.find_update sg d.Sdesc.sd_update with
+    | Some o -> o
+    | None -> invalid_arg "Derive: unknown update"
+  in
+  let is_initializer = not (List.exists Fdbs_kernel.Sort.is_state u_op.Asig.oargs) in
+  let params = d.Sdesc.sd_params in
+  let param_terms = List.map (fun v -> Aterm.Var v) params in
+  let state_var = Sdesc.state_var in
+  let new_state =
+    if is_initializer then Aterm.App (d.Sdesc.sd_update, param_terms)
+    else Aterm.App (d.Sdesc.sd_update, param_terms @ [ Aterm.Var state_var ])
+  in
+  let effects =
+    List.filter (fun e -> e.Sdesc.eff_query = q.Asig.oname) d.Sdesc.sd_effects
+  in
+  let trivial_pre = Aterm.equal d.Sdesc.sd_pre Aterm.tru in
+  let* () =
+    if is_initializer && not trivial_pre then
+      Error (Fmt.str "initializer %s cannot have a pre-condition" d.Sdesc.sd_update)
+    else Ok ()
+  in
+  (* Effect equations. *)
+  let effect_eqs =
+    List.concat
+      (List.mapi
+         (fun i (e : Sdesc.effect_) ->
+           let lhs = Aterm.App (q.Asig.oname, e.Sdesc.eff_args @ [ new_state ]) in
+           let base = Fmt.str "%s_%s_eff%d" d.Sdesc.sd_update q.Asig.oname (i + 1) in
+           if trivial_pre then [ Equation.make base lhs e.Sdesc.eff_value ]
+           else
+             let unchanged =
+               Aterm.App (q.Asig.oname, e.Sdesc.eff_args @ [ Aterm.Var state_var ])
+             in
+             [ Equation.make ~cond:d.Sdesc.sd_pre base lhs e.Sdesc.eff_value;
+               Equation.make ~cond:(Aterm.not_ d.Sdesc.sd_pre) (base ^ "_nop") lhs unchanged
+             ])
+         effects)
+  in
+  (* Frame equation: applies to tuples different from every effect's
+     non-wildcard argument pattern. *)
+  let frame_eq =
+    if is_initializer then
+      (* An initializer determines all queries through its effects; there
+         is no previous state to fall back on. *)
+      []
+    else begin
+      let xs = frame_vars (List.map (fun v -> v.Term.vname) params) (Asig.param_args q) in
+      let x_terms = List.map (fun v -> Aterm.Var v) xs in
+      let diseq_for_effect (e : Sdesc.effect_) : Aterm.t option =
+        let diseqs =
+          List.concat
+            (List.map2
+               (fun x a -> if is_wildcard params a then [] else [ Aterm.neq x a ])
+               x_terms e.Sdesc.eff_args)
+        in
+        match diseqs with
+        | [] -> None (* effect covers every tuple: no frame instance exists *)
+        | ds -> Some (Aterm.disj ds)
+      in
+      let conds = List.map diseq_for_effect effects in
+      if List.exists Option.is_none conds then []
+      else
+        let cond = Aterm.conj (List.filter_map Fun.id conds) in
+        let lhs = Aterm.App (q.Asig.oname, x_terms @ [ new_state ]) in
+        let rhs = Aterm.App (q.Asig.oname, x_terms @ [ Aterm.Var state_var ]) in
+        let name = Fmt.str "%s_%s_frame" d.Sdesc.sd_update q.Asig.oname in
+        [ Equation.make ~cond name lhs rhs ]
+    end
+  in
+  Ok (effect_eqs @ frame_eq)
+
+(** Derive the full equation set from one description per update.
+    Returns an error if an update lacks a description, a description is
+    ill-formed, or an initializer leaves some query undetermined. *)
+let equations (sg : Asig.t) (descriptions : Sdesc.t list) :
+  (Equation.t list, string) result =
+  let* () =
+    let described = List.map (fun d -> d.Sdesc.sd_update) descriptions in
+    match
+      List.find_opt
+        (fun (u : Asig.op) -> not (List.mem u.Asig.oname described))
+        sg.Asig.updates
+    with
+    | Some u -> Error (Fmt.str "update %s has no structured description" u.Asig.oname)
+    | None -> Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc d ->
+        let* () = acc in
+        Sdesc.check sg d)
+      (Ok ()) descriptions
+  in
+  let* per_desc =
+    Fdbs_kernel.Util.result_all
+      (List.map
+         (fun d ->
+           Fdbs_kernel.Util.result_all
+             (List.map (fun q -> equations_for_query sg d q) sg.Asig.queries))
+         descriptions)
+  in
+  Ok (List.concat (List.concat per_desc))
+
+let equations_exn sg descriptions =
+  match equations sg descriptions with
+  | Ok eqs -> eqs
+  | Error e -> invalid_arg ("Derive.equations_exn: " ^ e)

@@ -1,0 +1,18 @@
+(** Constructive derivation of conditional equations from structured
+    descriptions (paper Section 4.2).
+
+    For every query [q] and every update [u] with description [d], the
+    method emits: for each effect, the equation giving the intended
+    value — guarded by the pre-condition, with a no-change twin for the
+    [~pre] case when the pre-condition is nontrivial; and a frame
+    equation on fresh variables capturing the not-affected part. The
+    equations are correct with respect to the description by
+    construction; sufficient completeness is verified afterwards
+    ({!Completeness.check}). *)
+
+(** Derive the full equation set from one description per update.
+    Errors if an update lacks a description, a description is
+    ill-formed, or an initializer carries a pre-condition. *)
+val equations : Asig.t -> Sdesc.t list -> (Equation.t list, string) result
+
+val equations_exn : Asig.t -> Sdesc.t list -> Equation.t list

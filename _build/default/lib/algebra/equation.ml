@@ -1,0 +1,70 @@
+(** Conditional equations [P => t = t'] (paper Section 4.1).
+
+    If both sides have sort [state] the axiom is a {e U-equation};
+    otherwise it is a {e Q-equation}. Following the paper we read each
+    equation as a conditional term-rewriting rule: [t'] is "simpler"
+    than [t] and rewriting replaces instances of [t] by [t']. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+type t = {
+  eq_name : string;
+  cond : Aterm.t;  (** Boolean; [Aterm.tru] when unconditional *)
+  lhs : Aterm.t;
+  rhs : Aterm.t;
+}
+
+let make ?(cond = Aterm.tru) name lhs rhs = { eq_name = name; cond; lhs; rhs }
+
+type kind = U_equation | Q_equation
+
+let kind (sg : Asig.t) (eq : t) : kind =
+  match Atyping.sort_of sg eq.lhs with
+  | Ok s when Sort.is_state s -> U_equation
+  | Ok _ | Error _ -> Q_equation
+
+(** Sort-check an equation: condition Boolean, sides of equal sort,
+    conditions free of state-sorted quantification, and the paper's
+    rewriting shape on the left-hand side: [q(params, u(params', U))]
+    or [q(params, init)] with [q] a query and [u] an update. *)
+let check (sg : Asig.t) (eq : t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let* () = Atyping.check_bool sg eq.cond in
+  let* ls = Atyping.sort_of sg eq.lhs in
+  let* rs = Atyping.sort_of sg eq.rhs in
+  if not (Sort.equal ls rs) then
+    Error (Fmt.str "equation %s equates sorts %s and %s" eq.eq_name ls rs)
+  else
+    (* Variables free in cond/rhs must occur in the lhs, so that a match
+       of the lhs determines the whole instance. *)
+    let lhs_vars = Aterm.free_vars eq.lhs in
+    let escaped =
+      List.filter
+        (fun v -> not (List.exists (Term.var_equal v) lhs_vars))
+        (Aterm.free_vars eq.cond @ Aterm.free_vars eq.rhs)
+    in
+    match escaped with
+    | v :: _ ->
+      Error
+        (Fmt.str "equation %s: variable %s occurs in the condition or rhs but not in the lhs"
+           eq.eq_name v.Term.vname)
+    | [] -> Ok ()
+
+(** The head structure of a Q-equation's lhs: the query symbol and the
+    head symbol of its state argument (an update or initializer), used
+    for coverage analysis. *)
+let head_pair (sg : Asig.t) (eq : t) : (string * string) option =
+  match eq.lhs with
+  | Aterm.App (q, args) when Asig.is_query sg q ->
+    (match List.rev args with
+     | Aterm.App (u, _) :: _ when Asig.is_update sg u -> Some (q, u)
+     | _ -> None)
+  | _ -> None
+
+let pp ppf (eq : t) =
+  if Aterm.equal eq.cond Aterm.tru then
+    Fmt.pf ppf "@[%s: %a = %a@]" eq.eq_name Aterm.pp eq.lhs Aterm.pp eq.rhs
+  else
+    Fmt.pf ppf "@[%s: %a => %a = %a@]" eq.eq_name Aterm.pp eq.cond Aterm.pp eq.lhs
+      Aterm.pp eq.rhs

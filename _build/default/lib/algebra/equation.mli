@@ -1,0 +1,31 @@
+(** Conditional equations [P => t = t'] (paper Section 4.1).
+
+    If both sides have sort [state] the axiom is a {e U-equation};
+    otherwise it is a {e Q-equation}. Following the paper, each equation
+    is read as a conditional term-rewriting rule: [t'] is "simpler" than
+    [t] and rewriting replaces instances of [t] by [t']. *)
+
+type t = {
+  eq_name : string;
+  cond : Aterm.t;  (** Boolean; [Aterm.tru] when unconditional *)
+  lhs : Aterm.t;
+  rhs : Aterm.t;
+}
+
+val make : ?cond:Aterm.t -> string -> Aterm.t -> Aterm.t -> t
+
+type kind = U_equation | Q_equation
+
+val kind : Asig.t -> t -> kind
+
+(** Sort-check an equation: condition Boolean, sides of equal sort, and
+    every variable free in the condition or right-hand side occurring in
+    the left-hand side (so a match determines the instance). *)
+val check : Asig.t -> t -> (unit, string) result
+
+(** The head structure of a Q-equation's lhs: the query symbol and the
+    head symbol of its state argument (an update or initializer), used
+    for coverage analysis. *)
+val head_pair : Asig.t -> t -> (string * string) option
+
+val pp : t Fmt.t

@@ -1,0 +1,75 @@
+(** Ground query evaluation by conditional term rewriting (paper
+    Section 4.2): to answer [q(p̄, t)] for a ground state term [t], find
+    the conditional equations whose left-hand side matches, check their
+    conditions (recursively evaluating queries), and rewrite to the
+    right-hand side — which, by the "simpler expression" discipline,
+    interrogates an earlier state of the trace.
+
+    Quantified conditions enumerate the evaluation domain: the
+    specification's parameter names joined with the active domain of
+    the term under evaluation. *)
+
+open Fdbs_kernel
+
+type error =
+  | No_applicable_equation of Aterm.t
+      (** no equation's lhs+condition covers this ground query *)
+  | Conflicting_equations of Aterm.t * string list
+      (** distinct applicable equations produced distinct values *)
+  | Fuel_exhausted
+      (** rewriting did not terminate within the step budget *)
+  | Ill_formed of string
+
+val pp_error : error Fmt.t
+
+exception Error of error
+
+val default_fuel : int
+
+(** Evaluation domain for a ground term: base domain of the spec joined
+    with the term's active domain. *)
+val evaluation_domain : Spec.t -> Aterm.t -> Domain.t
+
+(** Evaluate a ground non-state term to a value. [domain] supplies the
+    quantifier ranges (defaults to {!evaluation_domain}); [fuel] bounds
+    the number of query unfoldings; [on_step] observes each successful
+    query rewrite (target, equation name, value). *)
+val query :
+  ?fuel:int ->
+  ?domain:Domain.t ->
+  ?on_step:(Aterm.t -> string -> Value.t -> unit) ->
+  Spec.t ->
+  Aterm.t ->
+  (Value.t, error) result
+
+val query_exn : ?fuel:int -> ?domain:Domain.t -> Spec.t -> Aterm.t -> Value.t
+
+(** One rewriting step of a derivation: the ground query [step_target]
+    was answered [step_value] through equation [step_via]. *)
+type step = {
+  step_target : Aterm.t;
+  step_via : string;
+  step_value : Value.t;
+}
+
+val pp_step : step Fmt.t
+
+(** Evaluate and return the derivation: every query rewrite performed,
+    innermost first. *)
+val explain :
+  ?fuel:int -> ?domain:Domain.t -> Spec.t -> Aterm.t ->
+  (Value.t * step list, error) result
+
+(** Evaluate query symbol [q] on parameter values [params] in the state
+    denoted by [trace]. *)
+val query_on_trace :
+  ?fuel:int ->
+  ?domain:Domain.t ->
+  Spec.t ->
+  q:string ->
+  params:Value.t list ->
+  Trace.t ->
+  (Value.t, error) result
+
+(** Evaluate a Boolean ground term to an OCaml bool. *)
+val holds : ?fuel:int -> ?domain:Domain.t -> Spec.t -> Aterm.t -> (bool, error) result

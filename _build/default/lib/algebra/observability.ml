@@ -1,0 +1,83 @@
+(** The observability condition (paper Section 4.1): L2 must be rich
+    enough in queries that states are identified by their simple
+    observations — if every simple observation agrees on s and s', then
+    s = s'.
+
+    The reachable quotient graph is built from full observation tables,
+    so distinct nodes are distinguished by construction; the interesting
+    analysis is the {e ablation}: which subsets of the query repertoire
+    still suffice to identify every state? Dropping a load-bearing
+    query collapses the quotient and silently merges inequivalent
+    states — exactly what the paper's condition guards against. *)
+
+(** Number of distinct states when only the observations of [queries]
+    are kept. Equal to the graph's node count iff [queries] suffices to
+    identify every state. *)
+let quotient_size (g : Reach.graph) ~(queries : string list) : int =
+  let restrict (n : Reach.node) =
+    List.filter
+      (fun (o : Observe.observation) -> List.mem o.Observe.obs_query queries)
+      n.Reach.obs
+  in
+  let keys = Hashtbl.create 64 in
+  Array.iter
+    (fun n ->
+      let key =
+        Fmt.str "%a" Fmt.(list ~sep:(any "|") Observe.pp_observation) (restrict n)
+      in
+      Hashtbl.replace keys key ())
+    g.Reach.nodes;
+  Hashtbl.length keys
+
+(** Does the full query set satisfy the observability condition over
+    this graph? True by construction of {!Reach.explore}, kept as an
+    executable sanity check. *)
+let observable (g : Reach.graph) : bool =
+  let all_queries =
+    Array.to_list g.Reach.nodes
+    |> List.concat_map (fun (n : Reach.node) ->
+           List.map (fun (o : Observe.observation) -> o.Observe.obs_query) n.Reach.obs)
+    |> List.sort_uniq compare
+  in
+  quotient_size g ~queries:all_queries = Array.length g.Reach.nodes
+
+(** For each query, the quotient size after dropping it: queries whose
+    removal shrinks the quotient are load-bearing for observability. *)
+let ablation (spec : Spec.t) (g : Reach.graph) : (string * int) list =
+  let queries =
+    List.map (fun (q : Asig.op) -> q.Asig.oname) spec.Spec.signature.Asig.queries
+  in
+  List.map
+    (fun q ->
+      let kept = List.filter (( <> ) q) queries in
+      (q, quotient_size g ~queries:kept))
+    queries
+
+(** All minimal subsets of the query repertoire that still identify
+    every state (exponential in the number of queries; repertoires are
+    small). *)
+let minimal_sufficient_sets (spec : Spec.t) (g : Reach.graph) : string list list =
+  let queries =
+    List.map (fun (q : Asig.op) -> q.Asig.oname) spec.Spec.signature.Asig.queries
+  in
+  let n = Array.length g.Reach.nodes in
+  let rec subsets = function
+    | [] -> [ [] ]
+    | q :: rest ->
+      let smaller = subsets rest in
+      smaller @ List.map (fun s -> q :: s) smaller
+  in
+  let sufficient = List.filter (fun s -> quotient_size g ~queries:s = n) (subsets queries) in
+  List.filter
+    (fun s ->
+      not
+        (List.exists
+           (fun s' ->
+             List.length s' < List.length s && List.for_all (fun q -> List.mem q s) s')
+           sufficient))
+    sufficient
+
+let pp_ablation ppf (rows : (string * int) list) =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(list ~sep:cut (fun ppf (q, n) -> Fmt.pf ppf "without %-10s -> %d states" q n))
+    rows

@@ -1,0 +1,27 @@
+(** The observability condition (paper Section 4.1): L2 must be rich
+    enough in queries that states are identified by their simple
+    observations.
+
+    The reachable quotient graph is built from full observation tables,
+    so distinct nodes are distinguished by construction; the analyses
+    here answer the {e ablation} question — which subsets of the query
+    repertoire still suffice to identify every state? *)
+
+(** Number of distinct states when only the observations of [queries]
+    are kept; equal to the graph's node count iff [queries] identifies
+    every state. *)
+val quotient_size : Reach.graph -> queries:string list -> int
+
+(** Does the full query set satisfy the observability condition over
+    this graph? *)
+val observable : Reach.graph -> bool
+
+(** For each query, the quotient size after dropping it: queries whose
+    removal shrinks the quotient are load-bearing. *)
+val ablation : Spec.t -> Reach.graph -> (string * int) list
+
+(** All minimal subsets of the query repertoire that still identify
+    every state (exponential in the number of queries). *)
+val minimal_sufficient_sets : Spec.t -> Reach.graph -> string list list
+
+val pp_ablation : (string * int) list Fmt.t

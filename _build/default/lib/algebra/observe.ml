@@ -1,0 +1,84 @@
+(** Simple observations and observational equivalence (paper Section
+    4.1: L2 is rich enough in queries that states are identified by
+    their simple observations — the {e observability} condition). *)
+
+open Fdbs_kernel
+
+type observation = {
+  obs_query : string;
+  obs_params : Value.t list;
+  obs_result : Value.t;
+}
+
+let pp_observation ppf o =
+  Fmt.pf ppf "%s(%a) = %a" o.obs_query
+    Fmt.(list ~sep:(any ", ") Value.pp) o.obs_params Value.pp o.obs_result
+
+(** All simple observations of the state denoted by [trace], for every
+    query and every tuple of parameter values from [domain] (defaults to
+    the spec's base domain joined with the trace's active domain). *)
+let observations ?(domain : Domain.t option) (spec : Spec.t) (trace : Trace.t) :
+  (observation list, Eval.error) result =
+  let sg = spec.Spec.signature in
+  let domain =
+    match domain with
+    | Some d -> d
+    | None -> Domain.union spec.Spec.base_domain (Trace.active_domain sg trace)
+  in
+  let observe_query (o : Asig.op) =
+    let carriers = List.map (Domain.carrier domain) (Asig.param_args o) in
+    List.map
+      (fun params ->
+        match Eval.query_on_trace ~domain spec ~q:o.Asig.oname ~params trace with
+        | Ok v -> Ok { obs_query = o.Asig.oname; obs_params = params; obs_result = v }
+        | Error e -> Error e)
+      (Util.cartesian carriers)
+  in
+  Util.result_all (List.concat_map observe_query sg.Asig.queries)
+
+let observations_exn ?domain spec trace =
+  match observations ?domain spec trace with
+  | Ok obs -> obs
+  | Error e -> invalid_arg (Fmt.str "Observe.observations_exn: %a" Eval.pp_error e)
+
+let equal_observations (a : observation list) (b : observation list) =
+  let eq o1 o2 =
+    o1.obs_query = o2.obs_query
+    && List.equal Value.equal o1.obs_params o2.obs_params
+    && Value.equal o1.obs_result o2.obs_result
+  in
+  List.length a = List.length b && List.for_all2 eq a b
+
+(** Observational equivalence of two states: equal results for every
+    simple observation over the union of both active domains and the
+    base domain. Raises on evaluation failure. *)
+let equiv ?domain (spec : Spec.t) (t1 : Trace.t) (t2 : Trace.t) : bool =
+  let sg = spec.Spec.signature in
+  let domain =
+    match domain with
+    | Some d -> d
+    | None ->
+      Domain.union spec.Spec.base_domain
+        (Domain.union (Trace.active_domain sg t1) (Trace.active_domain sg t2))
+  in
+  equal_observations
+    (observations_exn ~domain spec t1)
+    (observations_exn ~domain spec t2)
+
+(** The observations that distinguish two states (empty iff equivalent
+    over the given domain). *)
+let distinguishing ?domain (spec : Spec.t) (t1 : Trace.t) (t2 : Trace.t) :
+  (observation * observation) list =
+  let sg = spec.Spec.signature in
+  let domain =
+    match domain with
+    | Some d -> d
+    | None ->
+      Domain.union spec.Spec.base_domain
+        (Domain.union (Trace.active_domain sg t1) (Trace.active_domain sg t2))
+  in
+  let o1 = observations_exn ~domain spec t1 in
+  let o2 = observations_exn ~domain spec t2 in
+  List.filter
+    (fun (a, b) -> not (Value.equal a.obs_result b.obs_result))
+    (Util.zip_exn o1 o2)

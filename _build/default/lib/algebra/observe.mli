@@ -1,0 +1,34 @@
+(** Simple observations and observational equivalence (paper Section
+    4.1: L2 is rich enough in queries that states are identified by
+    their simple observations — the {e observability} condition). *)
+
+open Fdbs_kernel
+
+type observation = {
+  obs_query : string;
+  obs_params : Value.t list;
+  obs_result : Value.t;
+}
+
+val pp_observation : observation Fmt.t
+
+(** All simple observations of the state denoted by [trace], for every
+    query and every tuple of parameter values from [domain] (defaults
+    to the spec's base domain joined with the trace's active domain).
+    Observations come in a fixed (query, tuple) order. *)
+val observations :
+  ?domain:Domain.t -> Spec.t -> Trace.t -> (observation list, Eval.error) result
+
+val observations_exn : ?domain:Domain.t -> Spec.t -> Trace.t -> observation list
+
+val equal_observations : observation list -> observation list -> bool
+
+(** Observational equivalence of two states: equal results for every
+    simple observation over the union of both active domains and the
+    base domain. Raises on evaluation failure. *)
+val equiv : ?domain:Domain.t -> Spec.t -> Trace.t -> Trace.t -> bool
+
+(** The observation pairs that distinguish two states (empty iff
+    equivalent over the given domain). *)
+val distinguishing :
+  ?domain:Domain.t -> Spec.t -> Trace.t -> Trace.t -> (observation * observation) list

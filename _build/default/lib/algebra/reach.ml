@@ -1,0 +1,120 @@
+(** Reachable-state exploration (paper Section 4.4: the set G of
+    reachable states is the least set containing [initiate] and closed
+    under the update functions).
+
+    States are explored as traces over a fixed parameter domain and
+    deduplicated by their simple observations, so the result is a finite
+    quotient transition graph — the concrete universe the refinement
+    checks and the temporal level operate on. *)
+
+open Fdbs_kernel
+
+type node = {
+  trace : Trace.t;  (** a representative trace denoting this state *)
+  obs : Observe.observation list;  (** its simple observations over the domain *)
+}
+
+type edge = {
+  src : int;
+  update : string;
+  args : Value.t list;
+  dst : int;
+}
+
+type graph = {
+  nodes : node array;
+  edges : edge list;
+  domain : Domain.t;  (** the exploration domain *)
+  truncated : bool;  (** true if [limit] stopped the exploration *)
+}
+
+(* A canonical key for a state's observation table. Observations are
+   produced in a fixed (query, tuple) order, so the rendered string is
+   canonical. *)
+let obs_key (obs : Observe.observation list) : string =
+  Fmt.str "%a" Fmt.(list ~sep:(any "|") Observe.pp_observation) obs
+
+(** Explore the reachable quotient graph up to [limit] distinct states
+    (distinct = differing in some observation over [domain]). [domain]
+    defaults to the spec's base domain. *)
+let explore ?(limit = 10_000) ?domain (spec : Spec.t) : (graph, Eval.error) result =
+  let sg = spec.Spec.signature in
+  let domain = match domain with Some d -> d | None -> spec.Spec.base_domain in
+  let exception Stop of Eval.error in
+  try
+    let index : (string, int) Hashtbl.t = Hashtbl.create 256 in
+    let rev_nodes : node list ref = ref [] in
+    let count = ref 0 in
+    let edges : edge list ref = ref [] in
+    let truncated = ref false in
+    let observe trace =
+      match Observe.observations ~domain spec trace with
+      | Ok obs -> obs
+      | Error e -> raise (Stop e)
+    in
+    let add trace obs key =
+      let i = !count in
+      rev_nodes := { trace; obs } :: !rev_nodes;
+      incr count;
+      Hashtbl.add index key i;
+      i
+    in
+    let successors trace =
+      List.concat_map
+        (fun (o : Asig.op) ->
+          let carriers = List.map (Domain.carrier domain) (Asig.param_args o) in
+          List.map
+            (fun params ->
+              (o.Asig.oname, params, Trace.Apply (o.Asig.oname, params, trace)))
+            (Util.cartesian carriers))
+        (Asig.transformers sg)
+    in
+    let queue = Queue.create () in
+    List.iter
+      (fun (o : Asig.op) ->
+        let trace = Trace.Init o.Asig.oname in
+        let obs = observe trace in
+        let key = obs_key obs in
+        if not (Hashtbl.mem index key) then Queue.add (add trace obs key, trace) queue)
+      (Asig.initializers sg);
+    while not (Queue.is_empty queue) do
+      let i, trace = Queue.pop queue in
+      List.iter
+        (fun (u, params, trace') ->
+          let obs' = observe trace' in
+          let key = obs_key obs' in
+          match Hashtbl.find_opt index key with
+          | Some j -> edges := { src = i; update = u; args = params; dst = j } :: !edges
+          | None ->
+            if !count >= limit then truncated := true
+            else begin
+              let j = add trace' obs' key in
+              edges := { src = i; update = u; args = params; dst = j } :: !edges;
+              Queue.add (j, trace') queue
+            end)
+        (successors trace)
+    done;
+    Ok
+      {
+        nodes = Array.of_list (List.rev !rev_nodes);
+        edges = List.rev !edges;
+        domain;
+        truncated = !truncated;
+      }
+  with Stop e -> Error e
+
+let explore_exn ?limit ?domain spec =
+  match explore ?limit ?domain spec with
+  | Ok g -> g
+  | Error e -> invalid_arg (Fmt.str "Reach.explore_exn: %a" Eval.pp_error e)
+
+(** Successor state indices of node [i]. *)
+let successors (g : graph) i =
+  List.filter_map (fun e -> if e.src = i then Some e.dst else None) g.edges
+  |> List.sort_uniq compare
+
+let num_states (g : graph) = Array.length g.nodes
+
+let pp_stats ppf (g : graph) =
+  Fmt.pf ppf "%d states, %d transitions%s" (num_states g) (List.length g.edges)
+    (if g.truncated then " (truncated)" else "")

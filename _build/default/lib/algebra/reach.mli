@@ -1,0 +1,42 @@
+(** Reachable-state exploration (paper Section 4.4: the set G of
+    reachable states is the least set containing [initiate] and closed
+    under the update functions).
+
+    States are explored as traces over a fixed parameter domain and
+    deduplicated by their simple observations, so the result is a finite
+    quotient transition graph — the concrete universe the refinement
+    checks and the temporal level operate on. *)
+
+open Fdbs_kernel
+
+type node = {
+  trace : Trace.t;  (** a representative trace denoting this state *)
+  obs : Observe.observation list;  (** its simple observations over the domain *)
+}
+
+type edge = {
+  src : int;
+  update : string;
+  args : Value.t list;
+  dst : int;
+}
+
+type graph = {
+  nodes : node array;
+  edges : edge list;
+  domain : Domain.t;  (** the exploration domain *)
+  truncated : bool;  (** true if [limit] stopped the exploration *)
+}
+
+(** Explore the reachable quotient graph up to [limit] distinct states
+    (distinct = differing in some observation over [domain], which
+    defaults to the spec's base domain). *)
+val explore : ?limit:int -> ?domain:Domain.t -> Spec.t -> (graph, Eval.error) result
+
+val explore_exn : ?limit:int -> ?domain:Domain.t -> Spec.t -> graph
+
+(** Successor state indices of a node. *)
+val successors : graph -> int -> int list
+
+val num_states : graph -> int
+val pp_stats : graph Fmt.t

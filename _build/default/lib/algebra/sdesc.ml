@@ -1,0 +1,89 @@
+(** Structured descriptions of update functions (paper Section 4.2):
+    intended effects, pre-conditions for state change, side-effects, and
+    the convention that all other simple observations are not affected.
+
+    From these, {!Derive} constructs conditional equations that are
+    correct with respect to the description by construction. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+(** One intended effect or side-effect: the simple observation
+    [query(args, ·)] takes value [value] in the new state. [args] are
+    terms over the update's formal parameters (or wildcard variables);
+    [value] is a Boolean/parameter expression over the parameters and
+    the old state {!state_var}. *)
+type effect_ = {
+  eff_query : string;
+  eff_args : Aterm.t list;
+  eff_value : Aterm.t;
+}
+
+type t = {
+  sd_update : string;  (** the update being described *)
+  sd_params : Term.var list;  (** formal parameters (excluding the state) *)
+  sd_pre : Aterm.t;  (** pre-condition for state change, over params and {!state_var} *)
+  sd_effects : effect_ list;  (** intended effects and side-effects *)
+  sd_comment : string;
+}
+
+(** The conventional old-state variable [U] used in descriptions. *)
+let state_var : Term.var = { Term.vname = "U"; vsort = Sort.state }
+
+let effect_ query args value = { eff_query = query; eff_args = args; eff_value = value }
+
+let make ?(pre = Aterm.tru) ?(comment = "") ~update ~params ~effects () =
+  { sd_update = update; sd_params = params; sd_pre = pre; sd_effects = effects; sd_comment = comment }
+
+(** Sanity-check a description against a signature: the update exists,
+    parameter arities/sorts line up, effect queries exist and each
+    effect's argument list matches the query's parameter sorts. *)
+let check (sg : Asig.t) (d : t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  match Asig.find_update sg d.sd_update with
+  | None -> Error (Fmt.str "unknown update %s" d.sd_update)
+  | Some u ->
+    let expected = Asig.param_args u in
+    let actual = List.map (fun v -> v.Term.vsort) d.sd_params in
+    if not (List.equal Sort.equal expected actual) then
+      Error (Fmt.str "description of %s: parameter sorts mismatch" d.sd_update)
+    else
+      let rec check_effects = function
+        | [] -> Ok ()
+        | e :: rest ->
+          (match Asig.find_query sg e.eff_query with
+           | None -> Error (Fmt.str "effect on unknown query %s" e.eff_query)
+           | Some q ->
+             let sorts = Asig.param_args q in
+             if List.length sorts <> List.length e.eff_args then
+               Error (Fmt.str "effect on %s: argument arity mismatch" e.eff_query)
+             else
+               let* () =
+                 List.fold_left2
+                   (fun acc arg srt ->
+                     let* () = acc in
+                     match Atyping.sort_of sg arg with
+                     | Ok s when Sort.equal s srt -> Ok ()
+                     | Ok s ->
+                       Error (Fmt.str "effect on %s: argument of sort %s where %s expected"
+                                e.eff_query s srt)
+                     | Error m -> Error m)
+                   (Ok ()) e.eff_args sorts
+               in
+               check_effects rest)
+      in
+      check_effects d.sd_effects
+
+let pp ppf (d : t) =
+  let pp_eff ppf e =
+    Fmt.pf ppf "%s(%a) := %a" e.eff_query
+      Fmt.(list ~sep:(any ", ") Aterm.pp) e.eff_args Aterm.pp e.eff_value
+  in
+  Fmt.pf ppf
+    "@[<v>update %s(%a)%s@,pre-condition: %a@,effects:@,  %a@,not-affected: all other queries@]"
+    d.sd_update
+    Fmt.(list ~sep:(any ", ") (fun ppf v -> Fmt.pf ppf "%s:%s" v.Term.vname v.Term.vsort))
+    d.sd_params
+    (if d.sd_comment = "" then "" else "  # " ^ d.sd_comment)
+    Aterm.pp d.sd_pre
+    Fmt.(list ~sep:(any "@,  ") pp_eff) d.sd_effects

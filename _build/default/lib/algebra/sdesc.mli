@@ -1,0 +1,51 @@
+(** Structured descriptions of update functions (paper Section 4.2):
+    intended effects, pre-conditions for state change, side-effects, and
+    the convention that all other simple observations are not affected.
+
+    From these, {!Derive} constructs conditional equations and
+    {!Fdbs_refine.Synthesize} constructs representation-level
+    procedures, both correct with respect to the description by
+    construction. *)
+
+open Fdbs_logic
+
+(** One intended effect or side-effect: the simple observation
+    [eff_query(eff_args, ·)] takes value [eff_value] in the new state.
+    Arguments are terms over the update's formal parameters, or
+    wildcard variables matching every tuple component; the value is a
+    Boolean/parameter expression over the parameters and the old state
+    {!state_var}. *)
+type effect_ = {
+  eff_query : string;
+  eff_args : Aterm.t list;
+  eff_value : Aterm.t;
+}
+
+type t = {
+  sd_update : string;  (** the update being described *)
+  sd_params : Term.var list;  (** formal parameters (excluding the state) *)
+  sd_pre : Aterm.t;  (** pre-condition for state change, over params and {!state_var} *)
+  sd_effects : effect_ list;  (** intended effects and side-effects *)
+  sd_comment : string;
+}
+
+(** The conventional old-state variable [U] used in descriptions. *)
+val state_var : Term.var
+
+val effect_ : string -> Aterm.t list -> Aterm.t -> effect_
+
+val make :
+  ?pre:Aterm.t ->
+  ?comment:string ->
+  update:string ->
+  params:Term.var list ->
+  effects:effect_ list ->
+  unit ->
+  t
+
+(** Sanity-check a description against a signature: the update exists,
+    parameter arities/sorts line up, effect queries exist with matching
+    argument sorts. *)
+val check : Asig.t -> t -> (unit, string) result
+
+val pp : t Fmt.t

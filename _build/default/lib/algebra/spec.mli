@@ -1,0 +1,47 @@
+(** Algebraic specifications T2 = (L2, A2) (paper Section 4.1): a
+    signature, a set of conditional equations, interpretations for the
+    parameter operators, and a base domain supplying the parameter
+    names of each parameter sort. *)
+
+open Fdbs_kernel
+
+type t = {
+  name : string;
+  signature : Asig.t;
+  equations : Equation.t list;
+  base_domain : Domain.t;
+      (** carriers of the parameter sorts: the parameter names *)
+  param_interp : (string * (Value.t list -> Value.t)) list;
+      (** interpretations of non-constant parameter operators *)
+}
+
+(** Build a specification. Every 0-ary parameter operator contributes
+    its value to the base domain (the symbolic value of its own name
+    unless interpreted in [param_interp]); other parameter operators
+    must be interpreted. Equations are sort-checked. *)
+val make :
+  ?param_interp:(string * (Value.t list -> Value.t)) list ->
+  ?base_domain:Domain.t ->
+  name:string ->
+  signature:Asig.t ->
+  equations:Equation.t list ->
+  unit ->
+  (t, string) result
+
+val make_exn :
+  ?param_interp:(string * (Value.t list -> Value.t)) list ->
+  ?base_domain:Domain.t ->
+  name:string ->
+  signature:Asig.t ->
+  equations:Equation.t list ->
+  unit ->
+  t
+
+(** Equations whose lhs queries [query] applied to an [update] state
+    argument. *)
+val equations_for : t -> query:string -> update:string -> Equation.t list
+
+val q_equations : t -> Equation.t list
+val u_equations : t -> Equation.t list
+
+val pp : t Fmt.t

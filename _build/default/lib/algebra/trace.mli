@@ -1,0 +1,44 @@
+(** Ground terms of sort [state]: traces of update applications
+    starting from an initializer (paper: the set T of ground terms of
+    sort state is the smallest set containing [initiate] and closed
+    under symbolic application of the other update functions).
+
+    Since the application is encapsulated by its queries and updates,
+    the current state {e is} the trace of operations applied so far
+    (paper Section 5.4). *)
+
+open Fdbs_kernel
+
+type t =
+  | Init of string  (** initializer name, e.g. [initiate] *)
+  | Apply of string * Value.t list * t
+      (** [Apply (u, params, s)]: update [u] with parameter values
+          applied to state [s] *)
+
+val init : string -> t
+val apply : string -> Value.t list -> t -> t
+
+(** Number of updates applied after the initializer. *)
+val length : t -> int
+
+val equal : t -> t -> bool
+
+(** The trace as an algebraic term; parameter values are tagged with
+    the sorts declared for the update. Raises [Invalid_argument] on
+    unknown updates or arity mismatches. *)
+val to_aterm : Asig.t -> t -> Aterm.t
+
+(** Parse a ground state term back into a trace; [None] if the term is
+    not of the canonical shape. *)
+val of_aterm : Asig.t -> Aterm.t -> t option
+
+(** Values of each parameter sort mentioned in the trace: the trace's
+    active domain. *)
+val active_domain : Asig.t -> t -> Domain.t
+
+(** All traces of exactly [depth] updates over parameter values drawn
+    from [domain], rooted at each initializer. *)
+val enumerate : Asig.t -> domain:Domain.t -> depth:int -> t list
+
+val pp : t Fmt.t
+val to_string : t -> string

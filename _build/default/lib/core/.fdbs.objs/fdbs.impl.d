@@ -1,0 +1,1 @@
+lib/core/fdbs.ml: Design Fdbs_algebra Fdbs_kernel Fdbs_logic Fdbs_refine Fdbs_rpr Fdbs_temporal Fdbs_wgrammar University

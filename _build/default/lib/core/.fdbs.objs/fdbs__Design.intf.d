@@ -1,0 +1,1 @@
+lib/core/design.mli: Check12 Check23 Completeness Domain Fdbs_algebra Fdbs_kernel Fdbs_refine Fdbs_rpr Fdbs_temporal Fmt Interp12 Interp23 Spec Trace Ttheory Value

@@ -1,0 +1,1 @@
+lib/core/university.mli: Design Domain Fdbs_algebra Fdbs_kernel Fdbs_logic Fdbs_refine Fdbs_rpr Fdbs_temporal Interp12 Interp23 Sdesc Signature Spec Ttheory

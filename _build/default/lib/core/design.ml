@@ -1,0 +1,193 @@
+(** A complete three-level database application design (paper Section
+    2): the information-level theory T1, the functions-level algebraic
+    specification T2, the representation-level schema T3, and the
+    refinement bindings I (T1→T2) and K (T2→T3) — plus the verification
+    pipeline that discharges every obligation the paper states.
+
+    This is the top of the framework: build one {!t} and call
+    {!verify}. *)
+
+open Fdbs_kernel
+open Fdbs_temporal
+open Fdbs_algebra
+open Fdbs_rpr
+open Fdbs_refine
+
+type t = {
+  name : string;
+  info : Ttheory.t;  (** T1 = (L1, A1), temporal theory *)
+  functions : Spec.t;  (** T2 = (L2, A2), algebraic specification *)
+  representation : Schema.t;  (** T3, RPR schema *)
+  interp : Interp12.t;  (** interpretation I *)
+  mapping : Interp23.t;  (** mapping K *)
+}
+
+(** Assemble a design with explicit bindings. *)
+let make ~name ~info ~functions ~representation ~interp ~mapping =
+  { name; info; functions; representation; interp; mapping }
+
+(** Assemble a design using the canonical one-to-one correspondence of
+    db-predicates, query functions and relation names (paper Section 6:
+    the "coincidence" that "proved to be convenient"). *)
+let canonical ~name ~(info : Ttheory.t) ~(functions : Spec.t)
+    ~(representation : Schema.t) : (t, string) result =
+  match Interp12.canonical info.Ttheory.signature functions.Spec.signature with
+  | Error e -> Error ("interpretation I: " ^ e)
+  | Ok interp ->
+    (match Interp23.canonical functions.Spec.signature representation with
+     | Error e -> Error ("mapping K: " ^ e)
+     | Ok mapping ->
+       Ok { name; info; functions; representation; interp; mapping })
+
+let canonical_exn ~name ~info ~functions ~representation =
+  match canonical ~name ~info ~functions ~representation with
+  | Ok d -> d
+  | Error e -> invalid_arg ("Design.canonical_exn: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-level agreement                                               *)
+(* ------------------------------------------------------------------ *)
+
+type mismatch = {
+  mis_query : string;
+  mis_params : Value.t list;
+  mis_trace : Trace.t;
+  mis_level2 : Value.t;
+  mis_level3 : Value.t;
+}
+
+let pp_mismatch ppf (m : mismatch) =
+  Fmt.pf ppf "%s(%a) on %a: level 2 says %a, level 3 says %a" m.mis_query
+    Fmt.(list ~sep:(any ", ") Value.pp)
+    m.mis_params Trace.pp m.mis_trace Value.pp m.mis_level2 Value.pp m.mis_level3
+
+exception Agreement_error of string
+
+(** Answer every query at both the functions level (conditional
+    rewriting over the trace) and the representation level (running the
+    procedures, then evaluating K's wff) on every trace up to [depth];
+    return the number of comparisons and any disagreements. This is the
+    executable form of the paper's Section 6 observation that the same
+    information is recoverable at every level. *)
+let agreement ?domain ~(depth : int) (d : t) : int * mismatch list =
+  let spec = d.functions in
+  let sg2 = spec.Spec.signature in
+  let domain = match domain with Some dm -> dm | None -> spec.Spec.base_domain in
+  let env = Semantics.env ~domain d.representation in
+  let run_trace trace =
+    let rec db_of = function
+      | Trace.Init u ->
+        (match Interp23.find_update d.mapping u with
+         | None -> raise (Agreement_error (Fmt.str "no procedure for %s" u))
+         | Some p ->
+           (match Semantics.call_det env p [] (Schema.empty_db d.representation) with
+            | Ok db -> db
+            | Error e -> raise (Agreement_error e)))
+      | Trace.Apply (u, args, rest) ->
+        let db = db_of rest in
+        (match Interp23.find_update d.mapping u with
+         | None -> raise (Agreement_error (Fmt.str "no procedure for %s" u))
+         | Some p ->
+           (match Semantics.call_det env p args db with
+            | Ok db -> db
+            | Error e -> raise (Agreement_error e)))
+    in
+    db_of trace
+  in
+  let count = ref 0 in
+  let mismatches = ref [] in
+  let traces =
+    List.concat_map
+      (fun k -> Trace.enumerate sg2 ~domain ~depth:k)
+      (List.init (depth + 1) Fun.id)
+  in
+  List.iter
+    (fun trace ->
+      let db = run_trace trace in
+      List.iter
+        (fun (q : Asig.op) ->
+          let carriers = List.map (Domain.carrier domain) (Asig.param_args q) in
+          List.iter
+            (fun params ->
+              incr count;
+              let level2 =
+                match Eval.query_on_trace ~domain spec ~q:q.Asig.oname ~params trace with
+                | Ok v -> v
+                | Error e -> raise (Agreement_error (Fmt.str "%a" Eval.pp_error e))
+              in
+              let level3 =
+                match Interp23.apply_query d.mapping q.Asig.oname params with
+                | Error e -> raise (Agreement_error e)
+                | Ok wff -> Value.Bool (Semantics.query env db wff)
+              in
+              if not (Value.equal level2 level3) then
+                mismatches :=
+                  {
+                    mis_query = q.Asig.oname;
+                    mis_params = params;
+                    mis_trace = trace;
+                    mis_level2 = level2;
+                    mis_level3 = level3;
+                  }
+                  :: !mismatches)
+            (Util.cartesian carriers))
+        sg2.Asig.queries)
+    traces;
+  (!count, List.rev !mismatches)
+
+(* ------------------------------------------------------------------ *)
+(* The verification pipeline                                           *)
+(* ------------------------------------------------------------------ *)
+
+type verification = {
+  schema_errors : string list;  (** T3 well-formedness (context-sensitive) *)
+  completeness : Completeness.report;  (** 4.4(a) sufficient completeness *)
+  refinement12 : Check12.report;  (** 4.4(b)-(d) over a bounded domain *)
+  refinement23 : Check23.report;  (** 5.4: A2 valid in the induced model *)
+  agreement_checked : int;  (** cross-level query comparisons *)
+  agreement_mismatches : mismatch list;
+}
+
+let verified (v : verification) =
+  v.schema_errors = []
+  && Completeness.is_complete v.completeness
+  && Check12.ok v.refinement12
+  && Check23.ok v.refinement23
+  && v.agreement_mismatches = []
+
+(** Run every check of the paper over a bounded domain ([domain]
+    defaults to T2's base domain; [depth] bounds ground probing and the
+    cross-level agreement sweep). *)
+let verify ?domain ?(depth = 2) (d : t) : verification =
+  let domain =
+    match domain with Some dm -> dm | None -> d.functions.Spec.base_domain
+  in
+  let env = Semantics.env ~domain d.representation in
+  let agreement_checked, agreement_mismatches =
+    try agreement ~domain ~depth d with Agreement_error e ->
+      (0, [ { mis_query = "<error: " ^ e ^ ">";
+              mis_params = []; mis_trace = Trace.Init "?";
+              mis_level2 = Value.Bool false; mis_level3 = Value.Bool false } ])
+  in
+  {
+    schema_errors = Schema.check d.representation;
+    completeness = Completeness.check ~depth d.functions;
+    refinement12 = Check12.check ~domain d.info d.functions d.interp;
+    refinement23 = Check23.check d.functions env d.mapping;
+    agreement_checked;
+    agreement_mismatches;
+  }
+
+let pp_verification ppf (v : verification) =
+  Fmt.pf ppf
+    "@[<v>schema well-formedness: %s@,sufficient completeness: %a@,refinement T1->T2: %a@,refinement T2->T3: %a@,cross-level agreement: %s@]"
+    (match v.schema_errors with
+     | [] -> "ok"
+     | errs -> String.concat "; " errs)
+    Completeness.pp_report v.completeness Check12.pp_report v.refinement12
+    Check23.pp_report v.refinement23
+    (if v.agreement_mismatches = [] then
+       Fmt.str "ok (%d comparisons)" v.agreement_checked
+     else
+       Fmt.str "%d MISMATCHES out of %d" (List.length v.agreement_mismatches)
+         v.agreement_checked)

@@ -1,0 +1,88 @@
+(** A complete three-level database application design (paper Section
+    2): the information-level theory T1, the functions-level algebraic
+    specification T2, the representation-level schema T3, and the
+    refinement bindings I (T1→T2) and K (T2→T3) — plus the verification
+    pipeline that discharges every obligation the paper states.
+
+    This is the top of the framework: build one {!t} (usually with
+    {!canonical}) and call {!verify}. *)
+
+open Fdbs_kernel
+open Fdbs_temporal
+open Fdbs_algebra
+open Fdbs_refine
+
+type t = {
+  name : string;
+  info : Ttheory.t;  (** T1 = (L1, A1), temporal theory *)
+  functions : Spec.t;  (** T2 = (L2, A2), algebraic specification *)
+  representation : Fdbs_rpr.Schema.t;  (** T3, RPR schema *)
+  interp : Interp12.t;  (** interpretation I *)
+  mapping : Interp23.t;  (** mapping K *)
+}
+
+(** Assemble a design with explicit bindings. *)
+val make :
+  name:string ->
+  info:Ttheory.t ->
+  functions:Spec.t ->
+  representation:Fdbs_rpr.Schema.t ->
+  interp:Interp12.t ->
+  mapping:Interp23.t ->
+  t
+
+(** Assemble a design using the canonical one-to-one correspondence of
+    db-predicates, query functions and relation names (paper Section 6:
+    the "coincidence" that "proved to be convenient"). *)
+val canonical :
+  name:string ->
+  info:Ttheory.t ->
+  functions:Spec.t ->
+  representation:Fdbs_rpr.Schema.t ->
+  (t, string) result
+
+val canonical_exn :
+  name:string ->
+  info:Ttheory.t ->
+  functions:Spec.t ->
+  representation:Fdbs_rpr.Schema.t ->
+  t
+
+(** A query answered differently by levels 2 and 3. *)
+type mismatch = {
+  mis_query : string;
+  mis_params : Value.t list;
+  mis_trace : Trace.t;
+  mis_level2 : Value.t;
+  mis_level3 : Value.t;
+}
+
+val pp_mismatch : mismatch Fmt.t
+
+exception Agreement_error of string
+
+(** Answer every query at both the functions level (conditional
+    rewriting over the trace) and the representation level (running
+    the procedures, then evaluating K's wff) on every trace up to
+    [depth]; return the number of comparisons and any disagreements —
+    the executable form of the paper's Section 6 observation that the
+    same information is recoverable at every level. *)
+val agreement : ?domain:Domain.t -> depth:int -> t -> int * mismatch list
+
+type verification = {
+  schema_errors : string list;  (** T3 well-formedness (context-sensitive) *)
+  completeness : Completeness.report;  (** 4.4(a) sufficient completeness *)
+  refinement12 : Check12.report;  (** 4.4(b)-(d) over a bounded domain *)
+  refinement23 : Check23.report;  (** 5.4: A2 valid in the induced model *)
+  agreement_checked : int;  (** cross-level query comparisons *)
+  agreement_mismatches : mismatch list;
+}
+
+val verified : verification -> bool
+
+(** Run every check of the paper over a bounded domain ([domain]
+    defaults to T2's base domain; [depth] bounds ground probing and the
+    cross-level agreement sweep). *)
+val verify : ?domain:Domain.t -> ?depth:int -> t -> verification
+
+val pp_verification : verification Fmt.t

@@ -1,0 +1,38 @@
+(** {1 fdbs — formal database specification, an eclectic perspective}
+
+    An executable reconstruction of Casanova, Veloso & Furtado's
+    three-level database specification framework (PODS 1984):
+
+    - {!Logic}: many-sorted first-order logic (terms, wffs, finite
+      structures, satisfaction, transforms, matching);
+    - {!Temporal}: the temporal extension LT with ◇/□ and Kripke
+      universes — the {e information level};
+    - {!Algebra}: algebraic specifications with conditional equations,
+      term rewriting, sufficient completeness, structured descriptions —
+      the {e functions level};
+    - {!Rpr}: regular programs over relations with relational calculus
+      and algebra evaluation and denotational semantics — the
+      {e representation level};
+    - {!Wgrammar}: W-grammars and the RPR schema grammar — the syntax
+      formalism;
+    - {!Refine}: the refinement interpretations I and K and the bounded
+      checkers for the paper's proof obligations;
+    - {!Design}: a bundled three-level design and its verification
+      pipeline;
+    - {!University}: the paper's running example, fully specified.
+
+    Quickstart:
+    {[
+      let v = Fdbs.Design.verify Fdbs.University.design in
+      assert (Fdbs.Design.verified v)
+    ]} *)
+
+module Kernel = Fdbs_kernel
+module Logic = Fdbs_logic
+module Temporal = Fdbs_temporal
+module Algebra = Fdbs_algebra
+module Rpr = Fdbs_rpr
+module Wgrammar = Fdbs_wgrammar
+module Refine = Fdbs_refine
+module Design = Design
+module University = University

@@ -1,0 +1,222 @@
+(** The paper's running example — the university database of courses
+    and students — fully specified at all three levels (Sections 3.2,
+    4.2 and 5.2), with its structured descriptions, bindings I and K,
+    and a default finite domain for verification.
+
+    Use {!design} as the quickest entry point to the framework, or the
+    individual pieces to study one level at a time. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+open Fdbs_temporal
+open Fdbs_algebra
+open Fdbs_rpr
+open Fdbs_refine
+
+(* ------------------------------------------------------------------ *)
+(* Level 1: the information level (Section 3.2)                        *)
+(* ------------------------------------------------------------------ *)
+
+(** L1: sorts course and student; db-predicates offered<course> and
+    takes<student, course>. *)
+let signature1 : Signature.t =
+  Signature.make
+    ~sorts:[ "course"; "student" ]
+    ~funcs:[]
+    ~preds:
+      [
+        Signature.db_pred "offered" [ "course" ];
+        Signature.db_pred "takes" [ "student"; "course" ];
+      ]
+
+(** Axiom (1), static: "a student cannot take a course that is not
+    being offered". *)
+let static_axiom_src = "~(exists s:student, c:course. takes(s, c) & ~offered(c))"
+
+(** Axiom (2), transition: "the number of courses taken by a student
+    cannot drop to zero". *)
+let transition_axiom_src =
+  "~(exists s:student, c:course. dia (takes(s, c) & dia ~(exists c2:course. takes(s, c2))))"
+
+(** T1 = (L1, A1). *)
+let info : Ttheory.t =
+  Ttheory.make_exn ~name:"university-information" ~signature:signature1
+    ~axioms:
+      [
+        Ttheory.axiom "static" (Tparser.formula_exn signature1 static_axiom_src);
+        Ttheory.axiom "transition" (Tparser.formula_exn signature1 transition_axiom_src);
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Level 2: the functions level (Section 4.2)                          *)
+(* ------------------------------------------------------------------ *)
+
+(** The algebraic specification source: queries offered/takes, updates
+    initiate/offer/cancel/enroll/transfer, and the paper's equations
+    1–15 (equation 6 in the biconditional form the paper derives). *)
+let functions_src =
+  {|
+spec university
+
+sort course
+sort student
+
+# parameter names: the ground terms generating each parameter sort
+const cs101 : course
+const cs102 : course
+const ana : student
+const bob : student
+
+query offered : course -> bool
+query takes : student, course -> bool
+
+update initiate
+update offer : course
+update cancel : course
+update enroll : student, course
+update transfer : student, course, course
+
+eq q1: offered(c, initiate) = false
+eq q2: takes(s, c, initiate) = false
+eq q3: offered(c, offer(c, U)) = true
+eq q4: c /= c2 => offered(c, offer(c2, U)) = offered(c, U)
+eq q5: takes(s, c, offer(c2, U)) = takes(s, c, U)
+eq q6: offered(c, cancel(c, U)) = (exists s:student. takes(s, c, U))
+eq q7: c /= c2 => offered(c, cancel(c2, U)) = offered(c, U)
+eq q8: takes(s, c, cancel(c2, U)) = takes(s, c, U)
+eq q9: offered(c, enroll(s, c2, U)) = offered(c, U)
+eq q10: takes(s, c, enroll(s, c, U)) = offered(c, U)
+eq q11: s /= s2 | c /= c2 => takes(s, c, enroll(s2, c2, U)) = takes(s, c, U)
+eq q12: offered(c, transfer(s, c2, c3, U)) = offered(c, U)
+eq q13: takes(s, c2, transfer(s, c, c2, U)) =
+        ((offered(c2, U) & takes(s, c, U)) | takes(s, c2, U))
+eq q14: takes(s, c, transfer(s, c, c2, U)) =
+        ((~offered(c2, U) | takes(s, c2, U)) & takes(s, c, U))
+eq q15: s /= s2 | (c /= c2 & c /= c3) =>
+        takes(s, c, transfer(s2, c2, c3, U)) = takes(s, c, U)
+|}
+
+(** T2 = (L2, A2). *)
+let functions : Spec.t = Aparser.spec_exn functions_src
+
+(** The default verification domain: two courses, two students. *)
+let domain : Domain.t =
+  Domain.of_list
+    [
+      ("course", [ Value.Sym "cs101"; Value.Sym "cs102" ]);
+      ("student", [ Value.Sym "ana"; Value.Sym "bob" ]);
+    ]
+
+(** A minimal domain for exhaustive checks: one course, one student. *)
+let small_domain : Domain.t =
+  Domain.of_list
+    [ ("course", [ Value.Sym "cs101" ]); ("student", [ Value.Sym "ana" ]) ]
+
+(** The structured descriptions of Section 4.2 from which the equations
+    derive constructively ({!Fdbs_algebra.Derive.equations}). *)
+let descriptions : Sdesc.t list =
+  let var n s : Term.var = { Term.vname = n; vsort = Sort.make s } in
+  let av n s = Aterm.Var (var n s) in
+  let u_var = Aterm.Var Sdesc.state_var in
+  let takes s c st = Aterm.App ("takes", [ s; c; st ]) in
+  let offered c st = Aterm.App ("offered", [ c; st ]) in
+  [
+    Sdesc.make ~update:"initiate" ~params:[]
+      ~comment:"the empty database: nothing offered, nobody enrolled"
+      ~effects:
+        [
+          Sdesc.effect_ "offered" [ av "c" "course" ] Aterm.fls;
+          Sdesc.effect_ "takes" [ av "s" "student"; av "c" "course" ] Aterm.fls;
+        ]
+      ();
+    Sdesc.make ~update:"offer" ~params:[ var "c" "course" ]
+      ~comment:"course c is added as a new course"
+      ~effects:[ Sdesc.effect_ "offered" [ av "c" "course" ] Aterm.tru ]
+      ();
+    Sdesc.make ~update:"cancel" ~params:[ var "c" "course" ]
+      ~comment:"course c is cancelled, providing that no student takes it"
+      ~pre:
+        (Aterm.Forall
+           ( var "s" "student",
+             Aterm.eq (takes (av "s" "student") (av "c" "course") u_var) Aterm.fls ))
+      ~effects:[ Sdesc.effect_ "offered" [ av "c" "course" ] Aterm.fls ]
+      ();
+    Sdesc.make ~update:"enroll" ~params:[ var "s" "student"; var "c" "course" ]
+      ~comment:"student s enrolls in course c, which must be offered"
+      ~pre:(Aterm.eq (offered (av "c" "course") u_var) Aterm.tru)
+      ~effects:[ Sdesc.effect_ "takes" [ av "s" "student"; av "c" "course" ] Aterm.tru ]
+      ();
+    Sdesc.make ~update:"transfer"
+      ~params:[ var "s" "student"; var "c" "course"; var "c2" "course" ]
+      ~comment:"student s moves from course c to offered course c2"
+      ~pre:
+        (Aterm.conj
+           [
+             Aterm.eq (takes (av "s" "student") (av "c" "course") u_var) Aterm.tru;
+             Aterm.eq (takes (av "s" "student") (av "c2" "course") u_var) Aterm.fls;
+             Aterm.eq (offered (av "c2" "course") u_var) Aterm.tru;
+           ])
+      ~effects:
+        [
+          Sdesc.effect_ "takes" [ av "s" "student"; av "c" "course" ] Aterm.fls;
+          Sdesc.effect_ "takes" [ av "s" "student"; av "c2" "course" ] Aterm.tru;
+        ]
+      ();
+  ]
+
+(** The equations obtained constructively from {!descriptions}: an
+    alternative A2, observationally equivalent to {!functions}. *)
+let derived_functions : Spec.t =
+  Spec.make_exn ~name:"university-derived"
+    ~signature:functions.Spec.signature
+    ~equations:(Derive.equations_exn functions.Spec.signature descriptions)
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Level 3: the representation level (Section 5.2)                     *)
+(* ------------------------------------------------------------------ *)
+
+(** The RPR schema of Section 5.2 (the paper's SCL line
+    "OFFERED(Students)" is a typographical slip for a set of courses). *)
+let representation_src =
+  {|
+schema university
+
+relation OFFERED(course)
+relation TAKES(student, course)
+
+proc initiate() =
+  (OFFERED := {(c:course) | false} ; TAKES := {(s:student, c:course) | false})
+
+proc offer(c: course) = insert OFFERED(c)
+
+proc cancel(c: course) =
+  if (~(exists s:student. TAKES(s, c))) then delete OFFERED(c)
+
+proc enroll(s: student, c: course) =
+  if (OFFERED(c)) then insert TAKES(s, c)
+
+proc transfer(s: student, c: course, c2: course) =
+  if (TAKES(s, c) & ~TAKES(s, c2) & OFFERED(c2))
+  then (delete TAKES(s, c) ; insert TAKES(s, c2))
+
+end-schema
+|}
+
+(** T3. *)
+let representation : Schema.t = Rparser.schema_exn representation_src
+
+(* ------------------------------------------------------------------ *)
+(* The bound design                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** I: offered ↦ offered(c, σ), takes ↦ takes(s, c, σ). *)
+let interp : Interp12.t = Interp12.canonical_exn signature1 functions.Spec.signature
+
+(** K: offered ↦ OFFERED(c), takes ↦ TAKES(s, c), updates to homonym
+    procedures (Section 5.4). *)
+let mapping : Interp23.t = Interp23.canonical_exn functions.Spec.signature representation
+
+(** The complete three-level design, ready for {!Design.verify}. *)
+let design : Design.t =
+  Design.make ~name:"university" ~info ~functions ~representation ~interp ~mapping

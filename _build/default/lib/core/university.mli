@@ -1,0 +1,65 @@
+(** The paper's running example — the university database of courses
+    and students — fully specified at all three levels (Sections 3.2,
+    4.2 and 5.2), with its structured descriptions, bindings I and K,
+    and default finite domains for verification.
+
+    Use {!design} as the quickest entry point to the framework, or the
+    individual pieces to study one level at a time. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+open Fdbs_temporal
+open Fdbs_algebra
+open Fdbs_refine
+
+(** L1: sorts course and student; db-predicates offered<course> and
+    takes<student, course>. *)
+val signature1 : Signature.t
+
+(** Axiom (1), static: "a student cannot take a course that is not
+    being offered". *)
+val static_axiom_src : string
+
+(** Axiom (2), transition: "the number of courses taken by a student
+    cannot drop to zero". *)
+val transition_axiom_src : string
+
+(** T1 = (L1, A1). *)
+val info : Ttheory.t
+
+(** The functions-level source: queries offered/takes, updates
+    initiate/offer/cancel/enroll/transfer, the paper's equations 1–15. *)
+val functions_src : string
+
+(** T2 = (L2, A2). *)
+val functions : Spec.t
+
+(** The default verification domain: two courses, two students. *)
+val domain : Domain.t
+
+(** A minimal domain for exhaustive checks: one course, one student. *)
+val small_domain : Domain.t
+
+(** The structured descriptions of Section 4.2 from which the equations
+    derive constructively. *)
+val descriptions : Sdesc.t list
+
+(** The equations obtained constructively from {!descriptions}: an
+    alternative A2, observationally equivalent to {!functions}. *)
+val derived_functions : Spec.t
+
+(** The RPR schema source of Section 5.2. *)
+val representation_src : string
+
+(** T3. *)
+val representation : Fdbs_rpr.Schema.t
+
+(** I: offered ↦ offered(c, σ), takes ↦ takes(s, c, σ). *)
+val interp : Interp12.t
+
+(** K: offered ↦ OFFERED(c), takes ↦ TAKES(s, c), updates to homonym
+    procedures (Section 5.4). *)
+val mapping : Interp23.t
+
+(** The complete three-level design, ready for {!Design.verify}. *)
+val design : Design.t

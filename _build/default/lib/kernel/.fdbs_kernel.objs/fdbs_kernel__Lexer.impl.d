@@ -1,0 +1,1 @@
+lib/kernel/lexer.ml: Buffer Fmt List String

@@ -1,0 +1,1 @@
+lib/kernel/parse.ml: Array Fmt Lexer List Result String

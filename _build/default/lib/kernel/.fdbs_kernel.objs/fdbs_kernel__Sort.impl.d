@@ -1,0 +1,1 @@
+lib/kernel/sort.ml: Fmt Map Set String

@@ -1,0 +1,1 @@
+lib/kernel/sort.mli: Fmt Map Set

@@ -1,0 +1,1 @@
+lib/kernel/util.ml: Fmt List

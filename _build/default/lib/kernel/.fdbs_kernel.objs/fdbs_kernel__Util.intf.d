@@ -1,0 +1,1 @@
+lib/kernel/util.mli: Fmt

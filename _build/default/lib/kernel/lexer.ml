@@ -1,0 +1,99 @@
+(** A shared tokenizer for the concrete syntaxes of all four languages
+    (first-order wffs, temporal wffs, algebraic specifications and RPR
+    schemas).
+
+    The token alphabet is the union of what the surface syntaxes need;
+    each parser interprets identifiers as keywords on its own. Comments
+    run from ['#'] to end of line. *)
+
+type token =
+  | Ident of string  (** identifier starting with a lowercase letter *)
+  | Uident of string  (** identifier starting with an uppercase letter *)
+  | Int of int
+  | Str of string  (** double-quoted string literal *)
+  | Sym of string  (** operator or punctuation, e.g. ["->"], ["("] *)
+  | Eof
+
+type located = { tok : token; offset : int }
+
+exception Lex_error of string * int
+
+let pp_token ppf = function
+  | Ident s -> Fmt.pf ppf "identifier %S" s
+  | Uident s -> Fmt.pf ppf "identifier %S" s
+  | Int n -> Fmt.pf ppf "integer %d" n
+  | Str s -> Fmt.pf ppf "string %S" s
+  | Sym s -> Fmt.pf ppf "%S" s
+  | Eof -> Fmt.string ppf "end of input"
+
+let token_equal (a : token) (b : token) = a = b
+
+(* Multi-character symbols, longest first so that the scan is greedy. *)
+let symbols =
+  [ "<=>"; "<->"; ":="; "->"; "=>"; "<>"; "<="; ">="; "/="; "||"; "&&";
+    "["; "]"; "{"; "}"; "("; ")"; ","; ";"; ":"; "."; "="; "<"; ">"; "|";
+    "&"; "~"; "*"; "?"; "!"; "/"; "+"; "-"; "@" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : located list =
+  let n = String.length src in
+  let out = ref [] in
+  let emit tok offset = out := { tok; offset } :: !out in
+  let rec skip_line i = if i < n && src.[i] <> '\n' then skip_line (i + 1) else i in
+  let rec scan i =
+    if i >= n then emit Eof n
+    else
+      let c = src.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then scan (i + 1)
+      else if c = '#' then scan (skip_line i)
+      else if is_digit c then begin
+        let j = ref i in
+        while !j < n && is_digit src.[!j] do incr j done;
+        emit (Int (int_of_string (String.sub src i (!j - i)))) i;
+        scan !j
+      end
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do incr j done;
+        let s = String.sub src i (!j - i) in
+        let tok = if c >= 'A' && c <= 'Z' then Uident s else Ident s in
+        emit tok i;
+        scan !j
+      end
+      else if c = '"' then begin
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then raise (Lex_error ("unterminated string literal", i))
+          else if src.[j] = '"' then j + 1
+          else if src.[j] = '\\' && j + 1 < n then begin
+            Buffer.add_char buf src.[j + 1];
+            str (j + 2)
+          end
+          else begin
+            Buffer.add_char buf src.[j];
+            str (j + 1)
+          end
+        in
+        let j = str (i + 1) in
+        emit (Str (Buffer.contents buf)) i;
+        scan j
+      end
+      else
+        let matching =
+          List.find_opt
+            (fun sym ->
+              let l = String.length sym in
+              i + l <= n && String.sub src i l = sym)
+            symbols
+        in
+        match matching with
+        | Some sym ->
+          emit (Sym sym) i;
+          scan (i + String.length sym)
+        | None -> raise (Lex_error (Fmt.str "unexpected character %C" c, i))
+  in
+  scan 0;
+  List.rev !out

@@ -1,0 +1,30 @@
+(** A shared tokenizer for the concrete syntaxes of all four languages
+    (first-order wffs, temporal wffs, algebraic specifications and RPR
+    schemas).
+
+    The token alphabet is the union of what the surface syntaxes need;
+    each parser interprets identifiers as keywords on its own. Comments
+    run from ['#'] to end of line. *)
+
+type token =
+  | Ident of string  (** identifier starting with a lowercase letter *)
+  | Uident of string  (** identifier starting with an uppercase letter *)
+  | Int of int
+  | Str of string  (** double-quoted string literal *)
+  | Sym of string  (** operator or punctuation, e.g. ["->"], ["("] *)
+  | Eof
+
+type located = {
+  tok : token;
+  offset : int;  (** byte offset of the token in the source *)
+}
+
+exception Lex_error of string * int
+
+val pp_token : token Fmt.t
+val token_equal : token -> token -> bool
+
+(** Tokenize a whole source string; the result always ends with {!Eof}.
+    Raises {!Lex_error} with the offending offset on unknown
+    characters or unterminated strings. *)
+val tokenize : string -> located list

@@ -1,0 +1,103 @@
+(** Recursive-descent parsing support over {!Lexer} token streams.
+
+    Each language parser builds on this mutable cursor; errors carry the
+    source offset and are rendered with a caret line by {!error_to_string}. *)
+
+type state = {
+  src : string;
+  toks : Lexer.located array;
+  mutable pos : int;
+}
+
+exception Error of string * int
+
+let of_string src =
+  match Lexer.tokenize src with
+  | toks -> { src; toks = Array.of_list toks; pos = 0 }
+  | exception Lexer.Lex_error (msg, off) -> raise (Error (msg, off))
+
+let peek st : Lexer.token = st.toks.(st.pos).tok
+
+let peek2 st : Lexer.token =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1).tok
+  else Lexer.Eof
+
+let offset st = st.toks.(st.pos).offset
+
+let advance st = if st.pos + 1 < Array.length st.toks then st.pos <- st.pos + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let fail st msg = raise (Error (msg, offset st))
+
+let expect st (tok : Lexer.token) =
+  if Lexer.token_equal (peek st) tok then advance st
+  else fail st (Fmt.str "expected %a but found %a" Lexer.pp_token tok Lexer.pp_token (peek st))
+
+let expect_sym st s = expect st (Lexer.Sym s)
+
+(** Accept token [tok] if present; report whether it was consumed. *)
+let accept st (tok : Lexer.token) =
+  if Lexer.token_equal (peek st) tok then (advance st; true) else false
+
+let accept_sym st s = accept st (Lexer.Sym s)
+
+(** Accept a specific keyword (an [Ident] with the given spelling). *)
+let accept_kw st kw = accept st (Lexer.Ident kw)
+
+let expect_kw st kw =
+  if not (accept_kw st kw) then
+    fail st (Fmt.str "expected keyword %S but found %a" kw Lexer.pp_token (peek st))
+
+(** Parse any identifier (lower- or uppercase). *)
+let ident st =
+  match peek st with
+  | Lexer.Ident s | Lexer.Uident s ->
+    advance st;
+    s
+  | other -> fail st (Fmt.str "expected an identifier but found %a" Lexer.pp_token other)
+
+let int st =
+  match peek st with
+  | Lexer.Int n ->
+    advance st;
+    n
+  | other -> fail st (Fmt.str "expected an integer but found %a" Lexer.pp_token other)
+
+let at_eof st = Lexer.token_equal (peek st) Lexer.Eof
+
+(** [sep_list st ~sep item] parses [item (sep item)*]. *)
+let sep_list st ~sep item =
+  let first = item st in
+  let rec rest acc = if accept_sym st sep then rest (item st :: acc) else List.rev acc in
+  rest [ first ]
+
+let error_to_string src (msg, off) =
+  let line_start =
+    match String.rindex_from_opt src (max 0 (min off (String.length src) - 1)) '\n' with
+    | Some i -> i + 1
+    | None -> 0
+  in
+  let line_end =
+    match String.index_from_opt src line_start '\n' with
+    | Some i -> i
+    | None -> String.length src
+  in
+  let line = String.sub src line_start (line_end - line_start) in
+  let caret = String.make (max 0 (off - line_start)) ' ' ^ "^" in
+  Fmt.str "parse error at offset %d: %s@.%s@.%s" off msg line caret
+
+(** Run a parser on a whole string, requiring all input to be consumed. *)
+let run (p : state -> 'a) (src : string) : ('a, string) result =
+  match
+    let st = of_string src in
+    let v = p st in
+    if at_eof st then Ok v
+    else Error (Fmt.str "trailing input: %a" Lexer.pp_token (peek st), offset st)
+  with
+  | Ok v -> Ok v
+  | Error err -> Result.Error (error_to_string src err)
+  | exception Error (msg, off) -> Result.Error (error_to_string src (msg, off))

@@ -1,0 +1,54 @@
+(** Recursive-descent parsing support over {!Lexer} token streams.
+
+    Each language parser builds on this mutable cursor; errors carry the
+    source offset and are rendered with a caret line by {!run}. *)
+
+type state
+
+exception Error of string * int
+(** message and source offset *)
+
+(** Tokenize a source string into a fresh cursor. Raises {!Error} on
+    lexical problems. *)
+val of_string : string -> state
+
+val peek : state -> Lexer.token
+val peek2 : state -> Lexer.token
+
+(** Offset of the current token in the source. *)
+val offset : state -> int
+
+val advance : state -> unit
+val next : state -> Lexer.token
+
+(** Fail at the current position. *)
+val fail : state -> string -> 'a
+
+val expect : state -> Lexer.token -> unit
+val expect_sym : state -> string -> unit
+
+(** Consume the token if it is the expected one; report whether it was
+    consumed. *)
+val accept : state -> Lexer.token -> bool
+
+val accept_sym : state -> string -> bool
+
+(** Accept a specific keyword (an [Ident] with the given spelling). *)
+val accept_kw : state -> string -> bool
+
+val expect_kw : state -> string -> unit
+
+(** Any identifier (lower- or uppercase). *)
+val ident : state -> string
+
+val int : state -> int
+val at_eof : state -> bool
+
+(** [sep_list st ~sep item] parses [item (sep item)*]. *)
+val sep_list : state -> sep:string -> (state -> 'a) -> 'a list
+
+val error_to_string : string -> string * int -> string
+
+(** Run a parser on a whole string, requiring all input to be consumed;
+    errors are rendered with the offending line and a caret. *)
+val run : (state -> 'a) -> string -> ('a, string) result

@@ -1,0 +1,28 @@
+(** Sort names for many-sorted languages.
+
+    A sort is identified by its name. Two names are distinguished across
+    the whole framework: {!bool}, the sort of truth values present in
+    every language, and {!state}, the sort-of-interest of algebraic
+    specifications (the paper's designated sort [state], Section 4.1). *)
+
+type t = string
+
+let make (name : string) : t =
+  if name = "" then invalid_arg "Sort.make: empty sort name";
+  name
+
+let name (s : t) = s
+
+(* The two distinguished sorts of the paper. *)
+let bool : t = "bool"
+let state : t = "state"
+
+let equal = String.equal
+let compare = String.compare
+let pp = Fmt.string
+
+let is_bool s = equal s bool
+let is_state s = equal s state
+
+module Map = Map.Make (String)
+module Set = Set.Make (String)

@@ -1,0 +1,31 @@
+(** Sort names for many-sorted languages.
+
+    A sort is identified by its name; the type is transparently
+    [string] so that sorts can be written literally. Two names are
+    distinguished across the whole framework: {!bool}, the sort of
+    truth values present in every language, and {!state}, the
+    sort-of-interest of algebraic specifications (the paper's
+    designated sort [state], Section 4.1). *)
+
+type t = string
+
+(** [make name] checks the name is non-empty. *)
+val make : string -> t
+
+val name : t -> string
+
+(** The Boolean sort, ["bool"]. *)
+val bool : t
+
+(** The designated state sort, ["state"]. *)
+val state : t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+
+val is_bool : t -> bool
+val is_state : t -> bool
+
+module Map : Map.S with type key = string
+module Set : Set.S with type elt = string

@@ -1,0 +1,67 @@
+(** Small general-purpose helpers used across the framework. *)
+
+(** [cartesian [l1; ...; ln]] is the list of all [[x1; ...; xn]] with
+    [xi] drawn from [li], in lexicographic order. [cartesian [] = [[]]]. *)
+let cartesian (lists : 'a list list) : 'a list list =
+  let add_layer layer acc =
+    List.concat_map (fun x -> List.map (fun rest -> x :: rest) acc) layer
+  in
+  List.fold_right add_layer lists [ [] ]
+
+(** All length-[n] tuples over [xs]. *)
+let tuples xs n = cartesian (List.init n (fun _ -> xs))
+
+let rec dedup ?(eq = ( = )) = function
+  | [] -> []
+  | x :: rest ->
+    x :: dedup ~eq (List.filter (fun y -> not (eq x y)) rest)
+
+(** [zip_exn xs ys] pairs two lists of equal length. *)
+let zip_exn xs ys =
+  try List.combine xs ys
+  with Invalid_argument _ -> invalid_arg "Util.zip_exn: length mismatch"
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let sum = List.fold_left ( + ) 0
+
+(** Fixpoint of a monotone set-expansion step: repeatedly apply [step]
+    to the frontier, accumulating states distinct under [eq], until no
+    new element appears or [limit] elements have been accumulated. *)
+let bfs_fixpoint ~eq ~limit ~(step : 'a -> 'a list) (starts : 'a list) :
+  'a list * bool (* truncated? *) =
+  let seen = ref [] in
+  let mem x = List.exists (eq x) !seen in
+  let truncated = ref false in
+  let rec loop frontier =
+    match frontier with
+    | [] -> ()
+    | _ when List.length !seen >= limit -> truncated := true
+    | _ ->
+      let next =
+        List.concat_map step frontier
+        |> List.filter (fun x -> not (mem x))
+        |> dedup ~eq
+      in
+      let room = limit - List.length !seen in
+      let next = if List.length next > room then (truncated := true; take room next) else next in
+      seen := !seen @ next;
+      loop next
+  in
+  let starts = dedup ~eq starts in
+  seen := starts;
+  loop starts;
+  (!seen, !truncated)
+
+let result_all (results : ('a, 'e) result list) : ('a list, 'e) result =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | Ok x :: rest -> go (x :: acc) rest
+    | Error e :: _ -> Error e
+  in
+  go [] results
+
+let pp_comma_list pp ppf xs = Fmt.(list ~sep:(any ", ") pp) ppf xs

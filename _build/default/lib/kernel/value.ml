@@ -1,0 +1,36 @@
+(** Runtime values shared by all levels of specification.
+
+    Elements of every sort's carrier are drawn from this single universal
+    value type: booleans (the carrier of the distinguished [Boolean] sort),
+    integers (for ordered parameter sorts such as grades or amounts) and
+    symbolic constants (named individuals such as courses or students). *)
+
+type t =
+  | Bool of bool
+  | Int of int
+  | Sym of string  (** a named individual, e.g. [Sym "cs101"] *)
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+let equal a b = compare a b = 0
+
+let vtrue = Bool true
+let vfalse = Bool false
+
+let of_bool b = Bool b
+
+let to_bool = function
+  | Bool b -> Some b
+  | Int _ | Sym _ -> None
+
+let to_int = function
+  | Int n -> Some n
+  | Bool _ | Sym _ -> None
+
+let pp ppf = function
+  | Bool b -> Fmt.bool ppf b
+  | Int n -> Fmt.int ppf n
+  | Sym s -> Fmt.string ppf s
+
+let to_string v = Fmt.str "%a" pp v
+
+let hash (v : t) = Hashtbl.hash v

@@ -1,0 +1,30 @@
+(** Runtime values shared by all levels of specification.
+
+    Elements of every sort's carrier are drawn from this single
+    universal value type: booleans (the carrier of the distinguished
+    [Boolean] sort), integers (for ordered parameter sorts such as
+    stock levels) and symbolic constants (named individuals such as
+    courses or students). *)
+
+type t =
+  | Bool of bool
+  | Int of int
+  | Sym of string  (** a named individual, e.g. [Sym "cs101"] *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val vtrue : t
+val vfalse : t
+
+val of_bool : bool -> t
+
+(** [to_bool v] is [Some b] iff [v] is [Bool b]. *)
+val to_bool : t -> bool option
+
+(** [to_int v] is [Some n] iff [v] is [Int n]. *)
+val to_int : t -> int option
+
+val pp : t Fmt.t
+val to_string : t -> string
+val hash : t -> int

@@ -1,0 +1,1 @@
+lib/logic/eval.ml: Domain Fdbs_kernel Fmt Formula List Structure Term Util Value

@@ -1,0 +1,1 @@
+lib/logic/eval.mli: Fdbs_kernel Formula Structure Term Value

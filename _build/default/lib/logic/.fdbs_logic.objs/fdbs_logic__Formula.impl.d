@@ -1,0 +1,1 @@
+lib/logic/formula.ml: Fdbs_kernel Fmt List Result Signature Sort Term

@@ -1,0 +1,1 @@
+lib/logic/parser.ml: Fdbs_kernel Fmt Formula Lexer List Parse Signature Sort Term Value

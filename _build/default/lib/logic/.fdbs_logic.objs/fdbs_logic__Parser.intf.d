@@ -1,0 +1,1 @@
+lib/logic/parser.mli: Fdbs_kernel Formula Parse Signature Sort Term

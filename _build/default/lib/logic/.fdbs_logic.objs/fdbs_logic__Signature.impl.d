@@ -1,0 +1,1 @@
+lib/logic/signature.ml: Fdbs_kernel Fmt List Sort

@@ -1,0 +1,1 @@
+lib/logic/structure.ml: Domain Fdbs_kernel Fmt Hashtbl List Map Stdlib String Value

@@ -1,0 +1,1 @@
+lib/logic/structure.mli: Domain Fdbs_kernel Fmt Value

@@ -1,0 +1,1 @@
+lib/logic/term.ml: Fdbs_kernel Fmt List Signature Sort Stdlib Value

@@ -1,0 +1,1 @@
+lib/logic/term.mli: Fdbs_kernel Fmt Signature Sort Value

@@ -1,0 +1,1 @@
+lib/logic/theory.ml: Eval Fmt Formula List Signature String Structure Term

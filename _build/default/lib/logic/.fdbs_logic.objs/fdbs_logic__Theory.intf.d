@@ -1,0 +1,1 @@
+lib/logic/theory.mli: Fmt Formula Signature Structure

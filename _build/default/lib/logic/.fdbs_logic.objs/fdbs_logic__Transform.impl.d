@@ -1,0 +1,1 @@
+lib/logic/transform.ml: Fmt Formula List Term

@@ -1,0 +1,67 @@
+(** Satisfaction: evaluating terms and formulas in a finite structure
+    under a valuation (paper Section 3.1, the standard Tarskian rules).
+
+    Quantifiers range over the structure's finite carrier of the bound
+    variable's sort. *)
+
+open Fdbs_kernel
+
+type valuation = (Term.var * Value.t) list
+
+exception Eval_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Eval_error s)) fmt
+
+let lookup_var (v : Term.var) (rho : valuation) =
+  let rec go = function
+    | [] -> err "unbound variable %s" v.Term.vname
+    | (v', value) :: rest -> if Term.var_equal v v' then value else go rest
+  in
+  go rho
+
+(** Value of a term in structure [st] under valuation [rho]. *)
+let rec term (st : Structure.t) (rho : valuation) : Term.t -> Value.t = function
+  | Term.Var v -> lookup_var v rho
+  | Term.Lit v -> v
+  | Term.App (f, args) ->
+    (match Structure.func st f with
+     | None -> err "function symbol %s has no interpretation" f
+     | Some fi -> fi (List.map (term st rho) args))
+
+(** Truth of a formula in structure [st] under valuation [rho]. *)
+let rec formula (st : Structure.t) (rho : valuation) : Formula.t -> bool = function
+  | Formula.True -> true
+  | Formula.False -> false
+  | Formula.Pred (p, args) ->
+    (match Structure.pred st p with
+     | None -> err "predicate symbol %s has no interpretation" p
+     | Some pi -> pi (List.map (term st rho) args))
+  | Formula.Eq (t1, t2) -> Value.equal (term st rho t1) (term st rho t2)
+  | Formula.Not g -> not (formula st rho g)
+  | Formula.And (g, h) -> formula st rho g && formula st rho h
+  | Formula.Or (g, h) -> formula st rho g || formula st rho h
+  | Formula.Imp (g, h) -> (not (formula st rho g)) || formula st rho h
+  | Formula.Iff (g, h) -> formula st rho g = formula st rho h
+  | Formula.Forall (v, g) ->
+    List.for_all
+      (fun value -> formula st ((v, value) :: rho) g)
+      (Domain.carrier (Structure.domain st) v.Term.vsort)
+  | Formula.Exists (v, g) ->
+    List.exists
+      (fun value -> formula st ((v, value) :: rho) g)
+      (Domain.carrier (Structure.domain st) v.Term.vsort)
+
+(** Truth of a closed formula. *)
+let sentence st f = formula st [] f
+
+(** All valuations of [vars] over the structure's domain satisfying [f];
+    the finite-model analogue of query answering. *)
+let satisfying_valuations (st : Structure.t) (vars : Term.var list) (f : Formula.t) :
+  valuation list =
+  let carriers =
+    List.map (fun v -> Domain.carrier (Structure.domain st) v.Term.vsort) vars
+  in
+  Util.cartesian carriers
+  |> List.filter_map (fun values ->
+         let rho = Util.zip_exn vars values in
+         if formula st rho f then Some rho else None)

@@ -1,0 +1,26 @@
+(** Satisfaction: evaluating terms and formulas in a finite structure
+    under a valuation (paper Section 3.1, the standard Tarskian rules).
+
+    Quantifiers range over the structure's finite carrier of the bound
+    variable's sort. *)
+
+open Fdbs_kernel
+
+type valuation = (Term.var * Value.t) list
+
+exception Eval_error of string
+
+(** Value of a term in a structure under a valuation. Raises
+    {!Eval_error} on unbound variables or uninterpreted symbols. *)
+val term : Structure.t -> valuation -> Term.t -> Value.t
+
+(** Truth of a formula in a structure under a valuation. *)
+val formula : Structure.t -> valuation -> Formula.t -> bool
+
+(** Truth of a closed formula. *)
+val sentence : Structure.t -> Formula.t -> bool
+
+(** All valuations of [vars] over the structure's domain satisfying the
+    formula; the finite-model analogue of query answering. *)
+val satisfying_valuations :
+  Structure.t -> Term.var list -> Formula.t -> valuation list

@@ -1,0 +1,176 @@
+(** Well-formed formulas of a many-sorted first-order language. *)
+
+open Fdbs_kernel
+
+type t =
+  | True
+  | False
+  | Pred of string * Term.t list
+  | Eq of Term.t * Term.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | Iff of t * t
+  | Forall of Term.var * t
+  | Exists of Term.var * t
+
+let tru = True
+let fls = False
+let pred name args = Pred (name, args)
+let eq t1 t2 = Eq (t1, t2)
+let neq t1 t2 = Not (Eq (t1, t2))
+let not_ f = Not f
+let ( &&& ) f g = And (f, g)
+let ( ||| ) f g = Or (f, g)
+let ( ==> ) f g = Imp (f, g)
+let ( <=> ) f g = Iff (f, g)
+
+let conj = function [] -> True | f :: rest -> List.fold_left ( &&& ) f rest
+let disj = function [] -> False | f :: rest -> List.fold_left ( ||| ) f rest
+
+let forall vs f = List.fold_right (fun v acc -> Forall (v, acc)) vs f
+let exists vs f = List.fold_right (fun v acc -> Exists (v, acc)) vs f
+
+let rec equal f1 f2 =
+  match (f1, f2) with
+  | True, True | False, False -> true
+  | Pred (p, args1), Pred (q, args2) ->
+    p = q && List.length args1 = List.length args2 && List.for_all2 Term.equal args1 args2
+  | Eq (a1, b1), Eq (a2, b2) -> Term.equal a1 a2 && Term.equal b1 b2
+  | Not g1, Not g2 -> equal g1 g2
+  | And (a1, b1), And (a2, b2)
+  | Or (a1, b1), Or (a2, b2)
+  | Imp (a1, b1), Imp (a2, b2)
+  | Iff (a1, b1), Iff (a2, b2) -> equal a1 a2 && equal b1 b2
+  | Forall (v1, g1), Forall (v2, g2) | Exists (v1, g1), Exists (v2, g2) ->
+    Term.var_equal v1 v2 && equal g1 g2
+  | ( (True | False | Pred _ | Eq _ | Not _ | And _ | Or _ | Imp _ | Iff _
+      | Forall _ | Exists _), _ ) -> false
+
+(** Free variables in first-occurrence order. *)
+let free_vars (f : t) : Term.var list =
+  let module V = struct
+    let mem v l = List.exists (Term.var_equal v) l
+  end in
+  let add_term bound acc t =
+    List.fold_left
+      (fun acc v -> if V.mem v bound || V.mem v acc then acc else v :: acc)
+      acc (Term.free_vars t)
+  in
+  let rec go bound acc = function
+    | True | False -> acc
+    | Pred (_, args) -> List.fold_left (add_term bound) acc args
+    | Eq (t1, t2) -> add_term bound (add_term bound acc t1) t2
+    | Not g -> go bound acc g
+    | And (g, h) | Or (g, h) | Imp (g, h) | Iff (g, h) -> go bound (go bound acc g) h
+    | Forall (v, g) | Exists (v, g) -> go (v :: bound) acc g
+  in
+  List.rev (go [] [] f)
+
+let is_closed f = free_vars f = []
+
+(** Capture-avoiding substitution of terms for free variables.
+    Bound variables clashing with variables free in the substituted
+    terms are renamed. *)
+let rec subst (s : Term.Subst.t) (f : t) : t =
+  let free_in_range =
+    List.concat_map (fun (_, t) -> Term.free_vars t) (Term.Subst.bindings s)
+  in
+  let rename (v : Term.var) g =
+    if List.exists (Term.var_equal v) free_in_range then begin
+      let fresh =
+        let rec pick i =
+          let cand = { v with Term.vname = v.Term.vname ^ string_of_int i } in
+          if List.exists (Term.var_equal cand) free_in_range then pick (i + 1) else cand
+        in
+        pick 0
+      in
+      (fresh, subst (Term.Subst.of_list [ (v, Term.Var fresh) ]) g)
+    end
+    else (v, g)
+  in
+  let drop v =
+    Term.Subst.of_list
+      (List.filter (fun (v', _) -> not (Term.var_equal v v')) (Term.Subst.bindings s))
+  in
+  match f with
+  | True | False -> f
+  | Pred (p, args) -> Pred (p, List.map (Term.subst s) args)
+  | Eq (t1, t2) -> Eq (Term.subst s t1, Term.subst s t2)
+  | Not g -> Not (subst s g)
+  | And (g, h) -> And (subst s g, subst s h)
+  | Or (g, h) -> Or (subst s g, subst s h)
+  | Imp (g, h) -> Imp (subst s g, subst s h)
+  | Iff (g, h) -> Iff (subst s g, subst s h)
+  | Forall (v, g) ->
+    let v', g' = rename v g in
+    Forall (v', subst (drop v') g')
+  | Exists (v, g) ->
+    let v', g' = rename v g in
+    Exists (v', subst (drop v') g')
+
+(** Well-sortedness of a formula against a signature: every predicate is
+    declared with matching argument sorts and both sides of each equality
+    share a sort. *)
+let check (sg : Signature.t) (f : t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let rec go = function
+    | True | False -> Ok ()
+    | Pred (p, args) ->
+      (match Signature.find_pred sg p with
+       | None -> Error (Fmt.str "undeclared predicate symbol %s" p)
+       | Some pd ->
+         if List.length args <> List.length pd.pargs then
+           Error (Fmt.str "predicate %s expects %d arguments, got %d" p
+                    (List.length pd.pargs) (List.length args))
+         else
+           let rec check_args expected actual =
+             match (expected, actual) with
+             | [], [] -> Ok ()
+             | es :: expected, a :: actual ->
+               let* s = Term.sort_of sg a in
+               if Sort.equal s es then check_args expected actual
+               else Error (Fmt.str "argument of %s has sort %s, expected %s" p s es)
+             | _ -> assert false
+           in
+           check_args pd.pargs args)
+    | Eq (t1, t2) ->
+      let* s1 = Term.sort_of sg t1 in
+      let* s2 = Term.sort_of sg t2 in
+      if Sort.equal s1 s2 then Ok ()
+      else Error (Fmt.str "equality between sorts %s and %s" s1 s2)
+    | Not g -> go g
+    | And (g, h) | Or (g, h) | Imp (g, h) | Iff (g, h) ->
+      let* () = go g in
+      go h
+    | Forall (v, g) | Exists (v, g) ->
+      if Signature.has_sort sg v.Term.vsort then go g
+      else Error (Fmt.str "quantifier binds variable of undeclared sort %s" v.Term.vsort)
+  in
+  go f
+
+(* Precedences: iff 1, imp 2, or 3, and 4, not 5, atoms 6. *)
+let rec pp_prec prec ppf f =
+  let paren p body = if prec > p then Fmt.pf ppf "(%t)" body else body ppf in
+  match f with
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Pred (p, []) -> Fmt.string ppf p
+  | Pred (p, args) -> Fmt.pf ppf "%s(%a)" p Fmt.(list ~sep:(any ", ") Term.pp) args
+  | Eq (t1, t2) -> Fmt.pf ppf "%a = %a" Term.pp t1 Term.pp t2
+  | Not (Eq (t1, t2)) -> Fmt.pf ppf "%a /= %a" Term.pp t1 Term.pp t2
+  | Not g -> paren 5 (fun ppf -> Fmt.pf ppf "~%a" (pp_prec 5) g)
+  | And (g, h) -> paren 4 (fun ppf -> Fmt.pf ppf "%a & %a" (pp_prec 4) g (pp_prec 5) h)
+  | Or (g, h) -> paren 3 (fun ppf -> Fmt.pf ppf "%a | %a" (pp_prec 3) g (pp_prec 4) h)
+  | Imp (g, h) -> paren 2 (fun ppf -> Fmt.pf ppf "%a -> %a" (pp_prec 3) g (pp_prec 2) h)
+  | Iff (g, h) -> paren 1 (fun ppf -> Fmt.pf ppf "%a <-> %a" (pp_prec 2) g (pp_prec 1) h)
+  | Forall (v, g) ->
+    paren 0 (fun ppf ->
+        Fmt.pf ppf "forall %s:%a. %a" v.Term.vname Sort.pp v.Term.vsort (pp_prec 0) g)
+  | Exists (v, g) ->
+    paren 0 (fun ppf ->
+        Fmt.pf ppf "exists %s:%a. %a" v.Term.vname Sort.pp v.Term.vsort (pp_prec 0) g)
+
+let pp = pp_prec 0
+let to_string f = Fmt.str "%a" pp f

@@ -1,0 +1,59 @@
+(** Well-formed formulas of a many-sorted first-order language. *)
+
+
+type t =
+  | True
+  | False
+  | Pred of string * Term.t list
+  | Eq of Term.t * Term.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | Iff of t * t
+  | Forall of Term.var * t
+  | Exists of Term.var * t
+
+val tru : t
+val fls : t
+val pred : string -> Term.t list -> t
+val eq : Term.t -> Term.t -> t
+val neq : Term.t -> Term.t -> t
+val not_ : t -> t
+
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+val ( ==> ) : t -> t -> t
+val ( <=> ) : t -> t -> t
+
+(** Conjunction of a list; [True] when empty. *)
+val conj : t list -> t
+
+(** Disjunction of a list; [False] when empty. *)
+val disj : t list -> t
+
+(** Universal closure over the given variables, outermost first. *)
+val forall : Term.var list -> t -> t
+
+val exists : Term.var list -> t -> t
+
+(** Syntactic equality (no alpha-conversion). *)
+val equal : t -> t -> bool
+
+(** Free variables in first-occurrence order. *)
+val free_vars : t -> Term.var list
+
+val is_closed : t -> bool
+
+(** Capture-avoiding substitution of terms for free variables: bound
+    variables clashing with variables free in the substituted terms are
+    renamed. *)
+val subst : Term.Subst.t -> t -> t
+
+(** Well-sortedness against a signature: every predicate declared with
+    matching argument sorts, both sides of each equality sharing a
+    sort, quantified sorts declared. *)
+val check : Signature.t -> t -> (unit, string) result
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,172 @@
+(** Concrete syntax for first-order terms and formulas.
+
+    Grammar (precedence climbing, loosest first):
+    {v
+    formula := 'forall' binders '.' formula
+             | 'exists' binders '.' formula
+             | iff
+    binders := name ':' sort (',' name ':' sort)*
+    iff     := imp ('<->' imp)*
+    imp     := or ('->' imp)?          (right associative)
+    or      := and ('|' and)*
+    and     := unary ('&' unary)*
+    unary   := '~' unary | atom
+    atom    := 'true' | 'false' | '(' formula ')'
+             | term ('=' | '/=') term
+             | predicate-application
+    term    := integer | name | name '(' term (',' term)* ')'
+    v}
+
+    A bare name is resolved against the bound-variable environment first,
+    then against the signature's function symbols; applications are
+    resolved as predicates or functions by consulting the signature. *)
+
+open Fdbs_kernel
+
+type env = (string * Sort.t) list
+
+let kw_forall = "forall"
+let kw_exists = "exists"
+let kw_true = "true"
+let kw_false = "false"
+
+let reserved = [ kw_forall; kw_exists; kw_true; kw_false ]
+
+let rec parse_term (sg : Signature.t) (env : env) st : Term.t =
+  match Parse.peek st with
+  | Lexer.Int n ->
+    Parse.advance st;
+    Term.Lit (Value.Int n)
+  | Lexer.Ident name | Lexer.Uident name ->
+    Parse.advance st;
+    if Parse.accept_sym st "(" then begin
+      let args = Parse.sep_list st ~sep:"," (parse_term sg env) in
+      Parse.expect_sym st ")";
+      Term.App (name, args)
+    end
+    else begin
+      match List.assoc_opt name env with
+      | Some sort -> Term.Var { Term.vname = name; vsort = sort }
+      | None ->
+        (match Signature.find_func sg name with
+         | Some _ -> Term.App (name, [])
+         | None -> Parse.fail st (Fmt.str "unknown name %s (not a bound variable or declared constant)" name))
+    end
+  | other -> Parse.fail st (Fmt.str "expected a term but found %a" Lexer.pp_token other)
+
+let parse_binders st : (string * Sort.t) list =
+  let binder st =
+    let name = Parse.ident st in
+    Parse.expect_sym st ":";
+    let sort = Parse.ident st in
+    (name, Sort.make sort)
+  in
+  Parse.sep_list st ~sep:"," binder
+
+let rec parse_formula (sg : Signature.t) (env : env) st : Formula.t =
+  if Parse.accept_kw st kw_forall then quantified sg env st true
+  else if Parse.accept_kw st kw_exists then quantified sg env st false
+  else parse_iff sg env st
+
+and quantified sg env st universal =
+  let binders = parse_binders st in
+  List.iter
+    (fun (name, _) ->
+      if List.mem name reserved then
+        Parse.fail st (Fmt.str "reserved word %s used as a variable" name))
+    binders;
+  Parse.expect_sym st ".";
+  let body = parse_formula sg (List.rev binders @ env) st in
+  let vars = List.map (fun (n, s) -> { Term.vname = n; vsort = s }) binders in
+  if universal then Formula.forall vars body else Formula.exists vars body
+
+and parse_iff sg env st =
+  let lhs = parse_imp sg env st in
+  let rec loop acc =
+    if Parse.accept_sym st "<->" || Parse.accept_sym st "<=>" then
+      loop (Formula.Iff (acc, parse_imp sg env st))
+    else acc
+  in
+  loop lhs
+
+and parse_imp sg env st =
+  let lhs = parse_or sg env st in
+  if Parse.accept_sym st "->" || Parse.accept_sym st "=>" then
+    Formula.Imp (lhs, parse_imp sg env st)
+  else lhs
+
+and parse_or sg env st =
+  let lhs = parse_and sg env st in
+  let rec loop acc =
+    if Parse.accept_sym st "|" || Parse.accept_sym st "||" then
+      loop (Formula.Or (acc, parse_and sg env st))
+    else acc
+  in
+  loop lhs
+
+and parse_and sg env st =
+  let lhs = parse_unary sg env st in
+  let rec loop acc =
+    if Parse.accept_sym st "&" || Parse.accept_sym st "&&" then
+      loop (Formula.And (acc, parse_unary sg env st))
+    else acc
+  in
+  loop lhs
+
+and parse_unary sg env st =
+  if Parse.accept_sym st "~" || Parse.accept_sym st "!" then
+    Formula.Not (parse_unary sg env st)
+  else parse_atom sg env st
+
+and parse_atom sg env st =
+  if Parse.accept_kw st kw_true then Formula.True
+  else if Parse.accept_kw st kw_false then Formula.False
+  else if Parse.accept_sym st "(" then begin
+    let f = parse_formula sg env st in
+    Parse.expect_sym st ")";
+    f
+  end
+  else begin
+    (* Either a predicate application or a term comparison. Look ahead:
+       if the head name is a declared predicate and is applied (or 0-ary),
+       and no comparison operator follows, treat it as an atom. *)
+    match Parse.peek st with
+    | Lexer.Ident name | Lexer.Uident name
+      when (match Signature.find_pred sg name with Some _ -> true | None -> false)
+           && not (List.mem_assoc name env) ->
+      Parse.advance st;
+      let args =
+        if Parse.accept_sym st "(" then begin
+          let args = Parse.sep_list st ~sep:"," (parse_term sg env) in
+          Parse.expect_sym st ")";
+          args
+        end
+        else []
+      in
+      Formula.Pred (name, args)
+    | _ ->
+      let t1 = parse_term sg env st in
+      if Parse.accept_sym st "=" then Formula.Eq (t1, parse_term sg env st)
+      else if Parse.accept_sym st "/=" || Parse.accept_sym st "<>" then
+        Formula.Not (Formula.Eq (t1, parse_term sg env st))
+      else Parse.fail st "expected '=' or '/=' after a term"
+  end
+
+(** Parse a formula; [free] declares the sorts of free variables. *)
+let formula ?(free : env = []) (sg : Signature.t) (src : string) :
+  (Formula.t, string) result =
+  Parse.run (fun st -> parse_formula sg free st) src
+
+(** Parse a term; [free] declares the sorts of free variables. *)
+let term ?(free : env = []) (sg : Signature.t) (src : string) : (Term.t, string) result =
+  Parse.run (fun st -> parse_term sg free st) src
+
+let formula_exn ?free sg src =
+  match formula ?free sg src with
+  | Ok f -> f
+  | Error e -> invalid_arg ("Parser.formula_exn: " ^ e)
+
+let term_exn ?free sg src =
+  match term ?free sg src with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Parser.term_exn: " ^ e)

@@ -1,0 +1,46 @@
+(** Concrete syntax for first-order terms and formulas.
+
+    Grammar (precedence climbing, loosest first):
+    {v
+    formula := 'forall' binders '.' formula
+             | 'exists' binders '.' formula
+             | iff
+    binders := name ':' sort (',' name ':' sort)*
+    iff     := imp ('<->' imp)*
+    imp     := or ('->' imp)?          (right associative)
+    or      := and ('|' and)*
+    and     := unary ('&' unary)*
+    unary   := '~' unary | atom
+    atom    := 'true' | 'false' | '(' formula ')'
+             | term ('=' | '/=') term
+             | predicate-application
+    term    := integer | name | name '(' term (',' term)* ')'
+    v}
+
+    A bare name is resolved against the bound-variable environment
+    first, then against the signature's function symbols; applications
+    are resolved as predicates or functions by consulting the
+    signature. *)
+
+open Fdbs_kernel
+
+(** Bound/free variable environment: name to sort. *)
+type env = (string * Sort.t) list
+
+(** Reserved words that cannot name variables. *)
+val reserved : string list
+
+(** Sub-parsers exposed for reuse by the temporal and RPR parsers. *)
+
+val parse_term : Signature.t -> env -> Parse.state -> Term.t
+val parse_binders : Parse.state -> (string * Sort.t) list
+val parse_formula : Signature.t -> env -> Parse.state -> Formula.t
+
+(** Parse a formula; [free] declares the sorts of free variables. *)
+val formula : ?free:env -> Signature.t -> string -> (Formula.t, string) result
+
+(** Parse a term; [free] declares the sorts of free variables. *)
+val term : ?free:env -> Signature.t -> string -> (Term.t, string) result
+
+val formula_exn : ?free:env -> Signature.t -> string -> Formula.t
+val term_exn : ?free:env -> Signature.t -> string -> Term.t

@@ -1,0 +1,92 @@
+(** Many-sorted first-order signatures (the non-logical symbols of a
+    language L, paper Section 3.1).
+
+    A signature declares the sorts, the function symbols (constants are
+    0-ary functions) and the predicate symbols. Predicate symbols
+    representing database structures are flagged as {e db-predicates};
+    the information-level language distinguishes them because the
+    refinement interpretation [I] maps exactly those to query terms. *)
+
+open Fdbs_kernel
+
+type func = {
+  fname : string;
+  fargs : Sort.t list;
+  fres : Sort.t;
+}
+
+type pred = {
+  pname : string;
+  pargs : Sort.t list;
+  db : bool;  (** [true] iff this is a db-predicate symbol *)
+}
+
+type t = {
+  sorts : Sort.Set.t;
+  funcs : func list;
+  preds : pred list;
+}
+
+let empty = { sorts = Sort.Set.singleton Sort.bool; funcs = []; preds = [] }
+
+let find_dup names =
+  let rec go = function
+    | [] -> None
+    | x :: rest -> if List.mem x rest then Some x else go rest
+  in
+  go names
+
+(** Build a signature; raises [Invalid_argument] on duplicate symbol
+    names or on symbols mentioning undeclared sorts. *)
+let make ~sorts ~funcs ~preds : t =
+  let sorts = Sort.Set.add Sort.bool (Sort.Set.of_list sorts) in
+  let check_sort who s =
+    if not (Sort.Set.mem s sorts) then
+      invalid_arg (Fmt.str "Signature.make: %s uses undeclared sort %s" who s)
+  in
+  (match find_dup (List.map (fun f -> f.fname) funcs) with
+   | Some d -> invalid_arg (Fmt.str "Signature.make: duplicate function symbol %s" d)
+   | None -> ());
+  (match find_dup (List.map (fun p -> p.pname) preds) with
+   | Some d -> invalid_arg (Fmt.str "Signature.make: duplicate predicate symbol %s" d)
+   | None -> ());
+  List.iter
+    (fun f ->
+      List.iter (check_sort f.fname) f.fargs;
+      check_sort f.fname f.fres)
+    funcs;
+  List.iter (fun p -> List.iter (check_sort p.pname) p.pargs) preds;
+  { sorts; funcs; preds }
+
+let func name args res = { fname = name; fargs = args; fres = res }
+let const name sort = { fname = name; fargs = []; fres = sort }
+let pred ?(db = false) name args = { pname = name; pargs = args; db }
+let db_pred name args = pred ~db:true name args
+
+let find_func (sg : t) name = List.find_opt (fun f -> f.fname = name) sg.funcs
+let find_pred (sg : t) name = List.find_opt (fun p -> p.pname = name) sg.preds
+
+let has_sort (sg : t) s = Sort.Set.mem s sg.sorts
+
+let db_preds (sg : t) = List.filter (fun p -> p.db) sg.preds
+
+(** Constants of a given sort, useful for generating ground instances. *)
+let constants_of_sort (sg : t) s =
+  List.filter (fun f -> f.fargs = [] && Sort.equal f.fres s) sg.funcs
+
+let pp_func ppf f =
+  match f.fargs with
+  | [] -> Fmt.pf ppf "%s : %a" f.fname Sort.pp f.fres
+  | _ ->
+    Fmt.pf ppf "%s : %a -> %a" f.fname
+      Fmt.(list ~sep:(any " * ") Sort.pp) f.fargs Sort.pp f.fres
+
+let pp_pred ppf p =
+  Fmt.pf ppf "%s%s : <%a>" p.pname (if p.db then " (db)" else "")
+    Fmt.(list ~sep:(any ", ") Sort.pp) p.pargs
+
+let pp ppf (sg : t) =
+  Fmt.pf ppf "@[<v>sorts: %a@,%a@,%a@]"
+    Fmt.(list ~sep:(any ", ") Sort.pp) (Sort.Set.elements sg.sorts)
+    Fmt.(list ~sep:cut pp_func) sg.funcs
+    Fmt.(list ~sep:cut pp_pred) sg.preds

@@ -1,0 +1,58 @@
+(** Many-sorted first-order signatures (the non-logical symbols of a
+    language L, paper Section 3.1).
+
+    A signature declares the sorts, the function symbols (constants are
+    0-ary functions) and the predicate symbols. Predicate symbols
+    representing database structures are flagged as {e db-predicates};
+    the information-level language distinguishes them because the
+    refinement interpretation I maps exactly those to query terms. *)
+
+open Fdbs_kernel
+
+type func = {
+  fname : string;
+  fargs : Sort.t list;
+  fres : Sort.t;
+}
+
+type pred = {
+  pname : string;
+  pargs : Sort.t list;
+  db : bool;  (** [true] iff this is a db-predicate symbol *)
+}
+
+type t = {
+  sorts : Sort.Set.t;
+  funcs : func list;
+  preds : pred list;
+}
+
+(** The signature with no symbols (and only the [bool] sort). *)
+val empty : t
+
+(** First duplicate in a list of names, if any (shared helper). *)
+val find_dup : string list -> string option
+
+(** Build a signature; raises [Invalid_argument] on duplicate symbol
+    names or on symbols mentioning undeclared sorts. The [bool] sort is
+    always included. *)
+val make : sorts:Sort.t list -> funcs:func list -> preds:pred list -> t
+
+val func : string -> Sort.t list -> Sort.t -> func
+val const : string -> Sort.t -> func
+val pred : ?db:bool -> string -> Sort.t list -> pred
+val db_pred : string -> Sort.t list -> pred
+
+val find_func : t -> string -> func option
+val find_pred : t -> string -> pred option
+val has_sort : t -> Sort.t -> bool
+
+(** The db-predicate symbols, in declaration order. *)
+val db_preds : t -> pred list
+
+(** Constants of a given sort, useful for generating ground instances. *)
+val constants_of_sort : t -> Sort.t -> func list
+
+val pp_func : func Fmt.t
+val pp_pred : pred Fmt.t
+val pp : t Fmt.t

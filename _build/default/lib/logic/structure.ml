@@ -1,0 +1,72 @@
+(** Finite structures (interpretations) of a many-sorted language.
+
+    A structure fixes a finite carrier for each sort and an
+    interpretation for each function and predicate symbol. Predicates
+    may be given either intensionally (as OCaml functions) or
+    extensionally (as tuple tables); extensional structures additionally
+    support equality comparison and printing, which the temporal level
+    uses to deduplicate database states. *)
+
+open Fdbs_kernel
+module SMap = Map.Make (String)
+
+type t = {
+  domain : Domain.t;
+  funcs : (Value.t list -> Value.t) SMap.t;
+  preds : (Value.t list -> bool) SMap.t;
+  tables : Value.t list list SMap.t;
+      (** extensional content of db-predicates, when known *)
+}
+
+let make ~domain ?(funcs = []) ?(preds = []) () =
+  {
+    domain;
+    funcs = SMap.of_seq (List.to_seq funcs);
+    preds = SMap.of_seq (List.to_seq preds);
+    tables = SMap.empty;
+  }
+
+(** Interpret predicate [name] extensionally by the given tuple list. *)
+let with_table name tuples (st : t) =
+  let index : (Value.t list, unit) Hashtbl.t = Hashtbl.create (List.length tuples + 7) in
+  List.iter (fun tu -> Hashtbl.replace index tu ()) tuples;
+  let tuples =
+    Hashtbl.fold (fun tu () acc -> tu :: acc) index []
+    |> List.sort (List.compare Value.compare)
+  in
+  let member args = Hashtbl.mem index args in
+  {
+    st with
+    preds = SMap.add name member st.preds;
+    tables = SMap.add name tuples st.tables;
+  }
+
+(** Build a fully extensional structure: constants plus predicate tables. *)
+let of_tables ~domain ~(consts : (string * Value.t) list)
+    ~(relations : (string * Value.t list list) list) : t =
+  let funcs =
+    List.map (fun (name, v) -> (name, fun (_ : Value.t list) -> v)) consts
+  in
+  let base = make ~domain ~funcs () in
+  List.fold_left (fun st (name, tuples) -> with_table name tuples st) base relations
+
+let domain (st : t) = st.domain
+
+let func (st : t) name : (Value.t list -> Value.t) option = SMap.find_opt name st.funcs
+let pred (st : t) name : (Value.t list -> bool) option = SMap.find_opt name st.preds
+
+let table (st : t) name = SMap.find_opt name st.tables
+
+(** Equality of the extensional parts (tables) of two structures; used to
+    identify database states. Tables are kept sorted, so this is a
+    linear comparison. Intensional parts are not comparable. *)
+let equal_tables (a : t) (b : t) =
+  SMap.equal (List.equal (List.equal Value.equal)) a.tables b.tables
+
+let pp ppf (st : t) =
+  let pp_rel ppf (name, tuples) =
+    let pp_tuple ppf tu = Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") Value.pp) tu in
+    Fmt.pf ppf "@[%s = {%a}@]" name Fmt.(list ~sep:(any ", ") pp_tuple)
+      (List.sort Stdlib.compare tuples)
+  in
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_rel) (SMap.bindings st.tables)

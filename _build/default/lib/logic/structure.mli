@@ -1,0 +1,49 @@
+(** Finite structures (interpretations) of a many-sorted language.
+
+    A structure fixes a finite carrier for each sort and an
+    interpretation for each function and predicate symbol. Predicates
+    may be given either intensionally (as OCaml functions) or
+    extensionally (as tuple tables); extensional structures additionally
+    support equality comparison and printing, which the temporal level
+    uses to deduplicate database states. *)
+
+open Fdbs_kernel
+
+type t
+
+val make :
+  domain:Domain.t ->
+  ?funcs:(string * (Value.t list -> Value.t)) list ->
+  ?preds:(string * (Value.t list -> bool)) list ->
+  unit ->
+  t
+
+(** Interpret predicate [name] extensionally by the given tuple list
+    (deduplicated, kept sorted; membership is O(1) via an index). *)
+val with_table : string -> Value.t list list -> t -> t
+
+(** Build a fully extensional structure: constants plus predicate
+    tables. *)
+val of_tables :
+  domain:Domain.t ->
+  consts:(string * Value.t) list ->
+  relations:(string * Value.t list list) list ->
+  t
+
+val domain : t -> Domain.t
+
+(** Interpretation of a function symbol, if any. *)
+val func : t -> string -> (Value.t list -> Value.t) option
+
+(** Interpretation of a predicate symbol, if any. *)
+val pred : t -> string -> (Value.t list -> bool) option
+
+(** Extensional table of a predicate, when known (sorted). *)
+val table : t -> string -> Value.t list list option
+
+(** Equality of the extensional parts (tables) of two structures; used
+    to identify database states. Intensional parts are not
+    comparable. *)
+val equal_tables : t -> t -> bool
+
+val pp : t Fmt.t

@@ -1,0 +1,111 @@
+(** Terms of a many-sorted first-order language. *)
+
+open Fdbs_kernel
+
+type var = {
+  vname : string;
+  vsort : Sort.t;
+}
+
+type t =
+  | Var of var
+  | App of string * t list  (** function application; constants are 0-ary *)
+  | Lit of Value.t  (** literal value (integers from the concrete syntax) *)
+
+let var name sort = Var { vname = name; vsort = sort }
+let const name = App (name, [])
+let app name args = App (name, args)
+let int n = Lit (Value.Int n)
+
+let var_equal (a : var) (b : var) = a.vname = b.vname && Sort.equal a.vsort b.vsort
+
+let rec equal t1 t2 =
+  match (t1, t2) with
+  | Var v1, Var v2 -> var_equal v1 v2
+  | App (f, args1), App (g, args2) ->
+    f = g && List.length args1 = List.length args2 && List.for_all2 equal args1 args2
+  | Lit v1, Lit v2 -> Value.equal v1 v2
+  | (Var _ | App _ | Lit _), _ -> false
+
+let compare = Stdlib.compare
+
+(** Free variables, in first-occurrence order, without duplicates. *)
+let free_vars (t : t) : var list =
+  let rec go acc = function
+    | Var v -> if List.exists (var_equal v) acc then acc else v :: acc
+    | App (_, args) -> List.fold_left go acc args
+    | Lit _ -> acc
+  in
+  List.rev (go [] t)
+
+let is_ground t = free_vars t = []
+
+(** Substitutions: finite maps from variables to terms. *)
+module Subst = struct
+  type term = t
+  type nonrec t = (var * term) list
+
+  let empty : t = []
+  let of_list (l : (var * term) list) : t = l
+  let bindings (s : t) = s
+
+  let lookup (s : t) v =
+    let rec go = function
+      | [] -> None
+      | (v', t) :: rest -> if var_equal v v' then Some t else go rest
+    in
+    go s
+
+  let bind (s : t) v t : t = (v, t) :: s
+end
+
+(** Apply a substitution (simultaneous, not sequential). *)
+let rec subst (s : Subst.t) = function
+  | Var v as t -> (match Subst.lookup s v with Some t' -> t' | None -> t)
+  | App (f, args) -> App (f, List.map (subst s) args)
+  | Lit _ as t -> t
+
+(** [size t] counts the nodes of [t]. *)
+let rec size = function
+  | Var _ | Lit _ -> 1
+  | App (_, args) -> 1 + Fdbs_kernel.Util.sum (List.map size args)
+
+(** [is_subterm s t] holds iff [s] occurs in [t] (including [s = t]). *)
+let rec is_subterm s t =
+  equal s t || match t with App (_, args) -> List.exists (is_subterm s) args | Var _ | Lit _ -> false
+
+(** Sort of a term under a signature; [Error] explains ill-sortedness. *)
+let rec sort_of (sg : Signature.t) (t : t) : (Sort.t, string) result =
+  match t with
+  | Var v -> Ok v.vsort
+  | Lit (Value.Int _) -> Ok (Sort.make "int")
+  | Lit (Value.Bool _) -> Ok Sort.bool
+  | Lit (Value.Sym s) -> Error (Fmt.str "literal symbol %s has no declared sort" s)
+  | App (f, args) ->
+    (match Signature.find_func sg f with
+     | None -> Error (Fmt.str "undeclared function symbol %s" f)
+     | Some fd ->
+       if List.length args <> List.length fd.fargs then
+         Error (Fmt.str "function %s expects %d arguments, got %d" f
+                  (List.length fd.fargs) (List.length args))
+       else
+         let rec check_args expected actual =
+           match (expected, actual) with
+           | [], [] -> Ok fd.fres
+           | es :: expected, a :: actual ->
+             (match sort_of sg a with
+              | Error _ as e -> e
+              | Ok s ->
+                if Sort.equal s es then check_args expected actual
+                else Error (Fmt.str "argument of %s has sort %s, expected %s" f s es))
+           | _ -> assert false
+         in
+         check_args fd.fargs args)
+
+let rec pp ppf = function
+  | Var v -> Fmt.string ppf v.vname
+  | Lit v -> Value.pp ppf v
+  | App (f, []) -> Fmt.string ppf f
+  | App (f, args) -> Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(any ", ") pp) args
+
+let to_string t = Fmt.str "%a" pp t

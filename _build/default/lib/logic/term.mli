@@ -1,0 +1,55 @@
+(** Terms of a many-sorted first-order language. *)
+
+open Fdbs_kernel
+
+type var = {
+  vname : string;
+  vsort : Sort.t;
+}
+
+type t =
+  | Var of var
+  | App of string * t list  (** function application; constants are 0-ary *)
+  | Lit of Value.t  (** literal value (integers from the concrete syntax) *)
+
+val var : string -> Sort.t -> t
+val const : string -> t
+val app : string -> t list -> t
+val int : int -> t
+
+val var_equal : var -> var -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Free variables, in first-occurrence order, without duplicates. *)
+val free_vars : t -> var list
+
+val is_ground : t -> bool
+
+(** Substitutions: finite maps from variables to terms. *)
+module Subst : sig
+  type term = t
+  type t = (var * term) list
+
+  val empty : t
+  val of_list : (var * term) list -> t
+  val bindings : t -> (var * term) list
+  val lookup : t -> var -> term option
+  val bind : t -> var -> term -> t
+end
+
+(** Apply a substitution (simultaneous, not sequential). *)
+val subst : Subst.t -> t -> t
+
+(** Number of nodes. *)
+val size : t -> int
+
+(** [is_subterm s t] holds iff [s] occurs in [t] (including [s = t]). *)
+val is_subterm : t -> t -> bool
+
+(** Sort of a term under a signature; [Error] explains ill-sortedness.
+    Integer literals have sort ["int"], Boolean literals sort [bool]. *)
+val sort_of : Signature.t -> t -> (Sort.t, string) result
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,49 @@
+(** First-order theories T = (L, A): a language (signature) together
+    with a set of named axioms (paper Section 3.1). *)
+
+type axiom = {
+  ax_name : string;
+  ax_formula : Formula.t;
+}
+
+type t = {
+  name : string;
+  signature : Signature.t;
+  axioms : axiom list;
+}
+
+let axiom name formula = { ax_name = name; ax_formula = formula }
+
+(** Build a theory, checking every axiom is well-sorted and closed. *)
+let make ~name ~signature ~axioms : (t, string) result =
+  let rec check = function
+    | [] -> Ok { name; signature; axioms }
+    | ax :: rest ->
+      (match Formula.check signature ax.ax_formula with
+       | Error e -> Error (Fmt.str "axiom %s: %s" ax.ax_name e)
+       | Ok () ->
+         if not (Formula.is_closed ax.ax_formula) then
+           Error (Fmt.str "axiom %s is not a sentence (free variables: %s)" ax.ax_name
+                    (String.concat ", "
+                       (List.map (fun v -> v.Term.vname)
+                          (Formula.free_vars ax.ax_formula))))
+         else check rest)
+  in
+  check axioms
+
+let make_exn ~name ~signature ~axioms =
+  match make ~name ~signature ~axioms with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Theory.make_exn: " ^ e)
+
+(** Axioms of [t] that [st] falsifies (empty iff [st] is a model). *)
+let failures (t : t) (st : Structure.t) : axiom list =
+  List.filter (fun ax -> not (Eval.sentence st ax.ax_formula)) t.axioms
+
+(** [st] is a model of the theory iff it satisfies every axiom. *)
+let is_model (t : t) (st : Structure.t) : bool = failures t st = []
+
+let pp ppf (t : t) =
+  let pp_ax ppf ax = Fmt.pf ppf "@[%s: %a@]" ax.ax_name Formula.pp ax.ax_formula in
+  Fmt.pf ppf "@[<v>theory %s@,%a@,axioms:@,%a@]" t.name Signature.pp t.signature
+    Fmt.(list ~sep:cut pp_ax) t.axioms

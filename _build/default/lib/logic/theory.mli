@@ -1,0 +1,28 @@
+(** First-order theories T = (L, A): a language (signature) together
+    with a set of named axioms (paper Section 3.1). *)
+
+type axiom = {
+  ax_name : string;
+  ax_formula : Formula.t;
+}
+
+type t = {
+  name : string;
+  signature : Signature.t;
+  axioms : axiom list;
+}
+
+val axiom : string -> Formula.t -> axiom
+
+(** Build a theory, checking every axiom is a well-sorted sentence. *)
+val make :
+  name:string -> signature:Signature.t -> axioms:axiom list -> (t, string) result
+
+val make_exn : name:string -> signature:Signature.t -> axioms:axiom list -> t
+
+(** Axioms falsified by the structure (empty iff it is a model). *)
+val failures : t -> Structure.t -> axiom list
+
+val is_model : t -> Structure.t -> bool
+
+val pp : t Fmt.t

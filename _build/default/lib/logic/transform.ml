@@ -1,0 +1,130 @@
+(** Syntactic transformations on formulas: simplification, negation
+    normal form and prenex normal form. *)
+
+
+(** One-step boolean simplifications applied bottom-up: unit laws,
+    idempotence on syntactically equal subformulas, double negation. *)
+let rec simplify (f : Formula.t) : Formula.t =
+  let open Formula in
+  match f with
+  | True | False | Pred _ | Eq _ -> f
+  | Not g ->
+    (match simplify g with
+     | True -> False
+     | False -> True
+     | Not h -> h
+     | g' -> Not g')
+  | And (g, h) ->
+    (match (simplify g, simplify h) with
+     | False, _ | _, False -> False
+     | True, h' -> h'
+     | g', True -> g'
+     | g', h' -> if equal g' h' then g' else And (g', h'))
+  | Or (g, h) ->
+    (match (simplify g, simplify h) with
+     | True, _ | _, True -> True
+     | False, h' -> h'
+     | g', False -> g'
+     | g', h' -> if equal g' h' then g' else Or (g', h'))
+  | Imp (g, h) ->
+    (match (simplify g, simplify h) with
+     | False, _ -> True
+     | True, h' -> h'
+     | _, True -> True
+     | g', False -> simplify (Not g')
+     | g', h' -> Imp (g', h'))
+  | Iff (g, h) ->
+    (match (simplify g, simplify h) with
+     | True, h' -> h'
+     | g', True -> g'
+     | False, h' -> simplify (Not h')
+     | g', False -> simplify (Not g')
+     | g', h' -> if equal g' h' then True else Iff (g', h'))
+  | Forall (v, g) -> Forall (v, simplify g)
+  | Exists (v, g) -> Exists (v, simplify g)
+
+(** Negation normal form: negations pushed to atoms; [->] and [<->]
+    eliminated. *)
+let nnf (f : Formula.t) : Formula.t =
+  let open Formula in
+  let rec pos = function
+    | (True | False | Pred _ | Eq _) as a -> a
+    | Not g -> neg g
+    | And (g, h) -> And (pos g, pos h)
+    | Or (g, h) -> Or (pos g, pos h)
+    | Imp (g, h) -> Or (neg g, pos h)
+    | Iff (g, h) -> And (Or (neg g, pos h), Or (neg h, pos g))
+    | Forall (v, g) -> Forall (v, pos g)
+    | Exists (v, g) -> Exists (v, pos g)
+  and neg = function
+    | True -> False
+    | False -> True
+    | (Pred _ | Eq _) as a -> Not a
+    | Not g -> pos g
+    | And (g, h) -> Or (neg g, neg h)
+    | Or (g, h) -> And (neg g, neg h)
+    | Imp (g, h) -> And (pos g, neg h)
+    | Iff (g, h) -> Or (And (pos g, neg h), And (neg g, pos h))
+    | Forall (v, g) -> Exists (v, neg g)
+    | Exists (v, g) -> Forall (v, neg g)
+  in
+  pos f
+
+(** Prenex normal form of an NNF formula: quantifiers pulled to the
+    front, renaming bound variables apart when needed. *)
+let prenex (f : Formula.t) : Formula.t =
+  let open Formula in
+  let counter = ref 0 in
+  let fresh (v : Term.var) used =
+    if List.exists (Term.var_equal v) used then begin
+      incr counter;
+      { v with Term.vname = Fmt.str "%s_%d" v.Term.vname !counter }
+    end
+    else v
+  in
+  (* Returns (prefix, matrix); prefix is a list of (quantifier, var). *)
+  let rec split used = function
+    | Forall (v, g) ->
+      let v' = fresh v used in
+      let g = if Term.var_equal v v' then g else subst (Term.Subst.of_list [ (v, Term.Var v') ]) g in
+      let prefix, matrix = split (v' :: used) g in
+      ((`All, v') :: prefix, matrix)
+    | Exists (v, g) ->
+      let v' = fresh v used in
+      let g = if Term.var_equal v v' then g else subst (Term.Subst.of_list [ (v, Term.Var v') ]) g in
+      let prefix, matrix = split (v' :: used) g in
+      ((`Ex, v') :: prefix, matrix)
+    | And (g, h) ->
+      let pg, mg = split used g in
+      let ph, mh = split (used @ List.map snd pg) h in
+      (pg @ ph, And (mg, mh))
+    | Or (g, h) ->
+      let pg, mg = split used g in
+      let ph, mh = split (used @ List.map snd pg) h in
+      (pg @ ph, Or (mg, mh))
+    | (True | False | Pred _ | Eq _ | Not _) as a -> ([], a)
+    | (Imp _ | Iff _) as g ->
+      (* not in NNF: normalize first *)
+      split used (nnf g)
+  in
+  let prefix, matrix = split (free_vars f) (nnf f) in
+  List.fold_right
+    (fun (q, v) acc -> match q with `All -> Forall (v, acc) | `Ex -> Exists (v, acc))
+    prefix matrix
+
+(** Universal closure over the formula's free variables. *)
+let universal_closure (f : Formula.t) = Formula.forall (Formula.free_vars f) f
+
+(** Existential closure over the formula's free variables. *)
+let existential_closure (f : Formula.t) = Formula.exists (Formula.free_vars f) f
+
+(** Quantifier depth: maximal nesting of quantifiers. *)
+let rec quantifier_depth (f : Formula.t) : int =
+  let open Formula in
+  match f with
+  | True | False | Pred _ | Eq _ -> 0
+  | Not g -> quantifier_depth g
+  | And (g, h) | Or (g, h) | Imp (g, h) | Iff (g, h) ->
+    max (quantifier_depth g) (quantifier_depth h)
+  | Forall (_, g) | Exists (_, g) -> 1 + quantifier_depth g
+

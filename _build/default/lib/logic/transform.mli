@@ -1,0 +1,24 @@
+(** Syntactic transformations on formulas: simplification, negation
+    normal form and prenex normal form. All preserve truth in every
+    structure (property-tested). *)
+
+(** Bottom-up Boolean simplification: unit laws, idempotence on
+    syntactically equal subformulas, double negation. *)
+val simplify : Formula.t -> Formula.t
+
+(** Negation normal form: negations pushed to atoms; [->] and [<->]
+    eliminated. *)
+val nnf : Formula.t -> Formula.t
+
+(** Prenex normal form: quantifiers pulled to the front, bound
+    variables renamed apart when needed. Normalizes to NNF first. *)
+val prenex : Formula.t -> Formula.t
+
+(** Universal closure over the formula's free variables. *)
+val universal_closure : Formula.t -> Formula.t
+
+(** Existential closure over the formula's free variables. *)
+val existential_closure : Formula.t -> Formula.t
+
+(** Maximal nesting of quantifiers. *)
+val quantifier_depth : Formula.t -> int

@@ -1,0 +1,74 @@
+(** First-order matching and unification on terms.
+
+    Matching ([match_term]) instantiates only the pattern's variables and
+    is what the conditional rewriting engine of the algebraic level uses;
+    unification ([unify]) instantiates both sides and is provided for
+    completeness (e.g. critical-pair analysis). *)
+
+let rec occurs (v : Term.var) = function
+  | Term.Var v' -> Term.var_equal v v'
+  | Term.App (_, args) -> List.exists (occurs v) args
+  | Term.Lit _ -> false
+
+(** [match_term pattern term] finds a substitution [s] with
+    [Term.subst s pattern = term], instantiating only variables of
+    [pattern]; [term] is typically ground. Linear and non-linear
+    patterns are both supported (repeated variables must match equal
+    subterms). *)
+let match_term (pattern : Term.t) (term : Term.t) : Term.Subst.t option =
+  let rec go subst pattern term =
+    match (pattern, term) with
+    | Term.Var v, _ ->
+      (match Term.Subst.lookup subst v with
+       | Some bound -> if Term.equal bound term then Some subst else None
+       | None -> Some (Term.Subst.bind subst v term))
+    | Term.Lit v1, Term.Lit v2 -> if Fdbs_kernel.Value.equal v1 v2 then Some subst else None
+    | Term.App (f, args1), Term.App (g, args2) when f = g && List.length args1 = List.length args2 ->
+      let rec fold subst = function
+        | [] -> Some subst
+        | (p, t) :: rest ->
+          (match go subst p t with None -> None | Some subst -> fold subst rest)
+      in
+      fold subst (Fdbs_kernel.Util.zip_exn args1 args2)
+    | (Term.Lit _ | Term.App _), _ -> None
+  in
+  go Term.Subst.empty pattern term
+
+(** [match_all pairs] matches a list of (pattern, term) pairs under one
+    shared substitution. *)
+let match_all (pairs : (Term.t * Term.t) list) : Term.Subst.t option =
+  List.fold_left
+    (fun acc (p, t) ->
+      match acc with
+      | None -> None
+      | Some subst ->
+        (match match_term (Term.subst subst p) t with
+         | None -> None
+         | Some s' ->
+           Some (List.fold_left (fun s (v, tm) -> Term.Subst.bind s v tm)
+                   subst (Term.Subst.bindings s'))))
+    (Some Term.Subst.empty) pairs
+
+(** Most general unifier of two terms, or [None]. *)
+let unify (t1 : Term.t) (t2 : Term.t) : Term.Subst.t option =
+  let rec go subst = function
+    | [] -> Some subst
+    | (t1, t2) :: rest ->
+      let t1 = Term.subst subst t1 and t2 = Term.subst subst t2 in
+      (match (t1, t2) with
+       | _ when Term.equal t1 t2 -> go subst rest
+       | Term.Var v, t | t, Term.Var v ->
+         if occurs v t then None
+         else
+           let bind = Term.Subst.of_list [ (v, t) ] in
+           let subst' =
+             Term.Subst.of_list
+               (List.map (fun (v', tm) -> (v', Term.subst bind tm)) (Term.Subst.bindings subst))
+           in
+           go (Term.Subst.bind subst' v t) rest
+       | Term.App (f, args1), Term.App (g, args2)
+         when f = g && List.length args1 = List.length args2 ->
+         go subst (Fdbs_kernel.Util.zip_exn args1 args2 @ rest)
+       | (Term.App _ | Term.Lit _), _ -> None)
+  in
+  go Term.Subst.empty [ (t1, t2) ]

@@ -1,0 +1,22 @@
+(** First-order matching and unification on terms.
+
+    Matching instantiates only the pattern's variables and is what the
+    conditional rewriting engine of the algebraic level uses;
+    unification instantiates both sides and supports critical-pair
+    analysis. *)
+
+(** Does the variable occur in the term? *)
+val occurs : Term.var -> Term.t -> bool
+
+(** [match_term pattern term] finds a substitution [s] with
+    [Term.subst s pattern = term], instantiating only variables of
+    [pattern]. Non-linear patterns are supported (repeated variables
+    must match equal subterms). *)
+val match_term : Term.t -> Term.t -> Term.Subst.t option
+
+(** Match a list of (pattern, term) pairs under one shared
+    substitution. *)
+val match_all : (Term.t * Term.t) list -> Term.Subst.t option
+
+(** Most general unifier of two terms, or [None] (with occurs check). *)
+val unify : Term.t -> Term.t -> Term.Subst.t option

@@ -1,0 +1,1 @@
+lib/refinement/check12.ml: Array Check Domain Eval Fdbs_algebra Fdbs_kernel Fdbs_logic Fdbs_temporal Fmt Interp12 List Reach Signature Spec Structure Tformula Trace Ttheory Universe Util Value

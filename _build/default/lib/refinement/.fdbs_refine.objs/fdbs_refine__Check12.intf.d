@@ -1,0 +1,1 @@
+lib/refinement/check12.mli: Check Domain Fdbs_algebra Fdbs_kernel Fdbs_logic Fdbs_temporal Fmt Interp12 Reach Spec Structure Ttheory Universe

@@ -1,0 +1,1 @@
+lib/refinement/check23.ml: Asig Aterm Atyping Db Domain Equation Fdbs_algebra Fdbs_kernel Fdbs_logic Fdbs_rpr Fmt Interp23 List Option Schema Semantics Sort Spec Term Util Value

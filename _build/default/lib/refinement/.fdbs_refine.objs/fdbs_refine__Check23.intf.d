@@ -1,0 +1,1 @@
+lib/refinement/check23.mli: Asig Db Fdbs_algebra Fdbs_rpr Fmt Interp23 Semantics Spec

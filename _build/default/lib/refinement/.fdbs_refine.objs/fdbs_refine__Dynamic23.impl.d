@@ -1,0 +1,1 @@
+lib/refinement/dynamic23.ml: Asig Aterm Check23 Dynamic Equation Fdbs_algebra Fdbs_kernel Fdbs_logic Fdbs_rpr Fmt Formula Interp23 List Result Sdesc Semantics Sort Spec Term Util

@@ -1,0 +1,1 @@
+lib/refinement/dynamic23.mli: Asig Dynamic Equation Fdbs_algebra Fdbs_rpr Fmt Interp23 Semantics Spec

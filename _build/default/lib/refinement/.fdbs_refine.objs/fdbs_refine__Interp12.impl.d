@@ -1,0 +1,1 @@
+lib/refinement/interp12.ml: Asig Aterm Atyping Fdbs_algebra Fdbs_kernel Fdbs_logic Fmt List Signature Term

@@ -1,0 +1,1 @@
+lib/refinement/interp12.mli: Asig Aterm Fdbs_algebra Fdbs_kernel Fdbs_logic Signature Term Value

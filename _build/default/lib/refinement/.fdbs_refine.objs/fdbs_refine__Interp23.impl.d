@@ -1,0 +1,1 @@
+lib/refinement/interp23.ml: Asig Fdbs_algebra Fdbs_kernel Fdbs_logic Fdbs_rpr Fmt Formula List Schema String Term

@@ -1,0 +1,1 @@
+lib/refinement/interp23.mli: Asig Fdbs_algebra Fdbs_kernel Fdbs_logic Fdbs_rpr Formula Schema Term Value

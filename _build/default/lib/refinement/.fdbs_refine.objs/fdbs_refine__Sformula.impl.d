@@ -1,0 +1,1 @@
+lib/refinement/sformula.ml: Array Aterm Domain Eval Fdbs_algebra Fdbs_kernel Fdbs_logic Fmt Fun List Reach Spec Term Trace Value

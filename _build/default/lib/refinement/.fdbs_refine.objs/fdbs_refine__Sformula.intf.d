@@ -1,0 +1,1 @@
+lib/refinement/sformula.mli: Aterm Fdbs_algebra Fdbs_kernel Fdbs_logic Fmt Reach Spec Term Value

@@ -1,0 +1,1 @@
+lib/refinement/synthesize.ml: Asig Aterm Fdbs_algebra Fdbs_kernel Fdbs_logic Fdbs_rpr Fmt Formula List Result Schema Sdesc Sort Stmt String Term Util Value

@@ -1,0 +1,1 @@
+lib/refinement/synthesize.mli: Asig Fdbs_algebra Fdbs_rpr Schema Sdesc

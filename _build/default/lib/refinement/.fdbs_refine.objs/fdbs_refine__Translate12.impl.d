@@ -1,0 +1,1 @@
+lib/refinement/translate12.ml: Aterm Fdbs_algebra Fdbs_kernel Fdbs_logic Fdbs_temporal Fmt Interp12 List Reach Result Sformula Spec Term Tformula Ttheory

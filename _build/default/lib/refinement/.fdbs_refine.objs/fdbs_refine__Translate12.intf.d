@@ -1,0 +1,1 @@
+lib/refinement/translate12.mli: Aterm Fdbs_algebra Fdbs_logic Fdbs_temporal Interp12 Reach Sformula Spec Term Tformula Ttheory

@@ -1,0 +1,237 @@
+(** Correctness of a first-to-second level refinement (paper Sections
+    4.3–4.4), checked by bounded model exploration.
+
+    Given the information-level theory T1, the algebraic specification
+    T2 and an interpretation I, the checker:
+
+    - explores the reachable quotient graph of T2's updates over a
+      finite parameter domain ({!Fdbs_algebra.Reach});
+    - turns it into a temporal universe: each reachable state becomes an
+      L1 structure whose db-predicate extensions are computed through I,
+      and the accessibility relation is the (transitively closed) update
+      relation;
+    - checks every axiom of T1 at every reachable state — static axioms
+      give property (b) "every reachable state is valid", modal axioms
+      give property (d) "transition consistency";
+    - enumerates all valid states over the domain (structures satisfying
+      the static axioms) and searches each among the reachable ones —
+      property (c) "every valid state is reachable". *)
+
+open Fdbs_kernel
+open Fdbs_logic
+open Fdbs_algebra
+open Fdbs_temporal
+
+type report = {
+  states : int;  (** reachable states explored *)
+  truncated : bool;
+  interp_errors : string list;
+  axiom_reports : Check.report list;
+      (** per-axiom failures over the reachable universe *)
+  unreachable_valid : Structure.t list;
+      (** valid states (over the domain) not reached by any update trace *)
+  eval_error : string option;  (** evaluation failure, if exploration aborted *)
+}
+
+let ok (r : report) =
+  r.interp_errors = []
+  && Check.all_pass r.axiom_reports
+  && r.unreachable_valid = []
+  && r.eval_error = None
+
+let pp_report ppf (r : report) =
+  if ok r then
+    Fmt.pf ppf "refinement correct on %d reachable states%s" r.states
+      (if r.truncated then " (truncated!)" else "")
+  else
+    Fmt.pf ppf "@[<v>refinement check FAILED:@,%a%a%a%a@]"
+      Fmt.(list ~sep:cut string)
+      r.interp_errors
+      Fmt.(list ~sep:cut Check.pp_report)
+      (List.filter (fun (rep : Check.report) -> rep.Check.failures <> []) r.axiom_reports)
+      Fmt.(list ~sep:cut (fun ppf st -> Fmt.pf ppf "valid but unreachable: %a" Structure.pp st))
+      r.unreachable_valid
+      Fmt.(option (fun ppf e -> Fmt.pf ppf "evaluation error: %s" e))
+      r.eval_error
+
+(* The L1 structure induced by a reachable state: db-predicate
+   extensions computed through I by evaluating the images on the node's
+   trace; constants of L1 interpreted as their symbolic values. *)
+let structure_of_node (t1 : Ttheory.t) (spec : Spec.t) (interp : Interp12.t)
+    ~(domain : Domain.t) (node : Reach.node) : (Structure.t, string) result =
+  let consts =
+    List.filter_map
+      (fun (f : Signature.func) ->
+        if f.Signature.fargs = [] then Some (f.Signature.fname, Value.Sym f.Signature.fname)
+        else None)
+      t1.Ttheory.signature.Signature.funcs
+  in
+  let state_term = Trace.to_aterm spec.Spec.signature node.Reach.trace in
+  let rec build_tables acc = function
+    | [] -> Ok acc
+    | (p : Signature.pred) :: rest ->
+      let carriers = List.map (Domain.carrier domain) p.Signature.pargs in
+      let rec tuples acc_t = function
+        | [] -> Ok (List.rev acc_t)
+        | values :: more ->
+          (match Interp12.apply interp p.Signature.pname values state_term with
+           | Error e -> Error e
+           | Ok term ->
+             (match Eval.holds ~domain spec term with
+              | Ok true -> tuples (values :: acc_t) more
+              | Ok false -> tuples acc_t more
+              | Error e -> Error (Fmt.str "%a" Eval.pp_error e)))
+      in
+      (match tuples [] (Util.cartesian carriers) with
+       | Error e -> Error e
+       | Ok tuples -> build_tables ((p.Signature.pname, tuples) :: acc) rest)
+  in
+  match build_tables [] (Signature.db_preds t1.Ttheory.signature) with
+  | Error e -> Error e
+  | Ok relations -> Ok (Structure.of_tables ~domain ~consts ~relations)
+
+(** The temporal universe induced by the reachable graph: one structure
+    per node; accessibility = update edges, transitively closed when
+    [future] is [true] (the default — the paper reads R(A,B) as "B is a
+    future state of A"). *)
+let universe_of_graph ?(future = true) (t1 : Ttheory.t) (spec : Spec.t)
+    (interp : Interp12.t) (g : Reach.graph) : (Universe.t, string) result =
+  let rec build acc i =
+    if i >= Array.length g.Reach.nodes then Ok (List.rev acc)
+    else
+      match structure_of_node t1 spec interp ~domain:g.Reach.domain g.Reach.nodes.(i) with
+      | Error e -> Error e
+      | Ok st -> build (st :: acc) (i + 1)
+  in
+  match build [] 0 with
+  | Error e -> Error e
+  | Ok states ->
+    let edges = List.map (fun (e : Reach.edge) -> (e.Reach.src, e.Reach.dst)) g.Reach.edges in
+    let u = Universe.make ~states ~edges in
+    Ok (if future then Universe.transitive_closure u else u)
+
+(** All structures over [domain] satisfying T1's static axioms: the set
+    V of valid states (paper Section 4.4(b)). Exponential in the domain;
+    keep domains small. *)
+let valid_states (t1 : Ttheory.t) ~(domain : Domain.t) : Structure.t list =
+  let consts =
+    List.filter_map
+      (fun (f : Signature.func) ->
+        if f.Signature.fargs = [] then Some (f.Signature.fname, Value.Sym f.Signature.fname)
+        else None)
+      t1.Ttheory.signature.Signature.funcs
+  in
+  let rec powerset = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let smaller = powerset rest in
+      smaller @ List.map (fun s -> x :: s) smaller
+  in
+  let choices =
+    List.map
+      (fun (p : Signature.pred) ->
+        let tuples = Util.cartesian (List.map (Domain.carrier domain) p.Signature.pargs) in
+        List.map (fun sub -> (p.Signature.pname, sub)) (powerset tuples))
+      (Signature.db_preds t1.Ttheory.signature)
+  in
+  let statics = Ttheory.static_axioms t1 in
+  List.filter_map
+    (fun relations ->
+      let st = Structure.of_tables ~domain ~consts ~relations in
+      let valid =
+        List.for_all
+          (fun (ax : Ttheory.axiom) ->
+            match Tformula.to_formula ax.Ttheory.ax_formula with
+            | Some f -> Fdbs_logic.Eval.sentence st f
+            | None -> true)
+          statics
+      in
+      if valid then Some st else None)
+    (Util.cartesian choices)
+
+(** The paper's closing remark on property (c): "by contrast not all
+    valid transitions will be realized by our repertoire of update
+    functions". This analysis quantifies that gap: among ordered pairs
+    of valid states satisfying every transition axiom when read as a
+    one-step constraint, how many are realized by a single update?
+    Returns (realized, valid-transitions). Meant for small domains. *)
+let transition_coverage (t1 : Ttheory.t) (spec : Spec.t) (interp : Interp12.t)
+    ~(domain : Domain.t) : (int * int, string) result =
+  match Reach.explore ~domain spec with
+  | Error e -> Error (Fmt.str "%a" Eval.pp_error e)
+  | Ok g ->
+    (match universe_of_graph ~future:false t1 spec interp g with
+     | Error e -> Error e
+     | Ok u ->
+       let n = Universe.num_states u in
+       let single_step = Universe.edges u in
+       (* A candidate transition (i, j) is valid iff every transition
+          axiom holds in the two-state universe {i -> j} closed
+          transitively — the one-step reading of the modal axioms. *)
+       let transition_axioms = Ttheory.transition_axioms t1 in
+       let valid_transition i j =
+         let pair =
+           Universe.make
+             ~states:[ Universe.state u i; Universe.state u j ]
+             ~edges:[ (0, 1) ]
+         in
+         List.for_all
+           (fun (ax : Ttheory.axiom) -> Check.holds_at pair 0 ax.Ttheory.ax_formula)
+           transition_axioms
+       in
+       let realized = ref 0 in
+       let valid = ref 0 in
+       for i = 0 to n - 1 do
+         for j = 0 to n - 1 do
+           if i <> j && valid_transition i j then begin
+             incr valid;
+             if List.mem (i, j) single_step then incr realized
+           end
+         done
+       done;
+       Ok (!realized, !valid))
+
+(** Run the full first-to-second level refinement check over [domain]
+    (defaults to the spec's base domain). *)
+let check ?(limit = 10_000) ?domain ?(future = true) (t1 : Ttheory.t) (spec : Spec.t)
+    (interp : Interp12.t) : report =
+  let domain = match domain with Some d -> d | None -> spec.Spec.base_domain in
+  let interp_errors = Interp12.check interp t1.Ttheory.signature spec.Spec.signature in
+  let empty_report =
+    {
+      states = 0;
+      truncated = false;
+      interp_errors;
+      axiom_reports = [];
+      unreachable_valid = [];
+      eval_error = None;
+    }
+  in
+  if interp_errors <> [] then empty_report
+  else
+    match Reach.explore ~limit ~domain spec with
+    | Error e -> { empty_report with eval_error = Some (Fmt.str "%a" Eval.pp_error e) }
+    | Ok g ->
+      (match universe_of_graph ~future t1 spec interp g with
+       | Error e -> { empty_report with eval_error = Some e }
+       | Ok u ->
+         let axiom_reports = Ttheory.check_in t1 u in
+         (* (c) every valid state is reachable *)
+         let reachable_structures =
+           List.init (Universe.num_states u) (Universe.state u)
+         in
+         let unreachable_valid =
+           List.filter
+             (fun valid ->
+               not
+                 (List.exists (Structure.equal_tables valid) reachable_structures))
+             (valid_states t1 ~domain)
+         in
+         {
+           states = Reach.num_states g;
+           truncated = g.Reach.truncated;
+           interp_errors = [];
+           axiom_reports;
+           unreachable_valid;
+           eval_error = None;
+         })

@@ -1,0 +1,77 @@
+(** Correctness of a first-to-second level refinement (paper Sections
+    4.3–4.4), checked by bounded model exploration.
+
+    The checker explores the reachable quotient graph of T2's updates
+    over a finite parameter domain, turns it into a temporal universe
+    through I, checks every axiom of T1 at every reachable state —
+    static axioms give property (b) "every reachable state is valid",
+    modal axioms property (d) "transition consistency" — and enumerates
+    all valid states to establish property (c) "every valid state is
+    reachable". *)
+
+open Fdbs_kernel
+open Fdbs_logic
+open Fdbs_algebra
+open Fdbs_temporal
+
+type report = {
+  states : int;  (** reachable states explored *)
+  truncated : bool;
+  interp_errors : string list;
+  axiom_reports : Check.report list;
+      (** per-axiom failures over the reachable universe *)
+  unreachable_valid : Structure.t list;
+      (** valid states (over the domain) not reached by any update trace *)
+  eval_error : string option;  (** evaluation failure, if exploration aborted *)
+}
+
+val ok : report -> bool
+val pp_report : report Fmt.t
+
+(** The L1 structure induced by a reachable state: db-predicate
+    extensions computed through I by evaluating the images on the
+    node's trace. *)
+val structure_of_node :
+  Ttheory.t ->
+  Spec.t ->
+  Interp12.t ->
+  domain:Domain.t ->
+  Reach.node ->
+  (Structure.t, string) result
+
+(** The temporal universe induced by the reachable graph: one structure
+    per node; accessibility = update edges, transitively closed when
+    [future] (the default — the paper reads R(A,B) as "B is a future
+    state of A"). *)
+val universe_of_graph :
+  ?future:bool ->
+  Ttheory.t ->
+  Spec.t ->
+  Interp12.t ->
+  Reach.graph ->
+  (Universe.t, string) result
+
+(** All structures over the domain satisfying T1's static axioms: the
+    set V of valid states (paper Section 4.4(b)). Exponential in the
+    domain; keep domains small. *)
+val valid_states : Ttheory.t -> domain:Domain.t -> Structure.t list
+
+(** Run the full first-to-second level refinement check over [domain]
+    (defaults to the spec's base domain). *)
+val check :
+  ?limit:int ->
+  ?domain:Domain.t ->
+  ?future:bool ->
+  Ttheory.t ->
+  Spec.t ->
+  Interp12.t ->
+  report
+
+(** The paper's closing remark on property (c): "not all valid
+    transitions will be realized by our repertoire of update
+    functions". Among ordered pairs of distinct valid states satisfying
+    every transition axiom read as a one-step constraint, how many are
+    realized by a single update? Returns (realized, valid-transitions);
+    meant for small domains. *)
+val transition_coverage :
+  Ttheory.t -> Spec.t -> Interp12.t -> domain:Domain.t -> (int * int, string) result

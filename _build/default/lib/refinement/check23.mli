@@ -1,0 +1,45 @@
+(** Correctness of a second-to-third level refinement (paper Sections
+    5.3–5.4), checked semantically.
+
+    Following the paper, K induces a mapping N from universes of L3 into
+    finitely generated structures of L2: the state carrier is generated
+    by the update terms, each denoting the database reached by running
+    the corresponding procedures from the initializer. T3 correctly
+    refines T2 iff N(U) is a model of T2 — every conditional equation of
+    A2 is valid. The checker verifies this over all reachable databases
+    for all parameter values from a finite domain, mirroring the paper's
+    induction on the length of the generating term. *)
+
+open Fdbs_algebra
+open Fdbs_rpr
+
+type violation = {
+  equation : string;
+  valuation : (string * string) list;  (** variable ↦ value/db rendering *)
+  detail : string;
+}
+
+type report = {
+  databases : int;  (** distinct reachable databases *)
+  truncated : bool;
+  mapping_errors : string list;
+  violations : violation list;
+  checked : int;  (** equation instances checked *)
+  exec_error : string option;
+}
+
+val ok : report -> bool
+val pp_violation : violation Fmt.t
+val pp_report : report Fmt.t
+
+(** All databases reachable from the initializers by procedure calls
+    with parameters from the environment's domain, deduplicated; the
+    finitely generated state carrier of the induced model N(U). Raises
+    [Invalid_argument] on execution errors. *)
+val reachable_dbs :
+  Semantics.env -> Interp23.t -> Asig.t -> limit:int -> Db.t list * bool
+
+(** Run the full second-to-third level refinement check: every equation
+    of T2, over every reachable database and all parameter values from
+    the environment's domain. *)
+val check : ?limit:int -> Spec.t -> Semantics.env -> Interp23.t -> report

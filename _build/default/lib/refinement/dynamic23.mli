@@ -1,0 +1,36 @@
+(** The syntactic route to second-to-third level refinement through
+    dynamic logic — the possibility the paper defers to "a separate
+    paper" (Section 5.3) and {!Fdbs_rpr.Dynamic} supplies.
+
+    Each Q-equation [cond => q(ā, u(p̄, U)) = rhs] translates into the
+    dynamic-logic sentence
+
+    {v ∀vars. K(cond) -> ( ⟨u(p̄)⟩true
+                         & (K(rhs)  -> \[u(p̄)\] K(q)(ā))
+                         & (~K(rhs) -> \[u(p̄)\] ~K(q)(ā)) ) v}
+
+    and T3 refines T2 iff every sentence holds at every reachable
+    database — agreeing with the semantic route of {!Check23} (tested on
+    passing and failing designs). *)
+
+open Fdbs_algebra
+open Fdbs_rpr
+
+(** Translate one Q-equation into a closed dynamic-logic sentence. The
+    lhs must have the standard shape [q(ā, u(p̄, U))]; U-equations are
+    not supported. *)
+val of_equation : Interp23.t -> Asig.t -> Equation.t -> (Dynamic.t, string) result
+
+type verdict = {
+  dyn_equation : string;
+  dyn_formula : Dynamic.t;
+  dyn_holds : bool;
+}
+
+(** Check every Q-equation's translation at every reachable database:
+    the syntactic counterpart of {!Check23.check}. *)
+val check :
+  ?limit:int -> Spec.t -> Semantics.env -> Interp23.t -> (verdict list, string) result
+
+val all_hold : verdict list -> bool
+val pp_verdict : verdict Fmt.t

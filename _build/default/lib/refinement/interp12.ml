@@ -1,0 +1,124 @@
+(** Interpretations I binding the information level to the functions
+    level (paper Section 4.3).
+
+    An interpretation maps each n-ary db-predicate symbol [p] of L1 to a
+    Boolean term of L2 with free variables [x1..xn, σ] — in the running
+    example, [offered ↦ offered(c, σ)] and [takes ↦ takes(s, c, σ)].
+    Ordinary function symbols map to themselves (parameter operators
+    shared by both levels). *)
+
+open Fdbs_logic
+open Fdbs_algebra
+
+(** Image of one db-predicate: formal argument variables paired with a
+    Boolean algebraic term over them and {!state_var}. *)
+type image = {
+  img_args : Term.var list;
+  img_term : Aterm.t;
+}
+
+type t = {
+  db_preds : (string * image) list;
+  state_var : Term.var;  (** the σ variable used in the images *)
+}
+
+let state_var : Term.var = { Term.vname = "sigma"; vsort = Fdbs_kernel.Sort.state }
+
+let image args term = { img_args = args; img_term = term }
+
+let make ?(state_var = state_var) db_preds = { db_preds; state_var }
+
+(** The canonical interpretation when db-predicates and query functions
+    correspond one-to-one by name (the paper's convenient "coincidence",
+    Section 6): each db-predicate [p<s̄>] maps to [p(x̄, σ)]. *)
+let canonical (sg1 : Signature.t) (sg2 : Asig.t) : (t, string) result =
+  let rec build acc = function
+    | [] -> Ok (make (List.rev acc))
+    | (p : Signature.pred) :: rest ->
+      (match Asig.find_query sg2 p.Signature.pname with
+       | None ->
+         Error
+           (Fmt.str "db-predicate %s has no homonym query function" p.Signature.pname)
+       | Some q ->
+         let qsorts = Asig.param_args q in
+         if not (List.equal Fdbs_kernel.Sort.equal qsorts p.Signature.pargs) then
+           Error (Fmt.str "db-predicate %s and query %s disagree on sorts"
+                    p.Signature.pname q.Asig.oname)
+         else
+           let args =
+             List.mapi
+               (fun i srt -> { Term.vname = Fmt.str "x%d" (i + 1); vsort = srt })
+               p.Signature.pargs
+           in
+           let term =
+             Aterm.App
+               ( q.Asig.oname,
+                 List.map (fun v -> Aterm.Var v) args @ [ Aterm.Var state_var ] )
+           in
+           build ((p.Signature.pname, image args term) :: acc) rest)
+  in
+  build [] (Signature.db_preds sg1)
+
+let canonical_exn sg1 sg2 =
+  match canonical sg1 sg2 with
+  | Ok i -> i
+  | Error e -> invalid_arg ("Interp12.canonical_exn: " ^ e)
+
+let find (i : t) p = List.assoc_opt p i.db_preds
+
+(** Instantiate db-predicate [p]'s image on parameter values and a
+    ground state term: the L2 term that answers "does p(v̄) hold in
+    state t?". *)
+let apply (i : t) (p : string) (values : Fdbs_kernel.Value.t list)
+    (state_term : Aterm.t) : (Aterm.t, string) result =
+  match find i p with
+  | None -> Error (Fmt.str "no image for db-predicate %s" p)
+  | Some img ->
+    if List.length values <> List.length img.img_args then
+      Error (Fmt.str "db-predicate %s arity mismatch" p)
+    else
+      let subst =
+        (i.state_var, state_term)
+        :: List.map2
+             (fun v value -> (v, Aterm.Val (value, v.Term.vsort)))
+             img.img_args values
+      in
+      Ok (Aterm.subst subst img.img_term)
+
+(** Like {!apply}, but with algebraic terms as arguments (used by the
+    syntactic wff translation, where arguments are variables or
+    parameter terms rather than values). *)
+let apply_terms (i : t) (p : string) (args : Aterm.t list) (state_term : Aterm.t) :
+  (Aterm.t, string) result =
+  match find i p with
+  | None -> Error (Fmt.str "no image for db-predicate %s" p)
+  | Some img ->
+    if List.length args <> List.length img.img_args then
+      Error (Fmt.str "db-predicate %s arity mismatch" p)
+    else
+      let subst =
+        (i.state_var, state_term) :: List.combine img.img_args args
+      in
+      Ok (Aterm.subst subst img.img_term)
+
+(** Sanity-check an interpretation against the two signatures: every
+    db-predicate of L1 has an image; images are Boolean and well-sorted
+    in L2. *)
+let check (i : t) (sg1 : Signature.t) (sg2 : Asig.t) : string list =
+  let errors = ref [] in
+  let err fmt = Fmt.kstr (fun s -> errors := s :: !errors) fmt in
+  List.iter
+    (fun (p : Signature.pred) ->
+      match find i p.Signature.pname with
+      | None -> err "db-predicate %s has no image" p.Signature.pname
+      | Some img ->
+        if
+          not
+            (List.equal Fdbs_kernel.Sort.equal p.Signature.pargs
+               (List.map (fun v -> v.Term.vsort) img.img_args))
+        then err "image of %s binds wrong argument sorts" p.Signature.pname;
+        (match Atyping.check_bool sg2 img.img_term with
+         | Ok () -> ()
+         | Error e -> err "image of %s: %s" p.Signature.pname e))
+    (Signature.db_preds sg1);
+  List.rev !errors

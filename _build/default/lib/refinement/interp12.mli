@@ -1,0 +1,50 @@
+(** Interpretations I binding the information level to the functions
+    level (paper Section 4.3).
+
+    An interpretation maps each n-ary db-predicate symbol [p] of L1 to a
+    Boolean term of L2 with free variables [x1..xn, σ] — in the running
+    example, offered ↦ offered(c, σ) and takes ↦ takes(s, c, σ).
+    Ordinary function symbols map to themselves. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+open Fdbs_algebra
+
+(** Image of one db-predicate: formal argument variables paired with a
+    Boolean algebraic term over them and the state variable. *)
+type image = {
+  img_args : Term.var list;
+  img_term : Aterm.t;
+}
+
+type t = {
+  db_preds : (string * image) list;
+  state_var : Term.var;  (** the σ variable used in the images *)
+}
+
+(** The default σ variable. *)
+val state_var : Term.var
+
+val image : Term.var list -> Aterm.t -> image
+val make : ?state_var:Term.var -> (string * image) list -> t
+
+(** The canonical interpretation when db-predicates and query functions
+    correspond one-to-one by name (the paper's convenient "coincidence",
+    Section 6). *)
+val canonical : Signature.t -> Asig.t -> (t, string) result
+
+val canonical_exn : Signature.t -> Asig.t -> t
+
+val find : t -> string -> image option
+
+(** Instantiate db-predicate [p]'s image on parameter values and a
+    ground state term: the L2 term that answers "does p(v̄) hold in
+    state t?". *)
+val apply : t -> string -> Value.t list -> Aterm.t -> (Aterm.t, string) result
+
+(** Like {!apply}, but with algebraic terms as arguments (used by the
+    syntactic wff translation). *)
+val apply_terms : t -> string -> Aterm.t list -> Aterm.t -> (Aterm.t, string) result
+
+(** Sanity-check an interpretation against the two signatures. *)
+val check : t -> Signature.t -> Asig.t -> string list

@@ -1,0 +1,149 @@
+(** Mappings K binding the functions level to the representation level
+    (paper Section 5.3).
+
+    K maps each query function symbol of L2 to a wff of L3 with free
+    variables for the parameters (requirement (2)) — in the running
+    example [K(offered) = OFFERED(c)], [K(takes) = TAKES(s,c)] — and
+    each update function symbol to the homonym (or explicitly named)
+    procedure of T3 (requirement (1)). Parameter operators map to
+    themselves (requirement (4)). *)
+
+open Fdbs_logic
+open Fdbs_algebra
+open Fdbs_rpr
+
+(** Image of a query: formal parameter variables and an L3 wff over
+    them (the state is implicit — the current database). *)
+type qimage = {
+  qi_args : Term.var list;
+  qi_wff : Formula.t;
+}
+
+type t = {
+  queries : (string * qimage) list;
+  updates : (string * string) list;  (** L2 update ↦ T3 procedure name *)
+}
+
+let qimage args wff = { qi_args = args; qi_wff = wff }
+
+let make ~queries ~updates = { queries; updates }
+
+(** The canonical mapping when query functions correspond by name to
+    relations (case-insensitively, the paper uses OFFERED for offered)
+    and updates to homonym procedures. *)
+let canonical (sg2 : Asig.t) (schema : Schema.t) : (t, string) result =
+  let find_relation name =
+    List.find_opt
+      (fun (r : Schema.rel_decl) ->
+        String.lowercase_ascii r.Schema.rname = String.lowercase_ascii name)
+      schema.Schema.relations
+  in
+  let rec build_queries acc = function
+    | [] -> Ok (List.rev acc)
+    | (q : Asig.op) :: rest ->
+      (match find_relation q.Asig.oname with
+       | None -> Error (Fmt.str "query %s has no homonym relation" q.Asig.oname)
+       | Some r ->
+         let sorts = Asig.param_args q in
+         if not (List.equal Fdbs_kernel.Sort.equal sorts r.Schema.rsorts) then
+           Error (Fmt.str "query %s and relation %s disagree on sorts" q.Asig.oname
+                    r.Schema.rname)
+         else
+           let args =
+             List.mapi
+               (fun i srt -> { Term.vname = Fmt.str "x%d" (i + 1); vsort = srt })
+               sorts
+           in
+           let wff =
+             Formula.Pred (r.Schema.rname, List.map (fun v -> Term.Var v) args)
+           in
+           build_queries ((q.Asig.oname, qimage args wff) :: acc) rest)
+  in
+  let rec build_updates acc = function
+    | [] -> Ok (List.rev acc)
+    | (u : Asig.op) :: rest ->
+      (match Schema.find_proc schema u.Asig.oname with
+       | None -> Error (Fmt.str "update %s has no homonym procedure" u.Asig.oname)
+       | Some p ->
+         let expected = Asig.param_args u in
+         let actual = List.map snd p.Schema.pparams in
+         if not (List.equal Fdbs_kernel.Sort.equal expected actual) then
+           Error (Fmt.str "update %s and procedure %s disagree on parameter sorts"
+                    u.Asig.oname p.Schema.pname)
+         else build_updates ((u.Asig.oname, p.Schema.pname) :: acc) rest)
+  in
+  match build_queries [] sg2.Asig.queries with
+  | Error _ as e -> e
+  | Ok queries ->
+    (match build_updates [] sg2.Asig.updates with
+     | Error e -> Error e
+     | Ok updates -> Ok (make ~queries ~updates))
+
+let canonical_exn sg2 schema =
+  match canonical sg2 schema with
+  | Ok k -> k
+  | Error e -> invalid_arg ("Interp23.canonical_exn: " ^ e)
+
+let find_query (k : t) q = List.assoc_opt q k.queries
+let find_update (k : t) u = List.assoc_opt u k.updates
+
+(** Instantiate query [q]'s image on parameter values: the closed L3
+    wff to evaluate against the current database. *)
+let apply_query (k : t) (q : string) (values : Fdbs_kernel.Value.t list) :
+  (Formula.t, string) result =
+  match find_query k q with
+  | None -> Error (Fmt.str "no image for query %s" q)
+  | Some img ->
+    if List.length values <> List.length img.qi_args then
+      Error (Fmt.str "query %s arity mismatch" q)
+    else
+      let subst =
+        Term.Subst.of_list
+          (List.map2 (fun v value -> (v, Term.Lit value)) img.qi_args values)
+      in
+      Ok (Formula.subst subst img.qi_wff)
+
+(** Like {!apply_query}, but with argument terms (free variables stay
+    free — used by the dynamic-logic translation, which quantifies them
+    at the logic level). *)
+let apply_query_terms (k : t) (q : string) (args : Term.t list) :
+  (Formula.t, string) result =
+  match find_query k q with
+  | None -> Error (Fmt.str "no image for query %s" q)
+  | Some img ->
+    if List.length args <> List.length img.qi_args then
+      Error (Fmt.str "query %s arity mismatch" q)
+    else
+      let subst = Term.Subst.of_list (List.combine img.qi_args args) in
+      Ok (Formula.subst subst img.qi_wff)
+
+(** Sanity checks: every query/update of L2 has an image; wffs are
+    well-sorted; procedures exist with matching parameter sorts. *)
+let check (k : t) (sg2 : Asig.t) (schema : Schema.t) : string list =
+  let errors = ref [] in
+  let err fmt = Fmt.kstr (fun s -> errors := s :: !errors) fmt in
+  let sg3 = Schema.signature schema in
+  List.iter
+    (fun (q : Asig.op) ->
+      match find_query k q.Asig.oname with
+      | None -> err "query %s has no image" q.Asig.oname
+      | Some img ->
+        (match Formula.check sg3 img.qi_wff with
+         | Ok () -> ()
+         | Error e -> err "image of query %s: %s" q.Asig.oname e))
+    sg2.Asig.queries;
+  List.iter
+    (fun (u : Asig.op) ->
+      match find_update k u.Asig.oname with
+      | None -> err "update %s has no procedure" u.Asig.oname
+      | Some pname ->
+        (match Schema.find_proc schema pname with
+         | None -> err "update %s maps to unknown procedure %s" u.Asig.oname pname
+         | Some p ->
+           if
+             not
+               (List.equal Fdbs_kernel.Sort.equal (Asig.param_args u)
+                  (List.map snd p.Schema.pparams))
+           then err "update %s and procedure %s disagree on sorts" u.Asig.oname pname))
+    sg2.Asig.updates;
+  List.rev !errors

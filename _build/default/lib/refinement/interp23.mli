@@ -1,0 +1,49 @@
+(** Mappings K binding the functions level to the representation level
+    (paper Section 5.3).
+
+    K maps each query function symbol of L2 to a wff of L3 with free
+    variables for the parameters (requirement (2)) — in the running
+    example K(offered) = OFFERED(c), K(takes) = TAKES(s,c) — and each
+    update function symbol to a procedure of T3 (requirement (1)).
+    Parameter operators map to themselves (requirement (4)). *)
+
+open Fdbs_kernel
+open Fdbs_logic
+open Fdbs_algebra
+open Fdbs_rpr
+
+(** Image of a query: formal parameter variables and an L3 wff over
+    them (the state is implicit — the current database). *)
+type qimage = {
+  qi_args : Term.var list;
+  qi_wff : Formula.t;
+}
+
+type t = {
+  queries : (string * qimage) list;
+  updates : (string * string) list;  (** L2 update ↦ T3 procedure name *)
+}
+
+val qimage : Term.var list -> Formula.t -> qimage
+val make : queries:(string * qimage) list -> updates:(string * string) list -> t
+
+(** The canonical mapping when query functions correspond by name to
+    relations (case-insensitively) and updates to homonym procedures. *)
+val canonical : Asig.t -> Schema.t -> (t, string) result
+
+val canonical_exn : Asig.t -> Schema.t -> t
+
+val find_query : t -> string -> qimage option
+val find_update : t -> string -> string option
+
+(** Instantiate query [q]'s image on parameter values: the closed L3
+    wff to evaluate against the current database. *)
+val apply_query : t -> string -> Value.t list -> (Formula.t, string) result
+
+(** Like {!apply_query}, but with argument terms (free variables stay
+    free). *)
+val apply_query_terms : t -> string -> Term.t list -> (Formula.t, string) result
+
+(** Sanity checks: every query/update of L2 has an image; wffs are
+    well-sorted; procedures exist with matching parameter sorts. *)
+val check : t -> Asig.t -> Schema.t -> string list

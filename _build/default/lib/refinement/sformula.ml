@@ -1,0 +1,113 @@
+(** State formulas: the target language of the extended interpretation
+    I (paper Section 4.3).
+
+    To map wffs of L1 into L2, the paper extends L2 with a predicate
+    symbol F of sort <state, state> standing for the accessibility
+    relation of L1's semantics. A state formula is a first-order wff
+    whose atoms are Boolean L2 terms (possibly mentioning state
+    variables) and F-atoms, with quantifiers over parameter sorts and
+    over the state sort. Their semantics is given over a reachable
+    quotient graph ({!Fdbs_algebra.Reach.graph}): state variables range
+    over the graph's nodes and F over its (transitively closed) edges. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+open Fdbs_algebra
+
+type t =
+  | True
+  | False
+  | Holds of Aterm.t
+      (** a Boolean L2 term; its free state variables are bound by the
+          enclosing state quantifiers *)
+  | F of Term.var * Term.var  (** reachability between two state variables *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | Iff of t * t
+  | Forall_param of Term.var * t
+  | Exists_param of Term.var * t
+  | Forall_state of Term.var * t
+  | Exists_state of Term.var * t
+
+let rec pp ppf = function
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Holds t -> Aterm.pp ppf t
+  | F (a, b) -> Fmt.pf ppf "F(%s, %s)" a.Term.vname b.Term.vname
+  | Not f -> Fmt.pf ppf "~%a" pp f
+  | And (f, g) -> Fmt.pf ppf "(%a & %a)" pp f pp g
+  | Or (f, g) -> Fmt.pf ppf "(%a | %a)" pp f pp g
+  | Imp (f, g) -> Fmt.pf ppf "(%a -> %a)" pp f pp g
+  | Iff (f, g) -> Fmt.pf ppf "(%a <-> %a)" pp f pp g
+  | Forall_param (v, f) ->
+    Fmt.pf ppf "forall %s:%s. %a" v.Term.vname v.Term.vsort pp f
+  | Exists_param (v, f) ->
+    Fmt.pf ppf "exists %s:%s. %a" v.Term.vname v.Term.vsort pp f
+  | Forall_state (v, f) -> Fmt.pf ppf "forall %s:state. %a" v.Term.vname pp f
+  | Exists_state (v, f) -> Fmt.pf ppf "exists %s:state. %a" v.Term.vname pp f
+
+exception Eval_error of string
+
+(** Evaluate a state formula over a reachable graph: parameter
+    quantifiers range over the graph's exploration domain, state
+    quantifiers over its nodes, F over the reachability relation
+    (transitively closed when [future], the default). [params] and
+    [states] value the free variables ([states] by node index). *)
+let eval ?(future = true) (g : Reach.graph) (spec : Spec.t)
+    ?(params : (Term.var * Value.t) list = [])
+    ?(states : (Term.var * int) list = []) (f : t) : bool =
+  let n = Array.length g.Reach.nodes in
+  let reach = Array.make_matrix n n false in
+  List.iter (fun (e : Reach.edge) -> reach.(e.Reach.src).(e.Reach.dst) <- true) g.Reach.edges;
+  if future then
+    for k = 0 to n - 1 do
+      for i = 0 to n - 1 do
+        if reach.(i).(k) then
+          for j = 0 to n - 1 do
+            if reach.(k).(j) then reach.(i).(j) <- true
+          done
+      done
+    done;
+  let domain = g.Reach.domain in
+  let lookup_state sigma v =
+    match List.find_opt (fun (v', _) -> Term.var_equal v v') sigma with
+    | Some (_, i) -> i
+    | None -> raise (Eval_error (Fmt.str "unbound state variable %s" v.Term.vname))
+  in
+  let rec go rho sigma = function
+    | True -> true
+    | False -> false
+    | F (a, b) -> reach.(lookup_state sigma a).(lookup_state sigma b)
+    | Holds term ->
+      (* substitute parameter values and state traces into the term *)
+      let subst =
+        List.map (fun (v, value) -> (v, Aterm.Val (value, v.Term.vsort))) rho
+        @ List.map
+            (fun ((v : Term.var), i) ->
+              (v, Trace.to_aterm spec.Spec.signature g.Reach.nodes.(i).Reach.trace))
+            sigma
+      in
+      (match Eval.holds ~domain spec (Aterm.subst subst term) with
+       | Ok b -> b
+       | Error e -> raise (Eval_error (Fmt.str "%a" Eval.pp_error e)))
+    | Not f -> not (go rho sigma f)
+    | And (f, g') -> go rho sigma f && go rho sigma g'
+    | Or (f, g') -> go rho sigma f || go rho sigma g'
+    | Imp (f, g') -> (not (go rho sigma f)) || go rho sigma g'
+    | Iff (f, g') -> go rho sigma f = go rho sigma g'
+    | Forall_param (v, f) ->
+      List.for_all
+        (fun value -> go ((v, value) :: rho) sigma f)
+        (Domain.carrier domain v.Term.vsort)
+    | Exists_param (v, f) ->
+      List.exists
+        (fun value -> go ((v, value) :: rho) sigma f)
+        (Domain.carrier domain v.Term.vsort)
+    | Forall_state (v, f) ->
+      List.for_all (fun i -> go rho ((v, i) :: sigma) f) (List.init n Fun.id)
+    | Exists_state (v, f) ->
+      List.exists (fun i -> go rho ((v, i) :: sigma) f) (List.init n Fun.id)
+  in
+  go params states f

@@ -1,0 +1,48 @@
+(** State formulas: the target language of the extended interpretation
+    I (paper Section 4.3).
+
+    To map wffs of L1 into L2, the paper extends L2 with a predicate
+    symbol F of sort <state, state> standing for the accessibility
+    relation of L1's semantics. A state formula is a first-order wff
+    whose atoms are Boolean L2 terms and F-atoms, with quantifiers over
+    parameter sorts and over the state sort; its semantics is given
+    over a reachable quotient graph. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+open Fdbs_algebra
+
+type t =
+  | True
+  | False
+  | Holds of Aterm.t
+      (** a Boolean L2 term; free state variables are bound by the
+          enclosing state quantifiers *)
+  | F of Term.var * Term.var  (** reachability between two state variables *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | Iff of t * t
+  | Forall_param of Term.var * t
+  | Exists_param of Term.var * t
+  | Forall_state of Term.var * t
+  | Exists_state of Term.var * t
+
+val pp : t Fmt.t
+
+exception Eval_error of string
+
+(** Evaluate a state formula over a reachable graph: parameter
+    quantifiers range over the graph's exploration domain, state
+    quantifiers over its nodes, F over the reachability relation
+    (transitively closed when [future], the default). [params] and
+    [states] value free variables ([states] by node index). *)
+val eval :
+  ?future:bool ->
+  Reach.graph ->
+  Spec.t ->
+  ?params:(Term.var * Value.t) list ->
+  ?states:(Term.var * int) list ->
+  t ->
+  bool

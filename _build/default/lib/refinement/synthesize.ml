@@ -1,0 +1,201 @@
+(** Constructive synthesis of representation-level procedures from
+    structured descriptions (paper Section 5.2: "In order to obtain in a
+    constructive manner procedures that implement the desired update
+    functions, we first correlate the four parts of our structured
+    description with the semantics of the statements ... an update
+    function f will follow the pattern
+
+    {v proc f(x) = (pre-conditions?; effects; side-effects) u ~pre-conditions? v}
+
+    which can also be written using the if-then construct").
+
+    Every effect [q(ā) := true/false] becomes an [insert]/[delete] on
+    the relation implementing [q]; the pre-condition aterm becomes an L3
+    wff through the query-to-relation correspondence. The result closes
+    the constructive loop: information-level constraints → structured
+    descriptions → derived equations (level 2, {!Fdbs_algebra.Derive})
+    {e and} synthesized procedures (level 3, this module), with the
+    refinement checkers validating both. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+open Fdbs_algebra
+open Fdbs_rpr
+
+let ( let* ) = Result.bind
+
+(* Translate the applicative fragment of an algebraic term into an L3
+   term. The description's formal parameters become scalar program
+   variables (0-ary constants, as RPR procedure semantics values them);
+   variables bound by quantifiers inside the formula stay variables. *)
+let rec aterm_to_term ~(params : Term.var list) : Aterm.t -> (Term.t, string) result =
+  function
+  | Aterm.Var v ->
+    if Sort.is_state v.Term.vsort then Error "state variable in a parameter position"
+    else if List.exists (Term.var_equal v) params then Ok (Term.App (v.Term.vname, []))
+    else Ok (Term.Var v)
+  | Aterm.Val (value, _) -> Ok (Term.Lit value)
+  | Aterm.App (f, []) -> Ok (Term.App (f, []))
+  | Aterm.App (f, args) ->
+    let* args' = Util.result_all (List.map (aterm_to_term ~params) args) in
+    Ok (Term.App (f, args'))
+  | Aterm.Exists _ | Aterm.Forall _ -> Error "quantifier in a parameter position"
+
+(* Translate a Boolean algebraic term over queries-at-U into an L3 wff,
+   mapping each query application to its relation through [rel_of]. *)
+let rec aterm_to_wff ~params (sg2 : Asig.t)
+    (rel_of : string -> (string, string) result) :
+  Aterm.t -> (Formula.t, string) result = function
+  | Aterm.App ("true", []) -> Ok Formula.True
+  | Aterm.App ("false", []) -> Ok Formula.False
+  | Aterm.App ("not", [ a ]) ->
+    let* a' = aterm_to_wff ~params sg2 rel_of a in
+    Ok (Formula.Not a')
+  | Aterm.App ("and", [ a; b ]) ->
+    let* a' = aterm_to_wff ~params sg2 rel_of a in
+    let* b' = aterm_to_wff ~params sg2 rel_of b in
+    Ok (Formula.And (a', b'))
+  | Aterm.App ("or", [ a; b ]) ->
+    let* a' = aterm_to_wff ~params sg2 rel_of a in
+    let* b' = aterm_to_wff ~params sg2 rel_of b in
+    Ok (Formula.Or (a', b'))
+  | Aterm.App ("imp", [ a; b ]) ->
+    let* a' = aterm_to_wff ~params sg2 rel_of a in
+    let* b' = aterm_to_wff ~params sg2 rel_of b in
+    Ok (Formula.Imp (a', b'))
+  | Aterm.App ("iff", [ a; b ]) ->
+    let* a' = aterm_to_wff ~params sg2 rel_of a in
+    let* b' = aterm_to_wff ~params sg2 rel_of b in
+    Ok (Formula.Iff (a', b'))
+  | Aterm.Exists (v, b) ->
+    let* b' = aterm_to_wff ~params sg2 rel_of b in
+    Ok (Formula.Exists (v, b'))
+  | Aterm.Forall (v, b) ->
+    let* b' = aterm_to_wff ~params sg2 rel_of b in
+    Ok (Formula.Forall (v, b'))
+  | Aterm.App ("eq", [ a; b ]) ->
+    (* query-at-U compared to a Boolean constant, or parameter equality *)
+    let as_query = function
+      | Aterm.App (q, args) when Asig.is_query sg2 q ->
+        (match List.rev args with
+         | Aterm.Var sv :: rev_params when Sort.is_state sv.Term.vsort ->
+           Some (q, List.rev rev_params)
+         | _ -> None)
+      | _ -> None
+    in
+    let as_bool = function
+      | Aterm.App ("true", []) -> Some true
+      | Aterm.App ("false", []) -> Some false
+      | Aterm.Val (Value.Bool b, _) -> Some b
+      | _ -> None
+    in
+    (match (as_query a, as_bool b, as_bool a, as_query b) with
+     | Some (q, qargs), Some b, _, _ | _, _, Some b, Some (q, qargs) ->
+       let* rel = rel_of q in
+       let* args = Util.result_all (List.map (aterm_to_term ~params) qargs) in
+       let atom = Formula.Pred (rel, args) in
+       Ok (if b then atom else Formula.Not atom)
+     | _ ->
+       let* a' = aterm_to_term ~params a in
+       let* b' = aterm_to_term ~params b in
+       Ok (Formula.Eq (a', b')))
+  | Aterm.App (q, args) when Asig.is_query sg2 q ->
+    (* bare Boolean query application *)
+    (match List.rev args with
+     | Aterm.Var sv :: rev_params when Sort.is_state sv.Term.vsort ->
+       let* rel = rel_of q in
+       let* args =
+         Util.result_all (List.map (aterm_to_term ~params) (List.rev rev_params))
+       in
+       Ok (Formula.Pred (rel, args))
+     | _ -> Error (Fmt.str "query %s not applied to the description's state variable" q))
+  | t -> Error (Fmt.str "cannot translate %a into a wff" Aterm.pp t)
+
+(* One effect becomes insert or delete on the implementing relation. *)
+let effect_to_stmt ~params (sg2 : Asig.t)
+    (rel_of : string -> (string, string) result) (e : Sdesc.effect_) :
+  (Stmt.t, string) result =
+  let* rel = rel_of e.Sdesc.eff_query in
+  let* args = Util.result_all (List.map (aterm_to_term ~params) e.Sdesc.eff_args) in
+  match e.Sdesc.eff_value with
+  | Aterm.App ("true", []) -> Ok (Stmt.Insert (rel, args))
+  | Aterm.App ("false", []) -> Ok (Stmt.Delete (rel, args))
+  | other ->
+    ignore sg2;
+    Error
+      (Fmt.str "effect value %a is not a Boolean constant (only simple effects synthesize)"
+         Aterm.pp other)
+
+(** Synthesize the procedure implementing one structured description,
+    following the paper's pattern (rendered with [if-then], as the paper
+    notes is equivalent). Wildcard effect arguments (initializers
+    clearing a whole relation) become relational assignments to the
+    empty relational term. *)
+let procedure (sg2 : Asig.t) (schema_rels : Schema.rel_decl list)
+    (rel_of : string -> (string, string) result) (d : Sdesc.t) :
+  (Schema.proc, string) result =
+  let params = List.map (fun v -> (v.Term.vname, v.Term.vsort)) d.Sdesc.sd_params in
+  let pvars = d.Sdesc.sd_params in
+  let is_wildcard = function
+    | Aterm.Var v -> not (List.exists (Term.var_equal v) d.Sdesc.sd_params)
+    | _ -> false
+  in
+  let* effect_stmts =
+    Util.result_all
+      (List.map
+         (fun (e : Sdesc.effect_) ->
+           if List.exists is_wildcard e.Sdesc.eff_args then begin
+             (* a wildcard effect sets the whole relation: only the
+                clearing form (:= false) is synthesizable *)
+             match e.Sdesc.eff_value with
+             | Aterm.App ("false", []) ->
+               let* rel = rel_of e.Sdesc.eff_query in
+               (match List.find_opt (fun (r : Schema.rel_decl) -> r.Schema.rname = rel)
+                        schema_rels
+                with
+                | None -> Error (Fmt.str "unknown relation %s" rel)
+                | Some rd ->
+                  let vars =
+                    List.mapi
+                      (fun i srt ->
+                        { Term.vname = Fmt.str "x%d" (i + 1); vsort = srt })
+                      rd.Schema.rsorts
+                  in
+                  Ok (Stmt.Rel_assign (rel, { Stmt.rt_vars = vars; rt_body = Formula.False })))
+             | _ -> Error "wildcard effects must clear (value false)"
+           end
+           else effect_to_stmt ~params:pvars sg2 rel_of e)
+         d.Sdesc.sd_effects)
+  in
+  let body_effects = Stmt.seq effect_stmts in
+  let* body =
+    if Aterm.equal d.Sdesc.sd_pre Aterm.tru then Ok body_effects
+    else
+      let* pre = aterm_to_wff ~params:pvars sg2 rel_of d.Sdesc.sd_pre in
+      Ok (Stmt.If (pre, body_effects, Stmt.Skip))
+  in
+  Ok (Schema.proc d.Sdesc.sd_update params body)
+
+(** Synthesize a whole schema from a specification signature and its
+    structured descriptions: one relation per query (uppercased name),
+    one procedure per description. The result is ready for
+    {!Check23.check} against the derived (or hand-written) equations. *)
+let schema ~(name : string) (sg2 : Asig.t) (descriptions : Sdesc.t list) :
+  (Schema.t, string) result =
+  let relations =
+    List.map
+      (fun (q : Asig.op) ->
+        Schema.rel_decl (String.uppercase_ascii q.Asig.oname) (Asig.param_args q))
+      sg2.Asig.queries
+  in
+  let rel_of q =
+    if Asig.is_query sg2 q then Ok (String.uppercase_ascii q)
+    else Error (Fmt.str "unknown query %s" q)
+  in
+  let* procs =
+    Util.result_all (List.map (procedure sg2 relations rel_of) descriptions)
+  in
+  let sc = { Schema.name; relations; consts = []; procs } in
+  match Schema.check sc with
+  | [] -> Ok sc
+  | errs -> Error (String.concat "; " errs)

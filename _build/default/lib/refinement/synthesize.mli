@@ -1,0 +1,33 @@
+(** Constructive synthesis of representation-level procedures from
+    structured descriptions (paper Section 5.2: an update function [f]
+    follows the pattern
+    [(pre-conditions?; effects; side-effects) u ~pre-conditions?],
+    rendered with the equivalent if-then construct).
+
+    Every effect [q(ā) := true/false] becomes an insert/delete on the
+    relation implementing [q]; the pre-condition becomes an L3 wff
+    through the query-to-relation correspondence. Together with
+    {!Fdbs_algebra.Derive}, this closes the constructive loop:
+    structured descriptions yield both the derived equations (level 2)
+    and the synthesized procedures (level 3), with the refinement
+    checkers validating the pair. *)
+
+open Fdbs_algebra
+open Fdbs_rpr
+
+(** Synthesize the procedure implementing one structured description.
+    [rel_of] maps query names to relation names; wildcard effect
+    arguments (initializers clearing a whole relation) become
+    assignments of the empty relational term. *)
+val procedure :
+  Asig.t ->
+  Schema.rel_decl list ->
+  (string -> (string, string) result) ->
+  Sdesc.t ->
+  (Schema.proc, string) result
+
+(** Synthesize a whole schema from a specification signature and its
+    structured descriptions: one relation per query (uppercased name),
+    one procedure per description. The result passes
+    {!Fdbs_rpr.Schema.check} and is ready for {!Check23.check}. *)
+val schema : name:string -> Asig.t -> Sdesc.t list -> (Schema.t, string) result

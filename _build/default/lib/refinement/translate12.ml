@@ -1,0 +1,105 @@
+(** The extension of the interpretation I to whole wffs (paper Section
+    4.3: "Given an interpretation I, we can extend I to map wffs of L1
+    into wffs of L2 ... adding a predicate symbol F of sort
+    <state, state> which will stand for the reachability relation R").
+
+    The translation threads a current-state variable: db-predicate
+    atoms become their I-images at that state; ◇/□ quantify a fresh
+    state variable related by F. A T2 is then a correct refinement of
+    T1 iff the translation of every axiom holds — checked over the
+    bounded reachable model by {!check_axioms} (and shown equivalent to
+    the direct Kripke route in the test suite). *)
+
+open Fdbs_logic
+open Fdbs_algebra
+open Fdbs_temporal
+
+let ( let* ) = Result.bind
+
+(* L1 terms become algebraic terms verbatim: shared parameter sorts and
+   operators (paper: "for each function symbol f, I(f) must be a term";
+   the canonical choice is f itself). *)
+let rec term_to_aterm : Term.t -> Aterm.t = function
+  | Term.Var v -> Aterm.Var v
+  | Term.App (f, args) -> Aterm.App (f, List.map term_to_aterm args)
+  | Term.Lit (Fdbs_kernel.Value.Int n) ->
+    Aterm.Val (Fdbs_kernel.Value.Int n, Fdbs_kernel.Sort.make "int")
+  | Term.Lit v -> Aterm.Val (v, Fdbs_kernel.Sort.make "opaque")
+
+let fresh_state_var (used : Term.var list) : Term.var =
+  let rec pick i =
+    let name = Fmt.str "sigma%d" i in
+    let cand = { Term.vname = name; vsort = Fdbs_kernel.Sort.state } in
+    if List.exists (Term.var_equal cand) used then pick (i + 1) else cand
+  in
+  pick 0
+
+(** Translate a temporal wff of L1 into a state formula of L2 extended
+    with F, with [now] naming the current state. *)
+let wff (interp : Interp12.t) ~(now : Term.var) (f : Tformula.t) :
+  (Sformula.t, string) result =
+  let rec go now used : Tformula.t -> (Sformula.t, string) result = function
+    | Tformula.True -> Ok Sformula.True
+    | Tformula.False -> Ok Sformula.False
+    | Tformula.Pred (p, args) ->
+      let* image =
+        Interp12.apply_terms interp p (List.map term_to_aterm args) (Aterm.Var now)
+      in
+      Ok (Sformula.Holds image)
+    | Tformula.Eq (t1, t2) ->
+      Ok (Sformula.Holds (Aterm.eq (term_to_aterm t1) (term_to_aterm t2)))
+    | Tformula.Not g ->
+      let* g' = go now used g in
+      Ok (Sformula.Not g')
+    | Tformula.And (g, h) ->
+      let* g' = go now used g in
+      let* h' = go now used h in
+      Ok (Sformula.And (g', h'))
+    | Tformula.Or (g, h) ->
+      let* g' = go now used g in
+      let* h' = go now used h in
+      Ok (Sformula.Or (g', h'))
+    | Tformula.Imp (g, h) ->
+      let* g' = go now used g in
+      let* h' = go now used h in
+      Ok (Sformula.Imp (g', h'))
+    | Tformula.Iff (g, h) ->
+      let* g' = go now used g in
+      let* h' = go now used h in
+      Ok (Sformula.Iff (g', h'))
+    | Tformula.Forall (v, g) ->
+      let* g' = go now (v :: used) g in
+      Ok (Sformula.Forall_param (v, g'))
+    | Tformula.Exists (v, g) ->
+      let* g' = go now (v :: used) g in
+      Ok (Sformula.Exists_param (v, g'))
+    | Tformula.Possibly g ->
+      let s' = fresh_state_var (now :: used) in
+      let* g' = go s' (s' :: used) g in
+      Ok (Sformula.Exists_state (s', Sformula.And (Sformula.F (now, s'), g')))
+    | Tformula.Necessarily g ->
+      let s' = fresh_state_var (now :: used) in
+      let* g' = go s' (s' :: used) g in
+      Ok (Sformula.Forall_state (s', Sformula.Imp (Sformula.F (now, s'), g')))
+  in
+  go now [ now ] f
+
+(** Check every axiom of T1 through the syntactic translation: each
+    translated wff, universally closed over the current state, must
+    hold in the bounded reachable model. Returns per-axiom verdicts.
+    This is the paper's "I(P) is a theorem of T2", decided over the
+    finitely generated model. *)
+let check_axioms ?(future = true) (t1 : Ttheory.t) (spec : Spec.t)
+    (interp : Interp12.t) (g : Reach.graph) :
+  ((string * bool) list, string) result =
+  let now = { Term.vname = "sigma"; vsort = Fdbs_kernel.Sort.state } in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (ax : Ttheory.axiom) :: rest ->
+      let* translated = wff interp ~now ax.Ttheory.ax_formula in
+      let closed = Sformula.Forall_state (now, translated) in
+      (match Sformula.eval ~future g spec closed with
+       | holds -> go ((ax.Ttheory.ax_name, holds) :: acc) rest
+       | exception Sformula.Eval_error e -> Error e)
+  in
+  go [] t1.Ttheory.axioms

@@ -1,0 +1,35 @@
+(** The extension of the interpretation I to whole wffs (paper Section
+    4.3: "we can extend I to map wffs of L1 into wffs of L2 ... adding a
+    predicate symbol F ... which will stand for the reachability
+    relation R").
+
+    The translation threads a current-state variable: db-predicate atoms
+    become their I-images at that state; ◇/□ quantify a fresh state
+    variable related by F. T2 is a correct refinement of T1 iff the
+    translation of every axiom holds — checked over the bounded
+    reachable model, and shown equivalent to the direct Kripke route in
+    the test suite. *)
+
+open Fdbs_logic
+open Fdbs_algebra
+open Fdbs_temporal
+
+(** L1 terms become algebraic terms verbatim (shared parameter sorts
+    and operators). *)
+val term_to_aterm : Term.t -> Aterm.t
+
+(** Translate a temporal wff of L1 into a state formula of L2 extended
+    with F, with [now] naming the current state. *)
+val wff : Interp12.t -> now:Term.var -> Tformula.t -> (Sformula.t, string) result
+
+(** Check every axiom of T1 through the syntactic translation: each
+    translated wff, universally closed over the current state, must
+    hold in the bounded reachable model. The paper's "I(P) is a theorem
+    of T2", decided over the finitely generated model. *)
+val check_axioms :
+  ?future:bool ->
+  Ttheory.t ->
+  Spec.t ->
+  Interp12.t ->
+  Reach.graph ->
+  ((string * bool) list, string) result

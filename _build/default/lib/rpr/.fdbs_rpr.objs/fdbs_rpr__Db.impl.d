@@ -1,0 +1,1 @@
+lib/rpr/db.ml: Domain Fdbs_kernel Fmt Map Relation String Value

@@ -1,0 +1,1 @@
+lib/rpr/db.mli: Domain Fdbs_kernel Fmt Map Relation Value

@@ -1,0 +1,1 @@
+lib/rpr/denote.ml: Array Db Domain Fdbs_kernel List Option Relation Schema Semantics Stmt Util

@@ -1,0 +1,1 @@
+lib/rpr/denote.mli: Db Domain Fdbs_kernel Schema Semantics Stmt

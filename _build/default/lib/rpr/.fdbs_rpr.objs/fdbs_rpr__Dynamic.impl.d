@@ -1,0 +1,1 @@
+lib/rpr/dynamic.ml: Db Domain Fdbs_kernel Fdbs_logic Fmt Formula List Relcalc Schema Semantics Stmt Term Value

@@ -1,0 +1,1 @@
+lib/rpr/dynamic.mli: Db Fdbs_kernel Fdbs_logic Fmt Formula Semantics Stmt Term

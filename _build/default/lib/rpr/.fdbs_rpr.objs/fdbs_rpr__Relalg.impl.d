@@ -1,0 +1,1 @@
+lib/rpr/relalg.ml: Array Db Fdbs_kernel Fdbs_logic Fmt Formula List Relation Relcalc Sort Stmt Term Value

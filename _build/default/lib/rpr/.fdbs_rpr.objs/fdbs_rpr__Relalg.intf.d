@@ -1,0 +1,1 @@
+lib/rpr/relalg.mli: Db Domain Fdbs_kernel Fdbs_logic Fmt Relation Sort Stmt Term Value

@@ -1,0 +1,1 @@
+lib/rpr/relation.ml: Domain Fdbs_kernel Fmt List Set Sort Value

@@ -1,0 +1,1 @@
+lib/rpr/relation.mli: Domain Fdbs_kernel Fmt Set Sort Value

@@ -1,0 +1,1 @@
+lib/rpr/relcalc.ml: Db Domain Eval Fdbs_kernel Fdbs_logic Formula List Option Relation Stmt Structure Term Util Value

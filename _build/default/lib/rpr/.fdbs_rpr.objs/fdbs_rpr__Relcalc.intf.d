@@ -1,0 +1,1 @@
+lib/rpr/relcalc.mli: Db Domain Fdbs_kernel Fdbs_logic Formula Relation Stmt Structure Term Value

@@ -1,0 +1,1 @@
+lib/rpr/rparser.ml: Fdbs_kernel Fdbs_logic Formula List Parse Parser Schema Sort Stmt String Term

@@ -1,0 +1,1 @@
+lib/rpr/rparser.mli: Fdbs_kernel Fdbs_logic Formula Schema Sort Stmt

@@ -1,0 +1,1 @@
+lib/rpr/schema.ml: Db Fdbs_kernel Fdbs_logic Fmt Formula List Relation Signature Sort Stmt Term

@@ -1,0 +1,1 @@
+lib/rpr/schema.mli: Db Fdbs_kernel Fdbs_logic Fmt Signature Sort Stmt

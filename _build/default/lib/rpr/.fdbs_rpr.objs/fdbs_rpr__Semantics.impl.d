@@ -1,0 +1,1 @@
+lib/rpr/semantics.ml: Db Domain Fdbs_kernel Fdbs_logic Fmt Formula List Relalg Relation Relcalc Schema Stmt Util Value

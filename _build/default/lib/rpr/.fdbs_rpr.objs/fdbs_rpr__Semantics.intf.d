@@ -1,0 +1,1 @@
+lib/rpr/semantics.mli: Db Domain Fdbs_kernel Fdbs_logic Formula Schema Stmt Value

@@ -1,0 +1,1 @@
+lib/rpr/stmt.ml: Fdbs_kernel Fdbs_logic Fmt Formula List Sort Term

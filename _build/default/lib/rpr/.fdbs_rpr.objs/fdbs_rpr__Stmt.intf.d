@@ -1,0 +1,1 @@
+lib/rpr/stmt.mli: Fdbs_kernel Fdbs_logic Fmt Formula Sort Term

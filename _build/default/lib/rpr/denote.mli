@@ -1,0 +1,31 @@
+(** The literal denotational semantics of paper Section 5.1.2, for
+    validation on small universes.
+
+    A universe for the schema is the set of all states differing only in
+    the program variables' values — here, all assignments of relation
+    contents over a finite domain. The meaning m(s) is then an explicit
+    binary relation over the universe; tests validate the paper's
+    semantic equations, e.g. m(p;q) = m(p) ∘ m(q) and m(p⋆) =
+    closure(m(p)). *)
+
+open Fdbs_kernel
+
+(** All subsets of a list (powerset), in a deterministic order. *)
+val powerset : 'a list -> 'a list list
+
+(** Every database state over the domain: all combinations of relation
+    contents, with scalars fixed from [base]. Exponential; intended for
+    small validation cases only. *)
+val universe : Schema.t -> domain:Domain.t -> base:Db.t -> Db.t list
+
+(** The meaning of a statement as an explicit binary relation over the
+    universe: index pairs (i, j) with (U_i, U_j) ∈ m(s). *)
+val meaning : Semantics.env -> Db.t list -> Stmt.t -> (int * int) list
+
+(** Relation composition on index pairs. *)
+val compose : (int * int) list -> (int * int) list -> (int * int) list
+
+(** Reflexive-transitive closure on index pairs over [n] states. *)
+val closure : n:int -> (int * int) list -> (int * int) list
+
+val equal_relations : (int * int) list -> (int * int) list -> bool

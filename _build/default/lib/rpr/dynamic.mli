@@ -1,0 +1,47 @@
+(** First-order dynamic logic over RPR programs (paper Section 5.3: "we
+    would need a full programming logic, such as Dynamic Logic (a
+    separate paper will explore this possibility)" — implemented here).
+
+    Formulas extend the first-order wffs of L3 with the program
+    modalities ⟨p⟩φ (some outcome of p satisfies φ) and [p]φ (every
+    outcome does), where programs are RPR statements or procedure
+    calls; semantics is Harel-style relational semantics over database
+    states. The standard laws — duality ⟨p⟩φ ≡ ¬[p]¬φ, the test law
+    [P?]φ ≡ P→φ, composition [p;q]φ ≡ [p][q]φ — are property-tested. *)
+
+open Fdbs_logic
+
+type program =
+  | Prim of Stmt.t  (** an RPR statement *)
+  | Call of string * Term.t list  (** a declared procedure on argument terms *)
+  | Pseq of program * program  (** program composition at the logic level *)
+
+type t =
+  | Atom of Formula.t  (** an L3 wff evaluated at the current state *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | Iff of t * t
+  | Forall of Term.var * t  (** over the environment's domain *)
+  | Exists of Term.var * t
+  | Box of program * t  (** [p]φ: φ holds after every outcome of p *)
+  | Diamond of program * t  (** ⟨p⟩φ: some outcome of p satisfies φ *)
+
+val pp_program : program Fmt.t
+val pp : t Fmt.t
+
+exception Dyn_error of string
+
+(** Outcome states of a program at a database state. *)
+val run : Semantics.env -> Db.t -> program -> Db.t list
+
+(** Substitute a value for a variable in every atom and every program
+    argument term. *)
+val subst_var : Term.var -> Fdbs_kernel.Value.t -> t -> t
+
+(** Truth of a closed dynamic-logic formula at a database state. *)
+val holds : Semantics.env -> Db.t -> t -> bool
+
+val box : program -> t -> t
+val diamond : program -> t -> t

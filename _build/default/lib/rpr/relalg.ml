@@ -1,0 +1,292 @@
+(** A relational algebra engine and a compiler from the safe,
+    quantifier-free fragment of the relational calculus into it.
+
+    The naive evaluator of {!Relcalc} enumerates the full cartesian
+    product of the bound variables' carriers; for the common
+    range-restricted bodies (such as those produced by desugaring
+    [insert]/[delete]) the algebra evaluates in time proportional to the
+    relations' contents instead. This realizes the paper's remark that
+    the general form of assignments leads to a "set-oriented" style —
+    and quantifies its cost (experiment E10). *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+(** An argument of a membership test: a column of the current row or a
+    variable-free term. *)
+type arg =
+  | Acol of int
+  | Aterm of Term.t
+
+type col_pred =
+  | Eq of arg * arg
+  | Neq of arg * arg
+
+(** Algebra expressions; columns are positional. *)
+type expr =
+  | Rel of string  (** contents of a database relation *)
+  | Singleton of Term.t list * Sort.t list  (** one tuple of evaluated terms *)
+  | Empty of Sort.t list
+  | Select of col_pred list * expr
+  | Project of int list * expr  (** also permutes/duplicates columns *)
+  | Product of expr * expr
+  | Union of expr * expr
+  | Antijoin of expr * string * arg list
+      (** keep rows whose [arg] tuple is {e not} in the named relation *)
+
+let rec pp ppf = function
+  | Rel r -> Fmt.string ppf r
+  | Singleton (ts, _) -> Fmt.pf ppf "{(%a)}" Fmt.(list ~sep:(any ", ") Term.pp) ts
+  | Empty _ -> Fmt.string ppf "{}"
+  | Select (ps, e) -> Fmt.pf ppf "select[%d preds](%a)" (List.length ps) pp e
+  | Project (cols, e) ->
+    Fmt.pf ppf "project[%a](%a)" Fmt.(list ~sep:(any ",") int) cols pp e
+  | Product (a, b) -> Fmt.pf ppf "(%a x %a)" pp a pp b
+  | Union (a, b) -> Fmt.pf ppf "(%a + %a)" pp a pp b
+  | Antijoin (e, r, args) -> Fmt.pf ppf "antijoin[%s/%d](%a)" r (List.length args) pp e
+
+(** Column sorts of an expression, given the schema's relation sorts. *)
+let rec sorts_of ~(rel_sorts : string -> Sort.t list) : expr -> Sort.t list = function
+  | Rel r -> rel_sorts r
+  | Singleton (_, sorts) | Empty sorts -> sorts
+  | Select (_, e) | Antijoin (e, _, _) -> sorts_of ~rel_sorts e
+  | Project (cols, e) ->
+    let s = Array.of_list (sorts_of ~rel_sorts e) in
+    List.map (fun i -> s.(i)) cols
+  | Product (a, b) -> sorts_of ~rel_sorts a @ sorts_of ~rel_sorts b
+  | Union (a, _) -> sorts_of ~rel_sorts a
+
+(** Evaluate an algebra expression against a database state. Terms in
+    selections are evaluated via {!Relcalc.eval_term}. *)
+let eval ~domain ?consts (db : Db.t) (e : expr) : Relation.t =
+  let term_value t = Relcalc.eval_term ~domain ?consts db t in
+  let arg_value row = function
+    | Acol i -> List.nth row i
+    | Aterm t -> term_value t
+  in
+  let pred_holds row = function
+    | Eq (a, b) -> Value.equal (arg_value row a) (arg_value row b)
+    | Neq (a, b) -> not (Value.equal (arg_value row a) (arg_value row b))
+  in
+  let rec go : expr -> Relation.t = function
+    | Rel r -> Db.relation_exn db r
+    | Singleton (ts, sorts) -> Relation.of_list sorts [ List.map term_value ts ]
+    | Empty sorts -> Relation.empty sorts
+    | Select (ps, e) -> Relation.filter (fun row -> List.for_all (pred_holds row) ps) (go e)
+    | Project (cols, e) ->
+      let r = go e in
+      let out_sorts = List.map (fun i -> List.nth r.Relation.sorts i) cols in
+      Relation.fold
+        (fun row acc ->
+          let arr = Array.of_list row in
+          Relation.add (List.map (fun i -> arr.(i)) cols) acc)
+        r
+        (Relation.empty out_sorts)
+    | Product (a, b) ->
+      let ra = go a and rb = go b in
+      Relation.fold
+        (fun row_a acc ->
+          Relation.fold (fun row_b acc -> Relation.add (row_a @ row_b) acc) rb acc)
+        ra
+        (Relation.empty (ra.Relation.sorts @ rb.Relation.sorts))
+    | Union (a, b) -> Relation.union (go a) (go b)
+    | Antijoin (e, r, args) ->
+      let target = Db.relation_exn db r in
+      Relation.filter
+        (fun row -> not (Relation.mem (List.map (arg_value row) args) target))
+        (go e)
+  in
+  go e
+
+(* ------------------------------------------------------------------ *)
+(* Compilation from the safe calculus fragment                         *)
+(* ------------------------------------------------------------------ *)
+
+type literal =
+  | Lpos of string * Term.t list
+  | Lneg of string * Term.t list
+  | Leq of Term.t * Term.t
+  | Lneq of Term.t * Term.t
+
+exception Not_compilable
+
+(* Disjunctive normal form of a quantifier-free wff, as literal lists.
+   Raises [Not_compilable] on quantifiers or blow-up past [max_clauses]. *)
+let dnf ?(max_clauses = 64) (f : Formula.t) : literal list list =
+  let rec pos = function
+    | Formula.True -> [ [] ]
+    | Formula.False -> []
+    | Formula.Pred (r, args) -> [ [ Lpos (r, args) ] ]
+    | Formula.Eq (a, b) -> [ [ Leq (a, b) ] ]
+    | Formula.Not g -> neg g
+    | Formula.And (g, h) ->
+      let dg = pos g and dh = pos h in
+      let product = List.concat_map (fun cg -> List.map (fun ch -> cg @ ch) dh) dg in
+      if List.length product > max_clauses then raise Not_compilable else product
+    | Formula.Or (g, h) ->
+      let d = pos g @ pos h in
+      if List.length d > max_clauses then raise Not_compilable else d
+    | Formula.Imp (g, h) -> pos (Formula.Or (Formula.Not g, h))
+    | Formula.Iff (g, h) ->
+      pos (Formula.And (Formula.Imp (g, h), Formula.Imp (h, g)))
+    | Formula.Forall _ | Formula.Exists _ -> raise Not_compilable
+  and neg = function
+    | Formula.True -> []
+    | Formula.False -> [ [] ]
+    | Formula.Pred (r, args) -> [ [ Lneg (r, args) ] ]
+    | Formula.Eq (a, b) -> [ [ Lneq (a, b) ] ]
+    | Formula.Not g -> pos g
+    | Formula.And (g, h) -> pos (Formula.Or (Formula.Not g, Formula.Not h))
+    | Formula.Or (g, h) -> pos (Formula.And (Formula.Not g, Formula.Not h))
+    | Formula.Imp (g, h) -> pos (Formula.And (g, Formula.Not h))
+    | Formula.Iff (g, h) ->
+      pos (Formula.Or (Formula.And (g, Formula.Not h), Formula.And (h, Formula.Not g)))
+    | Formula.Forall _ | Formula.Exists _ -> raise Not_compilable
+  in
+  pos f
+
+(* Compile one conjunctive clause. [head] lists the output variables in
+   order. Every head variable must be bound by a positive atom or an
+   equality with a variable-free term (range restriction). *)
+let compile_clause (head : Term.var list) (lits : literal list) : expr =
+  let is_var = function Term.Var _ -> true | Term.App _ | Term.Lit _ -> false in
+  let positives =
+    List.filter_map (function Lpos (r, args) -> Some (r, args) | _ -> None) lits
+  in
+  (* Build the product of positive atoms and record column bindings. *)
+  let bindings : (Term.var * int) list ref = ref [] in
+  let selects : col_pred list ref = ref [] in
+  let offset = ref 0 in
+  let base =
+    List.fold_left
+      (fun acc (r, args) ->
+        let here = !offset in
+        List.iteri
+          (fun i arg ->
+            let col = here + i in
+            match arg with
+            | Term.Var v ->
+              (match List.find_opt (fun (v', _) -> Term.var_equal v v') !bindings with
+               | Some (_, col0) -> selects := Eq (Acol col, Acol col0) :: !selects
+               | None -> bindings := (v, col) :: !bindings)
+            | t -> selects := Eq (Acol col, Aterm t) :: !selects)
+          args;
+        offset := here + List.length args;
+        match acc with None -> Some (Rel r) | Some e -> Some (Product (e, Rel r)))
+      None positives
+  in
+  (* Equalities binding otherwise-unbound variables to ground terms. *)
+  let ground_eqs =
+    List.filter_map
+      (function
+        | Leq (Term.Var v, t) when not (is_var t) -> Some (v, t)
+        | Leq (t, Term.Var v) when not (is_var t) -> Some (v, t)
+        | _ -> None)
+      lits
+  in
+  let col_of v =
+    match List.find_opt (fun (v', _) -> Term.var_equal v v') !bindings with
+    | Some (_, c) -> Some c
+    | None -> None
+  in
+  (* Head variables bound only by ground equalities become singleton
+     columns appended to the product. *)
+  let extra_cols = ref [] in
+  List.iter
+    (fun v ->
+      if col_of v = None then
+        match List.find_opt (fun (v', _) -> Term.var_equal v v') ground_eqs with
+        | Some (_, t) ->
+          extra_cols := (v, t) :: !extra_cols
+        | None -> raise Not_compilable)
+    head;
+  let extra_cols = List.rev !extra_cols in
+  let base =
+    match (base, extra_cols) with
+    | None, [] -> raise Not_compilable
+    | None, cols ->
+      Singleton (List.map snd cols, List.map (fun (v, _) -> v.Term.vsort) cols)
+    | Some e, [] -> e
+    | Some e, cols ->
+      Product
+        (e, Singleton (List.map snd cols, List.map (fun (v, _) -> v.Term.vsort) cols))
+  in
+  (* Register the extra columns' positions. *)
+  List.iteri (fun i (v, _) -> bindings := (v, !offset + i) :: !bindings) extra_cols;
+  let arg_of (t : Term.t) : arg =
+    match t with
+    | Term.Var v ->
+      (match col_of v with Some c -> Acol c | None -> raise Not_compilable)
+    | t -> Aterm t
+  in
+  (* Remaining equality/disequality literals become selections. *)
+  List.iter
+    (function
+      | Lpos _ -> ()
+      | Leq (a, b) ->
+        (* skip the ground equalities already used to bind head vars *)
+        let used =
+          match (a, b) with
+          | Term.Var v, t | t, Term.Var v ->
+            (not (is_var t))
+            && List.exists
+                 (fun (v', t') -> Term.var_equal v v' && Term.equal t t')
+                 extra_cols
+          | _ -> false
+        in
+        if not used then selects := Eq (arg_of a, arg_of b) :: !selects
+      | Lneq (a, b) -> selects := Neq (arg_of a, arg_of b) :: !selects
+      | Lneg _ -> ())
+    lits;
+  let with_selects = if !selects = [] then base else Select (!selects, base) in
+  (* Negative atoms become antijoins; all their variables must be bound. *)
+  let with_antijoins =
+    List.fold_left
+      (fun acc lit ->
+        match lit with
+        | Lneg (r, args) -> Antijoin (acc, r, List.map arg_of args)
+        | Lpos _ | Leq _ | Lneq _ -> acc)
+      with_selects lits
+  in
+  (* Project the head variables, in order. *)
+  let cols =
+    List.map
+      (fun v -> match col_of v with Some c -> c | None -> raise Not_compilable)
+      head
+  in
+  Project (cols, with_antijoins)
+
+(** Compile a relational term into an algebra expression; [None] when
+    the body falls outside the supported fragment (quantifiers, or a
+    head variable not range-restricted). *)
+let compile (rt : Stmt.rterm) : expr option =
+  match
+    let clauses = dnf rt.Stmt.rt_body in
+    let head = rt.Stmt.rt_vars in
+    let head_sorts = List.map (fun v -> v.Term.vsort) head in
+    match clauses with
+    | [] -> Empty head_sorts
+    | c :: rest ->
+      List.fold_left
+        (fun acc clause -> Union (acc, compile_clause head clause))
+        (compile_clause head c)
+        rest
+  with
+  | e -> Some e
+  | exception Not_compilable -> None
+
+(** Evaluate a relational term, preferring the compiled algebra and
+    falling back to naive enumeration. *)
+let eval_rterm ?(strategy = `Auto) ~domain ?consts (db : Db.t) (rt : Stmt.rterm) :
+  Relation.t =
+  let naive () = Relcalc.eval_rterm_naive ~domain ?consts db rt in
+  match strategy with
+  | `Naive -> naive ()
+  | `Compiled ->
+    (match compile rt with
+     | Some e -> eval ~domain ?consts db e
+     | None -> invalid_arg "Relalg.eval_rterm: body not compilable")
+  | `Auto ->
+    (match compile rt with
+     | Some e -> eval ~domain ?consts db e
+     | None -> naive ())

@@ -1,0 +1,57 @@
+(** A relational algebra engine and a compiler from the safe,
+    quantifier-free fragment of the relational calculus into it.
+
+    The naive evaluator of {!Relcalc} enumerates the full cartesian
+    product of the bound variables' carriers; for range-restricted
+    bodies (such as those produced by desugaring [insert]/[delete]) the
+    algebra evaluates in time proportional to the relations' contents
+    instead (experiment E10). *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+(** An argument of a selection or membership test: a column of the
+    current row or a variable-free term. *)
+type arg =
+  | Acol of int
+  | Aterm of Term.t
+
+type col_pred =
+  | Eq of arg * arg
+  | Neq of arg * arg
+
+(** Algebra expressions; columns are positional. *)
+type expr =
+  | Rel of string  (** contents of a database relation *)
+  | Singleton of Term.t list * Sort.t list  (** one tuple of evaluated terms *)
+  | Empty of Sort.t list
+  | Select of col_pred list * expr
+  | Project of int list * expr  (** also permutes/duplicates columns *)
+  | Product of expr * expr
+  | Union of expr * expr
+  | Antijoin of expr * string * arg list
+      (** keep rows whose [arg] tuple is {e not} in the named relation *)
+
+val pp : expr Fmt.t
+
+(** Column sorts of an expression, given the schema's relation sorts. *)
+val sorts_of : rel_sorts:(string -> Sort.t list) -> expr -> Sort.t list
+
+(** Evaluate an algebra expression against a database state. *)
+val eval :
+  domain:Domain.t -> ?consts:(string * Value.t) list -> Db.t -> expr -> Relation.t
+
+(** Compile a relational term into an algebra expression; [None] when
+    the body falls outside the supported fragment (quantifiers, or a
+    head variable not range-restricted). *)
+val compile : Stmt.rterm -> expr option
+
+(** Evaluate a relational term: [`Compiled] requires compilability,
+    [`Auto] (default) falls back to the naive evaluator. *)
+val eval_rterm :
+  ?strategy:[ `Naive | `Compiled | `Auto ] ->
+  domain:Domain.t ->
+  ?consts:(string * Value.t) list ->
+  Db.t ->
+  Stmt.rterm ->
+  Relation.t

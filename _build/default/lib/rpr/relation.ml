@@ -1,0 +1,73 @@
+(** Finite relations: sets of equal-length value tuples, the data
+    structures of the relational model that RPR programs manipulate
+    (paper Section 5.1). *)
+
+open Fdbs_kernel
+
+module Tuple = struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare
+  let equal a b = compare a b = 0
+  let pp ppf tu = Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") Value.pp) tu
+end
+
+module Tuple_set = Set.Make (Tuple)
+
+type t = {
+  sorts : Sort.t list;  (** column sorts; the relation's arity is their length *)
+  tuples : Tuple_set.t;
+}
+
+let empty sorts = { sorts; tuples = Tuple_set.empty }
+
+let arity (r : t) = List.length r.sorts
+
+let check_tuple (r : t) (tu : Tuple.t) =
+  if List.length tu <> arity r then
+    invalid_arg
+      (Fmt.str "Relation: tuple of arity %d in relation of arity %d" (List.length tu)
+         (arity r))
+
+let add tu (r : t) =
+  check_tuple r tu;
+  { r with tuples = Tuple_set.add tu r.tuples }
+
+let remove tu (r : t) =
+  check_tuple r tu;
+  { r with tuples = Tuple_set.remove tu r.tuples }
+
+let mem tu (r : t) = Tuple_set.mem tu r.tuples
+
+let of_list sorts tuples = List.fold_left (fun r tu -> add tu r) (empty sorts) tuples
+let to_list (r : t) = Tuple_set.elements r.tuples
+
+let cardinal (r : t) = Tuple_set.cardinal r.tuples
+let is_empty (r : t) = Tuple_set.is_empty r.tuples
+
+let union (a : t) (b : t) = { a with tuples = Tuple_set.union a.tuples b.tuples }
+let inter (a : t) (b : t) = { a with tuples = Tuple_set.inter a.tuples b.tuples }
+let diff (a : t) (b : t) = { a with tuples = Tuple_set.diff a.tuples b.tuples }
+
+let filter f (r : t) = { r with tuples = Tuple_set.filter f r.tuples }
+
+let fold f (r : t) acc = Tuple_set.fold f r.tuples acc
+let iter f (r : t) = Tuple_set.iter f r.tuples
+let exists f (r : t) = Tuple_set.exists f r.tuples
+let for_all f (r : t) = Tuple_set.for_all f r.tuples
+
+let equal (a : t) (b : t) =
+  List.equal Sort.equal a.sorts b.sorts && Tuple_set.equal a.tuples b.tuples
+
+(** Values appearing in each column, keyed by the column's sort: the
+    relation's contribution to the active domain. *)
+let active_domain (r : t) : Domain.t =
+  fold
+    (fun tu acc ->
+      List.fold_left2
+        (fun acc v srt -> Domain.add srt (v :: Domain.carrier acc srt) acc)
+        acc tu r.sorts)
+    r Domain.empty
+
+let pp ppf (r : t) =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") Tuple.pp) (to_list r)

@@ -1,0 +1,53 @@
+(** Finite relations: sets of equal-length value tuples, the data
+    structures of the relational model that RPR programs manipulate
+    (paper Section 5.1). *)
+
+open Fdbs_kernel
+
+module Tuple : sig
+  type t = Value.t list
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val pp : t Fmt.t
+end
+
+module Tuple_set : Set.S with type elt = Tuple.t
+
+type t = {
+  sorts : Sort.t list;  (** column sorts; the arity is their length *)
+  tuples : Tuple_set.t;
+}
+
+val empty : Sort.t list -> t
+val arity : t -> int
+
+(** Raises [Invalid_argument] on arity mismatch. *)
+val add : Tuple.t -> t -> t
+
+val remove : Tuple.t -> t -> t
+val mem : Tuple.t -> t -> bool
+
+val of_list : Sort.t list -> Tuple.t list -> t
+val to_list : t -> Tuple.t list
+
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val filter : (Tuple.t -> bool) -> t -> t
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Tuple.t -> unit) -> t -> unit
+val exists : (Tuple.t -> bool) -> t -> bool
+val for_all : (Tuple.t -> bool) -> t -> bool
+
+val equal : t -> t -> bool
+
+(** Values appearing in each column, keyed by the column's sort: the
+    relation's contribution to the active domain. *)
+val active_domain : t -> Domain.t
+
+val pp : t Fmt.t

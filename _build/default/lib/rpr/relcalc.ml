@@ -1,0 +1,63 @@
+(** Evaluation of wffs and relational terms over a database state — the
+    "set-oriented" heart of the representation level.
+
+    A database state plus a finite domain induces a first-order
+    structure: relation names become predicates and scalar program
+    variables and declared constants become 0-ary functions. Relational
+    terms [{(x̄) | P}] are evaluated naively here, by enumerating the
+    carrier of each bound variable; {!Relalg} provides the compiled
+    alternative. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+(** The structure induced by [db]: predicates from relations; constants
+    from the scalars of [db] and the extra [consts] (a declared constant
+    [c] defaults to the symbolic value [Sym c]). *)
+let structure_of_db ~(domain : Domain.t) ?(consts : (string * Value.t) list = [])
+    (db : Db.t) : Structure.t =
+  let base =
+    Structure.make ~domain
+      ~funcs:
+        (List.map (fun (n, v) -> (n, fun (_ : Value.t list) -> v)) consts
+        @ List.map
+            (fun (n, v) -> (n, fun (_ : Value.t list) -> v))
+            (Db.scalars db))
+      ()
+  in
+  List.fold_left
+    (fun st (name, rel) -> Structure.with_table name (Relation.to_list rel) st)
+    base (Db.relations db)
+
+(** Truth of a closed wff in the state [db]. *)
+let holds ~domain ?consts (db : Db.t) (f : Formula.t) : bool =
+  Eval.sentence (structure_of_db ~domain ?consts db) f
+
+(** Value of a variable-free term in the state [db]. Literals and bare
+    scalar/constant names take a fast path that avoids building the
+    induced structure. *)
+let eval_term ~domain ?consts (db : Db.t) (t : Term.t) : Value.t =
+  match t with
+  | Term.Lit value -> value
+  | Term.App (name, []) ->
+    (match Db.scalar db name with
+     | Some value -> value
+     | None ->
+       (match Option.bind consts (List.assoc_opt name) with
+        | Some value -> value
+        | None -> Eval.term (structure_of_db ~domain ?consts db) [] t))
+  | Term.Var _ | Term.App _ -> Eval.term (structure_of_db ~domain ?consts db) [] t
+
+(** Naive evaluation of a relational term: enumerate all tuples over the
+    bound variables' carriers and keep those satisfying the body. *)
+let eval_rterm_naive ~domain ?consts (db : Db.t) (rt : Stmt.rterm) : Relation.t =
+  let st = structure_of_db ~domain ?consts db in
+  let sorts = List.map (fun v -> v.Term.vsort) rt.Stmt.rt_vars in
+  let carriers = List.map (Domain.carrier domain) sorts in
+  let tuples =
+    List.filter
+      (fun values ->
+        Eval.formula st (Util.zip_exn rt.Stmt.rt_vars values) rt.Stmt.rt_body)
+      (Util.cartesian carriers)
+  in
+  Relation.of_list sorts tuples

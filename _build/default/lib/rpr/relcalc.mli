@@ -1,0 +1,35 @@
+(** Evaluation of wffs and relational terms over a database state — the
+    "set-oriented" heart of the representation level.
+
+    A database state plus a finite domain induces a first-order
+    structure: relation names become predicates and scalar program
+    variables and declared constants become 0-ary functions. Relational
+    terms [{(x̄) | P}] are evaluated naively here, by enumerating the
+    carrier of each bound variable; {!Relalg} provides the compiled
+    alternative. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+(** The structure induced by a database state (a declared constant [c]
+    defaults to the symbolic value [Sym c]). *)
+val structure_of_db :
+  domain:Domain.t -> ?consts:(string * Value.t) list -> Db.t -> Structure.t
+
+(** Truth of a closed wff in a state. *)
+val holds :
+  domain:Domain.t -> ?consts:(string * Value.t) list -> Db.t -> Formula.t -> bool
+
+(** Value of a variable-free term in a state; literals and bare
+    scalar/constant names take a fast path. *)
+val eval_term :
+  domain:Domain.t -> ?consts:(string * Value.t) list -> Db.t -> Term.t -> Value.t
+
+(** Naive evaluation of a relational term: enumerate all tuples over the
+    bound variables' carriers and keep those satisfying the body. *)
+val eval_rterm_naive :
+  domain:Domain.t ->
+  ?consts:(string * Value.t) list ->
+  Db.t ->
+  Stmt.rterm ->
+  Relation.t

@@ -1,0 +1,209 @@
+(** Concrete syntax for RPR schemas (paper Section 5.1.1).
+
+    {v
+    schema university
+
+    relation OFFERED(course)
+    relation TAKES(student, course)
+
+    proc initiate() =
+      (OFFERED := {(c:course) | false} ; TAKES := {(s:student, c:course) | false})
+    proc offer(c: course) = insert OFFERED(c)
+    proc cancel(c: course) =
+      if (~(exists s:student. TAKES(s, c))) then delete OFFERED(c)
+
+    end-schema
+    v}
+
+    Statement grammar: [;] composes (binds tighter), [u] is
+    nondeterministic union, postfix [*] iterates a parenthesized
+    statement, and [if]/[while]/[test] take parenthesized wffs. Wffs use
+    the first-order syntax of {!Fdbs_logic.Parser} with relation names
+    as predicates and procedure parameters as constants. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+let parse_sort st = Sort.make (Parse.ident st)
+
+let parse_rel_decl st : Schema.rel_decl =
+  let name = Parse.ident st in
+  Parse.expect_sym st "(";
+  let sorts = Parse.sep_list st ~sep:"," parse_sort in
+  Parse.expect_sym st ")";
+  Schema.rel_decl name sorts
+
+let parse_params st : (string * Sort.t) list =
+  Parse.expect_sym st "(";
+  if Parse.accept_sym st ")" then []
+  else begin
+    let param st =
+      let n = Parse.ident st in
+      Parse.expect_sym st ":";
+      (n, parse_sort st)
+    in
+    let ps = Parse.sep_list st ~sep:"," param in
+    Parse.expect_sym st ")";
+    ps
+  end
+
+let parse_wff sg st : Formula.t = Parser.parse_formula sg [] st
+
+let parse_paren_wff sg st : Formula.t =
+  Parse.expect_sym st "(";
+  let f = parse_wff sg st in
+  Parse.expect_sym st ")";
+  f
+
+let parse_rterm sg st : Stmt.rterm =
+  (* '{' already consumed *)
+  Parse.expect_sym st "(";
+  let binder st =
+    let n = Parse.ident st in
+    Parse.expect_sym st ":";
+    (n, parse_sort st)
+  in
+  let binders = Parse.sep_list st ~sep:"," binder in
+  Parse.expect_sym st ")";
+  Parse.expect_sym st "|";
+  let body = Parser.parse_formula sg binders st in
+  Parse.expect_sym st "}";
+  {
+    Stmt.rt_vars = List.map (fun (n, s) -> { Term.vname = n; vsort = s }) binders;
+    rt_body = body;
+  }
+
+let rec parse_stmt sg st : Stmt.t =
+  let lhs = parse_seq sg st in
+  let rec loop acc =
+    if Parse.accept_kw st "u" then loop (Stmt.Union (acc, parse_seq sg st)) else acc
+  in
+  loop lhs
+
+and parse_seq sg st =
+  let lhs = parse_prim sg st in
+  let rec loop acc =
+    if Parse.accept_sym st ";" then loop (Stmt.Seq (acc, parse_prim sg st)) else acc
+  in
+  loop lhs
+
+and parse_prim sg st =
+  let atom =
+    if Parse.accept_sym st "(" then begin
+      let s = parse_stmt sg st in
+      Parse.expect_sym st ")";
+      s
+    end
+    else if Parse.accept_kw st "skip" then Stmt.Skip
+    else if Parse.accept_kw st "insert" then parse_tuple_op sg st (fun r ts -> Stmt.Insert (r, ts))
+    else if Parse.accept_kw st "delete" then parse_tuple_op sg st (fun r ts -> Stmt.Delete (r, ts))
+    else if Parse.accept_kw st "test" then Stmt.Test (parse_paren_wff sg st)
+    else if Parse.accept_kw st "if" then begin
+      let c = parse_paren_wff sg st in
+      Parse.expect_kw st "then";
+      let p = parse_prim sg st in
+      if Parse.accept_kw st "else" then Stmt.If (c, p, parse_prim sg st)
+      else Stmt.If (c, p, Stmt.Skip)
+    end
+    else if Parse.accept_kw st "while" then begin
+      let c = parse_paren_wff sg st in
+      Parse.expect_kw st "do";
+      Stmt.While (c, parse_prim sg st)
+    end
+    else begin
+      (* assignment: name := relterm-or-term *)
+      let name = Parse.ident st in
+      Parse.expect_sym st ":=";
+      if Parse.accept_sym st "{" then Stmt.Rel_assign (name, parse_rterm sg st)
+      else Stmt.Scalar_assign (name, Parser.parse_term sg [] st)
+    end
+  in
+  if Parse.accept_sym st "*" then Stmt.Star atom else atom
+
+and parse_tuple_op sg st build =
+  let r = Parse.ident st in
+  Parse.expect_sym st "(";
+  let ts = Parse.sep_list st ~sep:"," (Parser.parse_term sg []) in
+  Parse.expect_sym st ")";
+  build r ts
+
+(** Parse a full schema file. *)
+let schema (src : string) : (Schema.t, string) result =
+  let parse st =
+    Parse.expect_kw st "schema";
+    let name = Parse.ident st in
+    let rels = ref [] in
+    let consts = ref [] in
+    let procs = ref [] in
+    let rec decls () =
+      if Parse.accept_kw st "relation" then begin
+        rels := parse_rel_decl st :: !rels;
+        decls ()
+      end
+      else if Parse.accept_kw st "const" then begin
+        let n = Parse.ident st in
+        Parse.expect_sym st ":";
+        consts := (n, parse_sort st) :: !consts;
+        decls ()
+      end
+      else if Parse.accept_kw st "proc" then begin
+        let pname = Parse.ident st in
+        let params = parse_params st in
+        Parse.expect_sym st "=";
+        (* Build the wff signature now that relations/consts are known;
+           procs may only reference relations declared before them plus
+           any declared constants, matching the paper's SCL-then-OPL
+           layout. *)
+        let partial : Schema.t =
+          {
+            Schema.name;
+            relations = List.rev !rels;
+            consts = List.rev !consts;
+            procs = [];
+          }
+        in
+        let sg = Schema.signature ~params partial in
+        let body = parse_stmt sg st in
+        procs := Schema.proc pname params body :: !procs;
+        decls ()
+      end
+      else begin
+        Parse.expect_kw st "end";
+        if Parse.accept_sym st "-" then Parse.expect_kw st "schema"
+      end
+    in
+    decls ();
+    {
+      Schema.name;
+      relations = List.rev !rels;
+      consts = List.rev !consts;
+      procs = List.rev !procs;
+    }
+  in
+  match Parse.run parse src with
+  | Ok sc ->
+    (match Schema.check sc with
+     | [] -> Ok sc
+     | errs -> Error (String.concat "; " errs))
+  | Error e -> Error e
+
+let schema_exn src =
+  match schema src with
+  | Ok sc -> sc
+  | Error e -> invalid_arg ("Rparser.schema_exn: " ^ e)
+
+(** Parse a statement against a schema (for tests and the CLI);
+    [params] supplies extra scalar constants. *)
+let stmt ?(params = []) (sc : Schema.t) (src : string) : (Stmt.t, string) result =
+  let sg = Schema.signature ~params sc in
+  Parse.run (fun st -> parse_stmt sg st) src
+
+(** Parse a closed wff against a schema. *)
+let wff ?(params = []) (sc : Schema.t) (src : string) : (Formula.t, string) result =
+  let sg = Schema.signature ~params sc in
+  Parse.run (fun st -> parse_wff sg st) src
+
+let wff_exn ?params sc src =
+  match wff ?params sc src with
+  | Ok f -> f
+  | Error e -> invalid_arg ("Rparser.wff_exn: " ^ e)

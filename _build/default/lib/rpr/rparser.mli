@@ -1,0 +1,41 @@
+(** Concrete syntax for RPR schemas (paper Section 5.1.1).
+
+    {v
+    schema university
+
+    relation OFFERED(course)
+    relation TAKES(student, course)
+
+    proc initiate() =
+      (OFFERED := {(c:course) | false} ; TAKES := {(s:student, c:course) | false})
+    proc offer(c: course) = insert OFFERED(c)
+    proc cancel(c: course) =
+      if (~(exists s:student. TAKES(s, c))) then delete OFFERED(c)
+
+    end-schema
+    v}
+
+    Statement grammar: [;] composes (binds tighter), [u] is
+    nondeterministic union, postfix [*] iterates a parenthesized
+    statement, and [if]/[while]/[test] take parenthesized wffs. Wffs use
+    the first-order syntax of {!Fdbs_logic.Parser} with relation names
+    as predicates and procedure parameters as constants. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+(** Parse a full schema file; the result passes {!Schema.check}. *)
+val schema : string -> (Schema.t, string) result
+
+val schema_exn : string -> Schema.t
+
+(** Parse a statement against a schema (for tests and the CLI);
+    [params] supplies extra scalar constants. *)
+val stmt :
+  ?params:(string * Sort.t) list -> Schema.t -> string -> (Stmt.t, string) result
+
+(** Parse a closed wff against a schema. *)
+val wff :
+  ?params:(string * Sort.t) list -> Schema.t -> string -> (Formula.t, string) result
+
+val wff_exn : ?params:(string * Sort.t) list -> Schema.t -> string -> Formula.t

@@ -1,0 +1,134 @@
+(** The meaning functions of RPR (paper Section 5.1.2).
+
+    [m] assigns to each statement a binary relation over the universe of
+    database states; we realize it operationally as a set-of-outcomes
+    function [exec : stmt -> db -> db list] — [m(s) = {(A,B) | B ∈ exec
+    s A}]. Iteration [p*] is the reflexive-transitive closure, computed
+    as a fixpoint with a state cap. [k] gives a procedure's meaning: the
+    body's meaning in the state where the formal parameters hold the
+    actual values (paper rule (7): [(A[c̄/Ȳ], B) ∈ m(S)]); the
+    parameters' previous values are restored afterwards so a call leaves
+    no trace beyond its effects on the database. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+type env = {
+  schema : Schema.t;
+  domain : Domain.t;  (** carriers for quantifiers and naive relational terms *)
+  consts : (string * Value.t) list;  (** declared constants' values *)
+  strategy : [ `Naive | `Compiled | `Auto ];  (** relational-term evaluation *)
+  star_limit : int;  (** cap on distinct states explored by [p*] / [while] *)
+}
+
+let env ?(consts = []) ?(strategy = `Auto) ?(star_limit = 10_000) ~domain schema =
+  let default_consts =
+    List.map (fun (n, _) -> (n, Value.Sym n)) schema.Schema.consts
+  in
+  let consts =
+    consts @ List.filter (fun (n, _) -> not (List.mem_assoc n consts)) default_consts
+  in
+  { schema; domain; consts; strategy; star_limit }
+
+exception Exec_error of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Exec_error s)) fmt
+
+let dedup_states (dbs : Db.t list) : Db.t list = Util.dedup ~eq:Db.equal dbs
+
+(** Operational form of the meaning function [m]: all outcome states of
+    running [stmt] in [db]. An empty list means the statement is
+    blocked (its tests admit no outcome). *)
+let rec exec (env : env) (stmt : Stmt.t) (db : Db.t) : Db.t list =
+  match stmt with
+  | Stmt.Skip -> [ db ]
+  | Stmt.Scalar_assign (x, t) ->
+    let v = Relcalc.eval_term ~domain:env.domain ~consts:env.consts db t in
+    [ Db.with_scalar x v db ]
+  | Stmt.Rel_assign (r, rt) ->
+    (match Schema.find_relation env.schema r with
+     | None -> err "assignment to undeclared relation %s" r
+     | Some _ ->
+       let rel =
+         Relalg.eval_rterm ~strategy:env.strategy ~domain:env.domain ~consts:env.consts
+           db rt
+       in
+       [ Db.with_relation r rel db ])
+  | Stmt.Test f ->
+    if Relcalc.holds ~domain:env.domain ~consts:env.consts db f then [ db ] else []
+  | Stmt.Union (p, q) -> dedup_states (exec env p db @ exec env q db)
+  | Stmt.Seq (p, q) ->
+    dedup_states (List.concat_map (exec env q) (exec env p db))
+  | Stmt.Star p ->
+    let states, truncated =
+      Util.bfs_fixpoint ~eq:Db.equal ~limit:env.star_limit ~step:(exec env p) [ db ]
+    in
+    if truncated then err "iteration exceeded the %d-state limit" env.star_limit
+    else states
+  | Stmt.If (c, p, q) ->
+    if Relcalc.holds ~domain:env.domain ~consts:env.consts db c then exec env p db
+    else exec env q db
+  | Stmt.While (c, p) ->
+    let rec loop fuel db =
+      if fuel <= 0 then err "while loop exceeded %d iterations" env.star_limit
+      else if Relcalc.holds ~domain:env.domain ~consts:env.consts db c then
+        match exec env p db with
+        | [ db' ] -> loop (fuel - 1) db'
+        | [] -> []
+        | dbs -> List.concat_map (loop (fuel - 1)) dbs |> dedup_states
+      else [ db ]
+    in
+    loop env.star_limit db
+  | Stmt.Insert (r, ts) ->
+    let tu = List.map (Relcalc.eval_term ~domain:env.domain ~consts:env.consts db) ts in
+    [ Db.with_relation r (Relation.add tu (Db.relation_exn db r)) db ]
+  | Stmt.Delete (r, ts) ->
+    let tu = List.map (Relcalc.eval_term ~domain:env.domain ~consts:env.consts db) ts in
+    [ Db.with_relation r (Relation.remove tu (Db.relation_exn db r)) db ]
+
+(** Procedure meaning [k] (paper rule (7)): run the body with the
+    formal parameters bound to [args]; restore the parameters' previous
+    scalar values in every outcome. *)
+let call (env : env) (proc : Schema.proc) (args : Value.t list) (db : Db.t) : Db.t list =
+  if List.length args <> List.length proc.Schema.pparams then
+    err "procedure %s expects %d arguments, got %d" proc.Schema.pname
+      (List.length proc.Schema.pparams) (List.length args);
+  let saved = List.map (fun (n, _) -> (n, Db.scalar db n)) proc.Schema.pparams in
+  let db' =
+    List.fold_left2
+      (fun db (n, _) v -> Db.with_scalar n v db)
+      db proc.Schema.pparams args
+  in
+  let restore out =
+    List.fold_left
+      (fun out (n, old) ->
+        match old with
+        | Some v -> Db.with_scalar n v out
+        | None -> { out with Db.scalars = Db.SMap.remove n out.Db.scalars })
+      out saved
+  in
+  List.map restore (exec env proc.Schema.body db') |> dedup_states
+
+(** Call a procedure by name, requiring a single (deterministic)
+    outcome. *)
+let call_det (env : env) (name : string) (args : Value.t list) (db : Db.t) :
+  (Db.t, string) result =
+  match Schema.find_proc env.schema name with
+  | None -> Error (Fmt.str "unknown procedure %s" name)
+  | Some proc ->
+    (match call env proc args db with
+     | [ out ] -> Ok out
+     | [] -> Error (Fmt.str "procedure %s blocked (no outcome)" name)
+     | outs -> Error (Fmt.str "procedure %s has %d distinct outcomes" name (List.length outs))
+     | exception Exec_error e -> Error e)
+
+let call_det_exn env name args db =
+  match call_det env name args db with
+  | Ok out -> out
+  | Error e -> invalid_arg ("Semantics.call_det_exn: " ^ e)
+
+(** Truth of a closed wff in a state, under the environment's domain and
+    constants — the query side of the DML (paper Section 5.2:
+    expressions [R(t̄)] yield True iff [t̄ ∈ R]). *)
+let query (env : env) (db : Db.t) (f : Formula.t) : bool =
+  Relcalc.holds ~domain:env.domain ~consts:env.consts db f

@@ -1,0 +1,133 @@
+(** Statements of RPR — regular programs over relations (paper Section
+    5.1.1).
+
+    Core statements are scalar assignment, relational assignment of a
+    relational term [{(x̄) | P}], test [P?], union, composition and
+    iteration. The familiar constructs if-then(-else), while, insert
+    and delete are {e derived}: they are kept as constructors for the
+    tuple-oriented programming style the paper discusses, and
+    {!desugar} rewrites them into the core. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+(** A relational term [{(x1,...,xn) | P}] of sort <s1,...,sn>. *)
+type rterm = {
+  rt_vars : Term.var list;
+  rt_body : Formula.t;  (** free variables ⊆ [rt_vars] ∪ scalar program variables *)
+}
+
+type t =
+  | Skip
+  | Scalar_assign of string * Term.t  (** [x := t], [t] variable-free *)
+  | Rel_assign of string * rterm  (** [R := {(x̄) | P}] *)
+  | Test of Formula.t  (** [P?]: continue iff P holds *)
+  | Union of t * t  (** nondeterministic choice [(p ∪ q)] *)
+  | Seq of t * t  (** composition [(p ; q)] *)
+  | Star of t  (** iteration [p*]: reflexive-transitive closure *)
+  (* Derived constructs (definable; see {!desugar}): *)
+  | If of Formula.t * t * t  (** if-then-else; else branch may be [Skip] *)
+  | While of Formula.t * t
+  | Insert of string * Term.t list  (** [insert R(t̄)] *)
+  | Delete of string * Term.t list  (** [delete R(t̄)] *)
+
+let seq = function [] -> Skip | s :: rest -> List.fold_left (fun a b -> Seq (a, b)) s rest
+
+(* Fresh variables x̄ for a relation's columns, used by desugaring. *)
+let column_vars (sorts : Sort.t list) : Term.var list =
+  List.mapi (fun i srt -> { Term.vname = Fmt.str "_col%d" (i + 1); vsort = srt }) sorts
+
+(** Rewrite derived constructs into the core language:
+    - [if P then p else q]  ⇒  [(P?; p) ∪ ((~P)?; q)]
+    - [while P do p]        ⇒  [((P?; p))* ; (~P)?]
+    - [insert R(t̄)]        ⇒  [R := {(x̄) | R(x̄) ∨ x̄ = t̄}]
+    - [delete R(t̄)]        ⇒  [R := {(x̄) | R(x̄) ∧ x̄ ≠ t̄}]
+    - [skip]                ⇒  [true?]
+
+    [sorts_of] supplies each relation's column sorts. *)
+let rec desugar ~(sorts_of : string -> Sort.t list) (s : t) : t =
+  match s with
+  | Skip -> Test Formula.True
+  | Scalar_assign _ | Rel_assign _ | Test _ -> s
+  | Union (p, q) -> Union (desugar ~sorts_of p, desugar ~sorts_of q)
+  | Seq (p, q) -> Seq (desugar ~sorts_of p, desugar ~sorts_of q)
+  | Star p -> Star (desugar ~sorts_of p)
+  | If (c, p, q) ->
+    Union
+      (Seq (Test c, desugar ~sorts_of p), Seq (Test (Formula.Not c), desugar ~sorts_of q))
+  | While (c, p) -> Seq (Star (Seq (Test c, desugar ~sorts_of p)), Test (Formula.Not c))
+  | Insert (r, ts) ->
+    let xs = column_vars (sorts_of r) in
+    let eqs =
+      Formula.conj (List.map2 (fun x t -> Formula.Eq (Term.Var x, t)) xs ts)
+    in
+    let member = Formula.Pred (r, List.map (fun x -> Term.Var x) xs) in
+    Rel_assign (r, { rt_vars = xs; rt_body = Formula.Or (member, eqs) })
+  | Delete (r, ts) ->
+    let xs = column_vars (sorts_of r) in
+    let eqs =
+      Formula.conj (List.map2 (fun x t -> Formula.Eq (Term.Var x, t)) xs ts)
+    in
+    let member = Formula.Pred (r, List.map (fun x -> Term.Var x) xs) in
+    Rel_assign (r, { rt_vars = xs; rt_body = Formula.And (member, Formula.Not eqs) })
+
+(** Statements built only from assignments and derived deterministic
+    constructs have exactly one outcome (paper: "deterministic"). *)
+let rec is_deterministic = function
+  | Skip | Scalar_assign _ | Rel_assign _ | Insert _ | Delete _ -> true
+  | If (_, p, q) -> is_deterministic p && is_deterministic q
+  | While (_, p) -> is_deterministic p
+  | Seq (p, q) -> is_deterministic p && is_deterministic q
+  | Test _ | Union _ | Star _ -> false
+
+(** Relation names assigned (written) by a statement. *)
+let rec writes = function
+  | Skip | Scalar_assign _ | Test _ -> []
+  | Rel_assign (r, _) | Insert (r, _) | Delete (r, _) -> [ r ]
+  | Union (p, q) | Seq (p, q) -> writes p @ writes q
+  | Star p -> writes p
+  | If (_, p, q) -> writes p @ writes q
+  | While (_, p) -> writes p
+
+(** Relation names read anywhere in the statement (tests, relational
+    terms, derived constructs). *)
+let reads (s : t) : string list =
+  let rec preds_of_formula acc = function
+    | Formula.True | Formula.False -> acc
+    | Formula.Pred (p, _) -> if List.mem p acc then acc else p :: acc
+    | Formula.Eq _ -> acc
+    | Formula.Not f -> preds_of_formula acc f
+    | Formula.And (f, g) | Formula.Or (f, g) | Formula.Imp (f, g) | Formula.Iff (f, g) ->
+      preds_of_formula (preds_of_formula acc f) g
+    | Formula.Forall (_, f) | Formula.Exists (_, f) -> preds_of_formula acc f
+  in
+  let rec go acc = function
+    | Skip | Scalar_assign _ -> acc
+    | Rel_assign (_, rt) -> preds_of_formula acc rt.rt_body
+    | Test f -> preds_of_formula acc f
+    | Insert (r, _) | Delete (r, _) -> if List.mem r acc then acc else r :: acc
+    | Union (p, q) | Seq (p, q) -> go (go acc p) q
+    | Star p -> go acc p
+    | If (c, p, q) -> go (go (preds_of_formula acc c) p) q
+    | While (c, p) -> go (preds_of_formula acc c) p
+  in
+  List.rev (go [] s)
+
+let pp_rterm ppf (rt : rterm) =
+  Fmt.pf ppf "{(%a) | %a}"
+    Fmt.(list ~sep:(any ", ") (fun ppf v -> Fmt.pf ppf "%s:%s" v.Term.vname v.Term.vsort))
+    rt.rt_vars Formula.pp rt.rt_body
+
+let rec pp ppf = function
+  | Skip -> Fmt.string ppf "skip"
+  | Scalar_assign (x, t) -> Fmt.pf ppf "%s := %a" x Term.pp t
+  | Rel_assign (r, rt) -> Fmt.pf ppf "%s := %a" r pp_rterm rt
+  | Test f -> Fmt.pf ppf "test (%a)" Formula.pp f
+  | Union (p, q) -> Fmt.pf ppf "(%a u %a)" pp p pp q
+  | Seq (p, q) -> Fmt.pf ppf "(%a; %a)" pp p pp q
+  | Star p -> Fmt.pf ppf "(%a)*" pp p
+  | If (c, p, Skip) -> Fmt.pf ppf "if (%a) then %a" Formula.pp c pp p
+  | If (c, p, q) -> Fmt.pf ppf "if (%a) then %a else %a" Formula.pp c pp p pp q
+  | While (c, p) -> Fmt.pf ppf "while (%a) do %a" Formula.pp c pp p
+  | Insert (r, ts) -> Fmt.pf ppf "insert %s(%a)" r Fmt.(list ~sep:(any ", ") Term.pp) ts
+  | Delete (r, ts) -> Fmt.pf ppf "delete %s(%a)" r Fmt.(list ~sep:(any ", ") Term.pp) ts

@@ -1,0 +1,53 @@
+(** Statements of RPR — regular programs over relations (paper Section
+    5.1.1).
+
+    Core statements are scalar assignment, relational assignment of a
+    relational term [{(x̄) | P}], test [P?], union, composition and
+    iteration. The familiar constructs if-then(-else), while, insert
+    and delete are {e derived}: they are kept as constructors for the
+    tuple-oriented programming style the paper discusses, and
+    {!desugar} rewrites them into the core. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+(** A relational term [{(x1,...,xn) | P}] of sort <s1,...,sn>. *)
+type rterm = {
+  rt_vars : Term.var list;
+  rt_body : Formula.t;  (** free variables ⊆ [rt_vars] ∪ scalar program variables *)
+}
+
+type t =
+  | Skip
+  | Scalar_assign of string * Term.t  (** [x := t], [t] variable-free *)
+  | Rel_assign of string * rterm  (** [R := {(x̄) | P}] *)
+  | Test of Formula.t  (** [P?]: continue iff P holds *)
+  | Union of t * t  (** nondeterministic choice [(p ∪ q)] *)
+  | Seq of t * t  (** composition [(p ; q)] *)
+  | Star of t  (** iteration: reflexive-transitive closure *)
+  | If of Formula.t * t * t  (** derived; else branch may be [Skip] *)
+  | While of Formula.t * t  (** derived *)
+  | Insert of string * Term.t list  (** derived: [insert R(t̄)] *)
+  | Delete of string * Term.t list  (** derived: [delete R(t̄)] *)
+
+(** Left-associated composition of a list; [Skip] when empty. *)
+val seq : t list -> t
+
+(** Rewrite derived constructs into the core language:
+    if-then-else into guarded union, while into star, insert/delete
+    into relational assignments. [sorts_of] supplies each relation's
+    column sorts. *)
+val desugar : sorts_of:(string -> Sort.t list) -> t -> t
+
+(** Statements built only from assignments and derived deterministic
+    constructs have exactly one outcome. *)
+val is_deterministic : t -> bool
+
+(** Relation names assigned (written) by a statement. *)
+val writes : t -> string list
+
+(** Relation names read anywhere in the statement. *)
+val reads : t -> string list
+
+val pp_rterm : rterm Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/temporal/check.ml: Domain Eval Fdbs_kernel Fdbs_logic Fmt Formula Fun List Structure Term Tformula Universe

@@ -1,0 +1,1 @@
+lib/temporal/check.mli: Eval Fdbs_logic Fmt Tformula Universe

@@ -1,0 +1,1 @@
+lib/temporal/tformula.ml: Fdbs_logic Fmt Formula List Option Result Signature Term

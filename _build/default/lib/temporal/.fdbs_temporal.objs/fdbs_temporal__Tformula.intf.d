@@ -1,0 +1,1 @@
+lib/temporal/tformula.mli: Fdbs_logic Fmt Formula Signature Term

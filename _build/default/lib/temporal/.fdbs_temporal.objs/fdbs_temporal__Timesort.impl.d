@@ -1,0 +1,1 @@
+lib/temporal/timesort.ml: Domain Eval Fdbs_kernel Fdbs_logic Fmt Formula List Option Signature Sort Structure Term Tformula Universe Value

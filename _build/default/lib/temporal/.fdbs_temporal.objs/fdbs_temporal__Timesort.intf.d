@@ -1,0 +1,1 @@
+lib/temporal/timesort.mli: Fdbs_kernel Fdbs_logic Formula Signature Sort Structure Term Tformula Universe

@@ -1,0 +1,1 @@
+lib/temporal/tparser.ml: Fdbs_kernel Fdbs_logic Fmt Lexer List Parse Parser Signature Sort Term Tformula Ttheory

@@ -1,0 +1,1 @@
+lib/temporal/tparser.mli: Fdbs_kernel Fdbs_logic Parse Signature Sort Tformula Ttheory

@@ -1,0 +1,1 @@
+lib/temporal/ttheory.ml: Check Fdbs_logic Fmt List Signature Tformula Universe

@@ -1,0 +1,1 @@
+lib/temporal/ttheory.mli: Check Fdbs_logic Fmt Signature Tformula Universe

@@ -1,0 +1,1 @@
+lib/temporal/universe.ml: Array Fdbs_kernel Fdbs_logic Fmt Fun List Structure

@@ -1,0 +1,1 @@
+lib/temporal/universe.mli: Fdbs_logic Structure

@@ -1,0 +1,78 @@
+(** Kripke satisfaction for temporal wffs (paper Section 3.1).
+
+    [A ⊨U (◇P)[v]] iff there is B with R(A,B) and [B ⊨U P[v]]; all other
+    rules are the familiar first-order ones, with quantifiers ranging
+    over the common (finite) domain. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+(** Truth of [f] at state [i] of universe [u] under valuation [rho]. *)
+let rec holds (u : Universe.t) (i : int) (rho : Eval.valuation) (f : Tformula.t) : bool =
+  let st = Universe.state u i in
+  match f with
+  | Tformula.True -> true
+  | Tformula.False -> false
+  | Tformula.Pred (p, args) -> Eval.formula st rho (Formula.Pred (p, args))
+  | Tformula.Eq (t1, t2) -> Eval.formula st rho (Formula.Eq (t1, t2))
+  | Tformula.Not g -> not (holds u i rho g)
+  | Tformula.And (g, h) -> holds u i rho g && holds u i rho h
+  | Tformula.Or (g, h) -> holds u i rho g || holds u i rho h
+  | Tformula.Imp (g, h) -> (not (holds u i rho g)) || holds u i rho h
+  | Tformula.Iff (g, h) -> holds u i rho g = holds u i rho h
+  | Tformula.Forall (v, g) ->
+    List.for_all
+      (fun value -> holds u i ((v, value) :: rho) g)
+      (Domain.carrier (Structure.domain st) v.Term.vsort)
+  | Tformula.Exists (v, g) ->
+    List.exists
+      (fun value -> holds u i ((v, value) :: rho) g)
+      (Domain.carrier (Structure.domain st) v.Term.vsort)
+  | Tformula.Possibly g -> List.exists (fun j -> holds u j rho g) (Universe.successors u i)
+  | Tformula.Necessarily g ->
+    List.for_all (fun j -> holds u j rho g) (Universe.successors u i)
+
+(** Truth of a closed wff at state [i]. *)
+let holds_at u i f = holds u i [] f
+
+(** States of [u] falsifying the closed wff [f]. *)
+let failing_states (u : Universe.t) (f : Tformula.t) : int list =
+  List.filter
+    (fun i -> not (holds_at u i f))
+    (List.init (Universe.num_states u) Fun.id)
+
+(** [f] holds at every state of [u]. *)
+let holds_everywhere u f = failing_states u f = []
+
+(** Consistent states: those that are models of all the {e static}
+    axioms (paper: "A structure A in S corresponds to a consistent state
+    iff it is a model of A1"). *)
+let consistent_states (u : Universe.t) (axioms : Tformula.t list) : int list =
+  let static = List.filter Tformula.is_static axioms in
+  List.filter
+    (fun i -> List.for_all (holds_at u i) static)
+    (List.init (Universe.num_states u) Fun.id)
+
+type report = {
+  axiom : string;
+  kind : Tformula.kind;
+  failures : int list;  (** states where the axiom fails *)
+}
+
+(** Check every named axiom at every state, classifying each as static
+    or transition. *)
+let check_axioms (u : Universe.t) (axioms : (string * Tformula.t) list) : report list =
+  List.map
+    (fun (name, f) ->
+      { axiom = name; kind = Tformula.classify f; failures = failing_states u f })
+    axioms
+
+let all_pass (reports : report list) = List.for_all (fun r -> r.failures = []) reports
+
+let pp_report ppf (r : report) =
+  let kind = match r.kind with Tformula.Static -> "static" | Tformula.Transition -> "transition" in
+  match r.failures with
+  | [] -> Fmt.pf ppf "axiom %s (%s): holds at every state" r.axiom kind
+  | fs ->
+    Fmt.pf ppf "axiom %s (%s): FAILS at states [%a]" r.axiom kind
+      Fmt.(list ~sep:(any "; ") int) fs

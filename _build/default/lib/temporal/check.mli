@@ -1,0 +1,36 @@
+(** Kripke satisfaction for temporal wffs (paper Section 3.1).
+
+    [A ⊨U (◇P)(v)] iff there is B with R(A,B) and [B ⊨U P(v)]; all
+    other rules are the familiar first-order ones, with quantifiers
+    ranging over the common (finite) domain. *)
+
+open Fdbs_logic
+
+(** Truth of [f] at state [i] of the universe under a valuation. *)
+val holds : Universe.t -> int -> Eval.valuation -> Tformula.t -> bool
+
+(** Truth of a closed wff at state [i]. *)
+val holds_at : Universe.t -> int -> Tformula.t -> bool
+
+(** States falsifying a closed wff. *)
+val failing_states : Universe.t -> Tformula.t -> int list
+
+val holds_everywhere : Universe.t -> Tformula.t -> bool
+
+(** Consistent states: those satisfying all the {e static} axioms
+    (paper: "A structure A in S corresponds to a consistent state iff
+    it is a model of A1"). *)
+val consistent_states : Universe.t -> Tformula.t list -> int list
+
+type report = {
+  axiom : string;
+  kind : Tformula.kind;
+  failures : int list;  (** states where the axiom fails *)
+}
+
+(** Check every named axiom at every state, classifying each as static
+    or transition. *)
+val check_axioms : Universe.t -> (string * Tformula.t) list -> report list
+
+val all_pass : report list -> bool
+val pp_report : report Fmt.t

@@ -1,0 +1,149 @@
+(** Temporal extension LT of a many-sorted first-order language L
+    (paper Section 3.1).
+
+    The syntax is that of L plus the possibility operator [Possibly]
+    (the paper's ◇); necessity [Necessarily] (□) is its dual,
+    [~◇~P]. Modalities may nest under connectives and quantifiers, as in
+    the paper's transition constraint
+    [forall s exists c (◇(takes(s,c) & ◇(exists c' takes(s,c'))))]. *)
+
+open Fdbs_logic
+
+type t =
+  | True
+  | False
+  | Pred of string * Term.t list
+  | Eq of Term.t * Term.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | Iff of t * t
+  | Forall of Term.var * t
+  | Exists of Term.var * t
+  | Possibly of t  (** ◇P: some accessible state satisfies P *)
+  | Necessarily of t  (** □P, definable as [~◇~P] *)
+
+let possibly f = Possibly f
+let necessarily f = Necessarily f
+
+let forall vs f = List.fold_right (fun v acc -> Forall (v, acc)) vs f
+let exists vs f = List.fold_right (fun v acc -> Exists (v, acc)) vs f
+
+(** Embed a non-modal first-order wff. *)
+let rec of_formula : Formula.t -> t = function
+  | Formula.True -> True
+  | Formula.False -> False
+  | Formula.Pred (p, args) -> Pred (p, args)
+  | Formula.Eq (t1, t2) -> Eq (t1, t2)
+  | Formula.Not f -> Not (of_formula f)
+  | Formula.And (f, g) -> And (of_formula f, of_formula g)
+  | Formula.Or (f, g) -> Or (of_formula f, of_formula g)
+  | Formula.Imp (f, g) -> Imp (of_formula f, of_formula g)
+  | Formula.Iff (f, g) -> Iff (of_formula f, of_formula g)
+  | Formula.Forall (v, f) -> Forall (v, of_formula f)
+  | Formula.Exists (v, f) -> Exists (v, of_formula f)
+
+(** Project back to a first-order wff; [None] if a modality occurs. *)
+let rec to_formula : t -> Formula.t option =
+  let open Formula in
+  let map2 k f g =
+    match (to_formula f, to_formula g) with
+    | Some f', Some g' -> Some (k f' g')
+    | _, _ -> None
+  in
+  function
+  | True -> Some True
+  | False -> Some False
+  | Pred (p, args) -> Some (Pred (p, args))
+  | Eq (t1, t2) -> Some (Eq (t1, t2))
+  | Not f -> Option.map (fun f' -> Not f') (to_formula f)
+  | And (f, g) -> map2 (fun a b -> And (a, b)) f g
+  | Or (f, g) -> map2 (fun a b -> Or (a, b)) f g
+  | Imp (f, g) -> map2 (fun a b -> Imp (a, b)) f g
+  | Iff (f, g) -> map2 (fun a b -> Iff (a, b)) f g
+  | Forall (v, f) -> Option.map (fun f' -> Forall (v, f')) (to_formula f)
+  | Exists (v, f) -> Option.map (fun f' -> Exists (v, f')) (to_formula f)
+  | Possibly _ | Necessarily _ -> None
+
+(** A wff is {e static} iff no modal operator occurs in it; otherwise it
+    expresses a {e transition constraint} (paper Section 3.1). *)
+let rec is_static = function
+  | True | False | Pred _ | Eq _ -> true
+  | Not f | Forall (_, f) | Exists (_, f) -> is_static f
+  | And (f, g) | Or (f, g) | Imp (f, g) | Iff (f, g) -> is_static f && is_static g
+  | Possibly _ | Necessarily _ -> false
+
+type kind = Static | Transition
+
+let classify f = if is_static f then Static else Transition
+
+(** Modal depth: maximal nesting of ◇/□. *)
+let rec modal_depth = function
+  | True | False | Pred _ | Eq _ -> 0
+  | Not f | Forall (_, f) | Exists (_, f) -> modal_depth f
+  | And (f, g) | Or (f, g) | Imp (f, g) | Iff (f, g) -> max (modal_depth f) (modal_depth g)
+  | Possibly f | Necessarily f -> 1 + modal_depth f
+
+(** Free variables in first-occurrence order. *)
+let free_vars (f : t) : Term.var list =
+  let mem v l = List.exists (Term.var_equal v) l in
+  let add_term bound acc t =
+    List.fold_left
+      (fun acc v -> if mem v bound || mem v acc then acc else v :: acc)
+      acc (Term.free_vars t)
+  in
+  let rec go bound acc = function
+    | True | False -> acc
+    | Pred (_, args) -> List.fold_left (add_term bound) acc args
+    | Eq (t1, t2) -> add_term bound (add_term bound acc t1) t2
+    | Not f | Possibly f | Necessarily f -> go bound acc f
+    | And (f, g) | Or (f, g) | Imp (f, g) | Iff (f, g) -> go bound (go bound acc f) g
+    | Forall (v, f) | Exists (v, f) -> go (v :: bound) acc f
+  in
+  List.rev (go [] [] f)
+
+let is_closed f = free_vars f = []
+
+(** Well-sortedness against a signature (modalities are transparent). *)
+let check (sg : Signature.t) (f : t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let rec go env = function
+    | True | False -> Ok ()
+    | Pred (p, args) -> Formula.check sg (Formula.Pred (p, args))
+    | Eq (t1, t2) -> Formula.check sg (Formula.Eq (t1, t2))
+    | Not f | Possibly f | Necessarily f -> go env f
+    | And (f, g) | Or (f, g) | Imp (f, g) | Iff (f, g) ->
+      let* () = go env f in
+      go env g
+    | Forall (v, f) | Exists (v, f) ->
+      if Signature.has_sort sg v.Term.vsort then go (v :: env) f
+      else Error (Fmt.str "quantifier binds variable of undeclared sort %s" v.Term.vsort)
+  in
+  go [] f
+
+let rec pp_prec prec ppf f =
+  let paren p body = if prec > p then Fmt.pf ppf "(%t)" body else body ppf in
+  match f with
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Pred (p, []) -> Fmt.string ppf p
+  | Pred (p, args) -> Fmt.pf ppf "%s(%a)" p Fmt.(list ~sep:(any ", ") Term.pp) args
+  | Eq (t1, t2) -> Fmt.pf ppf "%a = %a" Term.pp t1 Term.pp t2
+  | Not (Eq (t1, t2)) -> Fmt.pf ppf "%a /= %a" Term.pp t1 Term.pp t2
+  | Not f -> paren 5 (fun ppf -> Fmt.pf ppf "~%a" (pp_prec 5) f)
+  | Possibly f -> paren 5 (fun ppf -> Fmt.pf ppf "dia %a" (pp_prec 5) f)
+  | Necessarily f -> paren 5 (fun ppf -> Fmt.pf ppf "box %a" (pp_prec 5) f)
+  | And (f, g) -> paren 4 (fun ppf -> Fmt.pf ppf "%a & %a" (pp_prec 4) f (pp_prec 5) g)
+  | Or (f, g) -> paren 3 (fun ppf -> Fmt.pf ppf "%a | %a" (pp_prec 3) f (pp_prec 4) g)
+  | Imp (f, g) -> paren 2 (fun ppf -> Fmt.pf ppf "%a -> %a" (pp_prec 3) f (pp_prec 2) g)
+  | Iff (f, g) -> paren 1 (fun ppf -> Fmt.pf ppf "%a <-> %a" (pp_prec 2) f (pp_prec 1) g)
+  | Forall (v, f) ->
+    paren 0 (fun ppf ->
+        Fmt.pf ppf "forall %s:%s. %a" v.Term.vname v.Term.vsort (pp_prec 0) f)
+  | Exists (v, f) ->
+    paren 0 (fun ppf ->
+        Fmt.pf ppf "exists %s:%s. %a" v.Term.vname v.Term.vsort (pp_prec 0) f)
+
+let pp = pp_prec 0
+let to_string f = Fmt.str "%a" pp f

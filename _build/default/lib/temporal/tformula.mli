@@ -1,0 +1,56 @@
+(** Temporal extension LT of a many-sorted first-order language L
+    (paper Section 3.1).
+
+    The syntax is that of L plus the possibility operator [Possibly]
+    (the paper's ◇); necessity [Necessarily] (□) is its dual, [~◇~P].
+    Modalities may nest under connectives and quantifiers. *)
+
+open Fdbs_logic
+
+type t =
+  | True
+  | False
+  | Pred of string * Term.t list
+  | Eq of Term.t * Term.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | Iff of t * t
+  | Forall of Term.var * t
+  | Exists of Term.var * t
+  | Possibly of t  (** ◇P: some accessible state satisfies P *)
+  | Necessarily of t  (** □P, definable as [~◇~P] *)
+
+val possibly : t -> t
+val necessarily : t -> t
+val forall : Term.var list -> t -> t
+val exists : Term.var list -> t -> t
+
+(** Embed a non-modal first-order wff. *)
+val of_formula : Formula.t -> t
+
+(** Project back to a first-order wff; [None] if a modality occurs. *)
+val to_formula : t -> Formula.t option
+
+(** A wff is {e static} iff no modal operator occurs in it; otherwise
+    it expresses a {e transition constraint} (paper Section 3.1). *)
+val is_static : t -> bool
+
+type kind = Static | Transition
+
+val classify : t -> kind
+
+(** Maximal nesting of ◇/□. *)
+val modal_depth : t -> int
+
+(** Free variables in first-occurrence order. *)
+val free_vars : t -> Term.var list
+
+val is_closed : t -> bool
+
+(** Well-sortedness against a signature (modalities are transparent). *)
+val check : Signature.t -> t -> (unit, string) result
+
+val pp : t Fmt.t
+val to_string : t -> string

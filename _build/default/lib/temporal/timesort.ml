@@ -1,0 +1,143 @@
+(** The time-sorted alternative to modal operators (paper Section 3.1:
+    "A different approach could also be taken by selecting a many-sorted
+    first-order language with a special sort interpreted as time").
+
+    A temporal wff over L translates into an ordinary first-order wff
+    over the {e time extension} of L's signature: every db-predicate
+    gains a final argument of the distinguished sort {!time_sort}, a
+    binary predicate {!accessible} on time points stands for the
+    accessibility relation R, and the modalities become quantifiers:
+
+    - [◇P]  ↦  [exists t'. accessible(t, t') & P[t']]
+    - [□P]  ↦  [forall t'. accessible(t, t') -> P[t']]
+
+    where [t] is the current time point. A universe U = (S, R) likewise
+    flattens into a single structure whose time carrier indexes S; the
+    two semantics agree ({!structure_of_universe}, tested by the
+    equivalence property in the test suite). *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+let time_sort : Sort.t = "time"
+let accessible = "accessible"
+
+(** The time extension of a signature: db-predicates widened with a
+    final [time] argument, ordinary symbols untouched, plus the
+    [accessible] predicate over time points. *)
+let extend_signature (sg : Signature.t) : Signature.t =
+  let sorts = time_sort :: Sort.Set.elements sg.Signature.sorts in
+  let preds =
+    List.map
+      (fun (p : Signature.pred) ->
+        if p.Signature.db then
+          { p with Signature.pargs = p.Signature.pargs @ [ time_sort ] }
+        else p)
+      sg.Signature.preds
+  in
+  Signature.make ~sorts ~funcs:sg.Signature.funcs
+    ~preds:(preds @ [ Signature.pred accessible [ time_sort; time_sort ] ])
+
+let fresh_time_var (used : Term.var list) : Term.var =
+  let rec pick i =
+    let name = if i = 0 then "t" else Fmt.str "t%d" i in
+    let cand = { Term.vname = name; vsort = time_sort } in
+    if List.exists (Term.var_equal cand) used then pick (i + 1) else cand
+  in
+  pick 0
+
+(** Translate a temporal wff into a first-order wff over the extended
+    signature, with the free time variable [now] as the current point
+    (db-predicates are the symbols that gain the time argument). *)
+let translate (sg : Signature.t) ~(now : Term.var) (f : Tformula.t) : Formula.t =
+  let is_db p =
+    match Signature.find_pred sg p with Some pd -> pd.Signature.db | None -> false
+  in
+  let rec go (now : Term.var) (bound : Term.var list) : Tformula.t -> Formula.t =
+    function
+    | Tformula.True -> Formula.True
+    | Tformula.False -> Formula.False
+    | Tformula.Pred (p, args) ->
+      if is_db p then Formula.Pred (p, args @ [ Term.Var now ])
+      else Formula.Pred (p, args)
+    | Tformula.Eq (t1, t2) -> Formula.Eq (t1, t2)
+    | Tformula.Not g -> Formula.Not (go now bound g)
+    | Tformula.And (g, h) -> Formula.And (go now bound g, go now bound h)
+    | Tformula.Or (g, h) -> Formula.Or (go now bound g, go now bound h)
+    | Tformula.Imp (g, h) -> Formula.Imp (go now bound g, go now bound h)
+    | Tformula.Iff (g, h) -> Formula.Iff (go now bound g, go now bound h)
+    | Tformula.Forall (v, g) -> Formula.Forall (v, go now (v :: bound) g)
+    | Tformula.Exists (v, g) -> Formula.Exists (v, go now (v :: bound) g)
+    | Tformula.Possibly g ->
+      let t' = fresh_time_var (now :: bound) in
+      Formula.Exists
+        ( t',
+          Formula.And
+            ( Formula.Pred (accessible, [ Term.Var now; Term.Var t' ]),
+              go t' (t' :: bound) g ) )
+    | Tformula.Necessarily g ->
+      let t' = fresh_time_var (now :: bound) in
+      Formula.Forall
+        ( t',
+          Formula.Imp
+            ( Formula.Pred (accessible, [ Term.Var now; Term.Var t' ]),
+              go t' (t' :: bound) g ) )
+  in
+  go now [ now ] f
+
+(** Flatten a universe U = (S, R) into one structure of the extended
+    signature: the time carrier is [Int 0 .. Int (n-1)]; a widened
+    db-predicate [p(x̄, t)] holds iff [p(x̄)] holds in state t; and
+    [accessible(i, j)] iff R(i, j). Non-db symbols are taken from state
+    0 (they are state-independent by assumption). *)
+let structure_of_universe (sg : Signature.t) (u : Universe.t) : Structure.t =
+  let n = Universe.num_states u in
+  let base = Universe.state u 0 in
+  let domain =
+    Domain.add time_sort (List.init n (fun i -> Value.Int i)) (Structure.domain base)
+  in
+  let funcs =
+    List.filter_map
+      (fun (f : Signature.func) ->
+        Option.map (fun fi -> (f.Signature.fname, fi)) (Structure.func base f.Signature.fname))
+      sg.Signature.funcs
+  in
+  let state_index args =
+    match List.rev args with
+    | Value.Int i :: rest when i >= 0 && i < n -> Some (i, List.rev rest)
+    | _ -> None
+  in
+  let preds =
+    List.filter_map
+      (fun (p : Signature.pred) ->
+        if p.Signature.db then
+          Some
+            ( p.Signature.pname,
+              fun args ->
+                match state_index args with
+                | Some (i, real_args) ->
+                  (match Structure.pred (Universe.state u i) p.Signature.pname with
+                   | Some pi -> pi real_args
+                   | None -> false)
+                | None -> false )
+        else
+          Option.map (fun pi -> (p.Signature.pname, pi))
+            (Structure.pred base p.Signature.pname))
+      sg.Signature.preds
+  in
+  let access args =
+    match args with
+    | [ Value.Int i; Value.Int j ] when i >= 0 && i < n ->
+      List.mem j (Universe.successors u i)
+    | _ -> false
+  in
+  Structure.make ~domain ~funcs ~preds:((accessible, access) :: preds) ()
+
+(** Truth of a temporal wff at state [i] of [u], via the time-sorted
+    translation — provably equal to {!Check.holds_at} (see the test
+    suite's equivalence property). *)
+let holds_at (sg : Signature.t) (u : Universe.t) (i : int) (f : Tformula.t) : bool =
+  let now = { Term.vname = "now"; vsort = time_sort } in
+  let translated = translate sg ~now f in
+  let flat = structure_of_universe sg u in
+  Eval.formula flat [ (now, Value.Int i) ] translated

@@ -1,0 +1,38 @@
+(** The time-sorted alternative to modal operators (paper Section 3.1:
+    "A different approach could also be taken by selecting a many-sorted
+    first-order language with a special sort interpreted as time").
+
+    A temporal wff over L translates into an ordinary first-order wff
+    over the time extension of L's signature: every db-predicate gains a
+    final argument of sort {!time_sort}, the predicate {!accessible}
+    stands for the accessibility relation, and the modalities become
+    quantifiers over time points. The translation agrees with the
+    Kripke semantics (property-tested). *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+(** The distinguished time sort, ["time"]. *)
+val time_sort : Sort.t
+
+(** The accessibility predicate over time points. *)
+val accessible : string
+
+(** The time extension of a signature: db-predicates widened with a
+    final [time] argument, plus [accessible : <time, time>]. *)
+val extend_signature : Signature.t -> Signature.t
+
+(** Translate a temporal wff into a first-order wff over the extended
+    signature, with the free time variable [now] as the current point:
+    [◇P ↦ exists t'. accessible(now, t') & P(t')] and dually for □. *)
+val translate : Signature.t -> now:Term.var -> Tformula.t -> Formula.t
+
+(** Flatten a universe U = (S, R) into one structure of the extended
+    signature: the time carrier is [Int 0 .. Int (n-1)]; a widened
+    db-predicate holds of [(x̄, t)] iff it held of [x̄] in state t; and
+    [accessible(i, j)] iff R(i, j). *)
+val structure_of_universe : Signature.t -> Universe.t -> Structure.t
+
+(** Truth of a temporal wff at state [i] via the time-sorted
+    translation — equal to {!Check.holds_at}. *)
+val holds_at : Signature.t -> Universe.t -> int -> Tformula.t -> bool

@@ -1,0 +1,193 @@
+(** Concrete syntax for temporal wffs: the first-order syntax of
+    {!Fdbs_logic.Parser} extended with the prefix modal operators
+    [dia] (◇, synonym [possibly]) and [box] (□, synonym [necessarily]). *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+type env = (string * Sort.t) list
+
+let kw_dia = [ "dia"; "possibly" ]
+let kw_box = [ "box"; "necessarily" ]
+let reserved = Parser.reserved @ kw_dia @ kw_box
+
+let rec parse_formula (sg : Signature.t) (env : env) st : Tformula.t =
+  if Parse.accept_kw st "forall" then quantified sg env st true
+  else if Parse.accept_kw st "exists" then quantified sg env st false
+  else parse_iff sg env st
+
+and quantified sg env st universal =
+  let binders = Parser.parse_binders st in
+  List.iter
+    (fun (name, _) ->
+      if List.mem name reserved then
+        Parse.fail st (Fmt.str "reserved word %s used as a variable" name))
+    binders;
+  Parse.expect_sym st ".";
+  let body = parse_formula sg (List.rev binders @ env) st in
+  let vars = List.map (fun (n, s) -> { Term.vname = n; vsort = s }) binders in
+  if universal then Tformula.forall vars body else Tformula.exists vars body
+
+and parse_iff sg env st =
+  let lhs = parse_imp sg env st in
+  let rec loop acc =
+    if Parse.accept_sym st "<->" || Parse.accept_sym st "<=>" then
+      loop (Tformula.Iff (acc, parse_imp sg env st))
+    else acc
+  in
+  loop lhs
+
+and parse_imp sg env st =
+  let lhs = parse_or sg env st in
+  if Parse.accept_sym st "->" || Parse.accept_sym st "=>" then
+    Tformula.Imp (lhs, parse_imp sg env st)
+  else lhs
+
+and parse_or sg env st =
+  let lhs = parse_and sg env st in
+  let rec loop acc =
+    if Parse.accept_sym st "|" || Parse.accept_sym st "||" then
+      loop (Tformula.Or (acc, parse_and sg env st))
+    else acc
+  in
+  loop lhs
+
+and parse_and sg env st =
+  let lhs = parse_unary sg env st in
+  let rec loop acc =
+    if Parse.accept_sym st "&" || Parse.accept_sym st "&&" then
+      loop (Tformula.And (acc, parse_unary sg env st))
+    else acc
+  in
+  loop lhs
+
+and parse_unary sg env st =
+  if Parse.accept_sym st "~" || Parse.accept_sym st "!" then
+    Tformula.Not (parse_unary sg env st)
+  else if List.exists (Parse.accept_kw st) kw_dia then
+    Tformula.Possibly (parse_unary sg env st)
+  else if List.exists (Parse.accept_kw st) kw_box then
+    Tformula.Necessarily (parse_unary sg env st)
+  else parse_atom sg env st
+
+and parse_atom sg env st =
+  if Parse.accept_kw st "true" then Tformula.True
+  else if Parse.accept_kw st "false" then Tformula.False
+  else if Parse.accept_sym st "(" then begin
+    let f = parse_formula sg env st in
+    Parse.expect_sym st ")";
+    f
+  end
+  else
+    match Parse.peek st with
+    | Lexer.Ident name | Lexer.Uident name
+      when (match Signature.find_pred sg name with Some _ -> true | None -> false)
+           && not (List.mem_assoc name env) ->
+      Parse.advance st;
+      let args =
+        if Parse.accept_sym st "(" then begin
+          let args = Parse.sep_list st ~sep:"," (Parser.parse_term sg env) in
+          Parse.expect_sym st ")";
+          args
+        end
+        else []
+      in
+      Tformula.Pred (name, args)
+    | _ ->
+      let t1 = Parser.parse_term sg env st in
+      if Parse.accept_sym st "=" then Tformula.Eq (t1, Parser.parse_term sg env st)
+      else if Parse.accept_sym st "/=" || Parse.accept_sym st "<>" then
+        Tformula.Not (Tformula.Eq (t1, Parser.parse_term sg env st))
+      else Parse.fail st "expected '=' or '/=' after a term"
+
+(** Parse a temporal wff; [free] declares sorts of free variables. *)
+let formula ?(free : env = []) (sg : Signature.t) (src : string) :
+  (Tformula.t, string) result =
+  Parse.run (fun st -> parse_formula sg free st) src
+
+let formula_exn ?free sg src =
+  match formula ?free sg src with
+  | Ok f -> f
+  | Error e -> invalid_arg ("Tparser.formula_exn: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* Theory files                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* A theory file declares the information level T1 = (L1, A1):
+
+     theory university
+     sort course
+     sort student
+     pred offered : course            # db-predicates
+     pred takes : student, course
+     const cs101 : course             # optional individual constants
+     axiom static: ~(exists s:student, c:course. takes(s, c) & ~offered(c))
+     axiom transition: ~(exists s:student, c:course.
+                           dia (takes(s, c) & dia ~(exists c2:course. takes(s, c2))))
+
+   [shared name : sorts] declares an ordinary (non-db) predicate. *)
+
+(** Parse an information-level theory file. *)
+let theory (src : string) : (Ttheory.t, string) result =
+  let parse st =
+    Parse.expect_kw st "theory";
+    let name = Parse.ident st in
+    let sorts = ref [] in
+    let preds = ref [] in
+    let consts = ref [] in
+    let axioms = ref [] in
+    (* First pass collects declarations; axiom formulas are parsed on
+       the spot once the signature is complete, so axioms must follow
+       the declarations they use (single forward pass, two stages). *)
+    let rec decls () =
+      if Parse.accept_kw st "sort" then begin
+        sorts := Sort.make (Parse.ident st) :: !sorts;
+        decls ()
+      end
+      else if Parse.accept_kw st "pred" then decls_pred true ()
+      else if Parse.accept_kw st "shared" then decls_pred false ()
+      else if Parse.accept_kw st "const" then begin
+        let n = Parse.ident st in
+        Parse.expect_sym st ":";
+        consts := (n, Sort.make (Parse.ident st)) :: !consts;
+        decls ()
+      end
+      else if Parse.at_eof st then ()
+      else axioms_loop ()
+    and decls_pred db () =
+      let n = Parse.ident st in
+      Parse.expect_sym st ":";
+      let args = Parse.sep_list st ~sep:"," (fun st -> Sort.make (Parse.ident st)) in
+      preds := (n, args, db) :: !preds;
+      decls ()
+    and axioms_loop () =
+      if Parse.accept_kw st "axiom" then begin
+        let ax_name = Parse.ident st in
+        Parse.expect_sym st ":";
+        let sg = signature_of () in
+        let f = parse_formula sg [] st in
+        axioms := (ax_name, f) :: !axioms;
+        axioms_loop ()
+      end
+      else if Parse.at_eof st then ()
+      else Parse.fail st "expected 'axiom' or end of file"
+    and signature_of () =
+      Signature.make ~sorts:(List.rev !sorts)
+        ~funcs:(List.rev_map (fun (n, s) -> Signature.const n s) !consts)
+        ~preds:(List.rev_map (fun (n, args, db) -> Signature.pred ~db n args) !preds)
+    in
+    decls ();
+    let sg = signature_of () in
+    (name, sg, List.rev !axioms)
+  in
+  match Parse.run parse src with
+  | Error e -> Error e
+  | Ok (name, signature, axioms) ->
+    Ttheory.make ~name ~signature
+      ~axioms:(List.map (fun (n, f) -> Ttheory.axiom n f) axioms)
+
+let theory_exn src =
+  match theory src with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Tparser.theory_exn: " ^ e)

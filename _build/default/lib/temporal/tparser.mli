@@ -1,0 +1,40 @@
+(** Concrete syntax for temporal wffs and information-level theory
+    files.
+
+    Formulas use the first-order syntax of {!Fdbs_logic.Parser} extended
+    with the prefix modal operators [dia] (◇, synonym [possibly]) and
+    [box] (□, synonym [necessarily]).
+
+    A theory file declares the information level T1 = (L1, A1):
+    {v
+    theory university
+    sort course
+    sort student
+    pred offered : course            # db-predicates
+    pred takes : student, course
+    axiom static: ~(exists s:student, c:course. takes(s, c) & ~offered(c))
+    axiom transition: ~(exists s:student, c:course.
+                          dia (takes(s, c) & dia ~(exists c2:course. takes(s, c2))))
+    v}
+    [shared name : sorts] declares an ordinary (non-db) predicate and
+    [const name : sort] an individual constant. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+type env = (string * Sort.t) list
+
+val reserved : string list
+
+(** The formula sub-parser, exposed for embedding. *)
+val parse_formula : Signature.t -> env -> Parse.state -> Tformula.t
+
+(** Parse a temporal wff; [free] declares sorts of free variables. *)
+val formula : ?free:env -> Signature.t -> string -> (Tformula.t, string) result
+
+val formula_exn : ?free:env -> Signature.t -> string -> Tformula.t
+
+(** Parse an information-level theory file. *)
+val theory : string -> (Ttheory.t, string) result
+
+val theory_exn : string -> Ttheory.t

@@ -1,0 +1,55 @@
+(** Information-level theories T1 = (L1, A1): a temporal language given
+    by a first-order signature (db-predicates plus ordinary symbols) and
+    a set of named temporal axioms (paper Section 3.1). *)
+
+open Fdbs_logic
+
+type axiom = {
+  ax_name : string;
+  ax_formula : Tformula.t;
+}
+
+type t = {
+  name : string;
+  signature : Signature.t;
+  axioms : axiom list;
+}
+
+let axiom name formula = { ax_name = name; ax_formula = formula }
+
+(** Build a theory, checking every axiom is a well-sorted sentence. *)
+let make ~name ~signature ~axioms : (t, string) result =
+  let rec check = function
+    | [] -> Ok { name; signature; axioms }
+    | ax :: rest ->
+      (match Tformula.check signature ax.ax_formula with
+       | Error e -> Error (Fmt.str "axiom %s: %s" ax.ax_name e)
+       | Ok () ->
+         if not (Tformula.is_closed ax.ax_formula) then
+           Error (Fmt.str "axiom %s is not a sentence" ax.ax_name)
+         else check rest)
+  in
+  check axioms
+
+let make_exn ~name ~signature ~axioms =
+  match make ~name ~signature ~axioms with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Ttheory.make_exn: " ^ e)
+
+let static_axioms (t : t) =
+  List.filter (fun ax -> Tformula.is_static ax.ax_formula) t.axioms
+
+let transition_axioms (t : t) =
+  List.filter (fun ax -> not (Tformula.is_static ax.ax_formula)) t.axioms
+
+(** Axioms failing somewhere in the universe. *)
+let check_in (t : t) (u : Universe.t) : Check.report list =
+  Check.check_axioms u (List.map (fun ax -> (ax.ax_name, ax.ax_formula)) t.axioms)
+
+let pp ppf (t : t) =
+  let pp_ax ppf ax =
+    let kind = if Tformula.is_static ax.ax_formula then "static" else "transition" in
+    Fmt.pf ppf "@[%s (%s): %a@]" ax.ax_name kind Tformula.pp ax.ax_formula
+  in
+  Fmt.pf ppf "@[<v>information-level theory %s@,%a@]" t.name
+    Fmt.(list ~sep:cut pp_ax) t.axioms

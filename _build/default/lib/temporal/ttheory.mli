@@ -1,0 +1,32 @@
+(** Information-level theories T1 = (L1, A1): a temporal language given
+    by a first-order signature (db-predicates plus ordinary symbols) and
+    a set of named temporal axioms (paper Section 3.1). *)
+
+open Fdbs_logic
+
+type axiom = {
+  ax_name : string;
+  ax_formula : Tformula.t;
+}
+
+type t = {
+  name : string;
+  signature : Signature.t;
+  axioms : axiom list;
+}
+
+val axiom : string -> Tformula.t -> axiom
+
+(** Build a theory, checking every axiom is a well-sorted sentence. *)
+val make :
+  name:string -> signature:Signature.t -> axioms:axiom list -> (t, string) result
+
+val make_exn : name:string -> signature:Signature.t -> axioms:axiom list -> t
+
+val static_axioms : t -> axiom list
+val transition_axioms : t -> axiom list
+
+(** Check every axiom at every state of a universe. *)
+val check_in : t -> Universe.t -> Check.report list
+
+val pp : t Fmt.t

@@ -1,0 +1,86 @@
+(** Universes for a temporal language: U = (S, R) where S is a set of
+    structures sharing one domain and R is the accessibility relation
+    over S (paper Section 3.1). States are indexed 0..n-1. *)
+
+open Fdbs_logic
+
+type t = {
+  states : Structure.t array;
+  succ : int list array;  (** adjacency: [succ.(i)] are R-successors of state i *)
+}
+
+let make ~(states : Structure.t list) ~(edges : (int * int) list) : t =
+  let states = Array.of_list states in
+  let n = Array.length states in
+  let succ = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || a >= n || b < 0 || b >= n then
+        invalid_arg (Fmt.str "Universe.make: edge (%d,%d) out of range" a b);
+      if not (List.mem b succ.(a)) then succ.(a) <- b :: succ.(a))
+    edges;
+  Array.iteri (fun i l -> succ.(i) <- List.sort compare l) succ;
+  { states; succ }
+
+let state (u : t) i = u.states.(i)
+let num_states (u : t) = Array.length u.states
+let successors (u : t) i = u.succ.(i)
+
+let edges (u : t) =
+  Array.to_list u.succ
+  |> List.mapi (fun i l -> List.map (fun j -> (i, j)) l)
+  |> List.concat
+
+(** Replace R by its transitive closure (Floyd–Warshall). Use when
+    "future state" is meant transitively rather than as one step. *)
+let transitive_closure (u : t) : t =
+  let n = num_states u in
+  let reach = Array.make_matrix n n false in
+  Array.iteri (fun i l -> List.iter (fun j -> reach.(i).(j) <- true) l) u.succ;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if reach.(i).(k) then
+        for j = 0 to n - 1 do
+          if reach.(k).(j) then reach.(i).(j) <- true
+        done
+    done
+  done;
+  let succ =
+    Array.init n (fun i ->
+        List.filter (fun j -> reach.(i).(j)) (List.init n Fun.id))
+  in
+  { states = u.states; succ }
+
+(** Also add each state as its own successor. *)
+let reflexive (u : t) : t =
+  let succ =
+    Array.mapi (fun i l -> if List.mem i l then l else List.sort compare (i :: l)) u.succ
+  in
+  { states = u.states; succ }
+
+(** Generate a universe from an initial state and a step function, with
+    states deduplicated by extensional equality; exploration stops after
+    [limit] distinct states. Returns the universe and whether the
+    exploration was truncated. *)
+let generate ~(limit : int) ~(init : Structure.t list)
+    ~(step : Structure.t -> Structure.t list) : t * bool =
+  let states, truncated =
+    Fdbs_kernel.Util.bfs_fixpoint ~eq:Structure.equal_tables ~limit ~step init
+  in
+  let arr = Array.of_list states in
+  let index st =
+    let rec go i =
+      if i >= Array.length arr then None
+      else if Structure.equal_tables arr.(i) st then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let edges =
+    List.concat
+      (List.mapi
+         (fun i st ->
+           List.filter_map index (step st) |> List.map (fun j -> (i, j)))
+         states)
+  in
+  (make ~states ~edges, truncated)

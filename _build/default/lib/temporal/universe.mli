@@ -1,0 +1,36 @@
+(** Universes for a temporal language: U = (S, R) where S is a set of
+    structures sharing one domain and R is the accessibility relation
+    over S (paper Section 3.1). States are indexed 0..n-1. *)
+
+open Fdbs_logic
+
+type t
+
+(** Build a universe from a state list and accessibility edges; raises
+    [Invalid_argument] on out-of-range edges. *)
+val make : states:Structure.t list -> edges:(int * int) list -> t
+
+val state : t -> int -> Structure.t
+val num_states : t -> int
+
+(** R-successors of a state, sorted. *)
+val successors : t -> int -> int list
+
+val edges : t -> (int * int) list
+
+(** Replace R by its transitive closure. Use when "future state" is
+    meant transitively rather than as one step. *)
+val transitive_closure : t -> t
+
+(** Also add each state as its own successor. *)
+val reflexive : t -> t
+
+(** Generate a universe from initial states and a step function, with
+    states deduplicated by extensional equality; exploration stops after
+    [limit] distinct states. Returns the universe and whether the
+    exploration was truncated. *)
+val generate :
+  limit:int ->
+  init:Structure.t list ->
+  step:(Structure.t -> Structure.t list) ->
+  t * bool

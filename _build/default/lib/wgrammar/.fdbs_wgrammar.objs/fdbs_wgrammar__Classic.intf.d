@@ -1,0 +1,1 @@
+lib/wgrammar/classic.mli: Wg

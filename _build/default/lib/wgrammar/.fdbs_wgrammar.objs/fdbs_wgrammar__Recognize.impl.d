@@ -1,0 +1,1 @@
+lib/wgrammar/recognize.ml: Array Hashtbl List String Wg

@@ -1,0 +1,1 @@
+lib/wgrammar/recognize.mli: Wg

@@ -1,0 +1,1 @@
+lib/wgrammar/rpr_grammar.ml: Fdbs_kernel Lexer List Recognize String Wg

@@ -1,0 +1,1 @@
+lib/wgrammar/rpr_grammar.mli: Recognize Wg

@@ -1,0 +1,1 @@
+lib/wgrammar/wg.ml: Fdbs_kernel Fmt Hashtbl List Option String

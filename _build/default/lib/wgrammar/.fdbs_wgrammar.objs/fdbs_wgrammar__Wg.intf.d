@@ -1,0 +1,1 @@
+lib/wgrammar/wg.mli: Fmt

@@ -1,0 +1,85 @@
+(** Classic W-grammar examples, used by tests and documentation: the
+    context-sensitive languages aⁿbⁿcⁿ and "reduplicated names", which
+    no context-free grammar captures. *)
+
+(** aⁿbⁿcⁿ (n ≥ 1): the metanotion N counts in unary; the start rule's
+    free N is the shared count, consistently substituted into the three
+    blocks. Recognition needs candidates for N: unary strings up to the
+    input length (see {!an_bn_cn_candidates}). *)
+let an_bn_cn : Wg.t =
+  let open Wg in
+  {
+    metarules = [ ("N", [ [ Proto "i" ]; [ Proto "i"; Meta "N" ] ]) ];
+    rules =
+      [
+        {
+          lhs = [ Proto "s" ];
+          alts =
+            [
+              [
+                Nt [ Proto "as"; Meta "N" ];
+                Nt [ Proto "bs"; Meta "N" ];
+                Nt [ Proto "cs"; Meta "N" ];
+              ];
+            ];
+        };
+        { lhs = [ Proto "as"; Proto "i" ]; alts = [ [ Mark [ Proto "a" ] ] ] };
+        {
+          lhs = [ Proto "as"; Proto "i"; Meta "N" ];
+          alts = [ [ Mark [ Proto "a" ]; Nt [ Proto "as"; Meta "N" ] ] ];
+        };
+        { lhs = [ Proto "bs"; Proto "i" ]; alts = [ [ Mark [ Proto "b" ] ] ] };
+        {
+          lhs = [ Proto "bs"; Proto "i"; Meta "N" ];
+          alts = [ [ Mark [ Proto "b" ]; Nt [ Proto "bs"; Meta "N" ] ] ];
+        };
+        { lhs = [ Proto "cs"; Proto "i" ]; alts = [ [ Mark [ Proto "c" ] ] ] };
+        {
+          lhs = [ Proto "cs"; Proto "i"; Meta "N" ];
+          alts = [ [ Mark [ Proto "c" ]; Nt [ Proto "cs"; Meta "N" ] ] ];
+        };
+      ];
+    start = [ Proto "s" ];
+  }
+
+(** Candidate values for the free metanotion N when recognizing inputs
+    of length [n]: unary strings i, ii, ..., i^n. *)
+let an_bn_cn_candidates (n : int) : string -> string list list =
+  fun meta ->
+    if meta = "N" then List.init n (fun k -> List.init (k + 1) (fun _ -> "i")) else []
+
+(** The "same name twice" language {w w | w a nonempty word over
+    {x,y}}: consistent substitution forces both halves equal. *)
+let ww : Wg.t =
+  let open Wg in
+  {
+    metarules =
+      [
+        ( "W",
+          [ [ Proto "x" ]; [ Proto "y" ]; [ Proto "x"; Meta "W" ]; [ Proto "y"; Meta "W" ] ] );
+      ];
+    rules =
+      [
+        {
+          lhs = [ Proto "s" ];
+          alts = [ [ Nt [ Proto "half"; Meta "W" ]; Nt [ Proto "half"; Meta "W" ] ] ];
+        };
+        (* "half W" spells out W literally. *)
+        { lhs = [ Proto "half"; Meta "W" ]; alts = [ [ Mark [ Meta "W" ] ] ] };
+      ];
+    start = [ Proto "s" ];
+  }
+
+(** Candidates for W on inputs of length [n]: all words over {x,y} of
+    length ≤ n/2 — exponential, so keep n small in tests. *)
+let ww_candidates (n : int) : string -> string list list =
+  let rec words k =
+    if k = 0 then [ [] ]
+    else
+      let shorter = words (k - 1) in
+      shorter
+      @ List.concat_map
+          (fun w -> if List.length w = k - 1 then [ "x" :: w; "y" :: w ] else [])
+          shorter
+  in
+  fun meta -> if meta = "W" then List.filter (( <> ) []) (words (n / 2)) else []

@@ -1,0 +1,20 @@
+(** Classic W-grammar examples, used by tests and documentation: the
+    context-sensitive languages aⁿbⁿcⁿ and reduplication, which no
+    context-free grammar captures. *)
+
+(** aⁿbⁿcⁿ (n ≥ 1): the metanotion N counts in unary; the start rule's
+    free N is the shared count, consistently substituted into the three
+    blocks. *)
+val an_bn_cn : Wg.t
+
+(** Candidate values for the free metanotion N on inputs of length [n]:
+    unary strings i, ii, ..., iⁿ. *)
+val an_bn_cn_candidates : int -> string -> string list list
+
+(** The "same word twice" language: ww for nonempty w over [{x, y}];
+    consistent substitution forces both halves equal. *)
+val ww : Wg.t
+
+(** Candidates for W on inputs of length [n]: all words over [{x, y}]
+    of length at most [n/2]. *)
+val ww_candidates : int -> string -> string list list

@@ -1,0 +1,130 @@
+(** Bounded recognition for W-grammars.
+
+    The generated grammar of a W-grammar is in general infinite, and
+    recognition is undecidable; this engine decides the bounded
+    instances that arise in practice:
+
+    - nonterminals are {e fully instantiated} hypernotions (token
+      strings); to expand one, every hyperrule whose left-hand side
+      matches it under a consistent substitution contributes its
+      instantiated alternatives;
+    - metanotions that occur in an alternative but not in the rule's
+      left-hand side ({e free} metanotions) are enumerated from a
+      caller-supplied candidate list, filtered by metarule
+      derivability — the only source of unboundedness, made explicit;
+    - parsing memoizes, per (nonterminal, input position), the set of
+      end positions the nonterminal can span, which handles ambiguity
+      and shared subderivations; cyclic expansions are cut off. *)
+
+
+type config = {
+  candidates : string -> string list list;
+      (** candidate values for a free metanotion (base name) *)
+  max_expansion : int;  (** safety cap on distinct (nonterminal, pos) expansions *)
+}
+
+let default_config =
+  { candidates = (fun _ -> []); max_expansion = 200_000 }
+
+exception Budget_exceeded
+
+module Key = struct
+  type t = string list * int
+
+  let equal (a1, b1) (a2, b2) = b1 = b2 && List.equal String.equal a1 a2
+  let hash = Hashtbl.hash
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+(** [spans g cfg input] returns a function [parse nt pos] giving every
+    end position from which [nt] derives [input[pos..end)]. *)
+let make_parser (g : Wg.t) (cfg : config) (input : string array) :
+  string list -> int -> int list =
+  let derives = Wg.deriver g in
+  let memo : int list Tbl.t = Tbl.create 512 in
+  let in_progress : unit Tbl.t = Tbl.create 64 in
+  let expansions = ref 0 in
+  let n = Array.length input in
+  (* Enumerate assignments for free metanotions of an alternative. *)
+  let enumerate_free (s : Wg.subst) (frees : string list) : Wg.subst list =
+    List.fold_left
+      (fun substs m ->
+        let values =
+          List.filter (fun v -> derives m v) (cfg.candidates (Wg.base_meta m))
+        in
+        List.concat_map (fun s -> List.map (fun v -> (m, v) :: s) values) substs)
+      [ s ] frees
+  in
+  let rec parse_nt (nt : string list) (pos : int) : int list =
+    let key = (nt, pos) in
+    match Tbl.find_opt memo key with
+    | Some ends -> ends
+    | None ->
+      if Tbl.mem in_progress key then []
+      else begin
+        incr expansions;
+        if !expansions > cfg.max_expansion then raise Budget_exceeded;
+        Tbl.add in_progress key ();
+        let ends = ref [] in
+        List.iter
+          (fun (r : Wg.hyperrule) ->
+            List.iter
+              (fun (s : Wg.subst) ->
+                List.iter
+                  (fun alt ->
+                    let bound = List.map fst s in
+                    let frees =
+                      List.filter (fun m -> not (List.mem m bound)) (Wg.alt_metas alt)
+                    in
+                    List.iter
+                      (fun s' ->
+                        List.iter
+                          (fun e -> if not (List.mem e !ends) then ends := e :: !ends)
+                          (parse_members s' alt pos))
+                      (enumerate_free s frees))
+                  r.Wg.alts)
+              (Wg.match_hypernotion ~derives r.Wg.lhs nt))
+          g.Wg.rules;
+        Tbl.remove in_progress key;
+        let result = List.sort compare !ends in
+        Tbl.add memo key result;
+        result
+      end
+  and parse_members (s : Wg.subst) (members : Wg.member list) (pos : int) : int list =
+    match members with
+    | [] -> [ pos ]
+    | m :: rest ->
+      let next_positions =
+        match m with
+        | Wg.Mark h ->
+          (match Wg.instantiate s h with
+           | None -> []
+           | Some tokens ->
+             let k = List.length tokens in
+             if
+               pos + k <= n
+               && List.for_all2
+                    (fun t i -> String.equal t input.(i))
+                    tokens
+                    (List.init k (fun i -> pos + i))
+             then [ pos + k ]
+             else [])
+        | Wg.Nt h ->
+          (match Wg.instantiate s h with
+           | None -> []
+           | Some nt -> parse_nt nt pos)
+      in
+      List.concat_map (parse_members s rest) next_positions
+      |> List.sort_uniq compare
+  in
+  parse_nt
+
+(** Does the grammar's start hypernotion derive exactly the input? *)
+let recognize ?(config = default_config) (g : Wg.t) (input : string list) : bool =
+  match Wg.instantiate [] g.Wg.start with
+  | None -> invalid_arg "Recognize.recognize: start hypernotion is not instantiated"
+  | Some start ->
+    let arr = Array.of_list input in
+    let parse = make_parser g config arr in
+    (try List.mem (Array.length arr) (parse start 0) with Budget_exceeded -> false)

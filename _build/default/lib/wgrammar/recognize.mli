@@ -1,0 +1,29 @@
+(** Bounded recognition for W-grammars.
+
+    The generated grammar of a W-grammar is in general infinite and
+    recognition undecidable; this engine decides the bounded instances
+    that arise in practice. Nonterminals are fully instantiated
+    hypernotions; metanotions that occur in an alternative but not in
+    the rule's left-hand side ({e free} metanotions) are enumerated
+    from a caller-supplied candidate list, filtered by metarule
+    derivability — the only source of unboundedness, made explicit.
+    Parsing memoizes, per (nonterminal, position), the set of end
+    positions the nonterminal can span. *)
+
+type config = {
+  candidates : string -> string list list;
+      (** candidate values for a free metanotion (base name) *)
+  max_expansion : int;  (** safety cap on distinct (nonterminal, pos) expansions *)
+}
+
+val default_config : config
+
+exception Budget_exceeded
+
+(** [make_parser g cfg input] returns [parse nt pos] giving every end
+    position from which [nt] derives [input[pos..end)]. *)
+val make_parser : Wg.t -> config -> string array -> string list -> int -> int list
+
+(** Does the grammar's start hypernotion derive exactly the input?
+    Returns [false] when the expansion budget is exceeded. *)
+val recognize : ?config:config -> Wg.t -> string list -> bool

@@ -1,0 +1,293 @@
+(** The W-grammar of RPR schemas (paper Section 5.1.1).
+
+    The grammar generates exactly the well-formed schema texts of
+    {!Fdbs_rpr.Rparser}'s concrete syntax, {e including} the
+    context-sensitive restriction beyond BNF's reach: every relational
+    program variable used in the OPL part has been declared in the SCL
+    part. The mechanism is the standard vW one: the start rule carries a
+    free metanotion DECLS (the list of declared names); consistent
+    substitution forces the DECLS spelled by the declaration section to
+    be the same DECLS every use-site checks membership in, through the
+    predicate hypernotion "NAME isin DECLS" that derives the empty
+    string exactly when NAME's value occurs in DECLS's value.
+
+    Two instance-dependent ingredients are computed from the input
+    token stream, as the recognition engine requires: the NAME
+    metarules (one production per identifier occurring in the text) and
+    the candidate values for the free metanotions NAME and DECLS. *)
+
+open Fdbs_kernel
+
+let p s = Wg.Proto s
+let m s = Wg.Meta s
+let nt l = Wg.Nt l
+let mk l = Wg.Mark l
+let rule lhs alts = { Wg.lhs; alts }
+
+let keywords =
+  [
+    "schema"; "relation"; "const"; "proc"; "end"; "if"; "then"; "else"; "while";
+    "do"; "test"; "insert"; "delete"; "skip"; "u"; "forall"; "exists"; "true";
+    "false"; "isin";
+  ]
+
+(** Protonotion token stream of a schema source text. *)
+let tokens_of_source (src : string) : string list =
+  Lexer.tokenize src
+  |> List.filter_map (fun (l : Lexer.located) ->
+         match l.Lexer.tok with
+         | Lexer.Ident s | Lexer.Uident s -> Some s
+         | Lexer.Int n -> Some (string_of_int n)
+         | Lexer.Str s -> Some s
+         | Lexer.Sym s -> Some s
+         | Lexer.Eof -> None)
+
+let identifiers (tokens : string list) : string list =
+  tokens
+  |> List.filter (fun t ->
+         String.length t > 0
+         && (let c = t.[0] in
+             (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_')
+         && not (List.mem t keywords))
+  |> List.sort_uniq compare
+
+(** Names declared by "relation NAME(...)" in the token stream. *)
+let declared_relations (tokens : string list) : string list =
+  let rec go acc = function
+    | "relation" :: name :: rest -> go (name :: acc) rest
+    | _ :: rest -> go acc rest
+    | [] -> List.rev acc
+  in
+  go [] tokens
+
+(* The fixed rule set, parameterized only through the metarules. *)
+let hyperrules : Wg.hyperrule list =
+  let d = m "DECLS" in
+  let wff = [ p "wff"; d ] in
+  [
+    (* schema NAME <scl> <consts> <opl> end[-schema] *)
+    rule [ p "start" ]
+      [
+        [
+          mk [ p "schema" ];
+          mk [ m "NAME" ];
+          nt [ p "scl"; d ];
+          nt [ p "consts" ];
+          nt [ p "opl"; d ];
+          nt [ p "epilogue" ];
+        ];
+      ];
+    rule [ p "epilogue" ]
+      [ [ mk [ p "end" ] ]; [ mk [ p "end" ]; mk [ p "-" ]; mk [ p "schema" ] ] ];
+    (* SCL: the declarations spell out DECLS, name by name. *)
+    rule
+      [ p "scl"; m "NAME" ]
+      [ [ nt [ p "reldecl"; m "NAME" ] ] ];
+    rule
+      [ p "scl"; m "NAME"; m "DECLS" ]
+      [ [ nt [ p "reldecl"; m "NAME" ]; nt [ p "scl"; m "DECLS" ] ] ];
+    rule
+      [ p "reldecl"; m "NAME" ]
+      [
+        [
+          mk [ p "relation" ];
+          mk [ m "NAME" ];
+          mk [ p "(" ];
+          nt [ p "sorts" ];
+          mk [ p ")" ];
+        ];
+      ];
+    rule [ p "sorts" ]
+      [
+        [ mk [ m "NAME" ] ];
+        [ mk [ m "NAME" ]; mk [ p "," ]; nt [ p "sorts" ] ];
+      ];
+    (* optional constant declarations *)
+    rule [ p "consts" ]
+      [
+        [];
+        [
+          mk [ p "const" ]; mk [ m "NAME" ]; mk [ p ":" ]; mk [ m "NAME2" ];
+          nt [ p "consts" ];
+        ];
+      ];
+    (* OPL: one or more procedures, each carrying DECLS. *)
+    rule [ p "opl"; d ]
+      [ [ nt [ p "proc"; d ] ]; [ nt [ p "proc"; d ]; nt [ p "opl"; d ] ] ];
+    rule [ p "proc"; d ]
+      [
+        [
+          mk [ p "proc" ];
+          mk [ m "NAME" ];
+          mk [ p "(" ];
+          nt [ p "formals" ];
+          mk [ p ")" ];
+          mk [ p "=" ];
+          nt [ p "stmt"; d ];
+        ];
+      ];
+    rule [ p "formals" ] [ []; [ nt [ p "formallist" ] ] ];
+    rule [ p "formallist" ]
+      [
+        [ mk [ m "NAME" ]; mk [ p ":" ]; mk [ m "NAME2" ] ];
+        [
+          mk [ m "NAME" ]; mk [ p ":" ]; mk [ m "NAME2" ]; mk [ p "," ];
+          nt [ p "formallist" ];
+        ];
+      ];
+    (* membership predicate: "NAME isin DECLS" derives ε iff member *)
+    rule [ m "NAME"; p "isin"; m "NAME" ] [ [] ];
+    rule [ m "NAME"; p "isin"; m "NAME"; m "DECLS" ] [ [] ];
+    rule
+      [ m "NAME"; p "isin"; m "NAME2"; m "DECLS" ]
+      [ [ nt [ m "NAME"; p "isin"; m "DECLS" ] ] ];
+    (* statements *)
+    rule [ p "stmt"; d ]
+      [
+        [ nt [ p "seq"; d ] ];
+        [ nt [ p "seq"; d ]; mk [ p "u" ]; nt [ p "stmt"; d ] ];
+      ];
+    rule [ p "seq"; d ]
+      [
+        [ nt [ p "prim"; d ] ];
+        [ nt [ p "prim"; d ]; mk [ p ";" ]; nt [ p "seq"; d ] ];
+      ];
+    rule [ p "prim"; d ]
+      [
+        [ mk [ p "(" ]; nt [ p "stmt"; d ]; mk [ p ")" ] ];
+        [ mk [ p "(" ]; nt [ p "stmt"; d ]; mk [ p ")" ]; mk [ p "*" ] ];
+        [ mk [ p "skip" ] ];
+        [ mk [ p "insert" ]; nt [ p "relapp"; d ] ];
+        [ mk [ p "delete" ]; nt [ p "relapp"; d ] ];
+        [ mk [ p "test" ]; mk [ p "(" ]; nt wff; mk [ p ")" ] ];
+        [
+          mk [ p "if" ]; mk [ p "(" ]; nt wff; mk [ p ")" ]; mk [ p "then" ];
+          nt [ p "prim"; d ];
+        ];
+        [
+          mk [ p "if" ]; mk [ p "(" ]; nt wff; mk [ p ")" ]; mk [ p "then" ];
+          nt [ p "prim"; d ]; mk [ p "else" ]; nt [ p "prim"; d ];
+        ];
+        [
+          mk [ p "while" ]; mk [ p "(" ]; nt wff; mk [ p ")" ]; mk [ p "do" ];
+          nt [ p "prim"; d ];
+        ];
+        (* relational assignment, with the declaredness check *)
+        [
+          mk [ m "NAME" ];
+          nt [ m "NAME"; p "isin"; m "DECLS" ];
+          mk [ p ":=" ];
+          mk [ p "{" ];
+          mk [ p "(" ];
+          nt [ p "binders" ];
+          mk [ p ")" ];
+          mk [ p "|" ];
+          nt wff;
+          mk [ p "}" ];
+        ];
+        (* scalar assignment *)
+        [ mk [ m "NAME" ]; mk [ p ":=" ]; nt [ p "trm" ] ];
+      ];
+    (* relation application R(t̄), declared-check included *)
+    rule [ p "relapp"; d ]
+      [
+        [
+          mk [ m "NAME" ];
+          nt [ m "NAME"; p "isin"; m "DECLS" ];
+          mk [ p "(" ];
+          nt [ p "args" ];
+          mk [ p ")" ];
+        ];
+      ];
+    rule [ p "args" ]
+      [ [ nt [ p "trm" ] ]; [ nt [ p "trm" ]; mk [ p "," ]; nt [ p "args" ] ] ];
+    rule [ p "trm" ] [ [ mk [ m "NAME" ] ] ];
+    rule [ p "binders" ]
+      [
+        [ mk [ m "NAME" ]; mk [ p ":" ]; mk [ m "NAME2" ] ];
+        [
+          mk [ m "NAME" ]; mk [ p ":" ]; mk [ m "NAME2" ]; mk [ p "," ];
+          nt [ p "binders" ];
+        ];
+      ];
+    (* wff precedence chain, every level carrying DECLS *)
+    rule [ p "wff"; d ]
+      [
+        [ nt [ p "imp"; d ] ];
+        [ nt [ p "imp"; d ]; mk [ p "<->" ]; nt [ p "wff"; d ] ];
+      ];
+    rule [ p "imp"; d ]
+      [
+        [ nt [ p "or"; d ] ];
+        [ nt [ p "or"; d ]; mk [ p "->" ]; nt [ p "imp"; d ] ];
+      ];
+    rule [ p "or"; d ]
+      [
+        [ nt [ p "and"; d ] ];
+        [ nt [ p "and"; d ]; mk [ p "|" ]; nt [ p "or"; d ] ];
+      ];
+    rule [ p "and"; d ]
+      [
+        [ nt [ p "un"; d ] ];
+        [ nt [ p "un"; d ]; mk [ p "&" ]; nt [ p "and"; d ] ];
+      ];
+    rule [ p "un"; d ]
+      [
+        [ mk [ p "~" ]; nt [ p "un"; d ] ];
+        [ mk [ p "forall" ]; nt [ p "binders" ]; mk [ p "." ]; nt [ p "un"; d ] ];
+        [ mk [ p "exists" ]; nt [ p "binders" ]; mk [ p "." ]; nt [ p "un"; d ] ];
+        [ nt [ p "atom"; d ] ];
+      ];
+    rule [ p "atom"; d ]
+      [
+        [ mk [ p "true" ] ];
+        [ mk [ p "false" ] ];
+        [ mk [ p "(" ]; nt wff; mk [ p ")" ] ];
+        [ nt [ p "relapp"; d ] ];
+        [ nt [ p "trm" ]; mk [ p "=" ]; nt [ p "trm" ] ];
+        [ nt [ p "trm" ]; mk [ p "/=" ]; nt [ p "trm" ] ];
+      ];
+  ]
+
+(** Build the grammar instance and recognition configuration for a
+    token stream: NAME's metarules enumerate the identifiers occurring
+    in the text; candidates supply the free NAMEs (any identifier) and
+    the free DECLS (the relation list pre-scanned from the SCL part). *)
+let instance (tokens : string list) : Wg.t * Recognize.config =
+  let ids = identifiers tokens in
+  let grammar : Wg.t =
+    {
+      metarules =
+        [
+          ("NAME", List.map (fun id -> [ p id ]) ids);
+          ("DECLS", [ [ m "NAME" ]; [ m "NAME"; m "DECLS" ] ]);
+        ];
+      rules = hyperrules;
+      start = [ p "start" ];
+    }
+  in
+  let decls = declared_relations tokens in
+  let config =
+    {
+      Recognize.candidates =
+        (fun meta ->
+          match meta with
+          | "NAME" -> List.map (fun id -> [ id ]) ids
+          | "DECLS" -> if decls = [] then [] else [ decls ]
+          | _ -> []);
+      max_expansion = 2_000_000;
+    }
+  in
+  (grammar, config)
+
+(** Recognize a schema source text against the W-grammar: the paper's
+    "verify that the specification is syntactically correct" step
+    (Section 5.4). *)
+let recognizes (src : string) : bool =
+  let tokens = tokens_of_source src in
+  let grammar, config = instance tokens in
+  Recognize.recognize ~config grammar tokens
+
+let check_source (src : string) : (unit, string) result =
+  if recognizes src then Ok ()
+  else Error "schema text is not generated by the RPR W-grammar"

@@ -1,0 +1,40 @@
+(** The W-grammar of RPR schemas (paper Section 5.1.1).
+
+    The grammar generates exactly the well-formed schema texts of
+    {!Fdbs_rpr.Rparser}'s concrete syntax, {e including} the
+    context-sensitive restriction beyond BNF's reach: every relational
+    program variable used in the OPL part has been declared in the SCL
+    part. The mechanism is the standard vW one: the start rule carries a
+    free metanotion DECLS (the list of declared names); consistent
+    substitution forces the DECLS spelled by the declaration section to
+    be the same DECLS every use-site checks membership in, through the
+    predicate hypernotion "NAME isin DECLS" that derives the empty
+    string exactly when NAME's value occurs in DECLS's value. *)
+
+(** Keywords excluded from the NAME metanotion. *)
+val keywords : string list
+
+(** Protonotion token stream of a schema source text. *)
+val tokens_of_source : string -> string list
+
+(** Identifier tokens of a stream (excluding keywords). *)
+val identifiers : string list -> string list
+
+(** Names declared by "relation NAME(...)" in the token stream. *)
+val declared_relations : string list -> string list
+
+(** The fixed hyperrule set of the schema grammar. *)
+val hyperrules : Wg.hyperrule list
+
+(** Build the grammar instance and recognition configuration for a
+    token stream: NAME's metarules enumerate the identifiers occurring
+    in the text; candidates supply the free NAMEs and the free DECLS
+    (pre-scanned from the SCL part). *)
+val instance : string list -> Wg.t * Recognize.config
+
+(** Recognize a schema source text against the W-grammar: the paper's
+    "verify that the specification is syntactically correct" step
+    (Section 5.4). *)
+val recognizes : string -> bool
+
+val check_source : string -> (unit, string) result

@@ -1,0 +1,223 @@
+(** W-grammars (van Wijngaarden two-level grammars), the formalism the
+    paper uses for the syntax of the representation-level language
+    (Section 5.1.1).
+
+    A W-grammar has two levels:
+
+    - {e metarules} form a context-free grammar over {e metanotions}
+      (written uppercase) producing {e protonotions} (strings of
+      terminal marks, here: token strings);
+    - {e hyperrules} are rule schemes over {e hypernotions} (sequences
+      of metanotions and protonotion fragments). Substituting a value
+      for every metanotion — {e consistently}: every occurrence of the
+      same metanotion within one rule takes the same value — yields an
+      ordinary production. A metanotion name with a trailing number
+      (NAME2) shares the base metanotion's metarules but substitutes
+      independently, following the usual vW convention.
+
+    The right-hand side of a hyperrule is a list of alternatives; each
+    alternative is a sequence of members, either [Nt h] (a hypernotion
+    that instantiates to a nonterminal) or [Mark h] (a hypernotion that
+    instantiates to terminal symbols consumed literally). This gives
+    W-grammars their context-sensitive power: e.g. the predicate
+    hypernotion "NAME isin DECLS", derivable into the empty string
+    exactly when NAME's value occurs in DECLS's value, expresses
+    declared-before-use. *)
+
+type item =
+  | Meta of string  (** a metanotion occurrence *)
+  | Proto of string  (** one protonotion mark (a token) *)
+
+type hypernotion = item list
+
+type member =
+  | Nt of hypernotion  (** instantiates to a nonterminal *)
+  | Mark of hypernotion  (** instantiates to literal terminal tokens *)
+
+type hyperrule = {
+  lhs : hypernotion;
+  alts : member list list;
+}
+
+type t = {
+  metarules : (string * item list list) list;
+      (** metanotion -> alternatives over items (context-free) *)
+  rules : hyperrule list;
+  start : hypernotion;  (** must be fully instantiated (no metanotions) *)
+}
+
+(** Substitution of token strings for metanotions. *)
+type subst = (string * string list) list
+
+(** NAME2 shares NAME's metarules: strip a trailing digit run. *)
+let base_meta (m : string) : string =
+  let n = String.length m in
+  let rec first_digit i =
+    if i > 0 && m.[i - 1] >= '0' && m.[i - 1] <= '9' then first_digit (i - 1) else i
+  in
+  let cut = first_digit n in
+  if cut = 0 || cut = n then (if cut = 0 then m else String.sub m 0 cut)
+  else String.sub m 0 cut
+
+let rec instantiate (s : subst) (h : hypernotion) : string list option =
+  match h with
+  | [] -> Some []
+  | Proto p :: rest -> Option.map (fun r -> p :: r) (instantiate s rest)
+  | Meta m :: rest ->
+    (match List.assoc_opt m s with
+     | None -> None
+     | Some v -> Option.map (fun r -> v @ r) (instantiate s rest))
+
+let free_metas (h : hypernotion) : string list =
+  List.filter_map (function Meta m -> Some m | Proto _ -> None) h
+  |> List.sort_uniq compare
+
+(** Metanotions occurring in an alternative's members. *)
+let alt_metas (alt : member list) : string list =
+  List.concat_map (function Nt h | Mark h -> free_metas h) alt |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* Level one: derivability of a token string from a metanotion         *)
+(* ------------------------------------------------------------------ *)
+
+(** [deriver g] is a memoized test [m w -> true] iff metanotion [m]
+    produces the token string [w] through the metarules (CFG
+    membership; the memo table persists across calls). *)
+let deriver (g : t) : string -> string list -> bool =
+  let memo : (string * string list, bool) Hashtbl.t = Hashtbl.create 64 in
+  let in_progress : (string * string list, unit) Hashtbl.t = Hashtbl.create 64 in
+  let rec meta_derives m w =
+    let m = base_meta m in
+    let key = (m, w) in
+    match Hashtbl.find_opt memo key with
+    | Some b -> b
+    | None ->
+      if Hashtbl.mem in_progress key then false
+      else begin
+        Hashtbl.add in_progress key ();
+        let result =
+          match List.assoc_opt m g.metarules with
+          | None -> false
+          | Some alternatives -> List.exists (fun alt -> items_derive alt w) alternatives
+        in
+        Hashtbl.remove in_progress key;
+        Hashtbl.add memo key result;
+        result
+      end
+  and items_derive items w =
+    match items with
+    | [] -> w = []
+    | Proto p :: rest -> (match w with t :: ts when t = p -> items_derive rest ts | _ -> false)
+    | [ Meta m ] -> meta_derives m w
+    | Meta m :: rest ->
+      (* try every split point *)
+      let n = List.length w in
+      let rec try_split k =
+        if k > n then false
+        else
+          let prefix = Fdbs_kernel.Util.take k w in
+          let suffix = List.filteri (fun i _ -> i >= k) w in
+          (meta_derives m prefix && items_derive rest suffix) || try_split (k + 1)
+      in
+      try_split 0
+  in
+  meta_derives
+
+let derives (g : t) (meta : string) (w : string list) : bool = deriver g meta w
+
+(* ------------------------------------------------------------------ *)
+(* Matching hypernotion patterns against concrete token strings        *)
+(* ------------------------------------------------------------------ *)
+
+(** All consistent substitutions under which [pattern] instantiates to
+    [tokens], with every assigned metanotion value derivable from its
+    metarules ([derives] is typically a memoized {!deriver}). *)
+let match_hypernotion ~(derives : string -> string list -> bool)
+    (pattern : hypernotion) (tokens : string list) : subst list =
+  let rec go (s : subst) pattern tokens : subst list =
+    match pattern with
+    | [] -> if tokens = [] then [ s ] else []
+    | Proto p :: rest ->
+      (match tokens with
+       | t :: ts when t = p -> go s rest ts
+       | _ -> [])
+    | Meta m :: rest ->
+      (match List.assoc_opt m s with
+       | Some v ->
+         let lv = List.length v in
+         if List.length tokens >= lv && Fdbs_kernel.Util.take lv tokens = v then
+           go s rest (List.filteri (fun i _ -> i >= lv) tokens)
+         else []
+       | None ->
+         let n = List.length tokens in
+         let rec splits k acc =
+           if k > n then acc
+           else
+             let prefix = Fdbs_kernel.Util.take k tokens in
+             let suffix = List.filteri (fun i _ -> i >= k) tokens in
+             let acc =
+               if derives m prefix then go ((m, prefix) :: s) rest suffix @ acc else acc
+             in
+             splits (k + 1) acc
+         in
+         splits 0 [])
+  in
+  go [] pattern tokens
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Static checks on a grammar: the start hypernotion is instantiated;
+    every metanotion mentioned anywhere has metarules. Returns
+    human-readable problems. *)
+let check (g : t) : string list =
+  let errors = ref [] in
+  let err fmt = Fmt.kstr (fun s -> errors := s :: !errors) fmt in
+  if free_metas g.start <> [] then err "start hypernotion contains metanotions";
+  let known m = List.mem_assoc (base_meta m) g.metarules in
+  let check_h where h =
+    List.iter (fun m -> if not (known m) then err "%s: unknown metanotion %s" where m)
+      (free_metas h)
+  in
+  List.iteri
+    (fun i (r : hyperrule) ->
+      let where = Fmt.str "hyperrule %d" i in
+      check_h where r.lhs;
+      List.iter (List.iter (function Nt h | Mark h -> check_h where h)) r.alts)
+    g.rules;
+  List.iter
+    (fun (m, alternatives) ->
+      List.iter
+        (List.iter (function
+          | Meta m' ->
+            if not (known m') then err "metarule %s: unknown metanotion %s" m m'
+          | Proto _ -> ()))
+        alternatives)
+    g.metarules;
+  List.rev !errors
+
+let pp_item ppf = function
+  | Meta m -> Fmt.pf ppf "%s" m
+  | Proto p -> Fmt.pf ppf "'%s'" p
+
+let pp_hypernotion ppf h = Fmt.(list ~sep:(any " ") pp_item) ppf h
+
+let pp ppf (g : t) =
+  let pp_metarule ppf (m, alternatives) =
+    Fmt.pf ppf "%s :: %a." m
+      Fmt.(list ~sep:(any " ; ") pp_hypernotion)
+      alternatives
+  in
+  let pp_member ppf = function
+    | Nt h -> pp_hypernotion ppf h
+    | Mark h -> Fmt.pf ppf "[%a]" pp_hypernotion h
+  in
+  let pp_rule ppf (r : hyperrule) =
+    Fmt.pf ppf "%a : %a." pp_hypernotion r.lhs
+      Fmt.(list ~sep:(any " ; ") (list ~sep:(any ", ") pp_member))
+      r.alts
+  in
+  Fmt.pf ppf "@[<v>%a@,%a@]"
+    Fmt.(list ~sep:cut pp_metarule) g.metarules
+    Fmt.(list ~sep:cut pp_rule) g.rules

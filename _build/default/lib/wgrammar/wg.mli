@@ -1,0 +1,72 @@
+(** W-grammars (van Wijngaarden two-level grammars), the formalism the
+    paper uses for the syntax of the representation-level language
+    (Section 5.1.1).
+
+    A W-grammar has two levels: {e metarules} form a context-free
+    grammar over {e metanotions} producing {e protonotions} (token
+    strings); {e hyperrules} are rule schemes over {e hypernotions}
+    (sequences of metanotions and protonotion fragments). Substituting a
+    value for every metanotion — {e consistently}: every occurrence of
+    the same metanotion within one rule takes the same value — yields an
+    ordinary production. A metanotion name with a trailing number
+    (NAME2) shares the base metanotion's metarules but substitutes
+    independently, following the usual vW convention. *)
+
+type item =
+  | Meta of string  (** a metanotion occurrence *)
+  | Proto of string  (** one protonotion mark (a token) *)
+
+type hypernotion = item list
+
+type member =
+  | Nt of hypernotion  (** instantiates to a nonterminal *)
+  | Mark of hypernotion  (** instantiates to literal terminal tokens *)
+
+type hyperrule = {
+  lhs : hypernotion;
+  alts : member list list;
+}
+
+type t = {
+  metarules : (string * item list list) list;
+      (** metanotion -> alternatives over items (context-free) *)
+  rules : hyperrule list;
+  start : hypernotion;  (** must be fully instantiated (no metanotions) *)
+}
+
+(** Substitution of token strings for metanotions. *)
+type subst = (string * string list) list
+
+(** NAME2 shares NAME's metarules: strip a trailing digit run. *)
+val base_meta : string -> string
+
+(** Instantiate a hypernotion; [None] if some metanotion is unbound. *)
+val instantiate : subst -> hypernotion -> string list option
+
+(** Metanotions occurring in a hypernotion, deduplicated. *)
+val free_metas : hypernotion -> string list
+
+(** Metanotions occurring in an alternative's members. *)
+val alt_metas : member list -> string list
+
+(** [deriver g] is a memoized test: does the metanotion produce the
+    token string through the metarules? (CFG membership; the memo table
+    persists across calls.) *)
+val deriver : t -> string -> string list -> bool
+
+val derives : t -> string -> string list -> bool
+
+(** All consistent substitutions under which the pattern instantiates
+    to the tokens, with every assigned value derivable from its
+    metanotion's rules ([derives] is typically a memoized
+    {!deriver}). *)
+val match_hypernotion :
+  derives:(string -> string list -> bool) -> hypernotion -> string list -> subst list
+
+(** Static checks: the start hypernotion is instantiated; every
+    metanotion mentioned anywhere has metarules. *)
+val check : t -> string list
+
+val pp_item : item Fmt.t
+val pp_hypernotion : hypernotion Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,20 @@
+  $ fds verify --small --depth 1
+  $ fds verify-files university.theory university.spec university.schema --depth 1
+  $ fds eval university.spec 'offered(cs101, offer(cs101, initiate))'
+  $ fds eval university.spec 'offered(cs101, cancel(cs101, enroll(ana, cs101, offer(cs101, initiate))))'
+  $ fds eval university.spec 'offered(cs101, cancel(cs101, offer(cs101, initiate)))'
+  $ fds run university.schema -c 'initiate()' -c 'offer(cs101)' -c 'enroll(ana, cs101)'
+  $ fds grammar university.schema
+  $ cat > bad.schema <<'EOF'
+  > schema bad
+  > relation OFFERED(course)
+  > proc offer(c: course) = insert TAKES(c)
+  > end-schema
+  > EOF
+  $ fds grammar bad.schema
+  $ fds analyze university.spec --depth 1 | head -6
+  $ fds derive university.desc | head -8
+  $ fds synthesize university.desc
+  $ fds synthesize university.desc > synth.schema
+  $ fds grammar synth.schema
+  $ fds eval university.spec 'offered(cs101, cancel(cs101, enroll(ana, cs101, offer(cs101, initiate))))' --trace

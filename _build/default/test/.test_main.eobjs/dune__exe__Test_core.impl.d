@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Design Fdbs Fdbs_wgrammar Fmt List University

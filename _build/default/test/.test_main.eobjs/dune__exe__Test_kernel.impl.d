@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Domain Fdbs_kernel Lexer List Parse Sort String Util Value

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Domain Eval Fdbs_kernel Fdbs_logic Formula List Option Parser QCheck QCheck_alcotest Result Signature Structure Term Theory Transform Unify Value

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_algebra Test_core Test_kernel Test_logic Test_props Test_refinement Test_rpr Test_temporal Test_wgrammar

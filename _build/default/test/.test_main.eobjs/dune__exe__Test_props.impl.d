@@ -1,0 +1,1 @@
+test/test_props.ml: Db Domain Eval Fdbs Fdbs_algebra Fdbs_kernel Fdbs_logic Fdbs_refine Fdbs_rpr Fmt Formula List Observe QCheck QCheck_alcotest Relation Schema Semantics Spec Stmt Term Trace Value

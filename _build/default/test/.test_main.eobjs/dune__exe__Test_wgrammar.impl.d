@@ -1,0 +1,1 @@
+test/test_wgrammar.ml: Alcotest Classic Fdbs_algebra Fdbs_wgrammar List QCheck QCheck_alcotest Recognize Rpr_grammar String Wg

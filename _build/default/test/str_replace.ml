@@ -1,0 +1,24 @@
+(* Minimal substring replacement helper for test fixtures. *)
+
+let replace (haystack : string) (needle : string) (replacement : string) : string =
+  let hl = String.length haystack and nl = String.length needle in
+  if nl = 0 then haystack
+  else begin
+    let buf = Buffer.create hl in
+    let i = ref 0 in
+    let found = ref false in
+    while !i <= hl - nl do
+      if String.sub haystack !i nl = needle then begin
+        Buffer.add_string buf replacement;
+        i := !i + nl;
+        found := true
+      end
+      else begin
+        Buffer.add_char buf haystack.[!i];
+        incr i
+      end
+    done;
+    Buffer.add_substring buf haystack !i (hl - !i);
+    if not !found then invalid_arg "Str_replace.replace: needle not found";
+    Buffer.contents buf
+  end

@@ -1,0 +1,534 @@
+(* Tests for the algebraic level: the paper's university specification
+   (Section 4.2 equations 1-15), rewriting evaluation, sufficient
+   completeness, observations, reachability and equation derivation. *)
+
+open Fdbs_kernel
+open Fdbs_algebra
+
+let university_src =
+  {|
+spec university
+
+sort course
+sort student
+const cs101 : course
+const cs102 : course
+const ana : student
+const bob : student
+
+query offered : course -> bool
+query takes : student, course -> bool
+
+update initiate
+update offer : course
+update cancel : course
+update enroll : student, course
+update transfer : student, course, course
+
+# Section 4.2, equations 1-15 (eq6 in the biconditional form the paper
+# derives: offered(c, cancel(c,U)) is true iff some student takes c).
+eq q1: offered(c, initiate) = false
+eq q2: takes(s, c, initiate) = false
+eq q3: offered(c, offer(c, U)) = true
+eq q4: c /= c2 => offered(c, offer(c2, U)) = offered(c, U)
+eq q5: takes(s, c, offer(c2, U)) = takes(s, c, U)
+eq q6: offered(c, cancel(c, U)) = (exists s:student. takes(s, c, U))
+eq q7: c /= c2 => offered(c, cancel(c2, U)) = offered(c, U)
+eq q8: takes(s, c, cancel(c2, U)) = takes(s, c, U)
+eq q9: offered(c, enroll(s, c2, U)) = offered(c, U)
+eq q10: takes(s, c, enroll(s, c, U)) = offered(c, U)
+eq q11: s /= s2 | c /= c2 => takes(s, c, enroll(s2, c2, U)) = takes(s, c, U)
+eq q12: offered(c, transfer(s, c2, c3, U)) = offered(c, U)
+eq q13: takes(s, c2, transfer(s, c, c2, U)) =
+        ((offered(c2, U) & takes(s, c, U)) | takes(s, c2, U))
+eq q14: takes(s, c, transfer(s, c, c2, U)) =
+        ((~offered(c2, U) | takes(s, c2, U)) & takes(s, c, U))
+eq q15: s /= s2 | (c /= c2 & c /= c3) =>
+        takes(s, c, transfer(s2, c2, c3, U)) = takes(s, c, U)
+|}
+
+let university = Aparser.spec_exn university_src
+
+let course c = Value.Sym c
+let student s = Value.Sym s
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A handy trace: offer cs101; enroll ana in cs101. *)
+let trace_enrolled =
+  Trace.apply "enroll" [ student "ana"; course "cs101" ]
+    (Trace.apply "offer" [ course "cs101" ] (Trace.init "initiate"))
+
+let q spec name params trace =
+  match Eval.query_on_trace spec ~q:name ~params trace with
+  | Ok (Value.Bool b) -> b
+  | Ok v -> Alcotest.failf "expected bool, got %a" Value.pp v
+  | Error e -> Alcotest.failf "eval error: %a" Eval.pp_error e
+
+let test_initiate () =
+  check_bool "offered(cs101, initiate) = false" false
+    (q university "offered" [ course "cs101" ] (Trace.init "initiate"));
+  check_bool "takes(ana, cs101, initiate) = false" false
+    (q university "takes" [ student "ana"; course "cs101" ] (Trace.init "initiate"))
+
+let test_offer () =
+  let t = Trace.apply "offer" [ course "cs101" ] (Trace.init "initiate") in
+  check_bool "offered(cs101) after offer" true (q university "offered" [ course "cs101" ] t);
+  check_bool "offered(cs102) unaffected" false (q university "offered" [ course "cs102" ] t)
+
+let test_enroll () =
+  check_bool "takes(ana, cs101) after enroll" true
+    (q university "takes" [ student "ana"; course "cs101" ] trace_enrolled);
+  check_bool "takes(bob, cs101) unaffected" false
+    (q university "takes" [ student "bob"; course "cs101" ] trace_enrolled)
+
+let test_enroll_not_offered () =
+  (* enrolling in a course that is not offered is a no-op *)
+  let t =
+    Trace.apply "enroll" [ student "ana"; course "cs102" ] (Trace.init "initiate")
+  in
+  check_bool "takes(ana, cs102) still false" false
+    (q university "takes" [ student "ana"; course "cs102" ] t)
+
+let test_cancel_blocked () =
+  (* cancel fails while a student takes the course (equation 6) *)
+  let t = Trace.apply "cancel" [ course "cs101" ] trace_enrolled in
+  check_bool "offered(cs101) still true after blocked cancel" true
+    (q university "offered" [ course "cs101" ] t)
+
+let test_cancel_succeeds () =
+  let t =
+    Trace.apply "cancel" [ course "cs101" ]
+      (Trace.apply "offer" [ course "cs101" ] (Trace.init "initiate"))
+  in
+  check_bool "offered(cs101) false after cancel" false
+    (q university "offered" [ course "cs101" ] t)
+
+let test_transfer () =
+  let t =
+    Trace.apply "transfer" [ student "ana"; course "cs101"; course "cs102" ]
+      (Trace.apply "offer" [ course "cs102" ] trace_enrolled)
+  in
+  check_bool "takes(ana, cs102) after transfer" true
+    (q university "takes" [ student "ana"; course "cs102" ] t);
+  check_bool "takes(ana, cs101) false after transfer" false
+    (q university "takes" [ student "ana"; course "cs101" ] t)
+
+let test_transfer_blocked () =
+  (* target course not offered: transfer is a no-op *)
+  let t =
+    Trace.apply "transfer" [ student "ana"; course "cs101"; course "cs102" ] trace_enrolled
+  in
+  check_bool "takes(ana, cs101) still true" true
+    (q university "takes" [ student "ana"; course "cs101" ] t);
+  check_bool "takes(ana, cs102) still false" false
+    (q university "takes" [ student "ana"; course "cs102" ] t)
+
+let test_sufficient_completeness () =
+  let report = Completeness.check ~depth:2 university in
+  Alcotest.(check bool)
+    (Fmt.str "%a" Completeness.pp_report report)
+    true (Completeness.is_complete report)
+
+let test_observational_equiv () =
+  (* offering twice is the same as offering once *)
+  let t1 = Trace.apply "offer" [ course "cs101" ] (Trace.init "initiate") in
+  let t2 = Trace.apply "offer" [ course "cs101" ] t1 in
+  check_bool "offer idempotent (observationally)" true (Observe.equiv university t1 t2);
+  check_bool "distinct states distinguished" false
+    (Observe.equiv university t1 (Trace.init "initiate"))
+
+let test_reach () =
+  (* Over 1 course and 1 student: states are subsets of
+     {offered, takes} with takes -> offered: initiate, offered,
+     offered+takes = 3 states. *)
+  let domain =
+    Domain.of_list
+      [ ("course", [ course "cs101" ]); ("student", [ student "ana" ]) ]
+  in
+  let g = Reach.explore_exn ~domain university in
+  check_int "3 reachable states over 1x1 domain" 3 (Reach.num_states g);
+  check_bool "not truncated" false g.Reach.truncated
+
+let test_static_constraint_on_reachable () =
+  (* every reachable state satisfies takes(s,c) -> offered(c) *)
+  let g = Reach.explore_exn university in
+  Array.iter
+    (fun (n : Reach.node) ->
+      List.iter
+        (fun (o : Observe.observation) ->
+          if o.Observe.obs_query = "takes" && o.Observe.obs_result = Value.Bool true then
+            match o.Observe.obs_params with
+            | [ _; crs ] ->
+              let offered =
+                q university "offered" [ crs ] n.Reach.trace
+              in
+              check_bool
+                (Fmt.str "static constraint at %a" Trace.pp n.Reach.trace)
+                true offered
+            | _ -> Alcotest.fail "unexpected takes arity")
+        n.Reach.obs)
+    g.Reach.nodes
+
+(* Structured descriptions for the university example; Derive must
+   produce an equation set observationally equivalent to the hand
+   equations. *)
+let university_descriptions =
+  let sg = university.Spec.signature in
+  let v n s : Fdbs_logic.Term.var = { Fdbs_logic.Term.vname = n; vsort = Sort.make s } in
+  let av n s = Aterm.Var (v n s) in
+  let u_var = Aterm.Var Sdesc.state_var in
+  let takes s c st = Aterm.App ("takes", [ s; c; st ]) in
+  let offered c st = Aterm.App ("offered", [ c; st ]) in
+  ignore sg;
+  [
+    Sdesc.make ~update:"initiate" ~params:[]
+      ~effects:
+        [
+          Sdesc.effect_ "offered" [ av "c" "course" ] Aterm.fls;
+          Sdesc.effect_ "takes" [ av "s" "student"; av "c" "course" ] Aterm.fls;
+        ]
+      ();
+    Sdesc.make ~update:"offer" ~params:[ v "c" "course" ]
+      ~effects:[ Sdesc.effect_ "offered" [ av "c" "course" ] Aterm.tru ]
+      ();
+    Sdesc.make ~update:"cancel" ~params:[ v "c" "course" ]
+      ~pre:
+        (Aterm.Forall
+           (v "s" "student", Aterm.eq (takes (av "s" "student") (av "c" "course") u_var) Aterm.fls))
+      ~effects:[ Sdesc.effect_ "offered" [ av "c" "course" ] Aterm.fls ]
+      ();
+    Sdesc.make ~update:"enroll" ~params:[ v "s" "student"; v "c" "course" ]
+      ~pre:(Aterm.eq (offered (av "c" "course") u_var) Aterm.tru)
+      ~effects:
+        [ Sdesc.effect_ "takes" [ av "s" "student"; av "c" "course" ] Aterm.tru ]
+      ();
+    Sdesc.make ~update:"transfer"
+      ~params:[ v "s" "student"; v "c" "course"; v "c2" "course" ]
+      ~pre:
+        (Aterm.conj
+           [
+             Aterm.eq (takes (av "s" "student") (av "c" "course") u_var) Aterm.tru;
+             Aterm.eq (takes (av "s" "student") (av "c2" "course") u_var) Aterm.fls;
+             Aterm.eq (offered (av "c2" "course") u_var) Aterm.tru;
+           ])
+      ~effects:
+        [
+          Sdesc.effect_ "takes" [ av "s" "student"; av "c" "course" ] Aterm.fls;
+          Sdesc.effect_ "takes" [ av "s" "student"; av "c2" "course" ] Aterm.tru;
+        ]
+      ();
+  ]
+
+let derived_spec =
+  let sg = university.Spec.signature in
+  let eqs = Derive.equations_exn sg university_descriptions in
+  Spec.make_exn ~name:"university-derived" ~signature:sg ~equations:eqs ()
+
+let test_derive_complete () =
+  let report = Completeness.check ~depth:2 derived_spec in
+  Alcotest.(check bool)
+    (Fmt.str "%a" Completeness.pp_report report)
+    true (Completeness.is_complete report)
+
+let test_derive_agrees_with_hand_equations () =
+  (* Both specifications answer every query identically on every trace
+     up to depth 3 over a 2x1 domain. *)
+  let domain =
+    Domain.of_list
+      [ ("course", [ course "cs101"; course "cs102" ]); ("student", [ student "ana" ]) ]
+  in
+  let sg = university.Spec.signature in
+  let traces =
+    List.concat_map
+      (fun d -> Trace.enumerate sg ~domain ~depth:d)
+      [ 0; 1; 2; 3 ]
+  in
+  List.iter
+    (fun trace ->
+      List.iter
+        (fun (qop : Asig.op) ->
+          let carriers = List.map (Domain.carrier domain) (Asig.param_args qop) in
+          List.iter
+            (fun params ->
+              let a =
+                Eval.query_on_trace ~domain university ~q:qop.Asig.oname ~params trace
+              in
+              let b =
+                Eval.query_on_trace ~domain derived_spec ~q:qop.Asig.oname ~params trace
+              in
+              match (a, b) with
+              | Ok va, Ok vb ->
+                check_bool
+                  (Fmt.str "%s(%a) on %a agrees" qop.Asig.oname
+                     Fmt.(list ~sep:(any ",") Value.pp)
+                     params Trace.pp trace)
+                  true (Value.equal va vb)
+              | Error e, _ | _, Error e ->
+                Alcotest.failf "eval error: %a" Eval.pp_error e)
+            (Util.cartesian carriers))
+        sg.Asig.queries)
+    traces
+
+let suite =
+  [
+    Alcotest.test_case "initiate" `Quick test_initiate;
+    Alcotest.test_case "offer" `Quick test_offer;
+    Alcotest.test_case "enroll" `Quick test_enroll;
+    Alcotest.test_case "enroll not offered" `Quick test_enroll_not_offered;
+    Alcotest.test_case "cancel blocked" `Quick test_cancel_blocked;
+    Alcotest.test_case "cancel succeeds" `Quick test_cancel_succeeds;
+    Alcotest.test_case "transfer" `Quick test_transfer;
+    Alcotest.test_case "transfer blocked" `Quick test_transfer_blocked;
+    Alcotest.test_case "sufficient completeness" `Quick test_sufficient_completeness;
+    Alcotest.test_case "observational equivalence" `Quick test_observational_equiv;
+    Alcotest.test_case "reachable states" `Quick test_reach;
+    Alcotest.test_case "static constraint on reachables" `Slow
+      test_static_constraint_on_reachable;
+    Alcotest.test_case "derived equations complete" `Quick test_derive_complete;
+    Alcotest.test_case "derived equations agree" `Slow test_derive_agrees_with_hand_equations;
+  ]
+
+(* --- critical pairs / confluence (extension) ------------------------ *)
+
+let test_critical_pairs_found () =
+  (* q13 and q14 overlap on transfer(s, c, c, U); q10/q11, q3/q4 etc.
+     overlap vacuously (contradictory conditions). *)
+  let pairs = Confluence.critical_pairs university in
+  Alcotest.(check bool) "some overlaps exist" true (List.length pairs > 0);
+  Alcotest.(check bool) "q13/q14 overlap detected" true
+    (List.exists
+       (fun (p : Confluence.pair) ->
+         (p.Confluence.cp_eq1 = "q13" && p.Confluence.cp_eq2 = "q14")
+         || (p.Confluence.cp_eq1 = "q14" && p.Confluence.cp_eq2 = "q13"))
+       pairs)
+
+let test_university_confluent () =
+  match Confluence.check ~depth:2 university with
+  | Error e -> Alcotest.failf "%a" Eval.pp_error e
+  | Ok report ->
+    Alcotest.(check bool)
+      (Fmt.str "%a" Confluence.pp_report report)
+      true
+      (Confluence.is_confluent report)
+
+let test_derived_confluent () =
+  match Confluence.check ~depth:2 derived_spec with
+  | Error e -> Alcotest.failf "%a" Eval.pp_error e
+  | Ok report -> Alcotest.(check bool) "derived confluent" true (Confluence.is_confluent report)
+
+let test_divergence_detected () =
+  (* two unconditional rules assigning different values to the same
+     query/update pair must be reported as diverging *)
+  let src =
+    {|
+spec broken
+sort thing
+const t1 : thing
+query q : thing -> bool
+update initiate
+update touch : thing
+eq e1: q(x, initiate) = false
+eq e2: q(x, touch(y, U)) = true
+eq e3: q(x, touch(x, U)) = false
+|}
+  in
+  let spec = Aparser.spec_exn src in
+  match Confluence.check ~depth:1 spec with
+  | Error _ -> Alcotest.fail "expected a confluence report"
+  | Ok report ->
+    Alcotest.(check bool) "divergence detected" false (Confluence.is_confluent report)
+
+(* --- observability (extension) -------------------------------------- *)
+
+let test_observability_holds () =
+  let g = Reach.explore_exn university in
+  Alcotest.(check bool) "full query set observes" true (Observability.observable g)
+
+let test_observability_ablation () =
+  let g = Reach.explore_exn university in
+  let rows = Observability.ablation university g in
+  let n = Reach.num_states g in
+  (* dropping takes collapses states that differ only in enrollments *)
+  Alcotest.(check bool) "takes is load-bearing" true
+    (List.assoc "takes" rows < n);
+  Alcotest.(check bool) "offered is load-bearing" true
+    (List.assoc "offered" rows < n)
+
+let test_minimal_sufficient_sets () =
+  let g = Reach.explore_exn university in
+  let sets = Observability.minimal_sufficient_sets university g in
+  (* both queries are needed: the only minimal sufficient set is {offered, takes} *)
+  Alcotest.(check int) "one minimal set" 1 (List.length sets);
+  Alcotest.(check int) "of size two" 2 (List.length (List.hd sets))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "critical pairs found" `Quick test_critical_pairs_found;
+      Alcotest.test_case "university confluent" `Slow test_university_confluent;
+      Alcotest.test_case "derived system confluent" `Slow test_derived_confluent;
+      Alcotest.test_case "divergence detected" `Quick test_divergence_detected;
+      Alcotest.test_case "observability holds" `Quick test_observability_holds;
+      Alcotest.test_case "observability ablation" `Quick test_observability_ablation;
+      Alcotest.test_case "minimal sufficient query sets" `Quick test_minimal_sufficient_sets;
+    ]
+
+(* --- derivation tracing (Eval.explain) ------------------------------ *)
+
+let test_explain () =
+  let t =
+    Trace.apply "cancel" [ course "cs101" ]
+      (Trace.apply "offer" [ course "cs101" ] (Trace.init "initiate"))
+  in
+  let term =
+    Aterm.App
+      ("offered",
+       [ Aterm.Val (course "cs101", "course");
+         Trace.to_aterm university.Spec.signature t ])
+  in
+  match Eval.explain university term with
+  | Error e -> Alcotest.failf "%a" Eval.pp_error e
+  | Ok (v, steps) ->
+    Alcotest.(check bool) "result false" true (Value.equal v (Value.Bool false));
+    (* innermost steps first; the outermost step is the cancel query *)
+    Alcotest.(check bool) "at least two steps" true (List.length steps >= 2);
+    (match List.rev steps with
+     | last :: _ -> Alcotest.(check string) "outermost via q6" "q6" last.Eval.step_via
+     | [] -> Alcotest.fail "no steps")
+
+let suite =
+  suite @ [ Alcotest.test_case "derivation tracing" `Quick test_explain ]
+
+(* --- error paths and checker diagnostics ----------------------------- *)
+
+let test_conflicting_equations_detected () =
+  let src =
+    {|
+spec clash
+sort thing
+const t1 : thing
+query q : thing -> bool
+update initiate
+update touch : thing
+eq e1: q(x, initiate) = false
+eq e2: q(x, touch(y, U)) = true
+eq e3: q(x, touch(x, U)) = false
+|}
+  in
+  let spec = Aparser.spec_exn src in
+  let t = Trace.apply "touch" [ Value.Sym "t1" ] (Trace.init "initiate") in
+  match Eval.query_on_trace spec ~q:"q" ~params:[ Value.Sym "t1" ] t with
+  | Error (Eval.Conflicting_equations (_, eqs)) ->
+    Alcotest.(check bool) "both rules named" true
+      (List.mem "e2" eqs && List.mem "e3" eqs)
+  | Ok _ | Error _ -> Alcotest.fail "expected a conflict"
+
+let test_missing_pair_detected () =
+  let src =
+    {|
+spec holey
+sort thing
+const t1 : thing
+query q : thing -> bool
+update initiate
+update touch : thing
+eq e1: q(x, initiate) = false
+|}
+  in
+  let spec = Aparser.spec_exn src in
+  let report = Completeness.check ~depth:1 spec in
+  Alcotest.(check bool) "incomplete" false (Completeness.is_complete report);
+  Alcotest.(check bool) "missing pair reported" true
+    (List.exists
+       (function Completeness.Missing_pair ("q", "touch") -> true | _ -> false)
+       report.Completeness.issues)
+
+let test_non_decreasing_detected () =
+  (* rhs interrogates the same state as the lhs: circular definition *)
+  let src =
+    {|
+spec circular
+sort thing
+const t1 : thing
+query q : thing -> bool
+query r : thing -> bool
+update initiate
+update touch : thing
+eq e1: q(x, initiate) = false
+eq e2: r(x, initiate) = false
+eq e3: q(x, touch(y, U)) = r(x, touch(y, U))
+eq e4: r(x, touch(y, U)) = q(x, U)
+|}
+  in
+  let spec = Aparser.spec_exn src in
+  Alcotest.(check bool) "non-decreasing flagged" true
+    (List.exists
+       (function Completeness.Non_decreasing ("e3", _) -> true | _ -> false)
+       (Completeness.termination_issues spec))
+
+let test_parser_rejects_bad_specs () =
+  let cases =
+    [
+      (* duplicate operator *)
+      "spec s\nsort t\nquery q : t -> bool\nquery q : t -> bool\nupdate initiate";
+      (* equation over undeclared operator *)
+      "spec s\nsort t\nquery q : t -> bool\nupdate initiate\neq e: ghost(x, initiate) = false";
+      (* unresolvable variable sort *)
+      "spec s\nsort t\nquery q : t -> bool\nupdate initiate\neq e: x = y";
+      (* rhs variable not in lhs *)
+      "spec s\nsort t\nconst a : t\nquery q : t -> bool\nupdate initiate\neq e: q(x, initiate) = (x = z)";
+    ]
+  in
+  List.iteri
+    (fun i src ->
+      match Aparser.spec src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "bad spec %d accepted" i)
+    cases
+
+let test_trace_enumerate_counts () =
+  let domain =
+    Domain.of_list
+      [ ("course", [ course "cs101" ]); ("student", [ student "ana" ]) ]
+  in
+  let sg = university.Spec.signature in
+  (* transformers over 1x1: offer(1) + cancel(1) + enroll(1) + transfer(1) = 4 *)
+  Alcotest.(check int) "depth 0" 1 (List.length (Trace.enumerate sg ~domain ~depth:0));
+  Alcotest.(check int) "depth 1" 4 (List.length (Trace.enumerate sg ~domain ~depth:1));
+  Alcotest.(check int) "depth 2" 16 (List.length (Trace.enumerate sg ~domain ~depth:2))
+
+let test_fuel_exhausted () =
+  (* mutually recursive non-decreasing rules spin until the fuel runs out *)
+  let src =
+    {|
+spec spin
+sort thing
+const t1 : thing
+query q : thing -> bool
+query r : thing -> bool
+update initiate
+eq e1: q(x, initiate) = r(x, initiate)
+eq e2: r(x, initiate) = q(x, initiate)
+|}
+  in
+  let spec = Aparser.spec_exn src in
+  match
+    Eval.query_on_trace ~fuel:1000 spec ~q:"q" ~params:[ Value.Sym "t1" ]
+      (Trace.init "initiate")
+  with
+  | Error Eval.Fuel_exhausted -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected fuel exhaustion"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "conflicting equations detected" `Quick
+        test_conflicting_equations_detected;
+      Alcotest.test_case "missing pair detected" `Quick test_missing_pair_detected;
+      Alcotest.test_case "non-decreasing detected" `Quick test_non_decreasing_detected;
+      Alcotest.test_case "parser rejects bad specs" `Quick test_parser_rejects_bad_specs;
+      Alcotest.test_case "trace enumeration counts" `Quick test_trace_enumerate_counts;
+      Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhausted;
+    ]

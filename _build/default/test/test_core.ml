@@ -1,0 +1,62 @@
+(* End-to-end tests of the bundled framework: the university design
+   verifies at every level; the constructively derived equations agree;
+   the W-grammar accepts the representation-level source. *)
+
+open Fdbs
+
+let test_design_verifies_small () =
+  let v = Design.verify ~domain:University.small_domain ~depth:2 University.design in
+  Alcotest.(check bool)
+    (Fmt.str "%a" Design.pp_verification v)
+    true (Design.verified v)
+
+let test_design_verifies_full () =
+  let v = Design.verify ~depth:2 University.design in
+  Alcotest.(check bool)
+    (Fmt.str "%a" Design.pp_verification v)
+    true (Design.verified v);
+  Alcotest.(check bool) "nontrivial agreement sweep" true (v.Design.agreement_checked > 1000)
+
+let test_cross_level_agreement () =
+  let checked, mismatches =
+    Design.agreement ~domain:University.small_domain ~depth:3 University.design
+  in
+  Alcotest.(check (list string)) "no mismatches" []
+    (List.map (Fmt.str "%a" Design.pp_mismatch) mismatches);
+  Alcotest.(check bool) "checked many" true (checked > 100)
+
+let test_derived_design_verifies () =
+  (* swap in the equations derived from structured descriptions *)
+  let design =
+    Design.make ~name:"university-derived" ~info:University.info
+      ~functions:University.derived_functions
+      ~representation:University.representation ~interp:University.interp
+      ~mapping:University.mapping
+  in
+  let v = Design.verify ~domain:University.small_domain ~depth:2 design in
+  Alcotest.(check bool)
+    (Fmt.str "%a" Design.pp_verification v)
+    true (Design.verified v)
+
+let test_wgrammar_accepts_representation () =
+  Alcotest.(check bool) "schema text recognized" true
+    (Fdbs_wgrammar.Rpr_grammar.recognizes University.representation_src)
+
+let test_canonical_design () =
+  match
+    Design.canonical ~name:"university" ~info:University.info
+      ~functions:University.functions ~representation:University.representation
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "university verifies (1x1)" `Quick test_design_verifies_small;
+    Alcotest.test_case "university verifies (2x2)" `Slow test_design_verifies_full;
+    Alcotest.test_case "cross-level agreement" `Slow test_cross_level_agreement;
+    Alcotest.test_case "derived design verifies" `Quick test_derived_design_verifies;
+    Alcotest.test_case "wgrammar accepts representation" `Slow
+      test_wgrammar_accepts_representation;
+    Alcotest.test_case "canonical design" `Quick test_canonical_design;
+  ]

@@ -1,0 +1,275 @@
+(* Tests for the first-order level: terms, formulas, structures,
+   satisfaction, transforms, matching/unification and the parser. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+(* The paper's information-level signature (Section 3.2): sorts course
+   and student; db-predicates offered<course> and takes<student,course>. *)
+let sg =
+  Signature.make
+    ~sorts:[ "course"; "student" ]
+    ~funcs:
+      [
+        Signature.const "cs101" "course";
+        Signature.const "cs102" "course";
+        Signature.const "ana" "student";
+        Signature.const "bob" "student";
+      ]
+    ~preds:
+      [
+        Signature.db_pred "offered" [ "course" ];
+        Signature.db_pred "takes" [ "student"; "course" ];
+      ]
+
+let domain =
+  Domain.of_list
+    [
+      ("course", [ Value.Sym "cs101"; Value.Sym "cs102" ]);
+      ("student", [ Value.Sym "ana"; Value.Sym "bob" ]);
+    ]
+
+(* A structure in which cs101 is offered and ana takes cs101. *)
+let st_consistent =
+  Structure.of_tables ~domain
+    ~consts:
+      [
+        ("cs101", Value.Sym "cs101");
+        ("cs102", Value.Sym "cs102");
+        ("ana", Value.Sym "ana");
+        ("bob", Value.Sym "bob");
+      ]
+    ~relations:
+      [
+        ("offered", [ [ Value.Sym "cs101" ] ]);
+        ("takes", [ [ Value.Sym "ana"; Value.Sym "cs101" ] ]);
+      ]
+
+(* Inconsistent: bob takes cs102 which is not offered. *)
+let st_inconsistent =
+  Structure.of_tables ~domain
+    ~consts:
+      [
+        ("cs101", Value.Sym "cs101");
+        ("cs102", Value.Sym "cs102");
+        ("ana", Value.Sym "ana");
+        ("bob", Value.Sym "bob");
+      ]
+    ~relations:
+      [
+        ("offered", [ [ Value.Sym "cs101" ] ]);
+        ("takes", [ [ Value.Sym "bob"; Value.Sym "cs102" ] ]);
+      ]
+
+(* Section 3.2 axiom (1): no student takes a course that is not offered,
+   written as its universal equivalent. *)
+let static_axiom =
+  Parser.formula_exn sg "forall s:student, c:course. takes(s, c) -> offered(c)"
+
+let test_parser_roundtrip () =
+  let f = static_axiom in
+  let printed = Formula.to_string f in
+  let reparsed = Parser.formula_exn sg printed in
+  Alcotest.(check bool) "print/parse roundtrip" true (Formula.equal f reparsed)
+
+let test_parser_errors () =
+  (match Parser.formula sg "takes(s, c)" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unbound variable should fail");
+  (match Parser.formula sg "forall s:student. nonsense(s)" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unknown predicate should fail")
+
+let test_satisfaction () =
+  Alcotest.(check bool) "consistent state satisfies axiom" true
+    (Eval.sentence st_consistent static_axiom);
+  Alcotest.(check bool) "inconsistent state falsifies axiom" false
+    (Eval.sentence st_inconsistent static_axiom)
+
+let test_quantifiers () =
+  let f = Parser.formula_exn sg "exists c:course. offered(c)" in
+  Alcotest.(check bool) "existential true" true (Eval.sentence st_consistent f);
+  let g = Parser.formula_exn sg "forall c:course. offered(c)" in
+  Alcotest.(check bool) "universal false" false (Eval.sentence st_consistent g)
+
+let test_equality_atoms () =
+  let f = Parser.formula_exn sg "cs101 = cs101" in
+  Alcotest.(check bool) "reflexive equality" true (Eval.sentence st_consistent f);
+  let g = Parser.formula_exn sg "cs101 /= cs102" in
+  Alcotest.(check bool) "distinct constants" true (Eval.sentence st_consistent g)
+
+let test_satisfying_valuations () =
+  let v = { Term.vname = "c"; vsort = "course" } in
+  let f = Parser.formula_exn ~free:[ ("c", "course") ] sg "offered(c)" in
+  let sols = Eval.satisfying_valuations st_consistent [ v ] f in
+  Alcotest.(check int) "one offered course" 1 (List.length sols)
+
+let test_formula_check () =
+  (* takes with swapped argument sorts must fail the sort check *)
+  let bad =
+    Formula.Pred ("takes", [ Term.const "cs101"; Term.const "ana" ])
+  in
+  (match Formula.check sg bad with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "ill-sorted atom accepted");
+  Alcotest.(check bool) "well-sorted accepted" true
+    (Result.is_ok (Formula.check sg static_axiom))
+
+let test_free_vars_subst () =
+  let f = Parser.formula_exn ~free:[ ("c", "course") ] sg "offered(c)" in
+  let fv = Formula.free_vars f in
+  Alcotest.(check int) "one free var" 1 (List.length fv);
+  let s = Term.Subst.of_list [ (List.hd fv, Term.const "cs101") ] in
+  let f' = Formula.subst s f in
+  Alcotest.(check bool) "closed after subst" true (Formula.is_closed f')
+
+let test_capture_avoidance () =
+  (* substituting a term containing c for x under a binder on c must rename *)
+  let x = { Term.vname = "x"; vsort = "course" } in
+  let c = { Term.vname = "c"; vsort = "course" } in
+  let inner = Formula.Exists (c, Formula.Pred ("offered", [ Term.Var c ])) in
+  let f = Formula.And (Formula.Pred ("offered", [ Term.Var x ]), inner) in
+  let f' = Formula.subst (Term.Subst.of_list [ (x, Term.Var c) ]) f in
+  (* the free c must not be captured by the existential *)
+  let fv = Formula.free_vars f' in
+  Alcotest.(check int) "c remains free" 1 (List.length fv)
+
+let test_nnf () =
+  let f = Parser.formula_exn sg "~(exists c:course. offered(c))" in
+  let n = Transform.nnf f in
+  (match n with
+   | Formula.Forall (_, Formula.Not _) -> ()
+   | _ -> Alcotest.failf "unexpected NNF: %a" Formula.pp n);
+  (* NNF preserves truth *)
+  Alcotest.(check bool) "nnf equisatisfiable" (Eval.sentence st_consistent f)
+    (Eval.sentence st_consistent n)
+
+let test_prenex () =
+  let f =
+    Parser.formula_exn sg
+      "(forall c:course. offered(c)) -> (exists c:course. offered(c))"
+  in
+  let p = Transform.prenex f in
+  (* prefix of quantifiers followed by a quantifier-free matrix *)
+  let rec strip = function
+    | Formula.Forall (_, g) | Formula.Exists (_, g) -> strip g
+    | g -> g
+  in
+  Alcotest.(check int) "matrix has no quantifiers" 0
+    (Transform.quantifier_depth (strip p));
+  Alcotest.(check bool) "prenex preserves truth" (Eval.sentence st_consistent f)
+    (Eval.sentence st_consistent p)
+
+let test_simplify () =
+  let open Formula in
+  Alcotest.(check bool) "P & true = P" true
+    (equal (Transform.simplify (And (Pred ("offered", [ Term.const "cs101" ]), True)))
+       (Pred ("offered", [ Term.const "cs101" ])));
+  Alcotest.(check bool) "~~P = P" true
+    (equal (Transform.simplify (Not (Not (Pred ("offered", [ Term.const "cs101" ])))))
+       (Pred ("offered", [ Term.const "cs101" ])))
+
+let test_matching () =
+  let c = { Term.vname = "c"; vsort = "course" } in
+  let pattern = Term.app "f" [ Term.Var c; Term.Var c ] in
+  let target_ok = Term.app "f" [ Term.const "cs101"; Term.const "cs101" ] in
+  let target_bad = Term.app "f" [ Term.const "cs101"; Term.const "cs102" ] in
+  Alcotest.(check bool) "non-linear match succeeds" true
+    (Option.is_some (Unify.match_term pattern target_ok));
+  Alcotest.(check bool) "non-linear mismatch fails" false
+    (Option.is_some (Unify.match_term pattern target_bad))
+
+let test_unification () =
+  let x = { Term.vname = "x"; vsort = "course" } in
+  let y = { Term.vname = "y"; vsort = "course" } in
+  let t1 = Term.app "f" [ Term.Var x; Term.const "cs101" ] in
+  let t2 = Term.app "f" [ Term.const "cs102"; Term.Var y ] in
+  (match Unify.unify t1 t2 with
+   | None -> Alcotest.fail "unification should succeed"
+   | Some s ->
+     Alcotest.(check bool) "substitution unifies" true
+       (Term.equal (Term.subst s t1) (Term.subst s t2)));
+  (* occurs check *)
+  let t3 = Term.Var x in
+  let t4 = Term.app "f" [ Term.Var x; Term.const "cs101" ] in
+  Alcotest.(check bool) "occurs check" false (Option.is_some (Unify.unify t3 t4))
+
+let test_theory_models () =
+  let theory =
+    Theory.make_exn ~name:"university-static" ~signature:sg
+      ~axioms:[ Theory.axiom "static" static_axiom ]
+  in
+  Alcotest.(check bool) "consistent is model" true (Theory.is_model theory st_consistent);
+  Alcotest.(check int) "inconsistent fails one axiom" 1
+    (List.length (Theory.failures theory st_inconsistent))
+
+(* Property tests: NNF and prenex preserve truth on random formulas. *)
+let random_formula_gen =
+  let open QCheck.Gen in
+  let atom =
+    oneof
+      [
+        return (Formula.Pred ("offered", [ Term.const "cs101" ]));
+        return (Formula.Pred ("offered", [ Term.const "cs102" ]));
+        return (Formula.Pred ("takes", [ Term.const "ana"; Term.const "cs101" ]));
+        return Formula.True;
+        return Formula.False;
+      ]
+  in
+  let rec gen n =
+    if n <= 0 then atom
+    else
+      frequency
+        [
+          (2, atom);
+          (1, map (fun f -> Formula.Not f) (gen (n - 1)));
+          (1, map2 (fun f g -> Formula.And (f, g)) (gen (n / 2)) (gen (n / 2)));
+          (1, map2 (fun f g -> Formula.Or (f, g)) (gen (n / 2)) (gen (n / 2)));
+          (1, map2 (fun f g -> Formula.Imp (f, g)) (gen (n / 2)) (gen (n / 2)));
+          (1, map2 (fun f g -> Formula.Iff (f, g)) (gen (n / 2)) (gen (n / 2)));
+          ( 1,
+            map
+              (fun f ->
+                Formula.Exists ({ Term.vname = "c"; vsort = "course" }, f))
+              (gen (n - 1)) );
+        ]
+  in
+  gen 8
+
+let arbitrary_formula =
+  QCheck.make ~print:Formula.to_string random_formula_gen
+
+let prop_nnf_preserves_truth =
+  QCheck.Test.make ~name:"nnf preserves truth" ~count:200 arbitrary_formula (fun f ->
+      Eval.sentence st_consistent f = Eval.sentence st_consistent (Transform.nnf f))
+
+let prop_prenex_preserves_truth =
+  QCheck.Test.make ~name:"prenex preserves truth" ~count:200 arbitrary_formula (fun f ->
+      Eval.sentence st_consistent f = Eval.sentence st_consistent (Transform.prenex f))
+
+let prop_simplify_preserves_truth =
+  QCheck.Test.make ~name:"simplify preserves truth" ~count:200 arbitrary_formula
+    (fun f ->
+      Eval.sentence st_consistent f = Eval.sentence st_consistent (Transform.simplify f))
+
+let suite =
+  [
+    Alcotest.test_case "parser roundtrip" `Quick test_parser_roundtrip;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "satisfaction" `Quick test_satisfaction;
+    Alcotest.test_case "quantifiers" `Quick test_quantifiers;
+    Alcotest.test_case "equality atoms" `Quick test_equality_atoms;
+    Alcotest.test_case "satisfying valuations" `Quick test_satisfying_valuations;
+    Alcotest.test_case "formula sort check" `Quick test_formula_check;
+    Alcotest.test_case "free vars and subst" `Quick test_free_vars_subst;
+    Alcotest.test_case "capture avoidance" `Quick test_capture_avoidance;
+    Alcotest.test_case "nnf" `Quick test_nnf;
+    Alcotest.test_case "prenex" `Quick test_prenex;
+    Alcotest.test_case "simplify" `Quick test_simplify;
+    Alcotest.test_case "matching" `Quick test_matching;
+    Alcotest.test_case "unification" `Quick test_unification;
+    Alcotest.test_case "theory models" `Quick test_theory_models;
+    QCheck_alcotest.to_alcotest prop_nnf_preserves_truth;
+    QCheck_alcotest.to_alcotest prop_prenex_preserves_truth;
+    QCheck_alcotest.to_alcotest prop_simplify_preserves_truth;
+  ]

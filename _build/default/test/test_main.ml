@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "fdbs"
+    [
+      ("kernel", Test_kernel.suite);
+      ("logic", Test_logic.suite);
+      ("temporal", Test_temporal.suite);
+      ("algebra", Test_algebra.suite);
+      ("rpr", Test_rpr.suite);
+      ("wgrammar", Test_wgrammar.suite);
+      ("refinement", Test_refinement.suite);
+      ("core", Test_core.suite);
+      ("properties", Test_props.suite);
+    ]

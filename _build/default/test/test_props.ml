@@ -1,0 +1,284 @@
+(* Cross-cutting property tests (qcheck): invariants the framework's
+   correctness rests on, exercised on random inputs. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+open Fdbs_algebra
+open Fdbs_rpr
+
+let v s = Value.Sym s
+
+(* ------------------------------------------------------------------ *)
+(* Random traces of the university specification                       *)
+(* ------------------------------------------------------------------ *)
+
+let university = Fdbs.University.functions
+
+let small_domain = Fdbs.University.small_domain
+let domain = Fdbs.University.domain
+
+let random_trace_gen dom =
+  let open QCheck.Gen in
+  let courses = Domain.carrier dom "course" in
+  let students = Domain.carrier dom "student" in
+  let update =
+    oneof
+      [
+        map (fun c -> ("offer", [ c ])) (oneofl courses);
+        map (fun c -> ("cancel", [ c ])) (oneofl courses);
+        map2 (fun s c -> ("enroll", [ s; c ])) (oneofl students) (oneofl courses);
+        map3
+          (fun s c c2 -> ("transfer", [ s; c; c2 ]))
+          (oneofl students) (oneofl courses) (oneofl courses);
+      ]
+  in
+  let* len = int_range 0 8 in
+  let* steps = list_repeat len update in
+  return
+    (List.fold_left
+       (fun acc (u, args) -> Trace.apply u args acc)
+       (Trace.init "initiate") steps)
+
+let arbitrary_trace dom = QCheck.make ~print:Trace.to_string (random_trace_gen dom)
+
+let arbitrary_trace_pair dom =
+  QCheck.make
+    ~print:(fun (a, b) -> Fmt.str "%a / %a" Trace.pp a Trace.pp b)
+    QCheck.Gen.(pair (random_trace_gen dom) (random_trace_gen dom))
+
+(* Trace round-trip through algebraic terms. *)
+let prop_trace_roundtrip =
+  QCheck.Test.make ~name:"trace to_aterm/of_aterm roundtrip" ~count:200
+    (arbitrary_trace domain) (fun t ->
+      match Trace.of_aterm university.Spec.signature
+              (Trace.to_aterm university.Spec.signature t)
+      with
+      | Some t' -> Trace.equal t t'
+      | None -> false)
+
+(* Observational equivalence is preserved by applying the same update:
+   the congruence property underlying the quotient graph construction. *)
+let prop_equiv_congruence =
+  QCheck.Test.make ~name:"observational equivalence is a congruence" ~count:100
+    (arbitrary_trace_pair small_domain) (fun (t1, t2) ->
+      QCheck.assume (Observe.equiv ~domain:small_domain university t1 t2);
+      List.for_all
+        (fun (u, args) ->
+          Observe.equiv ~domain:small_domain university
+            (Trace.apply u args t1) (Trace.apply u args t2))
+        [
+          ("offer", [ v "cs101" ]);
+          ("cancel", [ v "cs101" ]);
+          ("enroll", [ v "ana"; v "cs101" ]);
+        ])
+
+(* The static constraint holds on every random trace (4.4b, randomized). *)
+let prop_static_invariant =
+  QCheck.Test.make ~name:"static constraint holds on random traces" ~count:200
+    (arbitrary_trace domain) (fun t ->
+      let dom = domain in
+      List.for_all
+        (fun c ->
+          List.for_all
+            (fun s ->
+              let takes =
+                Eval.query_on_trace ~domain:dom university ~q:"takes"
+                  ~params:[ s; c ] t
+              in
+              let offered =
+                Eval.query_on_trace ~domain:dom university ~q:"offered" ~params:[ c ] t
+              in
+              match (takes, offered) with
+              | Ok (Value.Bool true), Ok (Value.Bool o) -> o
+              | Ok _, Ok _ -> true
+              | _ -> false)
+            (Domain.carrier dom "student"))
+        (Domain.carrier dom "course"))
+
+(* Level-2 rewriting and level-3 procedures agree on random traces. *)
+let prop_cross_level_random =
+  QCheck.Test.make ~name:"levels 2 and 3 agree on random traces" ~count:100
+    (arbitrary_trace domain) (fun t ->
+      let env = Semantics.env ~domain Fdbs.University.representation in
+      let rec db_of = function
+        | Trace.Init _ ->
+          Semantics.call_det_exn env "initiate" []
+            (Schema.empty_db Fdbs.University.representation)
+        | Trace.Apply (u, args, rest) -> Semantics.call_det_exn env u args (db_of rest)
+      in
+      let db = db_of t in
+      List.for_all
+        (fun c ->
+          let l2 =
+            Eval.query_on_trace ~domain university ~q:"offered" ~params:[ c ] t
+          in
+          let l3 =
+            Semantics.query env db (Formula.Pred ("OFFERED", [ Term.Lit c ]))
+          in
+          match l2 with Ok (Value.Bool b) -> b = l3 | _ -> false)
+        (Domain.carrier domain "course"))
+
+(* ------------------------------------------------------------------ *)
+(* Relational algebra laws on random relations                         *)
+(* ------------------------------------------------------------------ *)
+
+let random_relation_gen =
+  let open QCheck.Gen in
+  let value = map (fun i -> Value.Sym (Fmt.str "v%d" i)) (int_range 0 5) in
+  let tuple = pair value value in
+  let* tuples = list_size (int_range 0 12) tuple in
+  return (Relation.of_list [ "a"; "b" ] (List.map (fun (x, y) -> [ x; y ]) tuples))
+
+let arbitrary_relation =
+  QCheck.make ~print:(Fmt.str "%a" Relation.pp) random_relation_gen
+
+let arbitrary_relation_pair =
+  QCheck.make
+    ~print:(fun (a, b) -> Fmt.str "%a / %a" Relation.pp a Relation.pp b)
+    QCheck.Gen.(pair random_relation_gen random_relation_gen)
+
+let prop_union_commutative =
+  QCheck.Test.make ~name:"relation union commutative" ~count:200 arbitrary_relation_pair
+    (fun (a, b) -> Relation.equal (Relation.union a b) (Relation.union b a))
+
+let prop_diff_inter_disjoint =
+  QCheck.Test.make ~name:"diff and inter partition" ~count:200 arbitrary_relation_pair
+    (fun (a, b) ->
+      let d = Relation.diff a b and i = Relation.inter a b in
+      Relation.equal a (Relation.union d i) && Relation.is_empty (Relation.inter d b))
+
+let prop_select_distributes_over_union =
+  QCheck.Test.make ~name:"selection distributes over union" ~count:200
+    arbitrary_relation_pair (fun (a, b) ->
+      let p row = match row with x :: _ -> Value.equal x (Value.Sym "v0") | [] -> false in
+      Relation.equal
+        (Relation.filter p (Relation.union a b))
+        (Relation.union (Relation.filter p a) (Relation.filter p b)))
+
+let prop_active_domain_covers =
+  QCheck.Test.make ~name:"active domain covers every tuple value" ~count:200
+    arbitrary_relation (fun r ->
+      let d = Relation.active_domain r in
+      Relation.for_all
+        (fun row ->
+          List.for_all2 (fun value srt -> Domain.mem d srt value) row r.Relation.sorts)
+        r)
+
+(* ------------------------------------------------------------------ *)
+(* Desugaring preserves the semantics of derived statements            *)
+(* ------------------------------------------------------------------ *)
+
+let schema = Fdbs.University.representation
+
+let random_stmt_gen =
+  let open QCheck.Gen in
+  let course = oneofl [ v "cs101"; v "cs102" ] in
+  let student = oneofl [ v "ana"; v "bob" ] in
+  let atom =
+    oneof
+      [
+        map (fun c -> Stmt.Insert ("OFFERED", [ Term.Lit c ])) course;
+        map (fun c -> Stmt.Delete ("OFFERED", [ Term.Lit c ])) course;
+        map2 (fun s c -> Stmt.Insert ("TAKES", [ Term.Lit s; Term.Lit c ])) student course;
+        map2 (fun s c -> Stmt.Delete ("TAKES", [ Term.Lit s; Term.Lit c ])) student course;
+        return Stmt.Skip;
+      ]
+  in
+  let cond = map (fun c -> Formula.Pred ("OFFERED", [ Term.Lit c ])) course in
+  let rec gen n =
+    if n <= 0 then atom
+    else
+      frequency
+        [
+          (3, atom);
+          (2, map2 (fun a b -> Stmt.Seq (a, b)) (gen (n / 2)) (gen (n / 2)));
+          (1, map2 (fun a b -> Stmt.Union (a, b)) (gen (n / 2)) (gen (n / 2)));
+          (1, map3 (fun c a b -> Stmt.If (c, a, b)) cond (gen (n / 2)) (gen (n / 2)));
+          (1, map (fun c -> Stmt.Test c) cond);
+        ]
+  in
+  gen 6
+
+let arbitrary_stmt = QCheck.make ~print:(Fmt.str "%a" Stmt.pp) random_stmt_gen
+
+let prop_desugar_preserves_semantics =
+  QCheck.Test.make ~name:"desugaring preserves statement outcomes" ~count:150
+    arbitrary_stmt (fun s ->
+      let env = Semantics.env ~domain schema in
+      let db0 =
+        Semantics.call_det_exn env "initiate" [] (Schema.empty_db schema)
+        |> Db.with_relation "OFFERED"
+             (Relation.of_list [ "course" ] [ [ v "cs101" ] ])
+      in
+      let core = Stmt.desugar ~sorts_of:(Schema.sorts_of schema) s in
+      let norm dbs = List.sort compare (List.map Db.key dbs) in
+      norm (Semantics.exec env s db0) = norm (Semantics.exec env core db0))
+
+(* Relational-term evaluation strategies agree on random statements'
+   desugared assignments. *)
+let prop_strategies_agree =
+  QCheck.Test.make ~name:"naive and compiled strategies agree on exec" ~count:150
+    arbitrary_stmt (fun s ->
+      let env_naive = Semantics.env ~strategy:`Naive ~domain schema in
+      let env_auto = Semantics.env ~strategy:`Auto ~domain schema in
+      let db0 = Semantics.call_det_exn env_auto "initiate" [] (Schema.empty_db schema) in
+      let core = Stmt.desugar ~sorts_of:(Schema.sorts_of schema) s in
+      let norm dbs = List.sort compare (List.map Db.key dbs) in
+      norm (Semantics.exec env_naive core db0) = norm (Semantics.exec env_auto core db0))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_trace_roundtrip;
+      prop_equiv_congruence;
+      prop_static_invariant;
+      prop_cross_level_random;
+      prop_union_commutative;
+      prop_diff_inter_disjoint;
+      prop_select_distributes_over_union;
+      prop_active_domain_covers;
+      prop_desugar_preserves_semantics;
+      prop_strategies_agree;
+    ]
+
+(* The synthesized schema and the paper's hand schema compute the same
+   database on random traces. *)
+let synthesized_schema =
+  match
+    Fdbs_refine.Synthesize.schema ~name:"university_synth"
+      university.Spec.signature Fdbs.University.descriptions
+  with
+  | Ok sc -> sc
+  | Error e -> invalid_arg e
+
+let prop_synthesized_agrees_on_random_traces =
+  QCheck.Test.make ~name:"synthesized schema agrees with hand schema" ~count:100
+    (arbitrary_trace domain) (fun t ->
+      let run sc =
+        let env = Semantics.env ~domain sc in
+        let rec db_of = function
+          | Trace.Init _ -> Semantics.call_det_exn env "initiate" [] (Schema.empty_db sc)
+          | Trace.Apply (u, args, rest) -> Semantics.call_det_exn env u args (db_of rest)
+        in
+        db_of t
+      in
+      let a = run Fdbs.University.representation in
+      let b = run synthesized_schema in
+      (* compare the relation contents modulo the relations' names,
+         which coincide for the university *)
+      List.for_all2
+        (fun (n1, r1) (n2, r2) -> n1 = n2 && Relation.equal r1 r2)
+        (Db.relations a) (Db.relations b))
+
+(* Observational equivalence is an equivalence relation on random traces. *)
+let prop_equiv_reflexive_symmetric =
+  QCheck.Test.make ~name:"observational equivalence reflexive and symmetric" ~count:100
+    (arbitrary_trace_pair small_domain) (fun (t1, t2) ->
+      Observe.equiv ~domain:small_domain university t1 t1
+      && Observe.equiv ~domain:small_domain university t1 t2
+         = Observe.equiv ~domain:small_domain university t2 t1)
+
+let suite =
+  suite
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_synthesized_agrees_on_random_traces; prop_equiv_reflexive_symmetric ]

@@ -1,0 +1,508 @@
+(* Tests for the refinement layer: the interpretation I and first-to-
+   second level checks (paper 4.3-4.4), and the mapping K and second-to-
+   third level checks (5.3-5.4) - including failure injection: broken
+   specifications and procedures must be caught. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+open Fdbs_algebra
+open Fdbs_temporal
+open Fdbs_rpr
+open Fdbs_refine
+
+let v s = Value.Sym s
+
+(* --- the three levels of the running example ----------------------- *)
+
+let sg1 =
+  Signature.make
+    ~sorts:[ "course"; "student" ]
+    ~funcs:[]
+    ~preds:
+      [
+        Signature.db_pred "offered" [ "course" ];
+        Signature.db_pred "takes" [ "student"; "course" ];
+      ]
+
+let t1 =
+  Ttheory.make_exn ~name:"university-info" ~signature:sg1
+    ~axioms:
+      [
+        Ttheory.axiom "static"
+          (Tparser.formula_exn sg1
+             "~(exists s:student, c:course. takes(s, c) & ~offered(c))");
+        Ttheory.axiom "transition"
+          (Tparser.formula_exn sg1
+             "~(exists s:student, c:course. dia (takes(s, c) & dia ~(exists c2:course. takes(s, c2))))");
+      ]
+
+let university_alg_src =
+  {|
+spec university
+sort course
+sort student
+query offered : course -> bool
+query takes : student, course -> bool
+update initiate
+update offer : course
+update cancel : course
+update enroll : student, course
+update transfer : student, course, course
+eq q1: offered(c, initiate) = false
+eq q2: takes(s, c, initiate) = false
+eq q3: offered(c, offer(c, U)) = true
+eq q4: c /= c2 => offered(c, offer(c2, U)) = offered(c, U)
+eq q5: takes(s, c, offer(c2, U)) = takes(s, c, U)
+eq q6: offered(c, cancel(c, U)) = (exists s:student. takes(s, c, U))
+eq q7: c /= c2 => offered(c, cancel(c2, U)) = offered(c, U)
+eq q8: takes(s, c, cancel(c2, U)) = takes(s, c, U)
+eq q9: offered(c, enroll(s, c2, U)) = offered(c, U)
+eq q10: takes(s, c, enroll(s, c, U)) = offered(c, U)
+eq q11: s /= s2 | c /= c2 => takes(s, c, enroll(s2, c2, U)) = takes(s, c, U)
+eq q12: offered(c, transfer(s, c2, c3, U)) = offered(c, U)
+eq q13: takes(s, c2, transfer(s, c, c2, U)) =
+        ((offered(c2, U) & takes(s, c, U)) | takes(s, c2, U))
+eq q14: takes(s, c, transfer(s, c, c2, U)) =
+        ((~offered(c2, U) | takes(s, c2, U)) & takes(s, c, U))
+eq q15: s /= s2 | (c /= c2 & c /= c3) =>
+        takes(s, c, transfer(s2, c2, c3, U)) = takes(s, c, U)
+|}
+
+let t2 = Aparser.spec_exn university_alg_src
+
+let t3_src =
+  {|
+schema university
+relation OFFERED(course)
+relation TAKES(student, course)
+proc initiate() =
+  (OFFERED := {(c:course) | false} ; TAKES := {(s:student, c:course) | false})
+proc offer(c: course) = insert OFFERED(c)
+proc cancel(c: course) =
+  if (~(exists s:student. TAKES(s, c))) then delete OFFERED(c)
+proc enroll(s: student, c: course) =
+  if (OFFERED(c)) then insert TAKES(s, c)
+proc transfer(s: student, c: course, c2: course) =
+  if (TAKES(s, c) & ~TAKES(s, c2) & OFFERED(c2))
+  then (delete TAKES(s, c) ; insert TAKES(s, c2))
+end-schema
+|}
+
+let t3 = Rparser.schema_exn t3_src
+
+let domain =
+  Domain.of_list
+    [ ("course", [ v "cs101"; v "cs102" ]); ("student", [ v "ana"; v "bob" ]) ]
+
+let small_domain =
+  Domain.of_list [ ("course", [ v "cs101" ]); ("student", [ v "ana" ]) ]
+
+(* --- interpretation I ----------------------------------------------- *)
+
+let interp = Interp12.canonical_exn sg1 t2.Spec.signature
+
+let test_interp_check () =
+  Alcotest.(check (list string)) "interpretation clean" []
+    (Interp12.check interp sg1 t2.Spec.signature)
+
+let test_interp_apply () =
+  let trace = Trace.apply "offer" [ v "cs101" ] (Trace.init "initiate") in
+  let term = Trace.to_aterm t2.Spec.signature trace in
+  match Interp12.apply interp "offered" [ v "cs101" ] term with
+  | Error e -> Alcotest.fail e
+  | Ok img ->
+    (match Eval.holds ~domain t2 img with
+     | Ok b -> Alcotest.(check bool) "image evaluates like query" true b
+     | Error e -> Alcotest.failf "%a" Eval.pp_error e)
+
+let test_canonical_fails_on_mismatch () =
+  (* a signature with a db-predicate lacking a homonym query *)
+  let sg_bad =
+    Signature.make ~sorts:[ "course" ] ~funcs:[]
+      ~preds:[ Signature.db_pred "ghost" [ "course" ] ]
+  in
+  match Interp12.canonical sg_bad t2.Spec.signature with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "canonical interpretation should fail"
+
+(* --- first-to-second level refinement ------------------------------- *)
+
+let test_check12_passes () =
+  let report = Check12.check ~domain:small_domain t1 t2 interp in
+  Alcotest.(check bool)
+    (Fmt.str "%a" Check12.pp_report report)
+    true (Check12.ok report);
+  Alcotest.(check int) "3 states over 1x1" 3 report.Check12.states
+
+let test_check12_passes_2x2 () =
+  let report = Check12.check ~domain t1 t2 interp in
+  Alcotest.(check bool)
+    (Fmt.str "%a" Check12.pp_report report)
+    true (Check12.ok report);
+  Alcotest.(check int) "25 states over 2x2" 25 report.Check12.states
+
+let test_valid_states_enumeration () =
+  (* over 1 course x 1 student: {} ; {offered} ; {offered,takes} *)
+  Alcotest.(check int) "3 valid states" 3
+    (List.length (Check12.valid_states t1 ~domain:small_domain))
+
+(* Failure injection: an enroll without the offered-guard violates the
+   static constraint. *)
+let broken_spec =
+  let src =
+    Str_replace.replace university_alg_src
+      "eq q10: takes(s, c, enroll(s, c, U)) = offered(c, U)"
+      "eq q10: takes(s, c, enroll(s, c, U)) = true"
+  in
+  Aparser.spec_exn src
+
+let test_check12_catches_static_violation () =
+  let report = Check12.check ~domain:small_domain t1 broken_spec interp in
+  Alcotest.(check bool) "broken spec rejected" false (Check12.ok report);
+  (* specifically the static axiom must fail somewhere *)
+  let static_fails =
+    List.exists
+      (fun (r : Check.report) -> r.Check.axiom = "static" && r.Check.failures <> [])
+      report.Check12.axiom_reports
+  in
+  Alcotest.(check bool) "static axiom flagged" true static_fails
+
+(* Failure injection: a drop update that removes a student's last course
+   violates the transition constraint. *)
+let dropping_spec =
+  let src =
+    university_alg_src
+    ^ {|
+update drop : student, course
+eq d1: offered(c, drop(s, c2, U)) = offered(c, U)
+eq d2: takes(s, c, drop(s, c, U)) = false
+eq d3: s /= s2 | c /= c2 => takes(s, c, drop(s2, c2, U)) = takes(s, c, U)
+|}
+  in
+  Aparser.spec_exn src
+
+let test_check12_catches_transition_violation () =
+  let report = Check12.check ~domain:small_domain t1 dropping_spec interp in
+  Alcotest.(check bool) "dropping spec rejected" false (Check12.ok report);
+  let transition_fails =
+    List.exists
+      (fun (r : Check.report) -> r.Check.axiom = "transition" && r.Check.failures <> [])
+      report.Check12.axiom_reports
+  in
+  Alcotest.(check bool) "transition axiom flagged" true transition_fails
+
+(* Failure injection: remove the offer update; offered-but-empty states
+   become unreachable. *)
+let no_offer_spec =
+  let src =
+    {|
+spec crippled
+sort course
+sort student
+query offered : course -> bool
+query takes : student, course -> bool
+update initiate
+eq q1: offered(c, initiate) = false
+eq q2: takes(s, c, initiate) = false
+|}
+  in
+  Aparser.spec_exn src
+
+let test_check12_catches_unreachable_valid () =
+  let report = Check12.check ~domain:small_domain t1 no_offer_spec interp in
+  Alcotest.(check bool) "crippled spec rejected" false (Check12.ok report);
+  Alcotest.(check int) "two valid states unreachable" 2
+    (List.length report.Check12.unreachable_valid)
+
+(* --- second-to-third level refinement ------------------------------- *)
+
+let mapping = Interp23.canonical_exn t2.Spec.signature t3
+
+let test_mapping_check () =
+  Alcotest.(check (list string)) "mapping clean" []
+    (Interp23.check mapping t2.Spec.signature t3)
+
+let test_check23_passes () =
+  let env = Semantics.env ~domain:small_domain t3 in
+  let report = Check23.check t2 env mapping in
+  Alcotest.(check bool)
+    (Fmt.str "%a" Check23.pp_report report)
+    true (Check23.ok report);
+  Alcotest.(check int) "3 reachable databases" 3 report.Check23.databases
+
+let test_check23_passes_2x2 () =
+  let env = Semantics.env ~domain t3 in
+  let report = Check23.check t2 env mapping in
+  Alcotest.(check bool)
+    (Fmt.str "%a" Check23.pp_report report)
+    true (Check23.ok report);
+  Alcotest.(check int) "25 reachable databases" 25 report.Check23.databases
+
+(* Failure injection: a cancel procedure without its guard violates
+   equation q6 (cancel must be blocked while someone takes the course). *)
+let broken_t3 =
+  Rparser.schema_exn
+    (Str_replace.replace t3_src
+       {|proc cancel(c: course) =
+  if (~(exists s:student. TAKES(s, c))) then delete OFFERED(c)|}
+       {|proc cancel(c: course) = delete OFFERED(c)|})
+
+let test_check23_catches_broken_procedure () =
+  let env = Semantics.env ~domain:small_domain broken_t3 in
+  let mapping = Interp23.canonical_exn t2.Spec.signature broken_t3 in
+  let report = Check23.check t2 env mapping in
+  Alcotest.(check bool) "broken cancel rejected" false (Check23.ok report);
+  Alcotest.(check bool) "q6 among violations" true
+    (List.exists
+       (fun (viol : Check23.violation) -> viol.Check23.equation = "q6")
+       report.Check23.violations)
+
+let test_check23_catches_missing_proc () =
+  (* a schema lacking the transfer procedure *)
+  let t3_small =
+    Rparser.schema_exn
+      {|
+schema university
+relation OFFERED(course)
+relation TAKES(student, course)
+proc initiate() =
+  (OFFERED := {(c:course) | false} ; TAKES := {(s:student, c:course) | false})
+end-schema
+|}
+  in
+  match Interp23.canonical t2.Spec.signature t3_small with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing procedures should fail the canonical mapping"
+
+let suite =
+  [
+    Alcotest.test_case "interpretation I checks" `Quick test_interp_check;
+    Alcotest.test_case "interpretation I applies" `Quick test_interp_apply;
+    Alcotest.test_case "canonical I mismatch" `Quick test_canonical_fails_on_mismatch;
+    Alcotest.test_case "check12 passes (1x1)" `Quick test_check12_passes;
+    Alcotest.test_case "check12 passes (2x2)" `Slow test_check12_passes_2x2;
+    Alcotest.test_case "valid state enumeration" `Quick test_valid_states_enumeration;
+    Alcotest.test_case "check12 catches static violation" `Quick
+      test_check12_catches_static_violation;
+    Alcotest.test_case "check12 catches transition violation" `Quick
+      test_check12_catches_transition_violation;
+    Alcotest.test_case "check12 catches unreachable valid" `Quick
+      test_check12_catches_unreachable_valid;
+    Alcotest.test_case "mapping K checks" `Quick test_mapping_check;
+    Alcotest.test_case "check23 passes (1x1)" `Quick test_check23_passes;
+    Alcotest.test_case "check23 passes (2x2)" `Slow test_check23_passes_2x2;
+    Alcotest.test_case "check23 catches broken procedure" `Quick
+      test_check23_catches_broken_procedure;
+    Alcotest.test_case "check23 catches missing procedure" `Quick
+      test_check23_catches_missing_proc;
+  ]
+
+(* --- the syntactic wff translation through I (Section 4.3) ---------- *)
+
+let test_translate_static_axiom () =
+  let now = { Term.vname = "sigma"; vsort = Sort.state } in
+  let static = List.hd t1.Ttheory.axioms in
+  match Translate12.wff interp ~now static.Ttheory.ax_formula with
+  | Error e -> Alcotest.fail e
+  | Ok sf ->
+    (* the translation mentions no F (static) and holds over the graph *)
+    let g = Reach.explore_exn ~domain:small_domain t2 in
+    Alcotest.(check bool) "holds at all states" true
+      (Sformula.eval g t2 (Sformula.Forall_state (now, sf)))
+
+let test_translate_agrees_with_kripke_route () =
+  let g = Reach.explore_exn ~domain:small_domain t2 in
+  match Translate12.check_axioms t1 t2 interp g with
+  | Error e -> Alcotest.fail e
+  | Ok verdicts ->
+    Alcotest.(check (list (pair string bool)))
+      "both axioms hold via translation"
+      [ ("static", true); ("transition", true) ]
+      verdicts;
+    (* and the direct Kripke route agrees *)
+    let report = Check12.check ~domain:small_domain t1 t2 interp in
+    Alcotest.(check bool) "direct route agrees" true (Check12.ok report)
+
+let test_translate_catches_violation () =
+  let g = Reach.explore_exn ~domain:small_domain dropping_spec in
+  match Translate12.check_axioms t1 dropping_spec interp g with
+  | Error e -> Alcotest.fail e
+  | Ok verdicts ->
+    Alcotest.(check (option bool)) "transition axiom fails via translation"
+      (Some false)
+      (List.assoc_opt "transition" verdicts)
+
+let test_translated_formula_shape () =
+  let now = { Term.vname = "sigma"; vsort = Sort.state } in
+  let transition = List.nth t1.Ttheory.axioms 1 in
+  match Translate12.wff interp ~now transition.Ttheory.ax_formula with
+  | Error e -> Alcotest.fail e
+  | Ok sf ->
+    (* dia became an existential state quantifier guarded by F *)
+    let rec count_f = function
+      | Sformula.F _ -> 1
+      | Sformula.True | Sformula.False | Sformula.Holds _ -> 0
+      | Sformula.Not f -> count_f f
+      | Sformula.And (f, g) | Sformula.Or (f, g) | Sformula.Imp (f, g)
+      | Sformula.Iff (f, g) -> count_f f + count_f g
+      | Sformula.Forall_param (_, f) | Sformula.Exists_param (_, f)
+      | Sformula.Forall_state (_, f) | Sformula.Exists_state (_, f) -> count_f f
+    in
+    Alcotest.(check int) "two F atoms (two dias)" 2 (count_f sf)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "translate static axiom" `Quick test_translate_static_axiom;
+      Alcotest.test_case "translation agrees with Kripke route" `Quick
+        test_translate_agrees_with_kripke_route;
+      Alcotest.test_case "translation catches violation" `Quick
+        test_translate_catches_violation;
+      Alcotest.test_case "translated formula shape" `Quick test_translated_formula_shape;
+    ]
+
+(* --- synthesis of procedures from structured descriptions (Sec 5.2) - *)
+
+let synthesized_schema =
+  match
+    Synthesize.schema ~name:"university_synth" t2.Spec.signature
+      Fdbs.University.descriptions
+  with
+  | Ok sc -> sc
+  | Error e -> invalid_arg e
+
+let test_synthesized_well_formed () =
+  Alcotest.(check (list string)) "no schema errors" [] (Schema.check synthesized_schema)
+
+let test_synthesized_refines_hand_equations () =
+  let env = Semantics.env ~domain:small_domain synthesized_schema in
+  let mapping = Interp23.canonical_exn t2.Spec.signature synthesized_schema in
+  let report = Check23.check t2 env mapping in
+  Alcotest.(check bool)
+    (Fmt.str "%a" Check23.pp_report report)
+    true (Check23.ok report)
+
+let test_synthesized_refines_derived_equations () =
+  let derived = Fdbs.University.derived_functions in
+  let env = Semantics.env ~domain:small_domain synthesized_schema in
+  let mapping = Interp23.canonical_exn derived.Spec.signature synthesized_schema in
+  let report = Check23.check derived env mapping in
+  Alcotest.(check bool)
+    (Fmt.str "%a" Check23.pp_report report)
+    true (Check23.ok report)
+
+let test_synthesized_agrees_with_hand_schema () =
+  (* the synthesized procedures and the paper's Section 5.2 schema
+     compute the same databases on every trace *)
+  let env_synth = Semantics.env ~domain synthesized_schema in
+  let env_hand = Semantics.env ~domain t3 in
+  let calls =
+    [
+      ("initiate", []);
+      ("offer", [ v "cs101" ]);
+      ("offer", [ v "cs102" ]);
+      ("enroll", [ v "ana"; v "cs101" ]);
+      ("transfer", [ v "ana"; v "cs101"; v "cs102" ]);
+      ("cancel", [ v "cs101" ]);
+      ("cancel", [ v "cs102" ]);
+    ]
+  in
+  let run env schema =
+    List.fold_left
+      (fun db (name, args) -> Semantics.call_det_exn env name args db)
+      (Schema.empty_db schema) calls
+  in
+  let a = run env_synth synthesized_schema in
+  let b = run env_hand t3 in
+  Alcotest.(check bool) "same final database" true (Db.equal a b)
+
+let test_synthesized_schema_text_roundtrip () =
+  (* the printed synthesized schema is parseable and W-grammar valid *)
+  let src = Fmt.str "%a" Schema.pp synthesized_schema in
+  (match Rparser.schema src with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "printed schema does not reparse: %s" e);
+  Alcotest.(check bool) "W-grammar accepts printed schema" true
+    (Fdbs_wgrammar.Rpr_grammar.recognizes src)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "synthesized schema well-formed" `Quick
+        test_synthesized_well_formed;
+      Alcotest.test_case "synthesized schema refines hand equations" `Quick
+        test_synthesized_refines_hand_equations;
+      Alcotest.test_case "synthesized schema refines derived equations" `Quick
+        test_synthesized_refines_derived_equations;
+      Alcotest.test_case "synthesized agrees with hand schema" `Quick
+        test_synthesized_agrees_with_hand_schema;
+      Alcotest.test_case "synthesized schema text roundtrips" `Slow
+        test_synthesized_schema_text_roundtrip;
+    ]
+
+let test_transition_coverage () =
+  match Check12.transition_coverage t1 t2 interp ~domain:small_domain with
+  | Error e -> Alcotest.fail e
+  | Ok (realized, valid) ->
+    (* the paper's remark: strictly fewer transitions are realized than
+       are valid (e.g. no update jumps from empty to offered+enrolled) *)
+    Alcotest.(check bool) "some transitions realized" true (realized > 0);
+    Alcotest.(check bool) "not all valid transitions realized" true (realized < valid)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "transition coverage gap" `Quick test_transition_coverage ]
+
+(* --- the dynamic-logic route to 2->3 refinement (Sec 5.3, deferred) -- *)
+
+let test_dynamic23_passes () =
+  let env = Semantics.env ~domain:small_domain t3 in
+  match Dynamic23.check t2 env mapping with
+  | Error e -> Alcotest.fail e
+  | Ok verdicts ->
+    Alcotest.(check int) "all 15 equations translated" 15 (List.length verdicts);
+    List.iter
+      (fun (vd : Dynamic23.verdict) ->
+        Alcotest.(check bool)
+          (Fmt.str "%a" Dynamic23.pp_verdict vd)
+          true vd.Dynamic23.dyn_holds)
+      verdicts
+
+let test_dynamic23_agrees_with_semantic_route () =
+  (* the syntactic (dynamic logic) and semantic (Check23) routes agree
+     on the broken schema: both blame equation q6 *)
+  let env = Semantics.env ~domain:small_domain broken_t3 in
+  let mapping = Interp23.canonical_exn t2.Spec.signature broken_t3 in
+  (match Dynamic23.check t2 env mapping with
+   | Error e -> Alcotest.fail e
+   | Ok verdicts ->
+     Alcotest.(check bool) "q6 violated via dynamic logic" false
+       (List.find (fun (v : Dynamic23.verdict) -> v.Dynamic23.dyn_equation = "q6")
+          verdicts)
+         .Dynamic23.dyn_holds);
+  let semantic = Check23.check t2 env mapping in
+  Alcotest.(check bool) "semantic route also fails" false (Check23.ok semantic)
+
+let test_dynamic23_formula_shape () =
+  match Dynamic23.of_equation mapping t2.Spec.signature (List.nth t2.Spec.equations 5) with
+  | Error e -> Alcotest.fail e
+  | Ok f ->
+    (* q6's translation quantifies c and contains box and diamond *)
+    let rec count_boxes = function
+      | Dynamic.Box (_, g) -> 1 + count_boxes g
+      | Dynamic.Diamond (_, g) -> count_boxes g
+      | Dynamic.Not g | Dynamic.Forall (_, g) | Dynamic.Exists (_, g) -> count_boxes g
+      | Dynamic.And (g, h) | Dynamic.Or (g, h) | Dynamic.Imp (g, h)
+      | Dynamic.Iff (g, h) -> count_boxes g + count_boxes h
+      | Dynamic.Atom _ -> 0
+    in
+    Alcotest.(check int) "two boxes (positive and negative case)" 2 (count_boxes f)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "dynamic23 validates all equations" `Quick test_dynamic23_passes;
+      Alcotest.test_case "dynamic23 agrees with semantic route" `Quick
+        test_dynamic23_agrees_with_semantic_route;
+      Alcotest.test_case "dynamic23 formula shape" `Quick test_dynamic23_formula_shape;
+    ]

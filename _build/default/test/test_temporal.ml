@@ -1,0 +1,348 @@
+(* Tests for the temporal level: modal formulas, universes, Kripke
+   satisfaction, the paper's Section 3.2 axioms, and the parser. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+open Fdbs_temporal
+
+let sg =
+  Signature.make
+    ~sorts:[ "course"; "student" ]
+    ~funcs:
+      [
+        Signature.const "cs101" "course";
+        Signature.const "ana" "student";
+      ]
+    ~preds:
+      [
+        Signature.db_pred "offered" [ "course" ];
+        Signature.db_pred "takes" [ "student"; "course" ];
+      ]
+
+let domain =
+  Domain.of_list
+    [ ("course", [ Value.Sym "cs101" ]); ("student", [ Value.Sym "ana" ]) ]
+
+let state ~offered ~takes =
+  Structure.of_tables ~domain
+    ~consts:[ ("cs101", Value.Sym "cs101"); ("ana", Value.Sym "ana") ]
+    ~relations:
+      [
+        ("offered", if offered then [ [ Value.Sym "cs101" ] ] else []);
+        ("takes", if takes then [ [ Value.Sym "ana"; Value.Sym "cs101" ] ] else []);
+      ]
+
+(* Three states: empty; offered; offered+enrolled. Edges follow the
+   university updates: 0->1 (offer), 1->0 (cancel), 1->2 (enroll),
+   2->2 (transfer to self / no-ops), plus self loops for no-op updates. *)
+let universe =
+  Universe.make
+    ~states:
+      [ state ~offered:false ~takes:false;
+        state ~offered:true ~takes:false;
+        state ~offered:true ~takes:true ]
+    ~edges:[ (0, 1); (1, 0); (1, 2); (0, 0); (1, 1); (2, 2) ]
+
+(* Section 3.2 axiom (1), static:
+   ~exists s,c (takes(s,c) & ~offered(c)) *)
+let axiom1 =
+  Tparser.formula_exn sg
+    "~(exists s:student, c:course. takes(s, c) & ~offered(c))"
+
+(* Section 3.2 axiom (2), transition:
+   forall s (exists c (~(dia (takes(s,c) & dia ~(exists c2 takes(s,c2)))))) *)
+let axiom2 =
+  Tparser.formula_exn sg
+    "~(exists s:student, c:course. dia (takes(s, c) & dia ~(exists c2:course. takes(s, c2))))"
+
+let test_classify () =
+  Alcotest.(check bool) "axiom1 static" true (Tformula.is_static axiom1);
+  Alcotest.(check bool) "axiom2 transition" false (Tformula.is_static axiom2);
+  Alcotest.(check int) "modal depth 2" 2 (Tformula.modal_depth axiom2)
+
+let test_static_holds () =
+  Alcotest.(check (list int)) "axiom1 everywhere" []
+    (Check.failing_states universe axiom1)
+
+let test_transition_holds () =
+  (* From state 2 (ana takes cs101) the only successor is 2 itself, so
+     the enrollment count never drops to zero. *)
+  Alcotest.(check (list int)) "axiom2 everywhere" []
+    (Check.failing_states universe axiom2)
+
+let test_transition_violated () =
+  (* Adding an edge 2 -> 0 (dropping the enrollment) violates axiom 2
+     at the states from which the bad transition is reachable. *)
+  let bad =
+    Universe.make
+      ~states:
+        [ state ~offered:false ~takes:false;
+          state ~offered:true ~takes:false;
+          state ~offered:true ~takes:true ]
+      ~edges:[ (0, 1); (1, 2); (2, 0) ]
+  in
+  Alcotest.(check bool) "axiom2 fails somewhere" true
+    (Check.failing_states bad axiom2 <> [])
+
+let test_possibility_semantics () =
+  let offered_f = Tparser.formula_exn sg "offered(cs101)" in
+  (* state 0 does not satisfy offered, but can reach a state that does *)
+  Alcotest.(check bool) "dia offered at 0" true
+    (Check.holds_at universe 0 (Tformula.Possibly offered_f));
+  Alcotest.(check bool) "box offered at 0" false
+    (Check.holds_at universe 0 (Tformula.Necessarily offered_f))
+
+let test_box_dual () =
+  (* box P <-> ~dia ~P at every state, for a sample P *)
+  let p = Tparser.formula_exn sg "takes(ana, cs101)" in
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Fmt.str "duality at state %d" i)
+        (Check.holds_at universe i (Tformula.Necessarily p))
+        (Check.holds_at universe i
+           (Tformula.Not (Tformula.Possibly (Tformula.Not p)))))
+    [ 0; 1; 2 ]
+
+let test_consistent_states () =
+  (* a universe containing an inconsistent state *)
+  let inconsistent =
+    Structure.of_tables ~domain
+      ~consts:[ ("cs101", Value.Sym "cs101"); ("ana", Value.Sym "ana") ]
+      ~relations:
+        [ ("offered", []); ("takes", [ [ Value.Sym "ana"; Value.Sym "cs101" ] ]) ]
+  in
+  let u =
+    Universe.make
+      ~states:[ state ~offered:true ~takes:true; inconsistent ]
+      ~edges:[ (0, 1) ]
+  in
+  Alcotest.(check (list int)) "only state 0 consistent" [ 0 ]
+    (Check.consistent_states u [ axiom1 ])
+
+let test_transitive_closure () =
+  let u =
+    Universe.make
+      ~states:
+        [ state ~offered:false ~takes:false;
+          state ~offered:true ~takes:false;
+          state ~offered:true ~takes:true ]
+      ~edges:[ (0, 1); (1, 2) ]
+  in
+  let tc = Universe.transitive_closure u in
+  Alcotest.(check (list int)) "0 reaches 1 and 2" [ 1; 2 ] (Universe.successors tc 0);
+  let r = Universe.reflexive tc in
+  Alcotest.(check (list int)) "reflexive adds self" [ 0; 1; 2 ] (Universe.successors r 0)
+
+let test_generate () =
+  (* generate from the empty state: toggling offered on/off *)
+  let toggle st =
+    match Structure.table st "offered" with
+    | Some [] -> [ state ~offered:true ~takes:false ]
+    | Some _ -> [ state ~offered:false ~takes:false ]
+    | None -> []
+  in
+  let u, truncated =
+    Universe.generate ~limit:10 ~init:[ state ~offered:false ~takes:false ] ~step:toggle
+  in
+  Alcotest.(check int) "two states" 2 (Universe.num_states u);
+  Alcotest.(check bool) "not truncated" false truncated;
+  Alcotest.(check int) "two edges" 2 (List.length (Universe.edges u))
+
+let test_ttheory () =
+  let theory =
+    Ttheory.make_exn ~name:"university-info" ~signature:sg
+      ~axioms:[ Ttheory.axiom "static" axiom1; Ttheory.axiom "transition" axiom2 ]
+  in
+  Alcotest.(check int) "one static axiom" 1 (List.length (Ttheory.static_axioms theory));
+  Alcotest.(check int) "one transition axiom" 1
+    (List.length (Ttheory.transition_axioms theory));
+  let reports = Ttheory.check_in theory universe in
+  Alcotest.(check bool) "all pass" true (Check.all_pass reports)
+
+let test_parser_roundtrip () =
+  let printed = Tformula.to_string axiom2 in
+  let reparsed = Tparser.formula_exn sg printed in
+  (* pp prints dia/box with the same syntax the parser accepts *)
+  Alcotest.(check string) "roundtrip" printed (Tformula.to_string reparsed)
+
+let test_to_of_formula () =
+  (match Tformula.to_formula axiom1 with
+   | Some f ->
+     Alcotest.(check bool) "embeds back" true
+       (Tformula.is_static (Tformula.of_formula f))
+   | None -> Alcotest.fail "static axiom must project");
+  Alcotest.(check bool) "modal does not project" true
+    (Tformula.to_formula axiom2 = None)
+
+let suite =
+  [
+    Alcotest.test_case "classification" `Quick test_classify;
+    Alcotest.test_case "static axiom holds" `Quick test_static_holds;
+    Alcotest.test_case "transition axiom holds" `Quick test_transition_holds;
+    Alcotest.test_case "transition axiom violated" `Quick test_transition_violated;
+    Alcotest.test_case "possibility semantics" `Quick test_possibility_semantics;
+    Alcotest.test_case "box is dual of dia" `Quick test_box_dual;
+    Alcotest.test_case "consistent states" `Quick test_consistent_states;
+    Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+    Alcotest.test_case "universe generation" `Quick test_generate;
+    Alcotest.test_case "information-level theory" `Quick test_ttheory;
+    Alcotest.test_case "parser roundtrip" `Quick test_parser_roundtrip;
+    Alcotest.test_case "projection to FOL" `Quick test_to_of_formula;
+  ]
+
+(* --- the time-sorted alternative (Section 3.1) --------------------- *)
+
+let test_timesort_translation_shape () =
+  let now = { Term.vname = "now"; vsort = Timesort.time_sort } in
+  let f = Timesort.translate sg ~now axiom2 in
+  (* no modalities remain: it is an ordinary first-order wff *)
+  let esg = Timesort.extend_signature sg in
+  (match Formula.check esg f with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "static axiom gains time argument" true
+    (match Timesort.translate sg ~now axiom1 with
+     | Formula.Not (Formula.Exists (_, _)) -> true
+     | _ -> false)
+
+let test_timesort_agrees_with_kripke () =
+  List.iter
+    (fun f ->
+      List.iter
+        (fun i ->
+          Alcotest.(check bool)
+            (Fmt.str "state %d: %s" i (Tformula.to_string f))
+            (Check.holds_at universe i f)
+            (Timesort.holds_at sg universe i f))
+        [ 0; 1; 2 ])
+    [
+      axiom1;
+      axiom2;
+      Tparser.formula_exn sg "dia offered(cs101)";
+      Tparser.formula_exn sg "box takes(ana, cs101)";
+      Tparser.formula_exn sg "dia (box (exists c:course. takes(ana, c)))";
+      Tparser.formula_exn sg "forall c:course. dia offered(c)";
+    ]
+
+(* random temporal formulas for the equivalence property *)
+let random_tformula_gen =
+  let open QCheck.Gen in
+  let atom =
+    oneofl
+      [
+        Tformula.Pred ("offered", [ Term.const "cs101" ]);
+        Tformula.Pred ("takes", [ Term.const "ana"; Term.const "cs101" ]);
+        Tformula.True;
+      ]
+  in
+  let rec gen n =
+    if n <= 0 then atom
+    else
+      frequency
+        [
+          (2, atom);
+          (1, map (fun f -> Tformula.Not f) (gen (n - 1)));
+          (1, map2 (fun f g -> Tformula.And (f, g)) (gen (n / 2)) (gen (n / 2)));
+          (1, map2 (fun f g -> Tformula.Or (f, g)) (gen (n / 2)) (gen (n / 2)));
+          (1, map (fun f -> Tformula.Possibly f) (gen (n - 1)));
+          (1, map (fun f -> Tformula.Necessarily f) (gen (n - 1)));
+          ( 1,
+            map
+              (fun f -> Tformula.Exists ({ Term.vname = "c"; vsort = "course" }, f))
+              (gen (n - 1)) );
+        ]
+  in
+  gen 8
+
+let prop_timesort_equivalent =
+  QCheck.Test.make ~name:"time-sorted translation agrees with Kripke semantics"
+    ~count:200
+    (QCheck.make ~print:Tformula.to_string random_tformula_gen)
+    (fun f ->
+      List.for_all
+        (fun i -> Check.holds_at universe i f = Timesort.holds_at sg universe i f)
+        [ 0; 1; 2 ])
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "timesort translation shape" `Quick test_timesort_translation_shape;
+      Alcotest.test_case "timesort agrees with Kripke" `Quick test_timesort_agrees_with_kripke;
+      QCheck_alcotest.to_alcotest prop_timesort_equivalent;
+    ]
+
+(* --- theory files ---------------------------------------------------- *)
+
+let theory_src =
+  {|
+theory library
+sort book
+sort member
+pred catalogued : book
+pred loaned : book, member
+shared special : book
+const hobbit : book
+axiom static: ~(exists b:book, m:member. loaned(b, m) & ~catalogued(b))
+axiom transition: ~(exists b:book. dia (catalogued(b) & dia false))
+|}
+
+let test_theory_parse () =
+  match Tparser.theory theory_src with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+    Alcotest.(check string) "name" "library" t.Ttheory.name;
+    Alcotest.(check int) "two axioms" 2 (List.length t.Ttheory.axioms);
+    Alcotest.(check int) "one static" 1 (List.length (Ttheory.static_axioms t));
+    (* pred declarations are db, shared ones are not *)
+    Alcotest.(check int) "two db-predicates" 2
+      (List.length (Signature.db_preds t.Ttheory.signature));
+    Alcotest.(check bool) "constant declared" true
+      (Option.is_some (Signature.find_func t.Ttheory.signature "hobbit"))
+
+let test_theory_parse_errors () =
+  (match Tparser.theory "theory t\naxiom a: ghost(x)" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "undeclared predicate accepted");
+  (match Tparser.theory "sort s" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "missing theory header accepted")
+
+(* box/dia duality as a property over random formulas *)
+let prop_box_dia_duality =
+  QCheck.Test.make ~name:"box P <-> ~dia ~P on random formulas" ~count:200
+    (QCheck.make ~print:Tformula.to_string random_tformula_gen)
+    (fun f ->
+      List.for_all
+        (fun i ->
+          Check.holds_at universe i (Tformula.Necessarily f)
+          = Check.holds_at universe i
+              (Tformula.Not (Tformula.Possibly (Tformula.Not f))))
+        [ 0; 1; 2 ])
+
+(* static formulas are insensitive to the accessibility relation *)
+let prop_static_ignores_edges =
+  QCheck.Test.make ~name:"static wffs ignore accessibility" ~count:200
+    (QCheck.make ~print:Tformula.to_string random_tformula_gen)
+    (fun f ->
+      QCheck.assume (Tformula.is_static f);
+      let u2 =
+        Universe.make
+          ~states:
+            [ state ~offered:false ~takes:false;
+              state ~offered:true ~takes:false;
+              state ~offered:true ~takes:true ]
+          ~edges:[ (2, 0); (0, 2) ]
+      in
+      List.for_all
+        (fun i -> Check.holds_at universe i f = Check.holds_at u2 i f)
+        [ 0; 1; 2 ])
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "theory file parsing" `Quick test_theory_parse;
+      Alcotest.test_case "theory file errors" `Quick test_theory_parse_errors;
+      QCheck_alcotest.to_alcotest prop_box_dia_duality;
+      QCheck_alcotest.to_alcotest prop_static_ignores_edges;
+    ]

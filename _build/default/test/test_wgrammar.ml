@@ -1,0 +1,214 @@
+(* Tests for the W-grammar level: metarule derivability, hypernotion
+   matching, consistent substitution, the classic context-sensitive
+   examples, and the RPR schema grammar with its declared-before-use
+   check (paper Section 5.1.1). *)
+
+open Fdbs_wgrammar
+
+let test_base_meta () =
+  Alcotest.(check string) "NAME2 -> NAME" "NAME" (Wg.base_meta "NAME2");
+  Alcotest.(check string) "NAME -> NAME" "NAME" (Wg.base_meta "NAME");
+  Alcotest.(check string) "N12 -> N" "N" (Wg.base_meta "N12")
+
+let test_derives () =
+  let g = Classic.an_bn_cn in
+  Alcotest.(check bool) "N derives i" true (Wg.derives g "N" [ "i" ]);
+  Alcotest.(check bool) "N derives iii" true (Wg.derives g "N" [ "i"; "i"; "i" ]);
+  Alcotest.(check bool) "N rejects empty" false (Wg.derives g "N" []);
+  Alcotest.(check bool) "N rejects a" false (Wg.derives g "N" [ "a" ]);
+  Alcotest.(check bool) "N2 shares N's rules" true (Wg.derives g "N2" [ "i"; "i" ])
+
+let test_match_hypernotion () =
+  let g = Classic.an_bn_cn in
+  let derives = Wg.deriver g in
+  let pattern = [ Wg.Proto "as"; Wg.Meta "N" ] in
+  let substs = Wg.match_hypernotion ~derives pattern [ "as"; "i"; "i" ] in
+  Alcotest.(check int) "single match" 1 (List.length substs);
+  (match substs with
+   | [ s ] -> Alcotest.(check (list string)) "N = ii" [ "i"; "i" ] (List.assoc "N" s)
+   | _ -> ());
+  Alcotest.(check int) "no match against bs" 0
+    (List.length (Wg.match_hypernotion ~derives pattern [ "bs"; "i" ]))
+
+let test_consistency () =
+  (* within one rule the same metanotion must take one value: matching
+     [N ... N] against unequal segments fails *)
+  let g = Classic.an_bn_cn in
+  let derives = Wg.deriver g in
+  let pattern = [ Wg.Meta "N"; Wg.Proto "/"; Wg.Meta "N" ] in
+  Alcotest.(check int) "equal halves" 1
+    (List.length (Wg.match_hypernotion ~derives pattern [ "i"; "/"; "i" ]));
+  Alcotest.(check int) "unequal halves rejected" 0
+    (List.length (Wg.match_hypernotion ~derives pattern [ "i"; "/"; "i"; "i" ]))
+
+let recognize_abc input =
+  let config =
+    {
+      Recognize.default_config with
+      Recognize.candidates = Classic.an_bn_cn_candidates (List.length input);
+    }
+  in
+  Recognize.recognize ~config Classic.an_bn_cn input
+
+let test_an_bn_cn () =
+  Alcotest.(check bool) "abc" true (recognize_abc [ "a"; "b"; "c" ]);
+  Alcotest.(check bool) "aabbcc" true (recognize_abc [ "a"; "a"; "b"; "b"; "c"; "c" ]);
+  Alcotest.(check bool) "aaabbbccc" true
+    (recognize_abc [ "a"; "a"; "a"; "b"; "b"; "b"; "c"; "c"; "c" ]);
+  Alcotest.(check bool) "empty rejected" false (recognize_abc []);
+  Alcotest.(check bool) "aabbc rejected" false (recognize_abc [ "a"; "a"; "b"; "b"; "c" ]);
+  Alcotest.(check bool) "abcc rejected" false (recognize_abc [ "a"; "b"; "c"; "c" ]);
+  Alcotest.(check bool) "acb rejected" false (recognize_abc [ "a"; "c"; "b" ])
+
+let recognize_ww input =
+  let config =
+    {
+      Recognize.default_config with
+      Recognize.candidates = Classic.ww_candidates (List.length input);
+    }
+  in
+  Recognize.recognize ~config Classic.ww input
+
+let test_ww () =
+  Alcotest.(check bool) "xx" true (recognize_ww [ "x"; "x" ]);
+  Alcotest.(check bool) "xyxy" true (recognize_ww [ "x"; "y"; "x"; "y" ]);
+  Alcotest.(check bool) "xyyx rejected" false (recognize_ww [ "x"; "y"; "y"; "x" ]);
+  Alcotest.(check bool) "odd length rejected" false (recognize_ww [ "x"; "y"; "x" ])
+
+let test_grammar_check () =
+  Alcotest.(check (list string)) "abc grammar clean" [] (Wg.check Classic.an_bn_cn);
+  let bad =
+    {
+      Wg.metarules = [];
+      rules = [ { Wg.lhs = [ Wg.Meta "GHOST" ]; alts = [ [] ] } ];
+      start = [ Wg.Meta "GHOST" ];
+    }
+  in
+  Alcotest.(check bool) "ghost metanotion flagged" true (Wg.check bad <> [])
+
+(* --- the RPR schema grammar ----------------------------------------- *)
+
+let university_src =
+  {|
+schema university
+relation OFFERED(course)
+relation TAKES(student, course)
+proc initiate() =
+  (OFFERED := {(c:course) | false} ; TAKES := {(s:student, c:course) | false})
+proc offer(c: course) = insert OFFERED(c)
+proc cancel(c: course) =
+  if (~(exists s:student. TAKES(s, c))) then delete OFFERED(c)
+proc enroll(s: student, c: course) =
+  if (OFFERED(c)) then insert TAKES(s, c)
+proc transfer(s: student, c: course, c2: course) =
+  if (TAKES(s, c) & ~TAKES(s, c2) & OFFERED(c2))
+  then (delete TAKES(s, c) ; insert TAKES(s, c2))
+end-schema
+|}
+
+let test_rpr_accepts_university () =
+  Alcotest.(check bool) "university schema recognized" true
+    (Rpr_grammar.recognizes university_src)
+
+let test_rpr_rejects_undeclared () =
+  let bad =
+    {|
+schema bad
+relation OFFERED(course)
+proc offer(c: course) = insert TAKES(c)
+end-schema
+|}
+  in
+  Alcotest.(check bool) "undeclared use rejected" false (Rpr_grammar.recognizes bad)
+
+let test_rpr_rejects_malformed () =
+  let bad = {|
+schema bad
+relation R(course)
+proc p(c: course) = insert R(c
+end-schema
+|} in
+  Alcotest.(check bool) "unbalanced parens rejected" false (Rpr_grammar.recognizes bad);
+  Alcotest.(check bool) "empty text rejected" false (Rpr_grammar.recognizes "")
+
+let test_rpr_small_schema () =
+  let ok = {|
+schema tiny
+relation R(thing)
+proc init() = R := {(x:thing) | false}
+proc add(x: thing) = insert R(x)
+end
+|} in
+  Alcotest.(check bool) "tiny schema recognized" true (Rpr_grammar.recognizes ok)
+
+let test_declared_relations_prescan () =
+  let tokens = Rpr_grammar.tokens_of_source university_src in
+  Alcotest.(check (list string)) "prescan finds SCL" [ "OFFERED"; "TAKES" ]
+    (Rpr_grammar.declared_relations tokens)
+
+let suite =
+  [
+    Alcotest.test_case "base metanotion names" `Quick test_base_meta;
+    Alcotest.test_case "metarule derivability" `Quick test_derives;
+    Alcotest.test_case "hypernotion matching" `Quick test_match_hypernotion;
+    Alcotest.test_case "consistent substitution" `Quick test_consistency;
+    Alcotest.test_case "a^n b^n c^n" `Quick test_an_bn_cn;
+    Alcotest.test_case "ww reduplication" `Quick test_ww;
+    Alcotest.test_case "grammar validation" `Quick test_grammar_check;
+    Alcotest.test_case "RPR grammar accepts university" `Slow test_rpr_accepts_university;
+    Alcotest.test_case "RPR grammar rejects undeclared" `Quick test_rpr_rejects_undeclared;
+    Alcotest.test_case "RPR grammar rejects malformed" `Quick test_rpr_rejects_malformed;
+    Alcotest.test_case "RPR grammar small schema" `Quick test_rpr_small_schema;
+    Alcotest.test_case "declared-relations prescan" `Quick test_declared_relations_prescan;
+  ]
+
+(* --- property test: W-grammar recognition vs an oracle --------------- *)
+
+(* random words over {a,b,c} up to length 9; the a^n b^n c^n grammar
+   must agree with the obvious oracle *)
+let random_abc_word =
+  QCheck.Gen.(list_size (int_range 0 9) (oneofl [ "a"; "b"; "c" ]))
+
+let abc_oracle (w : string list) : bool =
+  let n = List.length w in
+  n > 0 && n mod 3 = 0
+  &&
+  let k = n / 3 in
+  List.for_all2 ( = ) w
+    (List.init n (fun i -> if i < k then "a" else if i < 2 * k then "b" else "c"))
+
+let prop_abc_matches_oracle =
+  QCheck.Test.make ~name:"a^n b^n c^n recognition matches oracle" ~count:300
+    (QCheck.make ~print:(String.concat " ") random_abc_word)
+    (fun w -> recognize_abc w = abc_oracle w)
+
+(* describe-block parsing produces checkable descriptions *)
+let test_describe_parsing () =
+  let src =
+    {|
+spec tiny
+sort thing
+query present : thing -> bool
+update initiate
+update put : thing
+describe initiate()
+  effect: present(x) := false
+describe put(x: thing)
+  pre: present(x, U) = false
+  effect: present(x) := true
+|}
+  in
+  match Fdbs_algebra.Aparser.spec_with_descriptions src with
+  | Error e -> Alcotest.fail e
+  | Ok (spec, descs) ->
+    Alcotest.(check int) "two descriptions" 2 (List.length descs);
+    (match Fdbs_algebra.Derive.equations spec.Fdbs_algebra.Spec.signature descs with
+     | Error e -> Alcotest.fail e
+     | Ok eqs -> Alcotest.(check bool) "equations derived" true (List.length eqs >= 4))
+
+let suite =
+  suite
+  @ [
+      QCheck_alcotest.to_alcotest prop_abc_matches_oracle;
+      Alcotest.test_case "describe-block parsing" `Quick test_describe_parsing;
+    ]
