@@ -491,8 +491,55 @@ let e16 () =
     (Test.make_grouped ~name:"e16-dynamic23"
        (List.concat_map (fun (n, d) -> point n d) [ ("1x1", dom_1x1); ("2x1", dom_2x1) ]))
 
+(* ------------------------------------------------------------------ *)
+(* E17: transactional overhead over direct execution                   *)
+(* ------------------------------------------------------------------ *)
+
+let e17 () =
+  let schema = University.representation in
+  let calls =
+    [
+      ("initiate", []);
+      ("offer", [ v "cs101" ]);
+      ("offer", [ v "cs102" ]);
+      ("enroll", [ v "ana"; v "cs101" ]);
+      ("enroll", [ v "bob"; v "cs102" ]);
+      ("transfer", [ v "bob"; v "cs102"; v "cs101" ]);
+      ("cancel", [ v "cs102" ]);
+    ]
+  in
+  let point name dom =
+    let env = Semantics.env ~domain:dom schema in
+    let db0 = Fdbs_rpr.Schema.empty_db schema in
+    let direct () =
+      List.fold_left
+        (fun db (n, args) -> Semantics.call_det_exn env n args db)
+        db0 calls
+    in
+    let txn = Txn.make env in
+    let budgeted = Txn.make env in
+    [
+      Test.make
+        ~name:(Fmt.str "direct call_det           %s" name)
+        (Staged.stage direct);
+      Test.make
+        ~name:(Fmt.str "transactional             %s" name)
+        (Staged.stage (fun () -> Txn.run txn calls db0));
+      Test.make
+        ~name:(Fmt.str "transactional + budget    %s" name)
+        (Staged.stage (fun () ->
+             Txn.run ~budget:(Budget.make ~steps:10_000 ~ms:10_000 ()) budgeted
+               calls db0));
+    ]
+  in
+  report ~id:"E17"
+    ~title:"transactional execution: snapshot/commit/constraint overhead over direct calls"
+    ~notes:"Db.t is immutable, so the snapshot is free; the cost is the budget accounting and commit-time constraint sweep"
+    (Test.make_grouped ~name:"e17-txn"
+       (List.concat_map (fun (n, d) -> point n d) [ ("2x2", dom_2x2) ]))
+
 let () =
-  Fmt.pr "fdbs benchmark harness — experiments E1..E16 (see DESIGN.md / EXPERIMENTS.md)@.";
+  Fmt.pr "fdbs benchmark harness — experiments E1..E17 (see DESIGN.md / EXPERIMENTS.md)@.";
   Fmt.pr "paper: Casanova, Veloso & Furtado, PODS 1984 (no quantitative tables;@.";
   Fmt.pr "the experiments measure the framework's checkers and evaluators).@.";
   e1 ();
@@ -511,4 +558,5 @@ let () =
   e14 ();
   e15 ();
   e16 ();
+  e17 ();
   Fmt.pr "@.done.@."

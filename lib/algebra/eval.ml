@@ -130,6 +130,7 @@ let query ?(fuel = default_fuel) ?domain ?(on_step = fun _ _ _ -> ())
       raise (Error (Ill_formed (Fmt.str "state term %s in value position" u)))
     | Aterm.App (f, args) -> interp_param spec f (List.map eval args)
   and eval_query q args =
+    Fault.hit "algebra.eval";
     if !fuel <= 0 then raise (Error Fuel_exhausted);
     decr fuel;
     match Asig.find_query sg q with

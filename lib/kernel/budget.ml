@@ -1,0 +1,80 @@
+(** Unified resource budgets for execution (steps, distinct states,
+    wall-clock time).
+
+    A budget is a mutable account threaded through an execution: every
+    statement spends a step, every fixpoint exploration is capped by the
+    distinct-state allowance, and each spend also checks the wall-clock
+    deadline. Exhaustion raises {!Exhausted}, which the transaction
+    layer turns into a structured {!Error.t} and a rollback. *)
+
+type resource = Steps | States | Time
+
+let resource_name = function
+  | Steps -> "steps"
+  | States -> "states"
+  | Time -> "time"
+
+let pp_resource ppf r = Fmt.string ppf (resource_name r)
+
+exception Exhausted of resource
+
+type t = {
+  mutable steps_left : int option;  (** [None] is unlimited *)
+  mutable states_left : int option;  (** cap on distinct states per fixpoint *)
+  mutable deadline : float option;  (** absolute time, in [clock]'s scale *)
+  clock : unit -> float;
+}
+
+let unlimited () =
+  { steps_left = None; states_left = None; deadline = None; clock = Unix.gettimeofday }
+
+(** [make ?steps ?states ?ms ()] builds a budget with the given step
+    fuel, distinct-state cap, and wall-clock allowance in milliseconds
+    (measured from now). Omitted resources are unlimited. *)
+let make ?steps ?states ?ms ?(clock = Unix.gettimeofday) () =
+  {
+    steps_left = steps;
+    states_left = states;
+    deadline = Option.map (fun ms -> clock () +. (float_of_int ms /. 1000.)) ms;
+    clock;
+  }
+
+let is_unlimited (b : t) =
+  b.steps_left = None && b.states_left = None && b.deadline = None
+
+let check_time (b : t) =
+  match b.deadline with
+  | Some d when b.clock () > d -> raise (Exhausted Time)
+  | Some _ | None -> ()
+
+(** Spend one step of fuel; also checks the deadline. *)
+let spend_step (b : t) =
+  (match b.steps_left with
+   | Some n when n <= 0 -> raise (Exhausted Steps)
+   | Some n -> b.steps_left <- Some (n - 1)
+   | None -> ());
+  check_time b
+
+(** The distinct-state cap, if any. *)
+let states (b : t) = b.states_left
+
+(** Tighten [limit] by the budget's distinct-state cap. *)
+let cap_states (b : t) (limit : int) =
+  match b.states_left with Some n -> min n limit | None -> limit
+
+(** Force a resource to exhaustion — the hook {!Fault} uses to inject
+    budget-exhaustion failures. *)
+let exhaust (b : t) (r : resource) =
+  match r with
+  | Steps -> b.steps_left <- Some 0
+  | States -> b.states_left <- Some 0
+  | Time -> b.deadline <- Some (b.clock () -. 1.)
+
+let pp ppf (b : t) =
+  let pp_opt name ppf = function
+    | Some n -> Fmt.pf ppf "%s=%d" name n
+    | None -> Fmt.pf ppf "%s=inf" name
+  in
+  Fmt.pf ppf "@[%a %a %s@]" (pp_opt "steps") b.steps_left (pp_opt "states")
+    b.states_left
+    (match b.deadline with Some _ -> "deadline=set" | None -> "deadline=inf")

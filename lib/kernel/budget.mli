@@ -1,0 +1,47 @@
+(** Unified resource budgets for execution: step fuel, a cap on
+    distinct states explored by fixpoints, and a wall-clock deadline.
+    Exhaustion raises {!Exhausted}; the transaction layer maps it to a
+    structured {!Error.t} and rolls back. *)
+
+type resource = Steps | States | Time
+
+val resource_name : resource -> string
+val pp_resource : resource Fmt.t
+
+exception Exhausted of resource
+
+type t = {
+  mutable steps_left : int option;  (** [None] is unlimited *)
+  mutable states_left : int option;  (** cap on distinct states per fixpoint *)
+  mutable deadline : float option;  (** absolute time, in [clock]'s scale *)
+  clock : unit -> float;
+}
+
+(** A budget with every resource unlimited. *)
+val unlimited : unit -> t
+
+(** [make ?steps ?states ?ms ()] budgets step fuel, a distinct-state
+    cap, and a wall-clock allowance of [ms] milliseconds from now.
+    Omitted resources are unlimited; [clock] defaults to
+    [Unix.gettimeofday]. *)
+val make :
+  ?steps:int -> ?states:int -> ?ms:int -> ?clock:(unit -> float) -> unit -> t
+
+val is_unlimited : t -> bool
+
+(** Raise {!Exhausted} [Time] if the deadline has passed. *)
+val check_time : t -> unit
+
+(** Spend one step of fuel; also checks the deadline. *)
+val spend_step : t -> unit
+
+(** The distinct-state cap, if any. *)
+val states : t -> int option
+
+(** Tighten a fixpoint limit by the budget's distinct-state cap. *)
+val cap_states : t -> int -> int
+
+(** Force a resource to exhaustion (used by {!Fault} injection). *)
+val exhaust : t -> resource -> unit
+
+val pp : t Fmt.t

@@ -1,0 +1,57 @@
+(** Structured execution errors: an error code, the phase that raised
+    it, and a context of key/value pairs — replacing the scattered
+    string exceptions on the transactional execution path, so callers
+    can dispatch on the failure rather than parse a message. *)
+
+type phase = Parse | Exec | Commit | Rollback | Replay | Io
+
+let phase_name = function
+  | Parse -> "parse"
+  | Exec -> "exec"
+  | Commit -> "commit"
+  | Rollback -> "rollback"
+  | Replay -> "replay"
+  | Io -> "io"
+
+type code =
+  | Budget_exhausted of Budget.resource
+  | Constraint_violation of string  (** the violated constraint's name *)
+  | Blocked  (** no outcome: a test admitted no continuation *)
+  | Nondeterministic of int  (** distinct outcome count *)
+  | Fault_injected of string  (** the fault site that fired *)
+  | Unknown_procedure of string
+  | Exec_failure  (** an execution-level failure (detail in [message]) *)
+  | Io_failure
+  | Replay_mismatch
+
+let code_name = function
+  | Budget_exhausted r -> "budget-" ^ Budget.resource_name r
+  | Constraint_violation _ -> "constraint-violation"
+  | Blocked -> "blocked"
+  | Nondeterministic _ -> "nondeterministic"
+  | Fault_injected _ -> "fault-injected"
+  | Unknown_procedure _ -> "unknown-procedure"
+  | Exec_failure -> "exec-failure"
+  | Io_failure -> "io-failure"
+  | Replay_mismatch -> "replay-mismatch"
+
+type t = {
+  code : code;
+  phase : phase;
+  context : (string * string) list;  (** e.g. which call, which constraint *)
+  message : string;
+}
+
+let make ?(context = []) phase code message = { code; phase; context; message }
+
+let makef ?context phase code fmt =
+  Fmt.kstr (fun s -> make ?context phase code s) fmt
+
+let pp ppf (e : t) =
+  Fmt.pf ppf "[%s/%s] %s" (phase_name e.phase) (code_name e.code) e.message;
+  if e.context <> [] then
+    Fmt.pf ppf " (%a)"
+      Fmt.(list ~sep:(any ", ") (fun ppf (k, v) -> Fmt.pf ppf "%s=%s" k v))
+      e.context
+
+let to_string (e : t) = Fmt.str "%a" pp e

@@ -1,0 +1,38 @@
+(** Structured execution errors: code + phase + context, replacing
+    string exceptions on the transactional execution path. *)
+
+type phase = Parse | Exec | Commit | Rollback | Replay | Io
+
+val phase_name : phase -> string
+
+type code =
+  | Budget_exhausted of Budget.resource
+  | Constraint_violation of string  (** the violated constraint's name *)
+  | Blocked  (** no outcome: a test admitted no continuation *)
+  | Nondeterministic of int  (** distinct outcome count *)
+  | Fault_injected of string  (** the fault site that fired *)
+  | Unknown_procedure of string
+  | Exec_failure  (** an execution-level failure (detail in [message]) *)
+  | Io_failure
+  | Replay_mismatch
+
+val code_name : code -> string
+
+type t = {
+  code : code;
+  phase : phase;
+  context : (string * string) list;  (** e.g. which call, which constraint *)
+  message : string;
+}
+
+val make : ?context:(string * string) list -> phase -> code -> string -> t
+
+val makef :
+  ?context:(string * string) list ->
+  phase ->
+  code ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,126 @@
+(** Fault injection for exercising rollback and recovery paths.
+
+    Execution code calls {!hit} at named sites ([semantics.exec],
+    [relalg.eval], [algebra.eval], [txn.commit], ...); an armed fault
+    fires there — aborting, exhausting a budget, or flipping the next
+    constraint verdict — so tests can drive every failure path of the
+    transaction layer deterministically. Injection is site-keyed (fire
+    at the Nth hit of one site) or probabilistic (a seeded PRNG fires at
+    any site with probability [p]); nothing fires unless armed. *)
+
+type action =
+  | Abort  (** raise {!Injected} at the site *)
+  | Exhaust of Budget.resource  (** drain the armed budget *)
+  | Flip  (** negate the next constraint verdict at the site *)
+
+exception Injected of string  (** the site that fired *)
+
+type arming = {
+  a_site : string;
+  a_action : action;
+  mutable a_countdown : int;  (** fire when it reaches 0 *)
+}
+
+(* Deterministic LCG for probabilistic mode (Numerical Recipes
+   constants); independent of [Random] so seeds are reproducible. *)
+type prob = { p : float; mutable prng : int }
+
+let state : arming list ref = ref []
+let prob_state : (prob * action) option ref = ref None
+let hit_counts : (string, int) Hashtbl.t = Hashtbl.create 16
+
+(* The budget a fired [Exhaust] drains; armed by the transaction layer. *)
+let target_budget : Budget.t option ref = ref None
+
+let arm ?(after = 0) ~site action =
+  state :=
+    { a_site = site; a_action = action; a_countdown = after }
+    :: List.filter (fun a -> a.a_site <> site) !state
+
+let arm_probability ~p ~seed action = prob_state := Some ({ p; prng = seed }, action)
+
+let disarm_all () =
+  state := [];
+  prob_state := None;
+  target_budget := None;
+  Hashtbl.reset hit_counts
+
+let armed () = !state <> [] || !prob_state <> None
+
+let set_budget b = target_budget := Some b
+
+let hits site = Option.value ~default:0 (Hashtbl.find_opt hit_counts site)
+
+let next_prob (pr : prob) =
+  pr.prng <- (pr.prng * 1664525) + 1013904223;
+  float_of_int (pr.prng land 0xFFFFFF) /. float_of_int 0x1000000
+
+let fire site = function
+  | Abort -> raise (Injected site)
+  | Exhaust r ->
+    (match !target_budget with
+     | Some b -> Budget.exhaust b r
+     | None -> raise (Injected site))
+  | Flip -> ()  (* only meaningful through {!flip} *)
+
+(** Record a hit at [site]; fire any armed fault that matches. *)
+let hit (site : string) : unit =
+  if armed () then begin
+    Hashtbl.replace hit_counts site (hits site + 1);
+    (match List.find_opt (fun a -> a.a_site = site) !state with
+     | Some a when a.a_action <> Flip ->
+       if a.a_countdown <= 0 then begin
+         state := List.filter (fun a' -> a'.a_site <> site) !state;
+         fire site a.a_action
+       end
+       else a.a_countdown <- a.a_countdown - 1
+     | Some _ | None -> ());
+    match !prob_state with
+    | Some (pr, action) when action <> Flip && next_prob pr < pr.p -> fire site action
+    | Some _ | None -> ()
+  end
+
+(** Pass a constraint verdict through the injector: an armed [Flip] at
+    [site] negates it (once). *)
+let flip (site : string) (verdict : bool) : bool =
+  match List.find_opt (fun a -> a.a_site = site && a.a_action = Flip) !state with
+  | Some a ->
+    Hashtbl.replace hit_counts site (hits site + 1);
+    if a.a_countdown <= 0 then begin
+      state := List.filter (fun a' -> a' != a) !state;
+      not verdict
+    end
+    else begin
+      a.a_countdown <- a.a_countdown - 1;
+      verdict
+    end
+  | None -> verdict
+
+let action_of_name = function
+  | "abort" -> Ok Abort
+  | "exhaust-steps" -> Ok (Exhaust Budget.Steps)
+  | "exhaust-states" -> Ok (Exhaust Budget.States)
+  | "exhaust-time" -> Ok (Exhaust Budget.Time)
+  | "flip" -> Ok Flip
+  | a -> Result.Error (Fmt.str "unknown fault action %S" a)
+
+(** Parse a CLI fault spec: [SITE[:AFTER][:ACTION]] with ACTION one of
+    [abort] (default), [exhaust-steps], [exhaust-states], [exhaust-time],
+    [flip] — e.g. ["semantics.exec:3:abort"]. *)
+let parse_spec (spec : string) : (string * int * action, string) result =
+  match String.split_on_char ':' spec with
+  | [] | [ "" ] -> Result.Error "empty fault spec"
+  | [ site ] -> Ok (site, 0, Abort)
+  | [ site; x ] -> (
+      match int_of_string_opt x with
+      | Some k -> Ok (site, k, Abort)
+      | None -> Result.map (fun a -> (site, 0, a)) (action_of_name x))
+  | [ site; n; a ] -> (
+      match int_of_string_opt n with
+      | None -> Result.Error (Fmt.str "bad fault count %S" n)
+      | Some k -> Result.map (fun act -> (site, k, act)) (action_of_name a))
+  | _ -> Result.Error (Fmt.str "bad fault spec %S" spec)
+
+(** Arm from a CLI spec string. *)
+let arm_spec (spec : string) : (unit, string) result =
+  Result.map (fun (site, after, action) -> arm ~after ~site action) (parse_spec spec)

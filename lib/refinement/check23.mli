@@ -42,4 +42,5 @@ val reachable_dbs :
 (** Run the full second-to-third level refinement check: every equation
     of T2, over every reachable database and all parameter values from
     the environment's domain. *)
-val check : ?limit:int -> Spec.t -> Semantics.env -> Interp23.t -> report
+val check :
+  ?limit:int -> ?budget:Fdbs_kernel.Budget.t -> Spec.t -> Semantics.env -> Interp23.t -> report

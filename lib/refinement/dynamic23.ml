@@ -153,8 +153,11 @@ type verdict = {
 (** Check every Q-equation's dynamic-logic translation at every
     reachable database: the syntactic counterpart of
     {!Check23.check}. *)
-let check ?(limit = 2_000) (spec : Spec.t) (env : Semantics.env) (k : Interp23.t) :
-  (verdict list, string) result =
+let check ?(limit = 2_000) ?budget (spec : Spec.t) (env : Semantics.env)
+    (k : Interp23.t) : (verdict list, string) result =
+  let env =
+    match budget with Some b -> Semantics.with_budget b env | None -> env
+  in
   let sg2 = spec.Spec.signature in
   match Check23.reachable_dbs env k sg2 ~limit with
   | exception Invalid_argument e -> Error e

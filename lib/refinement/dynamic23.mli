@@ -30,7 +30,12 @@ type verdict = {
 (** Check every Q-equation's translation at every reachable database:
     the syntactic counterpart of {!Check23.check}. *)
 val check :
-  ?limit:int -> Spec.t -> Semantics.env -> Interp23.t -> (verdict list, string) result
+  ?limit:int ->
+  ?budget:Fdbs_kernel.Budget.t ->
+  Spec.t ->
+  Semantics.env ->
+  Interp23.t ->
+  (verdict list, string) result
 
 val all_hold : verdict list -> bool
 val pp_verdict : verdict Fmt.t

@@ -195,7 +195,7 @@ let schema ~(name : string) (sg2 : Asig.t) (descriptions : Sdesc.t list) :
   let* procs =
     Util.result_all (List.map (procedure sg2 relations rel_of) descriptions)
   in
-  let sc = { Schema.name; relations; consts = []; procs } in
+  let sc = { Schema.name; relations; consts = []; constraints = []; procs } in
   match Schema.check sc with
   | [] -> Ok sc
   | errs -> Error (String.concat "; " errs)

@@ -1,0 +1,101 @@
+(** A write-ahead journal of committed transactions.
+
+    One entry per committed transaction, recording the procedure calls
+    it performed. The on-disk format is line-oriented and append-only:
+
+    {v
+    call offer cs101
+    call enroll ana cs101
+    commit
+    v}
+
+    — each committed transaction writes its calls followed by a
+    [commit] marker and a flush, so a crash mid-entry leaves a trailing
+    uncommitted fragment that {!load} ignores. Replaying a journal
+    against the initial state reproduces the committed state exactly
+    ({!Txn.replay}). *)
+
+open Fdbs_kernel
+
+type call = string * Value.t list
+
+type entry = { calls : call list }
+
+(* Values are serialized with the same heuristic the CLI uses to parse
+   call arguments: integers and the Booleans print literally, anything
+   else is a symbol. Round-trips for every value the CLI can introduce. *)
+let string_of_value (v : Value.t) = Value.to_string v
+
+let value_of_string (s : string) : Value.t =
+  match int_of_string_opt s with
+  | Some n -> Value.Int n
+  | None -> (
+      match s with
+      | "true" -> Value.Bool true
+      | "false" -> Value.Bool false
+      | _ -> Value.Sym s)
+
+let pp_call ppf ((name, args) : call) =
+  Fmt.pf ppf "%s(%a)" name Fmt.(list ~sep:(any ", ") Value.pp) args
+
+let pp_entry ppf (e : entry) =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut pp_call) e.calls
+
+let io_error path msg =
+  Error.makef Error.Io Error.Io_failure "journal %s: %s" path msg
+
+(** Append one committed entry to the journal at [path], creating the
+    file if needed; the entry is flushed before returning. *)
+let append (path : string) (e : entry) : (unit, Error.t) result =
+  match
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        List.iter
+          (fun (name, args) ->
+            output_string oc
+              (String.concat " " ("call" :: name :: List.map string_of_value args));
+            output_char oc '\n')
+          e.calls;
+        output_string oc "commit\n";
+        flush oc)
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Result.Error (io_error path msg)
+
+(** Load every {e committed} entry of the journal at [path]; calls after
+    the last [commit] marker (a transaction interrupted mid-write) are
+    dropped. *)
+let load (path : string) : (entry list, Error.t) result =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec lines acc =
+          match input_line ic with
+          | line -> lines (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        lines [])
+  with
+  | exception Sys_error msg -> Result.Error (io_error path msg)
+  | lines ->
+    let entries = ref [] in
+    let pending = ref [] in
+    let bad = ref None in
+    List.iter
+      (fun line ->
+        match String.split_on_char ' ' (String.trim line) with
+        | [ "" ] -> ()
+        | [ "commit" ] ->
+          entries := { calls = List.rev !pending } :: !entries;
+          pending := []
+        | "call" :: name :: args ->
+          pending := (name, List.map value_of_string args) :: !pending
+        | _ -> if !bad = None then bad := Some line)
+      lines;
+    (match !bad with
+     | Some line -> Result.Error (io_error path (Fmt.str "malformed line %S" line))
+     | None -> Ok (List.rev !entries))

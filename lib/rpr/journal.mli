@@ -1,0 +1,20 @@
+(** A write-ahead journal of committed transactions: line-oriented,
+    append-only, one entry (the calls plus a [commit] marker) per
+    committed transaction. Calls after the last [commit] marker — a
+    transaction interrupted mid-write — are ignored by {!load}. *)
+
+open Fdbs_kernel
+
+type call = string * Value.t list
+
+type entry = { calls : call list }
+
+val pp_call : call Fmt.t
+val pp_entry : entry Fmt.t
+
+(** Append one committed entry, creating the file if needed; flushed
+    before returning. *)
+val append : string -> entry -> (unit, Error.t) result
+
+(** Load every committed entry. *)
+val load : string -> (entry list, Error.t) result

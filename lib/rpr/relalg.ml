@@ -279,6 +279,7 @@ let compile (rt : Stmt.rterm) : expr option =
     falling back to naive enumeration. *)
 let eval_rterm ?(strategy = `Auto) ~domain ?consts (db : Db.t) (rt : Stmt.rterm) :
   Relation.t =
+  Fault.hit "relalg.eval";
   let naive () = Relcalc.eval_rterm_naive ~domain ?consts db rt in
   match strategy with
   | `Naive -> naive ()

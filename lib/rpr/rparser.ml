@@ -134,6 +134,7 @@ let schema (src : string) : (Schema.t, string) result =
     let name = Parse.ident st in
     let rels = ref [] in
     let consts = ref [] in
+    let constraints = ref [] in
     let procs = ref [] in
     let rec decls () =
       if Parse.accept_kw st "relation" then begin
@@ -144,6 +145,24 @@ let schema (src : string) : (Schema.t, string) result =
         let n = Parse.ident st in
         Parse.expect_sym st ":";
         consts := (n, parse_sort st) :: !consts;
+        decls ()
+      end
+      else if Parse.accept_kw st "constraint" then begin
+        let n = Parse.ident st in
+        Parse.expect_sym st ":";
+        (* constraints are closed wffs over the relations and constants
+           declared so far; no procedure parameters in scope *)
+        let partial : Schema.t =
+          {
+            Schema.name;
+            relations = List.rev !rels;
+            consts = List.rev !consts;
+            constraints = [];
+            procs = [];
+          }
+        in
+        let sg = Schema.signature partial in
+        constraints := (n, parse_wff sg st) :: !constraints;
         decls ()
       end
       else if Parse.accept_kw st "proc" then begin
@@ -159,6 +178,7 @@ let schema (src : string) : (Schema.t, string) result =
             Schema.name;
             relations = List.rev !rels;
             consts = List.rev !consts;
+            constraints = [];
             procs = [];
           }
         in
@@ -177,6 +197,7 @@ let schema (src : string) : (Schema.t, string) result =
       Schema.name;
       relations = List.rev !rels;
       consts = List.rev !consts;
+      constraints = List.rev !constraints;
       procs = List.rev !procs;
     }
   in

@@ -20,6 +20,9 @@ type t = {
   name : string;
   relations : rel_decl list;
   consts : (string * Sort.t) list;  (** declared individual constants *)
+  constraints : (string * Formula.t) list;
+      (** named static integrity constraints: closed wffs every
+          committed state must satisfy *)
   procs : proc list;
 }
 
@@ -28,6 +31,7 @@ let proc name params body = { pname = name; pparams = params; body }
 
 let find_relation (sc : t) name = List.find_opt (fun r -> r.rname = name) sc.relations
 let find_proc (sc : t) name = List.find_opt (fun p -> p.pname = name) sc.procs
+let find_constraint (sc : t) name = List.assoc_opt name sc.constraints
 
 let sorts_of (sc : t) name =
   match find_relation sc name with
@@ -134,11 +138,22 @@ let check (sc : t) : string list =
       in
       go p.body)
     sc.procs;
+  let sg = signature sc in
+  List.iter
+    (fun (cname, f) ->
+      let where = Fmt.str "constraint %s" cname in
+      match Formula.free_vars f with
+      | [] -> check_formula sg where f
+      | v :: _ -> err "%s is not closed (free variable %s)" where v.Term.vname)
+    sc.constraints;
   (match Signature.find_dup (List.map (fun (p : proc) -> p.pname) sc.procs) with
    | Some d -> err "duplicate procedure %s" d
    | None -> ());
   (match Signature.find_dup declared with
    | Some d -> err "duplicate relation %s" d
+   | None -> ());
+  (match Signature.find_dup (List.map fst sc.constraints) with
+   | Some d -> err "duplicate constraint %s" d
    | None -> ());
   List.rev !errors
 
@@ -153,6 +168,8 @@ let pp ppf (sc : t) =
       Fmt.(list ~sep:(any ", ") (fun ppf (n, s) -> Fmt.pf ppf "%s:%a" n Sort.pp s))
       p.pparams Stmt.pp p.body
   in
-  Fmt.pf ppf "@[<v>schema %s@,%a@,%a@,end-schema@]" sc.name
+  let pp_constraint ppf (n, f) = Fmt.pf ppf "constraint %s: %a@," n Formula.pp f in
+  Fmt.pf ppf "@[<v>schema %s@,%a@,%a%a@,end-schema@]" sc.name
     Fmt.(list ~sep:cut pp_rel) sc.relations
+    Fmt.(list ~sep:nop pp_constraint) sc.constraints
     Fmt.(list ~sep:cut pp_proc) sc.procs

@@ -20,6 +20,10 @@ type t = {
   name : string;
   relations : rel_decl list;
   consts : (string * Sort.t) list;  (** declared individual constants *)
+  constraints : (string * Formula.t) list;
+      (** named static integrity constraints: closed wffs every
+          committed state must satisfy (paper Section 3's static
+          consistency, enforced at the representation level) *)
   procs : proc list;
 }
 
@@ -28,6 +32,7 @@ val proc : string -> (string * Sort.t) list -> Stmt.t -> proc
 
 val find_relation : t -> string -> rel_decl option
 val find_proc : t -> string -> proc option
+val find_constraint : t -> string -> Formula.t option
 
 (** Column sorts of a declared relation; raises on unknown names. *)
 val sorts_of : t -> string -> Sort.t list

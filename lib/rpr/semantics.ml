@@ -19,16 +19,21 @@ type env = {
   consts : (string * Value.t) list;  (** declared constants' values *)
   strategy : [ `Naive | `Compiled | `Auto ];  (** relational-term evaluation *)
   star_limit : int;  (** cap on distinct states explored by [p*] / [while] *)
+  budget : Budget.t;  (** resource account every statement spends against *)
 }
 
-let env ?(consts = []) ?(strategy = `Auto) ?(star_limit = 10_000) ~domain schema =
+let env ?(consts = []) ?(strategy = `Auto) ?(star_limit = 10_000) ?budget ~domain
+    schema =
   let default_consts =
     List.map (fun (n, _) -> (n, Value.Sym n)) schema.Schema.consts
   in
   let consts =
     consts @ List.filter (fun (n, _) -> not (List.mem_assoc n consts)) default_consts
   in
-  { schema; domain; consts; strategy; star_limit }
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  { schema; domain; consts; strategy; star_limit; budget }
+
+let with_budget budget env = { env with budget }
 
 exception Exec_error of string
 
@@ -36,10 +41,22 @@ let err fmt = Fmt.kstr (fun s -> raise (Exec_error s)) fmt
 
 let dedup_states (dbs : Db.t list) : Db.t list = Util.dedup ~eq:Db.equal dbs
 
+(* The distinct-state allowance for one fixpoint exploration: the
+   ad-hoc [star_limit], tightened by the budget's state cap. *)
+let iter_limit (env : env) = Budget.cap_states env.budget env.star_limit
+
+(* Report a truncated fixpoint: budget exhaustion when the budget's cap
+   was the binding constraint, the classic [Exec_error] otherwise. *)
+let truncated_fixpoint (env : env) what =
+  if iter_limit env < env.star_limit then raise (Budget.Exhausted Budget.States)
+  else err "%s exceeded the %d-state limit" what env.star_limit
+
 (** Operational form of the meaning function [m]: all outcome states of
     running [stmt] in [db]. An empty list means the statement is
     blocked (its tests admit no outcome). *)
 let rec exec (env : env) (stmt : Stmt.t) (db : Db.t) : Db.t list =
+  Budget.spend_step env.budget;
+  Fault.hit "semantics.exec";
   match stmt with
   | Stmt.Skip -> [ db ]
   | Stmt.Scalar_assign (x, t) ->
@@ -61,24 +78,26 @@ let rec exec (env : env) (stmt : Stmt.t) (db : Db.t) : Db.t list =
     dedup_states (List.concat_map (exec env q) (exec env p db))
   | Stmt.Star p ->
     let states, truncated =
-      Util.bfs_fixpoint ~eq:Db.equal ~limit:env.star_limit ~step:(exec env p) [ db ]
+      Util.bfs_fixpoint ~eq:Db.equal ~limit:(iter_limit env) ~step:(exec env p) [ db ]
     in
-    if truncated then err "iteration exceeded the %d-state limit" env.star_limit
-    else states
+    if truncated then truncated_fixpoint env "iteration" else states
   | Stmt.If (c, p, q) ->
     if Relcalc.holds ~domain:env.domain ~consts:env.consts db c then exec env p db
     else exec env q db
   | Stmt.While (c, p) ->
-    let rec loop fuel db =
-      if fuel <= 0 then err "while loop exceeded %d iterations" env.star_limit
-      else if Relcalc.holds ~domain:env.domain ~consts:env.consts db c then
-        match exec env p db with
-        | [ db' ] -> loop (fuel - 1) db'
-        | [] -> []
-        | dbs -> List.concat_map (loop (fuel - 1)) dbs |> dedup_states
-      else [ db ]
+    (* The desugaring [((c?; p))*; (~c)?] made operational: explore the
+       c-states reachable through p with a visited set, so the state cap
+       bounds total distinct states — a nondeterministic body that
+       revisits states no longer re-explores them (and no longer burns
+       fuel exponentially); outcomes are the explored states where c
+       fails. *)
+    let holds db = Relcalc.holds ~domain:env.domain ~consts:env.consts db c in
+    let step db = if holds db then exec env p db else [] in
+    let states, truncated =
+      Util.bfs_fixpoint ~eq:Db.equal ~limit:(iter_limit env) ~step [ db ]
     in
-    loop env.star_limit db
+    if truncated then truncated_fixpoint env "while loop"
+    else List.filter (fun db -> not (holds db)) states
   | Stmt.Insert (r, ts) ->
     let tu = List.map (Relcalc.eval_term ~domain:env.domain ~consts:env.consts db) ts in
     [ Db.with_relation r (Relation.add tu (Db.relation_exn db r)) db ]
@@ -90,6 +109,7 @@ let rec exec (env : env) (stmt : Stmt.t) (db : Db.t) : Db.t list =
     formal parameters bound to [args]; restore the parameters' previous
     scalar values in every outcome. *)
 let call (env : env) (proc : Schema.proc) (args : Value.t list) (db : Db.t) : Db.t list =
+  Fault.hit "semantics.call";
   if List.length args <> List.length proc.Schema.pparams then
     err "procedure %s expects %d arguments, got %d" proc.Schema.pname
       (List.length proc.Schema.pparams) (List.length args);

@@ -18,17 +18,25 @@ type env = {
   consts : (string * Value.t) list;  (** declared constants' values *)
   strategy : [ `Naive | `Compiled | `Auto ];  (** relational-term evaluation *)
   star_limit : int;  (** cap on distinct states explored by iteration/while *)
+  budget : Budget.t;  (** resource account every statement spends against *)
 }
 
 (** Build an execution environment; declared constants default to their
-    symbolic values. *)
+    symbolic values, the budget to unlimited. Execution spends one step
+    of the budget per statement and caps fixpoint explorations by its
+    distinct-state allowance (tightening [star_limit]); exhaustion
+    raises {!Fdbs_kernel.Budget.Exhausted}. *)
 val env :
   ?consts:(string * Value.t) list ->
   ?strategy:[ `Naive | `Compiled | `Auto ] ->
   ?star_limit:int ->
+  ?budget:Budget.t ->
   domain:Domain.t ->
   Schema.t ->
   env
+
+(** The same environment charged against a different budget. *)
+val with_budget : Budget.t -> env -> env
 
 exception Exec_error of string
 

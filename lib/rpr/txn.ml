@@ -1,0 +1,156 @@
+(** Atomic transactions over {!Semantics}: snapshot, run a sequence of
+    procedure calls under a resource budget, check the schema's
+    integrity constraints at commit time, and roll back to the snapshot
+    on violation, blocked execution, budget exhaustion, or an injected
+    fault — returning a structured {!Fdbs_kernel.Error.t} instead of a
+    string exception. This is the paper's central promise made
+    operational: every update leaves the database in a valid state
+    (static/transition consistency, Sections 3–5), because invalid
+    outcomes never become visible.
+
+    Committed transactions are optionally recorded in a write-ahead
+    {!Journal}; {!replay} reproduces the committed state from it. *)
+
+open Fdbs_kernel
+
+type t = {
+  txn_env : Semantics.env;
+  check_constraints : bool;
+  extra_constraints : (string * Fdbs_logic.Formula.t) list;
+      (** additional closed wffs checked at commit beside the schema's
+          own — e.g. the L1 theory's static constraints carried down
+          through the refinement interpretation *)
+  journal : string option;  (** journal file path *)
+}
+
+let make ?(check_constraints = true) ?(extra_constraints = []) ?journal env =
+  { txn_env = env; check_constraints; extra_constraints; journal }
+
+(** A rolled-back transaction: the structured error and the restored
+    pre-transaction state (always [Db.equal] to the snapshot). *)
+type rollback = { error : Error.t; restored : Db.t }
+
+let pp_rollback ppf (r : rollback) =
+  Fmt.pf ppf "rolled back: %a" Error.pp r.error
+
+let call_context (name, args) =
+  [ ("call", Fmt.str "%a" Journal.pp_call (name, args)) ]
+
+(* One procedure call, deterministically, with structured failures. *)
+let exec_call (env : Semantics.env) ((name, args) as c : Journal.call) (db : Db.t) :
+  (Db.t, Error.t) result =
+  let fail code fmt = Fmt.kstr (fun m -> Result.Error (Error.make ~context:(call_context c) Error.Exec code m)) fmt in
+  match Schema.find_proc env.Semantics.schema name with
+  | None -> fail (Error.Unknown_procedure name) "unknown procedure %s" name
+  | Some proc ->
+    (match Semantics.call env proc args db with
+     | [ out ] -> Ok out
+     | [] -> fail Error.Blocked "procedure %s blocked (no outcome)" name
+     | outs ->
+       fail (Error.Nondeterministic (List.length outs))
+         "procedure %s has %d distinct outcomes" name (List.length outs))
+
+(* Check every declared constraint (schema's, then the transaction's
+   extra ones) in [db]; the verdicts pass through the fault injector's
+   [txn.constraint] flip site. *)
+let check_constraints (txn : t) (env : Semantics.env) (db : Db.t) :
+  (unit, Error.t) result =
+  let constraints =
+    if txn.check_constraints then
+      env.Semantics.schema.Schema.constraints @ txn.extra_constraints
+    else []
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | (name, wff) :: rest ->
+      let verdict = Fault.flip "txn.constraint" (Semantics.query env db wff) in
+      if verdict then go rest
+      else
+        Result.Error
+          (Error.makef
+             ~context:[ ("constraint", name) ]
+             Error.Commit (Error.Constraint_violation name)
+             "constraint %s violated by the commit state" name)
+  in
+  go constraints
+
+(** Run [calls] as one atomic transaction against [db]: all calls
+    commit (with every constraint satisfied) or none do. [budget]
+    overrides the environment's; the restored state in a rollback is
+    always [Db.equal] to [db]. A journaled commit appends its entry
+    before the new state is returned. *)
+let run ?budget (txn : t) (calls : Journal.call list) (db : Db.t) :
+  (Db.t, rollback) result =
+  let env =
+    match budget with
+    | Some b -> Semantics.with_budget b txn.txn_env
+    | None -> txn.txn_env
+  in
+  Fault.set_budget env.Semantics.budget;
+  let snapshot = db in
+  let rolled_back error = Result.Error { error; restored = snapshot } in
+  let result =
+    match
+      Fault.hit "txn.begin";
+      let rec go db = function
+        | [] -> Ok db
+        | c :: rest -> (
+            match exec_call env c db with
+            | Ok db' -> go db' rest
+            | Result.Error _ as e -> e)
+      in
+      let ( let* ) = Result.bind in
+      let* final = go db calls in
+      Fault.hit "txn.commit";
+      let* () = check_constraints txn env final in
+      let* () =
+        match txn.journal with
+        | None -> Ok ()
+        | Some path ->
+          Fault.hit "journal.append";
+          Journal.append path { Journal.calls }
+      in
+      Ok final
+    with
+    | result -> result
+    | exception Budget.Exhausted r ->
+      Result.Error
+        (Error.makef Error.Exec (Error.Budget_exhausted r) "budget exhausted (%s)"
+           (Budget.resource_name r))
+    | exception Fault.Injected site ->
+      (* attribute the fault to the phase its site belongs to *)
+      let phase =
+        if site = "txn.commit" || site = "txn.constraint" || site = "journal.append"
+        then Error.Commit
+        else Error.Exec
+      in
+      Result.Error
+        (Error.makef phase (Error.Fault_injected site) "fault injected at %s" site)
+    | exception Semantics.Exec_error msg ->
+      Result.Error (Error.make Error.Exec Error.Exec_failure msg)
+  in
+  match result with Ok db -> Ok db | Result.Error e -> rolled_back e
+
+(** Re-run every committed entry of the journal at [path] as a
+    transaction from [db]: the recovery path. Entries are not
+    re-journaled; the result is the journaled run's committed state,
+    reproduced exactly. *)
+let replay ?budget (txn : t) (path : string) (db : Db.t) : (Db.t, Error.t) result =
+  match Journal.load path with
+  | Result.Error e -> Result.Error { e with Error.phase = Error.Replay }
+  | Ok entries ->
+    let txn = { txn with journal = None } in
+    let rec go i db = function
+      | [] -> Ok db
+      | (entry : Journal.entry) :: rest -> (
+          match run ?budget txn entry.Journal.calls db with
+          | Ok db' -> go (i + 1) db' rest
+          | Result.Error { error; _ } ->
+            Result.Error
+              {
+                error with
+                Error.phase = Error.Replay;
+                context = ("entry", string_of_int i) :: error.Error.context;
+              })
+    in
+    go 1 db entries

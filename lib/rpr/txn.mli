@@ -1,0 +1,42 @@
+(** Atomic transactions over {!Semantics}: snapshot, run procedure
+    calls under a resource budget, check integrity constraints at
+    commit, roll back to the snapshot on any failure — returning a
+    structured {!Fdbs_kernel.Error.t}. Committed transactions are
+    optionally journaled ({!Journal}); {!replay} recovers the committed
+    state from the journal. *)
+
+open Fdbs_kernel
+
+type t = {
+  txn_env : Semantics.env;
+  check_constraints : bool;
+  extra_constraints : (string * Fdbs_logic.Formula.t) list;
+      (** additional closed wffs checked at commit beside the schema's
+          own — e.g. the L1 theory's static constraints carried down
+          through the refinement interpretation *)
+  journal : string option;  (** journal file path *)
+}
+
+val make :
+  ?check_constraints:bool ->
+  ?extra_constraints:(string * Fdbs_logic.Formula.t) list ->
+  ?journal:string ->
+  Semantics.env ->
+  t
+
+(** A rolled-back transaction: the structured error and the restored
+    pre-transaction state (always [Db.equal] to the snapshot). *)
+type rollback = { error : Error.t; restored : Db.t }
+
+val pp_rollback : rollback Fmt.t
+
+(** Run the calls as one atomic transaction: all commit (with every
+    constraint satisfied) or none do. [budget] overrides the
+    environment's. A journaled commit appends its entry before the new
+    state is returned. *)
+val run :
+  ?budget:Budget.t -> t -> Journal.call list -> Db.t -> (Db.t, rollback) result
+
+(** Re-run every committed journal entry as a transaction from the
+    given state — the recovery path. Entries are not re-journaled. *)
+val replay : ?budget:Budget.t -> t -> string -> Db.t -> (Db.t, Error.t) result

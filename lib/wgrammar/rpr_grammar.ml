@@ -26,9 +26,9 @@ let rule lhs alts = { Wg.lhs; alts }
 
 let keywords =
   [
-    "schema"; "relation"; "const"; "proc"; "end"; "if"; "then"; "else"; "while";
-    "do"; "test"; "insert"; "delete"; "skip"; "u"; "forall"; "exists"; "true";
-    "false"; "isin";
+    "schema"; "relation"; "const"; "constraint"; "proc"; "end"; "if"; "then";
+    "else"; "while"; "do"; "test"; "insert"; "delete"; "skip"; "u"; "forall";
+    "exists"; "true"; "false"; "isin";
   ]
 
 (** Protonotion token stream of a schema source text. *)
@@ -65,7 +65,7 @@ let hyperrules : Wg.hyperrule list =
   let d = m "DECLS" in
   let wff = [ p "wff"; d ] in
   [
-    (* schema NAME <scl> <consts> <opl> end[-schema] *)
+    (* schema NAME <scl> <consts> <constraints> <opl> end[-schema] *)
     rule [ p "start" ]
       [
         [
@@ -73,8 +73,18 @@ let hyperrules : Wg.hyperrule list =
           mk [ m "NAME" ];
           nt [ p "scl"; d ];
           nt [ p "consts" ];
+          nt [ p "constraints"; d ];
           nt [ p "opl"; d ];
           nt [ p "epilogue" ];
+        ];
+      ];
+    (* optional integrity constraints, each a closed wff over DECLS *)
+    rule [ p "constraints"; d ]
+      [
+        [];
+        [
+          mk [ p "constraint" ]; mk [ m "NAME" ]; mk [ p ":" ]; nt wff;
+          nt [ p "constraints"; d ];
         ];
       ];
     rule [ p "epilogue" ]

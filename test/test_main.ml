@@ -9,5 +9,6 @@ let () =
       ("wgrammar", Test_wgrammar.suite);
       ("refinement", Test_refinement.suite);
       ("core", Test_core.suite);
+      ("txn", Test_txn.suite);
       ("properties", Test_props.suite);
     ]
