@@ -538,7 +538,128 @@ let e17 () =
     (Test.make_grouped ~name:"e17-txn"
        (List.concat_map (fun (n, d) -> point n d) [ ("2x2", dom_2x2) ]))
 
+(* ------------------------------------------------------------------ *)
+(* E18: kernel microbenchmarks, machine-readable (--json)               *)
+(* ------------------------------------------------------------------ *)
+
+(* The JSON mode exists for the CI perf gate: a handful of kernel
+   metrics (indexed-relation membership / compose / closure, and the
+   full Check23 sweep at 1/2/4 domains) timed with a plain monotonic
+   loop and printed as one JSON object. The gate normalizes every
+   metric by [calibration_ns] — the cost of a fixed pure-OCaml loop on
+   the same machine — so baselines survive hardware changes. *)
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+(* ns per call of [f]: repeat in doubling batches (after one warm-up
+   call) until the batch runs at least [min_time_ns]. *)
+let time_ns ?(min_time_ns = 5e7) (f : unit -> unit) : float =
+  f ();
+  let rec go reps =
+    let t0 = now_ns () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    let dt = now_ns () -. t0 in
+    if dt >= min_time_ns || reps >= 1 lsl 24 then dt /. float_of_int reps
+    else go (reps * 2)
+  in
+  go 1
+
+let calibration () =
+  let xs = List.init 4096 (fun i -> i) in
+  time_ns (fun () ->
+      ignore
+        (Sys.opaque_identity
+           (List.fold_left (fun acc i -> acc + (i * i mod 4093)) 0 xs)))
+
+let bench_relation_mem () =
+  let tuples = List.init 1024 (fun i -> [ Value.Int i; Value.Int (i * 7) ]) in
+  let r = Relation.of_list [ "a"; "b" ] tuples in
+  let present = List.init 256 (fun i -> [ Value.Int (i * 4); Value.Int (i * 4 * 7) ]) in
+  let absent = List.init 256 (fun i -> [ Value.Int (i + 2048); Value.Int i ]) in
+  let probes = present @ absent in
+  let per_batch =
+    time_ns (fun () ->
+        ignore
+          (Sys.opaque_identity
+             (List.fold_left
+                (fun acc tu -> if Relation.mem tu r then acc + 1 else acc)
+                0 probes)))
+  in
+  per_batch /. float_of_int (List.length probes)
+
+let bench_relation_compose () =
+  let a =
+    Relation.of_list [ "a"; "m" ]
+      (List.init 512 (fun i -> [ Value.Int i; Value.Int (i mod 64) ]))
+  in
+  let b =
+    Relation.of_list [ "m"; "b" ]
+      (List.init 512 (fun i -> [ Value.Int (i mod 64); Value.Int i ]))
+  in
+  time_ns (fun () -> ignore (Sys.opaque_identity (Relation.compose a b)))
+
+let bench_relation_closure () =
+  let chain =
+    Relation.of_list [ "n"; "n" ]
+      (List.init 48 (fun i -> [ Value.Int i; Value.Int (i + 1) ]))
+  in
+  time_ns (fun () -> ignore (Sys.opaque_identity (Relation.transitive_closure chain)))
+
+let bench_check23 ~jobs () =
+  let env = Semantics.env ~domain:dom_2x2 University.representation in
+  time_ns ~min_time_ns:2e8 (fun () ->
+      let r = Check23.check ~jobs uni env University.mapping in
+      if not (Check23.ok r) then invalid_arg "bench: Check23 unexpectedly failed")
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let run_json () =
+  let calibration_ns = calibration () in
+  let metrics =
+    [
+      ("relation_mem", bench_relation_mem ());
+      ("relation_compose", bench_relation_compose ());
+      ("relation_closure", bench_relation_closure ());
+      ("check23_jobs1", bench_check23 ~jobs:1 ());
+      ("check23_jobs2", bench_check23 ~jobs:2 ());
+      ("check23_jobs4", bench_check23 ~jobs:4 ());
+    ]
+  in
+  let get name = List.assoc name metrics in
+  let derived =
+    [
+      ("check23_speedup_jobs2", get "check23_jobs1" /. get "check23_jobs2");
+      ("check23_speedup_jobs4", get "check23_jobs1" /. get "check23_jobs4");
+    ]
+  in
+  let pp_fields ppf fields =
+    Fmt.pf ppf "%a"
+      Fmt.(
+        list ~sep:(any ",@,") (fun ppf (k, value) ->
+            Fmt.pf ppf "@[\"%s\": %.2f@]" (json_escape k) value))
+      fields
+  in
+  Fmt.pr
+    "@[<v 2>{@,\
+     \"schema_version\": 1,@,\
+     \"cores\": %d,@,\
+     \"calibration_ns\": %.2f,@,\
+     @[<v 2>\"metrics\": {@,%a@]@,},@,\
+     @[<v 2>\"derived\": {@,%a@]@,}@]@,}@."
+    (Pool.recommended_jobs ())
+    calibration_ns pp_fields metrics pp_fields derived
+
 let () =
+  if Array.exists (( = ) "--json") Sys.argv then begin
+    run_json ();
+    exit 0
+  end;
   Fmt.pr "fdbs benchmark harness — experiments E1..E17 (see DESIGN.md / EXPERIMENTS.md)@.";
   Fmt.pr "paper: Casanova, Veloso & Furtado, PODS 1984 (no quantitative tables;@.";
   Fmt.pr "the experiments measure the framework's checkers and evaluators).@.";

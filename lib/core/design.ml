@@ -157,8 +157,10 @@ let verified (v : verification) =
 
 (** Run every check of the paper over a bounded domain ([domain]
     defaults to T2's base domain; [depth] bounds ground probing and the
-    cross-level agreement sweep). *)
-let verify ?domain ?(depth = 2) (d : t) : verification =
+    cross-level agreement sweep; [jobs] spreads the refinement sweeps
+    over that many domains, defaulting to
+    {!Fdbs_kernel.Pool.default_jobs}, without changing any result). *)
+let verify ?domain ?(depth = 2) ?jobs (d : t) : verification =
   let domain =
     match domain with Some dm -> dm | None -> d.functions.Spec.base_domain
   in
@@ -172,8 +174,8 @@ let verify ?domain ?(depth = 2) (d : t) : verification =
   {
     schema_errors = Schema.check d.representation;
     completeness = Completeness.check ~depth d.functions;
-    refinement12 = Check12.check ~domain d.info d.functions d.interp;
-    refinement23 = Check23.check d.functions env d.mapping;
+    refinement12 = Check12.check ~domain ?jobs d.info d.functions d.interp;
+    refinement23 = Check23.check ?jobs d.functions env d.mapping;
     agreement_checked;
     agreement_mismatches;
   }

@@ -82,7 +82,9 @@ val verified : verification -> bool
 
 (** Run every check of the paper over a bounded domain ([domain]
     defaults to T2's base domain; [depth] bounds ground probing and the
-    cross-level agreement sweep). *)
-val verify : ?domain:Domain.t -> ?depth:int -> t -> verification
+    cross-level agreement sweep; [jobs] spreads the refinement sweeps
+    over that many domains — default
+    {!Fdbs_kernel.Pool.default_jobs} — without changing any result). *)
+val verify : ?domain:Domain.t -> ?depth:int -> ?jobs:int -> t -> verification
 
 val pp_verification : verification Fmt.t

@@ -5,7 +5,12 @@
     statement spends a step, every fixpoint exploration is capped by the
     distinct-state allowance, and each spend also checks the wall-clock
     deadline. Exhaustion raises {!Exhausted}, which the transaction
-    layer turns into a structured {!Error.t} and a rollback. *)
+    layer turns into a structured {!Error.t} and a rollback.
+
+    Step accounting is an {!Atomic.t}, so a budget shared by several
+    {!Pool} worker domains stays exact: the total number of steps spent
+    across all domains before {!Exhausted} fires equals the fuel, just
+    as in a single-domain run. *)
 
 type resource = Steps | States | Time
 
@@ -18,41 +23,55 @@ let pp_resource ppf r = Fmt.string ppf (resource_name r)
 
 exception Exhausted of resource
 
+(* [max_int] in [steps_left] means unlimited; any smaller value is the
+   remaining fuel. [states_left] and [deadline] are read-mostly (only
+   {!exhaust} writes them after creation), so plain mutable fields are
+   enough — single-word writes do not tear in OCaml 5. *)
 type t = {
-  mutable steps_left : int option;  (** [None] is unlimited *)
+  steps_left : int Atomic.t;
   mutable states_left : int option;  (** cap on distinct states per fixpoint *)
   mutable deadline : float option;  (** absolute time, in [clock]'s scale *)
   clock : unit -> float;
 }
 
 let unlimited () =
-  { steps_left = None; states_left = None; deadline = None; clock = Unix.gettimeofday }
+  {
+    steps_left = Atomic.make max_int;
+    states_left = None;
+    deadline = None;
+    clock = Unix.gettimeofday;
+  }
 
 (** [make ?steps ?states ?ms ()] builds a budget with the given step
     fuel, distinct-state cap, and wall-clock allowance in milliseconds
     (measured from now). Omitted resources are unlimited. *)
 let make ?steps ?states ?ms ?(clock = Unix.gettimeofday) () =
   {
-    steps_left = steps;
+    steps_left = Atomic.make (match steps with Some n -> n | None -> max_int);
     states_left = states;
     deadline = Option.map (fun ms -> clock () +. (float_of_int ms /. 1000.)) ms;
     clock;
   }
 
 let is_unlimited (b : t) =
-  b.steps_left = None && b.states_left = None && b.deadline = None
+  Atomic.get b.steps_left = max_int && b.states_left = None && b.deadline = None
 
 let check_time (b : t) =
   match b.deadline with
   | Some d when b.clock () > d -> raise (Exhausted Time)
   | Some _ | None -> ()
 
-(** Spend one step of fuel; also checks the deadline. *)
+(** Spend one step of fuel; also checks the deadline. Safe to call from
+    several domains at once: each call consumes exactly one unit. *)
 let spend_step (b : t) =
-  (match b.steps_left with
-   | Some n when n <= 0 -> raise (Exhausted Steps)
-   | Some n -> b.steps_left <- Some (n - 1)
-   | None -> ());
+  (if Atomic.get b.steps_left <> max_int then
+     let n = Atomic.fetch_and_add b.steps_left (-1) in
+     if n <= 0 then begin
+       (* keep the counter pinned near zero so concurrent spenders keep
+          raising instead of wrapping toward [min_int] *)
+       Atomic.set b.steps_left 0;
+       raise (Exhausted Steps)
+     end);
   check_time b
 
 (** The distinct-state cap, if any. *)
@@ -66,15 +85,19 @@ let cap_states (b : t) (limit : int) =
     budget-exhaustion failures. *)
 let exhaust (b : t) (r : resource) =
   match r with
-  | Steps -> b.steps_left <- Some 0
+  | Steps -> Atomic.set b.steps_left 0
   | States -> b.states_left <- Some 0
   | Time -> b.deadline <- Some (b.clock () -. 1.)
 
 let pp ppf (b : t) =
+  let pp_steps ppf = function
+    | n when n = max_int -> Fmt.pf ppf "steps=inf"
+    | n -> Fmt.pf ppf "steps=%d" n
+  in
   let pp_opt name ppf = function
     | Some n -> Fmt.pf ppf "%s=%d" name n
     | None -> Fmt.pf ppf "%s=inf" name
   in
-  Fmt.pf ppf "@[%a %a %s@]" (pp_opt "steps") b.steps_left (pp_opt "states")
+  Fmt.pf ppf "@[%a %a %s@]" pp_steps (Atomic.get b.steps_left) (pp_opt "states")
     b.states_left
     (match b.deadline with Some _ -> "deadline=set" | None -> "deadline=inf")

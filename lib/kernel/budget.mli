@@ -1,7 +1,12 @@
 (** Unified resource budgets for execution: step fuel, a cap on
     distinct states explored by fixpoints, and a wall-clock deadline.
     Exhaustion raises {!Exhausted}; the transaction layer maps it to a
-    structured {!Error.t} and rolls back. *)
+    structured {!Error.t} and rolls back.
+
+    Step accounting is atomic, so one budget can be shared by the
+    worker domains of a {!Pool} sweep and the total fuel spent stays
+    exact — a parallel run exhausts after the same number of
+    [spend_step] calls as a sequential one. *)
 
 type resource = Steps | States | Time
 
@@ -10,12 +15,7 @@ val pp_resource : resource Fmt.t
 
 exception Exhausted of resource
 
-type t = {
-  mutable steps_left : int option;  (** [None] is unlimited *)
-  mutable states_left : int option;  (** cap on distinct states per fixpoint *)
-  mutable deadline : float option;  (** absolute time, in [clock]'s scale *)
-  clock : unit -> float;
-}
+type t
 
 (** A budget with every resource unlimited. *)
 val unlimited : unit -> t
@@ -32,7 +32,8 @@ val is_unlimited : t -> bool
 (** Raise {!Exhausted} [Time] if the deadline has passed. *)
 val check_time : t -> unit
 
-(** Spend one step of fuel; also checks the deadline. *)
+(** Spend one step of fuel; also checks the deadline. Safe to call from
+    several domains concurrently; each call consumes exactly one unit. *)
 val spend_step : t -> unit
 
 (** The distinct-state cap, if any. *)

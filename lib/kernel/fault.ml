@@ -29,6 +29,11 @@ let state : arming list ref = ref []
 let prob_state : (prob * action) option ref = ref None
 let hit_counts : (string, int) Hashtbl.t = Hashtbl.create 16
 
+(* Injection state is global and mutable; {!Pool} sweeps call {!hit}
+   from several domains, so all reads-for-update go through one lock.
+   The unarmed fast path stays lock-free. *)
+let lock = Mutex.create ()
+
 (* The budget a fired [Exhaust] drains; armed by the transaction layer. *)
 let target_budget : Budget.t option ref = ref None
 
@@ -66,35 +71,53 @@ let fire site = function
 (** Record a hit at [site]; fire any armed fault that matches. *)
 let hit (site : string) : unit =
   if armed () then begin
-    Hashtbl.replace hit_counts site (hits site + 1);
-    (match List.find_opt (fun a -> a.a_site = site) !state with
-     | Some a when a.a_action <> Flip ->
-       if a.a_countdown <= 0 then begin
-         state := List.filter (fun a' -> a'.a_site <> site) !state;
-         fire site a.a_action
-       end
-       else a.a_countdown <- a.a_countdown - 1
-     | Some _ | None -> ());
-    match !prob_state with
-    | Some (pr, action) when action <> Flip && next_prob pr < pr.p -> fire site action
-    | Some _ | None -> ()
+    (* Decide under the lock, fire outside it: [fire] may raise, and an
+       [Exhaust] with an armed budget falls through to the
+       probabilistic check, as in the sequential semantics. *)
+    let site_action =
+      Mutex.protect lock (fun () ->
+          Hashtbl.replace hit_counts site (hits site + 1);
+          match List.find_opt (fun a -> a.a_site = site) !state with
+          | Some a when a.a_action <> Flip ->
+            if a.a_countdown <= 0 then begin
+              state := List.filter (fun a' -> a'.a_site <> site) !state;
+              Some a.a_action
+            end
+            else begin
+              a.a_countdown <- a.a_countdown - 1;
+              None
+            end
+          | Some _ | None -> None)
+    in
+    (match site_action with Some a -> fire site a | None -> ());
+    let prob_action =
+      Mutex.protect lock (fun () ->
+          match !prob_state with
+          | Some (pr, action) when action <> Flip && next_prob pr < pr.p ->
+            Some action
+          | Some _ | None -> None)
+    in
+    match prob_action with Some a -> fire site a | None -> ()
   end
 
 (** Pass a constraint verdict through the injector: an armed [Flip] at
     [site] negates it (once). *)
 let flip (site : string) (verdict : bool) : bool =
-  match List.find_opt (fun a -> a.a_site = site && a.a_action = Flip) !state with
-  | Some a ->
-    Hashtbl.replace hit_counts site (hits site + 1);
-    if a.a_countdown <= 0 then begin
-      state := List.filter (fun a' -> a' != a) !state;
-      not verdict
-    end
-    else begin
-      a.a_countdown <- a.a_countdown - 1;
-      verdict
-    end
-  | None -> verdict
+  Mutex.protect lock (fun () ->
+      match
+        List.find_opt (fun a -> a.a_site = site && a.a_action = Flip) !state
+      with
+      | Some a ->
+        Hashtbl.replace hit_counts site (hits site + 1);
+        if a.a_countdown <= 0 then begin
+          state := List.filter (fun a' -> a' != a) !state;
+          not verdict
+        end
+        else begin
+          a.a_countdown <- a.a_countdown - 1;
+          verdict
+        end
+      | None -> verdict)
 
 let action_of_name = function
   | "abort" -> Ok Abort

@@ -1,0 +1,93 @@
+(** Deterministic work splitting across OCaml 5 domains.
+
+    The refinement checkers sweep large, embarrassingly parallel spaces
+    (equation instances x parameter valuations x reachable databases).
+    [Pool.map] splits such a work list into contiguous chunks, runs one
+    chunk per domain, and concatenates the per-chunk results in input
+    order — so for a deterministic worker function the result is
+    identical to [List.map], whatever the job count.
+
+    Exceptions are deterministic too: every chunk runs to completion
+    (or to its own failure), and the exception of the {e earliest}
+    failing chunk is re-raised in the caller, regardless of which domain
+    finished first.
+
+    The default job count comes from the [FDBS_JOBS] environment
+    variable (or 1), and can be overridden per call or globally (the
+    CLI's [--jobs] knob). [Stdlib.Domain] is shadowed inside this
+    library by the sort-carrier module {!Domain}, hence the qualified
+    uses below. *)
+
+let clamp_jobs n = if n < 1 then 1 else n
+
+let env_jobs () =
+  match Sys.getenv_opt "FDBS_JOBS" with
+  | None -> None
+  | Some s -> Option.map clamp_jobs (int_of_string_opt (String.trim s))
+
+let default = ref (match env_jobs () with Some n -> n | None -> 1)
+let default_jobs () = !default
+let set_default_jobs n = default := clamp_jobs n
+
+(** What the runtime considers a sensible upper bound: the machine's
+    available parallelism. *)
+let recommended_jobs () = Stdlib.Domain.recommended_domain_count ()
+
+(** Split [xs] into at most [jobs] contiguous chunks of near-equal
+    length, preserving order; no chunk is empty. *)
+let chunks ~jobs (xs : 'a list) : 'a list list =
+  let n = List.length xs in
+  if n = 0 then []
+  else begin
+    let jobs = min (clamp_jobs jobs) n in
+    let base = n / jobs and extra = n mod jobs in
+    let rec take k xs front =
+      if k = 0 then (List.rev front, xs)
+      else
+        match xs with
+        | [] -> (List.rev front, [])
+        | y :: ys -> take (k - 1) ys (y :: front)
+    in
+    let rec split i xs acc =
+      if i >= jobs then List.rev acc
+      else
+        let k = base + if i < extra then 1 else 0 in
+        let chunk, rest = take k xs [] in
+        split (i + 1) rest (chunk :: acc)
+    in
+    split 0 xs []
+  end
+
+(* Run one chunk to completion, capturing any exception with its
+   backtrace so the merge can re-raise the earliest one. *)
+let run_chunk f chunk =
+  try Ok (List.map f chunk)
+  with e -> Error (e, Printexc.get_raw_backtrace ())
+
+(** [map ?jobs f xs] is [List.map f xs] computed by up to [jobs]
+    domains (the caller's domain works the first chunk). Results merge
+    in input order; the earliest chunk's exception wins. *)
+let map ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let jobs = match jobs with Some j -> clamp_jobs j | None -> default_jobs () in
+  match chunks ~jobs xs with
+  | [] -> []
+  | [ chunk ] -> List.map f chunk
+  | first :: rest ->
+    let workers =
+      List.map (fun chunk -> Stdlib.Domain.spawn (fun () -> run_chunk f chunk)) rest
+    in
+    let head = run_chunk f first in
+    let tail = List.map Stdlib.Domain.join workers in
+    List.concat_map
+      (function
+        | Ok ys -> ys
+        | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+      (head :: tail)
+
+(** [map_reduce ?jobs ~map:f ~merge ~neutral xs] maps in parallel, then
+    folds the per-item results left to right — deterministic for any
+    associative-enough [merge] because the fold order is the input
+    order. *)
+let map_reduce ?jobs ~map:(f : 'a -> 'b) ~(merge : 'b -> 'b -> 'b) ~(neutral : 'b)
+    (xs : 'a list) : 'b =
+  List.fold_left merge neutral (map ?jobs f xs)

@@ -1,0 +1,33 @@
+(** Deterministic work splitting across OCaml 5 domains.
+
+    [map ?jobs f xs] equals [List.map f xs] for any deterministic [f],
+    whatever the job count: the work list is split into contiguous
+    chunks, one chunk per domain, and results concatenate in input
+    order. If several chunks raise, the earliest chunk's exception is
+    re-raised in the caller — independent of scheduling. *)
+
+(** The session-wide default job count: the [FDBS_JOBS] environment
+    variable at startup, or 1. *)
+val default_jobs : unit -> int
+
+(** Override the session-wide default (clamped to at least 1); the
+    CLI's [--jobs] knob. *)
+val set_default_jobs : int -> unit
+
+(** The machine's available parallelism
+    ([Domain.recommended_domain_count]). *)
+val recommended_jobs : unit -> int
+
+(** Split a list into at most [jobs] contiguous, near-equal, non-empty
+    chunks, preserving order. [List.concat (chunks ~jobs xs) = xs]. *)
+val chunks : jobs:int -> 'a list -> 'a list list
+
+(** Parallel [List.map]; [jobs] defaults to {!default_jobs}. The
+    caller's domain works the first chunk, so [jobs:1] spawns
+    nothing. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Parallel map followed by a left fold of the results in input
+    order. *)
+val map_reduce :
+  ?jobs:int -> map:('a -> 'b) -> merge:('b -> 'b -> 'b) -> neutral:'b -> 'a list -> 'b

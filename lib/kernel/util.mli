@@ -11,6 +11,10 @@ val tuples : 'a list -> int -> 'a list list
     Quadratic; meant for short lists. *)
 val dedup : ?eq:('a -> 'a -> bool) -> 'a list -> 'a list
 
+(** Order-preserving deduplication in O(n) expected time; [hash] must
+    be consistent with [eq]. Agrees with {!dedup}. *)
+val dedup_hashed : eq:('a -> 'a -> bool) -> hash:('a -> int) -> 'a list -> 'a list
+
 (** [zip_exn xs ys] pairs two lists; raises [Invalid_argument] on length
     mismatch. *)
 val zip_exn : 'a list -> 'b list -> ('a * 'b) list
@@ -22,9 +26,12 @@ val sum : int list -> int
     to the frontier, accumulating states distinct under [eq], until no
     new element appears or [limit] elements have been accumulated.
     Returns the accumulated states and whether the limit truncated the
-    exploration. *)
+    exploration. Supplying [hash] (consistent with [eq]) replaces the
+    linear visited-set scan with O(1)-expected hash membership without
+    changing the result. *)
 val bfs_fixpoint :
   eq:('a -> 'a -> bool) ->
+  ?hash:('a -> int) ->
   limit:int ->
   step:('a -> 'a list) ->
   'a list ->

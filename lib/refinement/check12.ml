@@ -94,16 +94,17 @@ let structure_of_node (t1 : Ttheory.t) (spec : Spec.t) (interp : Interp12.t)
     per node; accessibility = update edges, transitively closed when
     [future] is [true] (the default — the paper reads R(A,B) as "B is a
     future state of A"). *)
-let universe_of_graph ?(future = true) (t1 : Ttheory.t) (spec : Spec.t)
+let universe_of_graph ?(future = true) ?jobs (t1 : Ttheory.t) (spec : Spec.t)
     (interp : Interp12.t) (g : Reach.graph) : (Universe.t, string) result =
-  let rec build acc i =
-    if i >= Array.length g.Reach.nodes then Ok (List.rev acc)
-    else
-      match structure_of_node t1 spec interp ~domain:g.Reach.domain g.Reach.nodes.(i) with
-      | Error e -> Error e
-      | Ok st -> build (st :: acc) (i + 1)
+  (* Each node's structure is independent; build them across domains
+     and keep the first error in node order — exactly what the
+     sequential scan reported. *)
+  let results =
+    Pool.map ?jobs
+      (structure_of_node t1 spec interp ~domain:g.Reach.domain)
+      (Array.to_list g.Reach.nodes)
   in
-  match build [] 0 with
+  match Util.result_all results with
   | Error e -> Error e
   | Ok states ->
     let edges = List.map (fun (e : Reach.edge) -> (e.Reach.src, e.Reach.dst)) g.Reach.edges in
@@ -113,7 +114,7 @@ let universe_of_graph ?(future = true) (t1 : Ttheory.t) (spec : Spec.t)
 (** All structures over [domain] satisfying T1's static axioms: the set
     V of valid states (paper Section 4.4(b)). Exponential in the domain;
     keep domains small. *)
-let valid_states (t1 : Ttheory.t) ~(domain : Domain.t) : Structure.t list =
+let valid_states ?jobs (t1 : Ttheory.t) ~(domain : Domain.t) : Structure.t list =
   let consts =
     List.filter_map
       (fun (f : Signature.func) ->
@@ -135,7 +136,9 @@ let valid_states (t1 : Ttheory.t) ~(domain : Domain.t) : Structure.t list =
       (Signature.db_preds t1.Ttheory.signature)
   in
   let statics = Ttheory.static_axioms t1 in
-  List.filter_map
+  (* The candidate structures are independent; filter them in parallel,
+     keeping the enumeration order. *)
+  Pool.map ?jobs
     (fun relations ->
       let st = Structure.of_tables ~domain ~consts ~relations in
       let valid =
@@ -148,6 +151,7 @@ let valid_states (t1 : Ttheory.t) ~(domain : Domain.t) : Structure.t list =
       in
       if valid then Some st else None)
     (Util.cartesian choices)
+  |> List.filter_map Fun.id
 
 (** The paper's closing remark on property (c): "by contrast not all
     valid transitions will be realized by our repertoire of update
@@ -192,9 +196,11 @@ let transition_coverage (t1 : Ttheory.t) (spec : Spec.t) (interp : Interp12.t)
        Ok (!realized, !valid))
 
 (** Run the full first-to-second level refinement check over [domain]
-    (defaults to the spec's base domain). *)
-let check ?(limit = 10_000) ?domain ?(future = true) (t1 : Ttheory.t) (spec : Spec.t)
-    (interp : Interp12.t) : report =
+    (defaults to the spec's base domain). Structure building, valid-state
+    enumeration and the reachability search are swept in parallel over
+    [jobs] domains; the report is independent of [jobs]. *)
+let check ?(limit = 10_000) ?domain ?(future = true) ?jobs (t1 : Ttheory.t)
+    (spec : Spec.t) (interp : Interp12.t) : report =
   let domain = match domain with Some d -> d | None -> spec.Spec.base_domain in
   let interp_errors = Interp12.check interp t1.Ttheory.signature spec.Spec.signature in
   let empty_report =
@@ -212,7 +218,7 @@ let check ?(limit = 10_000) ?domain ?(future = true) (t1 : Ttheory.t) (spec : Sp
     match Reach.explore ~limit ~domain spec with
     | Error e -> { empty_report with eval_error = Some (Fmt.str "%a" Eval.pp_error e) }
     | Ok g ->
-      (match universe_of_graph ~future t1 spec interp g with
+      (match universe_of_graph ~future ?jobs t1 spec interp g with
        | Error e -> { empty_report with eval_error = Some e }
        | Ok u ->
          let axiom_reports = Ttheory.check_in t1 u in
@@ -221,11 +227,13 @@ let check ?(limit = 10_000) ?domain ?(future = true) (t1 : Ttheory.t) (spec : Sp
            List.init (Universe.num_states u) (Universe.state u)
          in
          let unreachable_valid =
-           List.filter
+           Pool.map ?jobs
              (fun valid ->
-               not
-                 (List.exists (Structure.equal_tables valid) reachable_structures))
-             (valid_states t1 ~domain)
+               if List.exists (Structure.equal_tables valid) reachable_structures
+               then None
+               else Some valid)
+             (valid_states ?jobs t1 ~domain)
+           |> List.filter_map Fun.id
          in
          {
            states = Reach.num_states g;

@@ -45,6 +45,7 @@ val structure_of_node :
     state of A"). *)
 val universe_of_graph :
   ?future:bool ->
+  ?jobs:int ->
   Ttheory.t ->
   Spec.t ->
   Interp12.t ->
@@ -54,14 +55,19 @@ val universe_of_graph :
 (** All structures over the domain satisfying T1's static axioms: the
     set V of valid states (paper Section 4.4(b)). Exponential in the
     domain; keep domains small. *)
-val valid_states : Ttheory.t -> domain:Domain.t -> Structure.t list
+val valid_states : ?jobs:int -> Ttheory.t -> domain:Domain.t -> Structure.t list
 
 (** Run the full first-to-second level refinement check over [domain]
-    (defaults to the spec's base domain). *)
+    (defaults to the spec's base domain). Structure building,
+    valid-state enumeration and the reachability search are swept in
+    parallel over [jobs] domains (default
+    {!Fdbs_kernel.Pool.default_jobs}); the report is independent of
+    [jobs]. *)
 val check :
   ?limit:int ->
   ?domain:Domain.t ->
   ?future:bool ->
+  ?jobs:int ->
   Ttheory.t ->
   Spec.t ->
   Interp12.t ->

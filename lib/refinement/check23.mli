@@ -41,6 +41,15 @@ val reachable_dbs :
 
 (** Run the full second-to-third level refinement check: every equation
     of T2, over every reachable database and all parameter values from
-    the environment's domain. *)
+    the environment's domain. The (equation, parameter-valuation)
+    instances are swept in parallel over [jobs] domains (default
+    {!Fdbs_kernel.Pool.default_jobs}); the report is deterministic and
+    independent of [jobs]. *)
 val check :
-  ?limit:int -> ?budget:Fdbs_kernel.Budget.t -> Spec.t -> Semantics.env -> Interp23.t -> report
+  ?limit:int ->
+  ?budget:Fdbs_kernel.Budget.t ->
+  ?jobs:int ->
+  Spec.t ->
+  Semantics.env ->
+  Interp23.t ->
+  report

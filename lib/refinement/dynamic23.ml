@@ -151,9 +151,10 @@ type verdict = {
 }
 
 (** Check every Q-equation's dynamic-logic translation at every
-    reachable database: the syntactic counterpart of
-    {!Check23.check}. *)
-let check ?(limit = 2_000) ?budget (spec : Spec.t) (env : Semantics.env)
+    reachable database: the syntactic counterpart of {!Check23.check}.
+    The per-database checks of each equation run in parallel over
+    [jobs] domains; the verdicts are independent of [jobs]. *)
+let check ?(limit = 2_000) ?budget ?jobs (spec : Spec.t) (env : Semantics.env)
     (k : Interp23.t) : (verdict list, string) result =
   let env =
     match budget with Some b -> Semantics.with_budget b env | None -> env
@@ -169,7 +170,9 @@ let check ?(limit = 2_000) ?budget (spec : Spec.t) (env : Semantics.env)
          | Error e -> Error (Fmt.str "equation %s: %s" eq.Equation.eq_name e)
          | Ok formula ->
            let holds =
-             try List.for_all (fun db -> Dynamic.holds env db formula) dbs
+             try
+               Pool.map ?jobs (fun db -> Dynamic.holds env db formula) dbs
+               |> List.for_all Fun.id
              with Dynamic.Dyn_error e -> invalid_arg e
            in
            go

@@ -28,10 +28,14 @@ type verdict = {
 }
 
 (** Check every Q-equation's translation at every reachable database:
-    the syntactic counterpart of {!Check23.check}. *)
+    the syntactic counterpart of {!Check23.check}. The per-database
+    checks run in parallel over [jobs] domains (default
+    {!Fdbs_kernel.Pool.default_jobs}); the verdicts are independent of
+    [jobs]. *)
 val check :
   ?limit:int ->
   ?budget:Fdbs_kernel.Budget.t ->
+  ?jobs:int ->
   Spec.t ->
   Semantics.env ->
   Interp23.t ->

@@ -30,6 +30,25 @@ let equal (a : t) (b : t) =
   SMap.equal Relation.equal a.relations b.relations
   && SMap.equal Value.equal a.scalars b.scalars
 
+(** A structural hash consistent with {!equal}: folds the (cached)
+    relation hashes and scalar values in canonical name order. Makes
+    visited-state membership in fixpoint sweeps O(1) expected instead
+    of a pairwise [equal] scan. *)
+let hash (db : t) : int =
+  let h = ref 17 in
+  let mix n = h := (!h * 33) + n in
+  SMap.iter
+    (fun name rel ->
+      mix (Hashtbl.hash name);
+      mix (Relation.hash rel))
+    db.relations;
+  SMap.iter
+    (fun name v ->
+      mix (Hashtbl.hash name);
+      mix (Value.hash v))
+    db.scalars;
+  !h land max_int
+
 (** Union of every relation's active domain plus the scalar values
     (each scalar keyed under its value's... relations only carry sorts,
     so scalars are contributed by the caller when needed). *)

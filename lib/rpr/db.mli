@@ -27,6 +27,11 @@ val scalars : t -> (string * Value.t) list
 
 val equal : t -> t -> bool
 
+(** A structural hash consistent with {!equal}, built from the cached
+    per-relation hashes; cheap enough to key visited-state tables in
+    fixpoint exploration. *)
+val hash : t -> int
+
 (** Union of every relation's active domain. *)
 val active_domain : t -> Domain.t
 

@@ -45,13 +45,17 @@ let universe (schema : Schema.t) ~(domain : Domain.t) ~(base : Db.t) : Db.t list
 let meaning (env : Semantics.env) (states : Db.t list) (stmt : Stmt.t) :
   (int * int) list =
   let arr = Array.of_list states in
+  (* Hash-indexed state lookup instead of a linear [Db.equal] scan over
+     the whole universe per executed state. Indices are inserted in
+     descending order so [Hashtbl.find_all] (most-recent-first) yields
+     them ascending, preserving the lowest-index-wins rule for duplicate
+     states. *)
+  let by_hash : (int, int) Hashtbl.t = Hashtbl.create (2 * Array.length arr) in
+  for i = Array.length arr - 1 downto 0 do
+    Hashtbl.add by_hash (Db.hash arr.(i)) i
+  done;
   let index db =
-    let rec go i =
-      if i >= Array.length arr then None
-      else if Db.equal arr.(i) db then Some i
-      else go (i + 1)
-    in
-    go 0
+    List.find_opt (fun i -> Db.equal arr.(i) db) (Hashtbl.find_all by_hash (Db.hash db))
   in
   List.concat
     (List.mapi
@@ -61,8 +65,20 @@ let meaning (env : Semantics.env) (states : Db.t list) (stmt : Stmt.t) :
            (Semantics.exec env stmt db))
        states)
 
-(** Relation composition on index pairs. *)
+(** Relation composition on index pairs, via a hash index on [r2]'s
+    first component: O(|r1| + |r2| + |output| log |output|) instead of
+    the pairwise scan kept below as {!compose_naive}. *)
 let compose (r1 : (int * int) list) (r2 : (int * int) list) : (int * int) list =
+  let by_fst : (int, int) Hashtbl.t = Hashtbl.create (2 * List.length r2) in
+  List.iter (fun (b', c) -> Hashtbl.add by_fst b' c) r2;
+  List.concat_map
+    (fun (a, b) -> List.map (fun c -> (a, c)) (Hashtbl.find_all by_fst b))
+    r1
+  |> List.sort_uniq compare
+
+(** The original pairwise composition; retained as the oracle for the
+    equivalence property test of {!compose}. *)
+let compose_naive (r1 : (int * int) list) (r2 : (int * int) list) : (int * int) list =
   List.concat_map
     (fun (a, b) -> List.filter_map (fun (b', c) -> if b = b' then Some (a, c) else None) r2)
     r1

@@ -22,8 +22,13 @@ val universe : Schema.t -> domain:Domain.t -> base:Db.t -> Db.t list
     universe: index pairs (i, j) with (U_i, U_j) ∈ m(s). *)
 val meaning : Semantics.env -> Db.t list -> Stmt.t -> (int * int) list
 
-(** Relation composition on index pairs. *)
+(** Relation composition on index pairs, via a hash index on the second
+    relation's first component. *)
 val compose : (int * int) list -> (int * int) list -> (int * int) list
+
+(** The original pairwise O(n·m) composition; the oracle for the
+    equivalence property test of {!compose}. *)
+val compose_naive : (int * int) list -> (int * int) list -> (int * int) list
 
 (** Reflexive-transitive closure on index pairs over [n] states. *)
 val closure : n:int -> (int * int) list -> (int * int) list

@@ -75,7 +75,7 @@ let eval ~domain ?consts (db : Db.t) (e : expr) : Relation.t =
     | Select (ps, e) -> Relation.filter (fun row -> List.for_all (pred_holds row) ps) (go e)
     | Project (cols, e) ->
       let r = go e in
-      let out_sorts = List.map (fun i -> List.nth r.Relation.sorts i) cols in
+      let out_sorts = List.map (fun i -> List.nth (Relation.sorts r) i) cols in
       Relation.fold
         (fun row acc ->
           let arr = Array.of_list row in
@@ -88,7 +88,7 @@ let eval ~domain ?consts (db : Db.t) (e : expr) : Relation.t =
         (fun row_a acc ->
           Relation.fold (fun row_b acc -> Relation.add (row_a @ row_b) acc) rb acc)
         ra
-        (Relation.empty (ra.Relation.sorts @ rb.Relation.sorts))
+        (Relation.empty (Relation.sorts ra @ Relation.sorts rb))
     | Union (a, b) -> Relation.union (go a) (go b)
     | Antijoin (e, r, args) ->
       let target = Db.relation_exn db r in

@@ -1,6 +1,20 @@
 (** Finite relations: sets of equal-length value tuples, the data
     structures of the relational model that RPR programs manipulate
-    (paper Section 5.1). *)
+    (paper Section 5.1).
+
+    The representation is a canonical sorted set of tuples (so
+    structural equality needs no re-sorting) carrying lazily built,
+    atomically published caches: a hash of the whole extension (for
+    O(1) database-state hashing in fixpoint exploration), a tuple hash
+    table (O(1)-amortized membership, e.g. antijoin probes), and
+    per-column value indexes (O(n + m + |output|) composition instead
+    of pairwise scanning). The caches never change what is observable:
+    every operation is defined by the tuple set alone.
+
+    Thread-safety: caches live in [Atomic.t] cells and are built
+    fully before being published, so concurrent {!Pool} worker domains
+    may at worst duplicate a cache build — never observe a partial
+    one. *)
 
 open Fdbs_kernel
 
@@ -9,17 +23,42 @@ module Tuple = struct
 
   let compare = List.compare Value.compare
   let equal a b = compare a b = 0
+
+  (* Deterministic across runs (unlike the depth-limited generic
+     [Hashtbl.hash] it folds every column). *)
+  let hash (tu : t) =
+    List.fold_left (fun h v -> (h * 33) + Value.hash v) 5381 tu land max_int
+
   let pp ppf tu = Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") Value.pp) tu
 end
 
 module Tuple_set = Set.Make (Tuple)
 
+type index = (Value.t, Tuple.t list) Hashtbl.t
+
 type t = {
   sorts : Sort.t list;  (** column sorts; the relation's arity is their length *)
   tuples : Tuple_set.t;
+  hash_cache : int Atomic.t;  (** [-1] until computed *)
+  mem_cache : (Tuple.t, unit) Hashtbl.t option Atomic.t;
+  col_cache : (int * index) list Atomic.t;  (** per-column value indexes *)
 }
 
-let empty sorts = { sorts; tuples = Tuple_set.empty }
+(* Every constructor goes through [make]: derived relations start with
+   fresh (empty) caches. *)
+let make sorts tuples =
+  {
+    sorts;
+    tuples;
+    hash_cache = Atomic.make (-1);
+    mem_cache = Atomic.make None;
+    col_cache = Atomic.make [];
+  }
+
+let empty sorts = make sorts Tuple_set.empty
+
+let sorts (r : t) = r.sorts
+let tuple_set (r : t) = r.tuples
 
 let arity (r : t) = List.length r.sorts
 
@@ -31,33 +70,139 @@ let check_tuple (r : t) (tu : Tuple.t) =
 
 let add tu (r : t) =
   check_tuple r tu;
-  { r with tuples = Tuple_set.add tu r.tuples }
+  make r.sorts (Tuple_set.add tu r.tuples)
 
 let remove tu (r : t) =
   check_tuple r tu;
-  { r with tuples = Tuple_set.remove tu r.tuples }
-
-let mem tu (r : t) = Tuple_set.mem tu r.tuples
-
-let of_list sorts tuples = List.fold_left (fun r tu -> add tu r) (empty sorts) tuples
-let to_list (r : t) = Tuple_set.elements r.tuples
+  make r.sorts (Tuple_set.remove tu r.tuples)
 
 let cardinal (r : t) = Tuple_set.cardinal r.tuples
 let is_empty (r : t) = Tuple_set.is_empty r.tuples
 
-let union (a : t) (b : t) = { a with tuples = Tuple_set.union a.tuples b.tuples }
-let inter (a : t) (b : t) = { a with tuples = Tuple_set.inter a.tuples b.tuples }
-let diff (a : t) (b : t) = { a with tuples = Tuple_set.diff a.tuples b.tuples }
+(* Below this cardinality a balanced-tree lookup beats building a hash
+   table; above it the table is built once and every later probe is
+   O(1). *)
+let mem_index_threshold = 8
 
-let filter f (r : t) = { r with tuples = Tuple_set.filter f r.tuples }
+let mem tu (r : t) =
+  match Atomic.get r.mem_cache with
+  | Some tbl -> Hashtbl.mem tbl tu
+  | None ->
+    if Tuple_set.cardinal r.tuples < mem_index_threshold then
+      Tuple_set.mem tu r.tuples
+    else begin
+      let tbl = Hashtbl.create (2 * Tuple_set.cardinal r.tuples) in
+      Tuple_set.iter (fun t -> Hashtbl.replace tbl t ()) r.tuples;
+      Atomic.set r.mem_cache (Some tbl);
+      Hashtbl.mem tbl tu
+    end
+
+(** The value -> tuples index for column [col], built on first use and
+    cached. The index is immutable once published. *)
+let index_on (col : int) (r : t) : index =
+  if col < 0 || col >= arity r then
+    invalid_arg (Fmt.str "Relation.index_on: column %d of arity %d" col (arity r));
+  match List.assoc_opt col (Atomic.get r.col_cache) with
+  | Some idx -> idx
+  | None ->
+    let idx : index = Hashtbl.create (max 16 (2 * Tuple_set.cardinal r.tuples)) in
+    Tuple_set.iter
+      (fun tu ->
+        let key = List.nth tu col in
+        Hashtbl.replace idx key
+          (tu :: Option.value ~default:[] (Hashtbl.find_opt idx key)))
+      r.tuples;
+    let rec publish () =
+      let cur = Atomic.get r.col_cache in
+      if List.mem_assoc col cur then ()
+      else if not (Atomic.compare_and_set r.col_cache cur ((col, idx) :: cur)) then
+        publish ()
+    in
+    publish ();
+    idx
+
+(** All tuples whose column [col] holds [value], via the cached
+    index. *)
+let find_by ~(col : int) (value : Value.t) (r : t) : Tuple.t list =
+  Option.value ~default:[] (Hashtbl.find_opt (index_on col r) value)
+
+let of_list sorts tuples = List.fold_left (fun r tu -> add tu r) (empty sorts) tuples
+let to_list (r : t) = Tuple_set.elements r.tuples
+
+let union (a : t) (b : t) = make a.sorts (Tuple_set.union a.tuples b.tuples)
+let inter (a : t) (b : t) = make a.sorts (Tuple_set.inter a.tuples b.tuples)
+let diff (a : t) (b : t) = make a.sorts (Tuple_set.diff a.tuples b.tuples)
+
+let filter f (r : t) = make r.sorts (Tuple_set.filter f r.tuples)
 
 let fold f (r : t) acc = Tuple_set.fold f r.tuples acc
 let iter f (r : t) = Tuple_set.iter f r.tuples
 let exists f (r : t) = Tuple_set.exists f r.tuples
 let for_all f (r : t) = Tuple_set.for_all f r.tuples
 
+(** A canonical hash of the extension (sorts contribute arity only),
+    computed once per relation value. Consistent with {!equal}. *)
+let hash (r : t) =
+  let h = Atomic.get r.hash_cache in
+  if h >= 0 then h
+  else begin
+    let h =
+      Tuple_set.fold
+        (fun tu acc -> (acc * 33) + Tuple.hash tu)
+        r.tuples
+        ((arity r * 7) + 3)
+      land max_int
+    in
+    Atomic.set r.hash_cache h;
+    h
+  end
+
 let equal (a : t) (b : t) =
-  List.equal Sort.equal a.sorts b.sorts && Tuple_set.equal a.tuples b.tuples
+  a == b
+  || (let ha = Atomic.get a.hash_cache and hb = Atomic.get b.hash_cache in
+      (* cached hashes, when both present, give a cheap negative *)
+      (ha < 0 || hb < 0 || ha = hb)
+      && List.equal Sort.equal a.sorts b.sorts
+      && Tuple_set.equal a.tuples b.tuples)
+
+(** Composition of binary relations sharing their middle sort:
+    [compose a b = {(x, z) | (x, y) ∈ a, (y, z) ∈ b}], evaluated
+    through [b]'s first-column index — O(|a| + |b| + |output| log
+    |output|) rather than the pairwise O(|a|·|b|) scan. *)
+let compose (a : t) (b : t) : t =
+  match (a.sorts, b.sorts) with
+  | [ sa; mid_a ], [ mid_b; sb ] when Sort.equal mid_a mid_b ->
+    let out = ref Tuple_set.empty in
+    Tuple_set.iter
+      (fun tu ->
+        match tu with
+        | [ x; y ] ->
+          List.iter
+            (fun tu' ->
+              match tu' with
+              | [ _; z ] -> out := Tuple_set.add [ x; z ] !out
+              | _ -> assert false)
+            (find_by ~col:0 y b)
+        | _ -> assert false)
+      a.tuples;
+    make [ sa; sb ] !out
+  | _ ->
+    invalid_arg
+      "Relation.compose: expects binary relations sharing their middle sort"
+
+(** Transitive closure of a homogeneous binary relation, by iterated
+    indexed composition to a fixpoint. *)
+let transitive_closure (r : t) : t =
+  (match r.sorts with
+   | [ s1; s2 ] when Sort.equal s1 s2 -> ()
+   | _ ->
+     invalid_arg
+       "Relation.transitive_closure: expects a homogeneous binary relation");
+  let rec go acc =
+    let next = union acc (compose acc r) in
+    if equal next acc then acc else go next
+  in
+  go r
 
 (** Values appearing in each column, keyed by the column's sort: the
     relation's contribution to the active domain. *)

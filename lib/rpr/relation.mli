@@ -1,6 +1,13 @@
 (** Finite relations: sets of equal-length value tuples, the data
     structures of the relational model that RPR programs manipulate
-    (paper Section 5.1). *)
+    (paper Section 5.1).
+
+    The representation is abstract: a canonical sorted tuple set
+    carrying lazily built, atomically published caches — a whole-
+    extension hash, an O(1)-amortized membership table, and per-column
+    value indexes that make {!compose} linear in its inputs. All
+    operations are defined by the tuple set alone; it is safe to share
+    relation values across {!Fdbs_kernel.Pool} worker domains. *)
 
 open Fdbs_kernel
 
@@ -9,24 +16,40 @@ module Tuple : sig
 
   val compare : t -> t -> int
   val equal : t -> t -> bool
+
+  (** Deterministic across runs, consistent with {!equal}. *)
+  val hash : t -> int
+
   val pp : t Fmt.t
 end
 
 module Tuple_set : Set.S with type elt = Tuple.t
 
-type t = {
-  sorts : Sort.t list;  (** column sorts; the arity is their length *)
-  tuples : Tuple_set.t;
-}
+type t
 
 val empty : Sort.t list -> t
+
+(** Column sorts; the relation's arity is their length. *)
+val sorts : t -> Sort.t list
+
+(** The underlying canonical tuple set. *)
+val tuple_set : t -> Tuple_set.t
+
 val arity : t -> int
 
 (** Raises [Invalid_argument] on arity mismatch. *)
 val add : Tuple.t -> t -> t
 
 val remove : Tuple.t -> t -> t
+
+(** O(1) amortized: served by a lazily built hash table once the
+    relation is large enough to repay building it. *)
 val mem : Tuple.t -> t -> bool
+
+(** All tuples whose column [col] holds [value], via a cached
+    per-column index. Raises [Invalid_argument] if [col] is out of
+    range. *)
+val find_by : col:int -> Value.t -> t -> Tuple.t list
 
 val of_list : Sort.t list -> Tuple.t list -> t
 val to_list : t -> Tuple.t list
@@ -45,6 +68,19 @@ val exists : (Tuple.t -> bool) -> t -> bool
 val for_all : (Tuple.t -> bool) -> t -> bool
 
 val equal : t -> t -> bool
+
+(** A canonical hash of the extension, computed once per relation value
+    and cached; consistent with {!equal}. *)
+val hash : t -> int
+
+(** [compose a b = {(x, z) | (x, y) ∈ a, (y, z) ∈ b}] for binary
+    relations sharing their middle sort, evaluated through [b]'s
+    first-column index. Raises [Invalid_argument] otherwise. *)
+val compose : t -> t -> t
+
+(** Transitive closure of a homogeneous binary relation by iterated
+    indexed composition. Raises [Invalid_argument] otherwise. *)
+val transitive_closure : t -> t
 
 (** Values appearing in each column, keyed by the column's sort: the
     relation's contribution to the active domain. *)

@@ -39,7 +39,8 @@ exception Exec_error of string
 
 let err fmt = Fmt.kstr (fun s -> raise (Exec_error s)) fmt
 
-let dedup_states (dbs : Db.t list) : Db.t list = Util.dedup ~eq:Db.equal dbs
+let dedup_states (dbs : Db.t list) : Db.t list =
+  Util.dedup_hashed ~eq:Db.equal ~hash:Db.hash dbs
 
 (* The distinct-state allowance for one fixpoint exploration: the
    ad-hoc [star_limit], tightened by the budget's state cap. *)
@@ -78,7 +79,8 @@ let rec exec (env : env) (stmt : Stmt.t) (db : Db.t) : Db.t list =
     dedup_states (List.concat_map (exec env q) (exec env p db))
   | Stmt.Star p ->
     let states, truncated =
-      Util.bfs_fixpoint ~eq:Db.equal ~limit:(iter_limit env) ~step:(exec env p) [ db ]
+      Util.bfs_fixpoint ~eq:Db.equal ~hash:Db.hash ~limit:(iter_limit env)
+        ~step:(exec env p) [ db ]
     in
     if truncated then truncated_fixpoint env "iteration" else states
   | Stmt.If (c, p, q) ->
@@ -94,7 +96,7 @@ let rec exec (env : env) (stmt : Stmt.t) (db : Db.t) : Db.t list =
     let holds db = Relcalc.holds ~domain:env.domain ~consts:env.consts db c in
     let step db = if holds db then exec env p db else [] in
     let states, truncated =
-      Util.bfs_fixpoint ~eq:Db.equal ~limit:(iter_limit env) ~step [ db ]
+      Util.bfs_fixpoint ~eq:Db.equal ~hash:Db.hash ~limit:(iter_limit env) ~step [ db ]
     in
     if truncated then truncated_fixpoint env "while loop"
     else List.filter (fun db -> not (holds db)) states

@@ -10,5 +10,6 @@ let () =
       ("refinement", Test_refinement.suite);
       ("core", Test_core.suite);
       ("txn", Test_txn.suite);
+      ("parallel", Test_parallel.suite);
       ("properties", Test_props.suite);
     ]

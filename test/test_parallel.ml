@@ -1,0 +1,172 @@
+(* The parallel kernel: Pool's determinism contract, budget exactness
+   across domains, and jobs-count invariance of the refinement
+   checkers. *)
+
+open Fdbs_kernel
+open Fdbs_rpr
+open Fdbs_refine
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_chunks () =
+  let xs = List.init 13 Fun.id in
+  List.iter
+    (fun jobs ->
+      let cs = Pool.chunks ~jobs xs in
+      check
+        Alcotest.(list int)
+        (Fmt.str "concat of chunks ~jobs:%d" jobs)
+        xs (List.concat cs);
+      checkb (Fmt.str "at most %d chunks" jobs) true (List.length cs <= jobs);
+      checkb "no empty chunk" true (List.for_all (fun c -> c <> []) cs))
+    [ 1; 2; 3; 5; 13; 100 ];
+  check Alcotest.(list (list int)) "empty input" [] (Pool.chunks ~jobs:4 [])
+
+let test_map_matches_list_map () =
+  let xs = List.init 37 Fun.id in
+  let f x = (x * x) + 1 in
+  List.iter
+    (fun jobs ->
+      check
+        Alcotest.(list int)
+        (Fmt.str "map ~jobs:%d" jobs)
+        (List.map f xs)
+        (Pool.map ~jobs f xs))
+    [ 1; 2; 4; 8 ]
+
+let test_map_earliest_exception () =
+  let xs = List.init 10 Fun.id in
+  let f x = if x = 3 || x = 7 then failwith (string_of_int x) else x in
+  List.iter
+    (fun jobs ->
+      match Pool.map ~jobs f xs with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+        check Alcotest.string
+          (Fmt.str "earliest chunk's exception with ~jobs:%d" jobs)
+          "3" msg)
+    [ 1; 2; 4 ]
+
+let test_map_reduce () =
+  let xs = List.init 100 (fun i -> i + 1) in
+  let total =
+    Pool.map_reduce ~jobs:4 ~map:(fun x -> x) ~merge:( + ) ~neutral:0 xs
+  in
+  check Alcotest.int "sum 1..100" 5050 total
+
+let test_default_jobs () =
+  let saved = Pool.default_jobs () in
+  Pool.set_default_jobs 3;
+  check Alcotest.int "set_default_jobs" 3 (Pool.default_jobs ());
+  Pool.set_default_jobs 0;
+  check Alcotest.int "clamped to 1" 1 (Pool.default_jobs ());
+  Pool.set_default_jobs saved;
+  checkb "recommended_jobs positive" true (Pool.recommended_jobs () >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Budget exactness across domains                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_exact_across_domains () =
+  (* 4 workers spend exactly the whole allowance concurrently: no spend
+     may be lost (a lost decrement would let a 101st spend through). *)
+  let b = Budget.make ~steps:100 () in
+  let spend _ =
+    for _ = 1 to 25 do
+      Budget.spend_step b
+    done
+  in
+  (match Pool.map ~jobs:4 spend (List.init 4 Fun.id) with
+   | _ -> ()
+   | exception Budget.Exhausted _ ->
+     Alcotest.fail "budget exhausted before its allowance");
+  (match Budget.spend_step b with
+   | () -> Alcotest.fail "101st step should exhaust the budget"
+   | exception Budget.Exhausted Budget.Steps -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Jobs-count invariance of the checkers                               *)
+(* ------------------------------------------------------------------ *)
+
+let university = Fdbs.University.functions
+let domain = Fdbs.University.small_domain
+
+let test_check23_jobs_invariant () =
+  let env = Semantics.env ~domain Fdbs.University.representation in
+  let r1 = Check23.check ~jobs:1 university env Fdbs.University.mapping in
+  let r4 = Check23.check ~jobs:4 university env Fdbs.University.mapping in
+  checkb "jobs=1 passes" true (Check23.ok r1);
+  checkb "identical reports" true (r1 = r4)
+
+let test_check23_jobs_invariant_on_violation () =
+  (* a broken mapping yields violations; their order and count must not
+     depend on the job count either *)
+  let broken =
+    (* offer runs the cancel procedure: same parameter sorts, wrong
+       behaviour — the offered(c, offer(c, U)) equations now fail *)
+    Interp23.make
+      ~updates:
+        (List.map
+           (fun (u, p) -> (u, if u = "offer" then "cancel" else p))
+           Fdbs.University.mapping.Interp23.updates)
+      ~queries:Fdbs.University.mapping.Interp23.queries
+  in
+  let env = Semantics.env ~domain Fdbs.University.representation in
+  let r1 = Check23.check ~jobs:1 university env broken in
+  let r4 = Check23.check ~jobs:4 university env broken in
+  checkb "violations found" true (r1.Check23.violations <> []);
+  checkb "identical failing reports" true (r1 = r4)
+
+let test_check12_jobs_invariant () =
+  let r1 =
+    Check12.check ~domain ~jobs:1 Fdbs.University.info university
+      Fdbs.University.interp
+  in
+  let r4 =
+    Check12.check ~domain ~jobs:4 Fdbs.University.info university
+      Fdbs.University.interp
+  in
+  checkb "jobs=1 passes" true (Check12.ok r1);
+  checkb "same verdict" true (Check12.ok r1 = Check12.ok r4);
+  check Alcotest.int "same states" r1.Check12.states r4.Check12.states;
+  check Alcotest.int "same unreachable-valid count"
+    (List.length r1.Check12.unreachable_valid)
+    (List.length r4.Check12.unreachable_valid)
+
+let test_dynamic23_jobs_invariant () =
+  let env = Semantics.env ~domain Fdbs.University.representation in
+  let verdicts jobs =
+    match Dynamic23.check ~jobs university env Fdbs.University.mapping with
+    | Ok vs ->
+      List.map (fun v -> (v.Dynamic23.dyn_equation, v.Dynamic23.dyn_holds)) vs
+    | Error e -> Alcotest.fail e
+  in
+  check
+    Alcotest.(list (pair string bool))
+    "jobs 1 = jobs 4" (verdicts 1) (verdicts 4)
+
+let suite =
+  [
+    Alcotest.test_case "pool chunks invariants" `Quick test_chunks;
+    Alcotest.test_case "pool map = List.map for any jobs" `Quick
+      test_map_matches_list_map;
+    Alcotest.test_case "pool map re-raises the earliest chunk's exception" `Quick
+      test_map_earliest_exception;
+    Alcotest.test_case "pool map_reduce folds in order" `Quick test_map_reduce;
+    Alcotest.test_case "default jobs knob" `Quick test_default_jobs;
+    Alcotest.test_case "budget exact across 4 domains" `Quick
+      test_budget_exact_across_domains;
+    Alcotest.test_case "Check23 invariant under jobs" `Quick
+      test_check23_jobs_invariant;
+    Alcotest.test_case "Check23 violations invariant under jobs" `Quick
+      test_check23_jobs_invariant_on_violation;
+    Alcotest.test_case "Check12 invariant under jobs" `Quick
+      test_check12_jobs_invariant;
+    Alcotest.test_case "Dynamic23 invariant under jobs" `Quick
+      test_dynamic23_jobs_invariant;
+  ]

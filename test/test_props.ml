@@ -161,8 +161,124 @@ let prop_active_domain_covers =
       let d = Relation.active_domain r in
       Relation.for_all
         (fun row ->
-          List.for_all2 (fun value srt -> Domain.mem d srt value) row r.Relation.sorts)
+          List.for_all2 (fun value srt -> Domain.mem d srt value) row (Relation.sorts r))
         r)
+
+(* ------------------------------------------------------------------ *)
+(* The indexed relation is observationally a list model                *)
+(* ------------------------------------------------------------------ *)
+
+(* Oracle: plain sorted-unique tuple lists with naive list operations.
+   Every observable of the hash-indexed Relation must agree with it. *)
+let tuple_compare = List.compare Value.compare
+let model_of_list tuples = List.sort_uniq tuple_compare tuples
+
+let random_tuples_gen n_values size =
+  let open QCheck.Gen in
+  let value = map (fun i -> Value.Sym (Fmt.str "v%d" i)) (int_range 0 n_values) in
+  list_size (int_range 0 size) (map (fun (x, y) -> [ x; y ]) (pair value value))
+
+let arbitrary_tuples_and_probe =
+  QCheck.make
+    ~print:(fun (tus, probe) ->
+      Fmt.str "%a ? %a" Fmt.(list Relation.Tuple.pp) tus Relation.Tuple.pp probe)
+    QCheck.Gen.(
+      pair (random_tuples_gen 5 40)
+        (map2 (fun x y -> [ x; y ])
+           (map (fun i -> Value.Sym (Fmt.str "v%d" i)) (int_range 0 5))
+           (map (fun i -> Value.Sym (Fmt.str "v%d" i)) (int_range 0 5))))
+
+let prop_model_membership =
+  QCheck.Test.make ~name:"indexed membership agrees with the list model" ~count:300
+    arbitrary_tuples_and_probe (fun (tuples, probe) ->
+      let r = Relation.of_list [ "a"; "b" ] tuples in
+      (* probe twice: before and after the lazy membership table exists *)
+      let first = Relation.mem probe r in
+      let again = Relation.mem probe r in
+      let model = List.exists (fun tu -> tuple_compare tu probe = 0) tuples in
+      first = model && again = model)
+
+let prop_model_union_to_list =
+  QCheck.Test.make ~name:"union/to_list agree with the list model" ~count:200
+    arbitrary_relation_pair (fun (a, b) ->
+      let model =
+        model_of_list (Relation.to_list a @ Relation.to_list b)
+      in
+      Relation.to_list (Relation.union a b) = model)
+
+let prop_model_equal_and_hash =
+  QCheck.Test.make ~name:"equality matches the list model; equal => same hash"
+    ~count:300 arbitrary_relation_pair (fun (a, b) ->
+      let model_eq = Relation.to_list a = Relation.to_list b in
+      Relation.equal a b = model_eq
+      && ((not model_eq) || Relation.hash a = Relation.hash b))
+
+(* compose needs sorts [a; m] / [m; b]; build both sides from scratch *)
+let arbitrary_composable =
+  QCheck.make
+    ~print:(fun (xs, ys) ->
+      Fmt.str "%a ; %a" Fmt.(list Relation.Tuple.pp) xs Fmt.(list Relation.Tuple.pp) ys)
+    QCheck.Gen.(pair (random_tuples_gen 4 25) (random_tuples_gen 4 25))
+
+let prop_model_compose =
+  QCheck.Test.make ~name:"indexed compose agrees with the list model" ~count:300
+    arbitrary_composable (fun (xs, ys) ->
+      let a = Relation.of_list [ "a"; "m" ] xs in
+      let b = Relation.of_list [ "m"; "b" ] ys in
+      let model =
+        model_of_list
+          (List.concat_map
+             (fun tu ->
+               match tu with
+               | [ x; y ] ->
+                 List.filter_map
+                   (function
+                     | [ y'; z ] when Value.equal y y' -> Some [ x; z ]
+                     | _ -> None)
+                   ys
+               | _ -> [])
+             xs)
+      in
+      Relation.to_list (Relation.compose a b) = model)
+
+let prop_model_closure =
+  QCheck.Test.make ~name:"transitive closure agrees with the list model" ~count:200
+    (QCheck.make
+       ~print:(Fmt.str "%a" Fmt.(list Relation.Tuple.pp))
+       (random_tuples_gen 4 12))
+    (fun edges ->
+      let r = Relation.of_list [ "n"; "n" ] edges in
+      (* naive closure on lists: iterate edge-extension to fixpoint *)
+      let extend paths =
+        model_of_list
+          (paths
+          @ List.concat_map
+              (fun p ->
+                match p with
+                | [ x; y ] ->
+                  List.filter_map
+                    (function
+                      | [ y'; z ] when Value.equal y y' -> Some [ x; z ]
+                      | _ -> None)
+                    edges
+                | _ -> [])
+              paths)
+      in
+      let rec fix paths =
+        let next = extend paths in
+        if next = paths then paths else fix next
+      in
+      Relation.to_list (Relation.transitive_closure r) = fix (model_of_list edges))
+
+(* The indexed Denote.compose agrees with the retained naive oracle. *)
+let prop_denote_compose_equiv =
+  QCheck.Test.make ~name:"Denote.compose agrees with compose_naive" ~count:300
+    QCheck.(
+      pair
+        (small_list (pair (int_bound 20) (int_bound 20)))
+        (small_list (pair (int_bound 20) (int_bound 20))))
+    (fun (r1, r2) ->
+      Denote.compose r1 r2 = Denote.compose_naive r1 r2)
 
 (* ------------------------------------------------------------------ *)
 (* Desugaring preserves the semantics of derived statements            *)
@@ -237,6 +353,12 @@ let suite =
       prop_diff_inter_disjoint;
       prop_select_distributes_over_union;
       prop_active_domain_covers;
+      prop_model_membership;
+      prop_model_union_to_list;
+      prop_model_equal_and_hash;
+      prop_model_compose;
+      prop_model_closure;
+      prop_denote_compose_equiv;
       prop_desugar_preserves_semantics;
       prop_strategies_agree;
     ]
