@@ -539,6 +539,86 @@ let e17 () =
        (List.concat_map (fun (n, d) -> point n d) [ ("2x2", dom_2x2) ]))
 
 (* ------------------------------------------------------------------ *)
+(* E19: the cost-based query planner — quantified bodies, constraint   *)
+(* checking, and the plan cache                                        *)
+(* ------------------------------------------------------------------ *)
+
+let planner_schema = University.representation
+
+(* {(s,c) | TAKES(s,c) & forall s2. TAKES(s2,c) -> OFFERED(c)} — a
+   universally quantified body the naive evaluator pays
+   |student|^2 x |course| substitute-and-test steps for (no witness
+   short-circuits a true forall), while the compiled plan antijoins
+   TAKES against the tiny projected subplan of the negated
+   existential. *)
+let planner_quantified_rterm =
+  let sv = { Term.vname = "s"; vsort = "student" } in
+  let cv = { Term.vname = "c"; vsort = "course" } in
+  let s2 = { Term.vname = "s2"; vsort = "student" } in
+  {
+    Stmt.rt_vars = [ sv; cv ];
+    rt_body =
+      Formula.And
+        ( Formula.Pred ("TAKES", [ Term.Var sv; Term.Var cv ]),
+          Formula.Forall
+            ( s2,
+              Formula.Imp
+                ( Formula.Pred ("TAKES", [ Term.Var s2; Term.Var cv ]),
+                  Formula.Pred ("OFFERED", [ Term.Var cv ]) ) ) );
+  }
+
+(* The guarded schema's integrity constraint: every enrollment is in an
+   offered course. Compiles to an emptiness test on an antijoin. *)
+let takes_offered_wff =
+  let sv = { Term.vname = "s"; vsort = "student" } in
+  let cv = { Term.vname = "c"; vsort = "course" } in
+  Formula.forall [ sv; cv ]
+    (Formula.Imp
+       ( Formula.Pred ("TAKES", [ Term.Var sv; Term.Var cv ]),
+         Formula.Pred ("OFFERED", [ Term.Var cv ]) ))
+
+let planner_db n =
+  Schema.empty_db planner_schema
+  |> Db.with_relation "OFFERED"
+       (Relation.of_list [ "course" ] [ [ v "cs101" ]; [ v "cs102" ] ])
+  |> Db.with_relation "TAKES"
+       (Relation.of_list [ "student"; "course" ]
+          (List.init n (fun i ->
+               [ v (Fmt.str "s%d" i); (if i mod 2 = 0 then v "cs101" else v "cs102") ])))
+
+let e19 () =
+  let point n =
+    let dom = domain_n_students n in
+    let db = planner_db n in
+    let eval strategy () =
+      Planner.eval_rterm ~strategy ~schema:planner_schema ~domain:dom db
+        planner_quantified_rterm
+    in
+    let check strategy () =
+      Planner.holds ~strategy ~schema:planner_schema ~domain:dom db
+        takes_offered_wff
+    in
+    [
+      Test.make
+        ~name:(Fmt.str "quantified rterm naive    n=%4d" n)
+        (Staged.stage (eval `Naive));
+      Test.make
+        ~name:(Fmt.str "quantified rterm compiled n=%4d" n)
+        (Staged.stage (eval `Compiled));
+      Test.make
+        ~name:(Fmt.str "constraint check naive    n=%4d" n)
+        (Staged.stage (check `Naive));
+      Test.make
+        ~name:(Fmt.str "constraint check compiled n=%4d" n)
+        (Staged.stage (check `Compiled));
+    ]
+  in
+  report ~id:"E19"
+    ~title:"cost-based planner: quantified bodies and constraint checks vs naive"
+    ~notes:"naive pays carrier-product enumeration with an inner quantifier sweep per tuple; the plan cache amortizes compilation so compiled scans the live relations"
+    (Test.make_grouped ~name:"e19-planner" (List.concat_map point [ 16; 64; 256 ]))
+
+(* ------------------------------------------------------------------ *)
 (* E18: kernel microbenchmarks, machine-readable (--json)               *)
 (* ------------------------------------------------------------------ *)
 
@@ -613,6 +693,41 @@ let bench_check23 ~jobs () =
       let r = Check23.check ~jobs uni env University.mapping in
       if not (Check23.ok r) then invalid_arg "bench: Check23 unexpectedly failed")
 
+let bench_planner_quantified ~strategy () =
+  let n = 256 in
+  let dom = domain_n_students n in
+  let db = planner_db n in
+  time_ns (fun () ->
+      ignore
+        (Sys.opaque_identity
+           (Planner.eval_rterm ~strategy ~schema:planner_schema ~domain:dom db
+              planner_quantified_rterm)))
+
+let bench_constraint_check ~strategy () =
+  let n = 512 in
+  let dom = domain_n_students n in
+  let db = planner_db n in
+  time_ns (fun () ->
+      if
+        not
+          (Planner.holds ~strategy ~schema:planner_schema ~domain:dom db
+             takes_offered_wff)
+      then invalid_arg "bench: takes_offered unexpectedly violated")
+
+(* A cache miss pays hashing + compilation + optimization; a hit pays
+   hashing + one bucket scan. *)
+let bench_plan_cache_miss () =
+  time_ns (fun () ->
+      Planner.clear ();
+      ignore
+        (Sys.opaque_identity (Planner.plan_rterm planner_schema planner_quantified_rterm)))
+
+let bench_plan_cache_hit () =
+  ignore (Planner.plan_rterm planner_schema planner_quantified_rterm);
+  time_ns (fun () ->
+      ignore
+        (Sys.opaque_identity (Planner.plan_rterm planner_schema planner_quantified_rterm)))
+
 let json_escape s =
   String.concat ""
     (List.map
@@ -629,6 +744,12 @@ let run_json () =
       ("check23_jobs1", bench_check23 ~jobs:1 ());
       ("check23_jobs2", bench_check23 ~jobs:2 ());
       ("check23_jobs4", bench_check23 ~jobs:4 ());
+      ("planner_quantified_naive", bench_planner_quantified ~strategy:`Naive ());
+      ("planner_quantified_compiled", bench_planner_quantified ~strategy:`Compiled ());
+      ("constraint_check_naive", bench_constraint_check ~strategy:`Naive ());
+      ("constraint_check_compiled", bench_constraint_check ~strategy:`Compiled ());
+      ("plan_cache_miss", bench_plan_cache_miss ());
+      ("plan_cache_hit", bench_plan_cache_hit ());
     ]
   in
   let get name = List.assoc name metrics in
@@ -636,6 +757,11 @@ let run_json () =
     [
       ("check23_speedup_jobs2", get "check23_jobs1" /. get "check23_jobs2");
       ("check23_speedup_jobs4", get "check23_jobs1" /. get "check23_jobs4");
+      ( "planner_quantified_speedup",
+        get "planner_quantified_naive" /. get "planner_quantified_compiled" );
+      ( "constraint_check_speedup",
+        get "constraint_check_naive" /. get "constraint_check_compiled" );
+      ("plan_cache_speedup", get "plan_cache_miss" /. get "plan_cache_hit");
     ]
   in
   let pp_fields ppf fields =
@@ -660,7 +786,7 @@ let () =
     run_json ();
     exit 0
   end;
-  Fmt.pr "fdbs benchmark harness — experiments E1..E17 (see DESIGN.md / EXPERIMENTS.md)@.";
+  Fmt.pr "fdbs benchmark harness — experiments E1..E19 (see DESIGN.md / EXPERIMENTS.md)@.";
   Fmt.pr "paper: Casanova, Veloso & Furtado, PODS 1984 (no quantitative tables;@.";
   Fmt.pr "the experiments measure the framework's checkers and evaluators).@.";
   e1 ();
@@ -680,4 +806,5 @@ let () =
   e15 ();
   e16 ();
   e17 ();
+  e19 ();
   Fmt.pr "@.done.@."

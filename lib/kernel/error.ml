@@ -21,6 +21,9 @@ type code =
   | Fault_injected of string  (** the fault site that fired *)
   | Unknown_procedure of string
   | Exec_failure  (** an execution-level failure (detail in [message]) *)
+  | Not_compilable of string
+      (** the offending subformula of a body that the algebra compiler
+          cannot handle, under the [`Compiled] evaluation strategy *)
   | Io_failure
   | Replay_mismatch
 
@@ -32,6 +35,7 @@ let code_name = function
   | Fault_injected _ -> "fault-injected"
   | Unknown_procedure _ -> "unknown-procedure"
   | Exec_failure -> "exec-failure"
+  | Not_compilable _ -> "not-compilable"
   | Io_failure -> "io-failure"
   | Replay_mismatch -> "replay-mismatch"
 
@@ -43,6 +47,13 @@ type t = {
 }
 
 let make ?(context = []) phase code message = { code; phase; context; message }
+
+(** The exception form, for code that must abort through callers that
+    only know how to re-raise; {!Txn.run} and the CLI catch it. *)
+exception Error of t
+
+let raise_error ?context phase code message =
+  raise (Error (make ?context phase code message))
 
 let makef ?context phase code fmt =
   Fmt.kstr (fun s -> make ?context phase code s) fmt

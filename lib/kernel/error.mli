@@ -13,6 +13,9 @@ type code =
   | Fault_injected of string  (** the fault site that fired *)
   | Unknown_procedure of string
   | Exec_failure  (** an execution-level failure (detail in [message]) *)
+  | Not_compilable of string
+      (** the offending subformula of a body that the algebra compiler
+          cannot handle, under the [`Compiled] evaluation strategy *)
   | Io_failure
   | Replay_mismatch
 
@@ -26,6 +29,13 @@ type t = {
 }
 
 val make : ?context:(string * string) list -> phase -> code -> string -> t
+
+(** The exception form, for code that must abort through callers that
+    only know how to re-raise; {!Txn.run} and the CLI catch it. *)
+exception Error of t
+
+val raise_error :
+  ?context:(string * string) list -> phase -> code -> string -> 'a
 
 val makef :
   ?context:(string * string) list ->

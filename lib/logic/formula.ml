@@ -48,6 +48,26 @@ let rec equal f1 f2 =
   | ( (True | False | Pred _ | Eq _ | Not _ | And _ | Or _ | Imp _ | Iff _
       | Forall _ | Exists _), _ ) -> false
 
+(** Structural hash, consistent with {!equal} — the plan cache key for
+    compiled wffs and relational-term bodies. *)
+let hash (f : t) : int =
+  let mix h x = (h * 16777619) lxor x in
+  let rec go h = function
+    | True -> mix h 11
+    | False -> mix h 13
+    | Pred (p, args) ->
+      List.fold_left (fun h t -> mix h (Term.hash t)) (mix (mix h 17) (Hashtbl.hash p)) args
+    | Eq (t1, t2) -> mix (mix (mix h 19) (Term.hash t1)) (Term.hash t2)
+    | Not g -> go (mix h 23) g
+    | And (g, k) -> go (go (mix h 29) g) k
+    | Or (g, k) -> go (go (mix h 31) g) k
+    | Imp (g, k) -> go (go (mix h 37) g) k
+    | Iff (g, k) -> go (go (mix h 41) g) k
+    | Forall (v, g) -> go (mix (mix h 43) (Term.var_hash v)) g
+    | Exists (v, g) -> go (mix (mix h 47) (Term.var_hash v)) g
+  in
+  go 2166136261 f
+
 (** Free variables in first-occurrence order. *)
 let free_vars (f : t) : Term.var list =
   let module V = struct

@@ -40,6 +40,9 @@ val exists : Term.var list -> t -> t
 (** Syntactic equality (no alpha-conversion). *)
 val equal : t -> t -> bool
 
+(** Structural hash, consistent with {!equal}. *)
+val hash : t -> int
+
 (** Free variables in first-occurrence order. *)
 val free_vars : t -> Term.var list
 

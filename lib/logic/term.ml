@@ -27,6 +27,23 @@ let rec equal t1 t2 =
   | Lit v1, Lit v2 -> Value.equal v1 v2
   | (Var _ | App _ | Lit _), _ -> false
 
+(* A small string/int mixer (FNV-style) shared by the structural hashes
+   below; [Hashtbl.hash] would also work but depends on representation
+   details we'd rather not bake into cache keys. *)
+let mix h x = (h * 16777619) lxor x
+let mix_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := mix !h (Char.code c)) s;
+  !h
+
+let var_hash (v : var) = mix_string (mix_string 2166136261 v.vname) v.vsort
+
+(** Structural hash, consistent with {!equal}. *)
+let rec hash = function
+  | Var v -> mix 3 (var_hash v)
+  | App (f, args) -> List.fold_left (fun h t -> mix h (hash t)) (mix_string 5 f) args
+  | Lit v -> mix 7 (Value.hash v)
+
 let compare = Stdlib.compare
 
 (** Free variables, in first-occurrence order, without duplicates. *)

@@ -21,6 +21,11 @@ val var_equal : var -> var -> bool
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
+val var_hash : var -> int
+
+(** Structural hash, consistent with {!equal}. *)
+val hash : t -> int
+
 (** Free variables, in first-occurrence order, without duplicates. *)
 val free_vars : t -> var list
 

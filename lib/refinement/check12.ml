@@ -128,28 +128,61 @@ let valid_states ?jobs (t1 : Ttheory.t) ~(domain : Domain.t) : Structure.t list 
       let smaller = powerset rest in
       smaller @ List.map (fun s -> x :: s) smaller
   in
+  let db_preds = Signature.db_preds t1.Ttheory.signature in
   let choices =
     List.map
       (fun (p : Signature.pred) ->
         let tuples = Util.cartesian (List.map (Domain.carrier domain) p.Signature.pargs) in
         List.map (fun sub -> (p.Signature.pname, sub)) (powerset tuples))
-      (Signature.db_preds t1.Ttheory.signature)
+      db_preds
   in
-  let statics = Ttheory.static_axioms t1 in
+  (* The static axioms are closed wffs over the db-predicates, checked
+     once per candidate state — a constraint-checking workload. Route it
+     through the planner: a pseudo-schema made of the db-predicates lets
+     each safe axiom compile once (into the shared plan cache) and run
+     as an emptiness test on each candidate, instead of re-entering
+     [Eval] recursion over the carriers 2^|tuples| times. Axioms outside
+     the safe fragment fall back to [Eval] unchanged. *)
+  let pseudo_schema : Fdbs_rpr.Schema.t =
+    {
+      Fdbs_rpr.Schema.name = "valid-states";
+      relations =
+        List.map
+          (fun (p : Signature.pred) ->
+            Fdbs_rpr.Schema.rel_decl p.Signature.pname p.Signature.pargs)
+          db_preds;
+      consts = [];
+      constraints = [];
+      procs = [];
+    }
+  in
+  let sorts_of =
+    let tbl = List.map (fun (p : Signature.pred) -> (p.Signature.pname, p.Signature.pargs)) db_preds in
+    fun name -> List.assoc name tbl
+  in
+  let statics =
+    List.filter_map
+      (fun (ax : Ttheory.axiom) -> Tformula.to_formula ax.Ttheory.ax_formula)
+      (Ttheory.static_axioms t1)
+  in
   (* The candidate structures are independent; filter them in parallel,
      keeping the enumeration order. *)
   Pool.map ?jobs
     (fun relations ->
-      let st = Structure.of_tables ~domain ~consts ~relations in
+      let db =
+        List.fold_left
+          (fun db (name, tuples) ->
+            Fdbs_rpr.Db.with_relation name
+              (Fdbs_rpr.Relation.of_list (sorts_of name) tuples)
+              db)
+          Fdbs_rpr.Db.empty relations
+      in
       let valid =
         List.for_all
-          (fun (ax : Ttheory.axiom) ->
-            match Tformula.to_formula ax.Ttheory.ax_formula with
-            | Some f -> Fdbs_logic.Eval.sentence st f
-            | None -> true)
+          (fun f -> Fdbs_rpr.Planner.holds ~schema:pseudo_schema ~domain ~consts db f)
           statics
       in
-      if valid then Some st else None)
+      if valid then Some (Structure.of_tables ~domain ~consts ~relations) else None)
     (Util.cartesian choices)
   |> List.filter_map Fun.id
 

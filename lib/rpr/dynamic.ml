@@ -89,7 +89,11 @@ let rec subst_var (v : Term.var) (value : Value.t) (f : t) : t =
   | Box (p, g) -> Box (subst_prog p, subst_var v value g)
   | Diamond (p, g) -> Diamond (subst_prog p, subst_var v value g)
 
-(** Truth of a closed dynamic-logic formula at a database state. *)
+(** Truth of a closed dynamic-logic formula at a database state.
+    Atoms route through {!Semantics.query} and hence the plan cache:
+    the same wff recurring across the states of a {!Dynamic23}
+    obligation sweep is compiled once and re-run as an emptiness
+    test. *)
 let rec holds (env : Semantics.env) (db : Db.t) : t -> bool = function
   | Atom wff -> Semantics.query env db wff
   | Not f -> not (holds env db f)

@@ -1,0 +1,150 @@
+(** The cost-based query planner: compile once, optimize, cache, and
+    evaluate against live database states.
+
+    Plans are cached under a structural hash of the relational term or
+    wff, keyed per schema via {!Schema.fingerprint}; negative results
+    (bodies outside the safe fragment) are cached too, so the naive
+    fallback never pays repeated compilation attempts. The cache is a
+    process-wide table behind a mutex — cheap relative to planning, and
+    safe across {!Fdbs_kernel.Pool} domains, which share the process. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+(* A cached entry retains what was planned so hash collisions resolve
+   by structural comparison, never by trusting the hash. *)
+type slot =
+  | Srterm of Stmt.rterm * Relalg.expr option
+  | Swff of Formula.t * Relalg.expr option
+
+let table : (int, slot list) Hashtbl.t = Hashtbl.create 256
+let lock = Mutex.create ()
+let hits = Atomic.make 0
+let misses = Atomic.make 0
+
+(* Bound the table so a long-running process interleaving many schemas
+   cannot grow it without limit; resetting just re-plans. *)
+let max_entries = 1024
+
+let stats () = (Atomic.get hits, Atomic.get misses)
+
+let clear () =
+  Mutex.protect lock (fun () -> Hashtbl.reset table);
+  Atomic.set hits 0;
+  Atomic.set misses 0
+
+let mix h x = (h * 16777619) lxor x
+
+let rterm_key (sc : Schema.t) (rt : Stmt.rterm) =
+  let h = mix (Schema.fingerprint sc) 59 in
+  let h = List.fold_left (fun h v -> mix h (Term.var_hash v)) h rt.Stmt.rt_vars in
+  mix h (Formula.hash rt.Stmt.rt_body)
+
+let wff_key (sc : Schema.t) (f : Formula.t) =
+  mix (mix (Schema.fingerprint sc) 61) (Formula.hash f)
+
+let rterm_equal (a : Stmt.rterm) (b : Stmt.rterm) =
+  List.equal Term.var_equal a.Stmt.rt_vars b.Stmt.rt_vars
+  && Formula.equal a.Stmt.rt_body b.Stmt.rt_body
+
+let lookup key match_slot =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt table key with
+      | None -> None
+      | Some slots -> List.find_map match_slot slots)
+
+let store key slot =
+  Mutex.protect lock (fun () ->
+      if Hashtbl.length table >= max_entries then Hashtbl.reset table;
+      let slots = Option.value ~default:[] (Hashtbl.find_opt table key) in
+      Hashtbl.replace table key (slot :: slots))
+
+let optimize (sc : Schema.t) e =
+  Relalg.optimize ~rel_arity:(fun r -> List.length (Schema.sorts_of sc r)) e
+
+(** The optimized plan of a relational term under a schema, from the
+    cache when warm; [None] when the body is outside the safe
+    fragment. *)
+let plan_rterm (sc : Schema.t) (rt : Stmt.rterm) : Relalg.expr option =
+  let key = rterm_key sc rt in
+  let cached =
+    lookup key (function
+      | Srterm (rt', plan) when rterm_equal rt rt' -> Some plan
+      | Srterm _ | Swff _ -> None)
+  in
+  match cached with
+  | Some plan ->
+    Atomic.incr hits;
+    plan
+  | None ->
+    Atomic.incr misses;
+    let plan = Option.map (optimize sc) (Relalg.compile rt) in
+    store key (Srterm (rt, plan));
+    plan
+
+(** The optimized 0-ary plan of a closed wff; [None] when open or
+    unsafe. *)
+let plan_wff (sc : Schema.t) (f : Formula.t) : Relalg.expr option =
+  let key = wff_key sc f in
+  let cached =
+    lookup key (function
+      | Swff (f', plan) when Formula.equal f f' -> Some plan
+      | Srterm _ | Swff _ -> None)
+  in
+  match cached with
+  | Some plan ->
+    Atomic.incr hits;
+    plan
+  | None ->
+    Atomic.incr misses;
+    let plan = Option.map (optimize sc) (Relalg.compile_wff f) in
+    store key (Swff (f, plan));
+    plan
+
+let not_compilable_error what offender =
+  Error.raise_error Error.Exec
+    (Error.Not_compilable (Formula.to_string offender))
+    (Fmt.str "%s not compilable: %a falls outside the safe fragment" what
+       Formula.pp offender)
+
+(** Evaluate a relational term through the plan cache. [`Compiled]
+    raises a structured {!Error.Error} outside the safe fragment;
+    [`Auto] (default) falls back to the naive evaluator. *)
+let eval_rterm ?(strategy = `Auto) ~(schema : Schema.t) ~domain ?consts (db : Db.t)
+  (rt : Stmt.rterm) : Relation.t =
+  Fault.hit "relalg.eval";
+  let naive () = Relcalc.eval_rterm_naive ~domain ?consts db rt in
+  match strategy with
+  | `Naive -> naive ()
+  | `Compiled ->
+    (match plan_rterm schema rt with
+     | Some e -> Relalg.eval ~domain ?consts db e
+     | None ->
+       (match Relalg.compile_explain rt with
+        | Ok _ -> assert false
+        | Error offender -> not_compilable_error "body" offender))
+  | `Auto ->
+    (match plan_rterm schema rt with
+     | Some e -> Relalg.eval ~domain ?consts db e
+     | None -> naive ())
+
+(** Truth of a closed wff through the plan cache: an emptiness test on
+    the compiled 0-ary plan. [`Auto] (default) falls back to
+    {!Relcalc.holds} when the wff is outside the safe fragment;
+    [`Compiled] raises the structured error instead. *)
+let holds ?(strategy = `Auto) ~(schema : Schema.t) ~domain ?consts (db : Db.t)
+  (f : Formula.t) : bool =
+  let naive () = Relcalc.holds ~domain ?consts db f in
+  match strategy with
+  | `Naive -> naive ()
+  | `Compiled ->
+    (match plan_wff schema f with
+     | Some e -> not (Relation.is_empty (Relalg.eval ~domain ?consts db e))
+     | None ->
+       (match Relalg.compile_wff_explain f with
+        | Ok _ -> assert false
+        | Error offender -> not_compilable_error "wff" offender))
+  | `Auto ->
+    (match plan_wff schema f with
+     | Some e -> not (Relation.is_empty (Relalg.eval ~domain ?consts db e))
+     | None -> naive ())

@@ -1,0 +1,51 @@
+(** The cost-based query planner: compile once, optimize, cache, and
+    evaluate against live database states.
+
+    Plans are cached under a structural hash of the relational term or
+    wff ({!Formula.hash}), keyed per schema via {!Schema.fingerprint};
+    negative results (bodies outside the safe fragment) are cached too.
+    The cache is safe across {!Fdbs_kernel.Pool} domains. *)
+
+open Fdbs_kernel
+open Fdbs_logic
+
+(** The optimized plan of a relational term under a schema, from the
+    cache when warm; [None] when the body is outside the safe
+    fragment. *)
+val plan_rterm : Schema.t -> Stmt.rterm -> Relalg.expr option
+
+(** The optimized 0-ary plan of a closed wff; [None] when open or
+    unsafe. *)
+val plan_wff : Schema.t -> Formula.t -> Relalg.expr option
+
+(** Evaluate a relational term through the plan cache. [`Compiled]
+    raises a structured {!Error.Error} ([Not_compilable]) outside the
+    safe fragment; [`Auto] (default) falls back to the naive
+    evaluator. *)
+val eval_rterm :
+  ?strategy:[ `Naive | `Compiled | `Auto ] ->
+  schema:Schema.t ->
+  domain:Domain.t ->
+  ?consts:(string * Value.t) list ->
+  Db.t ->
+  Stmt.rterm ->
+  Relation.t
+
+(** Truth of a closed wff through the plan cache: an emptiness test on
+    the compiled 0-ary plan. [`Auto] (default) falls back to
+    {!Relcalc.holds} outside the safe fragment; [`Compiled] raises the
+    structured error instead. *)
+val holds :
+  ?strategy:[ `Naive | `Compiled | `Auto ] ->
+  schema:Schema.t ->
+  domain:Domain.t ->
+  ?consts:(string * Value.t) list ->
+  Db.t ->
+  Formula.t ->
+  bool
+
+(** Cumulative cache [(hits, misses)] since start or {!clear}. *)
+val stats : unit -> int * int
+
+(** Drop every cached plan and zero the counters. *)
+val clear : unit -> unit

@@ -1,11 +1,17 @@
-(** A relational algebra engine and a compiler from the safe,
-    quantifier-free fragment of the relational calculus into it.
+(** A relational algebra engine and a compiler from the safe fragment
+    of the relational calculus into it.
 
     The naive evaluator of {!Relcalc} enumerates the full cartesian
     product of the bound variables' carriers; for range-restricted
-    bodies (such as those produced by desugaring [insert]/[delete]) the
-    algebra evaluates in time proportional to the relations' contents
-    instead (experiment E10). *)
+    bodies the algebra evaluates in time proportional to the relations'
+    contents instead (experiments E10 and E19). The compiler covers the
+    full safe calculus: existentials become projections over joins,
+    negation and range-restricted universals become antijoins.
+
+    Compiled evaluation agrees with the naive evaluator whenever the
+    database's active domain is contained in the evaluation domain's
+    carriers — the standing invariant of every caller in this
+    codebase. *)
 
 open Fdbs_kernel
 open Fdbs_logic
@@ -29,8 +35,14 @@ type expr =
   | Project of int list * expr  (** also permutes/duplicates columns *)
   | Product of expr * expr
   | Union of expr * expr
-  | Antijoin of expr * string * arg list
-      (** keep rows whose [arg] tuple is {e not} in the named relation *)
+  | Join of expr list * col_pred list
+      (** n-ary equijoin: the inputs' columns concatenated in list
+          order, filtered by the predicates. The optimizer introduces
+          it; evaluation orders the inputs greedily by live cardinality
+          and probes {!Relation.find_by} indexes on the equality links. *)
+  | Antijoin of expr * expr * arg list
+      (** keep left rows whose [arg] tuple (over the left columns) is
+          {e not} in the right subplan *)
 
 val pp : expr Fmt.t
 
@@ -42,11 +54,31 @@ val eval :
   domain:Domain.t -> ?consts:(string * Value.t) list -> Db.t -> expr -> Relation.t
 
 (** Compile a relational term into an algebra expression; [None] when
-    the body falls outside the supported fragment (quantifiers, or a
-    head variable not range-restricted). *)
+    the body falls outside the safe fragment (e.g. a head variable not
+    range-restricted, or a vacuous quantifier). *)
 val compile : Stmt.rterm -> expr option
 
-(** Evaluate a relational term: [`Compiled] requires compilability,
+(** Like {!compile}, but [Error offender] carries the subformula that
+    falls outside the safe fragment — surfaced by [fds explain] and the
+    [`Compiled] strategy's structured error. *)
+val compile_explain : Stmt.rterm -> (expr, Formula.t) result
+
+(** Compile a closed wff to a 0-ary plan: the wff holds iff the plan
+    evaluates to the non-empty (unit) relation. [None] on open or
+    unsafe formulas. *)
+val compile_wff : Formula.t -> expr option
+
+val compile_wff_explain : Formula.t -> (expr, Formula.t) result
+
+(** Optimize a compiled plan: merge [Select]/[Product] towers into
+    n-ary [Join]s, push selections down to their input (through
+    [Union] and [Project]), and drop identity projections. Relation
+    arities come from the schema; join {e ordering} is chosen at
+    evaluation time from live cardinalities. *)
+val optimize : rel_arity:(string -> int) -> expr -> expr
+
+(** Evaluate a relational term: [`Compiled] raises a structured
+    {!Error.Error} ([Not_compilable]) outside the safe fragment,
     [`Auto] (default) falls back to the naive evaluator. *)
 val eval_rterm :
   ?strategy:[ `Naive | `Compiled | `Auto ] ->

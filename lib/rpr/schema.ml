@@ -38,6 +38,19 @@ let sorts_of (sc : t) name =
   | Some r -> r.rsorts
   | None -> invalid_arg (Fmt.str "Schema: undeclared relation %s" name)
 
+(** A structural fingerprint of the relation declarations — the part of
+    the schema a compiled plan depends on. Used to key the plan cache
+    per schema, so two schemas sharing a formula never share a plan. *)
+let fingerprint (sc : t) : int =
+  let mix h x = (h * 16777619) lxor x in
+  let mix_string h s =
+    String.fold_left (fun h c -> mix h (Char.code c)) h s
+  in
+  List.fold_left
+    (fun h r -> List.fold_left mix_string (mix_string (mix h 53) r.rname) r.rsorts)
+    (mix_string 2166136261 sc.name)
+    sc.relations
+
 (** All sorts mentioned by relations, constants and parameters. *)
 let sorts (sc : t) : Sort.t list =
   let of_rels = List.concat_map (fun r -> r.rsorts) sc.relations in

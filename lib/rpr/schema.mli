@@ -37,6 +37,11 @@ val find_constraint : t -> string -> Formula.t option
 (** Column sorts of a declared relation; raises on unknown names. *)
 val sorts_of : t -> string -> Sort.t list
 
+(** A structural fingerprint of the relation declarations — the part of
+    the schema a compiled plan depends on. Keys the plan cache per
+    schema. *)
+val fingerprint : t -> int
+
 (** All sorts mentioned by relations, constants and parameters. *)
 val sorts : t -> Sort.t list
 

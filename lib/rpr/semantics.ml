@@ -52,6 +52,14 @@ let truncated_fixpoint (env : env) what =
   if iter_limit env < env.star_limit then raise (Budget.Exhausted Budget.States)
   else err "%s exceeded the %d-state limit" what env.star_limit
 
+(* Closed-wff truth under the environment's strategy: compiled plans
+   (via the planner's cache) where the wff is safe, naive [Logic.Eval]
+   recursion otherwise. Tests, conditionals, loop guards, constraint
+   checks and [query] all route through here. *)
+let holds (env : env) (db : Db.t) (f : Formula.t) : bool =
+  Planner.holds ~strategy:env.strategy ~schema:env.schema ~domain:env.domain
+    ~consts:env.consts db f
+
 (** Operational form of the meaning function [m]: all outcome states of
     running [stmt] in [db]. An empty list means the statement is
     blocked (its tests admit no outcome). *)
@@ -68,12 +76,12 @@ let rec exec (env : env) (stmt : Stmt.t) (db : Db.t) : Db.t list =
      | None -> err "assignment to undeclared relation %s" r
      | Some _ ->
        let rel =
-         Relalg.eval_rterm ~strategy:env.strategy ~domain:env.domain ~consts:env.consts
-           db rt
+         Planner.eval_rterm ~strategy:env.strategy ~schema:env.schema
+           ~domain:env.domain ~consts:env.consts db rt
        in
        [ Db.with_relation r rel db ])
   | Stmt.Test f ->
-    if Relcalc.holds ~domain:env.domain ~consts:env.consts db f then [ db ] else []
+    if holds env db f then [ db ] else []
   | Stmt.Union (p, q) -> dedup_states (exec env p db @ exec env q db)
   | Stmt.Seq (p, q) ->
     dedup_states (List.concat_map (exec env q) (exec env p db))
@@ -83,9 +91,7 @@ let rec exec (env : env) (stmt : Stmt.t) (db : Db.t) : Db.t list =
         ~step:(exec env p) [ db ]
     in
     if truncated then truncated_fixpoint env "iteration" else states
-  | Stmt.If (c, p, q) ->
-    if Relcalc.holds ~domain:env.domain ~consts:env.consts db c then exec env p db
-    else exec env q db
+  | Stmt.If (c, p, q) -> if holds env db c then exec env p db else exec env q db
   | Stmt.While (c, p) ->
     (* The desugaring [((c?; p))*; (~c)?] made operational: explore the
        c-states reachable through p with a visited set, so the state cap
@@ -93,7 +99,7 @@ let rec exec (env : env) (stmt : Stmt.t) (db : Db.t) : Db.t list =
        revisits states no longer re-explores them (and no longer burns
        fuel exponentially); outcomes are the explored states where c
        fails. *)
-    let holds db = Relcalc.holds ~domain:env.domain ~consts:env.consts db c in
+    let holds db = holds env db c in
     let step db = if holds db then exec env p db else [] in
     let states, truncated =
       Util.bfs_fixpoint ~eq:Db.equal ~hash:Db.hash ~limit:(iter_limit env) ~step [ db ]
@@ -152,5 +158,4 @@ let call_det_exn env name args db =
 (** Truth of a closed wff in a state, under the environment's domain and
     constants — the query side of the DML (paper Section 5.2:
     expressions [R(t̄)] yield True iff [t̄ ∈ R]). *)
-let query (env : env) (db : Db.t) (f : Formula.t) : bool =
-  Relcalc.holds ~domain:env.domain ~consts:env.consts db f
+let query (env : env) (db : Db.t) (f : Formula.t) : bool = holds env db f

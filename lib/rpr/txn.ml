@@ -128,6 +128,10 @@ let run ?budget (txn : t) (calls : Journal.call list) (db : Db.t) :
         (Error.makef phase (Error.Fault_injected site) "fault injected at %s" site)
     | exception Semantics.Exec_error msg ->
       Result.Error (Error.make Error.Exec Error.Exec_failure msg)
+    | exception Error.Error e ->
+      (* already structured — e.g. [Not_compilable] under the
+         [`Compiled] strategy; roll back rather than crash the CLI *)
+      Result.Error e
   in
   match result with Ok db -> Ok db | Result.Error e -> rolled_back e
 

@@ -400,7 +400,131 @@ let prop_equiv_reflexive_symmetric =
       && Observe.equiv ~domain:small_domain university t1 t2
          = Observe.equiv ~domain:small_domain university t2 t1)
 
+(* ------------------------------------------------------------------ *)
+(* The query planner: full safe-calculus compilation and the plan cache *)
+(* ------------------------------------------------------------------ *)
+
+(* Random safe bodies over TAKES/OFFERED with head (s, c) — including
+   quantifiers and negation. Safety comes from the positive TAKES(s, c)
+   guard conjoined at the top, present in every DNF clause; every
+   quantified subformula uses its bound variable, so nothing falls back
+   to the carrier. *)
+let random_safe_rterm_gen =
+  let open QCheck.Gen in
+  let sv = { Term.vname = "s"; vsort = "student" } in
+  let cv = { Term.vname = "c"; vsort = "course" } in
+  let s2 = { Term.vname = "s2"; vsort = "student" } in
+  let c2 = { Term.vname = "c2"; vsort = "course" } in
+  let takes a b = Formula.Pred ("TAKES", [ Term.Var a; Term.Var b ]) in
+  let offered a = Formula.Pred ("OFFERED", [ Term.Var a ]) in
+  let atom =
+    oneofl
+      [
+        takes sv cv;
+        offered cv;
+        Formula.Eq (Term.Var cv, Term.Lit (v "cs101"));
+        Formula.Eq (Term.Var sv, Term.Lit (v "ana"));
+        Formula.Exists (s2, takes s2 cv);
+        Formula.Exists (c2, Formula.And (takes sv c2, offered c2));
+        Formula.Forall (s2, Formula.Imp (takes s2 cv, offered cv));
+        Formula.Forall (c2, Formula.Imp (takes sv c2, offered c2));
+      ]
+  in
+  let rec gen n =
+    if n <= 0 then atom
+    else
+      frequency
+        [
+          (3, atom);
+          (2, map (fun f -> Formula.Not f) (gen (n - 1)));
+          (2, map2 (fun f g -> Formula.And (f, g)) (gen (n / 2)) (gen (n / 2)));
+          (2, map2 (fun f g -> Formula.Or (f, g)) (gen (n / 2)) (gen (n / 2)));
+          (1, map2 (fun f g -> Formula.Imp (f, g)) (gen (n / 2)) (gen (n / 2)));
+          ( 1,
+            map
+              (fun f -> Formula.Exists (s2, Formula.And (takes s2 cv, f)))
+              (gen (n - 1)) );
+        ]
+  in
+  map
+    (fun body ->
+      { Stmt.rt_vars = [ sv; cv ]; rt_body = Formula.And (takes sv cv, body) })
+    (gen 5)
+
+(* Random university states over the 2x2 domain, so the active domain
+   stays inside the evaluation domain's carriers (the equivalence
+   invariant of compiled evaluation). *)
+let random_univ_db_gen =
+  let open QCheck.Gen in
+  let course = oneofl [ v "cs101"; v "cs102" ] in
+  let student = oneofl [ v "ana"; v "bob" ] in
+  let* offered = list_size (int_range 0 3) course in
+  let* takes = list_size (int_range 0 4) (pair student course) in
+  return
+    (Schema.empty_db schema
+    |> Db.with_relation "OFFERED"
+         (Relation.of_list [ "course" ] (List.map (fun c -> [ c ]) offered))
+    |> Db.with_relation "TAKES"
+         (Relation.of_list [ "student"; "course" ]
+            (List.map (fun (s, c) -> [ s; c ]) takes)))
+
+let arbitrary_safe_rterm_and_db =
+  QCheck.make
+    ~print:(fun (rt, db) -> Fmt.str "%a @@ %a" Stmt.pp_rterm rt Db.pp db)
+    QCheck.Gen.(pair random_safe_rterm_gen random_univ_db_gen)
+
+let rel_arity r = List.length (Schema.sorts_of schema r)
+
+(* Every safe body compiles (no naive fallback), and both the raw and
+   the optimized plan agree with the naive oracle. *)
+let prop_safe_bodies_compile =
+  QCheck.Test.make ~name:"safe bodies always compile; compiled = naive" ~count:300
+    arbitrary_safe_rterm_and_db (fun (rt, db) ->
+      match Relalg.compile rt with
+      | None -> false
+      | Some e ->
+        let naive = Relcalc.eval_rterm_naive ~domain db rt in
+        Relation.equal (Relalg.eval ~domain db e) naive
+        && Relation.equal (Relalg.eval ~domain db (Relalg.optimize ~rel_arity e)) naive)
+
+(* Closed wffs (the constraint-checking shape) compile to 0-ary plans
+   whose emptiness test agrees with naive recursive evaluation. *)
+let prop_wff_compiles =
+  QCheck.Test.make ~name:"closed safe wffs compile; emptiness = holds" ~count:300
+    arbitrary_safe_rterm_and_db (fun (rt, db) ->
+      let check wff =
+        match Relalg.compile_wff wff with
+        | None -> false
+        | Some e ->
+          let plan_truth =
+            not (Relation.is_empty (Relalg.eval ~domain db (Relalg.optimize ~rel_arity e)))
+          in
+          plan_truth = Relcalc.holds ~domain db wff
+      in
+      check (Formula.exists rt.Stmt.rt_vars rt.Stmt.rt_body)
+      && check (Formula.forall rt.Stmt.rt_vars (Formula.Not rt.Stmt.rt_body)))
+
+(* Warm cache hits return the very same relation contents. *)
+let prop_plan_cache_stable =
+  QCheck.Test.make ~name:"plan cache returns identical relations on repeat" ~count:100
+    arbitrary_safe_rterm_and_db (fun (rt, db) ->
+      let first = Planner.eval_rterm ~strategy:`Compiled ~schema ~domain db rt in
+      let hits1, _ = Planner.stats () in
+      let second = Planner.eval_rterm ~strategy:`Compiled ~schema ~domain db rt in
+      let hits2, _ = Planner.stats () in
+      Relation.equal first second
+      && hits2 > hits1
+      && Planner.holds ~strategy:`Compiled ~schema ~domain db
+           (Formula.exists rt.Stmt.rt_vars rt.Stmt.rt_body)
+         = not (Relation.is_empty first))
+
 let suite =
   suite
   @ List.map QCheck_alcotest.to_alcotest
-      [ prop_synthesized_agrees_on_random_traces; prop_equiv_reflexive_symmetric ]
+      [
+        prop_synthesized_agrees_on_random_traces;
+        prop_equiv_reflexive_symmetric;
+        prop_safe_bodies_compile;
+        prop_wff_compiles;
+        prop_plan_cache_stable;
+      ]

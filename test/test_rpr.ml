@@ -197,8 +197,8 @@ let test_calc_vs_algebra () =
      Alcotest.(check bool) "naive = compiled" true (Relation.equal naive compiled));
   Alcotest.(check int) "one violating pair" 1 (Relation.cardinal naive)
 
-let test_compile_fallback () =
-  (* quantified body is not compilable; Auto falls back to naive *)
+let test_compile_quantified () =
+  (* existential bodies compile: ∃ is projection over a join *)
   let sv = { Term.vname = "s"; vsort = "student" } in
   let cv = { Term.vname = "c"; vsort = "course" } in
   let rt =
@@ -208,9 +208,26 @@ let test_compile_fallback () =
         Formula.Exists (sv, Formula.Pred ("TAKES", [ Term.Var sv; Term.Var cv ]));
     }
   in
-  Alcotest.(check bool) "not compilable" true (Relalg.compile rt = None);
-  let r = Relalg.eval_rterm ~strategy:`Auto ~domain sample_db rt in
+  (match Relalg.compile rt with
+   | None -> Alcotest.fail "existential body should be compilable"
+   | Some e ->
+     let compiled = Relalg.eval ~domain sample_db e in
+     let naive = Relcalc.eval_rterm_naive ~domain sample_db rt in
+     Alcotest.(check bool) "naive = compiled" true (Relation.equal naive compiled));
+  let r = Relalg.eval_rterm ~strategy:`Compiled ~domain sample_db rt in
   Alcotest.(check int) "two courses taken" 2 (Relation.cardinal r)
+
+let test_compile_fallback () =
+  (* a head variable ranging only over the carrier (body True) is not
+     range-restricted; Auto falls back to naive enumeration *)
+  let cv = { Term.vname = "c"; vsort = "course" } in
+  let rt = { Stmt.rt_vars = [ cv ]; rt_body = Formula.True } in
+  Alcotest.(check bool) "not compilable" true (Relalg.compile rt = None);
+  (match Relalg.compile_explain rt with
+   | Ok _ -> Alcotest.fail "expected a compile failure"
+   | Error _ -> ());
+  let r = Relalg.eval_rterm ~strategy:`Auto ~domain sample_db rt in
+  Alcotest.(check int) "whole course carrier" 2 (Relation.cardinal r)
 
 let test_singleton_compile () =
   (* insert-desugared body: R(x̄) ∨ x̄ = t̄ *)
@@ -349,6 +366,7 @@ let suite =
     Alcotest.test_case "test blocks" `Quick test_test_blocks;
     Alcotest.test_case "star closure" `Quick test_star_closure;
     Alcotest.test_case "calculus vs algebra" `Quick test_calc_vs_algebra;
+    Alcotest.test_case "compile quantified" `Quick test_compile_quantified;
     Alcotest.test_case "compile fallback" `Quick test_compile_fallback;
     Alcotest.test_case "singleton compile" `Quick test_singleton_compile;
     Alcotest.test_case "m(p;q) composition" `Quick test_denote_seq_is_composition;
