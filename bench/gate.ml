@@ -9,151 +9,35 @@
 
      (cur_ns / cur_calibration) > (base_ns / base_calibration) * (1 + threshold)
 
-   Derived metrics (speedup ratios) are reported but never gated: they
-   depend on the runner's core count. Exit status: 0 when every
-   baseline metric passes, 1 on any regression or a metric missing from
-   the current report, 2 on usage/parse errors. *)
+   Derived metrics (speedup ratios) are reported but never gated — they
+   depend on the runner's core count — with one exception:
+   [trace_disabled_overhead], the cost of a disabled tracing span
+   relative to one semantics statement, is an absolute machine-free
+   ratio and fails the gate above --trace-overhead-max (default 0.02:
+   tracing off must stay within 2%). Exit status: 0 when every baseline
+   metric passes, 1 on any regression or a metric missing from the
+   current report, 2 on usage/parse errors. *)
 
-(* ------------------------------------------------------------------ *)
-(* A minimal JSON reader (objects, numbers, strings) — just enough for
-   the reports main.ml emits, avoiding any parsing dependency.          *)
-(* ------------------------------------------------------------------ *)
-
-type json =
-  | Num of float
-  | Str of string
-  | Obj of (string * json) list
-
-exception Parse_error of string
-
-let parse (src : string) : json =
-  let pos = ref 0 in
-  let len = String.length src in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < len then Some src.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let string_lit () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' ->
-        advance ();
-        (match peek () with
-         | Some (('"' | '\\' | '/') as c) ->
-           Buffer.add_char buf c;
-           advance ();
-           go ()
-         | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
-         | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
-         | _ -> fail "unsupported escape")
-      | Some c ->
-        Buffer.add_char buf c;
-        advance ();
-        go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let number () =
-    let start = !pos in
-    let is_num_char = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
-      advance ()
-    done;
-    match float_of_string_opt (String.sub src start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "bad number"
-  in
-  let rec value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' -> obj ()
-    | Some '"' -> Str (string_lit ())
-    | Some ('-' | '0' .. '9') -> Num (number ())
-    | _ -> fail "expected a value"
-  and obj () =
-    expect '{';
-    skip_ws ();
-    if peek () = Some '}' then begin
-      advance ();
-      Obj []
-    end
-    else begin
-      let rec members acc =
-        skip_ws ();
-        let key = string_lit () in
-        skip_ws ();
-        expect ':';
-        let v = value () in
-        skip_ws ();
-        match peek () with
-        | Some ',' ->
-          advance ();
-          members ((key, v) :: acc)
-        | Some '}' ->
-          advance ();
-          Obj (List.rev ((key, v) :: acc))
-        | _ -> fail "expected ',' or '}'"
-      in
-      members []
-    end
-  in
-  let v = value () in
-  skip_ws ();
-  if !pos <> len then fail "trailing input";
-  v
-
-let parse_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> parse (really_input_string ic (in_channel_length ic)))
-
-(* ------------------------------------------------------------------ *)
-(* Report access                                                       *)
-(* ------------------------------------------------------------------ *)
-
-let field name = function
-  | Obj kvs -> List.assoc_opt name kvs
-  | Num _ | Str _ -> None
+let field = Json.field
 
 let num_exn what = function
-  | Some (Num f) -> f
-  | _ -> raise (Parse_error (what ^ ": missing or non-numeric"))
+  | Some (Json.Num f) -> f
+  | _ -> raise (Json.Parse_error (what ^ ": missing or non-numeric"))
 
 let metrics_exn report =
   match field "metrics" report with
-  | Some (Obj kvs) ->
-    List.filter_map (function k, Num f -> Some (k, f) | _ -> None) kvs
-  | _ -> raise (Parse_error "metrics: missing or not an object")
-
-(* ------------------------------------------------------------------ *)
-(* The gate                                                            *)
-(* ------------------------------------------------------------------ *)
+  | Some (Json.Obj kvs) ->
+    List.filter_map (function k, Json.Num f -> Some (k, f) | _ -> None) kvs
+  | _ -> raise (Json.Parse_error "metrics: missing or not an object")
 
 let () =
   let baseline = ref "" in
   let current = ref "" in
   let threshold = ref 0.25 in
-  let usage = "gate --baseline FILE --current FILE [--threshold F]" in
+  let overhead_max = ref 0.02 in
+  let usage =
+    "gate --baseline FILE --current FILE [--threshold F] [--trace-overhead-max F]"
+  in
   Arg.parse
     [
       ("--baseline", Arg.Set_string baseline, "FILE committed baseline report");
@@ -161,6 +45,9 @@ let () =
       ( "--threshold",
         Arg.Set_float threshold,
         "F allowed relative regression (default 0.25)" );
+      ( "--trace-overhead-max",
+        Arg.Set_float overhead_max,
+        "F allowed disabled-tracing overhead per statement (default 0.02)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     usage;
@@ -168,8 +55,8 @@ let () =
     prerr_endline usage;
     exit 2
   end;
-  match (parse_file !baseline, parse_file !current) with
-  | exception Parse_error e ->
+  match (Json.parse_file !baseline, Json.parse_file !current) with
+  | exception Json.Parse_error e ->
     Printf.eprintf "gate: %s\n" e;
     exit 2
   | exception Sys_error e ->
@@ -199,10 +86,17 @@ let () =
             name base_ns cur_ns (100. *. change))
       (metrics_exn base);
     (match field "derived" cur with
-     | Some (Obj kvs) ->
+     | Some (Json.Obj kvs) ->
        List.iter
          (function
-           | k, Num f -> Printf.printf "  info %-24s %.2fx (not gated)\n" k f
+           | "trace_disabled_overhead", Json.Num f ->
+             let ok = f <= !overhead_max in
+             if not ok then incr failures;
+             Printf.printf
+               "  %s %-24s %.4f (max %.4f: disabled tracing per statement)\n"
+               (if ok then "ok  " else "FAIL")
+               "trace_disabled_overhead" f !overhead_max
+           | k, Json.Num f -> Printf.printf "  info %-24s %.2fx (not gated)\n" k f
            | _ -> ())
          kvs
      | _ -> ());

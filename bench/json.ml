@@ -1,0 +1,159 @@
+(* A minimal JSON reader (objects, arrays, numbers, strings, booleans,
+   null) — just enough for the reports main.ml emits and the Chrome
+   trace files the CLI writes, avoiding any parsing dependency. Shared
+   by gate.ml (perf gate) and trace_validate.ml (trace smoke). *)
+
+type t =
+  | Num of float
+  | Str of string
+  | Bool of bool
+  | Null
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let parse (src : string) : t =
+  let pos = ref 0 in
+  let len = String.length src in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < len then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= len && String.sub src !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some (('"' | '\\' | '/') as c) ->
+           Buffer.add_char buf c;
+           advance ();
+           go ()
+         | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+         | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+         | Some 'u' ->
+           (* pass the escape through undecoded; the validator only
+              checks structure *)
+           Buffer.add_string buf "\\u";
+           advance ();
+           go ()
+         | _ -> fail "unsupported escape")
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub src start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> Str (string_lit ())
+    | Some ('-' | '0' .. '9') -> Num (number ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | _ -> fail "expected a value"
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then begin
+      advance ();
+      Arr []
+    end
+    else begin
+      let rec items acc =
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          items (v :: acc)
+        | Some ']' ->
+          advance ();
+          Arr (List.rev (v :: acc))
+        | _ -> fail "expected ',' or ']'"
+      in
+      items []
+    end
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then begin
+      advance ();
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws ();
+        let key = string_lit () in
+        skip_ws ();
+        expect ':';
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          advance ();
+          members ((key, v) :: acc)
+        | Some '}' ->
+          advance ();
+          Obj (List.rev ((key, v) :: acc))
+        | _ -> fail "expected ',' or '}'"
+      in
+      members []
+    end
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing input";
+  v
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+let field name = function
+  | Obj kvs -> List.assoc_opt name kvs
+  | Num _ | Str _ | Bool _ | Null | Arr _ -> None

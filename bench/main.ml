@@ -78,14 +78,14 @@ let trace_of_length l =
     else
       let step =
         match k mod 4 with
-        | 0 -> Trace.apply "offer" [ v "cs101" ] acc
-        | 1 -> Trace.apply "enroll" [ v "ana"; v "cs101" ] acc
-        | 2 -> Trace.apply "offer" [ v "cs102" ] acc
-        | _ -> Trace.apply "enroll" [ v "bob"; v "cs102" ] acc
+        | 0 -> Strace.apply "offer" [ v "cs101" ] acc
+        | 1 -> Strace.apply "enroll" [ v "ana"; v "cs101" ] acc
+        | 2 -> Strace.apply "offer" [ v "cs102" ] acc
+        | _ -> Strace.apply "enroll" [ v "bob"; v "cs102" ] acc
       in
       go (k - 1) step
   in
-  go l (Trace.apply "offer" [ v "cs101" ] (Trace.init "initiate"))
+  go l (Strace.apply "offer" [ v "cs101" ] (Strace.init "initiate"))
 
 (* ------------------------------------------------------------------ *)
 (* E1: temporal model checking vs number of states                     *)
@@ -629,7 +629,8 @@ let e19 () =
    metric by [calibration_ns] — the cost of a fixed pure-OCaml loop on
    the same machine — so baselines survive hardware changes. *)
 
-let now_ns () = Unix.gettimeofday () *. 1e9
+(* Monotonic, immune to wall-clock adjustments mid-measurement. *)
+let now_ns () = Mclock.now () *. 1e9
 
 (* ns per call of [f]: repeat in doubling batches (after one warm-up
    call) until the batch runs at least [min_time_ns]. *)
@@ -714,6 +715,39 @@ let bench_constraint_check ~strategy () =
              takes_offered_wff)
       then invalid_arg "bench: takes_offered unexpectedly violated")
 
+(* Observability costs (E20). The guard metric is the disabled span:
+   one atomic load per [with_span] call site, which the gate requires
+   to stay within 2% of a semantics statement. *)
+let bench_trace_span ~enabled () =
+  Trace.set_enabled enabled;
+  let per_call =
+    time_ns (fun () ->
+        ignore (Sys.opaque_identity (Trace.with_span "bench.span" (fun () -> 1))))
+  in
+  Trace.set_enabled false;
+  Trace.reset ();
+  per_call
+
+let bench_metrics_incr () =
+  let c = Metrics.counter "bench.e20.incr" in
+  time_ns (fun () -> Metrics.incr c)
+
+(* One tuple-oriented statement through the instrumented [Semantics.exec]
+   hot path, with tracing off (the deployment default) and on. *)
+let bench_semantics_statement ~traced () =
+  let n = 100 in
+  let dom = domain_n_students n in
+  let db = planner_db n in
+  let env = Semantics.env ~domain:dom planner_schema in
+  let stmt = Stmt.Insert ("TAKES", [ Term.Lit (v "s0"); Term.Lit (v "cs102") ]) in
+  Trace.set_enabled traced;
+  let per_call =
+    time_ns (fun () -> ignore (Sys.opaque_identity (Semantics.exec env stmt db)))
+  in
+  Trace.set_enabled false;
+  Trace.reset ();
+  per_call
+
 (* A cache miss pays hashing + compilation + optimization; a hit pays
    hashing + one bucket scan. *)
 let bench_plan_cache_miss () =
@@ -750,6 +784,11 @@ let run_json () =
       ("constraint_check_compiled", bench_constraint_check ~strategy:`Compiled ());
       ("plan_cache_miss", bench_plan_cache_miss ());
       ("plan_cache_hit", bench_plan_cache_hit ());
+      ("trace_span_disabled", bench_trace_span ~enabled:false ());
+      ("trace_span_enabled", bench_trace_span ~enabled:true ());
+      ("metrics_counter_incr", bench_metrics_incr ());
+      ("semantics_statement", bench_semantics_statement ~traced:false ());
+      ("semantics_statement_traced", bench_semantics_statement ~traced:true ());
     ]
   in
   let get name = List.assoc name metrics in
@@ -762,13 +801,21 @@ let run_json () =
       ( "constraint_check_speedup",
         get "constraint_check_naive" /. get "constraint_check_compiled" );
       ("plan_cache_speedup", get "plan_cache_miss" /. get "plan_cache_hit");
+      (* gated at 2% by gate.ml: the cost of a disabled span relative to
+         one semantics statement — the zero-cost-when-off contract *)
+      ( "trace_disabled_overhead",
+        get "trace_span_disabled" /. get "semantics_statement" );
+      ( "trace_enabled_cost_ratio",
+        get "semantics_statement_traced" /. get "semantics_statement" );
     ]
   in
   let pp_fields ppf fields =
     Fmt.pf ppf "%a"
       Fmt.(
         list ~sep:(any ",@,") (fun ppf (k, value) ->
-            Fmt.pf ppf "@[\"%s\": %.2f@]" (json_escape k) value))
+            (* 4 decimals: the derived overhead ratios live well below
+               the 2% gate and must survive the round-trip *)
+            Fmt.pf ppf "@[\"%s\": %.4f@]" (json_escape k) value))
       fields
   in
   Fmt.pr
@@ -781,12 +828,78 @@ let run_json () =
     (Pool.recommended_jobs ())
     calibration_ns pp_fields metrics pp_fields derived
 
+(* ------------------------------------------------------------------ *)
+(* E20: observability — span/counter costs and counter deltas          *)
+(* ------------------------------------------------------------------ *)
+
+(* Measured with the same monotonic time_ns loop as the JSON metrics
+   (not Bechamel): the off/on variants flip the process-wide tracing
+   flag, which must not interleave with other tests. Printed after
+   E19 in the human-readable run. *)
+let e20 () =
+  Fmt.pr "@.E20: observability: span and counter costs, tracing off vs on@.";
+  Fmt.pr "----------------------------------------------------------------@.";
+  let rows =
+    [
+      ("metrics counter incr", bench_metrics_incr ());
+      ("span site, tracing disabled", bench_trace_span ~enabled:false ());
+      ("span site, tracing enabled", bench_trace_span ~enabled:true ());
+      ( "semantics statement, tracing disabled",
+        bench_semantics_statement ~traced:false () );
+      ( "semantics statement, tracing enabled",
+        bench_semantics_statement ~traced:true () );
+    ]
+  in
+  List.iter (fun (name, ns) -> Fmt.pr "  %-42s %a@." name pp_time ns) rows;
+  let get name = List.assoc name rows in
+  Fmt.pr "  disabled span / statement: %.4f (gate: <= 0.02)@."
+    (get "span site, tracing disabled"
+    /. get "semantics statement, tracing disabled");
+  Fmt.pr
+    "  shape: a disabled span is one atomic load; enabled spans pay two clock \
+     reads and an allocation; counters are one atomic rmw@."
+
+(* --metrics-json: run a fixed deterministic workload (the small
+   university verification, one domain) from zeroed instruments and
+   print every counter delta — the numbers behind EXPERIMENTS.md's E20
+   table. Counter deltas are exact and machine-independent; histogram
+   timings are not, so only their counts are emitted. *)
+let run_metrics_json () =
+  Metrics.reset ();
+  let v = Design.verify ~domain:University.small_domain ~depth:2 University.design in
+  if not (Design.verified v) then
+    invalid_arg "bench: the university design failed to verify";
+  let snap = Metrics.snapshot () in
+  let pp_counters ppf cs =
+    Fmt.(
+      list ~sep:(any ",@,") (fun ppf (k, n) ->
+          Fmt.pf ppf "@[\"%s\": %d@]" (json_escape k) n))
+      ppf cs
+  in
+  let pp_hist_counts ppf hs =
+    Fmt.(
+      list ~sep:(any ",@,") (fun ppf (k, h) ->
+          Fmt.pf ppf "@[\"%s\": %d@]" (json_escape k) h.Metrics.h_count))
+      ppf hs
+  in
+  Fmt.pr
+    "@[<v 2>{@,\
+     \"schema_version\": 1,@,\
+     \"workload\": \"verify university (small domain, depth 2, jobs 1)\",@,\
+     @[<v 2>\"counters\": {@,%a@]@,},@,\
+     @[<v 2>\"histogram_counts\": {@,%a@]@,}@]@,}@."
+    pp_counters snap.Metrics.counters pp_hist_counts snap.Metrics.histograms
+
 let () =
+  if Array.exists (( = ) "--metrics-json") Sys.argv then begin
+    run_metrics_json ();
+    exit 0
+  end;
   if Array.exists (( = ) "--json") Sys.argv then begin
     run_json ();
     exit 0
   end;
-  Fmt.pr "fdbs benchmark harness — experiments E1..E19 (see DESIGN.md / EXPERIMENTS.md)@.";
+  Fmt.pr "fdbs benchmark harness — experiments E1..E20 (see DESIGN.md / EXPERIMENTS.md)@.";
   Fmt.pr "paper: Casanova, Veloso & Furtado, PODS 1984 (no quantitative tables;@.";
   Fmt.pr "the experiments measure the framework's checkers and evaluators).@.";
   e1 ();
@@ -807,4 +920,5 @@ let () =
   e16 ();
   e17 ();
   e19 ();
+  e20 ();
   Fmt.pr "@.done.@."

@@ -1,0 +1,64 @@
+(* Validate a Chrome-trace-format JSON file as written by `fds --trace`:
+   a top-level object with a "traceEvents" array of complete-duration
+   events, each carrying name/cat/ph:"X"/ts/dur/pid/tid (and optionally
+   string-valued "args"). Used by the CI trace smoke. Exit 0 and print
+   the event count on success; exit 1 with a message on the first
+   malformed event. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("trace_validate: " ^ s); exit 1) fmt
+
+let check_event i (ev : Json.t) =
+  let get name =
+    match Json.field name ev with
+    | Some v -> v
+    | None -> fail "event %d: missing field %S" i name
+  in
+  (match get "name" with
+   | Json.Str "" -> fail "event %d: empty name" i
+   | Json.Str _ -> ()
+   | _ -> fail "event %d: name is not a string" i);
+  (match get "cat" with
+   | Json.Str _ -> ()
+   | _ -> fail "event %d: cat is not a string" i);
+  (match get "ph" with
+   | Json.Str "X" -> ()
+   | Json.Str ph -> fail "event %d: phase %S, expected \"X\"" i ph
+   | _ -> fail "event %d: ph is not a string" i);
+  (match (get "ts", get "dur") with
+   | Json.Num ts, Json.Num dur ->
+     if ts < 0. then fail "event %d: negative ts" i;
+     if dur < 0. then fail "event %d: negative dur" i
+   | _ -> fail "event %d: ts/dur are not numbers" i);
+  (match (get "pid", get "tid") with
+   | Json.Num _, Json.Num _ -> ()
+   | _ -> fail "event %d: pid/tid are not numbers" i);
+  match Json.field "args" ev with
+  | None -> ()
+  | Some (Json.Obj kvs) ->
+    List.iter
+      (function
+        | _, Json.Str _ -> ()
+        | k, _ -> fail "event %d: arg %S is not a string" i k)
+      kvs
+  | Some _ -> fail "event %d: args is not an object" i
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+      prerr_endline "usage: trace_validate FILE.json";
+      exit 2
+  in
+  let report =
+    match Json.parse_file path with
+    | report -> report
+    | exception Json.Parse_error e -> fail "%s: %s" path e
+    | exception Sys_error e -> fail "%s" e
+  in
+  match Json.field "traceEvents" report with
+  | Some (Json.Arr events) ->
+    List.iteri check_event events;
+    Printf.printf "trace OK: %d events\n" (List.length events)
+  | Some _ -> fail "%s: traceEvents is not an array" path
+  | None -> fail "%s: no traceEvents field" path

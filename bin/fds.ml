@@ -41,6 +41,39 @@ let apply_jobs = function
   | Some 0 -> Pool.set_default_jobs (Pool.recommended_jobs ())
   | Some n -> Pool.set_default_jobs n
 
+(* --trace[=FILE] / --stats, shared by the execution and verification
+   subcommands. The trace file and the stats snapshot are emitted from
+   an [at_exit] hook, so they appear even on the [exit 1] failure
+   paths. *)
+let trace_arg =
+  Arg.(value & opt ~vopt:(Some "trace.json") (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record hierarchical spans of the run and write them as \
+                 Chrome-trace-format JSON to FILE (default trace.json); open \
+                 in chrome://tracing or Perfetto. With \
+                 \\$FDBS_TRACE_VIRTUAL_TS set, timestamps are deterministic \
+                 pre-order ranks, so traces of the same workload are \
+                 byte-identical for every --jobs value.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"Print the process-wide metrics snapshot (counters and latency \
+               histograms) to stderr when the subcommand finishes.")
+
+let observe trace stats =
+  if trace <> None || stats then
+    at_exit (fun () ->
+        (match trace with
+         | None -> ()
+         | Some file ->
+           Trace.set_enabled false;
+           let virtual_ts = Sys.getenv_opt "FDBS_TRACE_VIRTUAL_TS" <> None in
+           let spans = Trace.write_chrome ~virtual_ts file in
+           Fmt.epr "fds: wrote Chrome trace to %s (%d spans)@." file spans);
+        if stats then
+          Fmt.epr "@[<v>metrics:@,%a@]@." Metrics.pp_snapshot (Metrics.snapshot ()));
+  if trace <> None then Trace.set_enabled true
+
 (* ------------------------------------------------------------------ *)
 (* verify                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -53,9 +86,10 @@ let verify_cmd =
     Arg.(value & opt int 2 & info [ "depth" ] ~docv:"N"
            ~doc:"Ground-probing and agreement sweep depth.")
   in
-  let run small depth jobs =
+  let run small depth jobs trace stats =
     let open Fdbs in
     apply_jobs jobs;
+    observe trace stats;
     let domain = if small then University.small_domain else University.domain in
     Fmt.pr "verifying the university design (domain: %s, depth %d)...@."
       (if small then "1x1" else "2x2") depth;
@@ -65,7 +99,7 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify the built-in university design end to end.")
-    Term.(const run $ small $ depth $ jobs_arg)
+    Term.(const run $ small $ depth $ jobs_arg $ trace_arg $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check-spec                                                          *)
@@ -265,7 +299,8 @@ let run_cmd =
            ~doc:"Append committed transactions to this write-ahead journal.")
   in
   let run path calls transactional check_constraints steps ms journal faults
-      strategy =
+      strategy trace stats =
+    observe trace stats;
     match Fdbs_rpr.Rparser.schema (read_file path) with
     | Error e -> exit_err "%s" e
     | Ok schema ->
@@ -305,7 +340,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a sequence of procedure calls against a schema.")
     Term.(const run $ schema_file $ calls $ transactional $ check_constraints_arg
-          $ budget_steps_arg $ budget_ms_arg $ journal $ fault_arg $ strategy_arg)
+          $ budget_steps_arg $ budget_ms_arg $ journal $ fault_arg $ strategy_arg
+          $ trace_arg $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -392,15 +428,19 @@ let replay_cmd =
   let journal =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"JOURNAL-FILE")
   in
-  let run path journal check_constraints steps ms =
+  let run path journal check_constraints steps ms trace stats =
+    observe trace stats;
     match Fdbs_rpr.Rparser.schema (read_file path) with
     | Error e -> exit_err "%s" e
     | Ok schema ->
-      let entries =
+      let entries, torn =
         match Fdbs_rpr.Journal.load journal with
-        | Ok es -> es
+        | Ok (es, torn) -> (es, torn)
         | Error e -> exit_err "%s" (Fdbs_kernel.Error.to_string e)
       in
+      (match torn with
+       | Some what -> Fmt.epr "fds: warning: journal %s: %s@." journal what
+       | None -> ());
       let all_calls = List.concat_map (fun e -> e.Fdbs_rpr.Journal.calls) entries in
       let domain = domain_of_calls schema all_calls in
       let env = Fdbs_rpr.Semantics.env ~domain schema in
@@ -421,7 +461,7 @@ let replay_cmd =
        ~doc:"Recover the committed state by replaying a write-ahead journal \
              against a schema.")
     Term.(const run $ schema_file $ journal $ check_constraints_arg
-          $ budget_steps_arg $ budget_ms_arg)
+          $ budget_steps_arg $ budget_ms_arg $ trace_arg $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify-files                                                        *)
@@ -441,8 +481,9 @@ let verify_files_cmd =
     Arg.(value & opt int 2 & info [ "depth" ] ~docv:"N"
            ~doc:"Ground-probing and agreement sweep depth.")
   in
-  let run theory_path spec_path schema_path depth jobs =
+  let run theory_path spec_path schema_path depth jobs trace stats =
     apply_jobs jobs;
+    observe trace stats;
     let info =
       match Fdbs_temporal.Tparser.theory (read_file theory_path) with
       | Ok t -> t
@@ -477,7 +518,8 @@ let verify_files_cmd =
        ~doc:
          "Verify a three-level design given as files (theory, algebraic \
           specification, schema) bound by the canonical name correspondence.")
-    Term.(const run $ theory_file $ spec_pos $ schema_pos $ depth $ jobs_arg)
+    Term.(const run $ theory_file $ spec_pos $ schema_pos $ depth $ jobs_arg
+          $ trace_arg $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -563,6 +605,33 @@ let synthesize_cmd =
     Term.(const run $ spec_file)
 
 (* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let depth =
+    Arg.(value & opt int 1 & info [ "depth" ] ~docv:"N"
+           ~doc:"Ground-probing and agreement sweep depth of the workload.")
+  in
+  let run depth jobs =
+    let open Fdbs in
+    apply_jobs jobs;
+    let v =
+      Design.verify ~domain:University.small_domain ~depth University.design
+    in
+    ignore (Design.verified v);
+    Fmt.pr "%a@." Metrics.pp_snapshot (Metrics.snapshot ())
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run the built-in university verification (small domain) and print \
+          the metrics snapshot it produces: every process-wide counter and \
+          latency histogram of the toolkit, by name. Use --stats on the \
+          other subcommands to snapshot their own workloads.")
+    Term.(const run $ depth $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
 (* demo                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -603,7 +672,7 @@ let () =
         (Cmd.group info
            [ verify_cmd; verify_files_cmd; check_spec_cmd; check_schema_cmd;
              grammar_cmd; analyze_cmd; derive_cmd; synthesize_cmd; eval_cmd;
-             explain_cmd; run_cmd; replay_cmd; demo_cmd ])
+             explain_cmd; run_cmd; replay_cmd; stats_cmd; demo_cmd ])
     with
     | Sys_error msg -> Fmt.epr "fds: %s@." msg; 2
     | Fdbs_rpr.Semantics.Exec_error msg -> Fmt.epr "fds: execution error: %s@." msg; 2

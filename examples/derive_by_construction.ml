@@ -34,7 +34,7 @@ plus effect/no-effect pairs guarded by the pre-conditions).@.@."
   let domain = University.domain in
   let traces =
     List.concat_map
-      (fun d -> Trace.enumerate sg ~domain:University.small_domain ~depth:d)
+      (fun d -> Strace.enumerate sg ~domain:University.small_domain ~depth:d)
       [ 0; 1; 2; 3 ]
   in
   let compared = ref 0 in

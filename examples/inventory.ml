@@ -137,7 +137,7 @@ let () =
      if not (Confluence.is_confluent r) then exit 1);
 
   Fmt.pr "== A stock ledger ==@.";
-  let t0 = Trace.init "initiate" in
+  let t0 = Strace.init "initiate" in
   let steps =
     [
       ("receive", "widget"); ("receive", "widget"); ("receive", "gadget");
@@ -148,7 +148,7 @@ let () =
   let final =
     List.fold_left
       (fun tr (u, it) ->
-        let tr = Trace.apply u [ Value.Sym it ] tr in
+        let tr = Strace.apply u [ Value.Sym it ] tr in
         Fmt.pr "after %s(%s): widget=%d gadget=%d@." u it (level tr "widget")
           (level tr "gadget");
         tr)

@@ -105,7 +105,7 @@ let ground_issues ?(max_failures = 10) (spec : Spec.t) ~(depth : int) : issue li
   let domain = spec.Spec.base_domain in
   let traces =
     List.concat_map
-      (fun d -> Trace.enumerate sg ~domain ~depth:d)
+      (fun d -> Strace.enumerate sg ~domain ~depth:d)
       (List.init (depth + 1) Fun.id)
   in
   let checked = ref 0 in
@@ -125,7 +125,7 @@ let ground_issues ?(max_failures = 10) (spec : Spec.t) ~(depth : int) : issue li
                 | Ok _ -> ()
                 | Error e ->
                   let args = List.map2 (fun v s -> Aterm.Val (v, s)) params (Asig.param_args q) in
-                  let t = Aterm.App (q.Asig.oname, args @ [ Trace.to_aterm sg trace ]) in
+                  let t = Aterm.App (q.Asig.oname, args @ [ Strace.to_aterm sg trace ]) in
                   failures := Ground_failure (t, e) :: !failures
               end)
             (Util.cartesian carriers))

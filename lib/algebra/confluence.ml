@@ -59,7 +59,7 @@ let critical_pairs (spec : Spec.t) : pair list =
 type verdict =
   | Joinable of int  (** instances where both conditions held and the sides agreed *)
   | Vacuous  (** no bounded instance satisfies both conditions *)
-  | Diverging of (Term.var * Value.t) list * Trace.t list
+  | Diverging of (Term.var * Value.t) list * Strace.t list
       (** a ground instance on which the sides disagree *)
 
 let pp_verdict ppf = function
@@ -86,14 +86,14 @@ let check_pair ?domain ?(depth = 2) (spec : Spec.t) (p : pair) : (verdict, Aeval
     List.partition (fun v -> not (Sort.is_state v.Term.vsort)) vars
   in
   let traces =
-    List.concat_map (fun d -> Trace.enumerate sg ~domain ~depth:d) (List.init (depth + 1) Fun.id)
+    List.concat_map (fun d -> Strace.enumerate sg ~domain ~depth:d) (List.init (depth + 1) Fun.id)
   in
   let param_choices =
     Util.cartesian (List.map (fun v -> Domain.carrier domain v.Term.vsort) param_vars)
   in
   let state_choices = Util.cartesian (List.map (fun _ -> traces) state_vars) in
   let live = ref 0 in
-  let exception Found of (Term.var * Value.t) list * Trace.t list in
+  let exception Found of (Term.var * Value.t) list * Strace.t list in
   let exception Eval_err of Aeval.error in
   match
     List.iter
@@ -104,7 +104,7 @@ let check_pair ?domain ?(depth = 2) (spec : Spec.t) (p : pair) : (verdict, Aeval
             let sigma = Util.zip_exn state_vars trace_values in
             let sub =
               List.map (fun (v, value) -> (v, Aterm.Val (value, v.Term.vsort))) rho
-              @ List.map (fun (v, tr) -> (v, Trace.to_aterm sg tr)) sigma
+              @ List.map (fun (v, tr) -> (v, Strace.to_aterm sg tr)) sigma
             in
             let eval t =
               match Aeval.query ~domain spec (Aterm.subst sub t) with

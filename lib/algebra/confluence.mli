@@ -29,7 +29,7 @@ type verdict =
   | Joinable of int
       (** instances where both conditions held and the sides agreed *)
   | Vacuous  (** no bounded instance satisfies both conditions *)
-  | Diverging of (Term.var * Value.t) list * Trace.t list
+  | Diverging of (Term.var * Value.t) list * Strace.t list
       (** a ground instance on which the sides disagree *)
 
 val pp_verdict : verdict Fmt.t

@@ -204,7 +204,7 @@ let explain ?fuel ?domain (spec : Spec.t) (t : Aterm.t) :
 (** Evaluate query symbol [q] on parameter values [params] in the state
     denoted by [trace]. *)
 let query_on_trace ?fuel ?domain (spec : Spec.t) ~(q : string) ~(params : Value.t list)
-    (trace : Trace.t) : (Value.t, error) result =
+    (trace : Strace.t) : (Value.t, error) result =
   let sg = spec.Spec.signature in
   match Asig.find_query sg q with
   | None -> Result.Error (Ill_formed (Fmt.str "unknown query %s" q))
@@ -214,7 +214,7 @@ let query_on_trace ?fuel ?domain (spec : Spec.t) ~(q : string) ~(params : Value.
       Result.Error (Ill_formed (Fmt.str "query %s arity mismatch" q))
     else
       let args = List.map2 (fun v s -> Aterm.Val (v, s)) params sorts in
-      let t = Aterm.App (q, args @ [ Trace.to_aterm sg trace ]) in
+      let t = Aterm.App (q, args @ [ Strace.to_aterm sg trace ]) in
       query ?fuel ?domain spec t
 
 (** Evaluate a Boolean ground term to an OCaml bool. *)

@@ -68,7 +68,7 @@ val query_on_trace :
   Spec.t ->
   q:string ->
   params:Value.t list ->
-  Trace.t ->
+  Strace.t ->
   (Value.t, error) result
 
 (** Evaluate a Boolean ground term to an OCaml bool. *)

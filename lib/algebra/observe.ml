@@ -17,13 +17,13 @@ let pp_observation ppf o =
 (** All simple observations of the state denoted by [trace], for every
     query and every tuple of parameter values from [domain] (defaults to
     the spec's base domain joined with the trace's active domain). *)
-let observations ?(domain : Domain.t option) (spec : Spec.t) (trace : Trace.t) :
+let observations ?(domain : Domain.t option) (spec : Spec.t) (trace : Strace.t) :
   (observation list, Eval.error) result =
   let sg = spec.Spec.signature in
   let domain =
     match domain with
     | Some d -> d
-    | None -> Domain.union spec.Spec.base_domain (Trace.active_domain sg trace)
+    | None -> Domain.union spec.Spec.base_domain (Strace.active_domain sg trace)
   in
   let observe_query (o : Asig.op) =
     let carriers = List.map (Domain.carrier domain) (Asig.param_args o) in
@@ -52,14 +52,14 @@ let equal_observations (a : observation list) (b : observation list) =
 (** Observational equivalence of two states: equal results for every
     simple observation over the union of both active domains and the
     base domain. Raises on evaluation failure. *)
-let equiv ?domain (spec : Spec.t) (t1 : Trace.t) (t2 : Trace.t) : bool =
+let equiv ?domain (spec : Spec.t) (t1 : Strace.t) (t2 : Strace.t) : bool =
   let sg = spec.Spec.signature in
   let domain =
     match domain with
     | Some d -> d
     | None ->
       Domain.union spec.Spec.base_domain
-        (Domain.union (Trace.active_domain sg t1) (Trace.active_domain sg t2))
+        (Domain.union (Strace.active_domain sg t1) (Strace.active_domain sg t2))
   in
   equal_observations
     (observations_exn ~domain spec t1)
@@ -67,7 +67,7 @@ let equiv ?domain (spec : Spec.t) (t1 : Trace.t) (t2 : Trace.t) : bool =
 
 (** The observations that distinguish two states (empty iff equivalent
     over the given domain). *)
-let distinguishing ?domain (spec : Spec.t) (t1 : Trace.t) (t2 : Trace.t) :
+let distinguishing ?domain (spec : Spec.t) (t1 : Strace.t) (t2 : Strace.t) :
   (observation * observation) list =
   let sg = spec.Spec.signature in
   let domain =
@@ -75,7 +75,7 @@ let distinguishing ?domain (spec : Spec.t) (t1 : Trace.t) (t2 : Trace.t) :
     | Some d -> d
     | None ->
       Domain.union spec.Spec.base_domain
-        (Domain.union (Trace.active_domain sg t1) (Trace.active_domain sg t2))
+        (Domain.union (Strace.active_domain sg t1) (Strace.active_domain sg t2))
   in
   let o1 = observations_exn ~domain spec t1 in
   let o2 = observations_exn ~domain spec t2 in

@@ -17,18 +17,18 @@ val pp_observation : observation Fmt.t
     to the spec's base domain joined with the trace's active domain).
     Observations come in a fixed (query, tuple) order. *)
 val observations :
-  ?domain:Domain.t -> Spec.t -> Trace.t -> (observation list, Eval.error) result
+  ?domain:Domain.t -> Spec.t -> Strace.t -> (observation list, Eval.error) result
 
-val observations_exn : ?domain:Domain.t -> Spec.t -> Trace.t -> observation list
+val observations_exn : ?domain:Domain.t -> Spec.t -> Strace.t -> observation list
 
 val equal_observations : observation list -> observation list -> bool
 
 (** Observational equivalence of two states: equal results for every
     simple observation over the union of both active domains and the
     base domain. Raises on evaluation failure. *)
-val equiv : ?domain:Domain.t -> Spec.t -> Trace.t -> Trace.t -> bool
+val equiv : ?domain:Domain.t -> Spec.t -> Strace.t -> Strace.t -> bool
 
 (** The observation pairs that distinguish two states (empty iff
     equivalent over the given domain). *)
 val distinguishing :
-  ?domain:Domain.t -> Spec.t -> Trace.t -> Trace.t -> (observation * observation) list
+  ?domain:Domain.t -> Spec.t -> Strace.t -> Strace.t -> (observation * observation) list

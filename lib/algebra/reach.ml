@@ -10,7 +10,7 @@
 open Fdbs_kernel
 
 type node = {
-  trace : Trace.t;  (** a representative trace denoting this state *)
+  trace : Strace.t;  (** a representative trace denoting this state *)
   obs : Observe.observation list;  (** its simple observations over the domain *)
 }
 
@@ -65,14 +65,14 @@ let explore ?(limit = 10_000) ?domain (spec : Spec.t) : (graph, Eval.error) resu
           let carriers = List.map (Domain.carrier domain) (Asig.param_args o) in
           List.map
             (fun params ->
-              (o.Asig.oname, params, Trace.Apply (o.Asig.oname, params, trace)))
+              (o.Asig.oname, params, Strace.Apply (o.Asig.oname, params, trace)))
             (Util.cartesian carriers))
         (Asig.transformers sg)
     in
     let queue = Queue.create () in
     List.iter
       (fun (o : Asig.op) ->
-        let trace = Trace.Init o.Asig.oname in
+        let trace = Strace.Init o.Asig.oname in
         let obs = observe trace in
         let key = obs_key obs in
         if not (Hashtbl.mem index key) then Queue.add (add trace obs key, trace) queue)

@@ -10,7 +10,7 @@
 open Fdbs_kernel
 
 type node = {
-  trace : Trace.t;  (** a representative trace denoting this state *)
+  trace : Strace.t;  (** a representative trace denoting this state *)
   obs : Observe.observation list;  (** its simple observations over the domain *)
 }
 

@@ -36,11 +36,11 @@ let rec to_aterm (sg : Asig.t) : t -> Aterm.t = function
   | Init name -> Aterm.App (name, [])
   | Apply (u, params, s) ->
     (match Asig.find_update sg u with
-     | None -> invalid_arg (Fmt.str "Trace.to_aterm: unknown update %s" u)
+     | None -> invalid_arg (Fmt.str "Strace.to_aterm: unknown update %s" u)
      | Some o ->
        let param_sorts = Asig.param_args o in
        if List.length params <> List.length param_sorts then
-         invalid_arg (Fmt.str "Trace.to_aterm: %s applied to %d parameters, expected %d"
+         invalid_arg (Fmt.str "Strace.to_aterm: %s applied to %d parameters, expected %d"
                         u (List.length params) (List.length param_sorts))
        else
          let args =

@@ -51,7 +51,7 @@ let canonical_exn ~name ~info ~functions ~representation =
 type mismatch = {
   mis_query : string;
   mis_params : Value.t list;
-  mis_trace : Trace.t;
+  mis_trace : Strace.t;
   mis_level2 : Value.t;
   mis_level3 : Value.t;
 }
@@ -59,7 +59,7 @@ type mismatch = {
 let pp_mismatch ppf (m : mismatch) =
   Fmt.pf ppf "%s(%a) on %a: level 2 says %a, level 3 says %a" m.mis_query
     Fmt.(list ~sep:(any ", ") Value.pp)
-    m.mis_params Trace.pp m.mis_trace Value.pp m.mis_level2 Value.pp m.mis_level3
+    m.mis_params Strace.pp m.mis_trace Value.pp m.mis_level2 Value.pp m.mis_level3
 
 exception Agreement_error of string
 
@@ -76,14 +76,14 @@ let agreement ?domain ~(depth : int) (d : t) : int * mismatch list =
   let env = Semantics.env ~domain d.representation in
   let run_trace trace =
     let rec db_of = function
-      | Trace.Init u ->
+      | Strace.Init u ->
         (match Interp23.find_update d.mapping u with
          | None -> raise (Agreement_error (Fmt.str "no procedure for %s" u))
          | Some p ->
            (match Semantics.call_det env p [] (Schema.empty_db d.representation) with
             | Ok db -> db
             | Error e -> raise (Agreement_error e)))
-      | Trace.Apply (u, args, rest) ->
+      | Strace.Apply (u, args, rest) ->
         let db = db_of rest in
         (match Interp23.find_update d.mapping u with
          | None -> raise (Agreement_error (Fmt.str "no procedure for %s" u))
@@ -98,7 +98,7 @@ let agreement ?domain ~(depth : int) (d : t) : int * mismatch list =
   let mismatches = ref [] in
   let traces =
     List.concat_map
-      (fun k -> Trace.enumerate sg2 ~domain ~depth:k)
+      (fun k -> Strace.enumerate sg2 ~domain ~depth:k)
       (List.init (depth + 1) Fun.id)
   in
   List.iter
@@ -160,22 +160,40 @@ let verified (v : verification) =
     cross-level agreement sweep; [jobs] spreads the refinement sweeps
     over that many domains, defaulting to
     {!Fdbs_kernel.Pool.default_jobs}, without changing any result). *)
+(* Each pipeline phase is a [design] span when tracing is on; the
+   explicit lets fix the phase order (record-field evaluation order is
+   unspecified), so the span tree is deterministic. *)
+let phase name f =
+  if Trace.enabled () then Trace.with_span ~cat:"design" name f else f ()
+
 let verify ?domain ?(depth = 2) ?jobs (d : t) : verification =
   let domain =
     match domain with Some dm -> dm | None -> d.functions.Spec.base_domain
   in
   let env = Semantics.env ~domain d.representation in
   let agreement_checked, agreement_mismatches =
-    try agreement ~domain ~depth d with Agreement_error e ->
-      (0, [ { mis_query = "<error: " ^ e ^ ">";
-              mis_params = []; mis_trace = Trace.Init "?";
-              mis_level2 = Value.Bool false; mis_level3 = Value.Bool false } ])
+    phase "design.agreement" (fun () ->
+        try agreement ~domain ~depth d with Agreement_error e ->
+          (0, [ { mis_query = "<error: " ^ e ^ ">";
+                  mis_params = []; mis_trace = Strace.Init "?";
+                  mis_level2 = Value.Bool false; mis_level3 = Value.Bool false } ]))
+  in
+  let schema_errors = phase "design.schema" (fun () -> Schema.check d.representation) in
+  let completeness =
+    phase "design.completeness" (fun () -> Completeness.check ~depth d.functions)
+  in
+  let refinement12 =
+    phase "design.check12" (fun () ->
+        Check12.check ~domain ?jobs d.info d.functions d.interp)
+  in
+  let refinement23 =
+    phase "design.check23" (fun () -> Check23.check ?jobs d.functions env d.mapping)
   in
   {
-    schema_errors = Schema.check d.representation;
-    completeness = Completeness.check ~depth d.functions;
-    refinement12 = Check12.check ~domain ?jobs d.info d.functions d.interp;
-    refinement23 = Check23.check ?jobs d.functions env d.mapping;
+    schema_errors;
+    completeness;
+    refinement12;
+    refinement23;
     agreement_checked;
     agreement_mismatches;
   }

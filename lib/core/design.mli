@@ -52,7 +52,7 @@ val canonical_exn :
 type mismatch = {
   mis_query : string;
   mis_params : Value.t list;
-  mis_trace : Trace.t;
+  mis_trace : Strace.t;
   mis_level2 : Value.t;
   mis_level3 : Value.t;
 }

@@ -1,10 +1,10 @@
 (** Unified resource budgets for execution (steps, distinct states,
-    wall-clock time).
+    elapsed time).
 
     A budget is a mutable account threaded through an execution: every
     statement spends a step, every fixpoint exploration is capped by the
-    distinct-state allowance, and each spend also checks the wall-clock
-    deadline. Exhaustion raises {!Exhausted}, which the transaction
+    distinct-state allowance, and each spend also checks the
+    monotonic-clock deadline. Exhaustion raises {!Exhausted}, which the transaction
     layer turns into a structured {!Error.t} and a rollback.
 
     Step accounting is an {!Atomic.t}, so a budget shared by several
@@ -34,18 +34,24 @@ type t = {
   clock : unit -> float;
 }
 
+(* The default clock is monotonic: a wall clock (gettimeofday) can be
+   stepped backwards or forwards by NTP, which would fire (or defer) a
+   time budget arbitrarily. Tests inject their own [?clock]. *)
+let default_clock = Mclock.now
+
 let unlimited () =
   {
     steps_left = Atomic.make max_int;
     states_left = None;
     deadline = None;
-    clock = Unix.gettimeofday;
+    clock = default_clock;
   }
 
 (** [make ?steps ?states ?ms ()] builds a budget with the given step
-    fuel, distinct-state cap, and wall-clock allowance in milliseconds
-    (measured from now). Omitted resources are unlimited. *)
-let make ?steps ?states ?ms ?(clock = Unix.gettimeofday) () =
+    fuel, distinct-state cap, and elapsed-time allowance in
+    milliseconds (measured from now on the monotonic clock). Omitted
+    resources are unlimited. *)
+let make ?steps ?states ?ms ?(clock = default_clock) () =
   {
     steps_left = Atomic.make (match steps with Some n -> n | None -> max_int);
     states_left = states;

@@ -20,10 +20,15 @@ type t
 (** A budget with every resource unlimited. *)
 val unlimited : unit -> t
 
+(** The clock deadlines are measured against when none is injected:
+    {!Mclock.now}, monotonic — NTP stepping the wall clock cannot fire
+    or defer a time budget. *)
+val default_clock : unit -> float
+
 (** [make ?steps ?states ?ms ()] budgets step fuel, a distinct-state
-    cap, and a wall-clock allowance of [ms] milliseconds from now.
+    cap, and an elapsed-time allowance of [ms] milliseconds from now.
     Omitted resources are unlimited; [clock] defaults to
-    [Unix.gettimeofday]. *)
+    {!default_clock} (monotonic) and is injectable for tests. *)
 val make :
   ?steps:int -> ?states:int -> ?ms:int -> ?clock:(unit -> float) -> unit -> t
 

@@ -37,6 +37,10 @@ let lock = Mutex.create ()
 (* The budget a fired [Exhaust] drains; armed by the transaction layer. *)
 let target_budget : Budget.t option ref = ref None
 
+(* Counts faults that actually fired (not mere site hits), across all
+   actions including verdict flips. *)
+let c_triggered = Metrics.counter "fault.triggered"
+
 let arm ?(after = 0) ~site action =
   state :=
     { a_site = site; a_action = action; a_countdown = after }
@@ -60,7 +64,9 @@ let next_prob (pr : prob) =
   pr.prng <- (pr.prng * 1664525) + 1013904223;
   float_of_int (pr.prng land 0xFFFFFF) /. float_of_int 0x1000000
 
-let fire site = function
+let fire site action =
+  Metrics.incr c_triggered;
+  match action with
   | Abort -> raise (Injected site)
   | Exhaust r ->
     (match !target_budget with
@@ -111,6 +117,7 @@ let flip (site : string) (verdict : bool) : bool =
         Hashtbl.replace hit_counts site (hits site + 1);
         if a.a_countdown <= 0 then begin
           state := List.filter (fun a' -> a' != a) !state;
+          Metrics.incr c_triggered;
           not verdict
         end
         else begin

@@ -1,0 +1,5 @@
+external now : unit -> (float[@unboxed])
+  = "fdbs_mclock_now" "fdbs_mclock_now_unboxed"
+[@@noalloc]
+
+let now_us () = now () *. 1e6

@@ -1,0 +1,15 @@
+(** Monotonic process clock.
+
+    [Unix.gettimeofday] is a wall clock: NTP can step it forwards or
+    backwards at any moment, so durations computed from it can be
+    negative or wildly wrong. Everything in this codebase that measures
+    {e elapsed time} — budgets, trace spans, benchmark timers — should
+    use this module instead. *)
+
+val now : unit -> float
+(** Seconds since an arbitrary fixed point (system boot on Linux).
+    Never decreases. Unrelated to the epoch: only differences are
+    meaningful. *)
+
+val now_us : unit -> float
+(** [now () *. 1e6] — microseconds, the unit Chrome traces use. *)

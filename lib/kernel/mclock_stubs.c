@@ -1,0 +1,24 @@
+/* Monotonic clock for Fdbs_kernel.Mclock.
+ *
+ * CLOCK_MONOTONIC never jumps backwards (NTP slews it but does not
+ * step it), which is what budgets, span durations, and benchmark
+ * timers need. Exposed both boxed (bytecode) and unboxed (native,
+ * noalloc) so reading the clock costs a function call and nothing
+ * else. */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <time.h>
+
+double fdbs_mclock_now_unboxed(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (double)ts.tv_sec + (double)ts.tv_nsec * 1e-9;
+}
+
+CAMLprim value fdbs_mclock_now(value unit)
+{
+  return caml_copy_double(fdbs_mclock_now_unboxed(unit));
+}

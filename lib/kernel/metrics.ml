@@ -1,0 +1,118 @@
+type counter = { name : string; cell : int Atomic.t }
+
+type histogram = {
+  hname : string;
+  count : int Atomic.t;
+  sum_ns : int Atomic.t;
+  max_ns : int Atomic.t;
+  buckets : int Atomic.t array; (* bucket i counts latencies in [2^i, 2^i+1) us *)
+}
+
+(* The registry is read rarely (registration, snapshot) and never on
+   the per-event path, so a single mutex is plenty. *)
+let lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+        let c = { name; cell = Atomic.make 0 } in
+        Hashtbl.replace counters name c;
+        c)
+
+let incr (c : counter) = Atomic.incr c.cell
+let add (c : counter) n = ignore (Atomic.fetch_and_add c.cell n)
+let value (c : counter) = Atomic.get c.cell
+let set (c : counter) n = Atomic.set c.cell n
+let bucket_count = 32
+
+let histogram hname =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt histograms hname with
+      | Some h -> h
+      | None ->
+        let h =
+          {
+            hname;
+            count = Atomic.make 0;
+            sum_ns = Atomic.make 0;
+            max_ns = Atomic.make 0;
+            buckets = Array.init bucket_count (fun _ -> Atomic.make 0);
+          }
+        in
+        Hashtbl.replace histograms hname h;
+        h)
+
+let rec store_max cell n =
+  let cur = Atomic.get cell in
+  if n > cur && not (Atomic.compare_and_set cell cur n) then store_max cell n
+
+let bucket_of_us us =
+  let rec find i bound =
+    if i >= bucket_count - 1 || us < bound then i else find (i + 1) (bound *. 2.)
+  in
+  find 0 1.
+
+let observe_us (h : histogram) us =
+  let us = if us < 0. then 0. else us in
+  let ns = int_of_float (us *. 1000.) in
+  Atomic.incr h.count;
+  ignore (Atomic.fetch_and_add h.sum_ns ns);
+  store_max h.max_ns ns;
+  Atomic.incr h.buckets.(bucket_of_us us)
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * hist_summary) list;
+}
+
+and hist_summary = { h_count : int; h_sum_ns : int; h_max_ns : int }
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot () =
+  Mutex.protect lock (fun () ->
+      let cs =
+        Hashtbl.fold (fun name c acc -> (name, Atomic.get c.cell) :: acc) counters []
+      in
+      let hs =
+        Hashtbl.fold
+          (fun name h acc ->
+            ( name,
+              {
+                h_count = Atomic.get h.count;
+                h_sum_ns = Atomic.get h.sum_ns;
+                h_max_ns = Atomic.get h.max_ns;
+              } )
+            :: acc)
+          histograms []
+      in
+      { counters = List.sort by_name cs; histograms = List.sort by_name hs })
+
+let reset () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters;
+      Hashtbl.iter
+        (fun _ h ->
+          Atomic.set h.count 0;
+          Atomic.set h.sum_ns 0;
+          Atomic.set h.max_ns 0;
+          Array.iter (fun b -> Atomic.set b 0) h.buckets)
+        histograms)
+
+let pp_snapshot ppf (s : snapshot) =
+  Fmt.pf ppf "@[<v>counters:";
+  List.iter (fun (name, v) -> Fmt.pf ppf "@,  %-32s %d" name v) s.counters;
+  Fmt.pf ppf "@,histograms:";
+  List.iter
+    (fun (name, h) ->
+      if h.h_count = 0 then Fmt.pf ppf "@,  %-32s count=0" name
+      else
+        Fmt.pf ppf "@,  %-32s count=%d mean=%.1fus max=%.1fus" name h.h_count
+          (float_of_int h.h_sum_ns /. float_of_int h.h_count /. 1000.)
+          (float_of_int h.h_max_ns /. 1000.))
+    s.histograms;
+  Fmt.pf ppf "@]"

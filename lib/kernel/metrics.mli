@@ -1,0 +1,56 @@
+(** Process-wide counters and latency histograms.
+
+    Counters are plain {!Atomic.t} cells behind a named registry, so
+    increments from several {!Pool} worker domains are {e exact}: the
+    value read after a parallel sweep equals the number of events, just
+    as in a single-domain run (the same contract {!Budget} gives for
+    step accounting). Histograms record microsecond latencies into
+    power-of-two buckets with an atomic count/sum/max, cheap enough to
+    leave on permanently.
+
+    Instruments register themselves at module initialization
+    ([let c = Metrics.counter "planner.cache.hit"]) and pay one atomic
+    read-modify-write per event afterwards; there is no sampling and no
+    locking on the hot path. [fds stats] and the bench [--metrics-json]
+    hook print {!snapshot}. *)
+
+type counter
+type histogram
+
+val counter : string -> counter
+(** [counter name] registers (or retrieves) the process-wide counter
+    [name]. Thread-safe; the same name always yields the same cell. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val set : counter -> int -> unit
+(** Mostly for resetting a subsystem's counters (e.g. the planner's
+    cache statistics) without touching the rest of the registry. *)
+
+val histogram : string -> histogram
+(** [histogram name] registers (or retrieves) a latency histogram with
+    power-of-two microsecond buckets. *)
+
+val observe_us : histogram -> float -> unit
+(** Record one latency observation, in microseconds. *)
+
+(** An immutable view of every registered instrument, sorted by name. *)
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * hist_summary) list;
+}
+
+and hist_summary = { h_count : int; h_sum_ns : int; h_max_ns : int }
+
+val snapshot : unit -> snapshot
+
+val reset : unit -> unit
+(** Zero every registered counter and histogram (the instruments stay
+    registered). Used by tests and by delta reporting in bench E20. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+(** Counters first (name, value), then histograms (count, mean, max).
+    Histogram timing figures are printed only when the count is
+    non-zero, so the output for a sequential run is deterministic. *)

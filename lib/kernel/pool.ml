@@ -58,31 +58,56 @@ let chunks ~jobs (xs : 'a list) : 'a list list =
     split 0 xs []
   end
 
+let h_chunk_us = Metrics.histogram "pool.chunk_us"
+let c_chunks = Metrics.counter "pool.chunks"
+
 (* Run one chunk to completion, capturing any exception with its
-   backtrace so the merge can re-raise the earliest one. *)
+   backtrace so the merge can re-raise the earliest one. Each chunk's
+   latency lands in the [pool.chunk_us] histogram. *)
 let run_chunk f chunk =
-  try Ok (List.map f chunk)
-  with e -> Error (e, Printexc.get_raw_backtrace ())
+  let t0 = Mclock.now_us () in
+  let r =
+    try Ok (List.map f chunk) with e -> Error (e, Printexc.get_raw_backtrace ())
+  in
+  Metrics.incr c_chunks;
+  Metrics.observe_us h_chunk_us (Mclock.now_us () -. t0);
+  r
 
 (** [map ?jobs f xs] is [List.map f xs] computed by up to [jobs]
     domains (the caller's domain works the first chunk). Results merge
-    in input order; the earliest chunk's exception wins. *)
+    in input order; the earliest chunk's exception wins.
+
+    When {!Trace} is enabled, every worker chunk records into an
+    isolated collector and its spans are grafted back into the
+    caller's open span in chunk order — the merged span tree equals
+    the sequential one for any job count (the caller's own chunk runs
+    first and records in place). *)
 let map ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
   let jobs = match jobs with Some j -> clamp_jobs j | None -> default_jobs () in
-  match chunks ~jobs xs with
-  | [] -> []
-  | [ chunk ] -> List.map f chunk
-  | first :: rest ->
-    let workers =
-      List.map (fun chunk -> Stdlib.Domain.spawn (fun () -> run_chunk f chunk)) rest
-    in
-    let head = run_chunk f first in
-    let tail = List.map Stdlib.Domain.join workers in
+  let merge outcomes =
     List.concat_map
       (function
         | Ok ys -> ys
         | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
-      (head :: tail)
+      outcomes
+  in
+  match chunks ~jobs xs with
+  | [] -> []
+  | [ chunk ] -> merge [ run_chunk f chunk ]
+  | first :: rest ->
+    let traced = Trace.enabled () in
+    let workers =
+      List.map
+        (fun chunk ->
+          Stdlib.Domain.spawn (fun () ->
+              if traced then Trace.isolated (fun () -> run_chunk f chunk)
+              else (run_chunk f chunk, [])))
+        rest
+    in
+    let head = run_chunk f first in
+    let tail = List.map Stdlib.Domain.join workers in
+    if traced then List.iter (fun (_, spans) -> Trace.graft spans) tail;
+    merge (head :: List.map fst tail)
 
 (** [map_reduce ?jobs ~map:f ~merge ~neutral xs] maps in parallel, then
     folds the per-item results left to right — deterministic for any

@@ -1,0 +1,209 @@
+type span = {
+  name : string;
+  cat : string;
+  mutable args : (string * string) list; (* insertion order *)
+  mutable start_us : float;
+  mutable dur_us : float;
+  mutable children_rev : span list;
+}
+
+(* Per-domain collector: an open-span stack plus a bounded ring of
+   completed roots. Domain-local, so recording never takes a lock. *)
+type collector = {
+  mutable stack : span list;
+  mutable roots_rev : span list;
+  mutable root_count : int;
+  mutable spans : int;
+  mutable dropped : int;
+}
+
+let max_roots = 256
+let max_spans = 2_000_000
+
+let fresh () =
+  { stack = []; roots_rev = []; root_count = 0; spans = 0; dropped = 0 }
+
+(* [Domain] is shadowed by the kernel's sort-carrier module, hence the
+   qualified [Stdlib.Domain] (same as in {!Pool}). *)
+let key = Stdlib.Domain.DLS.new_key fresh
+let cur () = Stdlib.Domain.DLS.get key
+
+(* The enabled flag doubles as the no-op sink switch: when it is off,
+   [with_span] is an atomic load and a direct call of [f]. The bench
+   gate keeps that path under 2% of a semantics statement. *)
+let enabled_flag = Atomic.make false
+let epoch_us = Atomic.make 0.
+let enabled () = Atomic.get enabled_flag
+
+let set_enabled b =
+  if b && not (Atomic.get enabled_flag) then Atomic.set epoch_us (Mclock.now_us ());
+  Atomic.set enabled_flag b
+
+(* Drop the oldest root once the ring is full. [roots_rev] is
+   newest-first, so the oldest is the last element; the ring is small
+   and overflow is rare, so the O(ring) walk is fine. *)
+let add_root c sp =
+  if c.root_count >= max_roots then begin
+    (match List.rev c.roots_rev with
+    | _oldest :: rest -> c.roots_rev <- List.rev rest
+    | [] -> ());
+    c.dropped <- c.dropped + 1;
+    c.root_count <- c.root_count - 1
+  end;
+  c.roots_rev <- sp :: c.roots_rev;
+  c.root_count <- c.root_count + 1
+
+let close c sp =
+  sp.dur_us <- Mclock.now_us () -. sp.start_us;
+  (match c.stack with
+  | top :: rest when top == sp -> c.stack <- rest
+  | _ -> ());
+  match c.stack with
+  | parent :: _ -> parent.children_rev <- sp :: parent.children_rev
+  | [] -> add_root c sp
+
+let with_span ?(cat = "") ?(args = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let c = cur () in
+    if c.spans >= max_spans then begin
+      c.dropped <- c.dropped + 1;
+      f ()
+    end
+    else begin
+      let sp =
+        { name; cat; args; start_us = Mclock.now_us (); dur_us = 0.; children_rev = [] }
+      in
+      c.spans <- c.spans + 1;
+      c.stack <- sp :: c.stack;
+      Fun.protect ~finally:(fun () -> close c sp) f
+    end
+  end
+
+let add_attr k v =
+  if Atomic.get enabled_flag then
+    match (cur ()).stack with
+    | sp :: _ -> sp.args <- sp.args @ [ (k, v) ]
+    | [] -> ()
+
+let isolated f =
+  let saved = cur () in
+  let c = fresh () in
+  Stdlib.Domain.DLS.set key c;
+  Fun.protect
+    ~finally:(fun () ->
+      saved.spans <- saved.spans + c.spans;
+      saved.dropped <- saved.dropped + c.dropped;
+      Stdlib.Domain.DLS.set key saved)
+    (fun () ->
+      let r = f () in
+      (r, List.rev c.roots_rev))
+
+let graft spans =
+  if spans <> [] then begin
+    let c = cur () in
+    match c.stack with
+    | sp :: _ -> sp.children_rev <- List.rev_append spans sp.children_rev
+    | [] -> List.iter (add_root c) spans
+  end
+
+let roots () = List.rev (cur ()).roots_rev
+let reset () = Stdlib.Domain.DLS.set key (fresh ())
+
+let stats () =
+  let c = cur () in
+  (c.spans, c.dropped)
+
+(* Deterministic structural rendering: nesting, names, categories and
+   attributes, no timings. *)
+let structure () =
+  let buf = Buffer.create 1024 in
+  let rec go indent sp =
+    Buffer.add_string buf indent;
+    Buffer.add_string buf sp.name;
+    if sp.cat <> "" then begin
+      Buffer.add_string buf " [";
+      Buffer.add_string buf sp.cat;
+      Buffer.add_char buf ']'
+    end;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf k;
+        Buffer.add_char buf '=';
+        Buffer.add_string buf v)
+      sp.args;
+    Buffer.add_char buf '\n';
+    List.iter (go (indent ^ "  ")) (List.rev sp.children_rev)
+  in
+  List.iter (go "") (roots ());
+  Buffer.contents buf
+
+let json_escape buf s =
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+(* Chrome trace format: one complete event ("ph":"X") per span, in
+   pre-order. With [virtual_ts] the timestamp is the pre-order rank and
+   the duration the subtree size — still properly nested, and
+   byte-stable across runs with equal span trees. *)
+let write_chrome ?(virtual_ts = false) file =
+  let epoch = Atomic.get epoch_us in
+  let buf = Buffer.create 65536 in
+  let events = ref 0 in
+  let rank = ref 0 in
+  let rec subtree_size sp =
+    List.fold_left (fun acc c -> acc + subtree_size c) 1 sp.children_rev
+  in
+  let rec emit sp =
+    if !events > 0 then Buffer.add_string buf ",\n";
+    incr events;
+    let ts = if virtual_ts then float_of_int !rank else sp.start_us -. epoch in
+    let dur =
+      if virtual_ts then float_of_int (subtree_size sp) else sp.dur_us
+    in
+    incr rank;
+    Buffer.add_string buf "{\"name\":\"";
+    json_escape buf sp.name;
+    Buffer.add_string buf "\",\"cat\":\"";
+    json_escape buf (if sp.cat = "" then "fdbs" else sp.cat);
+    Buffer.add_string buf "\",\"ph\":\"X\",\"ts\":";
+    Buffer.add_string buf (Printf.sprintf "%.3f" ts);
+    Buffer.add_string buf ",\"dur\":";
+    Buffer.add_string buf (Printf.sprintf "%.3f" dur);
+    Buffer.add_string buf ",\"pid\":1,\"tid\":1";
+    (if sp.args <> [] then begin
+       Buffer.add_string buf ",\"args\":{";
+       List.iteri
+         (fun i (k, v) ->
+           if i > 0 then Buffer.add_char buf ',';
+           Buffer.add_char buf '"';
+           json_escape buf k;
+           Buffer.add_string buf "\":\"";
+           json_escape buf v;
+           Buffer.add_char buf '"')
+         sp.args;
+       Buffer.add_char buf '}'
+     end);
+    Buffer.add_char buf '}';
+    List.iter emit (List.rev sp.children_rev)
+  in
+  List.iter emit (roots ());
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\"traceEvents\":[\n";
+      Buffer.output_buffer oc buf;
+      output_string oc "\n],\"displayTimeUnit\":\"ms\"}\n");
+  !events

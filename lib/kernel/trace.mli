@@ -1,0 +1,70 @@
+(** Hierarchical execution tracing with Chrome-trace output.
+
+    A trace is a forest of {e spans}: named intervals with a category,
+    monotonic-clock start/duration ({!Mclock}), ordered string
+    attributes, and children. Each domain records into its own
+    collector (domain-local storage), so recording is lock-free;
+    {!Pool} runs every worker chunk inside {!isolated} and {!graft}s
+    the collected spans back into the caller's open span {e in chunk
+    order}, which makes the merged tree identical to the sequential
+    tree for any [--jobs N] (instrumentation sites are chosen to be
+    cache-independent, see PR notes in CHANGES.md).
+
+    Disabled is the default and costs one atomic load per
+    [with_span] — the recording sink is swapped out for a no-op, and
+    the bench gate fails the build if that overhead ever exceeds 2% of
+    a semantics statement. Roots are kept in a bounded ring (oldest
+    dropped first) so a runaway trace cannot exhaust memory. *)
+
+type span
+
+val set_enabled : bool -> unit
+(** Switch recording on or off, process-wide (all domains). Enabling
+    also re-arms the trace epoch used for Chrome timestamps. *)
+
+val enabled : unit -> bool
+
+val with_span :
+  ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a new span, attached to the
+    innermost open span of the calling domain (or recorded as a root).
+    The span is closed even if [f] raises. When tracing is disabled
+    this is just [f ()]. *)
+
+val add_attr : string -> string -> unit
+(** Append an attribute to the calling domain's innermost open span
+    (no-op when tracing is disabled or no span is open). Used to attach
+    values only known mid-span, e.g. result cardinalities. *)
+
+val isolated : (unit -> 'a) -> 'a * span list
+(** [isolated f] runs [f] with a fresh collector on the calling domain
+    and returns the roots it recorded, restoring the previous collector
+    afterwards. {!Pool} wraps each worker chunk in this. *)
+
+val graft : span list -> unit
+(** Append already-closed spans (from {!isolated}) as children of the
+    calling domain's innermost open span, preserving their order; they
+    become roots if no span is open. *)
+
+val roots : unit -> span list
+(** Completed root spans of the calling domain, oldest first. *)
+
+val reset : unit -> unit
+(** Drop everything recorded by the calling domain. *)
+
+val stats : unit -> int * int
+(** [(recorded, dropped)] span counts for the calling domain, including
+    spans grafted from workers. *)
+
+val structure : unit -> string
+(** A deterministic rendering of the calling domain's span forest —
+    names, categories, attributes, and nesting, no timings. Two runs of
+    the same workload compare equal iff their span trees match. *)
+
+val write_chrome : ?virtual_ts:bool -> string -> int
+(** Write the calling domain's span forest to [file] in Chrome trace
+    format (chrome://tracing, Perfetto) and return the number of
+    events. With [~virtual_ts:true] timestamps are replaced by
+    deterministic pre-order ranks so that runs with identical span
+    trees produce byte-identical files (used by the [--jobs]
+    determinism smoke; set by [FDBS_TRACE_VIRTUAL_TS] in the CLI). *)

@@ -44,6 +44,11 @@ let rec take n = function
 
 let sum = List.fold_left ( + ) 0
 
+(* Process-wide fixpoint instrumentation: one round per frontier
+   expansion, one state per distinct element accumulated. *)
+let c_fixpoint_rounds = Metrics.counter "fixpoint.rounds"
+let c_fixpoint_states = Metrics.counter "fixpoint.states"
+
 (** Fixpoint of a monotone set-expansion step: repeatedly apply [step]
     to the frontier, accumulating states distinct under [eq], until no
     new element appears or [limit] elements have been accumulated.
@@ -63,7 +68,8 @@ let bfs_fixpoint ~eq ?hash ~limit ~(step : 'a -> 'a list) (starts : 'a list) :
     let add x =
       Hashtbl.add tbl (h x) x;
       seen_rev := x :: !seen_rev;
-      incr count
+      incr count;
+      Metrics.incr c_fixpoint_states
     in
     let truncated = ref false in
     let rec loop frontier =
@@ -71,6 +77,7 @@ let bfs_fixpoint ~eq ?hash ~limit ~(step : 'a -> 'a list) (starts : 'a list) :
       | [] -> ()
       | _ when !count >= limit -> truncated := true
       | _ ->
+        Metrics.incr c_fixpoint_rounds;
         let next_rev = ref [] in
         List.iter
           (fun x ->
@@ -98,6 +105,7 @@ let bfs_fixpoint ~eq ?hash ~limit ~(step : 'a -> 'a list) (starts : 'a list) :
       | [] -> ()
       | _ when List.length !seen >= limit -> truncated := true
       | _ ->
+        Metrics.incr c_fixpoint_rounds;
         let next =
           List.concat_map step frontier
           |> List.filter (fun x -> not (mem x))
@@ -105,10 +113,12 @@ let bfs_fixpoint ~eq ?hash ~limit ~(step : 'a -> 'a list) (starts : 'a list) :
         in
         let room = limit - List.length !seen in
         let next = if List.length next > room then (truncated := true; take room next) else next in
+        Metrics.add c_fixpoint_states (List.length next);
         seen := !seen @ next;
         loop next
     in
     let starts = dedup ~eq starts in
+    Metrics.add c_fixpoint_states (List.length starts);
     seen := starts;
     loop starts;
     (!seen, !truncated)

@@ -22,6 +22,12 @@ open Fdbs_logic
 open Fdbs_algebra
 open Fdbs_temporal
 
+(* Each proof obligation of the refinement check is a [refine] span
+   when tracing is on; spans sit outside the {!Pool} sweeps, so the
+   span tree is independent of the job count. *)
+let span ?args name f =
+  if Trace.enabled () then Trace.with_span ~cat:"refine" ?args name f else f ()
+
 type report = {
   states : int;  (** reachable states explored *)
   truncated : bool;
@@ -66,7 +72,7 @@ let structure_of_node (t1 : Ttheory.t) (spec : Spec.t) (interp : Interp12.t)
         else None)
       t1.Ttheory.signature.Signature.funcs
   in
-  let state_term = Trace.to_aterm spec.Spec.signature node.Reach.trace in
+  let state_term = Strace.to_aterm spec.Spec.signature node.Reach.trace in
   let rec build_tables acc = function
     | [] -> Ok acc
     | (p : Signature.pred) :: rest ->
@@ -248,25 +254,42 @@ let check ?(limit = 10_000) ?domain ?(future = true) ?jobs (t1 : Ttheory.t)
   in
   if interp_errors <> [] then empty_report
   else
-    match Reach.explore ~limit ~domain spec with
+    match span "check12.explore" (fun () -> Reach.explore ~limit ~domain spec) with
     | Error e -> { empty_report with eval_error = Some (Fmt.str "%a" Eval.pp_error e) }
     | Ok g ->
-      (match universe_of_graph ~future ?jobs t1 spec interp g with
+      (match
+         span "check12.universe" (fun () ->
+             universe_of_graph ~future ?jobs t1 spec interp g)
+       with
        | Error e -> { empty_report with eval_error = Some e }
        | Ok u ->
-         let axiom_reports = Ttheory.check_in t1 u in
+         (* (b)/(d): one obligation per axiom over the universe *)
+         let axiom_reports =
+           List.map
+             (fun (ax : Ttheory.axiom) ->
+               span
+                 ~args:[ ("axiom", ax.Ttheory.ax_name) ]
+                 "check12.axiom"
+                 (fun () ->
+                   List.hd
+                     (Check.check_axioms u
+                        [ (ax.Ttheory.ax_name, ax.Ttheory.ax_formula) ])))
+             t1.Ttheory.axioms
+         in
          (* (c) every valid state is reachable *)
          let reachable_structures =
            List.init (Universe.num_states u) (Universe.state u)
          in
          let unreachable_valid =
-           Pool.map ?jobs
-             (fun valid ->
-               if List.exists (Structure.equal_tables valid) reachable_structures
-               then None
-               else Some valid)
-             (valid_states ?jobs t1 ~domain)
-           |> List.filter_map Fun.id
+           span "check12.reachability" (fun () ->
+               Pool.map ?jobs
+                 (fun valid ->
+                   if List.exists (Structure.equal_tables valid) reachable_structures
+                   then None
+                   else Some valid)
+                 (span "check12.valid-states" (fun () ->
+                      valid_states ?jobs t1 ~domain))
+               |> List.filter_map Fun.id)
          in
          {
            states = Reach.num_states g;

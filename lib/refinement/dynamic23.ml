@@ -169,11 +169,24 @@ let check ?(limit = 2_000) ?budget ?jobs (spec : Spec.t) (env : Semantics.env)
         (match of_equation k sg2 eq with
          | Error e -> Error (Fmt.str "equation %s: %s" eq.Equation.eq_name e)
          | Ok formula ->
-           let holds =
+           (* one obligation per equation: its translated sentence over
+              every reachable database *)
+           let sweep () =
              try
                Pool.map ?jobs (fun db -> Dynamic.holds env db formula) dbs
                |> List.for_all Fun.id
              with Dynamic.Dyn_error e -> invalid_arg e
+           in
+           let holds =
+             if Trace.enabled () then
+               Trace.with_span ~cat:"refine"
+                 ~args:[ ("equation", eq.Equation.eq_name) ]
+                 "dynamic23.obligation"
+                 (fun () ->
+                   let v = sweep () in
+                   Trace.add_attr "verdict" (string_of_bool v);
+                   v)
+             else sweep ()
            in
            go
              ({ dyn_equation = eq.Equation.eq_name; dyn_formula = formula; dyn_holds = holds }

@@ -86,7 +86,7 @@ let eval ?(future = true) (g : Reach.graph) (spec : Spec.t)
         List.map (fun (v, value) -> (v, Aterm.Val (value, v.Term.vsort))) rho
         @ List.map
             (fun ((v : Term.var), i) ->
-              (v, Trace.to_aterm spec.Spec.signature g.Reach.nodes.(i).Reach.trace))
+              (v, Strace.to_aterm spec.Spec.signature g.Reach.nodes.(i).Reach.trace))
             sigma
       in
       (match Eval.holds ~domain spec (Aterm.subst subst term) with

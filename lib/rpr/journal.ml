@@ -11,9 +11,9 @@
 
     — each committed transaction writes its calls followed by a
     [commit] marker and a flush, so a crash mid-entry leaves a trailing
-    uncommitted fragment that {!load} ignores. Replaying a journal
-    against the initial state reproduces the committed state exactly
-    ({!Txn.replay}). *)
+    uncommitted fragment that {!load} drops (reporting it as the torn
+    tail). Replaying a journal against the initial state reproduces the
+    committed state exactly ({!Txn.replay}). *)
 
 open Fdbs_kernel
 
@@ -64,38 +64,68 @@ let append (path : string) (e : entry) : (unit, Error.t) result =
   | () -> Ok ()
   | exception Sys_error msg -> Result.Error (io_error path msg)
 
-(** Load every {e committed} entry of the journal at [path]; calls after
-    the last [commit] marker (a transaction interrupted mid-write) are
-    dropped. *)
-let load (path : string) : (entry list, Error.t) result =
+(** Load every {e committed} entry of the journal at [path].
+
+    A record is complete only once its [commit] marker and newline are
+    on disk, so a crash (or truncation) mid-write leaves a {e torn
+    tail}: a final line without its newline, a malformed final line, or
+    trailing [call] lines with no [commit]. Torn tails are tolerated —
+    every complete record is returned together with [Some description]
+    of what was dropped, and recovery proceeds ([fds replay] warns and
+    exits 0). A malformed line {e before} the tail is real corruption
+    and stays an error. *)
+let load (path : string) : (entry list * string option, Error.t) result =
   match
-    let ic = open_in path in
+    let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        let rec lines acc =
-          match input_line ic with
-          | line -> lines (line :: acc)
-          | exception End_of_file -> List.rev acc
-        in
-        lines [])
+      (fun () -> really_input_string ic (in_channel_length ic))
   with
   | exception Sys_error msg -> Result.Error (io_error path msg)
-  | lines ->
+  | exception End_of_file -> Result.Error (io_error path "unreadable")
+  | "" -> Ok ([], None)
+  | content ->
+    let n = String.length content in
+    let ends_nl = content.[n - 1] = '\n' in
+    let frag, complete =
+      match List.rev (String.split_on_char '\n' content) with
+      | last :: rest_rev -> ((if ends_nl then None else Some last), List.rev rest_rev)
+      | [] -> (None, [])
+    in
     let entries = ref [] in
     let pending = ref [] in
-    let bad = ref None in
-    List.iter
-      (fun line ->
-        match String.split_on_char ' ' (String.trim line) with
-        | [ "" ] -> ()
-        | [ "commit" ] ->
-          entries := { calls = List.rev !pending } :: !entries;
-          pending := []
-        | "call" :: name :: args ->
-          pending := (name, List.map value_of_string args) :: !pending
-        | _ -> if !bad = None then bad := Some line)
-      lines;
-    (match !bad with
-     | Some line -> Result.Error (io_error path (Fmt.str "malformed line %S" line))
-     | None -> Ok (List.rev !entries))
+    let torn = ref [] in
+    let error = ref None in
+    (match frag with
+     | Some f -> torn := [ Fmt.str "torn final record (%d bytes)" (String.length f) ]
+     | None -> ());
+    let total = List.length complete in
+    List.iteri
+      (fun i line ->
+        if !error = None then
+          match String.split_on_char ' ' (String.trim line) with
+          | [ "" ] -> ()
+          | [ "commit" ] ->
+            entries := { calls = List.rev !pending } :: !entries;
+            pending := []
+          | "call" :: name :: args ->
+            pending := (name, List.map value_of_string args) :: !pending
+          | _ ->
+            if i = total - 1 then
+              torn := Fmt.str "malformed trailing line %S" line :: !torn
+            else error := Some (io_error path (Fmt.str "malformed line %S" line)))
+      complete;
+    (match !error with
+     | Some e -> Result.Error e
+     | None ->
+       (match !pending with
+        | [] -> ()
+        | ps ->
+          torn :=
+            Fmt.str "%d uncommitted trailing call(s)" (List.length ps) :: !torn);
+       let torn =
+         match List.rev !torn with
+         | [] -> None
+         | parts -> Some (String.concat "; " parts ^ " dropped")
+       in
+       Ok (List.rev !entries, torn))

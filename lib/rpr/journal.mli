@@ -1,7 +1,8 @@
 (** A write-ahead journal of committed transactions: line-oriented,
     append-only, one entry (the calls plus a [commit] marker) per
-    committed transaction. Calls after the last [commit] marker — a
-    transaction interrupted mid-write — are ignored by {!load}. *)
+    committed transaction. A transaction interrupted mid-write leaves a
+    torn tail that {!load} drops — recovery keeps every complete
+    record. *)
 
 open Fdbs_kernel
 
@@ -16,5 +17,10 @@ val pp_entry : entry Fmt.t
     before returning. *)
 val append : string -> entry -> (unit, Error.t) result
 
-(** Load every committed entry. *)
-val load : string -> (entry list, Error.t) result
+(** Load every committed entry. The second component describes the
+    torn tail, if any — a truncated final line, a malformed final
+    line, or uncommitted trailing calls; all of them are dropped and
+    recovery proceeds ([fds replay] prints the description as a
+    warning and exits 0). Malformed lines before the tail are
+    corruption and yield [Error]. *)
+val load : string -> (entry list * string option, Error.t) result

@@ -11,95 +11,105 @@
 open Fdbs_kernel
 open Fdbs_logic
 
-(* A cached entry retains what was planned so hash collisions resolve
-   by structural comparison, never by trusting the hash. *)
+(* A cached entry retains the schema and the term that were planned,
+   so a key collision resolves by structural comparison — never by
+   trusting the hash. Earlier versions compared only the formula: two
+   different schemas whose fingerprints collide on a shared body would
+   silently exchange plans (optimized for the wrong relation arities,
+   hence wrong results, not just wrong costs). *)
 type slot =
-  | Srterm of Stmt.rterm * Relalg.expr option
-  | Swff of Formula.t * Relalg.expr option
+  | Srterm of Schema.t * Stmt.rterm * Relalg.expr option
+  | Swff of Schema.t * Formula.t * Relalg.expr option
 
 let table : (int, slot list) Hashtbl.t = Hashtbl.create 256
 let lock = Mutex.create ()
-let hits = Atomic.make 0
-let misses = Atomic.make 0
+let c_hits = Metrics.counter "planner.cache.hit"
+let c_misses = Metrics.counter "planner.cache.miss"
+let h_plan_us = Metrics.histogram "planner.plan_us"
 
 (* Bound the table so a long-running process interleaving many schemas
    cannot grow it without limit; resetting just re-plans. *)
 let max_entries = 1024
 
-let stats () = (Atomic.get hits, Atomic.get misses)
+let stats () = (Metrics.value c_hits, Metrics.value c_misses)
 
 let clear () =
   Mutex.protect lock (fun () -> Hashtbl.reset table);
-  Atomic.set hits 0;
-  Atomic.set misses 0
+  Metrics.set c_hits 0;
+  Metrics.set c_misses 0
 
 let mix h x = (h * 16777619) lxor x
+
+(* Test hook: masking keys down to a few bits forces collisions, so
+   the regression suite can exercise the structural slot comparison
+   without birthday-searching a 63-bit hash. All bits in production. *)
+let key_mask = ref (-1)
+let set_key_mask m = key_mask := (match m with Some m -> m | None -> -1)
 
 let rterm_key (sc : Schema.t) (rt : Stmt.rterm) =
   let h = mix (Schema.fingerprint sc) 59 in
   let h = List.fold_left (fun h v -> mix h (Term.var_hash v)) h rt.Stmt.rt_vars in
-  mix h (Formula.hash rt.Stmt.rt_body)
+  mix h (Formula.hash rt.Stmt.rt_body) land !key_mask
 
 let wff_key (sc : Schema.t) (f : Formula.t) =
-  mix (mix (Schema.fingerprint sc) 61) (Formula.hash f)
+  mix (mix (Schema.fingerprint sc) 61) (Formula.hash f) land !key_mask
 
 let rterm_equal (a : Stmt.rterm) (b : Stmt.rterm) =
   List.equal Term.var_equal a.Stmt.rt_vars b.Stmt.rt_vars
   && Formula.equal a.Stmt.rt_body b.Stmt.rt_body
 
-let lookup key match_slot =
-  Mutex.protect lock (fun () ->
-      match Hashtbl.find_opt table key with
-      | None -> None
-      | Some slots -> List.find_map match_slot slots)
-
-let store key slot =
-  Mutex.protect lock (fun () ->
-      if Hashtbl.length table >= max_entries then Hashtbl.reset table;
-      let slots = Option.value ~default:[] (Hashtbl.find_opt table key) in
-      Hashtbl.replace table key (slot :: slots))
-
 let optimize (sc : Schema.t) e =
   Relalg.optimize ~rel_arity:(fun r -> List.length (Schema.sorts_of sc r)) e
+
+(* Look up and, on a miss, plan — all under the lock. The first caller
+   to miss a key plans and stores; a concurrent caller for the same
+   key blocks briefly and then hits. Planning is cheap relative to the
+   sweeps it serves, and this keeps hit/miss counts deterministic for
+   any job count while never compiling the same body twice. *)
+let with_cache key find make_slot compile =
+  Mutex.protect lock (fun () ->
+      let slots = Option.value ~default:[] (Hashtbl.find_opt table key) in
+      match List.find_map find slots with
+      | Some plan ->
+        Metrics.incr c_hits;
+        plan
+      | None ->
+        Metrics.incr c_misses;
+        let t0 = Mclock.now_us () in
+        let plan = compile () in
+        Metrics.observe_us h_plan_us (Mclock.now_us () -. t0);
+        let slots =
+          if Hashtbl.length table >= max_entries then begin
+            Hashtbl.reset table;
+            []
+          end
+          else slots
+        in
+        Hashtbl.replace table key (make_slot plan :: slots);
+        plan)
 
 (** The optimized plan of a relational term under a schema, from the
     cache when warm; [None] when the body is outside the safe
     fragment. *)
 let plan_rterm (sc : Schema.t) (rt : Stmt.rterm) : Relalg.expr option =
-  let key = rterm_key sc rt in
-  let cached =
-    lookup key (function
-      | Srterm (rt', plan) when rterm_equal rt rt' -> Some plan
+  with_cache (rterm_key sc rt)
+    (function
+      | Srterm (sc', rt', plan)
+        when Schema.plan_equal sc sc' && rterm_equal rt rt' -> Some plan
       | Srterm _ | Swff _ -> None)
-  in
-  match cached with
-  | Some plan ->
-    Atomic.incr hits;
-    plan
-  | None ->
-    Atomic.incr misses;
-    let plan = Option.map (optimize sc) (Relalg.compile rt) in
-    store key (Srterm (rt, plan));
-    plan
+    (fun plan -> Srterm (sc, rt, plan))
+    (fun () -> Option.map (optimize sc) (Relalg.compile rt))
 
 (** The optimized 0-ary plan of a closed wff; [None] when open or
     unsafe. *)
 let plan_wff (sc : Schema.t) (f : Formula.t) : Relalg.expr option =
-  let key = wff_key sc f in
-  let cached =
-    lookup key (function
-      | Swff (f', plan) when Formula.equal f f' -> Some plan
+  with_cache (wff_key sc f)
+    (function
+      | Swff (sc', f', plan)
+        when Schema.plan_equal sc sc' && Formula.equal f f' -> Some plan
       | Srterm _ | Swff _ -> None)
-  in
-  match cached with
-  | Some plan ->
-    Atomic.incr hits;
-    plan
-  | None ->
-    Atomic.incr misses;
-    let plan = Option.map (optimize sc) (Relalg.compile_wff f) in
-    store key (Swff (f, plan));
-    plan
+    (fun plan -> Swff (sc, f, plan))
+    (fun () -> Option.map (optimize sc) (Relalg.compile_wff f))
 
 let not_compilable_error what offender =
   Error.raise_error Error.Exec
@@ -107,26 +117,50 @@ let not_compilable_error what offender =
     (Fmt.str "%s not compilable: %a falls outside the safe fragment" what
        Formula.pp offender)
 
+let strategy_name = function
+  | `Naive -> "naive"
+  | `Compiled -> "compiled"
+  | `Auto -> "auto"
+
 (** Evaluate a relational term through the plan cache. [`Compiled]
     raises a structured {!Error.Error} outside the safe fragment;
-    [`Auto] (default) falls back to the naive evaluator. *)
+    [`Auto] (default) falls back to the naive evaluator.
+
+    Traced as a [planner.eval] span carrying the strategy and the
+    result cardinality. The span is emitted per {e evaluation} (a
+    cache-independent event), so span trees stay identical for any
+    [--jobs N] even though which domain pays a given cache miss is
+    scheduling-dependent; planning work shows up in the
+    [planner.cache.*] counters and the [planner.plan_us] histogram
+    instead. *)
 let eval_rterm ?(strategy = `Auto) ~(schema : Schema.t) ~domain ?consts (db : Db.t)
   (rt : Stmt.rterm) : Relation.t =
   Fault.hit "relalg.eval";
-  let naive () = Relcalc.eval_rterm_naive ~domain ?consts db rt in
-  match strategy with
-  | `Naive -> naive ()
-  | `Compiled ->
-    (match plan_rterm schema rt with
-     | Some e -> Relalg.eval ~domain ?consts db e
-     | None ->
-       (match Relalg.compile_explain rt with
-        | Ok _ -> assert false
-        | Error offender -> not_compilable_error "body" offender))
-  | `Auto ->
-    (match plan_rterm schema rt with
-     | Some e -> Relalg.eval ~domain ?consts db e
-     | None -> naive ())
+  let eval () =
+    let naive () = Relcalc.eval_rterm_naive ~domain ?consts db rt in
+    match strategy with
+    | `Naive -> naive ()
+    | `Compiled ->
+      (match plan_rterm schema rt with
+       | Some e -> Relalg.eval ~domain ?consts db e
+       | None ->
+         (match Relalg.compile_explain rt with
+          | Ok _ -> assert false
+          | Error offender -> not_compilable_error "body" offender))
+    | `Auto ->
+      (match plan_rterm schema rt with
+       | Some e -> Relalg.eval ~domain ?consts db e
+       | None -> naive ())
+  in
+  if Trace.enabled () then
+    Trace.with_span ~cat:"planner"
+      ~args:[ ("strategy", strategy_name strategy) ]
+      "planner.eval"
+      (fun () ->
+        let r = eval () in
+        Trace.add_attr "cardinality" (string_of_int (Relation.cardinal r));
+        r)
+  else eval ()
 
 (** Truth of a closed wff through the plan cache: an emptiness test on
     the compiled 0-ary plan. [`Auto] (default) falls back to
@@ -134,17 +168,28 @@ let eval_rterm ?(strategy = `Auto) ~(schema : Schema.t) ~domain ?consts (db : Db
     [`Compiled] raises the structured error instead. *)
 let holds ?(strategy = `Auto) ~(schema : Schema.t) ~domain ?consts (db : Db.t)
   (f : Formula.t) : bool =
-  let naive () = Relcalc.holds ~domain ?consts db f in
-  match strategy with
-  | `Naive -> naive ()
-  | `Compiled ->
-    (match plan_wff schema f with
-     | Some e -> not (Relation.is_empty (Relalg.eval ~domain ?consts db e))
-     | None ->
-       (match Relalg.compile_wff_explain f with
-        | Ok _ -> assert false
-        | Error offender -> not_compilable_error "wff" offender))
-  | `Auto ->
-    (match plan_wff schema f with
-     | Some e -> not (Relation.is_empty (Relalg.eval ~domain ?consts db e))
-     | None -> naive ())
+  let eval () =
+    let naive () = Relcalc.holds ~domain ?consts db f in
+    match strategy with
+    | `Naive -> naive ()
+    | `Compiled ->
+      (match plan_wff schema f with
+       | Some e -> not (Relation.is_empty (Relalg.eval ~domain ?consts db e))
+       | None ->
+         (match Relalg.compile_wff_explain f with
+          | Ok _ -> assert false
+          | Error offender -> not_compilable_error "wff" offender))
+    | `Auto ->
+      (match plan_wff schema f with
+       | Some e -> not (Relation.is_empty (Relalg.eval ~domain ?consts db e))
+       | None -> naive ())
+  in
+  if Trace.enabled () then
+    Trace.with_span ~cat:"planner"
+      ~args:[ ("strategy", strategy_name strategy) ]
+      "planner.holds"
+      (fun () ->
+        let v = eval () in
+        Trace.add_attr "verdict" (string_of_bool v);
+        v)
+  else eval ()

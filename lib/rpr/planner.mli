@@ -44,8 +44,17 @@ val holds :
   Formula.t ->
   bool
 
-(** Cumulative cache [(hits, misses)] since start or {!clear}. *)
+(** Cumulative cache [(hits, misses)] since start or {!clear}; also
+    exported process-wide as the [planner.cache.hit]/[planner.cache.miss]
+    {!Fdbs_kernel.Metrics} counters. *)
 val stats : unit -> int * int
 
 (** Drop every cached plan and zero the counters. *)
 val clear : unit -> unit
+
+(** Test hook: [set_key_mask (Some m)] masks every cache key with
+    [land m], forcing hash-bucket collisions so tests can exercise the
+    structural slot comparison (a slot matches only if schema {e and}
+    term compare equal — a collision must re-plan, never cross-serve).
+    [None] restores full-width keys. Not for production use. *)
+val set_key_mask : int option -> unit

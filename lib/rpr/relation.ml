@@ -84,6 +84,12 @@ let is_empty (r : t) = Tuple_set.is_empty r.tuples
    O(1). *)
 let mem_index_threshold = 8
 
+(* Index-build tallies: how often the lazy caches are actually
+   materialized (a concurrent duplicate build counts twice — it did
+   the work twice). *)
+let c_mem_index_builds = Metrics.counter "relation.mem_index_builds"
+let c_col_index_builds = Metrics.counter "relation.col_index_builds"
+
 let mem tu (r : t) =
   match Atomic.get r.mem_cache with
   | Some tbl -> Hashtbl.mem tbl tu
@@ -91,6 +97,7 @@ let mem tu (r : t) =
     if Tuple_set.cardinal r.tuples < mem_index_threshold then
       Tuple_set.mem tu r.tuples
     else begin
+      Metrics.incr c_mem_index_builds;
       let tbl = Hashtbl.create (2 * Tuple_set.cardinal r.tuples) in
       Tuple_set.iter (fun t -> Hashtbl.replace tbl t ()) r.tuples;
       Atomic.set r.mem_cache (Some tbl);
@@ -105,6 +112,7 @@ let index_on (col : int) (r : t) : index =
   match List.assoc_opt col (Atomic.get r.col_cache) with
   | Some idx -> idx
   | None ->
+    Metrics.incr c_col_index_builds;
     let idx : index = Hashtbl.create (max 16 (2 * Tuple_set.cardinal r.tuples)) in
     Tuple_set.iter
       (fun tu ->

@@ -51,6 +51,18 @@ let fingerprint (sc : t) : int =
     (mix_string 2166136261 sc.name)
     sc.relations
 
+(** Structural equality of exactly the footprint {!fingerprint} hashes:
+    the schema name and the relation declarations. The plan cache
+    compares slots with this on every hit, so a fingerprint collision
+    between two different schemas can never smuggle a plan across. *)
+let plan_equal (a : t) (b : t) : bool =
+  String.equal a.name b.name
+  && List.equal
+       (fun r1 r2 ->
+         String.equal r1.rname r2.rname
+         && List.equal Sort.equal r1.rsorts r2.rsorts)
+       a.relations b.relations
+
 (** All sorts mentioned by relations, constants and parameters. *)
 let sorts (sc : t) : Sort.t list =
   let of_rels = List.concat_map (fun r -> r.rsorts) sc.relations in

@@ -42,6 +42,11 @@ val sorts_of : t -> string -> Sort.t list
     schema. *)
 val fingerprint : t -> int
 
+(** Structural equality of exactly the footprint {!fingerprint}
+    hashes (schema name + relation declarations); the plan cache's
+    collision-proof slot comparison. *)
+val plan_equal : t -> t -> bool
+
 (** All sorts mentioned by relations, constants and parameters. *)
 val sorts : t -> Sort.t list
 

@@ -60,12 +60,40 @@ let holds (env : env) (db : Db.t) (f : Formula.t) : bool =
   Planner.holds ~strategy:env.strategy ~schema:env.schema ~domain:env.domain
     ~consts:env.consts db f
 
+let c_statements = Metrics.counter "semantics.statements"
+
+let stmt_label = function
+  | Stmt.Skip -> "stmt.skip"
+  | Stmt.Scalar_assign _ -> "stmt.scalar-assign"
+  | Stmt.Rel_assign _ -> "stmt.rel-assign"
+  | Stmt.Test _ -> "stmt.test"
+  | Stmt.Union _ -> "stmt.union"
+  | Stmt.Seq _ -> "stmt.seq"
+  | Stmt.Star _ -> "stmt.star"
+  | Stmt.If _ -> "stmt.if"
+  | Stmt.While _ -> "stmt.while"
+  | Stmt.Insert _ -> "stmt.insert"
+  | Stmt.Delete _ -> "stmt.delete"
+
 (** Operational form of the meaning function [m]: all outcome states of
     running [stmt] in [db]. An empty list means the statement is
-    blocked (its tests admit no outcome). *)
+    blocked (its tests admit no outcome).
+
+    Every statement is a [semantics] span when tracing is on (nested
+    statements nest their spans), and counts into the
+    [semantics.statements] metric always. *)
 let rec exec (env : env) (stmt : Stmt.t) (db : Db.t) : Db.t list =
+  if Trace.enabled () then
+    Trace.with_span ~cat:"semantics" (stmt_label stmt) (fun () ->
+        let outs = exec_raw env stmt db in
+        Trace.add_attr "outcomes" (string_of_int (List.length outs));
+        outs)
+  else exec_raw env stmt db
+
+and exec_raw (env : env) (stmt : Stmt.t) (db : Db.t) : Db.t list =
   Budget.spend_step env.budget;
   Fault.hit "semantics.exec";
+  Metrics.incr c_statements;
   match stmt with
   | Stmt.Skip -> [ db ]
   | Stmt.Scalar_assign (x, t) ->
@@ -116,7 +144,8 @@ let rec exec (env : env) (stmt : Stmt.t) (db : Db.t) : Db.t list =
 (** Procedure meaning [k] (paper rule (7)): run the body with the
     formal parameters bound to [args]; restore the parameters' previous
     scalar values in every outcome. *)
-let call (env : env) (proc : Schema.proc) (args : Value.t list) (db : Db.t) : Db.t list =
+let call_raw (env : env) (proc : Schema.proc) (args : Value.t list) (db : Db.t) :
+  Db.t list =
   Fault.hit "semantics.call";
   if List.length args <> List.length proc.Schema.pparams then
     err "procedure %s expects %d arguments, got %d" proc.Schema.pname
@@ -136,6 +165,16 @@ let call (env : env) (proc : Schema.proc) (args : Value.t list) (db : Db.t) : Db
       out saved
   in
   List.map restore (exec env proc.Schema.body db') |> dedup_states
+
+(** Procedure meaning [k], traced as a [semantics.call] span. *)
+let call (env : env) (proc : Schema.proc) (args : Value.t list) (db : Db.t) :
+  Db.t list =
+  if Trace.enabled () then
+    Trace.with_span ~cat:"semantics"
+      ~args:[ ("proc", proc.Schema.pname) ]
+      "semantics.call"
+      (fun () -> call_raw env proc args db)
+  else call_raw env proc args db
 
 (** Call a procedure by name, requiring a single (deterministic)
     outcome. *)
@@ -158,4 +197,10 @@ let call_det_exn env name args db =
 (** Truth of a closed wff in a state, under the environment's domain and
     constants — the query side of the DML (paper Section 5.2:
     expressions [R(t̄)] yield True iff [t̄ ∈ R]). *)
-let query (env : env) (db : Db.t) (f : Formula.t) : bool = holds env db f
+let query (env : env) (db : Db.t) (f : Formula.t) : bool =
+  if Trace.enabled () then
+    Trace.with_span ~cat:"semantics" "semantics.query" (fun () ->
+        let v = holds env db f in
+        Trace.add_attr "verdict" (string_of_bool v);
+        v)
+  else holds env db f

@@ -36,19 +36,31 @@ let pp_rollback ppf (r : rollback) =
 let call_context (name, args) =
   [ ("call", Fmt.str "%a" Journal.pp_call (name, args)) ]
 
+(* Transaction observability: commit/rollback tallies plus spans for
+   every phase (begin/calls/check/commit/rollback). *)
+let c_commits = Metrics.counter "txn.commits"
+let c_rollbacks = Metrics.counter "txn.rollbacks"
+
+let span name f = if Trace.enabled () then Trace.with_span ~cat:"txn" name f else f ()
+
 (* One procedure call, deterministically, with structured failures. *)
 let exec_call (env : Semantics.env) ((name, args) as c : Journal.call) (db : Db.t) :
   (Db.t, Error.t) result =
   let fail code fmt = Fmt.kstr (fun m -> Result.Error (Error.make ~context:(call_context c) Error.Exec code m)) fmt in
-  match Schema.find_proc env.Semantics.schema name with
-  | None -> fail (Error.Unknown_procedure name) "unknown procedure %s" name
-  | Some proc ->
-    (match Semantics.call env proc args db with
-     | [ out ] -> Ok out
-     | [] -> fail Error.Blocked "procedure %s blocked (no outcome)" name
-     | outs ->
-       fail (Error.Nondeterministic (List.length outs))
-         "procedure %s has %d distinct outcomes" name (List.length outs))
+  let run () =
+    match Schema.find_proc env.Semantics.schema name with
+    | None -> fail (Error.Unknown_procedure name) "unknown procedure %s" name
+    | Some proc ->
+      (match Semantics.call env proc args db with
+       | [ out ] -> Ok out
+       | [] -> fail Error.Blocked "procedure %s blocked (no outcome)" name
+       | outs ->
+         fail (Error.Nondeterministic (List.length outs))
+           "procedure %s has %d distinct outcomes" name (List.length outs))
+  in
+  if Trace.enabled () then
+    Trace.with_span ~cat:"txn" ~args:[ ("proc", name) ] "txn.call" run
+  else run ()
 
 (* Check every declared constraint (schema's, then the transaction's
    extra ones) in [db]; the verdicts pass through the fault injector's
@@ -63,7 +75,18 @@ let check_constraints (txn : t) (env : Semantics.env) (db : Db.t) :
   let rec go = function
     | [] -> Ok ()
     | (name, wff) :: rest ->
-      let verdict = Fault.flip "txn.constraint" (Semantics.query env db wff) in
+      let check () = Fault.flip "txn.constraint" (Semantics.query env db wff) in
+      let verdict =
+        if Trace.enabled () then
+          Trace.with_span ~cat:"txn"
+            ~args:[ ("constraint", name) ]
+            "txn.constraint"
+            (fun () ->
+              let v = check () in
+              Trace.add_attr "verdict" (string_of_bool v);
+              v)
+        else check ()
+      in
       if verdict then go rest
       else
         Result.Error
@@ -89,29 +112,32 @@ let run ?budget (txn : t) (calls : Journal.call list) (db : Db.t) :
   Fault.set_budget env.Semantics.budget;
   let snapshot = db in
   let rolled_back error = Result.Error { error; restored = snapshot } in
+  let work () =
+    Fault.hit "txn.begin";
+    let rec go db = function
+      | [] -> Ok db
+      | c :: rest -> (
+          match exec_call env c db with
+          | Ok db' -> go db' rest
+          | Result.Error _ as e -> e)
+    in
+    let ( let* ) = Result.bind in
+    let* final = go db calls in
+    span "txn.commit" (fun () ->
+        Fault.hit "txn.commit";
+        let* () = span "txn.check" (fun () -> check_constraints txn env final) in
+        let* () =
+          match txn.journal with
+          | None -> Ok ()
+          | Some path ->
+            span "txn.journal" (fun () ->
+                Fault.hit "journal.append";
+                Journal.append path { Journal.calls })
+        in
+        Ok final)
+  in
   let result =
-    match
-      Fault.hit "txn.begin";
-      let rec go db = function
-        | [] -> Ok db
-        | c :: rest -> (
-            match exec_call env c db with
-            | Ok db' -> go db' rest
-            | Result.Error _ as e -> e)
-      in
-      let ( let* ) = Result.bind in
-      let* final = go db calls in
-      Fault.hit "txn.commit";
-      let* () = check_constraints txn env final in
-      let* () =
-        match txn.journal with
-        | None -> Ok ()
-        | Some path ->
-          Fault.hit "journal.append";
-          Journal.append path { Journal.calls }
-      in
-      Ok final
-    with
+    match span "txn.run" work with
     | result -> result
     | exception Budget.Exhausted r ->
       Result.Error
@@ -133,7 +159,14 @@ let run ?budget (txn : t) (calls : Journal.call list) (db : Db.t) :
          [`Compiled] strategy; roll back rather than crash the CLI *)
       Result.Error e
   in
-  match result with Ok db -> Ok db | Result.Error e -> rolled_back e
+  match result with
+  | Ok db ->
+    Metrics.incr c_commits;
+    Ok db
+  | Result.Error e ->
+    Metrics.incr c_rollbacks;
+    span "txn.rollback" (fun () -> ());
+    rolled_back e
 
 (** Re-run every committed entry of the journal at [path] as a
     transaction from [db]: the recovery path. Entries are not
@@ -142,7 +175,9 @@ let run ?budget (txn : t) (calls : Journal.call list) (db : Db.t) :
 let replay ?budget (txn : t) (path : string) (db : Db.t) : (Db.t, Error.t) result =
   match Journal.load path with
   | Result.Error e -> Result.Error { e with Error.phase = Error.Replay }
-  | Ok entries ->
+  (* a torn tail was already dropped by {!Journal.load}; the CLI is
+     responsible for surfacing the warning *)
+  | Ok (entries, _torn) ->
     let txn = { txn with journal = None } in
     let rec go i db = function
       | [] -> Ok db

@@ -57,8 +57,8 @@ let check_int = Alcotest.(check int)
 
 (* A handy trace: offer cs101; enroll ana in cs101. *)
 let trace_enrolled =
-  Trace.apply "enroll" [ student "ana"; course "cs101" ]
-    (Trace.apply "offer" [ course "cs101" ] (Trace.init "initiate"))
+  Strace.apply "enroll" [ student "ana"; course "cs101" ]
+    (Strace.apply "offer" [ course "cs101" ] (Strace.init "initiate"))
 
 let q spec name params trace =
   match Eval.query_on_trace spec ~q:name ~params trace with
@@ -68,12 +68,12 @@ let q spec name params trace =
 
 let test_initiate () =
   check_bool "offered(cs101, initiate) = false" false
-    (q university "offered" [ course "cs101" ] (Trace.init "initiate"));
+    (q university "offered" [ course "cs101" ] (Strace.init "initiate"));
   check_bool "takes(ana, cs101, initiate) = false" false
-    (q university "takes" [ student "ana"; course "cs101" ] (Trace.init "initiate"))
+    (q university "takes" [ student "ana"; course "cs101" ] (Strace.init "initiate"))
 
 let test_offer () =
-  let t = Trace.apply "offer" [ course "cs101" ] (Trace.init "initiate") in
+  let t = Strace.apply "offer" [ course "cs101" ] (Strace.init "initiate") in
   check_bool "offered(cs101) after offer" true (q university "offered" [ course "cs101" ] t);
   check_bool "offered(cs102) unaffected" false (q university "offered" [ course "cs102" ] t)
 
@@ -86,29 +86,29 @@ let test_enroll () =
 let test_enroll_not_offered () =
   (* enrolling in a course that is not offered is a no-op *)
   let t =
-    Trace.apply "enroll" [ student "ana"; course "cs102" ] (Trace.init "initiate")
+    Strace.apply "enroll" [ student "ana"; course "cs102" ] (Strace.init "initiate")
   in
   check_bool "takes(ana, cs102) still false" false
     (q university "takes" [ student "ana"; course "cs102" ] t)
 
 let test_cancel_blocked () =
   (* cancel fails while a student takes the course (equation 6) *)
-  let t = Trace.apply "cancel" [ course "cs101" ] trace_enrolled in
+  let t = Strace.apply "cancel" [ course "cs101" ] trace_enrolled in
   check_bool "offered(cs101) still true after blocked cancel" true
     (q university "offered" [ course "cs101" ] t)
 
 let test_cancel_succeeds () =
   let t =
-    Trace.apply "cancel" [ course "cs101" ]
-      (Trace.apply "offer" [ course "cs101" ] (Trace.init "initiate"))
+    Strace.apply "cancel" [ course "cs101" ]
+      (Strace.apply "offer" [ course "cs101" ] (Strace.init "initiate"))
   in
   check_bool "offered(cs101) false after cancel" false
     (q university "offered" [ course "cs101" ] t)
 
 let test_transfer () =
   let t =
-    Trace.apply "transfer" [ student "ana"; course "cs101"; course "cs102" ]
-      (Trace.apply "offer" [ course "cs102" ] trace_enrolled)
+    Strace.apply "transfer" [ student "ana"; course "cs101"; course "cs102" ]
+      (Strace.apply "offer" [ course "cs102" ] trace_enrolled)
   in
   check_bool "takes(ana, cs102) after transfer" true
     (q university "takes" [ student "ana"; course "cs102" ] t);
@@ -118,7 +118,7 @@ let test_transfer () =
 let test_transfer_blocked () =
   (* target course not offered: transfer is a no-op *)
   let t =
-    Trace.apply "transfer" [ student "ana"; course "cs101"; course "cs102" ] trace_enrolled
+    Strace.apply "transfer" [ student "ana"; course "cs101"; course "cs102" ] trace_enrolled
   in
   check_bool "takes(ana, cs101) still true" true
     (q university "takes" [ student "ana"; course "cs101" ] t);
@@ -133,11 +133,11 @@ let test_sufficient_completeness () =
 
 let test_observational_equiv () =
   (* offering twice is the same as offering once *)
-  let t1 = Trace.apply "offer" [ course "cs101" ] (Trace.init "initiate") in
-  let t2 = Trace.apply "offer" [ course "cs101" ] t1 in
+  let t1 = Strace.apply "offer" [ course "cs101" ] (Strace.init "initiate") in
+  let t2 = Strace.apply "offer" [ course "cs101" ] t1 in
   check_bool "offer idempotent (observationally)" true (Observe.equiv university t1 t2);
   check_bool "distinct states distinguished" false
-    (Observe.equiv university t1 (Trace.init "initiate"))
+    (Observe.equiv university t1 (Strace.init "initiate"))
 
 let test_reach () =
   (* Over 1 course and 1 student: states are subsets of
@@ -165,7 +165,7 @@ let test_static_constraint_on_reachable () =
                 q university "offered" [ crs ] n.Reach.trace
               in
               check_bool
-                (Fmt.str "static constraint at %a" Trace.pp n.Reach.trace)
+                (Fmt.str "static constraint at %a" Strace.pp n.Reach.trace)
                 true offered
             | _ -> Alcotest.fail "unexpected takes arity")
         n.Reach.obs)
@@ -242,7 +242,7 @@ let test_derive_agrees_with_hand_equations () =
   let sg = university.Spec.signature in
   let traces =
     List.concat_map
-      (fun d -> Trace.enumerate sg ~domain ~depth:d)
+      (fun d -> Strace.enumerate sg ~domain ~depth:d)
       [ 0; 1; 2; 3 ]
   in
   List.iter
@@ -263,7 +263,7 @@ let test_derive_agrees_with_hand_equations () =
                 check_bool
                   (Fmt.str "%s(%a) on %a agrees" qop.Asig.oname
                      Fmt.(list ~sep:(any ",") Value.pp)
-                     params Trace.pp trace)
+                     params Strace.pp trace)
                   true (Value.equal va vb)
               | Error e, _ | _, Error e ->
                 Alcotest.failf "eval error: %a" Eval.pp_error e)
@@ -379,14 +379,14 @@ let suite =
 
 let test_explain () =
   let t =
-    Trace.apply "cancel" [ course "cs101" ]
-      (Trace.apply "offer" [ course "cs101" ] (Trace.init "initiate"))
+    Strace.apply "cancel" [ course "cs101" ]
+      (Strace.apply "offer" [ course "cs101" ] (Strace.init "initiate"))
   in
   let term =
     Aterm.App
       ("offered",
        [ Aterm.Val (course "cs101", "course");
-         Trace.to_aterm university.Spec.signature t ])
+         Strace.to_aterm university.Spec.signature t ])
   in
   match Eval.explain university term with
   | Error e -> Alcotest.failf "%a" Eval.pp_error e
@@ -418,7 +418,7 @@ eq e3: q(x, touch(x, U)) = false
 |}
   in
   let spec = Aparser.spec_exn src in
-  let t = Trace.apply "touch" [ Value.Sym "t1" ] (Trace.init "initiate") in
+  let t = Strace.apply "touch" [ Value.Sym "t1" ] (Strace.init "initiate") in
   match Eval.query_on_trace spec ~q:"q" ~params:[ Value.Sym "t1" ] t with
   | Error (Eval.Conflicting_equations (_, eqs)) ->
     Alcotest.(check bool) "both rules named" true
@@ -495,9 +495,9 @@ let test_trace_enumerate_counts () =
   in
   let sg = university.Spec.signature in
   (* transformers over 1x1: offer(1) + cancel(1) + enroll(1) + transfer(1) = 4 *)
-  Alcotest.(check int) "depth 0" 1 (List.length (Trace.enumerate sg ~domain ~depth:0));
-  Alcotest.(check int) "depth 1" 4 (List.length (Trace.enumerate sg ~domain ~depth:1));
-  Alcotest.(check int) "depth 2" 16 (List.length (Trace.enumerate sg ~domain ~depth:2))
+  Alcotest.(check int) "depth 0" 1 (List.length (Strace.enumerate sg ~domain ~depth:0));
+  Alcotest.(check int) "depth 1" 4 (List.length (Strace.enumerate sg ~domain ~depth:1));
+  Alcotest.(check int) "depth 2" 16 (List.length (Strace.enumerate sg ~domain ~depth:2))
 
 let test_fuel_exhausted () =
   (* mutually recursive non-decreasing rules spin until the fuel runs out *)
@@ -516,7 +516,7 @@ eq e2: r(x, initiate) = q(x, initiate)
   let spec = Aparser.spec_exn src in
   match
     Eval.query_on_trace ~fuel:1000 spec ~q:"q" ~params:[ Value.Sym "t1" ]
-      (Trace.init "initiate")
+      (Strace.init "initiate")
   with
   | Error Eval.Fuel_exhausted -> ()
   | Ok _ | Error _ -> Alcotest.fail "expected fuel exhaustion"

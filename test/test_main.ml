@@ -11,5 +11,6 @@ let () =
       ("core", Test_core.suite);
       ("txn", Test_txn.suite);
       ("parallel", Test_parallel.suite);
+      ("observability", Test_observability.suite);
       ("properties", Test_props.suite);
     ]

@@ -36,24 +36,24 @@ let random_trace_gen dom =
   let* steps = list_repeat len update in
   return
     (List.fold_left
-       (fun acc (u, args) -> Trace.apply u args acc)
-       (Trace.init "initiate") steps)
+       (fun acc (u, args) -> Strace.apply u args acc)
+       (Strace.init "initiate") steps)
 
-let arbitrary_trace dom = QCheck.make ~print:Trace.to_string (random_trace_gen dom)
+let arbitrary_trace dom = QCheck.make ~print:Strace.to_string (random_trace_gen dom)
 
 let arbitrary_trace_pair dom =
   QCheck.make
-    ~print:(fun (a, b) -> Fmt.str "%a / %a" Trace.pp a Trace.pp b)
+    ~print:(fun (a, b) -> Fmt.str "%a / %a" Strace.pp a Strace.pp b)
     QCheck.Gen.(pair (random_trace_gen dom) (random_trace_gen dom))
 
-(* Trace round-trip through algebraic terms. *)
+(* Strace round-trip through algebraic terms. *)
 let prop_trace_roundtrip =
   QCheck.Test.make ~name:"trace to_aterm/of_aterm roundtrip" ~count:200
     (arbitrary_trace domain) (fun t ->
-      match Trace.of_aterm university.Spec.signature
-              (Trace.to_aterm university.Spec.signature t)
+      match Strace.of_aterm university.Spec.signature
+              (Strace.to_aterm university.Spec.signature t)
       with
-      | Some t' -> Trace.equal t t'
+      | Some t' -> Strace.equal t t'
       | None -> false)
 
 (* Observational equivalence is preserved by applying the same update:
@@ -65,7 +65,7 @@ let prop_equiv_congruence =
       List.for_all
         (fun (u, args) ->
           Observe.equiv ~domain:small_domain university
-            (Trace.apply u args t1) (Trace.apply u args t2))
+            (Strace.apply u args t1) (Strace.apply u args t2))
         [
           ("offer", [ v "cs101" ]);
           ("cancel", [ v "cs101" ]);
@@ -101,10 +101,10 @@ let prop_cross_level_random =
     (arbitrary_trace domain) (fun t ->
       let env = Semantics.env ~domain Fdbs.University.representation in
       let rec db_of = function
-        | Trace.Init _ ->
+        | Strace.Init _ ->
           Semantics.call_det_exn env "initiate" []
             (Schema.empty_db Fdbs.University.representation)
-        | Trace.Apply (u, args, rest) -> Semantics.call_det_exn env u args (db_of rest)
+        | Strace.Apply (u, args, rest) -> Semantics.call_det_exn env u args (db_of rest)
       in
       let db = db_of t in
       List.for_all
@@ -379,8 +379,8 @@ let prop_synthesized_agrees_on_random_traces =
       let run sc =
         let env = Semantics.env ~domain sc in
         let rec db_of = function
-          | Trace.Init _ -> Semantics.call_det_exn env "initiate" [] (Schema.empty_db sc)
-          | Trace.Apply (u, args, rest) -> Semantics.call_det_exn env u args (db_of rest)
+          | Strace.Init _ -> Semantics.call_det_exn env "initiate" [] (Schema.empty_db sc)
+          | Strace.Apply (u, args, rest) -> Semantics.call_det_exn env u args (db_of rest)
         in
         db_of t
       in

@@ -106,8 +106,8 @@ let test_interp_check () =
     (Interp12.check interp sg1 t2.Spec.signature)
 
 let test_interp_apply () =
-  let trace = Trace.apply "offer" [ v "cs101" ] (Trace.init "initiate") in
-  let term = Trace.to_aterm t2.Spec.signature trace in
+  let trace = Strace.apply "offer" [ v "cs101" ] (Strace.init "initiate") in
+  let term = Strace.to_aterm t2.Spec.signature trace in
   match Interp12.apply interp "offered" [ v "cs101" ] term with
   | Error e -> Alcotest.fail e
   | Ok img ->

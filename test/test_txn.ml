@@ -185,8 +185,9 @@ let test_journal_replay () =
           | Ok _ -> Alcotest.fail "aborted txn: expected a rollback"
           | Error rb -> Alcotest.check db "aborted txn restored" d2 rb.Txn.restored);
       (match Journal.load path with
-       | Ok entries ->
-         Alcotest.(check int) "two committed entries" 2 (List.length entries)
+       | Ok (entries, torn) ->
+         Alcotest.(check int) "two committed entries" 2 (List.length entries);
+         Alcotest.(check (option string)) "no torn tail" None torn
        | Error e -> Alcotest.failf "journal load: %s" (Error.to_string e));
       match Txn.replay jtxn path db0 with
       | Ok replayed -> Alcotest.check db "replay reproduces the committed state" d2 replayed
@@ -203,9 +204,10 @@ let test_journal_ignores_partial_entry () =
       output_string oc "call offer cs102\n";
       close_out oc;
       match Journal.load path with
-      | Ok [ entry ] ->
-        Alcotest.(check int) "committed calls only" 2 (List.length entry.Journal.calls)
-      | Ok es -> Alcotest.failf "expected 1 entry, got %d" (List.length es)
+      | Ok ([ entry ], torn) ->
+        Alcotest.(check int) "committed calls only" 2 (List.length entry.Journal.calls);
+        Alcotest.(check bool) "partial entry reported as torn" true (torn <> None)
+      | Ok (es, _) -> Alcotest.failf "expected 1 entry, got %d" (List.length es)
       | Error e -> Alcotest.failf "journal load: %s" (Error.to_string e))
 
 (* ------------------------------------------------------------------ *)
