@@ -10,13 +10,18 @@
      (cur_ns / cur_calibration) > (base_ns / base_calibration) * (1 + threshold)
 
    Derived metrics (speedup ratios) are reported but never gated — they
-   depend on the runner's core count — with one exception:
-   [trace_disabled_overhead], the cost of a disabled tracing span
-   relative to one semantics statement, is an absolute machine-free
-   ratio and fails the gate above --trace-overhead-max (default 0.02:
-   tracing off must stay within 2%). Exit status: 0 when every baseline
+   depend on the runner's core count — with two exceptions, both
+   absolute machine-free ratios: [trace_disabled_overhead], the cost of
+   a disabled tracing span relative to one semantics statement, fails
+   the gate above --trace-overhead-max (default 0.02: tracing off must
+   stay within 2%); [session_warm_speedup], a warm service session
+   relative to paying full session setup per request, fails below
+   --session-speedup-min (default 5: the daemon must beat one-shot
+   clients by that margin). Exit status: 0 when every baseline
    metric passes, 1 on any regression or a metric missing from the
    current report, 2 on usage/parse errors. *)
+
+module Json = Fdbs_kernel.Json
 
 let field = Json.field
 
@@ -35,8 +40,10 @@ let () =
   let current = ref "" in
   let threshold = ref 0.25 in
   let overhead_max = ref 0.02 in
+  let session_min = ref 5.0 in
   let usage =
-    "gate --baseline FILE --current FILE [--threshold F] [--trace-overhead-max F]"
+    "gate --baseline FILE --current FILE [--threshold F] [--trace-overhead-max F] \
+     [--session-speedup-min F]"
   in
   Arg.parse
     [
@@ -48,6 +55,9 @@ let () =
       ( "--trace-overhead-max",
         Arg.Set_float overhead_max,
         "F allowed disabled-tracing overhead per statement (default 0.02)" );
+      ( "--session-speedup-min",
+        Arg.Set_float session_min,
+        "F required warm-session speedup over per-request setup (default 5)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     usage;
@@ -96,6 +106,13 @@ let () =
                "  %s %-24s %.4f (max %.4f: disabled tracing per statement)\n"
                (if ok then "ok  " else "FAIL")
                "trace_disabled_overhead" f !overhead_max
+           | "session_warm_speedup", Json.Num f ->
+             let ok = f >= !session_min in
+             if not ok then incr failures;
+             Printf.printf
+               "  %s %-24s %.2fx (min %.2fx: warm session vs per-request setup)\n"
+               (if ok then "ok  " else "FAIL")
+               "session_warm_speedup" f !session_min
            | k, Json.Num f -> Printf.printf "  info %-24s %.2fx (not gated)\n" k f
            | _ -> ())
          kvs

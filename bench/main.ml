@@ -691,7 +691,10 @@ let bench_relation_closure () =
 let bench_check23 ~jobs () =
   let env = Semantics.env ~domain:dom_2x2 University.representation in
   time_ns ~min_time_ns:2e8 (fun () ->
-      let r = Check23.check ~jobs uni env University.mapping in
+      let r =
+        Check23.check ~config:(Fdbs_kernel.Config.with_jobs jobs) uni env
+          University.mapping
+      in
       if not (Check23.ok r) then invalid_arg "bench: Check23 unexpectedly failed")
 
 let bench_planner_quantified ~strategy () =
@@ -762,6 +765,55 @@ let bench_plan_cache_hit () =
       ignore
         (Sys.opaque_identity (Planner.plan_rterm planner_schema planner_quantified_rterm)))
 
+(* Service session costs (E21). The daemon's reason to exist: a warm
+   session pays only execution per request, while a one-shot client
+   pays session setup every time — parsing and checking the schema and
+   warming the planner against a cold plan cache, exactly what each
+   fresh `fds run` invocation repeats. Both variants run the same
+   request batch. *)
+module Session = Fdbs_service.Session
+
+let session_schema_src =
+  {|
+schema service
+
+relation OFFERED(course)
+relation TAKES(student, course)
+
+constraint takes_offered: forall s:student. forall c:course. (TAKES(s, c) -> OFFERED(c))
+
+proc initiate() =
+  (OFFERED := {(c:course) | false} ; TAKES := {(s:student, c:course) | false})
+
+proc offer(c: course) = insert OFFERED(c)
+
+proc enroll(s: student, c: course) =
+  if (OFFERED(c)) then insert TAKES(s, c)
+
+end-schema
+|}
+
+let bench_session_open () =
+  match Session.open_text session_schema_src with
+  | Ok s -> s
+  | Error _ -> invalid_arg "bench: session open failed"
+
+let bench_session_request s =
+  match
+    Session.run s [ ("offer", [ v "cs101" ]); ("enroll", [ v "s0"; v "cs101" ]) ]
+  with
+  | Ok _ -> ()
+  | Error _ -> invalid_arg "bench: session request failed"
+
+let bench_session_warm () =
+  let s = bench_session_open () in
+  time_ns (fun () -> bench_session_request s)
+
+let bench_session_cold () =
+  time_ns (fun () ->
+      Planner.clear ();
+      bench_session_request (bench_session_open ()))
+
 let json_escape s =
   String.concat ""
     (List.map
@@ -789,6 +841,8 @@ let run_json () =
       ("metrics_counter_incr", bench_metrics_incr ());
       ("semantics_statement", bench_semantics_statement ~traced:false ());
       ("semantics_statement_traced", bench_semantics_statement ~traced:true ());
+      ("session_cold_request", bench_session_cold ());
+      ("session_warm_request", bench_session_warm ());
     ]
   in
   let get name = List.assoc name metrics in
@@ -807,6 +861,10 @@ let run_json () =
         get "trace_span_disabled" /. get "semantics_statement" );
       ( "trace_enabled_cost_ratio",
         get "semantics_statement_traced" /. get "semantics_statement" );
+      (* gated by gate.ml (>= 5 by default): a warm session must beat
+         per-request setup by the margin that justifies the daemon *)
+      ( "session_warm_speedup",
+        get "session_cold_request" /. get "session_warm_request" );
     ]
   in
   let pp_fields ppf fields =
@@ -859,6 +917,21 @@ let e20 () =
     "  shape: a disabled span is one atomic load; enabled spans pay two clock \
      reads and an allocation; counters are one atomic rmw@."
 
+(* E21: service sessions — warm session vs per-request setup           *)
+
+let e21 () =
+  Fmt.pr "@.E21: service sessions: warm session vs per-request setup@.";
+  Fmt.pr "----------------------------------------------------------------@.";
+  let warm = bench_session_warm () in
+  let cold = bench_session_cold () in
+  Fmt.pr "  %-42s %a@." "request on a warm session" pp_time warm;
+  Fmt.pr "  %-42s %a@." "request paying full session setup" pp_time cold;
+  Fmt.pr "  warm-session speedup: %.1fx (gate: >= 5x)@." (cold /. warm);
+  Fmt.pr
+    "  shape: setup re-checks the schema and re-plans every constraint and \
+     assignment against a cold plan cache; the warm session keeps those and \
+     pays only execution@."
+
 (* --metrics-json: run a fixed deterministic workload (the small
    university verification, one domain) from zeroed instruments and
    print every counter delta — the numbers behind EXPERIMENTS.md's E20
@@ -899,7 +972,7 @@ let () =
     run_json ();
     exit 0
   end;
-  Fmt.pr "fdbs benchmark harness — experiments E1..E20 (see DESIGN.md / EXPERIMENTS.md)@.";
+  Fmt.pr "fdbs benchmark harness — experiments E1..E21 (see DESIGN.md / EXPERIMENTS.md)@.";
   Fmt.pr "paper: Casanova, Veloso & Furtado, PODS 1984 (no quantitative tables;@.";
   Fmt.pr "the experiments measure the framework's checkers and evaluators).@.";
   e1 ();
@@ -921,4 +994,5 @@ let () =
   e17 ();
   e19 ();
   e20 ();
+  e21 ();
   Fmt.pr "@.done.@."

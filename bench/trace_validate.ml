@@ -5,6 +5,8 @@
    the event count on success; exit 1 with a message on the first
    malformed event. *)
 
+module Json = Fdbs_kernel.Json
+
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("trace_validate: " ^ s); exit 1) fmt
 
 let check_event i (ev : Json.t) =

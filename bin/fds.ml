@@ -15,10 +15,19 @@
      eval          evaluate a ground query term (--trace shows the
                    rewriting derivation)
      run           execute a sequence of procedure calls against a schema
-     demo          a compact tour of the framework *)
+     serve         long-running daemon: sessions over a socket
+     client        send protocol requests to a running server
+     demo          a compact tour of the framework
+
+   The execution subcommands (run, eval, explain, replay) are thin
+   clients of Fdbs_service.Session — the same code path the serve
+   daemon drives — so CLI and server behavior cannot drift. *)
 
 open Cmdliner
 open Fdbs_kernel
+module Session = Fdbs_service.Session
+module Protocol = Fdbs_service.Protocol
+module Server = Fdbs_service.Server
 
 let read_file path =
   let ic = open_in_bin path in
@@ -75,6 +84,86 @@ let observe trace stats =
   if trace <> None then Trace.set_enabled true
 
 (* ------------------------------------------------------------------ *)
+(* the unified execution configuration                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Every knob that used to be plumbed per-subcommand, folded into one
+   Fdbs_service.Config.t term shared by run, replay, serve, verify,
+   verify-files and stats. *)
+
+let check_constraints_arg =
+  Arg.(value & flag & info [ "check-constraints" ]
+         ~doc:"Check the schema's integrity constraints at commit time.")
+
+let budget_steps_arg =
+  Arg.(value & opt (some int) None & info [ "budget-steps" ] ~docv:"N"
+         ~doc:"Step fuel: abort (and roll back) after N statement executions.")
+
+let budget_states_arg =
+  Arg.(value & opt (some int) None & info [ "budget-states" ] ~docv:"N"
+         ~doc:"Distinct-state cap per request for fixpoint exploration.")
+
+let budget_ms_arg =
+  Arg.(value & opt (some int) None & info [ "budget-ms" ] ~docv:"MS"
+         ~doc:"Wall-clock deadline in milliseconds for the transaction.")
+
+let fault_arg =
+  Arg.(value & opt_all string [] & info [ "fault" ] ~docv:"SITE[:AFTER][:ACTION]"
+         ~doc:"Inject a fault at a site (e.g. semantics.exec, txn.commit); \
+               ACTION is abort (default), exhaust-steps, exhaust-states, \
+               exhaust-time, or flip.")
+
+let strategy_arg =
+  let strategy_conv =
+    Arg.enum [ ("auto", `Auto); ("naive", `Naive); ("compiled", `Compiled) ]
+  in
+  Arg.(value & opt strategy_conv `Auto & info [ "strategy" ] ~docv:"STRATEGY"
+         ~doc:"Evaluation strategy for relational terms and wffs: \
+               $(b,auto) runs compiled plans for safe bodies and falls back \
+               to naive enumeration, $(b,compiled) requires every body to \
+               compile (structured not-compilable error otherwise), \
+               $(b,naive) always enumerates the carriers.")
+
+let transactional_arg =
+  Arg.(value & flag & info [ "transactional" ]
+         ~doc:"Run all calls as one atomic transaction: commit everything \
+               or roll back to the initial state with a structured error.")
+
+let journal_arg =
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
+         ~doc:"Append committed transactions to this write-ahead journal.")
+
+let config_term =
+  let combine jobs strategy steps states ms check_constraints transactional
+      journal trace stats =
+    Config.make ?jobs ~strategy ?steps ?states ?ms ~check_constraints
+      ~transactional ?journal ?trace ~stats ()
+  in
+  Term.(const combine $ jobs_arg $ strategy_arg $ budget_steps_arg
+        $ budget_states_arg $ budget_ms_arg $ check_constraints_arg
+        $ transactional_arg $ journal_arg $ trace_arg $ stats_arg)
+
+(* Apply the process-level parts of a configuration: the pool width and
+   the at_exit trace/stats observers. The session-level parts travel
+   inside the record. *)
+let setup (config : Config.t) =
+  apply_jobs config.Config.jobs;
+  observe config.Config.trace config.Config.stats
+
+let open_session ?spec ~config path =
+  match Session.open_text ?spec ~config (read_file path) with
+  | Ok s -> s
+  | Error e -> exit_err "%s" e.Error.message
+
+let arm_faults specs =
+  List.iter
+    (fun spec ->
+      match Fault.arm_spec spec with
+      | Ok () -> ()
+      | Error e -> exit_err "--fault %s: %s" spec e)
+    specs
+
+(* ------------------------------------------------------------------ *)
 (* verify                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -86,20 +175,19 @@ let verify_cmd =
     Arg.(value & opt int 2 & info [ "depth" ] ~docv:"N"
            ~doc:"Ground-probing and agreement sweep depth.")
   in
-  let run small depth jobs trace stats =
+  let run small depth config =
     let open Fdbs in
-    apply_jobs jobs;
-    observe trace stats;
+    setup config;
     let domain = if small then University.small_domain else University.domain in
     Fmt.pr "verifying the university design (domain: %s, depth %d)...@."
       (if small then "1x1" else "2x2") depth;
-    let v = Design.verify ~domain ~depth University.design in
+    let v = Design.verify ~domain ~depth ~config University.design in
     Fmt.pr "%a@." Design.pp_verification v;
     if Design.verified v then Fmt.pr "VERIFIED@." else exit 1
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify the built-in university design end to end.")
-    Term.(const run $ small $ depth $ jobs_arg $ trace_arg $ stats_arg)
+    Term.(const run $ small $ depth $ config_term)
 
 (* ------------------------------------------------------------------ *)
 (* check-spec                                                          *)
@@ -136,7 +224,7 @@ let schema_file =
 let check_schema_cmd =
   let run path =
     match Fdbs_rpr.Rparser.schema (read_file path) with
-    | Error e -> exit_err "%s" e
+    | Error e -> exit_err "%s" e.Fdbs_kernel.Error.message
     | Ok schema ->
       Fmt.pr "%a@.@." Fdbs_rpr.Schema.pp schema;
       Fmt.pr "well-formed: every relation declared, every wff well-sorted.@."
@@ -164,6 +252,26 @@ let grammar_cmd =
 (* eval                                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* A session over a bare schema carrying just the algebraic level: eval
+   is a pure T2 operation, but it rides the same Session path as the
+   server's "eval" op. *)
+let eval_session path =
+  match Fdbs_algebra.Aparser.spec (read_file path) with
+  | Error e -> exit_err "%s" e
+  | Ok spec ->
+    let schema =
+      {
+        Fdbs_rpr.Schema.name = spec.Fdbs_algebra.Spec.name;
+        relations = [];
+        consts = [];
+        constraints = [];
+        procs = [];
+      }
+    in
+    (match Session.open_ ~spec ~schema () with
+     | Ok s -> s
+     | Error e -> exit_err "%s" e.Error.message)
+
 let eval_cmd =
   let term_arg =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"TERM"
@@ -174,24 +282,10 @@ let eval_cmd =
            ~doc:"Print the rewriting derivation, innermost step first.")
   in
   let run path src trace =
-    match Fdbs_algebra.Aparser.spec (read_file path) with
-    | Error e -> exit_err "%s" e
-    | Ok spec ->
-      (match Fdbs_algebra.Aparser.term spec.Fdbs_algebra.Spec.signature src with
-       | Error e -> exit_err "%s" e
-       | Ok t ->
-         if trace then
-           match Fdbs_algebra.Eval.explain spec t with
-           | Ok (v, steps) ->
-             List.iter
-               (fun s -> Fmt.pr "  %a@." Fdbs_algebra.Eval.pp_step s)
-               steps;
-             Fmt.pr "%a@." Value.pp v
-           | Error e -> exit_err "%a" Fdbs_algebra.Eval.pp_error e
-         else
-           match Fdbs_algebra.Eval.query spec t with
-           | Ok v -> Fmt.pr "%a@." Value.pp v
-           | Error e -> exit_err "%a" Fdbs_algebra.Eval.pp_error e)
+    let session = eval_session path in
+    match Session.eval session ~trace src with
+    | Ok out -> print_string out
+    | Error e -> exit_err "%s" e.Error.message
   in
   Cmd.v
     (Cmd.info "eval"
@@ -202,146 +296,58 @@ let eval_cmd =
 (* run                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-(* parse "name(arg1, arg2)" into (name, [Sym arg1; Sym arg2]) *)
-let parse_call (s : string) : (string * Value.t list, string) result =
-  match String.index_opt s '(' with
-  | None -> Ok (String.trim s, [])
-  | Some i ->
-    let name = String.trim (String.sub s 0 i) in
-    let rest = String.sub s (i + 1) (String.length s - i - 1) in
-    (match String.index_opt rest ')' with
-     | None -> Error (Fmt.str "missing ')' in call %S" s)
-     | Some j ->
-       let args = String.sub rest 0 j in
-       let args =
-         if String.trim args = "" then []
-         else
-           String.split_on_char ',' args
-           |> List.map (fun a ->
-                  let a = String.trim a in
-                  match int_of_string_opt a with
-                  | Some n -> Value.Int n
-                  | None -> Value.Sym a)
-       in
-       Ok (name, args))
-
-(* active domain: all argument values, keyed by the procedures'
-   declared parameter sorts *)
-let domain_of_calls schema (parsed : (string * Value.t list) list) : Domain.t =
-  List.fold_left
-    (fun d (name, args) ->
-      match Fdbs_rpr.Schema.find_proc schema name with
-      | None -> exit_err "unknown procedure %s" name
-      | Some p ->
-        (try
-           List.fold_left2
-             (fun d (_, srt) v -> Domain.add srt (v :: Domain.carrier d srt) d)
-             d p.Fdbs_rpr.Schema.pparams args
-         with Invalid_argument _ ->
-           exit_err "procedure %s: arity mismatch" name))
-    Domain.empty parsed
-
-let arm_faults specs =
-  List.iter
-    (fun spec ->
-      match Fault.arm_spec spec with
-      | Ok () -> ()
-      | Error e -> exit_err "--fault %s: %s" spec e)
-    specs
-
-let budget_of ~steps ~ms =
-  match (steps, ms) with
-  | None, None -> None
-  | _ -> Some (Budget.make ?steps ?ms ())
-
-(* transaction flags shared by run and replay *)
-let check_constraints_arg =
-  Arg.(value & flag & info [ "check-constraints" ]
-         ~doc:"Check the schema's integrity constraints at commit time.")
-
-let budget_steps_arg =
-  Arg.(value & opt (some int) None & info [ "budget-steps" ] ~docv:"N"
-         ~doc:"Step fuel: abort (and roll back) after N statement executions.")
-
-let budget_ms_arg =
-  Arg.(value & opt (some int) None & info [ "budget-ms" ] ~docv:"MS"
-         ~doc:"Wall-clock deadline in milliseconds for the transaction.")
-
-let fault_arg =
-  Arg.(value & opt_all string [] & info [ "fault" ] ~docv:"SITE[:AFTER][:ACTION]"
-         ~doc:"Inject a fault at a site (e.g. semantics.exec, txn.commit); \
-               ACTION is abort (default), exhaust-steps, exhaust-states, \
-               exhaust-time, or flip.")
-
-let strategy_arg =
-  let strategy_conv =
-    Arg.enum [ ("auto", `Auto); ("naive", `Naive); ("compiled", `Compiled) ]
-  in
-  Arg.(value & opt strategy_conv `Auto & info [ "strategy" ] ~docv:"STRATEGY"
-         ~doc:"Evaluation strategy for relational terms and wffs: \
-               $(b,auto) runs compiled plans for safe bodies and falls back \
-               to naive enumeration, $(b,compiled) requires every body to \
-               compile (structured not-compilable error otherwise), \
-               $(b,naive) always enumerates the carriers.")
-
 let run_cmd =
   let calls =
     Arg.(value & opt_all string [] & info [ "call"; "c" ] ~docv:"CALL"
            ~doc:"Procedure call, e.g. 'offer(cs101)'. Repeatable; applied in order.")
   in
-  let transactional =
-    Arg.(value & flag & info [ "transactional" ]
-           ~doc:"Run all calls as one atomic transaction: commit everything \
-                 or roll back to the initial state with a structured error.")
+  let pp_ok (name, args) =
+    Fmt.pr "%s(%a) ok@." name Fmt.(list ~sep:(any ", ") Value.pp) args
   in
-  let journal =
-    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
-           ~doc:"Append committed transactions to this write-ahead journal.")
-  in
-  let run path calls transactional check_constraints steps ms journal faults
-      strategy trace stats =
-    observe trace stats;
-    match Fdbs_rpr.Rparser.schema (read_file path) with
-    | Error e -> exit_err "%s" e
-    | Ok schema ->
-      let parsed =
-        List.map
-          (fun c -> match parse_call c with Ok x -> x | Error e -> exit_err "%s" e)
-          calls
-      in
-      let domain = domain_of_calls schema parsed in
-      let env = Fdbs_rpr.Semantics.env ~strategy ~domain schema in
-      let db0 = Fdbs_rpr.Schema.empty_db schema in
-      arm_faults faults;
-      if transactional then begin
-        let txn = Fdbs_rpr.Txn.make ~check_constraints ?journal env in
-        match Fdbs_rpr.Txn.run ?budget:(budget_of ~steps ~ms) txn parsed db0 with
-        | Ok final ->
-          Fmt.pr "committed %d calls@.@.final state:@.%a@." (List.length parsed)
-            Fdbs_rpr.Db.pp final;
-        | Error rb ->
-          Fmt.pr "transaction %a@.@.restored state:@.%a@." Fdbs_rpr.Txn.pp_rollback rb
-            Fdbs_rpr.Db.pp rb.Fdbs_rpr.Txn.restored;
-          exit 1
+  let run path calls faults (config : Config.t) =
+    setup config;
+    let parsed =
+      List.map
+        (fun c ->
+          match Protocol.parse_call c with
+          | Ok x -> x
+          | Error e -> exit_err "%s" e.Error.message)
+        calls
+    in
+    let session = open_session ~config path in
+    arm_faults faults;
+    match Session.run session parsed with
+    | Ok o ->
+      if config.Config.transactional then
+        Fmt.pr "committed %d calls@.@.final state:@.%a@."
+          (List.length o.Session.completed) Fdbs_rpr.Db.pp o.Session.state
+      else begin
+        List.iter pp_ok o.Session.completed;
+        Fmt.pr "@.final state:@.%a@." Fdbs_rpr.Db.pp o.Session.state
       end
-      else
-        let final =
-          List.fold_left
-            (fun db (name, args) ->
-              match Fdbs_rpr.Semantics.call_det env name args db with
-              | Ok db' ->
-                Fmt.pr "%s(%a) ok@." name Fmt.(list ~sep:(any ", ") Value.pp) args;
-                db'
-              | Error e -> exit_err "%s: %s" name e)
-            db0 parsed
-        in
-        Fmt.pr "@.final state:@.%a@." Fdbs_rpr.Db.pp final
+    | Error f ->
+      let e = f.Session.fail_error in
+      (* errors from batch validation (unknown procedure, arity) keep
+         the historical one-line form regardless of mode *)
+      if List.mem_assoc "stage" e.Error.context then exit_err "%s" e.Error.message
+      else if config.Config.transactional then begin
+        Fmt.pr "transaction %a@.@.restored state:@.%a@." Fdbs_rpr.Txn.pp_rollback
+          { Fdbs_rpr.Txn.error = e; restored = f.Session.fail_state }
+          Fdbs_rpr.Db.pp f.Session.fail_state;
+        exit 1
+      end
+      else begin
+        List.iter pp_ok f.Session.fail_completed;
+        match List.assoc_opt "call" e.Error.context with
+        | Some name -> exit_err "%s: %s" name e.Error.message
+        | None ->
+          Fmt.epr "fds: %s@." e.Error.message;
+          exit 2
+      end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a sequence of procedure calls against a schema.")
-    Term.(const run $ schema_file $ calls $ transactional $ check_constraints_arg
-          $ budget_steps_arg $ budget_ms_arg $ journal $ fault_arg $ strategy_arg
-          $ trace_arg $ stats_arg)
+    Term.(const run $ schema_file $ calls $ fault_arg $ config_term)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                             *)
@@ -349,68 +355,8 @@ let run_cmd =
 
 let explain_cmd =
   let run path =
-    match Fdbs_rpr.Rparser.schema (read_file path) with
-    | Error e -> exit_err "%s" e
-    | Ok schema ->
-      let open Fdbs_rpr in
-      let db = Schema.empty_db schema in
-      let rel_arity r = List.length (Schema.sorts_of schema r) in
-      let rec rels_of acc = function
-        | Relalg.Rel r -> if List.mem r acc then acc else r :: acc
-        | Relalg.Singleton _ | Relalg.Empty _ -> acc
-        | Relalg.Select (_, e) | Relalg.Project (_, e) -> rels_of acc e
-        | Relalg.Product (a, b) | Relalg.Union (a, b) -> rels_of (rels_of acc a) b
-        | Relalg.Join (es, _) -> List.fold_left rels_of acc es
-        | Relalg.Antijoin (a, b, _) -> rels_of (rels_of acc a) b
-      in
-      (* live cardinalities drive the greedy join order at eval time;
-         against the schema's empty instance they are all 0 *)
-      let pp_cards ppf e =
-        match List.rev (rels_of [] e) with
-        | [] -> Fmt.string ppf "none"
-        | rels ->
-          Fmt.(list ~sep:(any ", ") (fun ppf r ->
-                   Fmt.pf ppf "|%s| = %d" r (Relation.cardinal (Db.relation_exn db r))))
-            ppf rels
-      in
-      let explain_plan = function
-        | Result.Error offender ->
-          Fmt.pr "  not compilable: %a falls outside the safe fragment@."
-            Fdbs_logic.Formula.pp offender;
-          Fmt.pr "  (evaluated by naive enumeration of the carriers)@."
-        | Ok plan ->
-          let optimized = Relalg.optimize ~rel_arity plan in
-          Fmt.pr "  plan:      %a@." Relalg.pp plan;
-          Fmt.pr "  optimized: %a@." Relalg.pp optimized;
-          Fmt.pr "  live cardinalities: %a@." pp_cards optimized
-      in
-      Fmt.pr "schema %s: query plans@." schema.Schema.name;
-      List.iter
-        (fun (name, wff) ->
-          Fmt.pr "@.constraint %s:@." name;
-          Fmt.pr "  wff:       %a@." Fdbs_logic.Formula.pp wff;
-          explain_plan (Relalg.compile_wff_explain wff))
-        schema.Schema.constraints;
-      List.iter
-        (fun (p : Schema.proc) ->
-          let body = Stmt.desugar ~sorts_of:(Schema.sorts_of schema) p.Schema.body in
-          let rec go = function
-            | Stmt.Rel_assign (r, rt) ->
-              Fmt.pr "@.proc %s: %s := %a@." p.Schema.pname r Stmt.pp_rterm rt;
-              explain_plan (Relalg.compile_explain rt)
-            | Stmt.Seq (a, b) | Stmt.Union (a, b) ->
-              go a;
-              go b
-            | Stmt.Star s -> go s
-            | Stmt.If (_, a, b) ->
-              go a;
-              go b
-            | Stmt.While (_, s) -> go s
-            | Stmt.Skip | Stmt.Scalar_assign _ | Stmt.Test _ | Stmt.Insert _
-            | Stmt.Delete _ -> ()
-          in
-          go body)
-        schema.Schema.procs
+    let session = open_session ~config:Config.default path in
+    print_string (Session.explain session)
   in
   Cmd.v
     (Cmd.info "explain"
@@ -428,31 +374,30 @@ let replay_cmd =
   let journal =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"JOURNAL-FILE")
   in
-  let run path journal check_constraints steps ms trace stats =
-    observe trace stats;
-    match Fdbs_rpr.Rparser.schema (read_file path) with
-    | Error e -> exit_err "%s" e
-    | Ok schema ->
-      let entries, torn =
-        match Fdbs_rpr.Journal.load journal with
-        | Ok (es, torn) -> (es, torn)
-        | Error e -> exit_err "%s" (Fdbs_kernel.Error.to_string e)
-      in
-      (match torn with
+  let run path journal (config : Config.t) =
+    setup config;
+    (* the journal positional is the input; never re-journal the replay *)
+    let config = { config with Config.journal = None } in
+    let session = open_session ~config path in
+    match Session.replay session journal with
+    | Ok r ->
+      (match r.Session.rep_torn with
        | Some what -> Fmt.epr "fds: warning: journal %s: %s@." journal what
        | None -> ());
-      let all_calls = List.concat_map (fun e -> e.Fdbs_rpr.Journal.calls) entries in
-      let domain = domain_of_calls schema all_calls in
-      let env = Fdbs_rpr.Semantics.env ~domain schema in
-      let txn = Fdbs_rpr.Txn.make ~check_constraints env in
-      (match
-         Fdbs_rpr.Txn.replay ?budget:(budget_of ~steps ~ms) txn journal
-           (Fdbs_rpr.Schema.empty_db schema)
-       with
-       | Ok final ->
-         Fmt.pr "replayed %d transactions (%d calls)@.@.final state:@.%a@."
-           (List.length entries) (List.length all_calls) Fdbs_rpr.Db.pp final
-       | Error e ->
+      Fmt.pr "replayed %d transactions (%d calls)@.@.final state:@.%a@."
+        r.Session.rep_entries r.Session.rep_calls Fdbs_rpr.Db.pp
+        r.Session.rep_state
+    | Error e ->
+      (match List.assoc_opt "stage" e.Error.context with
+       | Some "load" ->
+         let e =
+           { e with
+             Error.context =
+               List.filter (fun (k, _) -> k <> "stage") e.Error.context }
+         in
+         exit_err "%s" (Fdbs_kernel.Error.to_string e)
+       | Some _ -> exit_err "%s" e.Error.message
+       | None ->
          Fmt.epr "fds: replay failed: %s@." (Fdbs_kernel.Error.to_string e);
          exit 1)
   in
@@ -460,8 +405,122 @@ let replay_cmd =
     (Cmd.info "replay"
        ~doc:"Recover the committed state by replaying a write-ahead journal \
              against a schema.")
-    Term.(const run $ schema_file $ journal $ check_constraints_arg
-          $ budget_steps_arg $ budget_ms_arg $ trace_arg $ stats_arg)
+    Term.(const run $ schema_file $ journal $ config_term)
+
+(* ------------------------------------------------------------------ *)
+(* serve / client                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket path (default fds.sock).")
+
+let tcp_arg =
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT"
+         ~doc:"Listen on (or connect to) a TCP endpoint instead of a \
+               Unix-domain socket; HOST must be an IP literal.")
+
+let listen_of socket tcp : Server.listen =
+  match tcp with
+  | None -> `Unix (Option.value ~default:"fds.sock" socket)
+  | Some hp ->
+    (match String.rindex_opt hp ':' with
+     | None -> exit_err "--tcp expects HOST:PORT, got %S" hp
+     | Some i ->
+       let host = String.sub hp 0 i in
+       let port = String.sub hp (i + 1) (String.length hp - i - 1) in
+       (match int_of_string_opt port with
+        | Some p when String.length host > 0 -> `Tcp (host, p)
+        | _ -> exit_err "--tcp expects HOST:PORT, got %S" hp))
+
+let serve_cmd =
+  let workers =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains serving connections concurrently.")
+  in
+  let spec_opt =
+    Arg.(value & opt (some file) None & info [ "spec" ] ~docv:"SPEC-FILE"
+           ~doc:"Attach an algebraic specification so clients can use the \
+                 'eval' operation.")
+  in
+  let run path socket tcp workers spec_path (config : Config.t) =
+    setup config;
+    let listen = listen_of socket tcp in
+    let spec =
+      Option.map
+        (fun p ->
+          match Fdbs_algebra.Aparser.spec (read_file p) with
+          | Ok s -> s
+          | Error e -> exit_err "%s: %s" p e)
+        spec_path
+    in
+    let schema =
+      match Fdbs_rpr.Rparser.schema (read_file path) with
+      | Ok s -> s
+      | Error e -> exit_err "%s" e.Fdbs_kernel.Error.message
+    in
+    let ready () =
+      Fmt.epr "fds: serving %s on %s@." schema.Fdbs_rpr.Schema.name
+        (Server.describe listen)
+    in
+    match Server.serve ~workers ?spec ~config ~ready listen schema with
+    | Ok st ->
+      Fmt.epr "fds: server stopped (%d connections, %d requests)@."
+        st.Server.served_connections st.Server.served_requests
+    | Error e -> exit_err "%s" (Fdbs_kernel.Error.to_string e)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a schema over a socket: one warm session per connection, \
+          length-prefixed JSON frames (see the protocol reference in the \
+          README). A 'shutdown' request, SIGINT or SIGTERM stops the \
+          server gracefully: the journal is already durable per commit, \
+          the trace observer fires on exit.")
+    Term.(const run $ schema_file $ socket_arg $ tcp_arg $ workers $ spec_opt
+          $ config_term)
+
+let client_cmd =
+  let requests =
+    Arg.(value & pos_all string [] & info [] ~docv:"REQUEST"
+           ~doc:"JSON request objects, e.g. '{\"id\": 1, \"op\": \"ping\"}'. \
+                 With no positional requests, one request per stdin line.")
+  in
+  let run socket tcp requests =
+    let addr =
+      match listen_of socket tcp with
+      | `Unix path -> Unix.ADDR_UNIX path
+      | `Tcp (host, port) -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+    in
+    let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    (match Unix.connect sock addr with
+     | exception Unix.Unix_error (err, _, _) ->
+       exit_err "cannot connect: %s" (Unix.error_message err)
+     | () -> ());
+    let ic = Unix.in_channel_of_descr sock in
+    let oc = Unix.out_channel_of_descr sock in
+    let exchange req =
+      Protocol.write_frame oc req;
+      match Protocol.read_frame ic with
+      | Some resp -> print_endline resp
+      | None -> exit_err "server closed the connection"
+    in
+    (match requests with
+     | [] ->
+       (try
+          while true do
+            let line = String.trim (input_line stdin) in
+            if line <> "" then exchange line
+          done
+        with End_of_file -> ())
+     | reqs -> List.iter exchange reqs);
+    close_out_noerr oc
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send protocol requests to a running fds server and print one \
+             JSON response per line.")
+    Term.(const run $ socket_arg $ tcp_arg $ requests)
 
 (* ------------------------------------------------------------------ *)
 (* verify-files                                                        *)
@@ -481,9 +540,8 @@ let verify_files_cmd =
     Arg.(value & opt int 2 & info [ "depth" ] ~docv:"N"
            ~doc:"Ground-probing and agreement sweep depth.")
   in
-  let run theory_path spec_path schema_path depth jobs trace stats =
-    apply_jobs jobs;
-    observe trace stats;
+  let run theory_path spec_path schema_path depth config =
+    setup config;
     let info =
       match Fdbs_temporal.Tparser.theory (read_file theory_path) with
       | Ok t -> t
@@ -497,7 +555,7 @@ let verify_files_cmd =
     let representation =
       match Fdbs_rpr.Rparser.schema (read_file schema_path) with
       | Ok s -> s
-      | Error e -> exit_err "%s: %s" schema_path e
+      | Error e -> exit_err "%s: %s" schema_path e.Fdbs_kernel.Error.message
     in
     let design =
       match
@@ -505,11 +563,11 @@ let verify_files_cmd =
           ~representation
       with
       | Ok d -> d
-      | Error e -> exit_err "%s" e
+      | Error e -> exit_err "%s" e.Fdbs_kernel.Error.message
     in
     Fmt.pr "verifying design %s (domain: the spec's parameter names, depth %d)...@."
       info.Fdbs_temporal.Ttheory.name depth;
-    let v = Fdbs.Design.verify ~depth design in
+    let v = Fdbs.Design.verify ~depth ~config design in
     Fmt.pr "%a@." Fdbs.Design.pp_verification v;
     if Fdbs.Design.verified v then Fmt.pr "VERIFIED@." else exit 1
   in
@@ -518,8 +576,7 @@ let verify_files_cmd =
        ~doc:
          "Verify a three-level design given as files (theory, algebraic \
           specification, schema) bound by the canonical name correspondence.")
-    Term.(const run $ theory_file $ spec_pos $ schema_pos $ depth $ jobs_arg
-          $ trace_arg $ stats_arg)
+    Term.(const run $ theory_file $ spec_pos $ schema_pos $ depth $ config_term)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -594,7 +651,7 @@ let synthesize_cmd =
     match
       Fdbs_refine.Synthesize.schema ~name:spec.Fdbs_algebra.Spec.name sg descriptions
     with
-    | Error e -> exit_err "%s" e
+    | Error e -> exit_err "%s" e.Fdbs_kernel.Error.message
     | Ok schema -> Fmt.pr "%a@." Fdbs_rpr.Schema.pp schema
   in
   Cmd.v
@@ -613,11 +670,12 @@ let stats_cmd =
     Arg.(value & opt int 1 & info [ "depth" ] ~docv:"N"
            ~doc:"Ground-probing and agreement sweep depth of the workload.")
   in
-  let run depth jobs =
+  let run depth config =
     let open Fdbs in
-    apply_jobs jobs;
+    setup config;
     let v =
-      Design.verify ~domain:University.small_domain ~depth University.design
+      Design.verify ~domain:University.small_domain ~depth ~config
+        University.design
     in
     ignore (Design.verified v);
     Fmt.pr "%a@." Metrics.pp_snapshot (Metrics.snapshot ())
@@ -629,7 +687,7 @@ let stats_cmd =
           the metrics snapshot it produces: every process-wide counter and \
           latency histogram of the toolkit, by name. Use --stats on the \
           other subcommands to snapshot their own workloads.")
-    Term.(const run $ depth $ jobs_arg)
+    Term.(const run $ depth $ config_term)
 
 (* ------------------------------------------------------------------ *)
 (* demo                                                                *)
@@ -672,7 +730,8 @@ let () =
         (Cmd.group info
            [ verify_cmd; verify_files_cmd; check_spec_cmd; check_schema_cmd;
              grammar_cmd; analyze_cmd; derive_cmd; synthesize_cmd; eval_cmd;
-             explain_cmd; run_cmd; replay_cmd; stats_cmd; demo_cmd ])
+             explain_cmd; run_cmd; replay_cmd; serve_cmd; client_cmd;
+             stats_cmd; demo_cmd ])
     with
     | Sys_error msg -> Fmt.epr "fds: %s@." msg; 2
     | Fdbs_rpr.Semantics.Exec_error msg -> Fmt.epr "fds: execution error: %s@." msg; 2

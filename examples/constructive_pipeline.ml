@@ -109,7 +109,7 @@ let functions : Spec.t =
 let representation =
   match Synthesize.schema ~name:"projects" skeleton.Spec.signature descriptions with
   | Ok sc -> sc
-  | Error e -> invalid_arg e
+  | Error e -> invalid_arg e.Fdbs_kernel.Error.message
 
 let design =
   Design.canonical_exn ~name:"projects" ~info ~functions ~representation

@@ -30,19 +30,20 @@ let make ~name ~info ~functions ~representation ~interp ~mapping =
     db-predicates, query functions and relation names (paper Section 6:
     the "coincidence" that "proved to be convenient"). *)
 let canonical ~name ~(info : Ttheory.t) ~(functions : Spec.t)
-    ~(representation : Schema.t) : (t, string) result =
+    ~(representation : Schema.t) : (t, Error.t) result =
+  let fail m = Result.Error (Error.make Error.Exec Error.Exec_failure m) in
   match Interp12.canonical info.Ttheory.signature functions.Spec.signature with
-  | Error e -> Error ("interpretation I: " ^ e)
+  | Error e -> fail ("interpretation I: " ^ e)
   | Ok interp ->
     (match Interp23.canonical functions.Spec.signature representation with
-     | Error e -> Error ("mapping K: " ^ e)
+     | Error e -> fail ("mapping K: " ^ e)
      | Ok mapping ->
        Ok { name; info; functions; representation; interp; mapping })
 
 let canonical_exn ~name ~info ~functions ~representation =
   match canonical ~name ~info ~functions ~representation with
   | Ok d -> d
-  | Error e -> invalid_arg ("Design.canonical_exn: " ^ e)
+  | Error e -> invalid_arg ("Design.canonical_exn: " ^ e.Error.message)
 
 (* ------------------------------------------------------------------ *)
 (* Cross-level agreement                                               *)
@@ -82,7 +83,7 @@ let agreement ?domain ~(depth : int) (d : t) : int * mismatch list =
          | Some p ->
            (match Semantics.call_det env p [] (Schema.empty_db d.representation) with
             | Ok db -> db
-            | Error e -> raise (Agreement_error e)))
+            | Error e -> raise (Agreement_error e.Error.message)))
       | Strace.Apply (u, args, rest) ->
         let db = db_of rest in
         (match Interp23.find_update d.mapping u with
@@ -90,7 +91,7 @@ let agreement ?domain ~(depth : int) (d : t) : int * mismatch list =
          | Some p ->
            (match Semantics.call_det env p args db with
             | Ok db -> db
-            | Error e -> raise (Agreement_error e)))
+            | Error e -> raise (Agreement_error e.Error.message)))
     in
     db_of trace
   in
@@ -166,7 +167,7 @@ let verified (v : verification) =
 let phase name f =
   if Trace.enabled () then Trace.with_span ~cat:"design" name f else f ()
 
-let verify ?domain ?(depth = 2) ?jobs (d : t) : verification =
+let verify ?domain ?(depth = 2) ?config (d : t) : verification =
   let domain =
     match domain with Some dm -> dm | None -> d.functions.Spec.base_domain
   in
@@ -184,10 +185,10 @@ let verify ?domain ?(depth = 2) ?jobs (d : t) : verification =
   in
   let refinement12 =
     phase "design.check12" (fun () ->
-        Check12.check ~domain ?jobs d.info d.functions d.interp)
+        Check12.check ~domain ?config d.info d.functions d.interp)
   in
   let refinement23 =
-    phase "design.check23" (fun () -> Check23.check ?jobs d.functions env d.mapping)
+    phase "design.check23" (fun () -> Check23.check ?config d.functions env d.mapping)
   in
   {
     schema_errors;

@@ -39,7 +39,7 @@ val canonical :
   info:Ttheory.t ->
   functions:Spec.t ->
   representation:Fdbs_rpr.Schema.t ->
-  (t, string) result
+  (t, Fdbs_kernel.Error.t) result
 
 val canonical_exn :
   name:string ->
@@ -82,9 +82,11 @@ val verified : verification -> bool
 
 (** Run every check of the paper over a bounded domain ([domain]
     defaults to T2's base domain; [depth] bounds ground probing and the
-    cross-level agreement sweep; [jobs] spreads the refinement sweeps
-    over that many domains — default
-    {!Fdbs_kernel.Pool.default_jobs} — without changing any result). *)
-val verify : ?domain:Domain.t -> ?depth:int -> ?jobs:int -> t -> verification
+    cross-level agreement sweep; [config] spreads the refinement sweeps
+    over its job count — default
+    {!Fdbs_kernel.Pool.default_jobs} — without changing any result,
+    and may impose a per-check budget). *)
+val verify :
+  ?domain:Domain.t -> ?depth:int -> ?config:Fdbs_kernel.Config.t -> t -> verification
 
 val pp_verification : verification Fmt.t

@@ -1,0 +1,57 @@
+(* The unified execution configuration — see config.mli. *)
+
+type t = {
+  jobs : int option;
+  strategy : [ `Auto | `Naive | `Compiled ];
+  star_limit : int option;
+  steps : int option;
+  states : int option;
+  ms : int option;
+  check_constraints : bool;
+  transactional : bool;
+  journal : string option;
+  trace : string option;
+  stats : bool;
+}
+
+let default =
+  {
+    jobs = None;
+    strategy = `Auto;
+    star_limit = None;
+    steps = None;
+    states = None;
+    ms = None;
+    check_constraints = true;
+    transactional = false;
+    journal = None;
+    trace = None;
+    stats = false;
+  }
+
+let make ?jobs ?(strategy = `Auto) ?star_limit ?steps ?states ?ms
+    ?(check_constraints = true) ?(transactional = false) ?journal ?trace
+    ?(stats = false) () =
+  {
+    jobs;
+    strategy;
+    star_limit;
+    steps;
+    states;
+    ms;
+    check_constraints;
+    transactional;
+    journal;
+    trace;
+    stats;
+  }
+
+let with_jobs n = { default with jobs = Some n }
+
+let resolve_jobs (c : t) =
+  match c.jobs with Some n -> max 1 n | None -> Pool.default_jobs ()
+
+let budget (c : t) =
+  match (c.steps, c.states, c.ms) with
+  | None, None, None -> None
+  | steps, states, ms -> Some (Budget.make ?steps ?states ?ms ())

@@ -66,3 +66,14 @@ let pp ppf (e : t) =
       e.context
 
 let to_string (e : t) = Fmt.str "%a" pp e
+
+(* The wire form used by the `fds serve` protocol: phase and code as
+   their registry names, the context as a nested object. *)
+let to_json (e : t) : Json.t =
+  Json.Obj
+    [
+      ("phase", Json.Str (phase_name e.phase));
+      ("code", Json.Str (code_name e.code));
+      ("message", Json.Str e.message);
+      ("context", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) e.context));
+    ]

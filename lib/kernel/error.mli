@@ -46,3 +46,7 @@ val makef :
 
 val pp : t Fmt.t
 val to_string : t -> string
+
+(** The wire form used by the [fds serve] protocol: an object with
+    [phase], [code], [message], and [context] members. *)
+val to_json : t -> Json.t

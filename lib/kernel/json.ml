@@ -1,7 +1,8 @@
-(* A minimal JSON reader (objects, arrays, numbers, strings, booleans,
-   null) — just enough for the reports main.ml emits and the Chrome
-   trace files the CLI writes, avoiding any parsing dependency. Shared
-   by gate.ml (perf gate) and trace_validate.ml (trace smoke). *)
+(* A minimal JSON value type with a reader and a writer (objects,
+   arrays, numbers, strings, booleans, null) — just enough for the
+   machine-readable surfaces of the toolkit: the bench reports, the
+   Chrome trace files the CLI writes, and the `fds serve` wire
+   protocol. Avoids any parsing dependency. *)
 
 type t =
   | Num of float
@@ -157,3 +158,69 @@ let parse_file path =
 let field name = function
   | Obj kvs -> List.assoc_opt name kvs
   | Num _ | Str _ | Bool _ | Null | Arr _ -> None
+
+let to_string_opt = function Str s -> Some s | _ -> None
+let to_bool_opt = function Bool b -> Some b | _ -> None
+
+let to_int_opt = function
+  | Num f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_list_opt = function Arr xs -> Some xs | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Integral floats print without a fractional part so protocol ids and
+   counters round-trip byte-identically; everything else uses %.17g
+   (shortest exact double rendering is overkill here). *)
+let add_num buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+
+let to_string (v : t) : string =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num f -> add_num buf f
+    | Str s -> escape_string buf s
+    | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string buf ", ";
+          go x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          escape_string buf k;
+          Buffer.add_string buf ": ";
+          go x)
+        kvs;
+      Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf

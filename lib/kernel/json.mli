@@ -1,0 +1,37 @@
+(** A minimal JSON value type with a reader and a writer — just enough
+    for the toolkit's machine-readable surfaces (the bench reports, the
+    Chrome trace files, and the {e fds serve} wire protocol), avoiding
+    any parsing dependency. Shared by the perf gate, the trace
+    validator, and {!Fdbs_service}'s protocol. *)
+
+type t =
+  | Num of float
+  | Str of string
+  | Bool of bool
+  | Null
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** Parse a complete JSON document; trailing input is an error. *)
+val parse : string -> t
+
+val parse_file : string -> t
+
+(** [field name v] is the member [name] of the object [v], if any. *)
+val field : string -> t -> t option
+
+(** Convenience accessors used by protocol decoding; [None] on a type
+    mismatch. *)
+val to_string_opt : t -> string option
+
+val to_bool_opt : t -> bool option
+val to_int_opt : t -> int option
+val to_list_opt : t -> t list option
+
+(** Serialize deterministically: object members in the given order,
+    integral floats without a fractional part, strings escaped per RFC
+    8259 (control characters as [\uXXXX]). One line, no trailing
+    newline. *)
+val to_string : t -> string

@@ -237,9 +237,10 @@ let transition_coverage (t1 : Ttheory.t) (spec : Spec.t) (interp : Interp12.t)
 (** Run the full first-to-second level refinement check over [domain]
     (defaults to the spec's base domain). Structure building, valid-state
     enumeration and the reachability search are swept in parallel over
-    [jobs] domains; the report is independent of [jobs]. *)
-let check ?(limit = 10_000) ?domain ?(future = true) ?jobs (t1 : Ttheory.t)
+    [config]'s job count; the report is independent of it. *)
+let check ?(limit = 10_000) ?domain ?(future = true) ?config (t1 : Ttheory.t)
     (spec : Spec.t) (interp : Interp12.t) : report =
+  let jobs = Option.bind config (fun (c : Config.t) -> c.Config.jobs) in
   let domain = match domain with Some d -> d | None -> spec.Spec.base_domain in
   let interp_errors = Interp12.check interp t1.Ttheory.signature spec.Spec.signature in
   let empty_report =

@@ -60,14 +60,14 @@ val valid_states : ?jobs:int -> Ttheory.t -> domain:Domain.t -> Structure.t list
 (** Run the full first-to-second level refinement check over [domain]
     (defaults to the spec's base domain). Structure building,
     valid-state enumeration and the reachability search are swept in
-    parallel over [jobs] domains (default
+    parallel over [config]'s job count (default
     {!Fdbs_kernel.Pool.default_jobs}); the report is independent of
-    [jobs]. *)
+    it. *)
 val check :
   ?limit:int ->
   ?domain:Domain.t ->
   ?future:bool ->
-  ?jobs:int ->
+  ?config:Config.t ->
   Ttheory.t ->
   Spec.t ->
   Interp12.t ->

@@ -41,14 +41,13 @@ val reachable_dbs :
 
 (** Run the full second-to-third level refinement check: every equation
     of T2, over every reachable database and all parameter values from
-    the environment's domain. The (equation, parameter-valuation)
-    instances are swept in parallel over [jobs] domains (default
-    {!Fdbs_kernel.Pool.default_jobs}); the report is deterministic and
-    independent of [jobs]. *)
+    the environment's domain. [config] supplies the parallel sweep
+    width (default {!Fdbs_kernel.Pool.default_jobs}) and an optional
+    fresh per-call budget; the report is deterministic and independent
+    of the job count. *)
 val check :
   ?limit:int ->
-  ?budget:Fdbs_kernel.Budget.t ->
-  ?jobs:int ->
+  ?config:Fdbs_kernel.Config.t ->
   Spec.t ->
   Semantics.env ->
   Interp23.t ->

@@ -153,21 +153,27 @@ type verdict = {
 (** Check every Q-equation's dynamic-logic translation at every
     reachable database: the syntactic counterpart of {!Check23.check}.
     The per-database checks of each equation run in parallel over
-    [jobs] domains; the verdicts are independent of [jobs]. *)
-let check ?(limit = 2_000) ?budget ?jobs (spec : Spec.t) (env : Semantics.env)
-    (k : Interp23.t) : (verdict list, string) result =
+    [config]'s job count; the verdicts are independent of it. Failures
+    come back as structured {!Fdbs_kernel.Error.t} values whose message
+    carries the classic string. *)
+let check ?(limit = 2_000) ?config (spec : Spec.t) (env : Semantics.env)
+    (k : Interp23.t) : (verdict list, Error.t) result =
+  let jobs = Option.bind config (fun (c : Config.t) -> c.Config.jobs) in
+  let fail m = Result.Error (Error.make Error.Exec Error.Exec_failure m) in
   let env =
-    match budget with Some b -> Semantics.with_budget b env | None -> env
+    match Option.bind config Config.budget with
+    | Some b -> Semantics.with_budget b env
+    | None -> env
   in
   let sg2 = spec.Spec.signature in
   match Check23.reachable_dbs env k sg2 ~limit with
-  | exception Invalid_argument e -> Error e
+  | exception Invalid_argument e -> fail e
   | dbs, _truncated ->
     let rec go acc = function
       | [] -> Ok (List.rev acc)
       | (eq : Equation.t) :: rest ->
         (match of_equation k sg2 eq with
-         | Error e -> Error (Fmt.str "equation %s: %s" eq.Equation.eq_name e)
+         | Error e -> fail (Fmt.str "equation %s: %s" eq.Equation.eq_name e)
          | Ok formula ->
            (* one obligation per equation: its translated sentence over
               every reachable database *)

@@ -28,18 +28,18 @@ type verdict = {
 }
 
 (** Check every Q-equation's translation at every reachable database:
-    the syntactic counterpart of {!Check23.check}. The per-database
-    checks run in parallel over [jobs] domains (default
-    {!Fdbs_kernel.Pool.default_jobs}); the verdicts are independent of
-    [jobs]. *)
+    the syntactic counterpart of {!Check23.check}. [config] supplies
+    the parallel sweep width (default
+    {!Fdbs_kernel.Pool.default_jobs}) and an optional fresh per-call
+    budget; the verdicts are independent of the job count. Failures
+    come back as structured {!Fdbs_kernel.Error.t} values. *)
 val check :
   ?limit:int ->
-  ?budget:Fdbs_kernel.Budget.t ->
-  ?jobs:int ->
+  ?config:Fdbs_kernel.Config.t ->
   Spec.t ->
   Semantics.env ->
   Interp23.t ->
-  (verdict list, string) result
+  (verdict list, Fdbs_kernel.Error.t) result
 
 val all_hold : verdict list -> bool
 val pp_verdict : verdict Fmt.t

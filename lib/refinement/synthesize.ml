@@ -179,9 +179,12 @@ let procedure (sg2 : Asig.t) (schema_rels : Schema.rel_decl list)
 (** Synthesize a whole schema from a specification signature and its
     structured descriptions: one relation per query (uppercased name),
     one procedure per description. The result is ready for
-    {!Check23.check} against the derived (or hand-written) equations. *)
+    {!Check23.check} against the derived (or hand-written) equations.
+    Failures are structured {!Fdbs_kernel.Error.t} values whose message
+    carries the classic string. *)
 let schema ~(name : string) (sg2 : Asig.t) (descriptions : Sdesc.t list) :
-  (Schema.t, string) result =
+  (Schema.t, Error.t) result =
+  let fail m = Result.Error (Error.make Error.Exec Error.Exec_failure m) in
   let relations =
     List.map
       (fun (q : Asig.op) ->
@@ -192,10 +195,10 @@ let schema ~(name : string) (sg2 : Asig.t) (descriptions : Sdesc.t list) :
     if Asig.is_query sg2 q then Ok (String.uppercase_ascii q)
     else Error (Fmt.str "unknown query %s" q)
   in
-  let* procs =
-    Util.result_all (List.map (procedure sg2 relations rel_of) descriptions)
-  in
-  let sc = { Schema.name; relations; consts = []; constraints = []; procs } in
-  match Schema.check sc with
-  | [] -> Ok sc
-  | errs -> Error (String.concat "; " errs)
+  match Util.result_all (List.map (procedure sg2 relations rel_of) descriptions) with
+  | Error e -> fail e
+  | Ok procs ->
+    let sc = { Schema.name; relations; consts = []; constraints = []; procs } in
+    (match Schema.check sc with
+     | [] -> Ok sc
+     | errs -> fail (String.concat "; " errs))

@@ -29,5 +29,8 @@ val procedure :
 (** Synthesize a whole schema from a specification signature and its
     structured descriptions: one relation per query (uppercased name),
     one procedure per description. The result passes
-    {!Fdbs_rpr.Schema.check} and is ready for {!Check23.check}. *)
-val schema : name:string -> Asig.t -> Sdesc.t list -> (Schema.t, string) result
+    {!Fdbs_rpr.Schema.check} and is ready for {!Check23.check}.
+    Failures are structured {!Fdbs_kernel.Error.t} values whose message
+    carries the classic string. *)
+val schema :
+  name:string -> Asig.t -> Sdesc.t list -> (Schema.t, Fdbs_kernel.Error.t) result

@@ -128,7 +128,7 @@ and parse_tuple_op sg st build =
   build r ts
 
 (** Parse a full schema file. *)
-let schema (src : string) : (Schema.t, string) result =
+let schema (src : string) : (Schema.t, Error.t) result =
   let parse st =
     Parse.expect_kw st "schema";
     let name = Parse.ident st in
@@ -201,30 +201,39 @@ let schema (src : string) : (Schema.t, string) result =
       procs = List.rev !procs;
     }
   in
+  (* the message carries the classic parser string; the structured
+     phase/code let callers dispatch without parsing it *)
+  let parse_error m = Error.make Error.Parse Error.Exec_failure m in
   match Parse.run parse src with
   | Ok sc ->
     (match Schema.check sc with
      | [] -> Ok sc
-     | errs -> Error (String.concat "; " errs))
-  | Error e -> Error e
+     | errs -> Result.Error (parse_error (String.concat "; " errs)))
+  | Result.Error e -> Result.Error (parse_error e)
 
 let schema_exn src =
   match schema src with
   | Ok sc -> sc
-  | Error e -> invalid_arg ("Rparser.schema_exn: " ^ e)
+  | Result.Error e -> invalid_arg ("Rparser.schema_exn: " ^ e.Error.message)
 
 (** Parse a statement against a schema (for tests and the CLI);
     [params] supplies extra scalar constants. *)
-let stmt ?(params = []) (sc : Schema.t) (src : string) : (Stmt.t, string) result =
+let stmt ?(params = []) (sc : Schema.t) (src : string) :
+  (Stmt.t, Error.t) result =
   let sg = Schema.signature ~params sc in
-  Parse.run (fun st -> parse_stmt sg st) src
+  Result.map_error
+    (fun e -> Error.make Error.Parse Error.Exec_failure e)
+    (Parse.run (fun st -> parse_stmt sg st) src)
 
 (** Parse a closed wff against a schema. *)
-let wff ?(params = []) (sc : Schema.t) (src : string) : (Formula.t, string) result =
+let wff ?(params = []) (sc : Schema.t) (src : string) :
+  (Formula.t, Error.t) result =
   let sg = Schema.signature ~params sc in
-  Parse.run (fun st -> parse_wff sg st) src
+  Result.map_error
+    (fun e -> Error.make Error.Parse Error.Exec_failure e)
+    (Parse.run (fun st -> parse_wff sg st) src)
 
 let wff_exn ?params sc src =
   match wff ?params sc src with
   | Ok f -> f
-  | Error e -> invalid_arg ("Rparser.wff_exn: " ^ e)
+  | Result.Error e -> invalid_arg ("Rparser.wff_exn: " ^ e.Error.message)

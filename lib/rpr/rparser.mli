@@ -24,18 +24,20 @@
 open Fdbs_kernel
 open Fdbs_logic
 
-(** Parse a full schema file; the result passes {!Schema.check}. *)
-val schema : string -> (Schema.t, string) result
+(** Parse a full schema file; the result passes {!Schema.check}.
+    Failures are structured {!Fdbs_kernel.Error.t} values in the
+    [Parse] phase whose message carries the classic parser string. *)
+val schema : string -> (Schema.t, Error.t) result
 
 val schema_exn : string -> Schema.t
 
 (** Parse a statement against a schema (for tests and the CLI);
     [params] supplies extra scalar constants. *)
 val stmt :
-  ?params:(string * Sort.t) list -> Schema.t -> string -> (Stmt.t, string) result
+  ?params:(string * Sort.t) list -> Schema.t -> string -> (Stmt.t, Error.t) result
 
 (** Parse a closed wff against a schema. *)
 val wff :
-  ?params:(string * Sort.t) list -> Schema.t -> string -> (Formula.t, string) result
+  ?params:(string * Sort.t) list -> Schema.t -> string -> (Formula.t, Error.t) result
 
 val wff_exn : ?params:(string * Sort.t) list -> Schema.t -> string -> Formula.t

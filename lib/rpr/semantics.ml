@@ -177,22 +177,30 @@ let call (env : env) (proc : Schema.proc) (args : Value.t list) (db : Db.t) :
   else call_raw env proc args db
 
 (** Call a procedure by name, requiring a single (deterministic)
-    outcome. *)
+    outcome. Execution-level failures come back as a structured
+    {!Fdbs_kernel.Error.t} (the message carries the classic string);
+    budget exhaustion and injected faults still raise, as for
+    {!call}. *)
 let call_det (env : env) (name : string) (args : Value.t list) (db : Db.t) :
-  (Db.t, string) result =
+  (Db.t, Error.t) result =
+  let fail code fmt =
+    Fmt.kstr (fun m -> Result.Error (Error.make Error.Exec code m)) fmt
+  in
   match Schema.find_proc env.schema name with
-  | None -> Error (Fmt.str "unknown procedure %s" name)
+  | None -> fail (Error.Unknown_procedure name) "unknown procedure %s" name
   | Some proc ->
     (match call env proc args db with
      | [ out ] -> Ok out
-     | [] -> Error (Fmt.str "procedure %s blocked (no outcome)" name)
-     | outs -> Error (Fmt.str "procedure %s has %d distinct outcomes" name (List.length outs))
-     | exception Exec_error e -> Error e)
+     | [] -> fail Error.Blocked "procedure %s blocked (no outcome)" name
+     | outs ->
+       fail (Error.Nondeterministic (List.length outs))
+         "procedure %s has %d distinct outcomes" name (List.length outs)
+     | exception Exec_error e -> fail Error.Exec_failure "%s" e)
 
 let call_det_exn env name args db =
   match call_det env name args db with
   | Ok out -> out
-  | Error e -> invalid_arg ("Semantics.call_det_exn: " ^ e)
+  | Error e -> invalid_arg ("Semantics.call_det_exn: " ^ e.Error.message)
 
 (** Truth of a closed wff in a state, under the environment's domain and
     constants — the query side of the DML (paper Section 5.2:

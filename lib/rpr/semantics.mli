@@ -52,8 +52,12 @@ val exec : env -> Stmt.t -> Db.t -> Db.t list
 val call : env -> Schema.proc -> Value.t list -> Db.t -> Db.t list
 
 (** Call a procedure by name, requiring a single (deterministic)
-    outcome. *)
-val call_det : env -> string -> Value.t list -> Db.t -> (Db.t, string) result
+    outcome. Execution-level failures come back as a structured
+    {!Fdbs_kernel.Error.t} whose message carries the classic string;
+    budget exhaustion and injected faults still raise, as for
+    {!call}. *)
+val call_det :
+  env -> string -> Value.t list -> Db.t -> (Db.t, Fdbs_kernel.Error.t) result
 
 val call_det_exn : env -> string -> Value.t list -> Db.t -> Db.t
 

@@ -1,0 +1,6 @@
+(** Re-export of {!Fdbs_kernel.Config}: the service layer's unified
+    execution configuration. [Fdbs_service.Config.t] {e is}
+    [Fdbs_kernel.Config.t], so checker call sites and session call
+    sites share one record type. *)
+
+include Fdbs_kernel.Config

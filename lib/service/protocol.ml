@@ -1,0 +1,283 @@
+(* The fds serve wire protocol: newline-delimited length-prefixed JSON
+   frames, one request/response pair per frame exchange. A frame is
+
+     <decimal byte length of payload> '\n' <payload bytes> '\n'
+
+   where the payload is one JSON document. Requests are objects
+   {"id": <any>, "op": <string>, ...}; responses echo the id and carry
+   either {"ok": true, "result": ...} or {"ok": false, "error": ...}
+   with the error rendered by Fdbs_kernel.Error.to_json. Serialization
+   uses the kernel's deterministic Json.to_string, so responses are
+   stable byte-for-byte across runs. *)
+
+open Fdbs_kernel
+open Fdbs_rpr
+
+let max_frame = 16 * 1024 * 1024
+
+let proto_error fmt =
+  Fmt.kstr (fun m -> Error.make Error.Parse Error.Exec_failure m) fmt
+
+(* --- values and states as JSON --- *)
+
+let value_to_json : Value.t -> Json.t = function
+  | Value.Bool b -> Json.Bool b
+  | Value.Int n -> Json.Num (float_of_int n)
+  | Value.Sym s -> Json.Str s
+
+let value_of_json : Json.t -> Value.t option = function
+  | Json.Bool b -> Some (Value.Bool b)
+  | Json.Num f when Float.is_integer f -> Some (Value.Int (int_of_float f))
+  | Json.Str s -> Some (Value.Sym s)
+  | _ -> None
+
+let db_to_json (db : Db.t) : Json.t =
+  let rel (name, r) =
+    ( name,
+      Json.Arr
+        (List.map
+           (fun tuple -> Json.Arr (List.map value_to_json tuple))
+           (Relation.to_list r)) )
+  in
+  let scalar (name, v) = (name, value_to_json v) in
+  Json.Obj
+    [
+      ("relations", Json.Obj (List.map rel (Db.relations db)));
+      ("scalars", Json.Obj (List.map scalar (Db.scalars db)));
+    ]
+
+(* --- procedure calls --- *)
+
+(* The same concrete syntax the CLI accepts on the command line:
+   name(arg, ...) with integer literals and symbolic constants. *)
+let parse_call (s : string) : (Journal.call, Error.t) result =
+  match String.index_opt s '(' with
+  | None -> Ok (String.trim s, [])
+  | Some i ->
+    let name = String.trim (String.sub s 0 i) in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    (match String.index_opt rest ')' with
+     | None -> Result.Error (proto_error "missing ')' in call %S" s)
+     | Some j ->
+       let args = String.sub rest 0 j in
+       let args =
+         if String.trim args = "" then []
+         else
+           String.split_on_char ',' args
+           |> List.map (fun a ->
+                  let a = String.trim a in
+                  match int_of_string_opt a with
+                  | Some n -> Value.Int n
+                  | None -> Value.Sym a)
+       in
+       Ok (name, args))
+
+let call_of_json (v : Json.t) : (Journal.call, Error.t) result =
+  match v with
+  | Json.Str s -> parse_call s
+  | Json.Obj _ ->
+    (match Option.bind (Json.field "proc" v) Json.to_string_opt with
+     | None -> Result.Error (proto_error "call object needs a \"proc\" string")
+     | Some name ->
+       let args =
+         match Json.field "args" v with
+         | None -> Some []
+         | Some a ->
+           Option.bind (Json.to_list_opt a) (fun items ->
+               let vals = List.filter_map value_of_json items in
+               if List.length vals = List.length items then Some vals else None)
+       in
+       (match args with
+        | Some args -> Ok (name, args)
+        | None ->
+          Result.Error (proto_error "call %s: args must be scalar values" name)))
+  | _ -> Result.Error (proto_error "calls must be strings or objects")
+
+(* --- framing --- *)
+
+let read_frame (ic : in_channel) : string option =
+  match input_line ic with
+  | exception End_of_file -> None
+  | header ->
+    let header = String.trim header in
+    if header = "" then None
+    else (
+      match int_of_string_opt header with
+      | None ->
+        raise
+          (Error.Error (proto_error "bad frame header %S: expected a length" header))
+      | Some n when n < 0 || n > max_frame ->
+        raise (Error.Error (proto_error "bad frame length %d" n))
+      | Some n ->
+        let buf = really_input_string ic n in
+        (* consume the trailing newline; tolerate its absence at EOF *)
+        (try
+           match input_char ic with
+           | '\n' -> ()
+           | _ -> raise (Error.Error (proto_error "frame missing trailing newline"))
+         with End_of_file -> ());
+        Some buf)
+
+let write_frame (oc : out_channel) (payload : string) : unit =
+  output_string oc (string_of_int (String.length payload));
+  output_char oc '\n';
+  output_string oc payload;
+  output_char oc '\n';
+  flush oc
+
+(* --- requests and responses --- *)
+
+type request = {
+  id : Json.t;
+  op : string;
+  body : Json.t;
+}
+
+let request_of_string (s : string) : (request, Error.t) result =
+  match Json.parse s with
+  | exception Json.Parse_error m ->
+    Result.Error (proto_error "request is not valid JSON: %s" m)
+  | v ->
+    let id = Option.value ~default:Json.Null (Json.field "id" v) in
+    (match Option.bind (Json.field "op" v) Json.to_string_opt with
+     | None -> Result.Error (proto_error "request needs an \"op\" string")
+     | Some op -> Ok { id; op; body = v })
+
+let response ~id body = Json.to_string (Json.Obj (("id", id) :: body))
+let ok_response ~id result = response ~id [ ("ok", Json.Bool true); ("result", result) ]
+
+let error_response ~id (e : Error.t) =
+  response ~id [ ("ok", Json.Bool false); ("error", Error.to_json e) ]
+
+(* --- the per-operation dispatch, shared by the server loop --- *)
+
+let field_string name req = Option.bind (Json.field name req.body) Json.to_string_opt
+let field_bool name req = Option.bind (Json.field name req.body) Json.to_bool_opt
+
+let missing op what = Result.Error (proto_error "%s needs a %s" op what)
+
+let calls_of_request req : (Journal.call list, Error.t) result =
+  match Json.field "calls" req.body with
+  | None -> missing req.op "\"calls\" array"
+  | Some v ->
+    (match Json.to_list_opt v with
+     | None -> missing req.op "\"calls\" array"
+     | Some items -> Util.result_all (List.map call_of_json items))
+
+(* Query parameters: an array of [name, sort, value] triples declaring
+   extra constants bound in the wff, the wire form of ground queries. *)
+let params_of_request req :
+  ((string * Sort.t * Value.t) list, Error.t) result =
+  match Json.field "params" req.body with
+  | None -> Ok []
+  | Some v ->
+    (match Json.to_list_opt v with
+     | None -> Result.Error (proto_error "params must be an array")
+     | Some items ->
+       Util.result_all
+         (List.map
+            (function
+              | Json.Arr [ Json.Str name; Json.Str sort; value ] ->
+                (match value_of_json value with
+                 | Some v -> Ok (name, sort, v)
+                 | None ->
+                   Result.Error
+                     (proto_error "param %s: value must be a scalar" name))
+              | _ ->
+                Result.Error
+                  (proto_error
+                     "params must be [name, sort, value] triples"))
+            items))
+
+let stats_to_json (s : Session.stats) : Json.t =
+  let num n = Json.Num (float_of_int n) in
+  let counters =
+    List.map (fun (k, v) -> (k, num v)) s.Session.metrics.Metrics.counters
+  in
+  Json.Obj
+    [
+      ("planner_hits", num s.Session.planner_hits);
+      ("planner_misses", num s.Session.planner_misses);
+      ("db_size", num s.Session.db_size);
+      ("sessions", num s.Session.sessions);
+      ("commits", num s.Session.commits);
+      ("metrics", Json.Obj counters);
+    ]
+
+type reply =
+  | Reply of string
+  | Final of string  (** reply, then shut the server down *)
+
+let handle (session : Session.t) (req : request) : reply =
+  let id = req.id in
+  let ok result = Reply (ok_response ~id result) in
+  let err e = Reply (error_response ~id e) in
+  let of_result to_json = function
+    | Ok v -> ok (to_json v)
+    | Result.Error e -> err e
+  in
+  match req.op with
+  | "ping" -> ok (Json.Str "pong")
+  | "run" ->
+    (match calls_of_request req with
+     | Result.Error e -> err e
+     | Ok calls ->
+       (match Session.run session calls with
+        | Ok o ->
+          ok
+            (Json.Obj
+               [
+                 ( "completed",
+                   Json.Num (float_of_int (List.length o.Session.completed)) );
+                 ("state", db_to_json o.Session.state);
+               ])
+        | Result.Error f ->
+          err
+            {
+              f.Session.fail_error with
+              Error.context =
+                ("completed",
+                 string_of_int (List.length f.Session.fail_completed))
+                :: f.Session.fail_error.Error.context;
+            }))
+  | "query" ->
+    (match field_string "wff" req with
+     | None -> err (proto_error "query needs a \"wff\" string")
+     | Some wff ->
+       (match params_of_request req with
+        | Result.Error e -> err e
+        | Ok params ->
+          of_result (fun b -> Json.Bool b)
+            (Session.query session ~params wff)))
+  | "eval" ->
+    (match field_string "term" req with
+     | None -> err (proto_error "eval needs a \"term\" string")
+     | Some term ->
+       let trace = Option.value ~default:false (field_bool "trace" req) in
+       of_result (fun s -> Json.Str s) (Session.eval session ~trace term))
+  | "explain" -> ok (Json.Str (Session.explain session))
+  | "begin" -> of_result (fun () -> Json.Null) (Session.begin_txn session)
+  | "commit" -> of_result db_to_json (Session.commit session)
+  | "rollback" -> of_result db_to_json (Session.rollback session)
+  | "state" -> ok (db_to_json (Session.db session))
+  | "stats" -> ok (stats_to_json (Session.stats session))
+  | "replay" ->
+    (match field_string "journal" req with
+     | None ->
+       err (proto_error "replay needs a \"journal\" string")
+     | Some path ->
+       of_result
+         (fun r ->
+           Json.Obj
+             [
+               ("entries", Json.Num (float_of_int r.Session.rep_entries));
+               ("calls", Json.Num (float_of_int r.Session.rep_calls));
+               ( "torn",
+                 match r.Session.rep_torn with
+                 | None -> Json.Null
+                 | Some m -> Json.Str m );
+               ("state", db_to_json r.Session.rep_state);
+             ])
+         (Session.replay session path))
+  | "shutdown" -> Final (ok_response ~id (Json.Str "bye"))
+  | op -> err (proto_error "unknown operation %S" op)

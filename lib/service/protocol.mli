@@ -1,0 +1,55 @@
+(** The [fds serve] wire protocol.
+
+    A frame is a decimal byte length, a newline, the payload (one JSON
+    document), and a newline. Requests are objects
+    [{"id": <any>, "op": <string>, ...}]; responses echo the [id] and
+    carry [{"ok": true, "result": ...}] or
+    [{"ok": false, "error": ...}] with the error rendered by
+    {!Fdbs_kernel.Error.to_json}. Payloads are serialized with the
+    kernel's deterministic {!Fdbs_kernel.Json.to_string}, so responses
+    are byte-stable across runs.
+
+    Operations: [ping], [run] (["calls"]: array of call strings or
+    [{"proc", "args"}] objects), [query] (["wff"]), [eval] (["term"],
+    optional ["trace"]), [explain], [begin], [commit], [rollback],
+    [state], [stats], [replay] (["journal"]), [shutdown]. *)
+
+open Fdbs_kernel
+open Fdbs_rpr
+
+val value_to_json : Value.t -> Json.t
+val value_of_json : Json.t -> Value.t option
+
+(** Relations as arrays of tuples (name-sorted), scalars as a flat
+    object. *)
+val db_to_json : Db.t -> Json.t
+
+(** The CLI's call syntax: [name(arg, ...)], integer literals parsed as
+    integers, everything else a symbolic constant. *)
+val parse_call : string -> (Journal.call, Error.t) result
+
+val call_of_json : Json.t -> (Journal.call, Error.t) result
+
+(** [read_frame ic] is the next payload, [None] on a clean end of
+    stream. Raises {!Fdbs_kernel.Error.Error} on a malformed frame. *)
+val read_frame : in_channel -> string option
+
+val write_frame : out_channel -> string -> unit
+
+type request = {
+  id : Json.t;  (** echoed verbatim in the response *)
+  op : string;
+  body : Json.t;  (** the whole request object *)
+}
+
+val request_of_string : string -> (request, Error.t) result
+val ok_response : id:Json.t -> Json.t -> string
+val error_response : id:Json.t -> Error.t -> string
+
+type reply =
+  | Reply of string
+  | Final of string  (** reply, then shut the server down *)
+
+(** Execute one request against a session. Never raises: every failure
+    becomes an [{"ok": false}] response. *)
+val handle : Session.t -> request -> reply

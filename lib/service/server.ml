@@ -1,0 +1,174 @@
+(* The fds serve daemon: a socket server speaking Protocol frames, one
+   session per connection over a single shared store. The main domain
+   accepts connections and queues them; a small set of worker domains
+   pops the queue and drives one connection each to completion. All
+   database mutation is serialized by the store lock inside Session, so
+   concurrent connections observe serializable transactions.
+
+   Shutdown is cooperative: a "shutdown" request, SIGINT or SIGTERM
+   sets the stop flag; the accept loop (a 0.2s select poll) notices,
+   the queue is drained, workers join, and the socket is closed and
+   unlinked. Trace emission is the caller's concern (the CLI installs
+   its usual at_exit observer). *)
+
+open Fdbs_kernel
+
+type listen = [ `Unix of string | `Tcp of string * int ]
+
+let address : listen -> Unix.sockaddr = function
+  | `Unix path -> Unix.ADDR_UNIX path
+  | `Tcp (host, port) -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
+let describe : listen -> string = function
+  | `Unix path -> path
+  | `Tcp (host, port) -> Fmt.str "%s:%d" host port
+
+type t = {
+  store : Session.Store.t;
+  sock : Unix.file_descr;
+  stop : bool Atomic.t;
+  queue : Unix.file_descr Queue.t;
+  qlock : Mutex.t;
+  qcond : Condition.t;
+  connections : int Atomic.t;
+  requests : int Atomic.t;
+}
+
+type stats = {
+  served_connections : int;
+  served_requests : int;
+}
+
+let request_stop server =
+  Atomic.set server.stop true;
+  Mutex.lock server.qlock;
+  Condition.broadcast server.qcond;
+  Mutex.unlock server.qlock
+
+let serve_connection server fd =
+  let session = Session.on_store server.store in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match Protocol.read_frame ic with
+    | None -> ()
+    | Some payload ->
+      Atomic.incr server.requests;
+      (match Protocol.request_of_string payload with
+       | Result.Error e ->
+         Protocol.write_frame oc (Protocol.error_response ~id:Json.Null e);
+         loop ()
+       | Ok req ->
+         (match
+            Trace.with_span ~cat:"service"
+              ~args:[ ("op", req.Protocol.op) ]
+              "service.request"
+              (fun () -> Protocol.handle session req)
+          with
+          | Protocol.Reply r ->
+            Protocol.write_frame oc r;
+            loop ()
+          | Protocol.Final r ->
+            Protocol.write_frame oc r;
+            request_stop server))
+  in
+  (try loop () with
+   | Error.Error e ->
+     (* malformed frame: report once, then drop the connection *)
+     (try Protocol.write_frame oc (Protocol.error_response ~id:Json.Null e)
+      with Sys_error _ -> ())
+   | End_of_file | Sys_error _ -> ());
+  Session.close session;
+  close_out_noerr oc
+
+let worker server () =
+  let rec loop () =
+    Mutex.lock server.qlock;
+    while Queue.is_empty server.queue && not (Atomic.get server.stop) do
+      Condition.wait server.qcond server.qlock
+    done;
+    let job = Queue.take_opt server.queue in
+    Mutex.unlock server.qlock;
+    match job with
+    | None -> ()
+    | Some fd ->
+      serve_connection server fd;
+      loop ()
+  in
+  loop ()
+
+let accept_loop server =
+  while not (Atomic.get server.stop) do
+    match Unix.select [ server.sock ] [] [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ ->
+      (match Unix.accept server.sock with
+       | exception Unix.Unix_error (_, _, _) -> ()
+       | fd, _ ->
+         Atomic.incr server.connections;
+         Mutex.lock server.qlock;
+         Queue.push fd server.queue;
+         Condition.signal server.qcond;
+         Mutex.unlock server.qlock)
+  done
+
+let io_error fmt =
+  Fmt.kstr (fun m -> Error.make Error.Io Error.Io_failure m) fmt
+
+let serve ?(workers = 2) ?spec ?(config = Config.default) ?(ready = fun () -> ())
+    (listen : listen) schema : (stats, Error.t) result =
+  match Session.Store.create ~config ?spec schema with
+  | Result.Error e -> Result.Error e
+  | Ok store ->
+    let addr = address listen in
+    let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    (match Unix.bind sock addr with
+     | exception Unix.Unix_error (err, _, _) ->
+       Unix.close sock;
+       Result.Error
+         (io_error "cannot bind %s: %s" (describe listen)
+            (Unix.error_message err))
+     | () ->
+       Unix.listen sock 16;
+       let server =
+         {
+           store;
+           sock;
+           stop = Atomic.make false;
+           queue = Queue.create ();
+           qlock = Mutex.create ();
+           qcond = Condition.create ();
+           connections = Atomic.make 0;
+           requests = Atomic.make 0;
+         }
+       in
+       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+       let on_signal = Sys.Signal_handle (fun _ -> request_stop server) in
+       Sys.set_signal Sys.sigint on_signal;
+       Sys.set_signal Sys.sigterm on_signal;
+       (* workers record trace spans into their own domain-local
+          collector; collect them with [Trace.isolated] and graft them
+          into the main domain's trace after the join, the same dance
+          {!Fdbs_kernel.Pool} does for its chunks *)
+       let domains =
+         List.init (max 1 workers) (fun _ ->
+             Stdlib.Domain.spawn (fun () ->
+                 snd (Trace.isolated (worker server))))
+       in
+       ready ();
+       accept_loop server;
+       request_stop server;
+       List.iter
+         (fun d -> Trace.graft (Stdlib.Domain.join d))
+         domains;
+       Unix.close sock;
+       (match listen with
+        | `Unix path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+        | `Tcp _ -> ());
+       Ok
+         {
+           served_connections = Atomic.get server.connections;
+           served_requests = Atomic.get server.requests;
+         })

@@ -1,0 +1,32 @@
+(** The [fds serve] daemon: a socket server speaking {!Protocol}
+    frames, one {!Session} per connection over a single shared
+    {!Session.Store}. Worker domains drive connections concurrently;
+    the store lock serializes database mutation, so concurrent
+    transactions are serializable. *)
+
+open Fdbs_kernel
+
+type listen = [ `Unix of string | `Tcp of string * int ]
+
+val describe : listen -> string
+
+type stats = {
+  served_connections : int;
+  served_requests : int;
+}
+
+(** Bind, listen, and block serving connections until a [shutdown]
+    request, SIGINT or SIGTERM. [workers] (default 2) worker domains
+    serve connections concurrently; [ready] runs once the socket is
+    listening (the CLI prints its "serving on" line there). On return
+    the socket is closed (and unlinked for Unix sockets) and all
+    workers have joined. [Error] means the store could not be created
+    or the address could not be bound. *)
+val serve :
+  ?workers:int ->
+  ?spec:Fdbs_algebra.Spec.t ->
+  ?config:Config.t ->
+  ?ready:(unit -> unit) ->
+  listen ->
+  Fdbs_rpr.Schema.t ->
+  (stats, Error.t) result

@@ -1,0 +1,147 @@
+(** Long-lived sessions over a shared database store.
+
+    A {!Store.t} loads and validates a schema {e once} and keeps the
+    expensive state warm across requests: the planner's compiled plans
+    (warmed eagerly at creation), the accumulated active domain, the
+    journal path, and the single mutable database state. A {!t}
+    (session) is a lightweight view on a store — the CLI opens one per
+    invocation, the [fds serve] daemon one per connection — and every
+    entry point returns [(value, Fdbs_kernel.Error.t) result]: no
+    exception crosses the session boundary.
+
+    Concurrency: every store-state access runs under the store's lock,
+    and a transaction buffers its calls in the session until [commit]
+    re-executes them atomically against the current store state. Commits
+    are serialized, so concurrent sessions are serializable. *)
+
+open Fdbs_kernel
+open Fdbs_rpr
+
+module Store : sig
+  type t
+
+  (** Validate the schema ({!Fdbs_rpr.Schema.check}), apply the
+      configuration's job count, warm the planner cache with every
+      constraint and relational assignment, and start from the schema's
+      empty instance. [spec] optionally attaches the algebraic level for
+      {!Session.eval}. *)
+  val create :
+    ?config:Config.t ->
+    ?spec:Fdbs_algebra.Spec.t ->
+    Schema.t ->
+    (t, Error.t) result
+
+  val schema : t -> Schema.t
+end
+
+type t
+
+(** Open a session on a fresh store: [Store.create] plus {!on_store}. *)
+val open_ :
+  ?config:Config.t ->
+  ?spec:Fdbs_algebra.Spec.t ->
+  schema:Schema.t ->
+  unit ->
+  (t, Error.t) result
+
+(** Parse the schema source ({!Fdbs_rpr.Rparser.schema}), then
+    {!open_}. *)
+val open_text :
+  ?config:Config.t -> ?spec:Fdbs_algebra.Spec.t -> string -> (t, Error.t) result
+
+(** A new session sharing an existing store — the server's
+    one-session-per-connection constructor. *)
+val on_store : Store.t -> t
+
+val id : t -> int
+val store : t -> Store.t
+val schema : t -> Schema.t
+val config : t -> Config.t
+val in_txn : t -> bool
+
+(** The state this session currently observes: its transaction view
+    when one is open, the shared store state otherwise. *)
+val db : t -> Db.t
+
+(** Discard any open transaction. *)
+val close : t -> unit
+
+type outcome = {
+  state : Db.t;  (** the (committed) state after the batch *)
+  completed : Journal.call list;  (** calls that executed, in order *)
+}
+
+type failure = {
+  fail_error : Error.t;
+  fail_completed : Journal.call list;
+      (** non-transactional mode: the successful prefix (its effects
+          are kept) *)
+  fail_state : Db.t;  (** the state after the failure *)
+}
+
+(** Execute a batch of procedure calls. With an open transaction the
+    calls run eagerly against the session's private view and are
+    buffered for {!commit}; otherwise they run against the shared store
+    state under the store lock — atomically via {!Fdbs_rpr.Txn.run}
+    when the configuration is transactional (constraints checked,
+    journal appended), call-by-call with the successful prefix kept
+    otherwise. A fresh budget is drawn from the configuration for every
+    batch. *)
+val run : t -> Journal.call list -> (outcome, failure) result
+
+(** [run] with a single call, reduced to the plain error. *)
+val call : t -> string -> Value.t list -> (Db.t, Error.t) result
+
+val begin_txn : t -> (unit, Error.t) result
+
+(** Re-execute the buffered calls atomically against the current store
+    state (constraints, journal and budget as configured) and install
+    the result. *)
+val commit : t -> (Db.t, Error.t) result
+
+(** Drop the buffered calls and return to the store state. *)
+val rollback : t -> (Db.t, Error.t) result
+
+(** Truth of a closed wff in the session's current state. [params]
+    declares extra scalar constants [(name, sort, value)], so ground
+    queries can name undeclared values. *)
+val query :
+  t ->
+  ?params:(string * Sort.t * Value.t) list ->
+  string ->
+  (bool, Error.t) result
+
+(** The query plans of the schema — every constraint and every
+    relational assignment, compiled and optimized, with live
+    cardinalities of the session's current state — rendered exactly as
+    [fds explain] prints them. *)
+val explain : t -> string
+
+(** Evaluate a ground query term against the session's algebraic
+    specification by conditional rewriting; with [trace] the rendered
+    text carries the derivation, innermost step first. *)
+val eval : t -> ?trace:bool -> string -> (string, Error.t) result
+
+type replayed = {
+  rep_entries : int;  (** committed journal entries re-run *)
+  rep_calls : int;  (** calls across them *)
+  rep_torn : string option;  (** dropped torn-tail description *)
+  rep_state : Db.t;  (** the recovered state, installed in the store *)
+}
+
+(** Recover the committed state from a write-ahead journal: re-run
+    every committed entry as a transaction from the schema's empty
+    instance, then install the result as the store state. Load
+    failures carry a [("stage", "load")] context entry. *)
+val replay : t -> string -> (replayed, Error.t) result
+
+type stats = {
+  planner_hits : int;
+  planner_misses : int;
+  db_size : int;  (** tuples across all relations of the store state *)
+  sessions : int;  (** sessions opened on the store *)
+  commits : int;  (** committed batches/transactions *)
+  metrics : Metrics.snapshot;
+}
+
+val stats : t -> stats

@@ -1,0 +1,78 @@
+The fds serve daemon: boot it on a Unix socket, talk to it with fds
+client over the length-prefixed JSON protocol, and check that a
+graceful shutdown leaves a flushed journal behind.
+
+  $ fds serve guarded.schema --socket fds.sock --transactional --journal srv.journal 2>server.log &
+  $ for i in $(seq 1 100); do test -S fds.sock && break; sleep 0.1; done
+
+A ping round-trips:
+
+  $ fds client --socket fds.sock '{"id": 1, "op": "ping"}'
+  {"id": 1, "ok": true, "result": "pong"}
+
+A transaction on one connection: begin, run a batch, ask a ground
+query against the uncommitted view (params bind extra constants in
+the wff), and commit:
+
+  $ fds client --socket fds.sock \
+  >   '{"id": 2, "op": "begin"}' \
+  >   '{"id": 3, "op": "run", "calls": ["initiate()", "offer(cs101)"]}' \
+  >   '{"id": 4, "op": "query", "wff": "OFFERED(c)", "params": [["c", "course", "cs101"]]}' \
+  >   '{"id": 5, "op": "query", "wff": "OFFERED(c)", "params": [["c", "course", "cs999"]]}' \
+  >   '{"id": 6, "op": "commit"}'
+  {"id": 2, "ok": true, "result": null}
+  {"id": 3, "ok": true, "result": {"completed": 2, "state": {"relations": {"OFFERED": [["cs101"]], "TAKES": []}, "scalars": {}}}}
+  {"id": 4, "ok": true, "result": true}
+  {"id": 5, "ok": true, "result": false}
+  {"id": 6, "ok": true, "result": {"relations": {"OFFERED": [["cs101"]], "TAKES": []}, "scalars": {}}}
+
+A second connection sees the committed state; its own rolled-back
+transaction leaves no trace:
+
+  $ fds client --socket fds.sock \
+  >   '{"id": 7, "op": "state"}' \
+  >   '{"id": 8, "op": "begin"}' \
+  >   '{"id": 9, "op": "run", "calls": ["offer(cs202)"]}' \
+  >   '{"id": 10, "op": "rollback"}' \
+  >   '{"id": 11, "op": "state"}'
+  {"id": 7, "ok": true, "result": {"relations": {"OFFERED": [["cs101"]], "TAKES": []}, "scalars": {}}}
+  {"id": 8, "ok": true, "result": null}
+  {"id": 9, "ok": true, "result": {"completed": 1, "state": {"relations": {"OFFERED": [["cs101"], ["cs202"]], "TAKES": []}, "scalars": {}}}}
+  {"id": 10, "ok": true, "result": {"relations": {"OFFERED": [["cs101"]], "TAKES": []}, "scalars": {}}}
+  {"id": 11, "ok": true, "result": {"relations": {"OFFERED": [["cs101"]], "TAKES": []}, "scalars": {}}}
+
+Errors are structured, echo the request id, and never kill the
+server:
+
+  $ fds client --socket fds.sock '{"id": 12, "op": "nope"}' '{"id": 13, "op": "ping"}'
+  {"id": 12, "ok": false, "error": {"phase": "parse", "code": "exec-failure", "message": "unknown operation \"nope\"", "context": {}}}
+  {"id": 13, "ok": true, "result": "pong"}
+
+A shutdown request stops the server gracefully:
+
+  $ fds client --socket fds.sock '{"id": 14, "op": "shutdown"}'
+  {"id": 14, "ok": true, "result": "bye"}
+  $ wait
+
+The server's own log is deterministic, the socket is unlinked, and
+the journal holds the one committed transaction, flushed:
+
+  $ cat server.log
+  fds: serving guarded on fds.sock
+  fds: server stopped (5 connections, 14 requests)
+  $ test -S fds.sock || echo "socket gone"
+  socket gone
+  $ cat srv.journal
+  call initiate
+  call offer cs101
+  commit
+
+The journal replays to the committed state:
+
+  $ fds replay guarded.schema srv.journal
+  replayed 1 transactions (2 calls)
+  
+  final state:
+  OFFERED = {(cs101)}
+  TAKES = {}
+

@@ -48,7 +48,7 @@ let test_canonical_design () =
       ~functions:University.functions ~representation:University.representation
   with
   | Ok _ -> ()
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail e.Fdbs_kernel.Error.message
 
 let suite =
   [

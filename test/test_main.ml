@@ -13,4 +13,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("observability", Test_observability.suite);
       ("properties", Test_props.suite);
+      ("service", Test_service.suite);
     ]

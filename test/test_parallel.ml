@@ -98,8 +98,10 @@ let domain = Fdbs.University.small_domain
 
 let test_check23_jobs_invariant () =
   let env = Semantics.env ~domain Fdbs.University.representation in
-  let r1 = Check23.check ~jobs:1 university env Fdbs.University.mapping in
-  let r4 = Check23.check ~jobs:4 university env Fdbs.University.mapping in
+  let r1 = Check23.check ~config:(Fdbs_kernel.Config.with_jobs 1) university env
+      Fdbs.University.mapping in
+  let r4 = Check23.check ~config:(Fdbs_kernel.Config.with_jobs 4) university env
+      Fdbs.University.mapping in
   checkb "jobs=1 passes" true (Check23.ok r1);
   checkb "identical reports" true (r1 = r4)
 
@@ -117,19 +119,19 @@ let test_check23_jobs_invariant_on_violation () =
       ~queries:Fdbs.University.mapping.Interp23.queries
   in
   let env = Semantics.env ~domain Fdbs.University.representation in
-  let r1 = Check23.check ~jobs:1 university env broken in
-  let r4 = Check23.check ~jobs:4 university env broken in
+  let r1 = Check23.check ~config:(Fdbs_kernel.Config.with_jobs 1) university env broken in
+  let r4 = Check23.check ~config:(Fdbs_kernel.Config.with_jobs 4) university env broken in
   checkb "violations found" true (r1.Check23.violations <> []);
   checkb "identical failing reports" true (r1 = r4)
 
 let test_check12_jobs_invariant () =
   let r1 =
-    Check12.check ~domain ~jobs:1 Fdbs.University.info university
-      Fdbs.University.interp
+    Check12.check ~domain ~config:(Fdbs_kernel.Config.with_jobs 1)
+      Fdbs.University.info university Fdbs.University.interp
   in
   let r4 =
-    Check12.check ~domain ~jobs:4 Fdbs.University.info university
-      Fdbs.University.interp
+    Check12.check ~domain ~config:(Fdbs_kernel.Config.with_jobs 4)
+      Fdbs.University.info university Fdbs.University.interp
   in
   checkb "jobs=1 passes" true (Check12.ok r1);
   checkb "same verdict" true (Check12.ok r1 = Check12.ok r4);
@@ -141,10 +143,13 @@ let test_check12_jobs_invariant () =
 let test_dynamic23_jobs_invariant () =
   let env = Semantics.env ~domain Fdbs.University.representation in
   let verdicts jobs =
-    match Dynamic23.check ~jobs university env Fdbs.University.mapping with
+    match
+      Dynamic23.check ~config:(Fdbs_kernel.Config.with_jobs jobs) university env
+        Fdbs.University.mapping
+    with
     | Ok vs ->
       List.map (fun v -> (v.Dynamic23.dyn_equation, v.Dynamic23.dyn_holds)) vs
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail e.Fdbs_kernel.Error.message
   in
   check
     Alcotest.(list (pair string bool))

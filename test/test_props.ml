@@ -371,7 +371,7 @@ let synthesized_schema =
       university.Spec.signature Fdbs.University.descriptions
   with
   | Ok sc -> sc
-  | Error e -> invalid_arg e
+  | Error e -> invalid_arg e.Fdbs_kernel.Error.message
 
 let prop_synthesized_agrees_on_random_traces =
   QCheck.Test.make ~name:"synthesized schema agrees with hand schema" ~count:100

@@ -369,7 +369,7 @@ let synthesized_schema =
       Fdbs.University.descriptions
   with
   | Ok sc -> sc
-  | Error e -> invalid_arg e
+  | Error e -> invalid_arg e.Fdbs_kernel.Error.message
 
 let test_synthesized_well_formed () =
   Alcotest.(check (list string)) "no schema errors" [] (Schema.check synthesized_schema)
@@ -421,7 +421,7 @@ let test_synthesized_schema_text_roundtrip () =
   let src = Fmt.str "%a" Schema.pp synthesized_schema in
   (match Rparser.schema src with
    | Ok _ -> ()
-   | Error e -> Alcotest.failf "printed schema does not reparse: %s" e);
+   | Error e -> Alcotest.failf "printed schema does not reparse: %s" e.Fdbs_kernel.Error.message);
   Alcotest.(check bool) "W-grammar accepts printed schema" true
     (Fdbs_wgrammar.Rpr_grammar.recognizes src)
 
@@ -458,7 +458,7 @@ let suite =
 let test_dynamic23_passes () =
   let env = Semantics.env ~domain:small_domain t3 in
   match Dynamic23.check t2 env mapping with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail e.Fdbs_kernel.Error.message
   | Ok verdicts ->
     Alcotest.(check int) "all 15 equations translated" 15 (List.length verdicts);
     List.iter
@@ -474,7 +474,7 @@ let test_dynamic23_agrees_with_semantic_route () =
   let env = Semantics.env ~domain:small_domain broken_t3 in
   let mapping = Interp23.canonical_exn t2.Spec.signature broken_t3 in
   (match Dynamic23.check t2 env mapping with
-   | Error e -> Alcotest.fail e
+   | Error e -> Alcotest.fail e.Fdbs_kernel.Error.message
    | Ok verdicts ->
      Alcotest.(check bool) "q6 violated via dynamic logic" false
        (List.find (fun (v : Dynamic23.verdict) -> v.Dynamic23.dyn_equation = "q6")

@@ -1,0 +1,247 @@
+(* Tests for the session-based service layer: warm planner caches
+   shared across session calls, transaction isolation between sessions
+   over one store, serializable concurrent commits (two client domains
+   against one store, checked against both serial reference orders),
+   structured budget errors that leave the store alive, and the wire
+   protocol's framing and dispatch. *)
+
+open Fdbs_kernel
+open Fdbs_rpr
+module Session = Fdbs_service.Session
+module Protocol = Fdbs_service.Protocol
+
+let v s = Value.Sym s
+
+let guarded_src =
+  {|
+schema guarded
+
+relation OFFERED(course)
+relation TAKES(student, course)
+
+constraint takes_offered: forall s:student. forall c:course. (TAKES(s, c) -> OFFERED(c))
+
+proc initiate() =
+  (OFFERED := {(c:course) | false} ; TAKES := {(s:student, c:course) | false})
+
+proc offer(c: course) = insert OFFERED(c)
+
+proc enroll_unchecked(s: student, c: course) = insert TAKES(s, c)
+
+end-schema
+|}
+
+let schema = Rparser.schema_exn guarded_src
+let db = Alcotest.testable Db.pp Db.equal
+
+let session_exn ?config () =
+  match Session.open_ ?config ~schema () with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "open_ failed: %s" (Error.to_string e)
+
+let run_exn s calls =
+  match Session.run s calls with
+  | Ok o -> o.Session.state
+  | Error f -> Alcotest.failf "run failed: %s" (Error.to_string f.Session.fail_error)
+
+(* --- planner cache stays warm across session calls --- *)
+
+let test_planner_cache_warm () =
+  let s = session_exn () in
+  (* creation compiled every constraint and assignment already *)
+  let h0, m0 = Planner.stats () in
+  ignore (run_exn s [ ("initiate", []); ("offer", [ v "cs101" ]) ]);
+  let h1, m1 = Planner.stats () in
+  Alcotest.(check bool) "first batch hits the warm cache" true (h1 > h0);
+  Alcotest.(check int) "no new plans compiled" m0 m1;
+  (* a later batch re-evaluating the same assignments hits again;
+     plain inserts never consult the planner, so route through initiate *)
+  ignore (run_exn s [ ("initiate", []); ("offer", [ v "cs102" ]) ]);
+  let h2, m2 = Planner.stats () in
+  Alcotest.(check bool) "hits keep rising across calls" true (h2 > h1);
+  Alcotest.(check int) "still no new plans" m1 m2
+
+(* --- transaction isolation between sessions over one store --- *)
+
+let test_txn_isolation () =
+  let a = session_exn () in
+  let b = Session.on_store (Session.store a) in
+  (match Session.begin_txn a with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "begin: %s" (Error.to_string e));
+  (match Session.run a [ ("offer", [ v "cs101" ]) ] with
+   | Ok _ -> ()
+   | Error f -> Alcotest.failf "txn run: %s" (Error.to_string f.Session.fail_error));
+  let offered st = Relation.cardinal (Db.relation_exn st "OFFERED") in
+  Alcotest.(check int) "A sees its uncommitted insert" 1 (offered (Session.db a));
+  Alcotest.(check int) "B does not" 0 (offered (Session.db b));
+  Alcotest.(check bool) "A is in a transaction" true (Session.in_txn a);
+  (match Session.commit a with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "commit: %s" (Error.to_string e));
+  Alcotest.(check int) "commit publishes to B" 1 (offered (Session.db b));
+  (* a rolled-back transaction leaves no trace *)
+  ignore (Session.begin_txn b);
+  ignore (Session.run b [ ("offer", [ v "cs102" ]) ]);
+  (match Session.rollback b with
+   | Ok st -> Alcotest.(check int) "rollback restores the store" 1 (offered st)
+   | Error e -> Alcotest.failf "rollback: %s" (Error.to_string e))
+
+(* --- serializable concurrent commits (QCheck) --- *)
+
+let call_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return ("initiate", []);
+        map (fun c -> ("offer", [ v c ])) (oneofl [ "cs101"; "cs102" ]);
+        map2
+          (fun s c -> ("enroll_unchecked", [ v s; v c ]))
+          (oneofl [ "ana"; "bob" ])
+          (oneofl [ "cs101"; "cs102" ]);
+      ])
+
+let batch_gen = QCheck.Gen.(list_size (int_range 1 4) call_gen)
+
+let pp_batch ppf calls =
+  Fmt.(list ~sep:(any "; ") Journal.pp_call) ppf calls
+
+let arbitrary_batches =
+  QCheck.make
+    ~print:(fun (a, b) -> Fmt.str "A=[%a] B=[%a]" pp_batch a pp_batch b)
+    QCheck.Gen.(pair batch_gen batch_gen)
+
+(* The reference model: apply the batch as one constraint-checked
+   transaction; a rollback is the identity. *)
+let serial_apply st batch =
+  let domain =
+    Domain.of_list
+      [
+        ("course", [ v "cs101"; v "cs102" ]);
+        ("student", [ v "ana"; v "bob" ]);
+      ]
+  in
+  let env = Semantics.env ~domain schema in
+  let txn = Txn.make ~check_constraints:true env in
+  match Txn.run txn batch st with Ok st' -> st' | Error rb -> rb.Txn.restored
+
+let concurrent_commits_serializable =
+  QCheck.Test.make ~name:"concurrent commits are serializable" ~count:25
+    arbitrary_batches (fun (batch_a, batch_b) ->
+      let config = Config.make ~check_constraints:true () in
+      let a = session_exn ~config () in
+      let b = Session.on_store (Session.store a) in
+      let client s batch () =
+        ignore (Session.begin_txn s);
+        ignore (Session.run s batch);
+        ignore (Session.commit s)
+      in
+      let da = Stdlib.Domain.spawn (client a batch_a) in
+      let db_ = Stdlib.Domain.spawn (client b batch_b) in
+      Stdlib.Domain.join da;
+      Stdlib.Domain.join db_;
+      let final = Session.db a in
+      let empty = Schema.empty_db schema in
+      let ab = serial_apply (serial_apply empty batch_a) batch_b in
+      let ba = serial_apply (serial_apply empty batch_b) batch_a in
+      Db.equal final ab || Db.equal final ba)
+
+(* --- budget exhaustion is a structured error, not a crash --- *)
+
+let test_budget_error () =
+  let config = Config.make ~steps:1 () in
+  let s = session_exn ~config () in
+  (match Session.run s [ ("initiate", []); ("offer", [ v "cs101" ]) ] with
+   | Ok _ -> Alcotest.fail "expected budget exhaustion"
+   | Error f ->
+     Alcotest.(check string)
+       "structured budget code" "budget-steps"
+       (Error.code_name f.Session.fail_error.Error.code));
+  (* the store survives: state intact, the session keeps answering *)
+  Alcotest.check db "state rolled to last good prefix" (Schema.empty_db schema)
+    (Session.db s);
+  (match Session.run s [ ("initiate", []) ] with
+   | Ok _ -> Alcotest.fail "budget still armed"
+   | Error f ->
+     Alcotest.(check string)
+       "every batch draws a fresh budget, same structured error" "budget-steps"
+       (Error.code_name f.Session.fail_error.Error.code))
+
+(* --- wire protocol: framing, dispatch, shutdown --- *)
+
+let roundtrip_frames payloads =
+  let path = Filename.temp_file "fds_proto" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      List.iter (Protocol.write_frame oc) payloads;
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go acc =
+            match Protocol.read_frame ic with
+            | Some p -> go (p :: acc)
+            | None -> List.rev acc
+          in
+          go []))
+
+let test_protocol_frames () =
+  let payloads = [ "{\"op\": \"ping\"}"; "{}"; String.make 300 'x' ] in
+  Alcotest.(check (list string)) "frames round-trip" payloads
+    (roundtrip_frames payloads)
+
+let has_prefix ~affix s =
+  String.length s >= String.length affix
+  && String.sub s 0 (String.length affix) = affix
+
+let handle_exn session src =
+  match Protocol.request_of_string src with
+  | Error e -> Alcotest.failf "bad request: %s" (Error.to_string e)
+  | Ok req -> Protocol.handle session req
+
+let test_protocol_dispatch () =
+  let s = session_exn ~config:(Config.make ~transactional:true ()) () in
+  (match handle_exn s {|{"id": 1, "op": "ping"}|} with
+   | Protocol.Reply r ->
+     Alcotest.(check string)
+       "ping" {|{"id": 1, "ok": true, "result": "pong"}|} r
+   | Protocol.Final _ -> Alcotest.fail "ping must not stop the server");
+  (match
+     handle_exn s {|{"id": 2, "op": "run", "calls": ["offer(cs101)"]}|}
+   with
+   | Protocol.Reply r ->
+     Alcotest.(check bool) "run ok" true
+       (has_prefix ~affix:{|{"id": 2, "ok": true|} r)
+   | Protocol.Final _ -> Alcotest.fail "run must not stop the server");
+  (match
+     handle_exn s {|{"id": 3, "op": "query", "wff": "exists c:course. OFFERED(c)"}|}
+   with
+   | Protocol.Reply r ->
+     Alcotest.(check string)
+       "query sees the committed state" {|{"id": 3, "ok": true, "result": true}|} r
+   | Protocol.Final _ -> Alcotest.fail "query must not stop the server");
+  (match handle_exn s {|{"id": 4, "op": "nope"}|} with
+   | Protocol.Reply r ->
+     Alcotest.(check bool) "unknown op is a structured error" true
+       (has_prefix ~affix:{|{"id": 4, "ok": false|} r)
+   | Protocol.Final _ -> Alcotest.fail "unknown op must not stop the server");
+  (match handle_exn s {|{"id": 5, "op": "shutdown"}|} with
+   | Protocol.Final _ -> ()
+   | Protocol.Reply _ -> Alcotest.fail "shutdown must stop the server")
+
+let suite =
+  [
+    Alcotest.test_case "planner cache stays warm across session calls" `Quick
+      test_planner_cache_warm;
+    Alcotest.test_case "transactions are isolated between sessions" `Quick
+      test_txn_isolation;
+    Alcotest.test_case "budget exhaustion is structured and survivable" `Quick
+      test_budget_error;
+    Alcotest.test_case "protocol frames round-trip" `Quick test_protocol_frames;
+    Alcotest.test_case "protocol dispatch over a session" `Quick
+      test_protocol_dispatch;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ concurrent_commits_serializable ]

@@ -226,7 +226,7 @@ let test_while_nondeterministic_body () =
     Alcotest.(check bool) "course drained" false
       (Semantics.query tight out
          (Fdbs_logic.Formula.pred "OFFERED" [ Fdbs_logic.Term.Lit (v "cs101") ]))
-  | Error e -> Alcotest.failf "drain: %s" e
+  | Error e -> Alcotest.failf "drain: %s" e.Fdbs_kernel.Error.message
 
 (* ------------------------------------------------------------------ *)
 (* Properties (qcheck)                                                 *)
