@@ -814,6 +814,81 @@ let bench_session_cold () =
       Planner.clear ();
       bench_session_request (bench_session_open ()))
 
+(* Recovery costs (E22). Crash recovery re-executes the journal; a
+   durable snapshot bounds that work to the tail committed after it.
+   Build a journal of [recovery_entries] committed transactions with a
+   snapshot covering all but [recovery_tail] of them, then measure
+   [Session.replay] with the snapshot present (bounded) against the
+   same journal with the snapshot hidden (full history). *)
+let recovery_entries = 300
+let recovery_tail = 10
+
+let with_recovery_journal f =
+  let journal = Filename.temp_file "fdbs_bench_recovery" ".journal" in
+  Sys.remove journal;
+  let snap = Replication.snapshot_path journal in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ journal; snap; snap ^ ".hidden" ])
+    (fun () ->
+      let config = Config.make ~transactional:true ~journal () in
+      let s =
+        match Session.open_text ~config session_schema_src with
+        | Ok s -> s
+        | Error _ -> invalid_arg "bench: recovery session open failed"
+      in
+      (match Session.run s [ ("initiate", []) ] with
+      | Ok _ -> ()
+      | Error _ -> invalid_arg "bench: recovery initiate failed");
+      for i = 2 to recovery_entries do
+        (match Session.run s [ ("offer", [ v (Fmt.str "c%d" i) ]) ] with
+        | Ok _ -> ()
+        | Error _ -> invalid_arg "bench: recovery offer failed");
+        if i = recovery_entries - recovery_tail then
+          let snapshot =
+            {
+              Replication.snap_epoch = 0;
+              snap_offset = i;
+              snap_db = Session.db s;
+            }
+          in
+          match Replication.save_snapshot snap snapshot with
+          | Ok () -> ()
+          | Error _ -> invalid_arg "bench: recovery snapshot failed"
+      done;
+      f journal snap)
+
+(* Both timings from one journal build: (full replay, snapshot-bounded
+   replay). The replay counts are asserted so the bench can't silently
+   measure the wrong regime. *)
+let bench_recovery () =
+  with_recovery_journal (fun journal snap ->
+      let s =
+        match Session.open_text session_schema_src with
+        | Ok s -> s
+        | Error _ -> invalid_arg "bench: recovery reader open failed"
+      in
+      let replay expected_entries () =
+        match Session.replay s journal with
+        | Ok r when r.Session.rep_entries = expected_entries -> ()
+        | Ok r ->
+            invalid_arg
+              (Fmt.str "bench: recovery replayed %d entries, expected %d"
+                 r.Session.rep_entries expected_entries)
+        | Error _ -> invalid_arg "bench: recovery replay failed"
+      in
+      let snapshot_ns = time_ns (replay recovery_tail) in
+      let hidden = snap ^ ".hidden" in
+      Sys.rename snap hidden;
+      let full_ns =
+        Fun.protect
+          ~finally:(fun () -> Sys.rename hidden snap)
+          (fun () -> time_ns (replay recovery_entries))
+      in
+      (full_ns, snapshot_ns))
+
 let json_escape s =
   String.concat ""
     (List.map
@@ -845,6 +920,14 @@ let run_json () =
       ("session_warm_request", bench_session_warm ());
     ]
   in
+  let metrics =
+    let recovery_full, recovery_snapshot = bench_recovery () in
+    metrics
+    @ [
+        ("recovery_full", recovery_full);
+        ("recovery_snapshot", recovery_snapshot);
+      ]
+  in
   let get name = List.assoc name metrics in
   let derived =
     [
@@ -865,6 +948,9 @@ let run_json () =
          per-request setup by the margin that justifies the daemon *)
       ( "session_warm_speedup",
         get "session_cold_request" /. get "session_warm_request" );
+      (* recovery bounded by a snapshot vs a full history re-run —
+         the number EXPERIMENTS.md's E22 reports *)
+      ("recovery_snapshot_speedup", get "recovery_full" /. get "recovery_snapshot");
     ]
   in
   let pp_fields ppf fields =
@@ -932,6 +1018,24 @@ let e21 () =
      assignment against a cold plan cache; the warm session keeps those and \
      pays only execution@."
 
+(* E22: crash recovery — snapshot-bounded replay vs full history       *)
+
+let e22 () =
+  Fmt.pr "@.E22: recovery: snapshot-bounded replay vs full journal replay@.";
+  Fmt.pr "----------------------------------------------------------------@.";
+  let full, snapshot = bench_recovery () in
+  Fmt.pr "  %-42s %a@."
+    (Fmt.str "full replay (%d entries)" recovery_entries)
+    pp_time full;
+  Fmt.pr "  %-42s %a@."
+    (Fmt.str "snapshot + %d-entry tail" recovery_tail)
+    pp_time snapshot;
+  Fmt.pr "  snapshot-bounded speedup: %.1fx@." (full /. snapshot);
+  Fmt.pr
+    "  shape: full recovery re-executes every committed entry, constraint \
+     checks included; a durable snapshot installs the captured state directly \
+     and re-runs only the tail committed after it@."
+
 (* --metrics-json: run a fixed deterministic workload (the small
    university verification, one domain) from zeroed instruments and
    print every counter delta — the numbers behind EXPERIMENTS.md's E20
@@ -972,7 +1076,7 @@ let () =
     run_json ();
     exit 0
   end;
-  Fmt.pr "fdbs benchmark harness — experiments E1..E21 (see DESIGN.md / EXPERIMENTS.md)@.";
+  Fmt.pr "fdbs benchmark harness — experiments E1..E22 (see DESIGN.md / EXPERIMENTS.md)@.";
   Fmt.pr "paper: Casanova, Veloso & Furtado, PODS 1984 (no quantitative tables;@.";
   Fmt.pr "the experiments measure the framework's checkers and evaluators).@.";
   e1 ();
@@ -995,4 +1099,5 @@ let () =
   e19 ();
   e20 ();
   e21 ();
+  e22 ();
   Fmt.pr "@.done.@."

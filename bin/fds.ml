@@ -133,15 +133,21 @@ let journal_arg =
   Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE"
          ~doc:"Append committed transactions to this write-ahead journal.")
 
+let fsync_arg =
+  Arg.(value & flag & info [ "fsync" ]
+         ~doc:"fsync the journal after every committed append, so a commit \
+               survives power loss, not just a process crash. Implied for a \
+               replication leader (fds serve --journal).")
+
 let config_term =
   let combine jobs strategy steps states ms check_constraints transactional
-      journal trace stats =
+      journal fsync trace stats =
     Config.make ?jobs ~strategy ?steps ?states ?ms ~check_constraints
-      ~transactional ?journal ?trace ~stats ()
+      ~transactional ?journal ~fsync ?trace ~stats ()
   in
   Term.(const combine $ jobs_arg $ strategy_arg $ budget_steps_arg
         $ budget_states_arg $ budget_ms_arg $ check_constraints_arg
-        $ transactional_arg $ journal_arg $ trace_arg $ stats_arg)
+        $ transactional_arg $ journal_arg $ fsync_arg $ trace_arg $ stats_arg)
 
 (* Apply the process-level parts of a configuration: the pool width and
    the at_exit trace/stats observers. The session-level parts travel
@@ -384,6 +390,9 @@ let replay_cmd =
       (match r.Session.rep_torn with
        | Some what -> Fmt.epr "fds: warning: journal %s: %s@." journal what
        | None -> ());
+      (match r.Session.rep_snapshot with
+       | Some off -> Fmt.pr "installed snapshot (offset %d)@." off
+       | None -> ());
       Fmt.pr "replayed %d transactions (%d calls)@.@.final state:@.%a@."
         r.Session.rep_entries r.Session.rep_calls Fdbs_rpr.Db.pp
         r.Session.rep_state
@@ -433,6 +442,18 @@ let listen_of socket tcp : Server.listen =
         | Some p when String.length host > 0 -> `Tcp (host, p)
         | _ -> exit_err "--tcp expects HOST:PORT, got %S" hp))
 
+(* A replication peer address: HOST:PORT when the suffix parses as a
+   port on a non-empty host, a Unix-domain socket path otherwise. *)
+let peer_of (addr : string) : Server.listen =
+  match String.rindex_opt addr ':' with
+  | None -> `Unix addr
+  | Some i ->
+    let host = String.sub addr 0 i in
+    let port = String.sub addr (i + 1) (String.length addr - i - 1) in
+    (match int_of_string_opt port with
+     | Some p when String.length host > 0 -> `Tcp (host, p)
+     | _ -> `Unix addr)
+
 let serve_cmd =
   let workers =
     Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
@@ -443,9 +464,23 @@ let serve_cmd =
            ~doc:"Attach an algebraic specification so clients can use the \
                  'eval' operation.")
   in
-  let run path socket tcp workers spec_path (config : Config.t) =
+  let follow_arg =
+    Arg.(value & opt (some string) None & info [ "follow" ] ~docv:"ADDR"
+           ~doc:"Run as a read-only replication follower of the leader at \
+                 ADDR (a Unix socket path or HOST:PORT): stream its \
+                 committed transactions, apply them locally, reject writes. \
+                 Requires --journal (the replica's own journal).")
+  in
+  let snapshot_every_arg =
+    Arg.(value & opt int 64 & info [ "snapshot-every" ] ~docv:"N"
+           ~doc:"Follower snapshot/truncation period in applied entries: \
+                 bounds crash recovery to at most N replayed entries.")
+  in
+  let run path socket tcp workers spec_path follow snapshot_every faults
+      (config : Config.t) =
     setup config;
     let listen = listen_of socket tcp in
+    let follow = Option.map peer_of follow in
     let spec =
       Option.map
         (fun p ->
@@ -459,11 +494,21 @@ let serve_cmd =
       | Ok s -> s
       | Error e -> exit_err "%s" e.Fdbs_kernel.Error.message
     in
+    arm_faults faults;
     let ready () =
-      Fmt.epr "fds: serving %s on %s@." schema.Fdbs_rpr.Schema.name
-        (Server.describe listen)
+      match follow with
+      | Some leader ->
+        Fmt.epr "fds: serving %s on %s (following %s)@."
+          schema.Fdbs_rpr.Schema.name (Server.describe listen)
+          (Server.describe leader)
+      | None ->
+        Fmt.epr "fds: serving %s on %s@." schema.Fdbs_rpr.Schema.name
+          (Server.describe listen)
     in
-    match Server.serve ~workers ?spec ~config ~ready listen schema with
+    match
+      Server.serve ~workers ?spec ~config ~ready ?follow ~snapshot_every
+        listen schema
+    with
     | Ok st ->
       Fmt.epr "fds: server stopped (%d connections, %d requests)@."
         st.Server.served_connections st.Server.served_requests
@@ -474,11 +519,13 @@ let serve_cmd =
        ~doc:
          "Serve a schema over a socket: one warm session per connection, \
           length-prefixed JSON frames (see the protocol reference in the \
-          README). A 'shutdown' request, SIGINT or SIGTERM stops the \
-          server gracefully: the journal is already durable per commit, \
-          the trace observer fires on exit.")
+          README). With --journal the server is a replication leader \
+          (fsynced journal, serves the 'fetch' op); with --follow it is a \
+          read-only follower of a leader. A 'shutdown' request, SIGINT or \
+          SIGTERM stops the server gracefully: the journal is already \
+          durable per commit, the trace observer fires on exit.")
     Term.(const run $ schema_file $ socket_arg $ tcp_arg $ workers $ spec_opt
-          $ config_term)
+          $ follow_arg $ snapshot_every_arg $ fault_arg $ config_term)
 
 let client_cmd =
   let requests =
@@ -486,41 +533,93 @@ let client_cmd =
            ~doc:"JSON request objects, e.g. '{\"id\": 1, \"op\": \"ping\"}'. \
                  With no positional requests, one request per stdin line.")
   in
-  let run socket tcp requests =
+  let retries_arg =
+    Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N"
+           ~doc:"Retry a transient connection failure (connection refused or \
+                 reset, missing socket, or a close before the first \
+                 response) up to N times with capped exponential backoff \
+                 plus jitter — de-flakes scripts racing a server boot.")
+  in
+  let run socket tcp retries requests =
     let addr =
       match listen_of socket tcp with
       | `Unix path -> Unix.ADDR_UNIX path
       | `Tcp (host, port) -> Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
     in
-    let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
-    (match Unix.connect sock addr with
-     | exception Unix.Unix_error (err, _, _) ->
-       exit_err "cannot connect: %s" (Unix.error_message err)
-     | () -> ());
-    let ic = Unix.in_channel_of_descr sock in
-    let oc = Unix.out_channel_of_descr sock in
-    let exchange req =
-      Protocol.write_frame oc req;
-      match Protocol.read_frame ic with
-      | Some resp -> print_endline resp
-      | None -> exit_err "server closed the connection"
+    Random.self_init ();
+    let backoff attempt =
+      (* 0.1s * 2^attempt, capped at 1s, with +/-25% jitter so racing
+         clients don't reconnect in lockstep *)
+      let base = Stdlib.min 1.0 (0.1 *. (2. ** float_of_int attempt)) in
+      Unix.sleepf (base *. (0.75 +. Random.float 0.5))
     in
-    (match requests with
-     | [] ->
-       (try
-          while true do
-            let line = String.trim (input_line stdin) in
-            if line <> "" then exchange line
-          done
-        with End_of_file -> ())
-     | reqs -> List.iter exchange reqs);
-    close_out_noerr oc
+    let transient = function
+      | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ENOENT
+      | Unix.ENETUNREACH | Unix.EPIPE -> true
+      | _ -> false
+    in
+    let rec connect attempt =
+      let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+      match Unix.connect sock addr with
+      | () -> sock
+      | exception Unix.Unix_error (err, _, _) ->
+        Unix.close sock;
+        if attempt < retries && transient err then (
+          backoff attempt;
+          connect (attempt + 1))
+        else exit_err "cannot connect: %s" (Unix.error_message err)
+    in
+    let responded = ref 0 in
+    (* A close before any response usually means the server died (or was
+       killed) between accept and reply: for positional requests nothing
+       was consumed yet, so the whole batch can retry on a fresh
+       connection. Once a response has printed, or in stdin mode (lines
+       already consumed), a close is fatal. *)
+    let rec session attempt =
+      let sock = connect attempt in
+      let ic = Unix.in_channel_of_descr sock in
+      let oc = Unix.out_channel_of_descr sock in
+      let exchange req =
+        Protocol.write_frame oc req;
+        match Protocol.read_frame ic with
+        | Some resp ->
+          print_endline resp;
+          incr responded
+        | None -> raise End_of_file
+      in
+      let rec stdin_loop () =
+        (* catch only stdin's own end: a close from the server side
+           (exchange) must propagate *)
+        match input_line stdin with
+        | exception End_of_file -> ()
+        | line ->
+          let line = String.trim line in
+          if line <> "" then exchange line;
+          stdin_loop ()
+      in
+      match
+        match requests with
+        | [] -> stdin_loop ()
+        | reqs -> List.iter exchange reqs
+      with
+      | () -> close_out_noerr oc
+      | exception (End_of_file | Sys_error _ | Error.Error _)
+        when !responded = 0 && requests <> [] && attempt < retries ->
+        close_out_noerr oc;
+        backoff attempt;
+        session (attempt + 1)
+      | exception (End_of_file | Sys_error _) ->
+        close_out_noerr oc;
+        exit_err "server closed the connection"
+    in
+    session 0
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Send protocol requests to a running fds server and print one \
-             JSON response per line.")
-    Term.(const run $ socket_arg $ tcp_arg $ requests)
+             JSON response per line. Transient connection failures retry \
+             with backoff (see --retries).")
+    Term.(const run $ socket_arg $ tcp_arg $ retries_arg $ requests)
 
 (* ------------------------------------------------------------------ *)
 (* verify-files                                                        *)

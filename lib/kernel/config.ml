@@ -10,6 +10,7 @@ type t = {
   check_constraints : bool;
   transactional : bool;
   journal : string option;
+  fsync : bool;
   trace : string option;
   stats : bool;
 }
@@ -25,13 +26,14 @@ let default =
     check_constraints = true;
     transactional = false;
     journal = None;
+    fsync = false;
     trace = None;
     stats = false;
   }
 
 let make ?jobs ?(strategy = `Auto) ?star_limit ?steps ?states ?ms
-    ?(check_constraints = true) ?(transactional = false) ?journal ?trace
-    ?(stats = false) () =
+    ?(check_constraints = true) ?(transactional = false) ?journal
+    ?(fsync = false) ?trace ?(stats = false) () =
   {
     jobs;
     strategy;
@@ -42,6 +44,7 @@ let make ?jobs ?(strategy = `Auto) ?star_limit ?steps ?states ?ms
     check_constraints;
     transactional;
     journal;
+    fsync;
     trace;
     stats;
   }

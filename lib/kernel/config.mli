@@ -19,6 +19,10 @@ type t = {
       (** check the schema's integrity constraints at commit *)
   transactional : bool;  (** run call batches as atomic transactions *)
   journal : string option;  (** write-ahead journal path *)
+  fsync : bool;
+      (** fsync the journal after every committed entry, so commits
+          survive power loss (not just a process crash); replication
+          leaders force this on *)
   trace : string option;  (** Chrome-trace output file *)
   stats : bool;  (** print the metrics snapshot on exit *)
 }
@@ -39,6 +43,7 @@ val make :
   ?check_constraints:bool ->
   ?transactional:bool ->
   ?journal:string ->
+  ?fsync:bool ->
   ?trace:string ->
   ?stats:bool ->
   unit ->

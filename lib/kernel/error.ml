@@ -26,6 +26,9 @@ type code =
           cannot handle, under the [`Compiled] evaluation strategy *)
   | Io_failure
   | Replay_mismatch
+  | Read_only  (** a write sent to a read-only replica *)
+  | Stale_epoch
+      (** a replication fetch from an epoch ahead of the leader's *)
 
 let code_name = function
   | Budget_exhausted r -> "budget-" ^ Budget.resource_name r
@@ -38,6 +41,8 @@ let code_name = function
   | Not_compilable _ -> "not-compilable"
   | Io_failure -> "io-failure"
   | Replay_mismatch -> "replay-mismatch"
+  | Read_only -> "read-only"
+  | Stale_epoch -> "stale-epoch"
 
 type t = {
   code : code;

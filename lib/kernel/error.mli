@@ -18,6 +18,9 @@ type code =
           cannot handle, under the [`Compiled] evaluation strategy *)
   | Io_failure
   | Replay_mismatch
+  | Read_only  (** a write sent to a read-only replica *)
+  | Stale_epoch
+      (** a replication fetch from an epoch ahead of the leader's *)
 
 val code_name : code -> string
 

@@ -3,7 +3,17 @@
     Execution code calls {!hit} at named sites; an armed fault fires
     there — aborting, exhausting a budget, or flipping the next
     constraint verdict. Site-keyed ({!arm}) or probabilistic
-    ({!arm_probability}, seeded PRNG); nothing fires unless armed. *)
+    ({!arm_probability}, seeded PRNG); nothing fires unless armed.
+
+    Transaction sites: [txn.begin], [txn.commit], [txn.constraint],
+    [journal.append], [semantics.exec]. Replication sites:
+    [replication.snapshot] fires between writing a snapshot's temp file
+    and renaming it into place (a torn snapshot on disk — recovery must
+    fall back to the previous snapshot plus a longer replay);
+    [replication.fetch] fires in the leader's fetch handler (the
+    server drops the connection — a stream cut mid-entry, exercising
+    follower reconnect); [replication.apply] fires before a follower
+    applies a fetched entry (the entry is retried on the next fetch). *)
 
 type action =
   | Abort  (** raise {!Injected} at the site *)

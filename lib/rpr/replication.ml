@@ -1,0 +1,361 @@
+(** Leader/follower replication over the write-ahead {!Journal}.
+
+    The paper's RPR level makes database state the deterministic result
+    of a sequence of committed transactions, so the journal {e is} a
+    replication log: any replica that applies the same committed
+    entries in order converges to the leader's state. This module
+    supplies the two halves that turn that observation into a
+    subsystem:
+
+    - {b snapshots} — a durable [Db.t] plus the offset of the last
+      entry folded into it. A snapshot bounds recovery (replay only the
+      journal tail behind it) and legalizes truncation: the journal may
+      be cut {e only} behind a snapshot that is already renamed into
+      place, so a crash at any point leaves a recoverable pair.
+    - {b the leader log} — an incremental, lock-protected view of the
+      leader's journal that the [fetch] protocol op streams from:
+      entries stamped with absolute offsets and epochs, refreshed by
+      reading only the bytes appended since the last look.
+
+    Epochs are leadership terms: every leader boot appends a fresh
+    [epoch] marker ({!lead}), and fetches from an epoch {e ahead} of
+    the leader's are rejected as [Stale_epoch] — a resurrected old
+    leader cannot silently feed a follower that has seen a newer
+    term. *)
+
+open Fdbs_kernel
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  snap_epoch : int;  (** epoch of the last entry folded in *)
+  snap_offset : int;  (** absolute offset of the last entry folded in *)
+  snap_db : Db.t;  (** the state after entries [1..snap_offset] *)
+}
+
+let snapshot_path journal = journal ^ ".snap"
+
+let io_error path msg =
+  Error.makef Error.Io Error.Io_failure "snapshot %s: %s" path msg
+
+(* The on-disk snapshot is line-oriented like the journal, with an
+   explicit [end] terminator so a torn write is detectable:
+
+     fdbs-snapshot 1
+     epoch E
+     offset N
+     rel NAME
+     t v1 v2 ...
+     scalar NAME v
+     end
+
+   Values use the journal's CLI serialization heuristic. *)
+
+(** Write [s] durably to [path]: temp file, fsync, atomic rename. The
+    [replication.snapshot] fault site fires {e between} the fsync and
+    the rename — the torn-snapshot window — and surfaces as a
+    structured error; the previous snapshot (if any) stays in place. *)
+let save_snapshot (path : string) (s : snapshot) : (unit, Error.t) result =
+  let tmp = path ^ ".tmp" in
+  match
+    let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc "fdbs-snapshot 1\n";
+        output_string oc (Fmt.str "epoch %d\n" s.snap_epoch);
+        output_string oc (Fmt.str "offset %d\n" s.snap_offset);
+        List.iter
+          (fun (name, rel) ->
+            output_string oc (Fmt.str "rel %s\n" name);
+            List.iter
+              (fun tuple ->
+                output_string oc
+                  (String.concat " " ("t" :: List.map Value.to_string tuple));
+                output_char oc '\n')
+              (Relation.to_list rel))
+          (Db.relations s.snap_db);
+        List.iter
+          (fun (name, v) ->
+            output_string oc (Fmt.str "scalar %s %s\n" name (Value.to_string v)))
+          (Db.scalars s.snap_db);
+        output_string oc "end\n";
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc))
+  with
+  | exception Sys_error msg -> Result.Error (io_error path msg)
+  | exception Unix.Unix_error (err, _, _) ->
+    Result.Error (io_error path (Unix.error_message err))
+  | () -> (
+      match
+        Fault.hit "replication.snapshot";
+        Sys.rename tmp path
+      with
+      | () -> Ok ()
+      | exception Sys_error msg -> Result.Error (io_error path msg)
+      | exception Fault.Injected site ->
+        Result.Error
+          (Error.makef Error.Io (Error.Fault_injected site)
+             "snapshot %s: fault injected at %s (torn snapshot left at %s)"
+             path site tmp))
+
+(** Read the snapshot at [path] back against [schema].
+
+    Robustness-first: a missing file is [Ok (None, None)], and {e any}
+    unusable snapshot — torn (no [end] terminator), corrupt, or
+    referencing relations the schema does not declare — is
+    [Ok (None, Some reason)]: the caller falls back to a longer replay
+    instead of an outage. Only an I/O failure reading an existing file
+    is an [Error]. *)
+let load_snapshot ~(schema : Schema.t) (path : string) :
+  (snapshot option * string option, Error.t) result =
+  if not (Sys.file_exists path) then Ok (None, None)
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error msg -> Result.Error (io_error path msg)
+    | exception End_of_file -> Result.Error (io_error path "unreadable")
+    | content ->
+      let unusable reason = Ok (None, Some (Fmt.str "snapshot %s: %s" path reason)) in
+      let lines = String.split_on_char '\n' content in
+      (match lines with
+       | "fdbs-snapshot 1" :: rest ->
+         let epoch = ref None in
+         let offset = ref None in
+         let db = ref (Schema.empty_db schema) in
+         let current = ref None in  (* relation under construction *)
+         let finished = ref false in
+         let failure = ref None in
+         let fail reason = if !failure = None then failure := Some reason in
+         let flush_current () =
+           match !current with
+           | None -> ()
+           | Some (name, sorts, tuples) ->
+             db := Db.with_relation name (Relation.of_list sorts (List.rev tuples)) !db;
+             current := None
+         in
+         List.iter
+           (fun line ->
+             if !failure = None && not !finished then
+               match String.split_on_char ' ' (String.trim line) with
+               | [ "" ] -> ()
+               | [ "end" ] -> flush_current (); finished := true
+               | [ "epoch"; n ] -> (
+                   match int_of_string_opt n with
+                   | Some e when e >= 0 -> epoch := Some e
+                   | _ -> fail (Fmt.str "bad epoch line %S" line))
+               | [ "offset"; n ] -> (
+                   match int_of_string_opt n with
+                   | Some o when o >= 0 -> offset := Some o
+                   | _ -> fail (Fmt.str "bad offset line %S" line))
+               | [ "rel"; name ] -> (
+                   flush_current ();
+                   match Db.relation !db name with
+                   | None -> fail (Fmt.str "unknown relation %s" name)
+                   | Some r -> current := Some (name, Relation.sorts r, []))
+               | "t" :: vals -> (
+                   let tuple = List.map Journal.value_of_string vals in
+                   match !current with
+                   | None -> fail "tuple outside a relation block"
+                   | Some (name, sorts, tuples) ->
+                     if List.length tuple <> List.length sorts then
+                       fail (Fmt.str "arity mismatch in relation %s" name)
+                     else current := Some (name, sorts, tuple :: tuples))
+               | [ "scalar"; name; v ] ->
+                 flush_current ();
+                 db := Db.with_scalar name (Journal.value_of_string v) !db
+               | _ -> fail (Fmt.str "malformed line %S" line))
+           rest;
+         (match (!failure, !finished, !epoch, !offset) with
+          | Some reason, _, _, _ -> unusable reason
+          | None, false, _, _ -> unusable "torn (no end marker)"
+          | None, true, Some e, Some o ->
+            Ok (Some { snap_epoch = e; snap_offset = o; snap_db = !db }, None)
+          | None, true, _, _ -> unusable "missing epoch/offset header")
+       | _ -> unusable "bad header (not an fdbs snapshot)")
+
+(* ------------------------------------------------------------------ *)
+(* The leader log                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* An incremental view of the leader's own journal. [pos] is the byte
+   offset of the last record boundary consumed; a refresh reads only
+   [pos ..] and parses whole lines, so streaming fetches cost O(new
+   bytes), not O(journal). A shrink or inode change (truncation,
+   rotation) forces a full reload. *)
+type log = {
+  path : string;
+  lock : Mutex.t;
+  mutable ino : int;  (* -1 when the file does not exist yet *)
+  mutable pos : int;
+  mutable l_base : int;
+  mutable l_epoch : int;
+  mutable l_entries : Journal.stamped list;  (* newest first *)
+  mutable l_count : int;  (* entries beyond base *)
+  mutable l_pending : Journal.call list;  (* calls after the boundary *)
+}
+
+let path (l : log) = l.path
+let epoch (l : log) = Mutex.protect l.lock (fun () -> l.l_epoch)
+let base (l : log) = Mutex.protect l.lock (fun () -> l.l_base)
+
+(** The absolute offset of the last committed entry. *)
+let last_offset (l : log) =
+  Mutex.protect l.lock (fun () -> l.l_base + l.l_count)
+
+let reset (l : log) =
+  l.ino <- -1;
+  l.pos <- 0;
+  l.l_base <- 0;
+  l.l_epoch <- 0;
+  l.l_entries <- [];
+  l.l_count <- 0;
+  l.l_pending <- []
+
+(* Parse the complete lines of [segment] (bytes [l.pos ..] of the
+   file), advancing the boundary past each complete record. Trailing
+   bytes after the last newline — and call lines with no commit yet —
+   stay unconsumed: they are re-read on the next refresh. *)
+let consume (l : log) (segment : string) : (unit, Error.t) result =
+  let len = String.length segment in
+  let error = ref None in
+  let start = ref 0 in
+  (* [boundary] tracks bytes consumed *relative to the segment*. *)
+  let boundary = ref 0 in
+  (try
+     while !error = None && !start < len do
+       match String.index_from_opt segment !start '\n' with
+       | None -> raise Exit
+       | Some nl ->
+         let line = String.sub segment !start (nl - !start) in
+         let at_start = l.pos = 0 && !boundary = 0 && l.l_pending = [] in
+         (match Journal.parse_line line with
+          | Journal.L_blank ->
+            if l.l_pending = [] then boundary := nl + 1
+          | Journal.L_commit ->
+            l.l_entries <-
+              {
+                Journal.offset = l.l_base + l.l_count + 1;
+                ep = l.l_epoch;
+                entry = { Journal.calls = List.rev l.l_pending };
+              }
+              :: l.l_entries;
+            l.l_count <- l.l_count + 1;
+            l.l_pending <- [];
+            boundary := nl + 1
+          | Journal.L_call c ->
+            l.l_pending <- c :: l.l_pending
+          | Journal.L_epoch e ->
+            l.l_epoch <- max l.l_epoch e;
+            if l.l_pending = [] then boundary := nl + 1
+          | Journal.L_base b when at_start ->
+            l.l_base <- b;
+            boundary := nl + 1
+          | Journal.L_base _ | Journal.L_malformed ->
+            error :=
+              Some
+                (Error.makef Error.Io Error.Io_failure
+                   "journal %s: malformed line %S at byte %d" l.path line
+                   (l.pos + !start)));
+         start := nl + 1
+     done
+   with Exit -> ());
+  (* drop pending calls that were not sealed by a commit: they will be
+     re-read (completed) on the next refresh *)
+  l.l_pending <- [];
+  l.pos <- l.pos + !boundary;
+  match !error with None -> Ok () | Some e -> Result.Error e
+
+(** Bring the view up to date with the file, reading only appended
+    bytes; reloads from scratch after truncation or rotation. *)
+let refresh (l : log) : (unit, Error.t) result =
+  Mutex.protect l.lock (fun () ->
+      match Unix.stat l.path with
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+        reset l;
+        Ok ()
+      | exception Unix.Unix_error (err, _, _) ->
+        Result.Error
+          (Error.makef Error.Io Error.Io_failure "journal %s: %s" l.path
+             (Unix.error_message err))
+      | st ->
+        if st.Unix.st_ino <> l.ino || st.Unix.st_size < l.pos then (
+          reset l;
+          l.ino <- st.Unix.st_ino);
+        if st.Unix.st_size = l.pos then Ok ()
+        else (
+          match
+            let ic = open_in_bin l.path in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () ->
+                seek_in ic l.pos;
+                really_input_string ic (st.Unix.st_size - l.pos))
+          with
+          | exception Sys_error msg ->
+            Result.Error
+              (Error.makef Error.Io Error.Io_failure "journal %s: %s" l.path msg)
+          | exception End_of_file ->
+            (* racing writer shrank the file between stat and read *)
+            reset l;
+            Ok ()
+          | segment -> consume l segment))
+
+let open_log (journal : string) : (log, Error.t) result =
+  let l =
+    {
+      path = journal;
+      lock = Mutex.create ();
+      ino = -1;
+      pos = 0;
+      l_base = 0;
+      l_epoch = 0;
+      l_entries = [];
+      l_count = 0;
+      l_pending = [];
+    }
+  in
+  match refresh l with Ok () -> Ok l | Result.Error e -> Result.Error e
+
+(** [entries_from l k] is the committed entries with offsets [> k], in
+    order, capped at [max] (default 512) per call — the fetch payload.
+    Empty when [k] is already the last offset ({e heartbeat}) or when
+    [k < base l] (the caller must install the snapshot first). *)
+let entries_from ?(max = 512) (l : log) (k : int) : Journal.stamped list =
+  Mutex.protect l.lock (fun () ->
+      if k < l.l_base then []
+      else
+        let want = Stdlib.min max (l.l_base + l.l_count - k) in
+        if want <= 0 then []
+        else
+          (* newest-first list: skip entries beyond [k + want], then
+             take the window *)
+          let rec go acc n = function
+            | [] -> acc
+            | (s : Journal.stamped) :: rest ->
+              if s.Journal.offset > k + n then go acc n rest
+              else if s.Journal.offset > k then go (s :: acc) n rest
+              else acc
+          in
+          go [] want l.l_entries)
+
+(** Assume leadership over [journal]: load it, bump the epoch past
+    everything the file has seen, and stamp the new term with a durable
+    [epoch] marker. The returned log serves [fetch] requests. *)
+let lead ~(journal : string) : (log, Error.t) result =
+  match open_log journal with
+  | Result.Error e -> Result.Error e
+  | Ok l -> (
+      let e = epoch l + 1 in
+      match Journal.append_epoch ~fsync:true journal e with
+      | Result.Error e -> Result.Error e
+      | Ok () -> (
+          match refresh l with
+          | Ok () -> Ok l
+          | Result.Error e -> Result.Error e))

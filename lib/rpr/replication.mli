@@ -1,0 +1,60 @@
+(** Leader/follower replication over the write-ahead {!Journal}: the
+    journal as a replication log, durable snapshots that bound recovery
+    and legalize truncation, and the leader's incremental log view that
+    the [fetch] protocol op streams from. Epochs are leadership terms —
+    {!lead} stamps a fresh one at every leader boot, and fetches from
+    an epoch ahead of the leader's are rejected as stale. *)
+
+open Fdbs_kernel
+
+(** A durable state capture: the database after applying entries
+    [1..snap_offset] of the history, and the epoch of the last entry
+    folded in. *)
+type snapshot = {
+  snap_epoch : int;
+  snap_offset : int;
+  snap_db : Db.t;
+}
+
+(** Where the snapshot for a journal lives: [journal ^ ".snap"]. *)
+val snapshot_path : string -> string
+
+(** Write the snapshot durably: temp file, fsync, atomic rename. The
+    [replication.snapshot] fault site fires between fsync and rename —
+    the torn-snapshot window — and surfaces as a structured error with
+    the previous snapshot left intact. *)
+val save_snapshot : string -> snapshot -> (unit, Error.t) result
+
+(** Read a snapshot back against [schema]. Missing file:
+    [Ok (None, None)]. {e Any} unusable snapshot — torn (no [end]
+    terminator), corrupt, wrong schema — is [Ok (None, Some reason)]:
+    the caller falls back to a longer replay instead of an outage.
+    Only an I/O failure reading an existing file is [Error]. *)
+val load_snapshot :
+  schema:Schema.t -> string -> (snapshot option * string option, Error.t) result
+
+(** The leader's incremental, lock-protected view of its own journal.
+    A {!refresh} reads only the bytes appended since the last look;
+    truncation or rotation forces a full reload. *)
+type log
+
+val open_log : string -> (log, Error.t) result
+
+(** Assume leadership over [journal]: load it, bump the epoch past
+    everything the file has seen, and stamp the new term with a
+    durable [epoch] marker. *)
+val lead : journal:string -> (log, Error.t) result
+
+val refresh : log -> (unit, Error.t) result
+val path : log -> string
+val epoch : log -> int
+val base : log -> int
+
+(** The absolute offset of the last committed entry. *)
+val last_offset : log -> int
+
+(** [entries_from l k] is the committed entries with offsets [> k] in
+    order, capped at [max] (default 512) — the fetch payload. Empty
+    when [k] is current (heartbeat) or when [k < base l] (the follower
+    must install the snapshot first). *)
+val entries_from : ?max:int -> log -> int -> Journal.stamped list

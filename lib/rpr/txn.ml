@@ -21,10 +21,12 @@ type t = {
           own — e.g. the L1 theory's static constraints carried down
           through the refinement interpretation *)
   journal : string option;  (** journal file path *)
+  fsync : bool;  (** fsync journal appends (power-loss durability) *)
 }
 
-let make ?(check_constraints = true) ?(extra_constraints = []) ?journal env =
-  { txn_env = env; check_constraints; extra_constraints; journal }
+let make ?(check_constraints = true) ?(extra_constraints = []) ?journal
+    ?(fsync = false) env =
+  { txn_env = env; check_constraints; extra_constraints; journal; fsync }
 
 (** A rolled-back transaction: the structured error and the restored
     pre-transaction state (always [Db.equal] to the snapshot). *)
@@ -132,7 +134,7 @@ let run ?budget (txn : t) (calls : Journal.call list) (db : Db.t) :
           | Some path ->
             span "txn.journal" (fun () ->
                 Fault.hit "journal.append";
-                Journal.append path { Journal.calls })
+                Journal.append ~fsync:txn.fsync path { Journal.calls })
         in
         Ok final)
   in
@@ -168,28 +170,38 @@ let run ?budget (txn : t) (calls : Journal.call list) (db : Db.t) :
     span "txn.rollback" (fun () -> ());
     rolled_back e
 
+(** Re-run [entries] as transactions from [db] without re-journaling:
+    the shared recovery loop — [fds replay] drives it over a loaded
+    journal, the replication follower over a fetched batch plus the
+    journal tail behind its snapshot. [first] numbers the error context
+    when the entries are a tail of a longer history. *)
+let replay_entries ?budget ?(first = 1) (txn : t)
+    (entries : Journal.entry list) (db : Db.t) : (Db.t, Error.t) result =
+  let txn = { txn with journal = None } in
+  let rec go i db = function
+    | [] -> Ok db
+    | (entry : Journal.entry) :: rest -> (
+        match run ?budget txn entry.Journal.calls db with
+        | Ok db' -> go (i + 1) db' rest
+        | Result.Error { error; _ } ->
+          Result.Error
+            {
+              error with
+              Error.phase = Error.Replay;
+              context = ("entry", string_of_int i) :: error.Error.context;
+            })
+  in
+  go first db entries
+
 (** Re-run every committed entry of the journal at [path] as a
     transaction from [db]: the recovery path. Entries are not
     re-journaled; the result is the journaled run's committed state,
-    reproduced exactly. *)
+    reproduced exactly. Journals truncated behind a snapshot are an
+    error here ({!Journal.load}); the snapshot-aware recovery lives in
+    [Fdbs_service.Session.replay]. *)
 let replay ?budget (txn : t) (path : string) (db : Db.t) : (Db.t, Error.t) result =
   match Journal.load path with
   | Result.Error e -> Result.Error { e with Error.phase = Error.Replay }
   (* a torn tail was already dropped by {!Journal.load}; the CLI is
      responsible for surfacing the warning *)
-  | Ok (entries, _torn) ->
-    let txn = { txn with journal = None } in
-    let rec go i db = function
-      | [] -> Ok db
-      | (entry : Journal.entry) :: rest -> (
-          match run ?budget txn entry.Journal.calls db with
-          | Ok db' -> go (i + 1) db' rest
-          | Result.Error { error; _ } ->
-            Result.Error
-              {
-                error with
-                Error.phase = Error.Replay;
-                context = ("entry", string_of_int i) :: error.Error.context;
-              })
-    in
-    go 1 db entries
+  | Ok (entries, _torn) -> replay_entries ?budget txn entries db

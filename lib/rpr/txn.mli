@@ -15,12 +15,14 @@ type t = {
           own — e.g. the L1 theory's static constraints carried down
           through the refinement interpretation *)
   journal : string option;  (** journal file path *)
+  fsync : bool;  (** fsync journal appends (power-loss durability) *)
 }
 
 val make :
   ?check_constraints:bool ->
   ?extra_constraints:(string * Fdbs_logic.Formula.t) list ->
   ?journal:string ->
+  ?fsync:bool ->
   Semantics.env ->
   t
 
@@ -37,6 +39,20 @@ val pp_rollback : rollback Fmt.t
 val run :
   ?budget:Budget.t -> t -> Journal.call list -> Db.t -> (Db.t, rollback) result
 
+(** Re-run a list of entries as transactions from the given state
+    without re-journaling — the shared recovery loop. [first] numbers
+    the error context when the entries are a tail of a longer
+    history. *)
+val replay_entries :
+  ?budget:Budget.t ->
+  ?first:int ->
+  t ->
+  Journal.entry list ->
+  Db.t ->
+  (Db.t, Error.t) result
+
 (** Re-run every committed journal entry as a transaction from the
-    given state — the recovery path. Entries are not re-journaled. *)
+    given state — the recovery path. Entries are not re-journaled.
+    Journals truncated behind a snapshot are an error; the
+    snapshot-aware recovery lives in [Fdbs_service.Session.replay]. *)
 val replay : ?budget:Budget.t -> t -> string -> Db.t -> (Db.t, Error.t) result

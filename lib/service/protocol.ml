@@ -46,6 +46,53 @@ let db_to_json (db : Db.t) : Json.t =
       ("scalars", Json.Obj (List.map scalar (Db.scalars db)));
     ]
 
+(* The inverse, against a schema: how a follower decodes a leader
+   snapshot shipped inside a fetch response. *)
+let db_of_json ~(schema : Schema.t) (v : Json.t) : (Db.t, Error.t) result =
+  let ( let* ) = Result.bind in
+  let fields = function Some (Json.Obj fs) -> Ok fs | _ -> Ok [] in
+  let* rels = fields (Json.field "relations" v) in
+  let* scalars = fields (Json.field "scalars" v) in
+  let empty = Schema.empty_db schema in
+  let* db =
+    List.fold_left
+      (fun acc (name, tuples) ->
+        let* db = acc in
+        match Db.relation empty name with
+        | None -> Result.Error (proto_error "state names unknown relation %s" name)
+        | Some r0 ->
+          let sorts = Relation.sorts r0 in
+          (match Json.to_list_opt tuples with
+           | None ->
+             Result.Error (proto_error "relation %s: tuples must be an array" name)
+           | Some items ->
+             let* tuples =
+               Util.result_all
+                 (List.map
+                    (fun item ->
+                      match Json.to_list_opt item with
+                      | None ->
+                        Result.Error
+                          (proto_error "relation %s: tuple must be an array" name)
+                      | Some vs ->
+                        let vals = List.filter_map value_of_json vs in
+                        if List.length vals <> List.length sorts then
+                          Result.Error
+                            (proto_error "relation %s: arity mismatch" name)
+                        else Ok vals)
+                    items)
+             in
+             Ok (Db.with_relation name (Relation.of_list sorts tuples) db)))
+      (Ok empty) rels
+  in
+  List.fold_left
+    (fun acc (name, jv) ->
+      let* db = acc in
+      match value_of_json jv with
+      | Some value -> Ok (Db.with_scalar name value db)
+      | None -> Result.Error (proto_error "scalar %s: not a scalar value" name))
+    (Ok db) scalars
+
 (* --- procedure calls --- *)
 
 (* The same concrete syntax the CLI accepts on the command line:
@@ -189,26 +236,263 @@ let params_of_request req :
                      "params must be [name, sort, value] triples"))
             items))
 
-let stats_to_json (s : Session.stats) : Json.t =
-  let num n = Json.Num (float_of_int n) in
+(* --- replication: roles and the fetch op --- *)
+
+(** What the serving process is, per store: a standalone server (every
+    op allowed, no [fetch]), a leader (serves [fetch] from its journal
+    log), or a follower (read-only: writes are rejected with a
+    structured [Read_only] error). *)
+type role =
+  | Standalone
+  | Leader of Fdbs_rpr.Replication.log
+  | Follower of Replica.t
+
+let num n = Json.Num (float_of_int n)
+
+let snapshot_to_json (s : Fdbs_rpr.Replication.snapshot) : Json.t =
+  Json.Obj
+    [
+      ("epoch", num s.Fdbs_rpr.Replication.snap_epoch);
+      ("offset", num s.Fdbs_rpr.Replication.snap_offset);
+      ("state", db_to_json s.Fdbs_rpr.Replication.snap_db);
+    ]
+
+let snapshot_of_json ~schema (v : Json.t) :
+  (Fdbs_rpr.Replication.snapshot, Error.t) result =
+  let int name = Option.bind (Json.field name v) Json.to_int_opt in
+  match (int "epoch", int "offset", Json.field "state" v) with
+  | Some e, Some o, Some state ->
+    (match db_of_json ~schema state with
+     | Ok db ->
+       Ok
+         {
+           Fdbs_rpr.Replication.snap_epoch = e;
+           snap_offset = o;
+           snap_db = db;
+         }
+     | Result.Error e -> Result.Error e)
+  | _ -> Result.Error (proto_error "snapshot needs epoch, offset, and state")
+
+(* Entries travel as the CLI call syntax, which round-trips through
+   parse_call for every value the CLI can introduce. *)
+let stamped_to_json (s : Journal.stamped) : Json.t =
+  Json.Obj
+    [
+      ("offset", num s.Journal.offset);
+      ("epoch", num s.Journal.ep);
+      ( "calls",
+        Json.Arr
+          (List.map
+             (fun c -> Json.Str (Fmt.str "%a" Journal.pp_call c))
+             s.Journal.entry.Journal.calls) );
+    ]
+
+let stamped_of_json (v : Json.t) : (Journal.stamped, Error.t) result =
+  let int name = Option.bind (Json.field name v) Json.to_int_opt in
+  match (int "offset", int "epoch", Json.field "calls" v) with
+  | Some offset, Some ep, Some calls ->
+    (match Json.to_list_opt calls with
+     | None -> Result.Error (proto_error "entry calls must be an array")
+     | Some items ->
+       (match Util.result_all (List.map call_of_json items) with
+        | Ok calls ->
+          Ok { Journal.offset; ep; entry = { Journal.calls } }
+        | Result.Error e -> Result.Error e))
+  | _ -> Result.Error (proto_error "entry needs offset, epoch, and calls")
+
+(** The follower's side of the [fetch] exchange: the request frame and
+    the parsed response. *)
+let fetch_request ~(id : Json.t) ~(from : int) ~(epoch : int) : string =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", id);
+         ("op", Json.Str "fetch");
+         ("from", num from);
+         ("epoch", num epoch);
+       ])
+
+type fetched = {
+  f_epoch : int;  (** the leader's current epoch *)
+  f_base : int;  (** the leader's truncation base *)
+  f_last : int;  (** the leader's last committed offset *)
+  f_entries : Journal.stamped list;  (** empty = heartbeat *)
+  f_snapshot : Fdbs_rpr.Replication.snapshot option;
+      (** sent instead of entries when the follower is behind the
+          leader's truncation base *)
+}
+
+let error_of_json (v : Json.t) : Error.t =
+  let str name = Option.bind (Json.field name v) Json.to_string_opt in
+  let message = Option.value ~default:"remote error" (str "message") in
+  let code =
+    match str "code" with
+    | Some "read-only" -> Error.Read_only
+    | Some "stale-epoch" -> Error.Stale_epoch
+    | Some "io-failure" -> Error.Io_failure
+    | _ -> Error.Exec_failure
+  in
+  Error.make Error.Exec code message
+
+let fetched_of_response ~schema (payload : string) : (fetched, Error.t) result =
+  match Json.parse payload with
+  | exception Json.Parse_error m ->
+    Result.Error (proto_error "fetch response is not valid JSON: %s" m)
+  | v ->
+    (match Option.bind (Json.field "ok" v) Json.to_bool_opt with
+     | Some false ->
+       Result.Error
+         (match Json.field "error" v with
+          | Some e -> error_of_json e
+          | None -> proto_error "fetch rejected")
+     | _ ->
+       (match Json.field "result" v with
+        | None -> Result.Error (proto_error "fetch response has no result")
+        | Some r ->
+          let int name = Option.bind (Json.field name r) Json.to_int_opt in
+          (match (int "epoch", int "base", int "last") with
+           | Some f_epoch, Some f_base, Some f_last ->
+             let entries =
+               match Option.bind (Json.field "entries" r) Json.to_list_opt with
+               | None -> Ok []
+               | Some items -> Util.result_all (List.map stamped_of_json items)
+             in
+             (match entries with
+              | Result.Error e -> Result.Error e
+              | Ok f_entries ->
+                (match Json.field "snapshot" r with
+                 | None ->
+                   Ok { f_epoch; f_base; f_last; f_entries; f_snapshot = None }
+                 | Some sj ->
+                   (match snapshot_of_json ~schema sj with
+                    | Ok snap ->
+                      Ok
+                        {
+                          f_epoch;
+                          f_base;
+                          f_last;
+                          f_entries;
+                          f_snapshot = Some snap;
+                        }
+                    | Result.Error e -> Result.Error e)))
+           | _ ->
+             Result.Error
+               (proto_error "fetch response needs epoch, base, and last"))))
+
+(* The leader's fetch handler. The replication.fetch fault site fires
+   *before* the response is assembled and propagates as an exception:
+   the server drops the connection — a stream cut mid-exchange that
+   exercises the follower's reconnect path. *)
+let handle_fetch (log : Fdbs_rpr.Replication.log) (session : Session.t)
+    (req : request) : (Json.t, Error.t) result =
+  let open Fdbs_rpr in
+  Fault.hit "replication.fetch";
+  let int name = Option.bind (Json.field name req.body) Json.to_int_opt in
+  match int "from" with
+  | None -> Result.Error (proto_error "fetch needs a \"from\" offset")
+  | Some from ->
+    let req_epoch = Option.value ~default:0 (int "epoch") in
+    (match Replication.refresh log with
+     | Result.Error e -> Result.Error e
+     | Ok () ->
+       let epoch = Replication.epoch log in
+       if req_epoch > epoch then
+         Result.Error
+           (Error.makef
+              ~context:
+                [
+                  ("leader", string_of_int epoch);
+                  ("follower", string_of_int req_epoch);
+                ]
+              Error.Exec Error.Stale_epoch
+              "stale leader: follower is at epoch %d, this leader at %d"
+              req_epoch epoch)
+       else
+         let base = Replication.base log in
+         let last = Replication.last_offset log in
+         let header =
+           [ ("epoch", num epoch); ("base", num base); ("last", num last) ]
+         in
+         if from < base then (
+           (* the follower predates our truncation: ship the snapshot *)
+           match
+             Replication.load_snapshot ~schema:(Session.schema session)
+               (Replication.snapshot_path (Replication.path log))
+           with
+           | Result.Error e -> Result.Error e
+           | Ok (Some snap, _) ->
+             Ok (Json.Obj (header @ [ ("snapshot", snapshot_to_json snap) ]))
+           | Ok (None, why) ->
+             Result.Error
+               (Error.makef Error.Io Error.Io_failure
+                  "fetch from %d predates the log base %d and no usable \
+                   snapshot is available%s"
+                  from base
+                  (match why with Some w -> Fmt.str " (%s)" w | None -> "")))
+         else
+           let entries = Replication.entries_from log from in
+           Ok
+             (Json.Obj
+                (header
+                @ [ ("entries", Json.Arr (List.map stamped_to_json entries)) ])))
+
+let replication_to_json (role : role) : (string * Json.t) list =
+  let open Fdbs_rpr in
+  match role with
+  | Standalone -> []
+  | Leader log ->
+    [
+      ( "replication",
+        Json.Obj
+          [
+            ("role", Json.Str "leader");
+            ("epoch", num (Replication.epoch log));
+            ("base", num (Replication.base log));
+            ("last", num (Replication.last_offset log));
+          ] );
+    ]
+  | Follower r ->
+    [
+      ( "replication",
+        Json.Obj
+          [
+            ("role", Json.Str "follower");
+            ("epoch", num (Replica.epoch r));
+            ("applied", num (Replica.applied r));
+            ("snapshot", num (Replica.snapshot_offset r));
+            ("degraded", Json.Bool (Replica.degraded r));
+          ] );
+    ]
+
+let stats_to_json ?(role = Standalone) (s : Session.stats) : Json.t =
   let counters =
     List.map (fun (k, v) -> (k, num v)) s.Session.metrics.Metrics.counters
   in
   Json.Obj
-    [
-      ("planner_hits", num s.Session.planner_hits);
-      ("planner_misses", num s.Session.planner_misses);
-      ("db_size", num s.Session.db_size);
-      ("sessions", num s.Session.sessions);
-      ("commits", num s.Session.commits);
-      ("metrics", Json.Obj counters);
-    ]
+    ([
+       ("planner_hits", num s.Session.planner_hits);
+       ("planner_misses", num s.Session.planner_misses);
+       ("db_size", num s.Session.db_size);
+       ("sessions", num s.Session.sessions);
+       ("commits", num s.Session.commits);
+       ("metrics", Json.Obj counters);
+     ]
+    @ replication_to_json role)
 
 type reply =
   | Reply of string
   | Final of string  (** reply, then shut the server down *)
 
-let handle (session : Session.t) (req : request) : reply =
+(* Writes a follower could accept locally would fork the replica from
+   the leader's history; they are rejected with a structured error the
+   client can dispatch on. *)
+let read_only op =
+  Error.make
+    ~context:[ ("op", op) ]
+    Error.Exec Error.Read_only
+    "read-only replica: writes must go to the leader"
+
+let handle ?(role = Standalone) (session : Session.t) (req : request) : reply =
   let id = req.id in
   let ok result = Reply (ok_response ~id result) in
   let err e = Reply (error_response ~id e) in
@@ -216,7 +500,14 @@ let handle (session : Session.t) (req : request) : reply =
     | Ok v -> ok (to_json v)
     | Result.Error e -> err e
   in
-  match req.op with
+  match (req.op, role) with
+  | ("run" | "begin" | "commit" | "rollback" | "replay"), Follower _ ->
+    err (read_only req.op)
+  | "fetch", Leader log -> of_result Fun.id (handle_fetch log session req)
+  | "fetch", (Standalone | Follower _) ->
+    err (proto_error "fetch is only served by a replication leader")
+  | op, _ -> (
+    match op with
   | "ping" -> ok (Json.Str "pong")
   | "run" ->
     (match calls_of_request req with
@@ -260,7 +551,7 @@ let handle (session : Session.t) (req : request) : reply =
   | "commit" -> of_result db_to_json (Session.commit session)
   | "rollback" -> of_result db_to_json (Session.rollback session)
   | "state" -> ok (db_to_json (Session.db session))
-  | "stats" -> ok (stats_to_json (Session.stats session))
+  | "stats" -> ok (stats_to_json ~role (Session.stats session))
   | "replay" ->
     (match field_string "journal" req with
      | None ->
@@ -280,4 +571,4 @@ let handle (session : Session.t) (req : request) : reply =
              ])
          (Session.replay session path))
   | "shutdown" -> Final (ok_response ~id (Json.Str "bye"))
-  | op -> err (proto_error "unknown operation %S" op)
+  | op -> err (proto_error "unknown operation %S" op))

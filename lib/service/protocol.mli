@@ -12,7 +12,13 @@
     Operations: [ping], [run] (["calls"]: array of call strings or
     [{"proc", "args"}] objects), [query] (["wff"]), [eval] (["term"],
     optional ["trace"]), [explain], [begin], [commit], [rollback],
-    [state], [stats], [replay] (["journal"]), [shutdown]. *)
+    [state], [stats], [replay] (["journal"]), [shutdown], and — served
+    by replication leaders only — [fetch] (["from"] offset, ["epoch"]):
+    the committed entries past the offset, a heartbeat when there are
+    none, or the leader's snapshot when the offset predates its
+    truncation base. On a follower the write ops ([run], [begin],
+    [commit], [rollback], [replay]) are rejected with a structured
+    [Read_only] error. *)
 
 open Fdbs_kernel
 open Fdbs_rpr
@@ -23,6 +29,10 @@ val value_of_json : Json.t -> Value.t option
 (** Relations as arrays of tuples (name-sorted), scalars as a flat
     object. *)
 val db_to_json : Db.t -> Json.t
+
+(** The inverse, against a schema — how a follower decodes a leader
+    snapshot shipped inside a fetch response. *)
+val db_of_json : schema:Schema.t -> Json.t -> (Db.t, Error.t) result
 
 (** The CLI's call syntax: [name(arg, ...)], integer literals parsed as
     integers, everything else a symbolic constant. *)
@@ -46,10 +56,39 @@ val request_of_string : string -> (request, Error.t) result
 val ok_response : id:Json.t -> Json.t -> string
 val error_response : id:Json.t -> Error.t -> string
 
+(** What the serving process is, per store: a standalone server (every
+    op allowed, no [fetch]), a leader (serves [fetch] from its journal
+    log), or a follower (read-only: writes rejected with a structured
+    [Read_only] error). *)
+type role =
+  | Standalone
+  | Leader of Replication.log
+  | Follower of Replica.t
+
+(** The [fetch] request frame a follower sends: from its last applied
+    offset, carrying its highest seen epoch. *)
+val fetch_request : id:Json.t -> from:int -> epoch:int -> string
+
+(** A parsed [fetch] response. *)
+type fetched = {
+  f_epoch : int;  (** the leader's current epoch *)
+  f_base : int;  (** the leader's truncation base *)
+  f_last : int;  (** the leader's last committed offset *)
+  f_entries : Journal.stamped list;  (** empty = heartbeat *)
+  f_snapshot : Replication.snapshot option;
+      (** sent instead of entries when the follower is behind the
+          leader's truncation base *)
+}
+
+val fetched_of_response :
+  schema:Schema.t -> string -> (fetched, Error.t) result
+
 type reply =
   | Reply of string
   | Final of string  (** reply, then shut the server down *)
 
-(** Execute one request against a session. Never raises: every failure
-    becomes an [{"ok": false}] response. *)
-val handle : Session.t -> request -> reply
+(** Execute one request against a session, as [role] (default
+    {!Standalone}). Never raises — every failure becomes an
+    [{"ok": false}] response — except for an armed [replication.fetch]
+    fault, which propagates so the server can cut the stream. *)
+val handle : ?role:role -> Session.t -> request -> reply

@@ -1,0 +1,190 @@
+(** The follower side of replication: apply committed leader entries
+    through the ordinary {!Session} machinery, snapshot periodically,
+    truncate the local journal behind each durable snapshot, and
+    crash-recover from snapshot + journal tail.
+
+    A replica owns a follower store whose configuration is
+    transactional and journaled: every applied entry re-runs as a
+    checked transaction ({!Session.run}) and lands in the follower's
+    own journal, so the follower's disk state is itself a recoverable
+    (snapshot, tail) pair and a restarted follower resumes from where
+    it left off — replaying only the entries since its last snapshot.
+
+    Snapshot failures (including the [replication.snapshot] fault) are
+    survivable: the replica keeps applying and retries at the next
+    boundary, with the previous snapshot still in place; recovery just
+    replays a longer tail. *)
+
+open Fdbs_kernel
+open Fdbs_rpr
+
+type t = {
+  session : Session.t;  (** the apply session on the follower store *)
+  journal : string;  (** the follower's own journal *)
+  snapshot_every : int;  (** snapshot/truncate period, in entries *)
+  mutable applied : int;  (** absolute offset of the last applied entry *)
+  mutable ep : int;  (** highest epoch seen *)
+  mutable snap_offset : int;  (** offset of the last durable snapshot *)
+  mutable leader_last : int;  (** leader's last offset, as last heard *)
+  mutable degraded : bool;  (** leader unreachable: read-only service *)
+  mutable recovered : int;  (** entries re-applied by the last recovery *)
+}
+
+let c_applied = Metrics.counter "replication.entries_applied"
+let c_snapshots = Metrics.counter "replication.snapshots"
+let c_snapshot_failures = Metrics.counter "replication.snapshot_failures"
+let c_lag = Metrics.counter "replication.lag"
+
+let applied (r : t) = r.applied
+let epoch (r : t) = r.ep
+let snapshot_offset (r : t) = r.snap_offset
+let recovered_entries (r : t) = r.recovered
+let degraded (r : t) = r.degraded
+let session (r : t) = r.session
+
+let set_degraded (r : t) d = r.degraded <- d
+
+(** Record the leader's last known offset; the lag gauge
+    ([replication.lag]) tracks [leader_last - applied]. *)
+let note_leader (r : t) (last : int) =
+  r.leader_last <- max r.leader_last last;
+  Metrics.set c_lag (max 0 (r.leader_last - r.applied))
+
+let repl_error code fmt =
+  Fmt.kstr (fun m -> Error.make Error.Replay code m) fmt
+
+(** Build a replica over [store], recovering from the follower's own
+    journal (and the snapshot next to it) if present: bounded recovery
+    — the snapshot installs and only the tail re-runs. *)
+let recover ?(snapshot_every = 64) ~(store : Session.Store.t)
+    ~(journal : string) () : (t, Error.t) result =
+  let session = Session.on_store store in
+  let fresh applied ep snap_offset recovered =
+    {
+      session;
+      journal;
+      snapshot_every = max 1 snapshot_every;
+      applied;
+      ep;
+      snap_offset;
+      leader_last = applied;
+      degraded = false;
+      recovered;
+    }
+  in
+  if not (Sys.file_exists journal) then Ok (fresh 0 0 0 0)
+  else
+    match Session.replay session journal with
+    | Result.Error e -> Result.Error e
+    | Ok r ->
+      Ok
+        (fresh r.Session.rep_offset r.Session.rep_epoch
+           (Option.value ~default:0 r.Session.rep_snapshot)
+           r.Session.rep_entries)
+
+(* Snapshot the current follower state and truncate the journal behind
+   it. Failures leave the previous (snapshot, journal) pair intact and
+   are survivable — the caller keeps applying. *)
+let maybe_snapshot (r : t) : unit =
+  if r.applied - r.snap_offset >= r.snapshot_every then (
+    let snap =
+      {
+        Replication.snap_epoch = r.ep;
+        snap_offset = r.applied;
+        snap_db = Session.db r.session;
+      }
+    in
+    match Replication.save_snapshot (Replication.snapshot_path r.journal) snap with
+    | Result.Error _ -> Metrics.incr c_snapshot_failures
+    | Ok () ->
+      r.snap_offset <- r.applied;
+      Metrics.incr c_snapshots;
+      (* truncation is now legal: the snapshot is durable. A failed
+         truncate only means a longer journal; recovery still starts
+         from the snapshot. *)
+      (match Journal.truncate r.journal ~base:r.applied ~epoch:r.ep [] with
+       | Ok () -> ()
+       | Result.Error _ -> Metrics.incr c_snapshot_failures))
+
+(** Apply a batch of fetched leader entries, in order. Each entry
+    re-runs as a checked transaction on the follower store (journaled
+    to the follower's journal); duplicates (offset ≤ applied) are
+    skipped, gaps and epoch regressions are structured errors. The
+    [replication.apply] fault site fires before each entry and leaves
+    it unapplied — it retries on the next fetch. *)
+let apply (r : t) (entries : Journal.stamped list) : (unit, Error.t) result =
+  let rec go = function
+    | [] -> Ok ()
+    | (s : Journal.stamped) :: rest ->
+      if s.Journal.offset <= r.applied then go rest
+      else if s.Journal.offset > r.applied + 1 then
+        Result.Error
+          (repl_error Error.Replay_mismatch
+             "replication gap: expected offset %d, got %d" (r.applied + 1)
+             s.Journal.offset)
+      else if s.Journal.ep < r.ep then
+        Result.Error
+          (repl_error Error.Stale_epoch
+             "entry %d carries epoch %d but the replica has seen epoch %d"
+             s.Journal.offset s.Journal.ep r.ep)
+      else (
+        match Fault.hit "replication.apply" with
+        | exception Fault.Injected site ->
+          Result.Error
+            (Error.makef Error.Replay (Error.Fault_injected site)
+               "fault injected at %s" site)
+        | () ->
+          (* a bumped epoch is stamped into the follower's journal
+             before the entry it covers, mirroring the leader's file *)
+          if s.Journal.ep > r.ep then (
+            (match Journal.append_epoch r.journal s.Journal.ep with
+             | Ok () -> ()
+             | Result.Error _ -> ());
+            r.ep <- s.Journal.ep);
+          (match Session.run r.session s.Journal.entry.Journal.calls with
+           | Ok _ ->
+             r.applied <- s.Journal.offset;
+             Metrics.incr c_applied;
+             Metrics.set c_lag (max 0 (r.leader_last - r.applied));
+             maybe_snapshot r;
+             go rest
+           | Result.Error f ->
+             Result.Error
+               {
+                 f.Session.fail_error with
+                 Error.context =
+                   ("offset", string_of_int s.Journal.offset)
+                   :: f.Session.fail_error.Error.context;
+               }))
+  in
+  go entries
+
+(** Install a leader snapshot (sent when the follower's offset fell
+    behind the leader's truncation base): persist it as the follower's
+    own snapshot, truncate the local journal behind it, and re-install
+    the state through {!Session.replay} — [fds replay] as the snapshot
+    installer. *)
+let install_snapshot (r : t) (snap : Replication.snapshot) :
+  (unit, Error.t) result =
+  if snap.Replication.snap_offset <= r.applied then Ok ()
+  else
+    match
+      Replication.save_snapshot (Replication.snapshot_path r.journal) snap
+    with
+    | Result.Error e -> Result.Error e
+    | Ok () -> (
+        match
+          Journal.truncate r.journal ~base:snap.Replication.snap_offset
+            ~epoch:snap.Replication.snap_epoch []
+        with
+        | Result.Error e -> Result.Error e
+        | Ok () -> (
+            match Session.replay r.session r.journal with
+            | Result.Error e -> Result.Error e
+            | Ok rep ->
+              r.applied <- rep.Session.rep_offset;
+              r.ep <- max r.ep rep.Session.rep_epoch;
+              r.snap_offset <- snap.Replication.snap_offset;
+              Metrics.incr c_snapshots;
+              Metrics.set c_lag (max 0 (r.leader_last - r.applied));
+              Ok ()))

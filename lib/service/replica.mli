@@ -1,0 +1,61 @@
+(** The follower side of replication: apply committed leader entries
+    through the ordinary {!Session} machinery (checked transactions,
+    journaled to the follower's own journal), snapshot every
+    [snapshot_every] entries, truncate the journal behind each durable
+    snapshot, and crash-recover from snapshot + tail — bounded
+    recovery. Snapshot failures (including the [replication.snapshot]
+    fault site) are survivable: the previous snapshot stays in place
+    and recovery replays a longer tail. *)
+
+open Fdbs_kernel
+open Fdbs_rpr
+
+type t
+
+(** Build a replica over [store] (whose configuration must be
+    transactional with [journal] as its journal path), recovering from
+    the follower's journal and snapshot if present. [snapshot_every]
+    (default 64) is the snapshot/truncation period in entries. *)
+val recover :
+  ?snapshot_every:int ->
+  store:Session.Store.t ->
+  journal:string ->
+  unit ->
+  (t, Error.t) result
+
+(** Apply fetched leader entries in order: duplicates are skipped,
+    gaps and epoch regressions are structured errors, each applied
+    entry re-runs as a checked transaction. The [replication.apply]
+    fault site fires before each entry; a faulted entry is retried on
+    the next fetch. *)
+val apply : t -> Journal.stamped list -> (unit, Error.t) result
+
+(** Install a leader snapshot (the follower fell behind the leader's
+    truncation base): persist it durably, truncate the local journal
+    behind it, and re-install the state through {!Session.replay}. *)
+val install_snapshot : t -> Replication.snapshot -> (unit, Error.t) result
+
+(** Absolute offset of the last applied entry. *)
+val applied : t -> int
+
+(** Highest epoch seen. *)
+val epoch : t -> int
+
+(** Offset of the last durable snapshot. *)
+val snapshot_offset : t -> int
+
+(** Entries re-applied by the last recovery — with periodic snapshots
+    this stays ≤ the entries since the last snapshot. *)
+val recovered_entries : t -> int
+
+(** Leader unreachable: the replica keeps serving reads. *)
+val degraded : t -> bool
+
+val set_degraded : t -> bool -> unit
+
+(** Record the leader's last known offset; the [replication.lag]
+    gauge tracks the difference to [applied]. *)
+val note_leader : t -> int -> unit
+
+(** The apply session (whose store serves the replica's reads). *)
+val session : t -> Session.t

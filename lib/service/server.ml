@@ -5,13 +5,25 @@
    database mutation is serialized by the store lock inside Session, so
    concurrent connections observe serializable transactions.
 
+   Replication: with a journal the server boots as a *leader* — it
+   recovers the journal's committed state, stamps a fresh epoch, and
+   serves the `fetch` op from an incremental log view; journal appends
+   run with fsync for power-loss durability. With [?follow] it boots as
+   a *follower*: it recovers from its own snapshot + journal tail, then
+   a dedicated domain streams committed entries from the leader and
+   applies them through the Session machinery, while client
+   connections get read-only service (writes are rejected with a
+   structured Read_only error). Leader death degrades the follower to
+   read-only-and-reconnecting instead of an outage.
+
    Shutdown is cooperative: a "shutdown" request, SIGINT or SIGTERM
    sets the stop flag; the accept loop (a 0.2s select poll) notices,
-   the queue is drained, workers join, and the socket is closed and
-   unlinked. Trace emission is the caller's concern (the CLI installs
-   its usual at_exit observer). *)
+   the queue is drained, workers (and the follow domain) join, and the
+   socket is closed and unlinked. Trace emission is the caller's
+   concern (the CLI installs its usual at_exit observer). *)
 
 open Fdbs_kernel
+open Fdbs_rpr
 
 type listen = [ `Unix of string | `Tcp of string * int ]
 
@@ -25,6 +37,7 @@ let describe : listen -> string = function
 
 type t = {
   store : Session.Store.t;
+  role : Protocol.role;
   sock : Unix.file_descr;
   stop : bool Atomic.t;
   queue : Unix.file_descr Queue.t;
@@ -63,7 +76,7 @@ let serve_connection server fd =
             Trace.with_span ~cat:"service"
               ~args:[ ("op", req.Protocol.op) ]
               "service.request"
-              (fun () -> Protocol.handle session req)
+              (fun () -> Protocol.handle ~role:server.role session req)
           with
           | Protocol.Reply r ->
             Protocol.write_frame oc r;
@@ -77,7 +90,12 @@ let serve_connection server fd =
      (* malformed frame: report once, then drop the connection *)
      (try Protocol.write_frame oc (Protocol.error_response ~id:Json.Null e)
       with Sys_error _ -> ())
-   | End_of_file | Sys_error _ -> ());
+   | End_of_file | Sys_error _ -> ()
+   | Fault.Injected _ ->
+     (* an armed replication fault (e.g. replication.fetch) cuts the
+        stream mid-exchange: drop the connection without a reply, the
+        follower reconnects *)
+     ());
   Session.close session;
   close_out_noerr oc
 
@@ -116,59 +134,215 @@ let accept_loop server =
 let io_error fmt =
   Fmt.kstr (fun m -> Error.make Error.Io Error.Io_failure m) fmt
 
-let serve ?(workers = 2) ?spec ?(config = Config.default) ?(ready = fun () -> ())
-    (listen : listen) schema : (stats, Error.t) result =
-  match Session.Store.create ~config ?spec schema with
-  | Result.Error e -> Result.Error e
-  | Ok store ->
-    let addr = address listen in
-    let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
-    Unix.setsockopt sock Unix.SO_REUSEADDR true;
-    (match Unix.bind sock addr with
-     | exception Unix.Unix_error (err, _, _) ->
-       Unix.close sock;
-       Result.Error
-         (io_error "cannot bind %s: %s" (describe listen)
-            (Unix.error_message err))
-     | () ->
-       Unix.listen sock 16;
-       let server =
-         {
-           store;
-           sock;
-           stop = Atomic.make false;
-           queue = Queue.create ();
-           qlock = Mutex.create ();
-           qcond = Condition.create ();
-           connections = Atomic.make 0;
-           requests = Atomic.make 0;
-         }
-       in
-       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-       let on_signal = Sys.Signal_handle (fun _ -> request_stop server) in
-       Sys.set_signal Sys.sigint on_signal;
-       Sys.set_signal Sys.sigterm on_signal;
-       (* workers record trace spans into their own domain-local
-          collector; collect them with [Trace.isolated] and graft them
-          into the main domain's trace after the join, the same dance
-          {!Fdbs_kernel.Pool} does for its chunks *)
-       let domains =
-         List.init (max 1 workers) (fun _ ->
-             Stdlib.Domain.spawn (fun () ->
-                 snd (Trace.isolated (worker server))))
-       in
-       ready ();
-       accept_loop server;
-       request_stop server;
-       List.iter
-         (fun d -> Trace.graft (Stdlib.Domain.join d))
-         domains;
-       Unix.close sock;
-       (match listen with
-        | `Unix path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
-        | `Tcp _ -> ());
-       Ok
-         {
-           served_connections = Atomic.get server.connections;
-           served_requests = Atomic.get server.requests;
-         })
+(* ------------------------------------------------------------------ *)
+(* the follower's streaming loop                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Interruptible sleep: the follow domain polls the stop flag so a
+   shutdown never waits out a full backoff. *)
+let sleep_poll server seconds =
+  let slice = 0.05 in
+  let rec go left =
+    if left > 0.0 && not (Atomic.get server.stop) then (
+      Unix.sleepf (Stdlib.min slice left);
+      go (left -. slice))
+  in
+  go seconds
+
+let connect_leader (addr : Unix.sockaddr) =
+  let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  match Unix.connect sock addr with
+  | () -> Some sock
+  | exception Unix.Unix_error (_, _, _) ->
+    Unix.close sock;
+    None
+
+(* Stream committed entries from the leader and apply them. One fetch
+   round-trip per poll tick when caught up (heartbeats), back-to-back
+   when behind. Any connection failure degrades the replica to
+   read-only service and reconnects with capped backoff; a shutdown
+   request stops the loop at the next tick. *)
+let follow_loop server (replica : Replica.t) (leader : Unix.sockaddr)
+    (description : string) =
+  let schema = Session.Store.schema server.store in
+  let warned = ref false in
+  let backoff = ref 0.05 in
+  while not (Atomic.get server.stop) do
+    match connect_leader leader with
+    | None ->
+      if not !warned then (
+        Fmt.epr "fds: leader %s unreachable; serving reads only@." description;
+        warned := true);
+      Replica.set_degraded replica true;
+      sleep_poll server !backoff;
+      backoff := Stdlib.min 0.5 (!backoff *. 2.)
+    | Some fd ->
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      (try
+         let streaming = ref true in
+         while !streaming && not (Atomic.get server.stop) do
+           Protocol.write_frame oc
+             (Protocol.fetch_request ~id:(Json.Num 0.)
+                ~from:(Replica.applied replica) ~epoch:(Replica.epoch replica));
+           match Protocol.read_frame ic with
+           | None -> streaming := false
+           | Some payload ->
+             (match Protocol.fetched_of_response ~schema payload with
+              | Result.Error e ->
+                (* e.g. this leader is stale (our epoch is newer): keep
+                   serving reads, retry — a newer leader may come up on
+                   the same address *)
+                Fmt.epr "fds: fetch rejected: %s@." e.Error.message;
+                sleep_poll server 0.2
+              | Ok f ->
+                if !warned then (
+                  Fmt.epr "fds: leader %s reachable again@." description;
+                  warned := false);
+                Replica.set_degraded replica false;
+                backoff := 0.05;
+                Replica.note_leader replica f.Protocol.f_last;
+                (match f.Protocol.f_snapshot with
+                 | Some snap ->
+                   (match Replica.install_snapshot replica snap with
+                    | Ok () -> ()
+                    | Result.Error e ->
+                      Fmt.epr "fds: snapshot install failed: %s@."
+                        e.Error.message;
+                      sleep_poll server 0.2)
+                 | None ->
+                   if f.Protocol.f_entries = [] then
+                     (* heartbeat: caught up *)
+                     sleep_poll server 0.05
+                   else (
+                     match Replica.apply replica f.Protocol.f_entries with
+                     | Ok () -> ()
+                     | Result.Error e ->
+                       Fmt.epr "fds: apply failed: %s@." e.Error.message;
+                       sleep_poll server 0.2)))
+         done
+       with
+       | End_of_file | Sys_error _ | Error.Error _ -> ());
+      close_out_noerr oc
+  done
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve ?(workers = 2) ?spec ?(config = Config.default)
+    ?(ready = fun () -> ()) ?follow ?snapshot_every (listen : listen) schema :
+  (stats, Error.t) result =
+  let ( let* ) = Result.bind in
+  (* Followers apply leader entries as checked transactions journaled
+     locally, so their mode is forced transactional; leaders journal
+     with fsync so a committed entry survives power loss. *)
+  let* config =
+    match (follow, config.Config.journal) with
+    | Some _, None ->
+      Result.Error
+        (io_error "follower mode needs --journal (the replica's own journal)")
+    | Some _, Some _ -> Ok { config with Config.transactional = true }
+    | None, Some _ -> Ok { config with Config.fsync = true }
+    | None, None -> Ok config
+  in
+  let* store = Session.Store.create ~config ?spec schema in
+  (* Boot-time recovery and role assignment, before the socket opens:
+     a leader replays its journal's committed state and stamps a fresh
+     epoch; a follower recovers from its snapshot + journal tail. *)
+  let* role, replica =
+    match (follow, config.Config.journal) with
+    | Some _, None -> assert false (* rejected above *)
+    | Some _, Some journal ->
+      let* replica =
+        Replica.recover ?snapshot_every ~store ~journal ()
+      in
+      Ok (Protocol.Follower replica, Some replica)
+    | None, Some journal ->
+      let* () =
+        if Sys.file_exists journal then
+          let boot = Session.on_store store in
+          let* replayed = Session.replay boot journal in
+          (match replayed.Session.rep_torn with
+           | Some what ->
+             Fmt.epr "fds: warning: journal %s: %s@." journal what
+           | None -> ());
+          Ok ()
+        else Ok ()
+      in
+      let* log = Replication.lead ~journal in
+      Ok (Protocol.Leader log, None)
+    | None, None -> Ok (Protocol.Standalone, None)
+  in
+  let addr = address listen in
+  (* a SIGKILLed predecessor leaves its Unix socket file behind; if
+     nothing answers on it any more, reclaim the address *)
+  (match listen with
+   | `Unix path when Sys.file_exists path ->
+     (match connect_leader addr with
+      | Some fd -> Unix.close fd (* a live server owns it: bind will say so *)
+      | None -> (try Unix.unlink path with Unix.Unix_error _ -> ()))
+   | _ -> ());
+  let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  match Unix.bind sock addr with
+  | exception Unix.Unix_error (err, _, _) ->
+    Unix.close sock;
+    Result.Error
+      (io_error "cannot bind %s: %s" (describe listen) (Unix.error_message err))
+  | () ->
+    Unix.listen sock 16;
+    let server =
+      {
+        store;
+        role;
+        sock;
+        stop = Atomic.make false;
+        queue = Queue.create ();
+        qlock = Mutex.create ();
+        qcond = Condition.create ();
+        connections = Atomic.make 0;
+        requests = Atomic.make 0;
+      }
+    in
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let on_signal = Sys.Signal_handle (fun _ -> request_stop server) in
+    Sys.set_signal Sys.sigint on_signal;
+    Sys.set_signal Sys.sigterm on_signal;
+    (* workers record trace spans into their own domain-local
+       collector; collect them with [Trace.isolated] and graft them
+       into the main domain's trace after the join, the same dance
+       {!Fdbs_kernel.Pool} does for its chunks *)
+    let domains =
+      List.init (max 1 workers) (fun _ ->
+          Stdlib.Domain.spawn (fun () ->
+              snd (Trace.isolated (worker server))))
+    in
+    let follower_domain =
+      match (replica, follow) with
+      | Some r, Some leader_listen ->
+        let leader_addr = address leader_listen in
+        let description = describe leader_listen in
+        Some
+          (Stdlib.Domain.spawn (fun () ->
+               snd
+                 (Trace.isolated (fun () ->
+                      follow_loop server r leader_addr description))))
+      | _ -> None
+    in
+    ready ();
+    accept_loop server;
+    request_stop server;
+    List.iter (fun d -> Trace.graft (Stdlib.Domain.join d)) domains;
+    (match follower_domain with
+     | Some d -> Trace.graft (Stdlib.Domain.join d)
+     | None -> ());
+    Unix.close sock;
+    (match listen with
+     | `Unix path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+     | `Tcp _ -> ());
+    Ok
+      {
+        served_connections = Atomic.get server.connections;
+        served_requests = Atomic.get server.requests;
+      }

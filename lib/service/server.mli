@@ -21,12 +21,26 @@ type stats = {
     listening (the CLI prints its "serving on" line there). On return
     the socket is closed (and unlinked for Unix sockets) and all
     workers have joined. [Error] means the store could not be created
-    or the address could not be bound. *)
+    or the address could not be bound.
+
+    Replication: with a journal in [config] (and no [follow]) the
+    server is a {e leader} — it recovers the journal's committed state
+    at boot, stamps a fresh epoch, journals with fsync, and serves the
+    [fetch] op. With [follow] (the leader's address) it is a
+    {e follower}: [config] must carry the replica's own journal; the
+    server recovers from snapshot + journal tail, streams committed
+    entries from the leader in a dedicated domain, snapshots every
+    [snapshot_every] entries (default 64), and serves clients
+    read-only — writes are rejected with a structured [Read_only]
+    error. When the leader dies the follower keeps serving reads and
+    reconnects with capped backoff. *)
 val serve :
   ?workers:int ->
   ?spec:Fdbs_algebra.Spec.t ->
   ?config:Config.t ->
   ?ready:(unit -> unit) ->
+  ?follow:listen ->
+  ?snapshot_every:int ->
   listen ->
   Fdbs_rpr.Schema.t ->
   (stats, Error.t) result

@@ -231,7 +231,8 @@ let run_locked (st : Store.t) (calls : Journal.call list) :
     if st.Store.config.Config.transactional then (
       let txn =
         Txn.make ~check_constraints:st.Store.config.Config.check_constraints
-          ?journal:st.Store.config.Config.journal env
+          ?journal:st.Store.config.Config.journal
+          ~fsync:st.Store.config.Config.fsync env
       in
       match Txn.run txn calls st.Store.db with
       | Ok final ->
@@ -342,7 +343,8 @@ let commit (s : t) : (Db.t, Error.t) result =
             let txn =
               Txn.make
                 ~check_constraints:st.Store.config.Config.check_constraints
-                ?journal:st.Store.config.Config.journal env
+                ?journal:st.Store.config.Config.journal
+                ~fsync:st.Store.config.Config.fsync env
             in
             match Txn.run txn calls st.Store.db with
             | Ok final ->
@@ -498,44 +500,129 @@ type replayed = {
   rep_calls : int;  (** calls across them *)
   rep_torn : string option;  (** dropped torn-tail description *)
   rep_state : Db.t;  (** the recovered state, installed in the store *)
+  rep_snapshot : int option;
+      (** the offset of the snapshot that seeded the replay, if one was
+          installed *)
+  rep_offset : int;  (** absolute offset of the last entry recovered *)
+  rep_epoch : int;  (** highest replication epoch seen *)
 }
 
-(* Recover the committed state from a write-ahead journal: re-run every
-   committed entry as a transaction from the schema's empty instance,
-   then install the result as the store state. *)
+(* Recover the committed state from a write-ahead journal, snapshot
+   aware: when a usable snapshot sits next to the journal
+   (journal.snap), install it and re-run only the entries behind it —
+   bounded recovery; otherwise re-run the full history from the
+   schema's empty instance. Either way the result is installed as the
+   store state. A journal truncated behind its snapshot requires that
+   snapshot to be usable; losing both is unrecoverable and reported as
+   a structured error. *)
 let replay (s : t) (journal : string) : (replayed, Error.t) result =
   let st = s.store in
+  let load_stage e =
+    Result.Error { e with Error.context = ("stage", "load") :: e.Error.context }
+  in
   Store.locked st (fun () ->
-      match Journal.load journal with
-      | Result.Error e ->
-        Result.Error
-          { e with Error.context = ("stage", "load") :: e.Error.context }
-      | Ok (entries, torn) ->
-        let all_calls = List.concat_map (fun e -> e.Journal.calls) entries in
-        (match domain_add_calls st.Store.schema st.Store.domain all_calls with
-         | Result.Error e -> Result.Error e
-         | Ok domain ->
-           st.Store.domain <- domain;
-           guard (fun () ->
-               let env = env_of st in
-               let txn =
-                 Txn.make
-                   ~check_constraints:st.Store.config.Config.check_constraints
-                   env
-               in
-               match
-                 Txn.replay txn journal (Schema.empty_db st.Store.schema)
-               with
-               | Ok final ->
-                 st.Store.db <- final;
-                 Ok
-                   {
-                     rep_entries = List.length entries;
-                     rep_calls = List.length all_calls;
-                     rep_torn = torn;
-                     rep_state = final;
-                   }
-               | Result.Error e -> Result.Error e)))
+      match Journal.load_log journal with
+      | Result.Error e -> load_stage e
+      | Ok log ->
+        (match
+           Replication.load_snapshot ~schema:st.Store.schema
+             (Replication.snapshot_path journal)
+         with
+         | Result.Error e -> load_stage e
+         | Ok (snap, snap_warn) ->
+           (* ignore snapshots older than the truncation base: they
+              cannot cover the missing prefix *)
+           let snap =
+             match snap with
+             | Some sn when sn.Replication.snap_offset >= log.Journal.base ->
+               Some sn
+             | _ -> None
+           in
+           if log.Journal.base > 0 && snap = None then
+             load_stage
+               (Error.makef Error.Replay Error.Io_failure
+                  "journal %s: truncated behind offset %d with no usable \
+                   snapshot%s"
+                  journal log.Journal.base
+                  (match snap_warn with
+                   | Some w -> Fmt.str " (%s)" w
+                   | None -> ""))
+           else
+             let start, from =
+               match snap with
+               | Some sn ->
+                 (sn.Replication.snap_db, sn.Replication.snap_offset)
+               | None -> (Schema.empty_db st.Store.schema, 0)
+             in
+             let tail =
+               List.filter
+                 (fun (e : Journal.stamped) -> e.Journal.offset > from)
+                 log.Journal.stamped
+             in
+             let entries =
+               List.map (fun (e : Journal.stamped) -> e.Journal.entry) tail
+             in
+             let all_calls =
+               List.concat_map (fun (e : Journal.entry) -> e.Journal.calls)
+                 entries
+             in
+             (match domain_add_calls st.Store.schema st.Store.domain all_calls with
+              | Result.Error e -> Result.Error e
+              | Ok domain ->
+                (* values living only in the snapshot never appear as
+                   tail call arguments; fold its active domain in so
+                   queries keep their carriers *)
+                let domain =
+                  match snap with
+                  | Some sn ->
+                    Domain.union domain
+                      (Db.active_domain sn.Replication.snap_db)
+                  | None -> domain
+                in
+                st.Store.domain <- domain;
+                guard (fun () ->
+                    let env = env_of st in
+                    let txn =
+                      Txn.make
+                        ~check_constraints:
+                          st.Store.config.Config.check_constraints env
+                    in
+                    match Txn.replay_entries ~first:(from + 1) txn entries start with
+                    | Ok final ->
+                      st.Store.db <- final;
+                      let rep_offset =
+                        List.fold_left
+                          (fun acc (e : Journal.stamped) ->
+                            max acc e.Journal.offset)
+                          from tail
+                      in
+                      let rep_epoch =
+                        match snap with
+                        | Some sn ->
+                          max log.Journal.epoch sn.Replication.snap_epoch
+                        | None -> log.Journal.epoch
+                      in
+                      let rep_torn =
+                        match (log.Journal.torn, snap_warn) with
+                        | None, None -> None
+                        | Some t, None -> Some t
+                        | None, Some w -> Some w
+                        | Some t, Some w -> Some (t ^ "; " ^ w)
+                      in
+                      Ok
+                        {
+                          rep_entries = List.length entries;
+                          rep_calls = List.length all_calls;
+                          rep_torn;
+                          rep_state = final;
+                          rep_snapshot =
+                            Option.map
+                              (fun sn -> sn.Replication.snap_offset)
+                              snap;
+                          rep_offset;
+                          rep_epoch;
+                        }
+                    | Result.Error e -> Result.Error e))))
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                               *)

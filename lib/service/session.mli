@@ -125,14 +125,24 @@ val eval : t -> ?trace:bool -> string -> (string, Error.t) result
 type replayed = {
   rep_entries : int;  (** committed journal entries re-run *)
   rep_calls : int;  (** calls across them *)
-  rep_torn : string option;  (** dropped torn-tail description *)
+  rep_torn : string option;
+      (** dropped torn-tail / unusable-snapshot warnings *)
   rep_state : Db.t;  (** the recovered state, installed in the store *)
+  rep_snapshot : int option;
+      (** the offset of the snapshot that seeded the replay, if one was
+          installed *)
+  rep_offset : int;  (** absolute offset of the last entry recovered *)
+  rep_epoch : int;  (** highest replication epoch seen *)
 }
 
-(** Recover the committed state from a write-ahead journal: re-run
-    every committed entry as a transaction from the schema's empty
-    instance, then install the result as the store state. Load
-    failures carry a [("stage", "load")] context entry. *)
+(** Recover the committed state from a write-ahead journal, snapshot
+    aware: a usable snapshot next to the journal ([journal ^ ".snap"])
+    seeds the replay and only the entries behind it re-run — bounded
+    recovery; otherwise the full history re-runs from the schema's
+    empty instance (an unusable snapshot downgrades to this with a
+    warning in [rep_torn], unless the journal was truncated behind it,
+    which is unrecoverable). The result is installed as the store
+    state. Load failures carry a [("stage", "load")] context entry. *)
 val replay : t -> string -> (replayed, Error.t) result
 
 type stats = {

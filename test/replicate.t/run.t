@@ -1,0 +1,95 @@
+Journal-backed replication: boot a leader (journaled, so it serves the
+fetch op) and a read-only follower streaming from it, commit on the
+leader, watch the follower converge, kill the leader with SIGKILL, and
+check the follower keeps serving reads from its snapshot + journal.
+
+  $ fds serve guarded.schema --socket leader.sock --transactional --journal leader.journal 2>leader.log &
+  $ LEADER=$!
+  $ for i in $(seq 1 150); do test -S leader.sock && break; sleep 0.1; done
+  $ fds serve guarded.schema --socket follower.sock --journal follower.journal --follow leader.sock --snapshot-every 2 2>follower.log &
+  $ FOLLOWER=$!
+  $ for i in $(seq 1 150); do test -S follower.sock && break; sleep 0.1; done
+
+The client retries transient connection failures with backoff, so a
+racing boot is harmless:
+
+  $ fds client --socket leader.sock --retries 10 '{"id": 1, "op": "ping"}'
+  {"id": 1, "ok": true, "result": "pong"}
+
+Two committed transactions on the leader:
+
+  $ fds client --socket leader.sock \
+  >   '{"id": 2, "op": "run", "calls": ["initiate()", "offer(cs101)"]}' \
+  >   '{"id": 3, "op": "run", "calls": ["offer(cs202)"]}'
+  {"id": 2, "ok": true, "result": {"completed": 2, "state": {"relations": {"OFFERED": [["cs101"]], "TAKES": []}, "scalars": {}}}}
+  {"id": 3, "ok": true, "result": {"completed": 1, "state": {"relations": {"OFFERED": [["cs101"], ["cs202"]], "TAKES": []}, "scalars": {}}}}
+
+The follower catches up (poll until the second commit lands):
+
+  $ for i in $(seq 1 150); do fds client --socket follower.sock '{"id": 0, "op": "state"}' | grep -q cs202 && break; sleep 0.1; done
+  $ fds client --socket follower.sock '{"id": 4, "op": "state"}'
+  {"id": 4, "ok": true, "result": {"relations": {"OFFERED": [["cs101"], ["cs202"]], "TAKES": []}, "scalars": {}}}
+
+Writes on the follower are rejected with a structured Read_only error;
+reads keep working:
+
+  $ fds client --socket follower.sock \
+  >   '{"id": 5, "op": "run", "calls": ["offer(cs303)"]}' \
+  >   '{"id": 6, "op": "query", "wff": "OFFERED(c)", "params": [["c", "course", "cs101"]]}'
+  {"id": 5, "ok": false, "error": {"phase": "exec", "code": "read-only", "message": "read-only replica: writes must go to the leader", "context": {"op": "run"}}}
+  {"id": 6, "ok": true, "result": true}
+
+Kill the leader without ceremony — SIGKILL, no shutdown handshake:
+
+  $ kill -9 $LEADER
+  $ wait $LEADER
+  [137]
+  $ for i in $(seq 1 150); do grep -q "unreachable" follower.log && break; sleep 0.1; done
+
+The follower degrades to read-only-and-reconnecting instead of an
+outage — reads still answer from the replicated state:
+
+  $ fds client --socket follower.sock \
+  >   '{"id": 7, "op": "query", "wff": "OFFERED(c)", "params": [["c", "course", "cs202"]]}' \
+  >   '{"id": 8, "op": "run", "calls": ["offer(cs404)"]}'
+  {"id": 7, "ok": true, "result": true}
+  {"id": 8, "ok": false, "error": {"phase": "exec", "code": "read-only", "message": "read-only replica: writes must go to the leader", "context": {"op": "run"}}}
+
+  $ fds client --socket follower.sock '{"id": 9, "op": "shutdown"}'
+  {"id": 9, "ok": true, "result": "bye"}
+  $ wait
+
+The follower announced both its role and the degradation, once each:
+
+  $ grep -c "following leader.sock" follower.log
+  1
+  $ grep -c "unreachable; serving reads only" follower.log
+  1
+
+With --snapshot-every 2 the second applied entry snapshotted the state
+and truncated the follower's journal behind it, so its disk footprint
+is the snapshot plus an empty tail — and recovery is snapshot-bounded:
+replay installs the snapshot and re-runs zero entries:
+
+  $ cat follower.journal
+  base 2
+  epoch 1
+  $ fds replay guarded.schema follower.journal
+  installed snapshot (offset 2)
+  replayed 0 transactions (0 calls)
+  
+  final state:
+  OFFERED = {(cs101), (cs202)}
+  TAKES = {}
+
+
+The leader's own journal still replays to the same state — the
+follower lost nothing:
+
+  $ fds replay guarded.schema leader.journal
+  replayed 2 transactions (3 calls)
+  
+  final state:
+  OFFERED = {(cs101), (cs202)}
+  TAKES = {}
+

@@ -63,6 +63,7 @@ the journal holds the one committed transaction, flushed:
   $ test -S fds.sock || echo "socket gone"
   socket gone
   $ cat srv.journal
+  epoch 1
   call initiate
   call offer cs101
   commit

@@ -232,6 +232,311 @@ let test_protocol_dispatch () =
    | Protocol.Final _ -> ()
    | Protocol.Reply _ -> Alcotest.fail "shutdown must stop the server")
 
+(* ------------------------------------------------------------------ *)
+(* replication: leader log, follower replica, failover, convergence    *)
+(* ------------------------------------------------------------------ *)
+
+module Replication = Fdbs_rpr.Replication
+module Replica = Fdbs_service.Replica
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
+
+(* A fresh path that does not exist yet: journals and snapshots are
+   created by their writers. *)
+let temp_path name =
+  let path = Filename.temp_file ("fds_" ^ name) ".journal" in
+  Sys.remove path;
+  path
+
+(* Remove a journal and every file its machinery may leave next to it. *)
+let with_journals names f =
+  let paths = List.map temp_path names in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disarm_all ();
+      List.iter
+        (fun p ->
+          List.iter
+            (fun q -> if Sys.file_exists q then Sys.remove q)
+            [
+              p;
+              p ^ ".tmp";
+              Replication.snapshot_path p;
+              Replication.snapshot_path p ^ ".tmp";
+            ])
+        paths)
+    (fun () -> f paths)
+
+(* A leader: a journaled transactional session plus the leadership
+   log over the same journal (stamps epoch 1). *)
+let leader_exn journal =
+  let log =
+    match Replication.lead ~journal with
+    | Ok log -> log
+    | Error e -> Alcotest.failf "lead: %s" (Error.to_string e)
+  in
+  let config = Config.make ~transactional:true ~journal () in
+  (session_exn ~config (), log)
+
+let replica_exn ?snapshot_every journal =
+  let config = Config.make ~transactional:true ~journal () in
+  match Session.Store.create ~config schema with
+  | Error e -> Alcotest.failf "store: %s" (Error.to_string e)
+  | Ok store -> (
+      match Replica.recover ?snapshot_every ~store ~journal () with
+      | Ok r -> r
+      | Error e -> Alcotest.failf "recover: %s" (Error.to_string e))
+
+(* Drive the replica to the leader's last offset, the way the server's
+   follow loop does: refresh, fetch, apply, repeat. Apply failures
+   (armed faults) are retried — faults are one-shot. *)
+let catch_up log replica =
+  (match Replication.refresh log with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "refresh: %s" (Error.to_string e));
+  let rec go guard =
+    if guard = 0 then Alcotest.fail "catch-up did not converge";
+    if Replica.applied replica < Replication.last_offset log then (
+      (match Replication.entries_from log (Replica.applied replica) with
+       | [] ->
+         (* behind the leader's truncation base: install its snapshot *)
+         (match
+            Replication.load_snapshot ~schema
+              (Replication.snapshot_path (Replication.path log))
+          with
+          | Ok (Some snap, _) ->
+            (match Replica.install_snapshot replica snap with
+             | Ok () -> ()
+             | Error e -> Alcotest.failf "install: %s" (Error.to_string e))
+          | _ -> Alcotest.fail "no entries and no leader snapshot")
+       | entries -> ignore (Replica.apply replica entries));
+      go (guard - 1))
+  in
+  go 1000
+
+let follower_db replica = Session.db (Replica.session replica)
+
+(* --- basic convergence: leader commits stream to the follower --- *)
+
+let test_replication_convergence () =
+  with_journals [ "conv_l"; "conv_f" ] @@ fun paths ->
+  let lj, fj = match paths with [ a; b ] -> (a, b) | _ -> assert false in
+  let leader, log = leader_exn lj in
+  ignore (run_exn leader [ ("initiate", []); ("offer", [ v "cs101" ]) ]);
+  ignore (run_exn leader [ ("offer", [ v "cs102" ]) ]);
+  let r = replica_exn fj in
+  catch_up log r;
+  Alcotest.check db "follower state equals leader state" (Session.db leader)
+    (follower_db r);
+  Alcotest.(check int) "applied the whole history" 2 (Replica.applied r);
+  Alcotest.(check int)
+    "carries the leader's epoch" (Replication.epoch log) (Replica.epoch r)
+
+(* --- writes on a follower are rejected as structured Read_only --- *)
+
+let test_read_only_rejection () =
+  with_journals [ "ro" ] @@ fun paths ->
+  let fj = List.hd paths in
+  let r = replica_exn fj in
+  let role = Protocol.Follower r in
+  let handle src =
+    match Protocol.request_of_string src with
+    | Error e -> Alcotest.failf "bad request: %s" (Error.to_string e)
+    | Ok req -> (
+        match Protocol.handle ~role (Replica.session r) req with
+        | Protocol.Reply resp -> resp
+        | Protocol.Final _ -> Alcotest.fail "must not stop the server")
+  in
+  Alcotest.(check string)
+    "the exact structured Read_only JSON"
+    {|{"id": 1, "ok": false, "error": {"phase": "exec", "code": "read-only", "message": "read-only replica: writes must go to the leader", "context": {"op": "run"}}}|}
+    (handle {|{"id": 1, "op": "run", "calls": ["offer(cs101)"]}|});
+  (* every write op is covered; reads still answer *)
+  List.iter
+    (fun op ->
+      let resp = handle (Fmt.str {|{"id": 2, "op": %S}|} op) in
+      Alcotest.(check bool)
+        (op ^ " rejected as read-only") true
+        (has_prefix ~affix:{|{"id": 2, "ok": false|} resp
+        && contains ~sub:{|"code": "read-only"|} resp))
+    [ "begin"; "commit"; "rollback"; "replay" ];
+  Alcotest.(check string)
+    "reads still served" {|{"id": 3, "ok": true, "result": false}|}
+    (handle {|{"id": 3, "op": "query", "wff": "exists c:course. OFFERED(c)"}|})
+
+(* --- a fetch from an epoch ahead of the leader is rejected --- *)
+
+let test_stale_epoch_fetch () =
+  with_journals [ "stale" ] @@ fun paths ->
+  let lj = List.hd paths in
+  let leader, log = leader_exn lj in
+  ignore (run_exn leader [ ("initiate", []) ]);
+  let fetch ~epoch =
+    match Protocol.request_of_string (Protocol.fetch_request ~id:(Json.Num 1.) ~from:0 ~epoch) with
+    | Error e -> Alcotest.failf "bad fetch: %s" (Error.to_string e)
+    | Ok req -> (
+        match Protocol.handle ~role:(Protocol.Leader log) leader req with
+        | Protocol.Reply resp -> resp
+        | Protocol.Final _ -> Alcotest.fail "fetch must not stop the server")
+  in
+  Alcotest.(check bool)
+    "an up-to-date fetch streams the history" true
+    (contains ~sub:{|"ok": true|} (fetch ~epoch:1));
+  let stale = fetch ~epoch:5 in
+  Alcotest.(check bool)
+    "epoch ahead of the leader is a structured stale-epoch error" true
+    (has_prefix ~affix:{|{"id": 1, "ok": false|} stale
+    && contains ~sub:{|"code": "stale-epoch"|} stale);
+  (* and a standalone server does not serve fetch at all *)
+  (match
+     Protocol.request_of_string
+       (Protocol.fetch_request ~id:(Json.Num 2.) ~from:0 ~epoch:1)
+   with
+   | Error e -> Alcotest.failf "bad fetch: %s" (Error.to_string e)
+   | Ok req -> (
+       match Protocol.handle leader req with
+       | Protocol.Reply resp ->
+         Alcotest.(check bool)
+           "standalone rejects fetch" true
+           (contains ~sub:{|"ok": false|} resp)
+       | Protocol.Final _ -> Alcotest.fail "fetch must not stop the server"))
+
+(* --- a torn snapshot never loses data --- *)
+
+let test_torn_snapshot_recovery () =
+  with_journals [ "torn_l"; "torn_f" ] @@ fun paths ->
+  let lj, fj = match paths with [ a; b ] -> (a, b) | _ -> assert false in
+  let leader, log = leader_exn lj in
+  ignore (run_exn leader [ ("initiate", []) ]);
+  ignore (run_exn leader [ ("offer", [ v "cs101" ]) ]);
+  ignore (run_exn leader [ ("offer", [ v "cs102" ]) ]);
+  ignore (run_exn leader [ ("enroll_unchecked", [ v "ana"; v "cs101" ]) ]);
+  (* the only snapshot boundary (applied = 4) hits the torn window:
+     the fault fires between fsync and rename. The fault is one-shot,
+     so the period must make this the single boundary. *)
+  Fault.arm ~site:"replication.snapshot" Fault.Abort;
+  let r = replica_exn ~snapshot_every:4 fj in
+  catch_up log r;
+  Alcotest.check db "the replica converged anyway" (Session.db leader)
+    (follower_db r);
+  Alcotest.(check bool)
+    "no snapshot was installed" false
+    (Sys.file_exists (Replication.snapshot_path fj));
+  Alcotest.(check int) "so nothing was truncated behind one" 0
+    (Replica.snapshot_offset r);
+  (* a restart falls back to the full (untruncated) replay *)
+  Fault.disarm_all ();
+  let r2 = replica_exn ~snapshot_every:100 fj in
+  Alcotest.check db "recovered from the full journal" (Session.db leader)
+    (follower_db r2);
+  Alcotest.(check int) "all four entries re-ran" 4 (Replica.recovered_entries r2);
+  (* a torn snapshot *file* (no end terminator) is unusable, not fatal:
+     recovery warns and replays the full journal *)
+  let oc = open_out (Replication.snapshot_path fj) in
+  output_string oc "fdbs-snapshot 1\nepoch 1\noffset 2\nrel OFFERED\nt cs101\n";
+  close_out oc;
+  let r3 = replica_exn ~snapshot_every:100 fj in
+  Alcotest.check db "torn snapshot file falls back to full replay"
+    (Session.db leader) (follower_db r3);
+  Alcotest.(check int) "full history re-ran" 4 (Replica.recovered_entries r3)
+
+(* --- recovery is bounded by the snapshot period --- *)
+
+let test_bounded_recovery () =
+  with_journals [ "bound_l"; "bound_f" ] @@ fun paths ->
+  let lj, fj = match paths with [ a; b ] -> (a, b) | _ -> assert false in
+  let leader, log = leader_exn lj in
+  ignore (run_exn leader [ ("initiate", []) ]);
+  List.iter
+    (fun c -> ignore (run_exn leader [ ("offer", [ v c ]) ]))
+    [ "cs1"; "cs2"; "cs3"; "cs4"; "cs5"; "cs6"; "cs7" ];
+  let r = replica_exn ~snapshot_every:3 fj in
+  catch_up log r;
+  Alcotest.(check int) "eight entries applied" 8 (Replica.applied r);
+  Alcotest.(check int) "snapshot at the last boundary" 6
+    (Replica.snapshot_offset r);
+  (* restart: only the tail past the snapshot re-runs *)
+  let r2 = replica_exn ~snapshot_every:3 fj in
+  Alcotest.(check int) "recovery replayed only the tail" 2
+    (Replica.recovered_entries r2);
+  Alcotest.(check bool) "bounded by the snapshot period" true
+    (Replica.recovered_entries r2 <= 3);
+  Alcotest.(check int) "at the right offset" 8 (Replica.applied r2);
+  Alcotest.check db "with the right state" (Session.db leader) (follower_db r2)
+
+(* --- QCheck: any interleaving of commits, catch-up rounds, follower
+   restarts and injected faults converges to the leader's state --- *)
+
+type repl_op =
+  | Commit of Journal.call list
+  | Sync  (** one fetch/apply round *)
+  | Restart  (** crash the follower, recover from snapshot + tail *)
+  | Fault_snapshot  (** arm the torn-snapshot window *)
+  | Fault_apply  (** arm a one-shot apply failure *)
+
+let pp_repl_op ppf = function
+  | Commit calls -> Fmt.pf ppf "commit[%a]" pp_batch calls
+  | Sync -> Fmt.string ppf "sync"
+  | Restart -> Fmt.string ppf "restart"
+  | Fault_snapshot -> Fmt.string ppf "fault-snapshot"
+  | Fault_apply -> Fmt.string ppf "fault-apply"
+
+let repl_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun b -> Commit b) batch_gen);
+        (3, return Sync);
+        (1, return Restart);
+        (1, return Fault_snapshot);
+        (1, return Fault_apply);
+      ])
+
+let arbitrary_repl_ops =
+  QCheck.make
+    ~print:(Fmt.str "%a" (Fmt.Dump.list pp_repl_op))
+    QCheck.Gen.(list_size (int_range 1 12) repl_op_gen)
+
+let replication_converges =
+  QCheck.Test.make ~name:"replicated interleavings converge to leader state"
+    ~count:20 arbitrary_repl_ops (fun ops ->
+      with_journals [ "prop_l"; "prop_f" ] @@ fun paths ->
+      let lj, fj =
+        match paths with [ a; b ] -> (a, b) | _ -> assert false
+      in
+      let leader, log = leader_exn lj in
+      let replica = ref (replica_exn ~snapshot_every:2 fj) in
+      let sync_once () =
+        ignore (Replication.refresh log);
+        match Replication.entries_from log (Replica.applied !replica) with
+        | [] -> ()
+        | entries -> ignore (Replica.apply !replica entries)
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | Commit calls -> ignore (Session.run leader calls)
+          | Sync -> sync_once ()
+          | Restart -> replica := replica_exn ~snapshot_every:2 fj
+          | Fault_snapshot -> Fault.arm ~site:"replication.snapshot" Fault.Abort
+          | Fault_apply -> Fault.arm ~site:"replication.apply" Fault.Abort)
+        ops;
+      (* quiesce: disarm and drive the follower to the leader's offset *)
+      Fault.disarm_all ();
+      catch_up log !replica;
+      let converged = Db.equal (Session.db leader) (follower_db !replica) in
+      (* and a fresh replay of the leader's journal agrees too *)
+      let fresh = session_exn ~config:(Config.make ~transactional:true ()) () in
+      let replay_agrees =
+        match Session.replay fresh lj with
+        | Ok rep -> Db.equal rep.Session.rep_state (Session.db leader)
+        | Error e -> Alcotest.failf "fresh replay: %s" (Error.to_string e)
+      in
+      converged && replay_agrees)
+
 let suite =
   [
     Alcotest.test_case "planner cache stays warm across session calls" `Quick
@@ -243,5 +548,16 @@ let suite =
     Alcotest.test_case "protocol frames round-trip" `Quick test_protocol_frames;
     Alcotest.test_case "protocol dispatch over a session" `Quick
       test_protocol_dispatch;
+    Alcotest.test_case "replication: follower converges on the leader" `Quick
+      test_replication_convergence;
+    Alcotest.test_case "replication: follower rejects writes as read-only"
+      `Quick test_read_only_rejection;
+    Alcotest.test_case "replication: stale-epoch fetch is rejected" `Quick
+      test_stale_epoch_fetch;
+    Alcotest.test_case "replication: torn snapshot never loses data" `Quick
+      test_torn_snapshot_recovery;
+    Alcotest.test_case "replication: recovery is snapshot-bounded" `Quick
+      test_bounded_recovery;
   ]
-  @ List.map QCheck_alcotest.to_alcotest [ concurrent_commits_serializable ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ concurrent_commits_serializable; replication_converges ]

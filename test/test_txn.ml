@@ -210,6 +210,52 @@ let test_journal_ignores_partial_entry () =
       | Ok (es, _) -> Alcotest.failf "expected 1 entry, got %d" (List.length es)
       | Error e -> Alcotest.failf "journal load: %s" (Error.to_string e))
 
+let test_journal_malformed_line_context () =
+  with_temp_journal (fun path ->
+      let jtxn = Txn.make ~journal:path env in
+      (match Txn.run jtxn [ ("initiate", []); ("offer", [ v "cs101" ]) ] db0 with
+       | Ok _ -> ()
+       | Error rb -> Alcotest.failf "rolled back: %a" Txn.pp_rollback rb);
+      (* corrupt the middle of the file: a malformed line with entries
+         after it cannot be a torn tail, so the error must locate it *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "garbage line\ncall offer cs102\ncommit\n";
+      close_out oc;
+      match Journal.load path with
+      | Ok _ -> Alcotest.fail "malformed mid-file line must be an error"
+      | Error e ->
+        Alcotest.(check (option string))
+          "line number in context" (Some "4")
+          (List.assoc_opt "line" e.Error.context);
+        (* "call initiate\ncall offer cs101\ncommit\n" = 38 bytes *)
+        Alcotest.(check (option string))
+          "byte offset in context" (Some "38")
+          (List.assoc_opt "byte" e.Error.context);
+        Alcotest.(check bool) "message names line and byte" true
+          (let m = e.Error.message in
+           let has sub =
+             let n = String.length sub and l = String.length m in
+             let rec at i = i + n <= l && (String.sub m i n = sub || at (i + 1)) in
+             at 0
+           in
+           has "line 4" && has "byte 38"))
+
+let test_journal_fsync_append () =
+  (* ~fsync:true must produce the same bytes as the buffered path —
+     the guarantee is about durability, not format *)
+  with_temp_journal (fun path ->
+      let jtxn = Txn.make ~fsync:true ~journal:path env in
+      (match Txn.run jtxn [ ("initiate", []); ("offer", [ v "cs101" ]) ] db0 with
+       | Ok _ -> ()
+       | Error rb -> Alcotest.failf "rolled back: %a" Txn.pp_rollback rb);
+      match Journal.load path with
+      | Ok ([ entry ], None) ->
+        Alcotest.(check int) "both calls landed" 2 (List.length entry.Journal.calls)
+      | Ok (es, torn) ->
+        Alcotest.failf "expected 1 clean entry, got %d (torn: %a)"
+          (List.length es) Fmt.(option string) torn
+      | Error e -> Alcotest.failf "journal load: %s" (Error.to_string e))
+
 (* ------------------------------------------------------------------ *)
 (* The While visited-set fix                                           *)
 (* ------------------------------------------------------------------ *)
@@ -302,6 +348,10 @@ let suite =
     Alcotest.test_case "flipped constraint rolls back" `Quick test_constraint_flip;
     Alcotest.test_case "journal + replay" `Quick test_journal_replay;
     Alcotest.test_case "partial journal entry ignored" `Quick test_journal_ignores_partial_entry;
+    Alcotest.test_case "malformed journal line carries line and byte" `Quick
+      test_journal_malformed_line_context;
+    Alcotest.test_case "fsynced journal appends round-trip" `Quick
+      test_journal_fsync_append;
     Alcotest.test_case "while converges on nondeterministic body" `Quick
       test_while_nondeterministic_body;
   ]
