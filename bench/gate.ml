@@ -9,17 +9,28 @@
 
      (cur_ns / cur_calibration) > (base_ns / base_calibration) * (1 + threshold)
 
-   Derived metrics (speedup ratios) are reported but never gated — they
-   depend on the runner's core count — with two exceptions, both
-   absolute machine-free ratios: [trace_disabled_overhead], the cost of
-   a disabled tracing span relative to one semantics statement, fails
-   the gate above --trace-overhead-max (default 0.02: tracing off must
-   stay within 2%); [session_warm_speedup], a warm service session
-   relative to paying full session setup per request, fails below
-   --session-speedup-min (default 5: the daemon must beat one-shot
-   clients by that margin). Exit status: 0 when every baseline
-   metric passes, 1 on any regression or a metric missing from the
-   current report, 2 on usage/parse errors. *)
+   Derived metrics (speedup ratios) are gated where they are
+   meaningful, reported as info otherwise:
+
+   - [trace_disabled_overhead], the cost of a disabled tracing span
+     relative to one semantics statement, fails above
+     --trace-overhead-max (default 0.02: tracing off must stay within
+     2%). Machine-free, always gated.
+   - [session_warm_speedup], a warm service session relative to paying
+     full session setup per request, fails below --session-speedup-min
+     (default 5: the daemon must beat one-shot clients by that margin).
+     Machine-free, always gated.
+   - [check23_speedup_jobs4] (and, as a no-regression floor,
+     [check23_speedup_jobs2]) gate real multicore scaling: jobs4 fails
+     below --check23-speedup-min (default 1.5) and jobs2 below 1.0.
+     These depend on physical parallelism, so they are gated only when
+     the current report's [cores] field is >= 4 — below that the gate
+     prints an explicit skip line and passes (pass 0 to disable
+     entirely).
+
+   Exit status: 0 when every baseline metric passes, 1 on any
+   regression or a metric missing from the current report, 2 on
+   usage/parse errors. *)
 
 module Json = Fdbs_kernel.Json
 
@@ -41,9 +52,10 @@ let () =
   let threshold = ref 0.25 in
   let overhead_max = ref 0.02 in
   let session_min = ref 5.0 in
+  let speedup_min = ref 1.5 in
   let usage =
     "gate --baseline FILE --current FILE [--threshold F] [--trace-overhead-max F] \
-     [--session-speedup-min F]"
+     [--session-speedup-min F] [--check23-speedup-min F]"
   in
   Arg.parse
     [
@@ -58,6 +70,10 @@ let () =
       ( "--session-speedup-min",
         Arg.Set_float session_min,
         "F required warm-session speedup over per-request setup (default 5)" );
+      ( "--check23-speedup-min",
+        Arg.Set_float speedup_min,
+        "F required Check23 speedup at 4 domains on a >=4-core runner \
+         (default 1.5; 0 disables)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     usage;
@@ -95,10 +111,45 @@ let () =
             (if ok then "ok  " else "FAIL")
             name base_ns cur_ns (100. *. change))
       (metrics_exn base);
+    (* the speedup gate needs physical parallelism: read the core count
+       the current report recorded on its own runner *)
+    let cores =
+      match field "cores" cur with Some (Json.Num f) -> int_of_float f | _ -> 1
+    in
+    let gate_speedups = !speedup_min > 0. && cores >= 4 in
+    let skip_speedup name f =
+      if !speedup_min <= 0. then
+        Printf.printf "  skip %-24s %.2fx (gate disabled: --check23-speedup-min 0)\n"
+          name f
+      else
+        Printf.printf
+          "  skip %-24s %.2fx (gate skipped: runner has %d core(s), needs >= 4)\n"
+          name f cores
+    in
     (match field "derived" cur with
      | Some (Json.Obj kvs) ->
        List.iter
          (function
+           | "check23_speedup_jobs4", Json.Num f ->
+             if gate_speedups then begin
+               let ok = f >= !speedup_min in
+               if not ok then incr failures;
+               Printf.printf
+                 "  %s %-24s %.2fx (min %.2fx: Check23 at 4 domains must scale)\n"
+                 (if ok then "ok  " else "FAIL")
+                 "check23_speedup_jobs4" f !speedup_min
+             end
+             else skip_speedup "check23_speedup_jobs4" f
+           | "check23_speedup_jobs2", Json.Num f ->
+             if gate_speedups then begin
+               let ok = f >= 1.0 in
+               if not ok then incr failures;
+               Printf.printf
+                 "  %s %-24s %.2fx (min 1.00x: 2 domains must not regress)\n"
+                 (if ok then "ok  " else "FAIL")
+                 "check23_speedup_jobs2" f
+             end
+             else skip_speedup "check23_speedup_jobs2" f
            | "trace_disabled_overhead", Json.Num f ->
              let ok = f <= !overhead_max in
              if not ok then incr failures;

@@ -456,8 +456,9 @@ let peer_of (addr : string) : Server.listen =
 
 let serve_cmd =
   let workers =
-    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
-           ~doc:"Worker domains serving connections concurrently.")
+    Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains serving connections concurrently; 0 (the \
+                 default) means one per core, minimum 2.")
   in
   let spec_opt =
     Arg.(value & opt (some file) None & info [ "spec" ] ~docv:"SPEC-FILE"

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Fault-injection smoke: an injected fault must roll the transaction
+# back — exit code 1, a "rolled back" diagnostic, and the restored
+# state intact. Run from the repo root:
+#   bash ci/fault-smoke.sh
+set -euo pipefail
+
+set +e
+out=$(dune exec bin/fds.exe -- run specs/university.schema \
+  --transactional --fault semantics.exec \
+  -c 'initiate()' -c 'offer(cs101)')
+code=$?
+set -e
+echo "$out"
+test "$code" -eq 1
+echo "$out" | grep -q "rolled back"
+echo "$out" | grep -q "OFFERED = {}"
+echo "fault smoke ok"

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Parallel verification smoke: --jobs must not change the verification
+# output, byte for byte. Run from the repo root (CI wraps this in
+# `opam exec`; locally any shell with dune on PATH works):
+#   bash ci/parallel-smoke.sh
+set -euo pipefail
+
+one=$(dune exec bin/fds.exe -- verify --small --depth 1 --jobs 1)
+all=$(dune exec bin/fds.exe -- verify --small --depth 1 --jobs 0)
+test "$one" = "$all"
+echo "$one" | grep -q "VERIFIED"
+echo "parallel smoke ok"

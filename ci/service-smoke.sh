@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Service smoke: boot the fds serve daemon on a Unix socket, drive it
+# with two client connections, stop it with a shutdown request, and
+# check that the graceful stop flushed the journal, unlinked the
+# socket, and emitted a valid trace artifact. Run from the repo root:
+#   bash ci/service-smoke.sh
+set -euo pipefail
+
+rm -f fds.sock serve.journal serve.journal.snap serve.log trace-serve.json
+dune build bin/fds.exe bench/trace_validate.exe
+fds=_build/default/bin/fds.exe
+FDBS_TRACE_VIRTUAL_TS=1 $fds serve specs/university.schema \
+  --socket fds.sock --transactional --journal serve.journal \
+  --trace=trace-serve.json 2>serve.log &
+server=$!
+for i in $(seq 1 100); do test -S fds.sock && break; sleep 0.1; done
+out=$($fds client --socket fds.sock --retries 10 \
+  '{"id": 1, "op": "ping"}' \
+  '{"id": 2, "op": "run", "calls": ["initiate()", "offer(cs101)"]}' \
+  '{"id": 3, "op": "query", "wff": "exists c:course. OFFERED(c)"}')
+echo "$out"
+test "$(echo "$out" | grep -c '"ok": true')" -eq 3
+$fds client --socket fds.sock '{"id": 4, "op": "shutdown"}'
+wait "$server"
+cat serve.log
+grep -q "server stopped" serve.log
+grep -q "^commit$" serve.journal
+test ! -S fds.sock
+dune exec bench/trace_validate.exe -- trace-serve.json
+echo "service smoke ok"

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Trace smoke: --trace must produce valid Chrome trace JSON, and with
+# virtual timestamps the span tree — hence the file — must be
+# byte-identical for -j 1 and -j 4. Run from the repo root:
+#   bash ci/trace-smoke.sh
+set -euo pipefail
+
+dune build bench/trace_validate.exe
+FDBS_TRACE_VIRTUAL_TS=1 dune exec bin/fds.exe -- \
+  verify-files specs/university.theory specs/university.spec \
+  specs/university.schema --depth 1 -j 1 --trace=trace-j1.json
+FDBS_TRACE_VIRTUAL_TS=1 dune exec bin/fds.exe -- \
+  verify-files specs/university.theory specs/university.spec \
+  specs/university.schema --depth 1 -j 4 --trace=trace-j4.json
+cmp trace-j1.json trace-j4.json
+dune exec bench/trace_validate.exe -- trace-j1.json
+dune exec bin/fds.exe -- verify --small --depth 1 \
+  --trace=trace-builtin.json --stats
+dune exec bench/trace_validate.exe -- trace-builtin.json
+echo "trace smoke ok"

@@ -1,16 +1,25 @@
-(** Deterministic work splitting across OCaml 5 domains.
+(** Deterministic work-stealing across OCaml 5 domains.
 
     The refinement checkers sweep large, embarrassingly parallel spaces
     (equation instances x parameter valuations x reachable databases).
-    [Pool.map] splits such a work list into contiguous chunks, runs one
-    chunk per domain, and concatenates the per-chunk results in input
-    order — so for a deterministic worker function the result is
-    identical to [List.map], whatever the job count.
+    [Pool.map] distributes such a work list over a pool of persistent
+    worker domains with {e work-stealing}: each participant owns a
+    contiguous index range of the input, pops size-adaptive blocks off
+    its front, and — when its range drains — steals the back half of
+    the largest remaining range. Results land in an index-addressed
+    array, so the merge is order-preserving by construction and no
+    participant ever waits on a slower peer to publish its results.
 
-    Exceptions are deterministic too: every chunk runs to completion
-    (or to its own failure), and the exception of the {e earliest}
-    failing chunk is re-raised in the caller, regardless of which domain
-    finished first.
+    Determinism contract (pinned by test/test_parallel.ml):
+    [map ?jobs f xs = List.map f xs] for any deterministic [f] and any
+    job count. Exceptions are deterministic too: every item runs (or
+    fails fast), and the exception of the {e earliest} failing item is
+    re-raised in the caller regardless of which domain hit it first.
+
+    Worker domains are spawned once and reused across calls: a [map]
+    posts one help request per extra participant and the caller always
+    participates, so a call never waits on helper startup and nested
+    maps cannot deadlock (untouched helper ranges simply get stolen).
 
     The default job count comes from the [FDBS_JOBS] environment
     variable (or 1), and can be overridden per call or globally (the
@@ -34,7 +43,9 @@ let set_default_jobs n = default := clamp_jobs n
 let recommended_jobs () = Stdlib.Domain.recommended_domain_count ()
 
 (** Split [xs] into at most [jobs] contiguous chunks of near-equal
-    length, preserving order; no chunk is empty. *)
+    length, preserving order; no chunk is empty. This is the initial
+    range assignment of [map] (before stealing reshapes it) and a
+    public helper in its own right. *)
 let chunks ~jobs (xs : 'a list) : 'a list list =
   let n = List.length xs in
   if n = 0 then []
@@ -60,54 +71,248 @@ let chunks ~jobs (xs : 'a list) : 'a list list =
 
 let h_chunk_us = Metrics.histogram "pool.chunk_us"
 let c_chunks = Metrics.counter "pool.chunks"
+let c_steals = Metrics.counter "pool.steals"
+let c_helpers = Metrics.counter "pool.helpers_spawned"
 
-(* Run one chunk to completion, capturing any exception with its
-   backtrace so the merge can re-raise the earliest one. Each chunk's
-   latency lands in the [pool.chunk_us] histogram. *)
-let run_chunk f chunk =
+(* ------------------------------------------------------------------ *)
+(* Persistent helper domains.
+
+   Spawning a domain costs far more than a typical obligation chunk,
+   and the old spawn-per-call design paid it on every [map] — the
+   dominant cost of fine-grained sweeps like Dynamic23's per-equation
+   maps. Helpers are spawned on first parallel use, then loop forever
+   on a queue of help requests. A help request is a closure capturing
+   one map's shared state; a stale request (its map already drained by
+   the caller and other helpers) finds only empty ranges and returns
+   immediately. Helpers idle in [Condition.wait], which releases the
+   runtime lock, so they cost nothing between maps. *)
+
+let help_queue : (unit -> unit) Queue.t = Queue.create ()
+let help_lock = Mutex.create ()
+let help_cond = Condition.create ()
+
+(* Guarded by [help_lock]. Capped well below the runtime's domain
+   limit so other subsystems (server workers, follower streams) can
+   still spawn. *)
+let helpers_alive = ref 0
+let max_helpers = 64
+
+let helper_loop () =
+  let rec next () =
+    Mutex.lock help_lock;
+    while Queue.is_empty help_queue do
+      Condition.wait help_cond help_lock
+    done;
+    let job = Queue.pop help_queue in
+    Mutex.unlock help_lock;
+    (* Help requests handle their own failures (item exceptions land in
+       the map's failure slot); this catch is a last-ditch guard that
+       keeps the helper alive no matter what. *)
+    (try job () with _ -> ());
+    next ()
+  in
+  next ()
+
+let ensure_helpers wanted =
+  let wanted = min wanted max_helpers in
+  Mutex.lock help_lock;
+  (try
+     while !helpers_alive < wanted do
+       ignore (Stdlib.Domain.spawn helper_loop : unit Stdlib.Domain.t);
+       incr helpers_alive;
+       Metrics.incr c_helpers
+     done
+   with _ -> () (* domain limit reached: the caller still completes alone *));
+  Mutex.unlock help_lock
+
+let post_help jobs =
+  Mutex.lock help_lock;
+  List.iter (fun j -> Queue.push j help_queue) jobs;
+  Condition.broadcast help_cond;
+  Mutex.unlock help_lock
+
+(* ------------------------------------------------------------------ *)
+
+(* The sequential path: byte-for-byte the old [jobs:1] behavior — items
+   run in order, spans record inline, the first exception propagates
+   immediately (later items do not run). *)
+let run_seq f xs =
   let t0 = Mclock.now_us () in
   let r =
-    try Ok (List.map f chunk) with e -> Error (e, Printexc.get_raw_backtrace ())
+    try Ok (List.map f xs) with e -> Error (e, Printexc.get_raw_backtrace ())
   in
   Metrics.incr c_chunks;
   Metrics.observe_us h_chunk_us (Mclock.now_us () -. t0);
-  r
+  match r with
+  | Ok ys -> ys
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt
 
 (** [map ?jobs f xs] is [List.map f xs] computed by up to [jobs]
-    domains (the caller's domain works the first chunk). Results merge
-    in input order; the earliest chunk's exception wins.
+    participants (the caller's domain always participates, helpers are
+    persistent pool domains). Each participant owns a range descriptor
+    [(lo, hi) Atomic.t]; owners CAS size-adaptive blocks off the front,
+    idle participants steal the back half of the largest remaining
+    range. Results are written to slot [i] of a shared array — exactly
+    one writer per slot — so the merge preserves input order no matter
+    how stealing reshaped the schedule.
 
-    When {!Trace} is enabled, every worker chunk records into an
-    isolated collector and its spans are grafted back into the
-    caller's open span in chunk order — the merged span tree equals
-    the sequential one for any job count (the caller's own chunk runs
-    first and records in place). *)
+    When {!Trace} is enabled, every block (the caller's included) runs
+    inside {!Trace.isolated}; the collected span groups are sorted by
+    block start index and grafted in that order, so the merged span
+    tree equals the sequential one for any job count and any steal
+    schedule. *)
 let map ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
   let jobs = match jobs with Some j -> clamp_jobs j | None -> default_jobs () in
-  let merge outcomes =
-    List.concat_map
-      (function
-        | Ok ys -> ys
-        | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
-      outcomes
-  in
-  match chunks ~jobs xs with
-  | [] -> []
-  | [ chunk ] -> merge [ run_chunk f chunk ]
-  | first :: rest ->
-    let traced = Trace.enabled () in
-    let workers =
-      List.map
-        (fun chunk ->
-          Stdlib.Domain.spawn (fun () ->
-              if traced then Trace.isolated (fun () -> run_chunk f chunk)
-              else (run_chunk f chunk, [])))
-        rest
-    in
-    let head = run_chunk f first in
-    let tail = List.map Stdlib.Domain.join workers in
-    if traced then List.iter (fun (_, spans) -> Trace.graft spans) tail;
-    merge (head :: List.map fst tail)
+  let n = List.length xs in
+  if n = 0 then []
+  else begin
+    let p = min jobs n in
+    if p = 1 then run_seq f xs
+    else begin
+      let input = Array.of_list xs in
+      let out : 'b option array = Array.make n None in
+      (* Initial even split, one remaining-range descriptor per
+         participant. CAS on immutable int pairs: every update installs
+         a fresh allocation, so physical-equality CAS cannot ABA. *)
+      let deques =
+        let base = n / p and extra = n mod p in
+        let start = ref 0 in
+        Array.init p (fun i ->
+            let len = base + if i < extra then 1 else 0 in
+            let lo = !start in
+            start := lo + len;
+            Atomic.make (lo, lo + len))
+      in
+      (* Earliest failing item wins, deterministically: keep the
+         minimum index via a CAS loop. Items keep running after a
+         failure (budget-exhausted sweeps fail fast anyway), so the
+         winner cannot depend on the steal schedule. *)
+      let fail : (int * exn * Printexc.raw_backtrace) option Atomic.t =
+        Atomic.make None
+      in
+      let record_failure i e bt =
+        let rec go () =
+          let cur = Atomic.get fail in
+          match cur with
+          | Some (j, _, _) when j <= i -> ()
+          | _ ->
+            if not (Atomic.compare_and_set fail cur (Some (i, e, bt))) then go ()
+        in
+        go ()
+      in
+      let traced = Trace.enabled () in
+      let grafts : (int * Trace.span list) list Atomic.t = Atomic.make [] in
+      let completed = Atomic.make 0 in
+      let done_lock = Mutex.create () in
+      let done_cond = Condition.create () in
+      let run_items lo hi =
+        for i = lo to hi - 1 do
+          match f input.(i) with
+          | y -> out.(i) <- Some y
+          | exception e -> record_failure i e (Printexc.get_raw_backtrace ())
+        done
+      in
+      let run_block lo hi =
+        let t0 = Mclock.now_us () in
+        (if traced then begin
+           let (), spans = Trace.isolated (fun () -> run_items lo hi) in
+           let rec push () =
+             let cur = Atomic.get grafts in
+             if not (Atomic.compare_and_set grafts cur ((lo, spans) :: cur))
+             then push ()
+           in
+           push ()
+         end
+         else run_items lo hi);
+        Metrics.incr c_chunks;
+        Metrics.observe_us h_chunk_us (Mclock.now_us () -. t0);
+        if Atomic.fetch_and_add completed (hi - lo) + (hi - lo) = n then begin
+          Mutex.lock done_lock;
+          Condition.broadcast done_cond;
+          Mutex.unlock done_lock
+        end
+      in
+      (* Pop a size-adaptive block off the front of [me]'s range:
+         roughly an eighth of what remains, so blocks shrink as the
+         range drains and the tail stays steal-able. *)
+      let rec take_own me =
+        let d = deques.(me) in
+        let ((lo, hi) as cur) = Atomic.get d in
+        if lo >= hi then None
+        else begin
+          let blk = max 1 ((hi - lo + 7) / 8) in
+          let hi' = min hi (lo + blk) in
+          if Atomic.compare_and_set d cur (hi', hi) then Some (lo, hi')
+          else take_own me
+        end
+      in
+      (* Steal the back half of the largest remaining range into [me]'s
+         (empty) descriptor. Returns [false] only when every range was
+         empty — the signal to stop. *)
+      let steal me =
+        let best = ref (-1) and best_len = ref 0 in
+        Array.iteri
+          (fun j d ->
+            if j <> me then begin
+              let lo, hi = Atomic.get d in
+              if hi - lo > !best_len then begin
+                best := j;
+                best_len := hi - lo
+              end
+            end)
+          deques;
+        if !best < 0 then false
+        else begin
+          let d = deques.(!best) in
+          let ((lo, hi) as cur) = Atomic.get d in
+          if hi <= lo then true (* raced to empty; rescan *)
+          else begin
+            let mid = lo + ((hi - lo) / 2) in
+            if Atomic.compare_and_set d cur (lo, mid) then begin
+              Metrics.incr c_steals;
+              Atomic.set deques.(me) (mid, hi)
+            end;
+            true
+          end
+        end
+      in
+      let rec work me =
+        match take_own me with
+        | Some (lo, hi) ->
+          run_block lo hi;
+          work me
+        | None -> if steal me then work me else ()
+      in
+      (* Enlist persistent helpers. Arrival order assigns slots; a
+         helper that never arrives (queue backlog, spawn failure) is
+         harmless — its untouched range gets stolen. *)
+      let slots = Atomic.make 1 in
+      let helper () =
+        let me = Atomic.fetch_and_add slots 1 in
+        if me < p then work me
+      in
+      ensure_helpers (p - 1);
+      post_help (List.init (p - 1) (fun _ -> helper));
+      work 0;
+      Mutex.lock done_lock;
+      while Atomic.get completed < n do
+        Condition.wait done_cond done_lock
+      done;
+      Mutex.unlock done_lock;
+      if traced then begin
+        let blocks =
+          List.sort
+            (fun (a, _) (b, _) -> compare (a : int) b)
+            (Atomic.get grafts)
+        in
+        Trace.graft (List.concat_map snd blocks)
+      end;
+      (match Atomic.get fail with
+      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.to_list (Array.map Option.get out)
+    end
+  end
 
 (** [map_reduce ?jobs ~map:f ~merge ~neutral xs] maps in parallel, then
     folds the per-item results left to right — deterministic for any

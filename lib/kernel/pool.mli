@@ -1,10 +1,14 @@
-(** Deterministic work splitting across OCaml 5 domains.
+(** Deterministic work-stealing across OCaml 5 domains.
 
     [map ?jobs f xs] equals [List.map f xs] for any deterministic [f],
-    whatever the job count: the work list is split into contiguous
-    chunks, one chunk per domain, and results concatenate in input
-    order. If several chunks raise, the earliest chunk's exception is
-    re-raised in the caller — independent of scheduling. *)
+    whatever the job count: each participant owns a contiguous index
+    range, pops size-adaptive blocks off its front, and steals the
+    back half of the largest remaining range when idle. Results are
+    written to an index-addressed array — one writer per slot — so the
+    merge preserves input order for any steal schedule. If several
+    items raise, the {e earliest item}'s exception is re-raised in the
+    caller — independent of scheduling. Worker domains are persistent:
+    spawned on first parallel use, reused by every later call. *)
 
 (** The session-wide default job count: the [FDBS_JOBS] environment
     variable at startup, or 1. *)
@@ -19,12 +23,14 @@ val set_default_jobs : int -> unit
 val recommended_jobs : unit -> int
 
 (** Split a list into at most [jobs] contiguous, near-equal, non-empty
-    chunks, preserving order. [List.concat (chunks ~jobs xs) = xs]. *)
+    chunks, preserving order. [List.concat (chunks ~jobs xs) = xs].
+    This is also [map]'s initial range assignment, before stealing
+    reshapes it. *)
 val chunks : jobs:int -> 'a list -> 'a list list
 
 (** Parallel [List.map]; [jobs] defaults to {!default_jobs}. The
-    caller's domain works the first chunk, so [jobs:1] spawns
-    nothing. *)
+    caller's domain always participates, so [jobs:1] spawns nothing
+    and a map never waits on helper startup. *)
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
 (** Parallel map followed by a left fold of the results in input

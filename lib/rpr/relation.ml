@@ -90,19 +90,30 @@ let mem_index_threshold = 8
 let c_mem_index_builds = Metrics.counter "relation.mem_index_builds"
 let c_col_index_builds = Metrics.counter "relation.col_index_builds"
 
+(* Build (or fetch) the membership table. Publication is a one-shot
+   CAS: the first builder wins and every racing peer drops its build
+   and adopts the published table, so concurrent domains end up probing
+   the {e same} table — sharing cache lines instead of each carrying a
+   private duplicate. *)
+let mem_table (r : t) =
+  match Atomic.get r.mem_cache with
+  | Some tbl -> tbl
+  | None ->
+    Metrics.incr c_mem_index_builds;
+    let tbl = Hashtbl.create (2 * Tuple_set.cardinal r.tuples) in
+    Tuple_set.iter (fun t -> Hashtbl.replace tbl t ()) r.tuples;
+    if Atomic.compare_and_set r.mem_cache None (Some tbl) then tbl
+    else begin
+      match Atomic.get r.mem_cache with Some t -> t | None -> tbl
+    end
+
 let mem tu (r : t) =
   match Atomic.get r.mem_cache with
   | Some tbl -> Hashtbl.mem tbl tu
   | None ->
     if Tuple_set.cardinal r.tuples < mem_index_threshold then
       Tuple_set.mem tu r.tuples
-    else begin
-      Metrics.incr c_mem_index_builds;
-      let tbl = Hashtbl.create (2 * Tuple_set.cardinal r.tuples) in
-      Tuple_set.iter (fun t -> Hashtbl.replace tbl t ()) r.tuples;
-      Atomic.set r.mem_cache (Some tbl);
-      Hashtbl.mem tbl tu
-    end
+    else Hashtbl.mem (mem_table r) tu
 
 (** The value -> tuples index for column [col], built on first use and
     cached. The index is immutable once published. *)
@@ -120,14 +131,18 @@ let index_on (col : int) (r : t) : index =
         Hashtbl.replace idx key
           (tu :: Option.value ~default:[] (Hashtbl.find_opt idx key)))
       r.tuples;
+    (* One-shot publication: if a peer published this column first, its
+       index wins and we adopt it — all domains probe one shared
+       index. *)
     let rec publish () =
       let cur = Atomic.get r.col_cache in
-      if List.mem_assoc col cur then ()
-      else if not (Atomic.compare_and_set r.col_cache cur ((col, idx) :: cur)) then
-        publish ()
+      match List.assoc_opt col cur with
+      | Some published -> published
+      | None ->
+        if Atomic.compare_and_set r.col_cache cur ((col, idx) :: cur) then idx
+        else publish ()
     in
-    publish ();
-    idx
+    publish ()
 
 (** All tuples whose column [col] holds [value], via the cached
     index. *)
@@ -161,9 +176,22 @@ let hash (r : t) =
         ((arity r * 7) + 3)
       land max_int
     in
-    Atomic.set r.hash_cache h;
+    (* The hash is deterministic, so a lost race publishes the same
+       value; the CAS just keeps publication one-shot like the other
+       caches. *)
+    ignore (Atomic.compare_and_set r.hash_cache (-1) h : bool);
     h
   end
+
+(** Publish this relation's lazy caches eagerly: the extension hash and
+    (above the indexing threshold) the membership table. Called once on
+    a shared read-only snapshot {e before} handing it to parallel
+    readers, so worker domains probe published indexes instead of
+    racing to build duplicates. *)
+let warm (r : t) =
+  ignore (hash r : int);
+  if Tuple_set.cardinal r.tuples >= mem_index_threshold then
+    ignore (mem_table r : (Tuple.t, unit) Hashtbl.t)
 
 let equal (a : t) (b : t) =
   a == b

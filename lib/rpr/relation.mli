@@ -73,6 +73,13 @@ val equal : t -> t -> bool
     and cached; consistent with {!equal}. *)
 val hash : t -> int
 
+(** Publish the lazy caches eagerly (extension hash, membership table
+    when the relation is large enough to index). Call on a shared
+    read-only snapshot before a parallel sweep so worker domains probe
+    one published index instead of racing to build duplicates; cache
+    publication is one-shot (first builder wins, peers adopt). *)
+val warm : t -> unit
+
 (** [compose a b = {(x, z) | (x, y) ∈ a, (y, z) ∈ b}] for binary
     relations sharing their middle sort, evaluated through [b]'s
     first-column index. Raises [Invalid_argument] otherwise. *)

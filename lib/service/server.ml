@@ -52,6 +52,9 @@ type stats = {
   served_requests : int;
 }
 
+let h_request_us = Metrics.histogram "service.request_us"
+let c_workers = Metrics.counter "service.workers"
+
 let request_stop server =
   Atomic.set server.stop true;
   Mutex.lock server.qlock;
@@ -73,10 +76,19 @@ let serve_connection server fd =
          loop ()
        | Ok req ->
          (match
-            Trace.with_span ~cat:"service"
-              ~args:[ ("op", req.Protocol.op) ]
-              "service.request"
-              (fun () -> Protocol.handle ~role:server.role session req)
+            (* Per-request budgets are rebuilt inside the handler from
+               the store config, so accounting stays exact whichever
+               worker domain serves the request; reads evaluate against
+               a shared snapshot outside the store lock. *)
+            let t0 = Mclock.now_us () in
+            Fun.protect
+              ~finally:(fun () ->
+                Metrics.observe_us h_request_us (Mclock.now_us () -. t0))
+              (fun () ->
+                Trace.with_span ~cat:"service"
+                  ~args:[ ("op", req.Protocol.op) ]
+                  "service.request"
+                  (fun () -> Protocol.handle ~role:server.role session req))
           with
           | Protocol.Reply r ->
             Protocol.write_frame oc r;
@@ -230,10 +242,19 @@ let follow_loop server (replica : Replica.t) (leader : Unix.sockaddr)
 (* serve                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let serve ?(workers = 2) ?spec ?(config = Config.default)
+let serve ?(workers = 0) ?spec ?(config = Config.default)
     ?(ready = fun () -> ()) ?follow ?snapshot_every (listen : listen) schema :
   (stats, Error.t) result =
   let ( let* ) = Result.bind in
+  (* 0 (the default) sizes the worker pool to the machine: one domain
+     per core, at least two so a slow connection never starves the
+     accept queue. The workers share one store — and one process-wide
+     planner cache, safe because plan keys mix the schema fingerprint —
+     so every domain serves requests against warm plans. *)
+  let workers =
+    if workers <= 0 then Stdlib.max 2 (Pool.recommended_jobs ()) else workers
+  in
+  Metrics.set c_workers workers;
   (* Followers apply leader entries as checked transactions journaled
      locally, so their mode is forced transactional; leaders journal
      with fsync so a committed entry survives power loss. *)

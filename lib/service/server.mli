@@ -16,12 +16,18 @@ type stats = {
 }
 
 (** Bind, listen, and block serving connections until a [shutdown]
-    request, SIGINT or SIGTERM. [workers] (default 2) worker domains
-    serve connections concurrently; [ready] runs once the socket is
-    listening (the CLI prints its "serving on" line there). On return
-    the socket is closed (and unlinked for Unix sockets) and all
-    workers have joined. [Error] means the store could not be created
-    or the address could not be bound.
+    request, SIGINT or SIGTERM. [workers] worker domains serve
+    connections concurrently — 0 (the default) sizes the pool to the
+    machine (one per core, minimum 2). The domains share one store and
+    one process-wide planner cache (plan keys mix the schema
+    fingerprint, so sharing is safe); reads evaluate against immutable
+    store snapshots outside the store lock, and per-request budgets are
+    rebuilt per request so accounting stays exact whichever domain
+    serves. [ready] runs once the socket is listening (the CLI prints
+    its "serving on" line there). On return the socket is closed (and
+    unlinked for Unix sockets) and all workers have joined. [Error]
+    means the store could not be created or the address could not be
+    bound.
 
     Replication: with a journal in [config] (and no [follow]) the
     server is a {e leader} — it recovers the journal's committed state

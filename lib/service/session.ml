@@ -112,6 +112,15 @@ module Store = struct
   let locked (st : t) f =
     Mutex.lock st.lock;
     Fun.protect ~finally:(fun () -> Mutex.unlock st.lock) f
+
+  (* One lock acquisition publishes the read snapshot: the immutable
+     state and the accumulated domain, shared by reference. Worker
+     domains evaluate against the snapshot {e outside} the store lock,
+     and because relation index publication is one-shot
+     ({!Fdbs_rpr.Relation}), the first reader builds each index and
+     every peer domain reuses it. *)
+  let snapshot (st : t) : Db.t * Domain.t =
+    locked st (fun () -> (st.db, st.domain))
 end
 
 (* ------------------------------------------------------------------ *)
@@ -379,14 +388,21 @@ let query (s : t) ?(params = []) (src : string) : (bool, Error.t) result =
   | Result.Error e -> Result.Error e
   | Ok wff ->
     guard (fun () ->
-        let state = db s in
+        (* One snapshot read, then evaluation entirely outside the
+           store lock: concurrent server workers answer queries in
+           parallel against the same shared state. The budget is
+           rebuilt per request, so accounting stays exact per caller
+           whatever domain serves it. *)
+        let state, domain =
+          match s.txn with
+          | Some tx -> (tx.view, Store.locked st (fun () -> st.Store.domain))
+          | None -> Store.snapshot st
+        in
         let env =
           Semantics.env ~strategy:st.Store.config.Config.strategy ~consts:binds
             ?star_limit:st.Store.config.Config.star_limit
             ?budget:(Config.budget st.Store.config)
-            ~domain:
-              (Store.locked st (fun () -> st.Store.domain))
-            st.Store.schema
+            ~domain st.Store.schema
         in
         Ok (Semantics.query env state wff))
 

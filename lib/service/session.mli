@@ -32,6 +32,13 @@ module Store : sig
     (t, Error.t) result
 
   val schema : t -> Schema.t
+
+  (** The current state and accumulated active domain, read under one
+      lock acquisition. The pair is immutable, so callers evaluate
+      against it outside the store lock — the server's parallel read
+      path; relation indexes built on the snapshot are published
+      one-shot and shared by every reader domain. *)
+  val snapshot : t -> Db.t * Fdbs_kernel.Domain.t
 end
 
 type t

@@ -1,0 +1,20 @@
+The CI smoke scenarios are ordinary shell scripts under ci/ so they
+can be run locally, from the repo root, without GitHub Actions:
+
+- bash ci/parallel-smoke.sh -- --jobs never changes verify output
+- bash ci/fault-smoke.sh -- an injected fault rolls the txn back
+- bash ci/trace-smoke.sh -- Chrome traces valid and jobs-invariant
+- bash ci/service-smoke.sh -- serve daemon lifecycle over a socket
+- bash ci/replication-smoke.sh -- leader/follower chaos, journal replay
+
+They need dune on PATH (CI wraps them in `opam exec`) and write their
+scratch files into the current directory. This cram keeps the cheapest
+of those contracts pinned in the test suite proper: verification output
+is byte-identical whatever --jobs says, sequential or the
+work-stealing pool.
+
+  $ fds verify --small --depth 1 --jobs 1 > j1.out
+  $ fds verify --small --depth 1 --jobs 4 > j4.out
+  $ cmp j1.out j4.out
+  $ grep -c VERIFIED j1.out
+  1

@@ -59,6 +59,55 @@ let test_map_reduce () =
   in
   check Alcotest.int "sum 1..100" 5050 total
 
+let test_map_edges () =
+  (* empty input, single element, and far more participants than items:
+     the deque split must degenerate gracefully *)
+  let f x = (x * 3) + 1 in
+  check Alcotest.(list int) "empty input" [] (Pool.map ~jobs:4 f []);
+  check Alcotest.(list int) "single element" [ 22 ] (Pool.map ~jobs:8 f [ 7 ]);
+  let xs = List.init 5 Fun.id in
+  check
+    Alcotest.(list int)
+    "more jobs than items" (List.map f xs)
+    (Pool.map ~jobs:100 f xs);
+  check Alcotest.int "map_reduce on empty input" 0
+    (Pool.map_reduce ~jobs:4 ~map:f ~merge:( + ) ~neutral:0 [])
+
+let test_steal_determinism_under_contention () =
+  (* Wildly skewed per-item cost: the first few items dominate, so the
+     even initial split leaves most participants idle unless they
+     steal. Whatever the steal schedule, the result must stay
+     [List.map] — run repeatedly to shake out schedule dependence. *)
+  let xs = List.init 200 Fun.id in
+  let f x =
+    let rounds = if x < 4 then 20_000 else 50 in
+    let acc = ref x in
+    for i = 1 to rounds do
+      acc := ((!acc * 7) + i) mod 9973
+    done;
+    !acc
+  in
+  let expect = List.map f xs in
+  for _run = 1 to 5 do
+    List.iter
+      (fun jobs ->
+        check
+          Alcotest.(list int)
+          (Fmt.str "steal-heavy map ~jobs:%d" jobs)
+          expect (Pool.map ~jobs f xs))
+      [ 2; 3; 4; 8 ]
+  done
+
+let prop_map_matches_list_map =
+  QCheck.Test.make ~name:"work-stealing map = List.map for any sizes and jobs"
+    ~count:200
+    QCheck.(triple (small_list int) (int_range 1 16) (int_range 0 60))
+    (fun (xs, jobs, pad) ->
+      (* pad stretches the length so block sizes and steal splits vary *)
+      let xs = xs @ List.init pad (fun i -> i - 30) in
+      let f x = (x * 2) + 1 in
+      Pool.map ~jobs f xs = List.map f xs)
+
 let test_default_jobs () =
   let saved = Pool.default_jobs () in
   Pool.set_default_jobs 3;
@@ -163,6 +212,9 @@ let suite =
     Alcotest.test_case "pool map re-raises the earliest chunk's exception" `Quick
       test_map_earliest_exception;
     Alcotest.test_case "pool map_reduce folds in order" `Quick test_map_reduce;
+    Alcotest.test_case "pool map edge cases" `Quick test_map_edges;
+    Alcotest.test_case "pool steal determinism under contention" `Quick
+      test_steal_determinism_under_contention;
     Alcotest.test_case "default jobs knob" `Quick test_default_jobs;
     Alcotest.test_case "budget exact across 4 domains" `Quick
       test_budget_exact_across_domains;
@@ -175,3 +227,4 @@ let suite =
     Alcotest.test_case "Dynamic23 invariant under jobs" `Quick
       test_dynamic23_jobs_invariant;
   ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_map_matches_list_map ]
