@@ -20,6 +20,11 @@
      full session setup per request, fails below --session-speedup-min
      (default 5: the daemon must beat one-shot clients by that margin).
      Machine-free, always gated.
+   - [constraint_delta_speedup], a warm differential commit relative to
+     from-scratch constraint re-evaluation, fails below
+     --delta-speedup-min (default 0: disabled; CI passes 5 — the
+     differential layer must beat re-running every compiled plan by
+     that margin). Machine-free, gated whenever the minimum is > 0.
    - [check23_speedup_jobs4] (and, as a no-regression floor,
      [check23_speedup_jobs2]) gate real multicore scaling: jobs4 fails
      below --check23-speedup-min (default 1.5) and jobs2 below 1.0.
@@ -53,9 +58,10 @@ let () =
   let overhead_max = ref 0.02 in
   let session_min = ref 5.0 in
   let speedup_min = ref 1.5 in
+  let delta_min = ref 0.0 in
   let usage =
     "gate --baseline FILE --current FILE [--threshold F] [--trace-overhead-max F] \
-     [--session-speedup-min F] [--check23-speedup-min F]"
+     [--session-speedup-min F] [--check23-speedup-min F] [--delta-speedup-min F]"
   in
   Arg.parse
     [
@@ -74,6 +80,10 @@ let () =
         Arg.Set_float speedup_min,
         "F required Check23 speedup at 4 domains on a >=4-core runner \
          (default 1.5; 0 disables)" );
+      ( "--delta-speedup-min",
+        Arg.Set_float delta_min,
+        "F required differential-commit speedup over from-scratch constraint \
+         re-evaluation (default 0: disabled; CI passes 5)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     usage;
@@ -157,6 +167,20 @@ let () =
                "  %s %-24s %.4f (max %.4f: disabled tracing per statement)\n"
                (if ok then "ok  " else "FAIL")
                "trace_disabled_overhead" f !overhead_max
+           | "constraint_delta_speedup", Json.Num f ->
+             if !delta_min > 0. then begin
+               let ok = f >= !delta_min in
+               if not ok then incr failures;
+               Printf.printf
+                 "  %s %-24s %.2fx (min %.2fx: differential commit vs \
+                  from-scratch checks)\n"
+                 (if ok then "ok  " else "FAIL")
+                 "constraint_delta_speedup" f !delta_min
+             end
+             else
+               Printf.printf
+                 "  skip %-24s %.2fx (gate disabled: --delta-speedup-min 0)\n"
+                 "constraint_delta_speedup" f
            | "session_warm_speedup", Json.Num f ->
              let ok = f >= !session_min in
              if not ok then incr failures;

@@ -360,9 +360,18 @@ let run_cmd =
 (* ------------------------------------------------------------------ *)
 
 let explain_cmd =
-  let run path =
+  let delta_arg =
+    Arg.(
+      value & flag
+      & info [ "delta" ]
+          ~doc:
+            "Also show each constraint's derivative plan: the per-relation \
+             insert-derivatives the differential layer feeds commit deltas \
+             through, and where it must fall back to full re-evaluation.")
+  in
+  let run path delta =
     let session = open_session ~config:Config.default path in
-    print_string (Session.explain session)
+    print_string (Session.explain ~delta session)
   in
   Cmd.v
     (Cmd.info "explain"
@@ -370,7 +379,7 @@ let explain_cmd =
          "Show the query plans of a schema: every constraint wff and every \
           (desugared) relational term, as compiled and as optimized, with the \
           live cardinality estimates the join order draws on.")
-    Term.(const run $ schema_file)
+    Term.(const run $ schema_file $ delta_arg)
 
 (* ------------------------------------------------------------------ *)
 (* replay                                                              *)

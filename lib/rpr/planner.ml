@@ -33,10 +33,47 @@ let max_entries = 1024
 
 let stats () = (Metrics.value c_hits, Metrics.value c_misses)
 
+(* Materialized constraint plans (the differential layer below) live
+   in their own table; clear() resets both. *)
+type mat = {
+  m_schema : Schema.t;
+  m_wff : Formula.t;
+  m_state : Db.t;
+      (* the committed state [m_node] reflects, compared by reference:
+         consecutive commits on a store rebind the same Db.t value, so
+         physical equality is exact and O(1) *)
+  m_node : Delta.node option;
+      (* [None] marks a wff outside the safe fragment: nothing to
+         materialize, every commit re-evaluates naively (the
+         non-incremental analogue of a cached [Not_compilable]) *)
+  m_verdict : bool;
+}
+
+let mat_table : (int, mat list) Hashtbl.t = Hashtbl.create 64
+let mat_lock = Mutex.create ()
+let c_delta_hits = Metrics.counter "planner.delta_hit"
+let c_delta_fallback = Metrics.counter "planner.delta_fallback"
+let c_delta_miss = Metrics.counter "planner.delta_miss"
+
+(* Differential maintenance is on by default; `Naive strategy, bench
+   comparisons, and tests can turn it off process-wide. *)
+let materialization = Atomic.make true
+let set_materialization b = Atomic.set materialization b
+let materialization_active () = Atomic.get materialization
+
+let delta_stats () =
+  ( Metrics.value c_delta_hits,
+    Metrics.value c_delta_fallback,
+    Metrics.value c_delta_miss )
+
 let clear () =
   Mutex.protect lock (fun () -> Hashtbl.reset table);
+  Mutex.protect mat_lock (fun () -> Hashtbl.reset mat_table);
   Metrics.set c_hits 0;
-  Metrics.set c_misses 0
+  Metrics.set c_misses 0;
+  Metrics.set c_delta_hits 0;
+  Metrics.set c_delta_fallback 0;
+  Metrics.set c_delta_miss 0
 
 let mix h x = (h * 16777619) lxor x
 
@@ -193,3 +230,120 @@ let holds ?(strategy = `Auto) ~(schema : Schema.t) ~domain ?consts (db : Db.t)
         Trace.add_attr "verdict" (string_of_bool v);
         v)
   else eval ()
+
+(* ------------------------------------------------------------------ *)
+(* Differentially maintained constraint checks                         *)
+(* ------------------------------------------------------------------ *)
+
+let mat_find key schema f =
+  Mutex.protect mat_lock (fun () ->
+      Hashtbl.find_opt mat_table key
+      |> Option.value ~default:[]
+      |> List.find_opt (fun m ->
+             Schema.plan_equal schema m.m_schema && Formula.equal f m.m_wff))
+
+let mat_publish key (m : mat) =
+  Mutex.protect mat_lock (fun () ->
+      let slots =
+        Hashtbl.find_opt mat_table key
+        |> Option.value ~default:[]
+        |> List.filter (fun m' ->
+               not
+                 (Schema.plan_equal m.m_schema m'.m_schema
+                 && Formula.equal m.m_wff m'.m_wff))
+      in
+      let slots =
+        if Hashtbl.length mat_table >= max_entries && not (Hashtbl.mem mat_table key)
+        then begin
+          Hashtbl.reset mat_table;
+          []
+        end
+        else slots
+      in
+      Hashtbl.replace mat_table key (m :: slots))
+
+(** Truth of a closed wff against [after], maintained differentially.
+
+    The caller supplies the committed state the last verdict was
+    published against ([before]) and the exact [delta] taking it to
+    [after]. On a warm materialization for (schema, wff) whose state is
+    [before] — physical equality, exact because commits rebind shared
+    state values — the delta is pushed through the per-operator rules
+    ([planner.delta_hit], a [delta.apply] span) instead of
+    re-evaluating the plan. Anything else — cold cache
+    ([planner.delta_miss]), stale state, a delta rule that does not
+    apply, or a wff outside the safe fragment
+    ([planner.delta_fallback]) — re-evaluates in full, against the
+    plan when one exists and naively otherwise.
+
+    Returns the verdict and a {e publish} thunk. The materialization
+    cache is only updated when the caller invokes the thunk — [Txn.run]
+    does so after the commit (and its journal append) succeeded, so a
+    rolled-back transaction leaves the cache reflecting the committed
+    state it last published, never the discarded one.
+
+    [shared:false] (ad-hoc constraints, e.g. [Txn] extras) bypasses the
+    shared per-schema materialization cache entirely — same verdict,
+    no reads from or writes to the cache. [`Naive] strategy, and
+    {!set_materialization}[ false], likewise evaluate directly. *)
+let holds_delta ?(strategy = `Auto) ~(schema : Schema.t) ~domain ?consts
+    ~(before : Db.t) ~(delta : Delta.t) ?(shared = true) (after : Db.t)
+    (f : Formula.t) : bool * (unit -> unit) =
+  let nop () = () in
+  let direct () = (holds ~strategy ~schema ~domain ?consts after f, nop) in
+  match strategy with
+  | `Naive -> direct ()
+  | (`Auto | `Compiled) when not (shared && materialization_active ()) ->
+    direct ()
+  | (`Auto | `Compiled) as strategy -> begin
+    let key = wff_key schema f in
+    let publish node verdict () =
+      mat_publish key
+        { m_schema = schema; m_wff = f; m_state = after; m_node = node;
+          m_verdict = verdict }
+    in
+    match plan_wff schema f with
+    | None ->
+      (* Outside the safe fragment: nothing to materialize. `Compiled
+         keeps its structured error; `Auto re-evaluates naively every
+         commit and caches the non-incremental marker. *)
+      if strategy = `Compiled then direct ()
+      else begin
+        Metrics.incr c_delta_fallback;
+        let v = Relcalc.holds ~domain ?consts after f in
+        (v, publish None v)
+      end
+    | Some plan ->
+      let rebuild () =
+        let node = Delta.materialize ~domain ?consts after plan in
+        let v = not (Relation.is_empty node.Delta.out) in
+        (v, publish (Some node) v)
+      in
+      match mat_find key schema f with
+      | Some { m_state; m_node = Some node; _ } when m_state == before -> begin
+        let apply () = Delta.advance ~domain ?consts ~after delta plan node in
+        let traced () =
+          if Trace.enabled () then
+            Trace.with_span ~cat:"planner"
+              ~args:[ ("delta", string_of_int (Delta.cardinal delta)) ]
+              "delta.apply" apply
+          else apply ()
+        in
+        match traced () with
+        | node', _ins, _del ->
+          Metrics.incr c_delta_hits;
+          let v = not (Relation.is_empty node'.Delta.out) in
+          (v, publish (Some node') v)
+        | exception Delta.Not_incremental ->
+          Metrics.incr c_delta_fallback;
+          rebuild ()
+      end
+      | Some _ ->
+        (* stale (another store or an uncommitted branch published in
+           between) or previously non-compilable: rebuild from [after] *)
+        Metrics.incr c_delta_fallback;
+        rebuild ()
+      | None ->
+        Metrics.incr c_delta_miss;
+        rebuild ()
+  end

@@ -44,6 +44,42 @@ val holds :
   Formula.t ->
   bool
 
+(** Truth of a closed wff against the post-commit state, maintained
+    differentially. [before] is the committed state the materialization
+    cache last published against (compared by reference) and [delta]
+    the exact difference to the new state. A warm materialization
+    advances through the per-operator delta rules
+    ([planner.delta_hit], [delta.apply] span); a cold one evaluates
+    the plan in full and materializes ([planner.delta_miss]); stale
+    state, inapplicable delta rules, and non-compilable wffs
+    re-evaluate in full ([planner.delta_fallback]).
+
+    Returns the verdict and a publish thunk; the cache is only updated
+    when the thunk runs — call it after the surrounding commit
+    succeeded, never on rollback. [shared:false] (ad-hoc constraints)
+    bypasses the shared cache entirely. *)
+val holds_delta :
+  ?strategy:[ `Naive | `Compiled | `Auto ] ->
+  schema:Schema.t ->
+  domain:Domain.t ->
+  ?consts:(string * Value.t) list ->
+  before:Db.t ->
+  delta:Delta.t ->
+  ?shared:bool ->
+  Db.t ->
+  Formula.t ->
+  bool * (unit -> unit)
+
+(** Toggle differential maintenance process-wide (on by default);
+    when off, {!holds_delta} evaluates directly like {!holds}. *)
+val set_materialization : bool -> unit
+
+val materialization_active : unit -> bool
+
+(** Cumulative [(delta_hit, delta_fallback, delta_miss)] counts; also
+    exported as [planner.delta_*] {!Fdbs_kernel.Metrics} counters. *)
+val delta_stats : unit -> int * int * int
+
 (** Cumulative cache [(hits, misses)] since start or {!clear}; also
     exported process-wide as the [planner.cache.hit]/[planner.cache.miss]
     {!Fdbs_kernel.Metrics} counters. *)

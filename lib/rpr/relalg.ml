@@ -86,71 +86,57 @@ let rec sorts_of ~(rel_sorts : string -> Sort.t list) : expr -> Sort.t list = fu
   | Union (a, _) -> sorts_of ~rel_sorts a
   | Join (inputs, _) -> List.concat_map (sorts_of ~rel_sorts) inputs
 
-(** Evaluate an algebra expression against a database state. Terms in
-    selections are evaluated via {!Relcalc.eval_term}. *)
-let eval ~domain ?consts (db : Db.t) (e : expr) : Relation.t =
-  let term_value t = Relcalc.eval_term ~domain ?consts db t in
-  let arg_value row = function
-    | Acol i -> List.nth row i
-    | Aterm t -> term_value t
-  in
-  let pred_holds row = function
-    | Eq (a, b) -> Value.equal (arg_value row a) (arg_value row b)
-    | Neq (a, b) -> not (Value.equal (arg_value row a) (arg_value row b))
-  in
-  (* A join input's rows restricted by a constant-column equality go
-     through the relation's column index instead of a scan. *)
-  let indexed_select ps (rel : Relation.t) : Relation.t =
-    let ground = function
-      | Eq (Acol i, Aterm t) | Eq (Aterm t, Acol i) -> Some (i, t)
-      | Eq _ | Neq _ -> None
-    in
-    match List.find_map ground ps with
-    | Some (col, t) ->
-      let rest = List.filter (fun p -> ground p <> Some (col, t)) ps in
-      let rows =
-        Relation.find_by ~col (term_value t) rel
-        |> List.filter (fun row -> List.for_all (pred_holds row) rest)
-      in
-      Relation.of_list (Relation.sorts rel) rows
-    | None -> Relation.filter (fun row -> List.for_all (pred_holds row) ps) rel
-  in
-  let rec go : expr -> Relation.t = function
-    | Rel r -> Db.relation_exn db r
-    | Singleton (ts, sorts) -> Relation.of_list sorts [ List.map term_value ts ]
-    | Empty sorts -> Relation.empty sorts
-    | Select (ps, Rel r) -> indexed_select ps (Db.relation_exn db r)
-    | Select (ps, e) ->
-      Relation.filter (fun row -> List.for_all (pred_holds row) ps) (go e)
-    | Project (cols, e) ->
-      let r = go e in
-      let out_sorts = List.map (fun i -> List.nth (Relation.sorts r) i) cols in
-      Relation.fold
-        (fun row acc ->
-          let arr = Array.of_list row in
-          Relation.add (List.map (fun i -> arr.(i)) cols) acc)
-        r
-        (Relation.empty out_sorts)
-    | Product (a, b) ->
-      let ra = go a and rb = go b in
-      Relation.fold
-        (fun row_a acc ->
-          Relation.fold (fun row_b acc -> Relation.add (row_a @ row_b) acc) rb acc)
-        ra
-        (Relation.empty (Relation.sorts ra @ Relation.sorts rb))
-    | Union (a, b) -> Relation.union (go a) (go b)
-    | Join (inputs, preds) -> join (List.map go inputs) preds
-    | Antijoin (e, sub, args) ->
-      let target = go sub in
-      Relation.filter
-        (fun row -> not (Relation.mem (List.map (arg_value row) args) target))
-        (go e)
-  (* Greedy index-aware n-ary join: seed with the smallest input, then
-     repeatedly attach the smallest input linked to the placed set by an
-     equality predicate (probing its column index), falling back to the
-     smallest unlinked input (cartesian step). Every predicate is
-     applied as soon as all its columns are placed. *)
-  and join (rels : Relation.t list) (preds : col_pred list) : Relation.t =
+(* The pieces of evaluation the differential layer ({!Delta}) reuses on
+   its own materializations: term/argument valuation, row predicates,
+   projection, and the n-ary join over already-evaluated inputs. All
+   term evaluation goes through {!Relcalc.eval_term} against [db]. *)
+
+let term_value ~domain ?consts db t = Relcalc.eval_term ~domain ?consts db t
+
+let arg_value ~domain ?consts db row = function
+  | Acol i -> List.nth row i
+  | Aterm t -> term_value ~domain ?consts db t
+
+(** The values of [args] over a row — the membership key an
+    {!Antijoin} probes with. *)
+let arg_values ~domain ?consts db (args : arg list) (row : Value.t list) :
+  Value.t list =
+  List.map (arg_value ~domain ?consts db row) args
+
+(** Does a row satisfy every selection predicate? *)
+let row_matches ~domain ?consts db (ps : col_pred list) (row : Value.t list) :
+  bool =
+  List.for_all
+    (function
+      | Eq (a, b) ->
+        Value.equal (arg_value ~domain ?consts db row a)
+          (arg_value ~domain ?consts db row b)
+      | Neq (a, b) ->
+        not
+          (Value.equal (arg_value ~domain ?consts db row a)
+             (arg_value ~domain ?consts db row b)))
+    ps
+
+(** Project a relation onto [cols] (which may permute/duplicate). *)
+let project_rel (cols : int list) (r : Relation.t) : Relation.t =
+  let out_sorts = List.map (fun i -> List.nth (Relation.sorts r) i) cols in
+  Relation.fold
+    (fun row acc ->
+      let arr = Array.of_list row in
+      Relation.add (List.map (fun i -> arr.(i)) cols) acc)
+    r
+    (Relation.empty out_sorts)
+
+(** Greedy index-aware n-ary join over already-evaluated inputs: seed
+    with the smallest input, then repeatedly attach the smallest input
+    linked to the placed set by an equality predicate (probing its
+    column index), falling back to the smallest unlinked input
+    (cartesian step). Every predicate is applied as soon as all its
+    columns are placed. With no predicates this is the cartesian
+    product. [db] only feeds ground-term valuation in predicates. *)
+let join_rels ~domain ?consts db (rels : Relation.t list)
+    (preds : col_pred list) : Relation.t =
+  let term_value t = term_value ~domain ?consts db t in
     let out_sorts = List.concat_map Relation.sorts rels in
     let rels = Array.of_list rels in
     let n = Array.length rels in
@@ -270,6 +256,51 @@ let eval ~domain ?consts (db : Db.t) (e : expr) : Relation.t =
       Relation.of_list out_sorts
         (List.rev_map (fun row -> List.init total (fun c -> row.(pos.(c)))) final)
     end
+
+(** Evaluate an algebra expression against a database state. Terms in
+    selections are evaluated via {!Relcalc.eval_term}. *)
+let eval ~domain ?consts (db : Db.t) (e : expr) : Relation.t =
+  let term_value t = term_value ~domain ?consts db t in
+  let arg_value row a = arg_value ~domain ?consts db row a in
+  let matches ps row = row_matches ~domain ?consts db ps row in
+  (* A join input's rows restricted by a constant-column equality go
+     through the relation's column index instead of a scan. *)
+  let indexed_select ps (rel : Relation.t) : Relation.t =
+    let ground = function
+      | Eq (Acol i, Aterm t) | Eq (Aterm t, Acol i) -> Some (i, t)
+      | Eq _ | Neq _ -> None
+    in
+    match List.find_map ground ps with
+    | Some (col, t) ->
+      let rest = List.filter (fun p -> ground p <> Some (col, t)) ps in
+      let rows =
+        Relation.find_by ~col (term_value t) rel
+        |> List.filter (fun row -> matches rest row)
+      in
+      Relation.of_list (Relation.sorts rel) rows
+    | None -> Relation.filter (fun row -> matches ps row) rel
+  in
+  let rec go : expr -> Relation.t = function
+    | Rel r -> Db.relation_exn db r
+    | Singleton (ts, sorts) -> Relation.of_list sorts [ List.map term_value ts ]
+    | Empty sorts -> Relation.empty sorts
+    | Select (ps, Rel r) -> indexed_select ps (Db.relation_exn db r)
+    | Select (ps, e) -> Relation.filter (fun row -> matches ps row) (go e)
+    | Project (cols, e) -> project_rel cols (go e)
+    | Product (a, b) ->
+      let ra = go a and rb = go b in
+      Relation.fold
+        (fun row_a acc ->
+          Relation.fold (fun row_b acc -> Relation.add (row_a @ row_b) acc) rb acc)
+        ra
+        (Relation.empty (Relation.sorts ra @ Relation.sorts rb))
+    | Union (a, b) -> Relation.union (go a) (go b)
+    | Join (inputs, preds) -> join_rels ~domain ?consts db (List.map go inputs) preds
+    | Antijoin (e, sub, args) ->
+      let target = go sub in
+      Relation.filter
+        (fun row -> not (Relation.mem (List.map (arg_value row) args) target))
+        (go e)
   in
   go e
 

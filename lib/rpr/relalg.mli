@@ -45,6 +45,8 @@ type expr =
           {e not} in the right subplan *)
 
 val pp : expr Fmt.t
+val pp_arg : arg Fmt.t
+val pp_preds : col_pred list Fmt.t
 
 (** Column sorts of an expression, given the schema's relation sorts. *)
 val sorts_of : rel_sorts:(string -> Sort.t list) -> expr -> Sort.t list
@@ -52,6 +54,38 @@ val sorts_of : rel_sorts:(string -> Sort.t list) -> expr -> Sort.t list
 (** Evaluate an algebra expression against a database state. *)
 val eval :
   domain:Domain.t -> ?consts:(string * Value.t) list -> Db.t -> expr -> Relation.t
+
+(** The evaluation pieces the differential layer ({!Delta}) re-applies
+    to materialized operator outputs: row predicates, antijoin
+    membership keys, projection, and the greedy index-aware n-ary join
+    over already-evaluated inputs. [Db.t] only feeds ground-term
+    valuation. *)
+
+val row_matches :
+  domain:Domain.t ->
+  ?consts:(string * Value.t) list ->
+  Db.t ->
+  col_pred list ->
+  Value.t list ->
+  bool
+
+val arg_values :
+  domain:Domain.t ->
+  ?consts:(string * Value.t) list ->
+  Db.t ->
+  arg list ->
+  Value.t list ->
+  Value.t list
+
+val project_rel : int list -> Relation.t -> Relation.t
+
+val join_rels :
+  domain:Domain.t ->
+  ?consts:(string * Value.t) list ->
+  Db.t ->
+  Relation.t list ->
+  col_pred list ->
+  Relation.t
 
 (** Compile a relational term into an algebra expression; [None] when
     the body falls outside the safe fragment (e.g. a head variable not

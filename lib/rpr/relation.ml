@@ -226,19 +226,24 @@ let compose (a : t) (b : t) : t =
     invalid_arg
       "Relation.compose: expects binary relations sharing their middle sort"
 
-(** Transitive closure of a homogeneous binary relation, by iterated
-    indexed composition to a fixpoint. *)
+(** Transitive closure of a homogeneous binary relation, by semi-naive
+    iteration: each round composes only the {e frontier} (pairs new in
+    the previous round) with [r], so total work is proportional to the
+    derivations actually produced instead of re-composing the whole
+    accumulated closure every round. *)
 let transitive_closure (r : t) : t =
   (match r.sorts with
    | [ s1; s2 ] when Sort.equal s1 s2 -> ()
    | _ ->
      invalid_arg
        "Relation.transitive_closure: expects a homogeneous binary relation");
-  let rec go acc =
-    let next = union acc (compose acc r) in
-    if equal next acc then acc else go next
+  let rec go acc frontier =
+    if is_empty frontier then acc
+    else
+      let next = diff (compose frontier r) acc in
+      go (union acc next) next
   in
-  go r
+  go r r
 
 (** Values appearing in each column, keyed by the column's sort: the
     relation's contribution to the active domain. *)

@@ -212,3 +212,33 @@ let query (env : env) (db : Db.t) (f : Formula.t) : bool =
         Trace.add_attr "verdict" (string_of_bool v);
         v)
   else holds env db f
+
+(** Like {!query}, maintained differentially: [before] is the committed
+    state the planner's materialization cache last published against,
+    [delta] the exact difference to [db]. Returns the verdict and the
+    publish thunk of {!Planner.holds_delta} — run it only once the
+    surrounding commit succeeded. [shared:false] keeps ad-hoc wffs out
+    of the shared per-schema cache. *)
+let query_delta (env : env) ~(before : Db.t) ~(delta : Delta.t) ?shared
+    (db : Db.t) (f : Formula.t) : bool * (unit -> unit) =
+  let check () =
+    Planner.holds_delta ~strategy:env.strategy ~schema:env.schema
+      ~domain:env.domain ~consts:env.consts ~before ~delta ?shared db f
+  in
+  if Trace.enabled () then
+    Trace.with_span ~cat:"semantics" "semantics.query" (fun () ->
+        let v, publish = check () in
+        Trace.add_attr "verdict" (string_of_bool v);
+        (v, publish))
+  else check ()
+
+(** Operational meaning with explicit write sets: every outcome of
+    [stmt] paired with the exact {!Delta.t} taking [db] to it —
+    [Rel_assign]/[Insert]/[Delete] surface their writes,
+    [Test]/[Skip]/guards produce the empty delta, compounds compose.
+    Computed by state differencing, which is O(changed relations)
+    thanks to structure sharing across {!exec}. *)
+let exec_delta (env : env) (stmt : Stmt.t) (db : Db.t) :
+  (Db.t * Delta.t) list =
+  exec env stmt db
+  |> List.map (fun out -> (out, Delta.of_dbs ~before:db ~after:out))

@@ -46,6 +46,11 @@ exception Exec_error of string
     relations or exceeded iteration limits. *)
 val exec : env -> Stmt.t -> Db.t -> Db.t list
 
+(** {!exec} with explicit write sets: every outcome paired with the
+    exact {!Delta.t} taking the input state to it. O(changed relations)
+    per outcome thanks to structure sharing. *)
+val exec_delta : env -> Stmt.t -> Db.t -> (Db.t * Delta.t) list
+
 (** Procedure meaning k (paper rule (7)): run the body with the formal
     parameters bound to the arguments; restore the parameters' previous
     scalar values in every outcome. *)
@@ -64,3 +69,18 @@ val call_det_exn : env -> string -> Value.t list -> Db.t -> Db.t
 (** Truth of a closed wff in a state — the query side of the DML
     (paper Section 5.2: expressions [R(t̄)] yield True iff t̄ ∈ R). *)
 val query : env -> Db.t -> Formula.t -> bool
+
+(** Like {!query}, maintained differentially through the planner's
+    materialization cache ({!Planner.holds_delta}): [before] is the
+    state the cache last published against, [delta] the exact
+    difference to the queried state. Returns the verdict and a publish
+    thunk to run once the surrounding commit succeeded; [shared:false]
+    keeps ad-hoc wffs out of the shared per-schema cache. *)
+val query_delta :
+  env ->
+  before:Db.t ->
+  delta:Delta.t ->
+  ?shared:bool ->
+  Db.t ->
+  Formula.t ->
+  bool * (unit -> unit)

@@ -66,30 +66,53 @@ let exec_call (env : Semantics.env) ((name, args) as c : Journal.call) (db : Db.
 
 (* Check every declared constraint (schema's, then the transaction's
    extra ones) in [db]; the verdicts pass through the fault injector's
-   [txn.constraint] flip site. *)
-let check_constraints (txn : t) (env : Semantics.env) (db : Db.t) :
-  (unit, Error.t) result =
-  let constraints =
+   [txn.constraint] flip site.
+
+   Schema constraints go through the planner's differential path
+   ({!Semantics.query_delta}): the commit's exact delta against the
+   snapshot advances a warm materialization in O(delta) instead of
+   re-evaluating the plan over the whole state. The transaction's
+   ad-hoc [extra_constraints] use the same path with [shared:false],
+   so they never read from or publish into the shared per-schema
+   materialization cache (an extra wff structurally equal to a schema
+   constraint must not poison — or be served — the schema's slot).
+
+   On success the collected publish thunks are returned; [run] fires
+   them only after the journal append succeeded, so a rolled-back
+   transaction never publishes a materialization of a discarded
+   state. *)
+let check_constraints (txn : t) (env : Semantics.env) ~(snapshot : Db.t)
+    (db : Db.t) : ((unit -> unit) list, Error.t) result =
+  let constraints, extras =
     if txn.check_constraints then
-      env.Semantics.schema.Schema.constraints @ txn.extra_constraints
-    else []
+      (env.Semantics.schema.Schema.constraints, txn.extra_constraints)
+    else ([], [])
   in
-  let rec go = function
-    | [] -> Ok ()
-    | (name, wff) :: rest ->
-      let check () = Fault.flip "txn.constraint" (Semantics.query env db wff) in
-      let verdict =
+  let delta =
+    if constraints = [] && extras = [] then Delta.empty
+    else Delta.of_dbs ~before:snapshot ~after:db
+  in
+  let rec go publishes = function
+    | [] -> Ok (List.rev publishes)
+    | (shared, (name, wff)) :: rest ->
+      let check () =
+        let v, publish =
+          Semantics.query_delta env ~before:snapshot ~delta ~shared db wff
+        in
+        (Fault.flip "txn.constraint" v, publish)
+      in
+      let verdict, publish =
         if Trace.enabled () then
           Trace.with_span ~cat:"txn"
             ~args:[ ("constraint", name) ]
             "txn.constraint"
             (fun () ->
-              let v = check () in
+              let v, publish = check () in
               Trace.add_attr "verdict" (string_of_bool v);
-              v)
+              (v, publish))
         else check ()
       in
-      if verdict then go rest
+      if verdict then go (publish :: publishes) rest
       else
         Result.Error
           (Error.makef
@@ -97,7 +120,9 @@ let check_constraints (txn : t) (env : Semantics.env) (db : Db.t) :
              Error.Commit (Error.Constraint_violation name)
              "constraint %s violated by the commit state" name)
   in
-  go constraints
+  go []
+    (List.map (fun c -> (true, c)) constraints
+    @ List.map (fun c -> (false, c)) extras)
 
 (** Run [calls] as one atomic transaction against [db]: all calls
     commit (with every constraint satisfied) or none do. [budget]
@@ -127,7 +152,9 @@ let run ?budget (txn : t) (calls : Journal.call list) (db : Db.t) :
     let* final = go db calls in
     span "txn.commit" (fun () ->
         Fault.hit "txn.commit";
-        let* () = span "txn.check" (fun () -> check_constraints txn env final) in
+        let* publishes =
+          span "txn.check" (fun () -> check_constraints txn env ~snapshot final)
+        in
         let* () =
           match txn.journal with
           | None -> Ok ()
@@ -136,6 +163,9 @@ let run ?budget (txn : t) (calls : Journal.call list) (db : Db.t) :
                 Fault.hit "journal.append";
                 Journal.append ~fsync:txn.fsync path { Journal.calls })
         in
+        (* the commit is durable: publish the checks' materializations
+           so the next commit advances from this state *)
+        List.iter (fun publish -> publish ()) publishes;
         Ok final)
   in
   let result =

@@ -546,7 +546,9 @@ let handle ?(role = Standalone) (session : Session.t) (req : request) : reply =
      | Some term ->
        let trace = Option.value ~default:false (field_bool "trace" req) in
        of_result (fun s -> Json.Str s) (Session.eval session ~trace term))
-  | "explain" -> ok (Json.Str (Session.explain session))
+  | "explain" ->
+    let delta = Option.value ~default:false (field_bool "delta" req) in
+    ok (Json.Str (Session.explain ~delta session))
   | "begin" -> of_result (fun () -> Json.Null) (Session.begin_txn session)
   | "commit" -> of_result db_to_json (Session.commit session)
   | "rollback" -> of_result db_to_json (Session.rollback session)

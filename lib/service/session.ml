@@ -411,7 +411,12 @@ let query (s : t) ?(params = []) (src : string) : (bool, Error.t) result =
    live cardinalities of the session's current state. Rendered to a
    string so the CLI prints it verbatim and the server ships it in a
    response field. *)
-let explain (s : t) : string =
+(* [delta:true] additionally renders, per constraint, the derivative
+   plan the differential layer advances on each commit: one
+   insert-derivative per relation the plan reads (zero branches
+   dropped), or the fallback note when the wff is not compilable and
+   every commit re-evaluates naively. *)
+let explain ?(delta = false) (s : t) : string =
   let schema = s.store.Store.schema in
   let state = db s in
   let buf = Buffer.create 1024 in
@@ -435,18 +440,34 @@ let explain (s : t) : string =
                  (Relation.cardinal (Db.relation_exn state r))))
         ppf rels
   in
+  let pp_derivatives optimized =
+    match Delta.derivatives optimized with
+    | [] -> Fmt.pf ppf "  delta:     plan reads no relation (constant)@."
+    | ds ->
+      List.iter
+        (fun (r, rendered) -> Fmt.pf ppf "  Δ%s:%s %s@." r
+             (String.make (max 1 (5 - String.length r)) ' ')
+             rendered)
+        ds
+  in
   let explain_plan = function
     | Result.Error offender ->
       Fmt.pf ppf "  not compilable: %a falls outside the safe fragment@."
         Fdbs_logic.Formula.pp offender;
-      Fmt.pf ppf "  (evaluated by naive enumeration of the carriers)@."
+      Fmt.pf ppf "  (evaluated by naive enumeration of the carriers)@.";
+      if delta then
+        Fmt.pf ppf "  delta:     not incremental (re-evaluated in full each commit)@."
     | Ok plan ->
       let optimized = Relalg.optimize ~rel_arity plan in
       Fmt.pf ppf "  plan:      %a@." Relalg.pp plan;
       Fmt.pf ppf "  optimized: %a@." Relalg.pp optimized;
-      Fmt.pf ppf "  live cardinalities: %a@." pp_cards optimized
+      Fmt.pf ppf "  live cardinalities: %a@." pp_cards optimized;
+      if delta then pp_derivatives optimized
   in
   Fmt.pf ppf "schema %s: query plans@." schema.Schema.name;
+  if delta then
+    Fmt.pf ppf
+      "delta view: per-relation insert-derivatives of each constraint plan;@.scalar writes (and stale materializations) fall back to full re-evaluation@.";
   List.iter
     (fun (name, wff) ->
       Fmt.pf ppf "@.constraint %s:@." name;

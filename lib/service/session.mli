@@ -121,8 +121,11 @@ val query :
 (** The query plans of the schema — every constraint and every
     relational assignment, compiled and optimized, with live
     cardinalities of the session's current state — rendered exactly as
-    [fds explain] prints them. *)
-val explain : t -> string
+    [fds explain] prints them. [delta:true] additionally renders each
+    constraint's derivative plan — the per-relation insert-derivatives
+    the differential layer advances on every commit — as
+    [fds explain --delta] shows. *)
+val explain : ?delta:bool -> t -> string
 
 (** Evaluate a ground query term against the session's algebraic
     specification by conditional rewriting; with [trace] the rendered

@@ -6,6 +6,7 @@ can be run locally, from the repo root, without GitHub Actions:
 - bash ci/trace-smoke.sh -- Chrome traces valid and jobs-invariant
 - bash ci/service-smoke.sh -- serve daemon lifecycle over a socket
 - bash ci/replication-smoke.sh -- leader/follower chaos, journal replay
+- bash ci/delta-smoke.sh -- journaled burst checked differentially
 
 They need dune on PATH (CI wraps them in `opam exec`) and write their
 scratch files into the current directory. This cram keeps the cheapest
@@ -18,3 +19,33 @@ work-stealing pool.
   $ cmp j1.out j4.out
   $ grep -c VERIFIED j1.out
   1
+
+And the incremental-evaluation contract: replaying a journaled burst
+in one process materializes each constraint plan on the first commit
+(delta_miss) and advances it differentially on every later one
+(delta_hit), with nothing on this workload forcing a fallback.
+
+  $ cat > d.schema <<'EOF'
+  > schema d
+  > relation R(course)
+  > relation S(course)
+  > constraint covered: forall x:course. (S(x) -> R(x))
+  > proc base(x: course) = insert R(x)
+  > proc add(x: course) = insert S(x)
+  > end-schema
+  > EOF
+  $ fds run d.schema --transactional --journal d.journal --check-constraints -c 'base(cs101)' > /dev/null
+  $ fds run d.schema --transactional --journal d.journal --check-constraints -c 'base(cs101)' -c 'add(cs101)' > /dev/null
+  $ fds run d.schema --transactional --journal d.journal --check-constraints -c 'base(cs202)' > /dev/null
+  $ fds replay d.schema d.journal --check-constraints --stats 2>&1 >/dev/null | grep -Eo 'planner.delta_(hit|miss|fallback) +[0-9]+' | tr -s ' '
+  planner.delta_fallback 0
+  planner.delta_hit 2
+  planner.delta_miss 1
+
+The derivative views behind that differential layer render per
+constraint under `fds explain --delta`.
+
+  $ fds explain --delta d.schema | grep -E 'delta view:|ΔS:'
+  delta view: per-relation insert-derivatives of each constraint plan;
+    ΔS:     retract/readmit via Δ(project[](antijoin[(#0)](S, R)))
+    ΔS:     ΔS

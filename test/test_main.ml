@@ -14,4 +14,5 @@ let () =
       ("observability", Test_observability.suite);
       ("properties", Test_props.suite);
       ("service", Test_service.suite);
+      ("delta", Test_delta.suite);
     ]
