@@ -25,6 +25,11 @@
      --delta-speedup-min (default 0: disabled; CI passes 5 — the
      differential layer must beat re-running every compiled plan by
      that margin). Machine-free, gated whenever the minimum is > 0.
+   - [gateway_rps], aggregate pipelined requests/second through the
+     socket gateway, fails below --rps-min (default 0: disabled; CI
+     passes 200). The floor is absolute, not machine-relative — it is
+     set far below any real machine and exists to catch a hung or
+     serialized gateway, so it is safe to gate on shared runners.
    - [check23_speedup_jobs4] (and, as a no-regression floor,
      [check23_speedup_jobs2]) gate real multicore scaling: jobs4 fails
      below --check23-speedup-min (default 1.5) and jobs2 below 1.0.
@@ -59,9 +64,11 @@ let () =
   let session_min = ref 5.0 in
   let speedup_min = ref 1.5 in
   let delta_min = ref 0.0 in
+  let rps_min = ref 0.0 in
   let usage =
     "gate --baseline FILE --current FILE [--threshold F] [--trace-overhead-max F] \
-     [--session-speedup-min F] [--check23-speedup-min F] [--delta-speedup-min F]"
+     [--session-speedup-min F] [--check23-speedup-min F] [--delta-speedup-min F] \
+     [--rps-min F]"
   in
   Arg.parse
     [
@@ -84,6 +91,10 @@ let () =
         Arg.Set_float delta_min,
         "F required differential-commit speedup over from-scratch constraint \
          re-evaluation (default 0: disabled; CI passes 5)" );
+      ( "--rps-min",
+        Arg.Set_float rps_min,
+        "F required gateway requests/second, an absolute floor \
+         (default 0: disabled; CI passes 200)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     usage;
@@ -188,6 +199,20 @@ let () =
                "  %s %-24s %.2fx (min %.2fx: warm session vs per-request setup)\n"
                (if ok then "ok  " else "FAIL")
                "session_warm_speedup" f !session_min
+           | "gateway_rps", Json.Num f ->
+             if !rps_min > 0. then begin
+               let ok = f >= !rps_min in
+               if not ok then incr failures;
+               Printf.printf
+                 "  %s %-24s %.0f req/s (min %.0f req/s: pipelined gateway \
+                  throughput)\n"
+                 (if ok then "ok  " else "FAIL")
+                 "gateway_rps" f !rps_min
+             end
+             else
+               Printf.printf
+                 "  skip %-24s %.0f req/s (gate disabled: --rps-min 0)\n"
+                 "gateway_rps" f
            | k, Json.Num f -> Printf.printf "  info %-24s %.2fx (not gated)\n" k f
            | _ -> ())
          kvs

@@ -139,15 +139,37 @@ let fsync_arg =
                survives power loss, not just a process crash. Implied for a \
                replication leader (fds serve --journal).")
 
+let rate_limit_arg =
+  Arg.(value & opt (some float) None & info [ "rate-limit" ] ~docv:"RPS"
+         ~doc:"Admission control: requests per second admitted per server \
+               connection (token bucket); over-limit requests get a \
+               structured overloaded error with a retry-after-ms hint \
+               instead of stalling.")
+
+let rate_burst_arg =
+  Arg.(value & opt (some float) None & info [ "rate-burst" ] ~docv:"N"
+         ~doc:"Burst capacity of the per-connection request bucket; the \
+               default is one second's worth (the rate itself).")
+
+let step_rate_arg =
+  Arg.(value & opt (some float) None & info [ "step-rate" ] ~docv:"STEPS"
+         ~doc:"Admission control: budget steps per second admitted per \
+               store, post-charged with each request's actual spend — a \
+               heavy request puts the bucket in debt and later requests \
+               are rejected (overloaded, with retry-after-ms) until it \
+               refills.")
+
 let config_term =
   let combine jobs strategy steps states ms check_constraints transactional
-      journal fsync trace stats =
+      journal fsync trace stats rate_limit rate_burst step_rate =
     Config.make ?jobs ~strategy ?steps ?states ?ms ~check_constraints
-      ~transactional ?journal ~fsync ?trace ~stats ()
+      ~transactional ?journal ~fsync ?trace ~stats ?rate_limit ?rate_burst
+      ?step_rate ()
   in
   Term.(const combine $ jobs_arg $ strategy_arg $ budget_steps_arg
         $ budget_states_arg $ budget_ms_arg $ check_constraints_arg
-        $ transactional_arg $ journal_arg $ fsync_arg $ trace_arg $ stats_arg)
+        $ transactional_arg $ journal_arg $ fsync_arg $ trace_arg $ stats_arg
+        $ rate_limit_arg $ rate_burst_arg $ step_rate_arg)
 
 (* Apply the process-level parts of a configuration: the pool width and
    the at_exit trace/stats observers. The session-level parts travel
@@ -486,8 +508,19 @@ let serve_cmd =
            ~doc:"Follower snapshot/truncation period in applied entries: \
                  bounds crash recovery to at most N replayed entries.")
   in
-  let run path socket tcp workers spec_path follow snapshot_every faults
-      (config : Config.t) =
+  let auth_arg =
+    Arg.(value & opt (some string) None & info [ "auth-token" ] ~docv:"TOKEN"
+           ~doc:"Require this token on 'attach' requests; without it \
+                 attaching to a namespace is unauthenticated.")
+  in
+  let max_queue_arg =
+    Arg.(value & opt int 1024 & info [ "max-queue" ] ~docv:"N"
+           ~doc:"Shed accepted connections once N are already queued for \
+                 workers: the shed connection gets one structured \
+                 overloaded frame and is closed, never parked.")
+  in
+  let run path socket tcp workers spec_path follow snapshot_every auth
+      max_queue faults (config : Config.t) =
     setup config;
     let listen = listen_of socket tcp in
     let follow = Option.map peer_of follow in
@@ -517,7 +550,7 @@ let serve_cmd =
     in
     match
       Server.serve ~workers ?spec ~config ~ready ?follow ~snapshot_every
-        listen schema
+        ?auth ~max_queue listen schema
     with
     | Ok st ->
       Fmt.epr "fds: server stopped (%d connections, %d requests)@."
@@ -535,7 +568,8 @@ let serve_cmd =
           SIGTERM stops the server gracefully: the journal is already \
           durable per commit, the trace observer fires on exit.")
     Term.(const run $ schema_file $ socket_arg $ tcp_arg $ workers $ spec_opt
-          $ follow_arg $ snapshot_every_arg $ fault_arg $ config_term)
+          $ follow_arg $ snapshot_every_arg $ auth_arg $ max_queue_arg
+          $ fault_arg $ config_term)
 
 let client_cmd =
   let requests =
@@ -550,7 +584,22 @@ let client_cmd =
                  response) up to N times with capped exponential backoff \
                  plus jitter — de-flakes scripts racing a server boot.")
   in
-  let run socket tcp retries requests =
+  let pool_arg =
+    Arg.(value & opt int 1 & info [ "pool" ] ~docv:"N"
+           ~doc:"Open N persistent connections and spread the requests over \
+                 them round-robin, reusing each connection across requests.")
+  in
+  let repeat_arg =
+    Arg.(value & opt int 1 & info [ "requests" ] ~docv:"N"
+           ~doc:"Send the request script N times over (combine with --pool \
+                 for a quick load drive).")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ]
+           ~doc:"Suppress per-response output; print only a final response \
+                 count.")
+  in
+  let run socket tcp retries pool repeat quiet requests =
     let addr =
       match listen_of socket tcp with
       | `Unix path -> Unix.ADDR_UNIX path
@@ -622,14 +671,62 @@ let client_cmd =
         close_out_noerr oc;
         exit_err "server closed the connection"
     in
-    session 0
+    if pool <= 1 && repeat <= 1 && not quiet then session 0
+    else begin
+      (* pooled mode: read the whole script up front, repeat it
+         --requests times, and spread it round-robin over --pool
+         persistent connections — each reused across its share of the
+         script rather than reopened per request *)
+      let script =
+        match requests with
+        | [] ->
+          let rec go acc =
+            match input_line stdin with
+            | exception End_of_file -> List.rev acc
+            | line ->
+              let line = String.trim line in
+              go (if line = "" then acc else line :: acc)
+          in
+          go []
+        | reqs -> reqs
+      in
+      let script =
+        List.concat (List.init (Stdlib.max 1 repeat) (fun _ -> script))
+      in
+      let pool = Stdlib.max 1 pool in
+      let conns =
+        Array.init pool (fun _ ->
+            let sock = connect 0 in
+            (Unix.in_channel_of_descr sock, Unix.out_channel_of_descr sock))
+      in
+      let count = ref 0 in
+      List.iteri
+        (fun i req ->
+          let ic, oc = conns.(i mod pool) in
+          match
+            Protocol.write_frame oc req;
+            Protocol.read_frame ic
+          with
+          | Some resp ->
+            incr count;
+            if not quiet then print_endline resp
+          | None -> exit_err "server closed the connection"
+          | exception (End_of_file | Sys_error _) ->
+            exit_err "server closed the connection"
+          | exception Error.Error e -> exit_err "%s" (Error.to_string e))
+        script;
+      Array.iter (fun (_, oc) -> close_out_noerr oc) conns;
+      if quiet then Fmt.pr "%d responses@." !count
+    end
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Send protocol requests to a running fds server and print one \
              JSON response per line. Transient connection failures retry \
-             with backoff (see --retries).")
-    Term.(const run $ socket_arg $ tcp_arg $ retries_arg $ requests)
+             with backoff (see --retries); --pool N reuses N persistent \
+             connections round-robin and --requests N repeats the script.")
+    Term.(const run $ socket_arg $ tcp_arg $ retries_arg $ pool_arg
+          $ repeat_arg $ quiet_arg $ requests)
 
 (* ------------------------------------------------------------------ *)
 (* verify-files                                                        *)

@@ -29,6 +29,7 @@ exception Exhausted of resource
    enough — single-word writes do not tear in OCaml 5. *)
 type t = {
   steps_left : int Atomic.t;
+  spent : int Atomic.t;  (** steps spent so far, even when unlimited *)
   mutable states_left : int option;  (** cap on distinct states per fixpoint *)
   mutable deadline : float option;  (** absolute time, in [clock]'s scale *)
   clock : unit -> float;
@@ -42,6 +43,7 @@ let default_clock = Mclock.now
 let unlimited () =
   {
     steps_left = Atomic.make max_int;
+    spent = Atomic.make 0;
     states_left = None;
     deadline = None;
     clock = default_clock;
@@ -54,6 +56,7 @@ let unlimited () =
 let make ?steps ?states ?ms ?(clock = default_clock) () =
   {
     steps_left = Atomic.make (match steps with Some n -> n | None -> max_int);
+    spent = Atomic.make 0;
     states_left = states;
     deadline = Option.map (fun ms -> clock () +. (float_of_int ms /. 1000.)) ms;
     clock;
@@ -70,6 +73,7 @@ let check_time (b : t) =
 (** Spend one step of fuel; also checks the deadline. Safe to call from
     several domains at once: each call consumes exactly one unit. *)
 let spend_step (b : t) =
+  Atomic.incr b.spent;
   (if Atomic.get b.steps_left <> max_int then
      let n = Atomic.fetch_and_add b.steps_left (-1) in
      if n <= 0 then begin
@@ -79,6 +83,11 @@ let spend_step (b : t) =
        raise (Exhausted Steps)
      end);
   check_time b
+
+(** Steps spent through this budget so far — tracked even when the step
+    fuel is unlimited, so admission layers can post-charge the actual
+    cost of a request against a rate bucket. *)
+let spent (b : t) = Atomic.get b.spent
 
 (** The distinct-state cap, if any. *)
 let states (b : t) = b.states_left
@@ -94,6 +103,75 @@ let exhaust (b : t) (r : resource) =
   | Steps -> Atomic.set b.steps_left 0
   | States -> b.states_left <- Some 0
   | Time -> b.deadline <- Some (b.clock () -. 1.)
+
+(* ------------------------------------------------------------------ *)
+(* token buckets: admission control over requests and budget steps     *)
+(* ------------------------------------------------------------------ *)
+
+(** A mutex-protected token bucket on the monotonic clock: [rate]
+    tokens accrue per second up to [burst]. [take] is the pre-paid
+    form (admit iff the tokens are there, deduct them); [charge] is the
+    post-paid form — it may drive the level negative (debt), which
+    [take] then refuses until the refill covers it. The admission
+    layers use [take ~cost:1.] per request and [take ~cost:0.] +
+    [charge spent] for budget-step metering, where a request's true
+    cost is only known after it ran. *)
+module Bucket = struct
+  type bucket = {
+    rate : float;  (** tokens per second; > 0 *)
+    burst : float;  (** capacity; the initial level *)
+    mutable level : float;
+    mutable stamp : float;  (** last refill, in [clock]'s scale *)
+    clock : unit -> float;
+    lock : Mutex.t;
+  }
+
+  type t = bucket
+
+  let make ?(clock = default_clock) ?burst ~rate () =
+    let rate = Float.max rate 1e-6 in
+    let burst =
+      match burst with
+      | Some b -> Float.max b 1.
+      | None -> Float.max rate 1.
+    in
+    { rate; burst; level = burst; stamp = clock (); clock; lock = Mutex.create () }
+
+  let refill b =
+    let now = b.clock () in
+    let dt = now -. b.stamp in
+    if dt > 0. then begin
+      b.level <- Float.min b.burst (b.level +. (dt *. b.rate));
+      b.stamp <- now
+    end
+
+  let locked b f =
+    Mutex.lock b.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock b.lock) f
+
+  (** [take b cost] admits and deducts when at least [cost] tokens are
+      available; otherwise [Error retry_after] — the seconds until the
+      refill covers the shortfall. [cost = 0.] admits exactly when the
+      bucket is out of debt. *)
+  let take (b : t) (cost : float) : (unit, float) result =
+    locked b (fun () ->
+        refill b;
+        if b.level >= cost then begin
+          b.level <- b.level -. cost;
+          Ok ()
+        end
+        else Error (Float.max 0. ((cost -. b.level) /. b.rate)))
+
+  (** Post-paid spend: deduct [cost] unconditionally, into debt if need
+      be. *)
+  let charge (b : t) (cost : float) : unit =
+    locked b (fun () ->
+        refill b;
+        b.level <- b.level -. cost)
+
+  (** The current level (after refill); negative while in debt. *)
+  let level (b : t) : float = locked b (fun () -> refill b; b.level)
+end
 
 let pp ppf (b : t) =
   let pp_steps ppf = function

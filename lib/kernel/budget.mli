@@ -41,6 +41,11 @@ val check_time : t -> unit
     several domains concurrently; each call consumes exactly one unit. *)
 val spend_step : t -> unit
 
+(** Steps spent through this budget so far — tracked even when the
+    step fuel is unlimited, so admission layers can post-charge a
+    request's actual cost against a {!Bucket}. *)
+val spent : t -> int
+
 (** The distinct-state cap, if any. *)
 val states : t -> int option
 
@@ -49,5 +54,28 @@ val cap_states : t -> int -> int
 
 (** Force a resource to exhaustion (used by {!Fault} injection). *)
 val exhaust : t -> resource -> unit
+
+(** Mutex-protected token buckets on the monotonic clock — the
+    admission-control primitive: [rate] tokens accrue per second up to
+    [burst] (default [max rate 1.]). {!take} is pre-paid admission
+    (admit iff the tokens are there); {!charge} is post-paid — it may
+    drive the level negative (debt), which {!take} then refuses until
+    the refill covers it. Safe to share across domains. *)
+module Bucket : sig
+  type t
+
+  val make : ?clock:(unit -> float) -> ?burst:float -> rate:float -> unit -> t
+
+  (** [take b cost] deducts [cost] tokens when available, else
+      [Error retry_after_seconds]. [cost = 0.] admits exactly when the
+      bucket is out of debt. *)
+  val take : t -> float -> (unit, float) result
+
+  (** Deduct unconditionally, into debt if need be. *)
+  val charge : t -> float -> unit
+
+  (** The current level (after refill); negative while in debt. *)
+  val level : t -> float
+end
 
 val pp : t Fmt.t

@@ -13,6 +13,9 @@ type t = {
   fsync : bool;
   trace : string option;
   stats : bool;
+  rate_limit : float option;
+  rate_burst : float option;
+  step_rate : float option;
 }
 
 let default =
@@ -29,11 +32,15 @@ let default =
     fsync = false;
     trace = None;
     stats = false;
+    rate_limit = None;
+    rate_burst = None;
+    step_rate = None;
   }
 
 let make ?jobs ?(strategy = `Auto) ?star_limit ?steps ?states ?ms
     ?(check_constraints = true) ?(transactional = false) ?journal
-    ?(fsync = false) ?trace ?(stats = false) () =
+    ?(fsync = false) ?trace ?(stats = false) ?rate_limit ?rate_burst ?step_rate
+    () =
   {
     jobs;
     strategy;
@@ -47,6 +54,9 @@ let make ?jobs ?(strategy = `Auto) ?star_limit ?steps ?states ?ms
     fsync;
     trace;
     stats;
+    rate_limit;
+    rate_burst;
+    step_rate;
   }
 
 let with_jobs n = { default with jobs = Some n }

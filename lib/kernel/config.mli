@@ -25,6 +25,15 @@ type t = {
           leaders force this on *)
   trace : string option;  (** Chrome-trace output file *)
   stats : bool;  (** print the metrics snapshot on exit *)
+  rate_limit : float option;
+      (** admission control: requests per second admitted per server
+          connection (token bucket); [None] = unlimited *)
+  rate_burst : float option;
+      (** burst capacity of the request bucket; [None] = one second's
+          worth ([rate_limit]) *)
+  step_rate : float option;
+      (** admission control: budget steps per second admitted per
+          store, post-charged with each request's actual spend *)
 }
 
 (** Every knob at its neutral value: jobs/star-limit defaulted, budget
@@ -46,6 +55,9 @@ val make :
   ?fsync:bool ->
   ?trace:string ->
   ?stats:bool ->
+  ?rate_limit:float ->
+  ?rate_burst:float ->
+  ?step_rate:float ->
   unit ->
   t
 

@@ -29,6 +29,10 @@ type code =
   | Read_only  (** a write sent to a read-only replica *)
   | Stale_epoch
       (** a replication fetch from an epoch ahead of the leader's *)
+  | Overloaded
+      (** admission control refused the request (rate limit or shed
+          load); the context carries [retry-after-ms] *)
+  | Unauthorized  (** a missing or invalid credential *)
 
 let code_name = function
   | Budget_exhausted r -> "budget-" ^ Budget.resource_name r
@@ -43,6 +47,8 @@ let code_name = function
   | Replay_mismatch -> "replay-mismatch"
   | Read_only -> "read-only"
   | Stale_epoch -> "stale-epoch"
+  | Overloaded -> "overloaded"
+  | Unauthorized -> "unauthorized"
 
 type t = {
   code : code;
@@ -62,6 +68,21 @@ let raise_error ?context phase code message =
 
 let makef ?context phase code fmt =
   Fmt.kstr (fun s -> make ?context phase code s) fmt
+
+(* The admission-control rejection, with the retry hint in the wire
+   form clients parse: context ["retry-after-ms"], rounded up so a
+   compliant client never retries early. *)
+let overloaded ?retry_after_s message =
+  let context =
+    match retry_after_s with
+    | None -> []
+    | Some s ->
+      [
+        ( "retry-after-ms",
+          string_of_int (Stdlib.max 1 (int_of_float (Float.ceil (s *. 1000.)))) );
+      ]
+  in
+  make ~context Exec Overloaded message
 
 let pp ppf (e : t) =
   Fmt.pf ppf "[%s/%s] %s" (phase_name e.phase) (code_name e.code) e.message;

@@ -21,6 +21,10 @@ type code =
   | Read_only  (** a write sent to a read-only replica *)
   | Stale_epoch
       (** a replication fetch from an epoch ahead of the leader's *)
+  | Overloaded
+      (** admission control refused the request (rate limit or shed
+          load); the context carries [retry-after-ms] *)
+  | Unauthorized  (** a missing or invalid credential *)
 
 val code_name : code -> string
 
@@ -46,6 +50,11 @@ val makef :
   code ->
   ('a, Format.formatter, unit, t) format4 ->
   'a
+
+(** The admission-control rejection: code {!Overloaded}, phase [Exec],
+    with [retry_after_s] rounded up into a ["retry-after-ms"] context
+    entry clients can parse. *)
+val overloaded : ?retry_after_s:float -> string -> t
 
 val pp : t Fmt.t
 val to_string : t -> string

@@ -142,12 +142,15 @@ let call_of_json (v : Json.t) : (Journal.call, Error.t) result =
 
 (* --- framing --- *)
 
-let read_frame (ic : in_channel) : string option =
+(* A blank header line is skipped, not end-of-stream: a stray
+   keepalive newline from a pipelining client must not kill the
+   connection. (It used to return [None], silently ending the session.) *)
+let rec read_frame (ic : in_channel) : string option =
   match input_line ic with
   | exception End_of_file -> None
   | header ->
     let header = String.trim header in
-    if header = "" then None
+    if header = "" then read_frame ic
     else (
       match int_of_string_opt header with
       | None ->
@@ -165,12 +168,142 @@ let read_frame (ic : in_channel) : string option =
          with End_of_file -> ());
         Some buf)
 
-let write_frame (oc : out_channel) (payload : string) : unit =
+(* Write a frame into the channel's buffer without flushing — the
+   pipelined server corks a burst of responses and flushes once. *)
+let output_frame (oc : out_channel) (payload : string) : unit =
   output_string oc (string_of_int (String.length payload));
   output_char oc '\n';
   output_string oc payload;
-  output_char oc '\n';
+  output_char oc '\n'
+
+let write_frame (oc : out_channel) (payload : string) : unit =
+  output_frame oc payload;
   flush oc
+
+(* --- the server's pipelined reader --- *)
+
+(* A buffered frame reader over a raw file descriptor. Unlike the
+   in_channel path it can tell "no more input available right now"
+   ([`Pending]) apart from "blocked waiting for the next request", so
+   the server can drain every frame the client already sent, answer
+   them all, and flush the responses in one write before blocking
+   again. *)
+module Reader = struct
+  type t = {
+    fd : Unix.file_descr;
+    mutable buf : Bytes.t;
+    mutable pos : int;  (** start of the unconsumed window *)
+    mutable len : int;  (** end of the valid window *)
+    mutable eof : bool;
+  }
+
+  let create ?(size = 64 * 1024) fd =
+    { fd; buf = Bytes.create size; pos = 0; len = 0; eof = false }
+
+  (* Read more bytes (blocking); false once the stream has ended. A
+     reset peer ends the stream the same way a close does. *)
+  let fill r =
+    if r.eof then false
+    else begin
+      if r.pos > 0 then begin
+        Bytes.blit r.buf r.pos r.buf 0 (r.len - r.pos);
+        r.len <- r.len - r.pos;
+        r.pos <- 0
+      end;
+      if r.len = Bytes.length r.buf then begin
+        let bigger = Bytes.create (2 * Bytes.length r.buf) in
+        Bytes.blit r.buf 0 bigger 0 r.len;
+        r.buf <- bigger
+      end;
+      match Unix.read r.fd r.buf r.len (Bytes.length r.buf - r.len) with
+      | 0 ->
+        r.eof <- true;
+        false
+      | n ->
+        r.len <- r.len + n;
+        true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> true
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        r.eof <- true;
+        false
+    end
+
+  (* One complete frame from the buffered bytes, or [`More]. Blank
+     header lines are consumed and skipped, mirroring {!read_frame}.
+     Raises {!Error.Error} on a malformed frame. *)
+  let try_frame r : [ `Frame of string | `More ] =
+    let fail e = raise (Error.Error e) in
+    let rec go () =
+      let rec find_nl i =
+        if i >= r.len then None
+        else if Bytes.get r.buf i = '\n' then Some i
+        else find_nl (i + 1)
+      in
+      match find_nl r.pos with
+      | None ->
+        (* no header newline yet; a "header" longer than any length
+           literal is malformed, not pending *)
+        if r.len - r.pos > 32 then
+          fail (proto_error "bad frame header: no length before newline")
+        else `More
+      | Some nl ->
+        let header = String.trim (Bytes.sub_string r.buf r.pos (nl - r.pos)) in
+        if header = "" then begin
+          r.pos <- nl + 1;
+          go ()
+        end
+        else (
+          match int_of_string_opt header with
+          | None ->
+            fail (proto_error "bad frame header %S: expected a length" header)
+          | Some n when n < 0 || n > max_frame ->
+            fail (proto_error "bad frame length %d" n)
+          | Some n ->
+            let start = nl + 1 in
+            if r.len - start > n then begin
+              let payload = Bytes.sub_string r.buf start n in
+              if Bytes.get r.buf (start + n) <> '\n' then
+                fail (proto_error "frame missing trailing newline");
+              r.pos <- start + n + 1;
+              `Frame payload
+            end
+            else if r.eof && r.len - start = n then begin
+              (* tolerate a missing trailing newline at EOF *)
+              let payload = Bytes.sub_string r.buf start n in
+              r.pos <- start + n;
+              `Frame payload
+            end
+            else if r.eof then
+              fail (proto_error "truncated frame at end of stream")
+            else `More)
+    in
+    go ()
+
+  (** The next frame. With [block:false] the reader consumes only what
+      is already buffered or immediately readable and answers
+      [`Pending] when the pipeline is drained; with [block:true] it
+      waits for the next request. [`Eof] is a clean end of stream.
+      Raises {!Error.Error} on a malformed frame. *)
+  let next (r : t) ~(block : bool) : [ `Frame of string | `Eof | `Pending ] =
+    let rec go () =
+      match try_frame r with
+      | `Frame p -> `Frame p
+      | `More ->
+        if r.eof then `Eof
+        else if block then begin
+          ignore (fill r);
+          go ()
+        end
+        else (
+          match Unix.select [ r.fd ] [] [] 0. with
+          | [], _, _ -> `Pending
+          | _ ->
+            ignore (fill r);
+            go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Pending)
+    in
+    go ()
+end
 
 (* --- requests and responses --- *)
 
@@ -180,21 +313,31 @@ type request = {
   body : Json.t;
 }
 
-let request_of_string (s : string) : (request, Error.t) result =
+(* Errors carry the request id when the JSON parsed well enough to
+   have one, so a pipelining client can match the rejection to the
+   request it sent. (Error replies used to always say [id: null].) *)
+let request_of_json (v : Json.t) : (request, Json.t * Error.t) result =
+  let id = Option.value ~default:Json.Null (Json.field "id" v) in
+  match Option.bind (Json.field "op" v) Json.to_string_opt with
+  | None -> Result.Error (id, proto_error "request needs an \"op\" string")
+  | Some op -> Ok { id; op; body = v }
+
+let request_of_string (s : string) : (request, Json.t * Error.t) result =
   match Json.parse s with
   | exception Json.Parse_error m ->
-    Result.Error (proto_error "request is not valid JSON: %s" m)
-  | v ->
-    let id = Option.value ~default:Json.Null (Json.field "id" v) in
-    (match Option.bind (Json.field "op" v) Json.to_string_opt with
-     | None -> Result.Error (proto_error "request needs an \"op\" string")
-     | Some op -> Ok { id; op; body = v })
+    Result.Error (Json.Null, proto_error "request is not valid JSON: %s" m)
+  | v -> request_of_json v
 
-let response ~id body = Json.to_string (Json.Obj (("id", id) :: body))
-let ok_response ~id result = response ~id [ ("ok", Json.Bool true); ("result", result) ]
+let response_obj ~id body = Json.Obj (("id", id) :: body)
 
-let error_response ~id (e : Error.t) =
-  response ~id [ ("ok", Json.Bool false); ("error", Error.to_json e) ]
+let ok_obj ~id result =
+  response_obj ~id [ ("ok", Json.Bool true); ("result", result) ]
+
+let error_obj ~id (e : Error.t) =
+  response_obj ~id [ ("ok", Json.Bool false); ("error", Error.to_json e) ]
+
+let ok_response ~id result = Json.to_string (ok_obj ~id result)
+let error_response ~id (e : Error.t) = Json.to_string (error_obj ~id e)
 
 (* --- the per-operation dispatch, shared by the server loop --- *)
 
@@ -330,9 +473,20 @@ let error_of_json (v : Json.t) : Error.t =
     | Some "read-only" -> Error.Read_only
     | Some "stale-epoch" -> Error.Stale_epoch
     | Some "io-failure" -> Error.Io_failure
+    | Some "overloaded" -> Error.Overloaded
+    | Some "unauthorized" -> Error.Unauthorized
     | _ -> Error.Exec_failure
   in
-  Error.make Error.Exec code message
+  let context =
+    match Json.field "context" v with
+    | Some (Json.Obj fields) ->
+      List.filter_map
+        (fun (k, jv) ->
+          match jv with Json.Str s -> Some (k, s) | _ -> None)
+        fields
+    | _ -> []
+  in
+  Error.make ~context Error.Exec code message
 
 let fetched_of_response ~schema (payload : string) : (fetched, Error.t) result =
   match Json.parse payload with
@@ -492,10 +646,17 @@ let read_only op =
     Error.Exec Error.Read_only
     "read-only replica: writes must go to the leader"
 
-let handle ?(role = Standalone) (session : Session.t) (req : request) : reply =
+(* Admission hook: the server charges its per-connection rate bucket
+   through this, once per request — including once per sub-request of
+   a batch, which is why it is threaded into the dispatch rather than
+   applied only at the framing layer. *)
+let no_admit () : (unit, Error.t) result = Ok ()
+
+let rec handle_obj ?(role = Standalone) ?(admit = no_admit) (session : Session.t)
+    (req : request) : Json.t * bool =
   let id = req.id in
-  let ok result = Reply (ok_response ~id result) in
-  let err e = Reply (error_response ~id e) in
+  let ok result = (ok_obj ~id result, false) in
+  let err e = (error_obj ~id e, false) in
   let of_result to_json = function
     | Ok v -> ok (to_json v)
     | Result.Error e -> err e
@@ -509,6 +670,29 @@ let handle ?(role = Standalone) (session : Session.t) (req : request) : reply =
   | op, _ -> (
     match op with
   | "ping" -> ok (Json.Str "pong")
+  | "batch" ->
+    (* N requests in one frame: each sub-request is admitted and
+       dispatched in order, and the reply carries the sub-responses as
+       one array — one frame out for one frame in. *)
+    (match Option.bind (Json.field "requests" req.body) Json.to_list_opt with
+     | None | Some [] ->
+       err (proto_error "batch needs a non-empty \"requests\" array")
+     | Some items ->
+       let sub item =
+         match request_of_json item with
+         | Result.Error (sub_id, e) -> error_obj ~id:sub_id e
+         | Ok sub_req ->
+           (match sub_req.op with
+            | "batch" | "shutdown" | "fetch" | "attach" ->
+              error_obj ~id:sub_req.id
+                (proto_error "%S is not allowed inside a batch" sub_req.op)
+            | _ ->
+              (match admit () with
+               | Result.Error e -> error_obj ~id:sub_req.id e
+               | Ok () ->
+                 fst (handle_obj ~role ~admit session sub_req)))
+       in
+       ok (Json.Arr (List.map sub items)))
   | "run" ->
     (match calls_of_request req with
      | Result.Error e -> err e
@@ -572,5 +756,10 @@ let handle ?(role = Standalone) (session : Session.t) (req : request) : reply =
                ("state", db_to_json r.Session.rep_state);
              ])
          (Session.replay session path))
-  | "shutdown" -> Final (ok_response ~id (Json.Str "bye"))
+  | "shutdown" -> (ok_obj ~id (Json.Str "bye"), true)
   | op -> err (proto_error "unknown operation %S" op))
+
+let handle ?role ?admit (session : Session.t) (req : request) : reply =
+  let obj, final = handle_obj ?role ?admit session req in
+  let s = Json.to_string obj in
+  if final then Final s else Reply s

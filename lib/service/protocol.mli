@@ -12,13 +12,18 @@
     Operations: [ping], [run] (["calls"]: array of call strings or
     [{"proc", "args"}] objects), [query] (["wff"]), [eval] (["term"],
     optional ["trace"]), [explain], [begin], [commit], [rollback],
-    [state], [stats], [replay] (["journal"]), [shutdown], and — served
-    by replication leaders only — [fetch] (["from"] offset, ["epoch"]):
-    the committed entries past the offset, a heartbeat when there are
-    none, or the leader's snapshot when the offset predates its
-    truncation base. On a follower the write ops ([run], [begin],
-    [commit], [rollback], [replay]) are rejected with a structured
-    [Read_only] error. *)
+    [state], [stats], [replay] (["journal"]), [batch] (["requests"]:
+    non-empty array of request objects executed in order, answered as
+    one array — [batch], [shutdown], [attach], and [fetch] may not
+    nest), [attach] (["namespace"], optional ["token"]; handled by the
+    server, which swaps the connection onto that namespace's store),
+    [shutdown], and — served by replication leaders only — [fetch]
+    (["from"] offset, ["epoch"]): the committed entries past the
+    offset, a heartbeat when there are none, or the leader's snapshot
+    when the offset predates its truncation base. On a follower the
+    write ops ([run], [begin], [commit], [rollback], [replay]) are
+    rejected with a structured [Read_only] error, and [attach] with
+    [Read_only] too (namespaces live on the leader). *)
 
 open Fdbs_kernel
 open Fdbs_rpr
@@ -41,10 +46,32 @@ val parse_call : string -> (Journal.call, Error.t) result
 val call_of_json : Json.t -> (Journal.call, Error.t) result
 
 (** [read_frame ic] is the next payload, [None] on a clean end of
-    stream. Raises {!Fdbs_kernel.Error.Error} on a malformed frame. *)
+    stream. Blank header lines are skipped, not treated as EOF. Raises
+    {!Fdbs_kernel.Error.Error} on a malformed frame. *)
 val read_frame : in_channel -> string option
 
+(** Buffer a frame without flushing — callers pipelining several
+    responses cork them and flush once. *)
+val output_frame : out_channel -> string -> unit
+
+(** {!output_frame} followed by a flush. *)
 val write_frame : out_channel -> string -> unit
+
+(** A buffered frame reader over a raw descriptor that can distinguish
+    "nothing buffered or immediately readable" from "waiting for the
+    next request" — the server's pipelining primitive. *)
+module Reader : sig
+  type t
+
+  val create : ?size:int -> Unix.file_descr -> t
+
+  (** The next frame. [block:false] consumes only bytes already
+      buffered or immediately readable and answers [`Pending] when the
+      pipeline is drained; [block:true] waits. [`Eof] is a clean end of
+      stream. Raises {!Fdbs_kernel.Error.Error} on a malformed
+      frame. *)
+  val next : t -> block:bool -> [ `Frame of string | `Eof | `Pending ]
+end
 
 type request = {
   id : Json.t;  (** echoed verbatim in the response *)
@@ -52,7 +79,12 @@ type request = {
   body : Json.t;  (** the whole request object *)
 }
 
-val request_of_string : string -> (request, Error.t) result
+(** On error, the carried {!Fdbs_kernel.Json.t} is the request id when
+    the document parsed well enough to have one ([Null] otherwise), so
+    error replies can echo it. *)
+val request_of_json : Json.t -> (request, Json.t * Error.t) result
+
+val request_of_string : string -> (request, Json.t * Error.t) result
 val ok_response : id:Json.t -> Json.t -> string
 val error_response : id:Json.t -> Error.t -> string
 
@@ -87,8 +119,20 @@ type reply =
   | Reply of string
   | Final of string  (** reply, then shut the server down *)
 
+(** Decode a wire error object (the ["error"] member of an
+    [{"ok": false}] response) back into a structured error. *)
+val error_of_json : Json.t -> Error.t
+
 (** Execute one request against a session, as [role] (default
-    {!Standalone}). Never raises — every failure becomes an
-    [{"ok": false}] response — except for an armed [replication.fetch]
-    fault, which propagates so the server can cut the stream. *)
-val handle : ?role:role -> Session.t -> request -> reply
+    {!Standalone}). [admit] is the server's admission hook, charged
+    once per sub-request of a [batch] (an [Error] becomes that
+    sub-request's [Overloaded] reply). Never raises — every failure
+    becomes an [{"ok": false}] response — except for an armed
+    [replication.fetch] fault, which propagates so the server can cut
+    the stream. *)
+val handle :
+  ?role:role ->
+  ?admit:(unit -> (unit, Error.t) result) ->
+  Session.t ->
+  request ->
+  reply

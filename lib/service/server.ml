@@ -1,9 +1,13 @@
 (* The fds serve daemon: a socket server speaking Protocol frames, one
-   session per connection over a single shared store. The main domain
-   accepts connections and queues them; a small set of worker domains
-   pops the queue and drives one connection each to completion. All
-   database mutation is serialized by the store lock inside Session, so
-   concurrent connections observe serializable transactions.
+   session per connection over a shared store. The main domain is a
+   dispatcher: it accepts connections and selects over the parked
+   (quiet) ones, moving each to the ready queue the moment it has
+   input; worker domains pop ready connections, drain every buffered
+   frame into one corked flush, and hand the quiet connection back.
+   Workers never block on a socket, so any number of open connections
+   multiplex over a small pool. All database mutation is serialized by
+   the store lock inside Session, so concurrent connections observe
+   serializable transactions.
 
    Replication: with a journal the server boots as a *leader* — it
    recovers the journal's committed state, stamps a fresh epoch, and
@@ -35,14 +39,37 @@ let describe : listen -> string = function
   | `Unix path -> path
   | `Tcp (host, port) -> Fmt.str "%s:%d" host port
 
+(* One client connection. A connection is owned by exactly one party at
+   a time: the ready queue, the worker serving it, or the dispatcher's
+   parked watch set (via the idle hand-back list). *)
+type conn = {
+  fd : Unix.file_descr;
+  reader : Protocol.Reader.t;
+  oc : out_channel;
+  session : Session.t ref;  (* rebound by [attach] *)
+  bucket : Budget.Bucket.t option;  (* per-connection request admission *)
+  stopping : bool ref;  (* this connection carried a shutdown request *)
+}
+
 type t = {
   store : Session.Store.t;
+  schema : Schema.t;
+  spec : Fdbs_algebra.Spec.t option;
+  config : Config.t;  (* the adjusted (post-role) configuration *)
+  auth : string option;  (* token required by [attach], when set *)
+  max_queue : int;  (* accepted connections queued beyond this are shed *)
   role : Protocol.role;
   sock : Unix.file_descr;
   stop : bool Atomic.t;
-  queue : Unix.file_descr Queue.t;
+  queue : conn Queue.t;  (* connections with input waiting for a worker *)
   qlock : Mutex.t;
   qcond : Condition.t;
+  idle : conn list ref;  (* drained connections headed back to the watch
+                            set; guarded by [qlock] *)
+  wake_r : Unix.file_descr;  (* self-pipe: workers poke the dispatcher *)
+  wake_w : Unix.file_descr;
+  namespaces : (string, Session.Store.t) Hashtbl.t;
+  ns_lock : Mutex.t;
   connections : int Atomic.t;
   requests : int Atomic.t;
 }
@@ -54,62 +81,267 @@ type stats = {
 
 let h_request_us = Metrics.histogram "service.request_us"
 let c_workers = Metrics.counter "service.workers"
+let c_bad_frames = Metrics.counter "service.bad_frames"
+let c_throttled = Metrics.counter "service.throttled"
+let c_shed = Metrics.counter "service.shed"
+let c_attached = Metrics.counter "service.attached"
+
+let wake_byte = Bytes.of_string "x"
+
+let wake server =
+  try ignore (Unix.write server.wake_w wake_byte 0 1)
+  with Unix.Unix_error _ -> ()
 
 let request_stop server =
   Atomic.set server.stop true;
+  wake server;
   Mutex.lock server.qlock;
   Condition.broadcast server.qcond;
   Mutex.unlock server.qlock
 
-let serve_connection server fd =
-  let session = Session.on_store server.store in
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let rec loop () =
-    match Protocol.read_frame ic with
-    | None -> ()
-    | Some payload ->
-      Atomic.incr server.requests;
-      (match Protocol.request_of_string payload with
-       | Result.Error e ->
-         Protocol.write_frame oc (Protocol.error_response ~id:Json.Null e);
-         loop ()
-       | Ok req ->
-         (match
-            (* Per-request budgets are rebuilt inside the handler from
-               the store config, so accounting stays exact whichever
-               worker domain serves the request; reads evaluate against
-               a shared snapshot outside the store lock. *)
-            let t0 = Mclock.now_us () in
-            Fun.protect
-              ~finally:(fun () ->
-                Metrics.observe_us h_request_us (Mclock.now_us () -. t0))
-              (fun () ->
-                Trace.with_span ~cat:"service"
-                  ~args:[ ("op", req.Protocol.op) ]
-                  "service.request"
-                  (fun () -> Protocol.handle ~role:server.role session req))
-          with
-          | Protocol.Reply r ->
-            Protocol.write_frame oc r;
-            loop ()
-          | Protocol.Final r ->
-            Protocol.write_frame oc r;
-            request_stop server))
+let bad_request fmt =
+  Fmt.kstr (fun m -> Error.make Error.Parse Error.Exec_failure m) fmt
+
+(* ------------------------------------------------------------------ *)
+(* multi-tenant namespaces                                             *)
+(* ------------------------------------------------------------------ *)
+
+let valid_namespace name =
+  name <> ""
+  && String.length name <= 64
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '-' || c = '.')
+       name
+
+(* Find or create the namespace's store. Every namespace is an
+   independent store — own state, own domain, own journal
+   ([base ^ "." ^ ns], recovered at first attach) — but all of them
+   share the process-wide planner cache: plan keys mix the schema
+   fingerprint, so tenants with identical schemas reuse each other's
+   compiled plans. *)
+let namespace_store server ns : (Session.Store.t, Error.t) result =
+  Mutex.lock server.ns_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock server.ns_lock) @@ fun () ->
+  match Hashtbl.find_opt server.namespaces ns with
+  | Some st -> Ok st
+  | None ->
+    let ( let* ) = Result.bind in
+    let config =
+      match server.config.Config.journal with
+      | None -> server.config
+      | Some base -> { server.config with Config.journal = Some (base ^ "." ^ ns) }
+    in
+    let* st = Session.Store.create ~config ?spec:server.spec server.schema in
+    let* () =
+      match config.Config.journal with
+      | Some journal when Sys.file_exists journal ->
+        let boot = Session.on_store st in
+        let* replayed = Session.replay boot journal in
+        (match replayed.Session.rep_torn with
+         | Some what -> Fmt.epr "fds: warning: journal %s: %s@." journal what
+         | None -> ());
+        Ok ()
+      | _ -> Ok ()
+    in
+    Hashtbl.add server.namespaces ns st;
+    Metrics.incr c_attached;
+    Ok st
+
+(* The [attach] op lives here rather than in Protocol.handle because it
+   swaps the connection onto another store's session. Followers reject
+   it (namespaces live on the leader); with [--auth-token] the request
+   must carry the matching ["token"]. *)
+let handle_attach server (req : Protocol.request) :
+  (Session.Store.t * string, Error.t) result =
+  let ( let* ) = Result.bind in
+  let* () =
+    match server.role with
+    | Protocol.Follower _ ->
+      Result.Error
+        (Error.make
+           ~context:[ ("op", "attach") ]
+           Error.Exec Error.Read_only
+           "read-only replica: attach must go to the leader")
+    | _ -> Ok ()
   in
-  (try loop () with
-   | Error.Error e ->
-     (* malformed frame: report once, then drop the connection *)
-     (try Protocol.write_frame oc (Protocol.error_response ~id:Json.Null e)
-      with Sys_error _ -> ())
-   | End_of_file | Sys_error _ -> ()
-   | Fault.Injected _ ->
-     (* an armed replication fault (e.g. replication.fetch) cuts the
-        stream mid-exchange: drop the connection without a reply, the
-        follower reconnects *)
-     ());
-  Session.close session;
-  close_out_noerr oc
+  let* () =
+    match server.auth with
+    | None -> Ok ()
+    | Some expected ->
+      let token =
+        Option.bind (Json.field "token" req.Protocol.body) Json.to_string_opt
+      in
+      if token = Some expected then Ok ()
+      else
+        Result.Error
+          (Error.make Error.Exec Error.Unauthorized
+             "attach: missing or invalid token")
+  in
+  let* ns =
+    match
+      Option.bind (Json.field "namespace" req.Protocol.body) Json.to_string_opt
+    with
+    | None -> Result.Error (bad_request "attach needs a \"namespace\" string")
+    | Some ns when not (valid_namespace ns) ->
+      Result.Error
+        (bad_request
+           "invalid namespace %S: up to 64 characters of [A-Za-z0-9_.-]" ns)
+    | Some ns -> Ok ns
+  in
+  let* st = namespace_store server ns in
+  Ok (st, ns)
+
+(* ------------------------------------------------------------------ *)
+(* connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Connections are multiplexed, not owned: a worker serves a *ready*
+   connection by draining every frame the client has already sent
+   (answering into the output buffer), flushing once the pipeline is
+   empty, and handing the quiet connection back to the dispatcher's
+   select set. A worker therefore never blocks on a socket — a client
+   may hold any number of open connections (`fds client --pool`, or
+   simply an idle session) without starving the pool, and a pipelined
+   burst of N requests gets N responses in order behind one corked
+   flush. *)
+
+let new_conn server fd =
+  {
+    fd;
+    reader = Protocol.Reader.create fd;
+    oc = Unix.out_channel_of_descr fd;
+    session = ref (Session.on_store server.store);
+    bucket =
+      (match server.config.Config.rate_limit with
+      | None -> None
+      | Some rate ->
+        Some
+          (Budget.Bucket.make ?burst:server.config.Config.rate_burst ~rate ()));
+    stopping = ref false;
+  }
+
+let admit server conn () =
+  match conn.bucket with
+  | None ->
+    Atomic.incr server.requests;
+    Ok ()
+  | Some b ->
+    (match Budget.Bucket.take b 1.0 with
+     | Ok () ->
+       Atomic.incr server.requests;
+       Ok ()
+     | Result.Error wait ->
+       Metrics.incr c_throttled;
+       Result.Error
+         (Error.overloaded ~retry_after_s:wait
+            "connection overloaded: request rate exceeded"))
+
+let handle_frame server conn payload =
+  let oc = conn.oc in
+  match Protocol.request_of_string payload with
+  | Result.Error (id, e) ->
+    (* a parse failure is the client's malformed frame, not a served
+       request: account it separately *)
+    Metrics.incr c_bad_frames;
+    Protocol.output_frame oc (Protocol.error_response ~id e)
+  | Ok req ->
+    let id = req.Protocol.id in
+    (* a batch admits (and counts) each sub-request inside the
+       handler instead of paying once for the envelope *)
+    (match if req.Protocol.op = "batch" then Ok () else admit server conn ()
+     with
+     | Result.Error e -> Protocol.output_frame oc (Protocol.error_response ~id e)
+     | Ok () ->
+       (match req.Protocol.op with
+        | "attach" ->
+          (match handle_attach server req with
+           | Result.Error e ->
+             Protocol.output_frame oc (Protocol.error_response ~id e)
+           | Ok (st, ns) ->
+             Session.close !(conn.session);
+             conn.session := Session.on_store st;
+             Protocol.output_frame oc
+               (Protocol.ok_response ~id
+                  (Json.Obj [ ("namespace", Json.Str ns) ])))
+        | _ ->
+          (match
+             (* Per-request budgets are rebuilt inside the handler
+                from the store config, so accounting stays exact
+                whichever worker domain serves the request; reads
+                evaluate against a shared snapshot outside the store
+                lock. *)
+             let t0 = Mclock.now_us () in
+             Fun.protect
+               ~finally:(fun () ->
+                 Metrics.observe_us h_request_us (Mclock.now_us () -. t0))
+               (fun () ->
+                 Trace.with_span ~cat:"service"
+                   ~args:[ ("op", req.Protocol.op) ]
+                   "service.request"
+                   (fun () ->
+                     Protocol.handle ~role:server.role
+                       ~admit:(admit server conn) !(conn.session) req))
+           with
+           | Protocol.Reply r -> Protocol.output_frame oc r
+           | Protocol.Final r ->
+             Protocol.output_frame oc r;
+             conn.stopping := true)))
+
+(* [close_out_noerr] flushes buffered replies (the shutdown "bye"
+   included) before closing the underlying fd. *)
+let close_conn server conn =
+  if !(conn.stopping) then request_stop server;
+  Session.close !(conn.session);
+  close_out_noerr conn.oc
+
+(* Hand a drained connection back to the dispatcher. Data that arrives
+   between the worker's last poll and the dispatcher's next select is
+   not lost: select is level-triggered, so the fd reports readable the
+   moment it is watched. *)
+let park server conn =
+  Mutex.lock server.qlock;
+  server.idle := conn :: !(server.idle);
+  Mutex.unlock server.qlock;
+  wake server
+
+let serve_ready server conn =
+  let step () =
+    let rec go () =
+      if !(conn.stopping) then `Close
+      else
+        match Protocol.Reader.next conn.reader ~block:false with
+        | `Eof -> `Close
+        | `Frame payload ->
+          handle_frame server conn payload;
+          go ()
+        | `Pending ->
+          (* pipeline drained: one corked flush, then back to the
+             watch set *)
+          flush conn.oc;
+          `Park
+    in
+    try go () with
+    | Error.Error e ->
+      (* malformed frame: report once, then drop the connection *)
+      Metrics.incr c_bad_frames;
+      (try
+         Protocol.write_frame conn.oc (Protocol.error_response ~id:Json.Null e)
+       with Sys_error _ -> ());
+      `Close
+    | End_of_file | Sys_error _ -> `Close
+    | Fault.Injected _ ->
+      (* an armed replication fault (e.g. replication.fetch) cuts the
+         stream mid-exchange: drop the connection without a reply, the
+         follower reconnects *)
+      `Close
+  in
+  match step () with
+  | `Park -> park server conn
+  | `Close -> close_conn server conn
 
 let worker server () =
   let rec loop () =
@@ -121,27 +353,101 @@ let worker server () =
     Mutex.unlock server.qlock;
     match job with
     | None -> ()
-    | Some fd ->
-      serve_connection server fd;
+    | Some conn ->
+      if Atomic.get server.stop then close_conn server conn
+      else serve_ready server conn;
       loop ()
   in
   loop ()
 
+(* Shed load instead of queueing without bound: a connection accepted
+   while the queue is already [max_queue] deep gets one structured
+   Overloaded frame (with a retry hint) and is closed — it is never
+   parked where no worker will reach it. *)
+let shed_connection fd =
+  Metrics.incr c_shed;
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     Protocol.write_frame oc
+       (Protocol.error_response ~id:Json.Null
+          (Error.overloaded ~retry_after_s:0.1
+             "server overloaded: accept queue is full"))
+   with Sys_error _ -> ());
+  close_out_noerr oc
+
+let enqueue_ready server conn =
+  Mutex.lock server.qlock;
+  Queue.push conn server.queue;
+  Condition.signal server.qcond;
+  Mutex.unlock server.qlock
+
+let accept_one server =
+  match Unix.accept server.sock with
+  | exception Unix.Unix_error (_, _, _) -> ()
+  | fd, _ ->
+    Mutex.lock server.qlock;
+    let depth = Queue.length server.queue in
+    if depth >= server.max_queue then (
+      Mutex.unlock server.qlock;
+      shed_connection fd)
+    else (
+      Atomic.incr server.connections;
+      (* straight to the ready queue: the first service pass answers
+         whatever the client sent with the connect, or parks it *)
+      Queue.push (new_conn server fd) server.queue;
+      Condition.signal server.qcond;
+      Mutex.unlock server.qlock)
+
+(* The dispatcher: accept new connections and select over the parked
+   (quiet) ones, moving each back to the ready queue the moment it has
+   input. Workers hand drained connections back through [server.idle]
+   and poke [wake_w] so a park during a long select is adopted
+   immediately rather than at the next 0.2s tick. *)
 let accept_loop server =
+  let parked : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 64 in
+  let adopt_idle () =
+    Mutex.lock server.qlock;
+    let newly = !(server.idle) in
+    server.idle := [];
+    Mutex.unlock server.qlock;
+    List.iter (fun conn -> Hashtbl.replace parked conn.fd conn) newly
+  in
+  let drain_wake () =
+    let buf = Bytes.create 64 in
+    let rec go () =
+      match Unix.read server.wake_r buf 0 (Bytes.length buf) with
+      | n when n = Bytes.length buf -> go ()
+      | _ -> ()
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        -> ()
+    in
+    go ()
+  in
   while not (Atomic.get server.stop) do
-    match Unix.select [ server.sock ] [] [] 0.2 with
+    adopt_idle ();
+    let watch =
+      server.sock :: server.wake_r
+      :: Hashtbl.fold (fun fd _ acc -> fd :: acc) parked []
+    in
+    match Unix.select watch [] [] 0.2 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | [], _, _ -> ()
-    | _ ->
-      (match Unix.accept server.sock with
-       | exception Unix.Unix_error (_, _, _) -> ()
-       | fd, _ ->
-         Atomic.incr server.connections;
-         Mutex.lock server.qlock;
-         Queue.push fd server.queue;
-         Condition.signal server.qcond;
-         Mutex.unlock server.qlock)
-  done
+    | ready, _, _ ->
+      List.iter
+        (fun fd ->
+          if fd = server.sock then accept_one server
+          else if fd = server.wake_r then drain_wake ()
+          else
+            match Hashtbl.find_opt parked fd with
+            | None -> ()
+            | Some conn ->
+              Hashtbl.remove parked fd;
+              enqueue_ready server conn)
+        ready
+  done;
+  (* stopping: close every quiet connection still on the watch set *)
+  adopt_idle ();
+  Hashtbl.iter (fun _ conn -> close_conn server conn) parked
 
 let io_error fmt =
   Fmt.kstr (fun m -> Error.make Error.Io Error.Io_failure m) fmt
@@ -243,14 +549,16 @@ let follow_loop server (replica : Replica.t) (leader : Unix.sockaddr)
 (* ------------------------------------------------------------------ *)
 
 let serve ?(workers = 0) ?spec ?(config = Config.default)
-    ?(ready = fun () -> ()) ?follow ?snapshot_every (listen : listen) schema :
-  (stats, Error.t) result =
+    ?(ready = fun () -> ()) ?follow ?snapshot_every ?auth ?(max_queue = 1024)
+    (listen : listen) schema : (stats, Error.t) result =
   let ( let* ) = Result.bind in
   (* 0 (the default) sizes the worker pool to the machine: one domain
-     per core, at least two so a slow connection never starves the
-     accept queue. The workers share one store — and one process-wide
-     planner cache, safe because plan keys mix the schema fingerprint —
-     so every domain serves requests against warm plans. *)
+     per core, at least two so one long-running request cannot block
+     every other ready connection. Workers never block on sockets (the
+     dispatcher holds the quiet connections), and they share one store
+     — and one process-wide planner cache, safe because plan keys mix
+     the schema fingerprint — so every domain serves requests against
+     warm plans. *)
   let workers =
     if workers <= 0 then Stdlib.max 2 (Pool.recommended_jobs ()) else workers
   in
@@ -312,16 +620,32 @@ let serve ?(workers = 0) ?spec ?(config = Config.default)
     Result.Error
       (io_error "cannot bind %s: %s" (describe listen) (Unix.error_message err))
   | () ->
-    Unix.listen sock 16;
+    Unix.listen sock 128;
+    let namespaces = Hashtbl.create 7 in
+    (* the boot store is the "default" namespace: attach default is a
+       no-op rebind, not a second store *)
+    Hashtbl.add namespaces "default" store;
+    let wake_r, wake_w = Unix.pipe () in
+    Unix.set_nonblock wake_r;
     let server =
       {
         store;
+        schema;
+        spec;
+        config;
+        auth;
+        max_queue = Stdlib.max 1 max_queue;
         role;
         sock;
         stop = Atomic.make false;
         queue = Queue.create ();
         qlock = Mutex.create ();
         qcond = Condition.create ();
+        idle = ref [];
+        wake_r;
+        wake_w;
+        namespaces;
+        ns_lock = Mutex.create ();
         connections = Atomic.make 0;
         requests = Atomic.make 0;
       }
@@ -358,6 +682,12 @@ let serve ?(workers = 0) ?spec ?(config = Config.default)
     (match follower_domain with
      | Some d -> Trace.graft (Stdlib.Domain.join d)
      | None -> ());
+    (* workers are gone: close any connection parked after the
+       dispatcher's final sweep, then the self-pipe *)
+    List.iter (close_conn server) !(server.idle);
+    server.idle := [];
+    Unix.close wake_r;
+    Unix.close wake_w;
     Unix.close sock;
     (match listen with
      | `Unix path -> (try Unix.unlink path with Unix.Unix_error _ -> ())

@@ -1,7 +1,9 @@
 (** The [fds serve] daemon: a socket server speaking {!Protocol}
     frames, one {!Session} per connection over a single shared
-    {!Session.Store}. Worker domains drive connections concurrently;
-    the store lock serializes database mutation, so concurrent
+    {!Session.Store}. A dispatcher selects over quiet connections and
+    worker domains serve the ready ones — a worker never blocks on a
+    socket, so any number of open connections multiplex over a small
+    pool; the store lock serializes database mutation, so concurrent
     transactions are serializable. *)
 
 open Fdbs_kernel
@@ -39,7 +41,24 @@ type stats = {
     [snapshot_every] entries (default 64), and serves clients
     read-only — writes are rejected with a structured [Read_only]
     error. When the leader dies the follower keeps serving reads and
-    reconnects with capped backoff. *)
+    reconnects with capped backoff.
+
+    Gateway behavior: connections are pipelined and multiplexed —
+    every frame the client has already sent is answered in order into
+    one corked flush, the quiet connection returns to the dispatcher's
+    select set (no worker ever blocks on a socket, so idle or pooled
+    connections cannot starve the pool), and the [batch] op executes N
+    requests in a single frame exchange. Admission control:
+    [config.rate_limit]/[rate_burst] token-bucket requests per
+    connection and [config.step_rate] meters budget steps per store;
+    over-limit requests get a structured [Overloaded] error with a
+    [retry-after-ms] hint instead of stalling. Connections accepted
+    while [max_queue] (default 1024) connections already await a
+    worker are shed with one [Overloaded] frame. The [attach] op binds a
+    connection to a named namespace — an independent store with its own
+    journal ([config.journal ^ "." ^ name], recovered at first attach)
+    over the shared planner cache; with [auth] set, [attach] requires
+    the matching ["token"]. *)
 val serve :
   ?workers:int ->
   ?spec:Fdbs_algebra.Spec.t ->
@@ -47,6 +66,8 @@ val serve :
   ?ready:(unit -> unit) ->
   ?follow:listen ->
   ?snapshot_every:int ->
+  ?auth:string ->
+  ?max_queue:int ->
   listen ->
   Fdbs_rpr.Schema.t ->
   (stats, Error.t) result

@@ -57,6 +57,11 @@ module Store = struct
     spec : Fdbs_algebra.Spec.t option;
     config : Config.t;
     lock : Mutex.t;
+    step_bucket : Budget.Bucket.t option;
+        (* admission control: budget-steps-per-second token bucket,
+           from [Config.step_rate]; post-charged with each request's
+           actual spend, so a heavy request puts the bucket in debt and
+           later requests are rejected until it refills *)
     mutable db : Db.t;
     mutable domain : Domain.t;
     mutable sessions : int;  (* sessions ever opened *)
@@ -99,6 +104,10 @@ module Store = struct
           spec;
           config;
           lock = Mutex.create ();
+          step_bucket =
+            (match config.Config.step_rate with
+             | None -> None
+             | Some rate -> Some (Budget.Bucket.make ~rate ()));
           db = Schema.empty_db schema;
           domain = Domain.empty;
           sessions = 0;
@@ -195,12 +204,48 @@ let domain_add_calls (schema : Schema.t) (domain : Domain.t)
 (* A fresh environment over the store's schema and accumulated domain.
    The budget is rebuilt per request ([Config.budget] time deadlines
    count from now); the planner cache makes repeated environments
-   cheap. *)
-let env_of (st : Store.t) : Semantics.env =
+   cheap. [budget] overrides the config-derived one when the caller
+   needs to observe the spend (step-rate admission). *)
+let env_of ?budget (st : Store.t) : Semantics.env =
+  let budget =
+    match budget with Some _ -> budget | None -> Config.budget st.Store.config
+  in
   Semantics.env ~strategy:st.Store.config.Config.strategy
     ?star_limit:st.Store.config.Config.star_limit
-    ?budget:(Config.budget st.Store.config)
+    ?budget
     ~domain:st.Store.domain st.Store.schema
+
+(* --- step-rate admission ---
+
+   [admit_steps] rejects while the store's step bucket is in debt
+   (structured [Overloaded] with a retry hint); [request_budget] gives
+   every admitted request a budget whose spend is observable (the
+   config's own budget, or an unlimited counting one when only the
+   bucket needs it); [charge_steps] post-pays the actual spend into the
+   bucket. *)
+
+let admit_steps (st : Store.t) : (unit, Error.t) result =
+  match st.Store.step_bucket with
+  | None -> Ok ()
+  | Some b ->
+    (match Budget.Bucket.take b 0. with
+     | Ok () -> Ok ()
+     | Result.Error wait ->
+       Result.Error
+         (Error.overloaded ~retry_after_s:wait
+            "store overloaded: step rate exceeded"))
+
+let request_budget (st : Store.t) : Budget.t option =
+  match (Config.budget st.Store.config, st.Store.step_bucket) with
+  | (Some _ as b), _ -> b
+  | None, Some _ -> Some (Budget.unlimited ())
+  | None, None -> None
+
+let charge_steps (st : Store.t) (budget : Budget.t option) : unit =
+  match (st.Store.step_bucket, budget) with
+  | Some bucket, Some b ->
+    Budget.Bucket.charge bucket (float_of_int (Budget.spent b))
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* run                                                                 *)
@@ -232,11 +277,16 @@ let fail_with ?(completed = []) st e =
 let run_locked (st : Store.t) (calls : Journal.call list) :
   (outcome, failure) result =
   Metrics.incr c_requests;
+  match admit_steps st with
+  | Result.Error e -> fail_with st.Store.db e
+  | Ok () ->
+  let budget = request_budget st in
+  Fun.protect ~finally:(fun () -> charge_steps st budget) @@ fun () ->
   match domain_add_calls st.Store.schema st.Store.domain calls with
   | Result.Error e -> fail_with st.Store.db e
   | Ok domain ->
     st.Store.domain <- domain;
-    let env = env_of st in
+    let env = env_of ?budget st in
     if st.Store.config.Config.transactional then (
       let txn =
         Txn.make ~check_constraints:st.Store.config.Config.check_constraints
@@ -280,12 +330,17 @@ let run_txn (s : t) (tx : txn) (calls : Journal.call list) :
   (outcome, failure) result =
   let st = s.store in
   Metrics.incr c_requests;
+  match admit_steps st with
+  | Result.Error e -> fail_with tx.view e
+  | Ok () ->
+  let budget = request_budget st in
+  Fun.protect ~finally:(fun () -> charge_steps st budget) @@ fun () ->
   match
     Store.locked st (fun () ->
         match domain_add_calls st.Store.schema st.Store.domain calls with
         | Ok domain ->
           st.Store.domain <- domain;
-          Ok (env_of st)
+          Ok (env_of ?budget st)
         | Result.Error e -> Result.Error e)
   with
   | Result.Error e -> fail_with tx.view e
@@ -346,9 +401,14 @@ let commit (s : t) : (Db.t, Error.t) result =
     s.txn <- None;
     let st = s.store in
     let calls = List.rev tx.calls in
+    (match admit_steps st with
+     | Result.Error e -> Result.Error e
+     | Ok () ->
+    let budget = request_budget st in
+    Fun.protect ~finally:(fun () -> charge_steps st budget) @@ fun () ->
     Store.locked st (fun () ->
         guard (fun () ->
-            let env = env_of st in
+            let env = env_of ?budget st in
             let txn =
               Txn.make
                 ~check_constraints:st.Store.config.Config.check_constraints
@@ -361,7 +421,7 @@ let commit (s : t) : (Db.t, Error.t) result =
               st.Store.commits <- st.Store.commits + 1;
               Metrics.incr c_commits;
               Ok final
-            | Result.Error rb -> Result.Error rb.Txn.error))
+            | Result.Error rb -> Result.Error rb.Txn.error)))
 
 let rollback (s : t) : (Db.t, Error.t) result =
   match s.txn with
@@ -387,24 +447,30 @@ let query (s : t) ?(params = []) (src : string) : (bool, Error.t) result =
   match Rparser.wff ~params:decls st.Store.schema src with
   | Result.Error e -> Result.Error e
   | Ok wff ->
-    guard (fun () ->
-        (* One snapshot read, then evaluation entirely outside the
-           store lock: concurrent server workers answer queries in
-           parallel against the same shared state. The budget is
-           rebuilt per request, so accounting stays exact per caller
-           whatever domain serves it. *)
-        let state, domain =
-          match s.txn with
-          | Some tx -> (tx.view, Store.locked st (fun () -> st.Store.domain))
-          | None -> Store.snapshot st
-        in
-        let env =
-          Semantics.env ~strategy:st.Store.config.Config.strategy ~consts:binds
-            ?star_limit:st.Store.config.Config.star_limit
-            ?budget:(Config.budget st.Store.config)
-            ~domain st.Store.schema
-        in
-        Ok (Semantics.query env state wff))
+    (match admit_steps st with
+     | Result.Error e -> Result.Error e
+     | Ok () ->
+       let budget = request_budget st in
+       Fun.protect ~finally:(fun () -> charge_steps st budget) @@ fun () ->
+       guard (fun () ->
+           (* One snapshot read, then evaluation entirely outside the
+              store lock: concurrent server workers answer queries in
+              parallel against the same shared state. The budget is
+              rebuilt per request, so accounting stays exact per caller
+              whatever domain serves it. *)
+           let state, domain =
+             match s.txn with
+             | Some tx -> (tx.view, Store.locked st (fun () -> st.Store.domain))
+             | None -> Store.snapshot st
+           in
+           let env =
+             Semantics.env ~strategy:st.Store.config.Config.strategy
+               ~consts:binds
+               ?star_limit:st.Store.config.Config.star_limit
+               ?budget
+               ~domain st.Store.schema
+           in
+           Ok (Semantics.query env state wff)))
 
 (* The planner's own account of the schema: every constraint wff and
    every relational assignment, as compiled and as optimized, with the

@@ -1,0 +1,76 @@
+The production gateway: pipelined batches, multi-tenant namespaces,
+authenticated attach, connection pooling, and structured rejection of
+malformed frames.
+
+  $ fds serve guarded.schema --socket fds.sock --transactional \
+  >   --journal gw.journal --auth-token sesame 2>server.log &
+  $ for i in $(seq 1 100); do test -S fds.sock && break; sleep 0.1; done
+
+A batch executes N requests in one frame exchange and answers them in
+order as one array:
+
+  $ fds client --socket fds.sock \
+  >   '{"id": 1, "op": "batch", "requests": [{"id": 1, "op": "ping"}, {"id": 2, "op": "run", "calls": ["initiate()", "offer(cs101)"]}, {"id": 3, "op": "query", "wff": "exists c:course. OFFERED(c)"}]}'
+  {"id": 1, "ok": true, "result": [{"id": 1, "ok": true, "result": "pong"}, {"id": 2, "ok": true, "result": {"completed": 2, "state": {"relations": {"OFFERED": [["cs101"]], "TAKES": []}, "scalars": {}}}}, {"id": 3, "ok": true, "result": true}]}
+
+A batch may not nest batches or smuggle a shutdown — each offending
+item gets its own structured error while the rest still execute:
+
+  $ fds client --socket fds.sock \
+  >   '{"id": 2, "op": "batch", "requests": [{"id": 1, "op": "shutdown"}, {"id": 2, "op": "ping"}]}'
+  {"id": 2, "ok": true, "result": [{"id": 1, "ok": false, "error": {"phase": "parse", "code": "exec-failure", "message": "\"shutdown\" is not allowed inside a batch", "context": {}}}, {"id": 2, "ok": true, "result": "pong"}]}
+
+Attaching a namespace needs the token; a wrong one is a structured
+Unauthorized error, and the error echoes the request id:
+
+  $ fds client --socket fds.sock \
+  >   '{"id": 3, "op": "attach", "namespace": "acme", "token": "wrong"}'
+  {"id": 3, "ok": false, "error": {"phase": "exec", "code": "unauthorized", "message": "attach: missing or invalid token", "context": {}}}
+
+Two tenants with the same schema get isolated stores: writes in one
+namespace are invisible in the other (and in the default namespace):
+
+  $ fds client --socket fds.sock \
+  >   '{"id": 4, "op": "attach", "namespace": "acme", "token": "sesame"}' \
+  >   '{"id": 5, "op": "run", "calls": ["initiate()", "offer(acme101)"]}' \
+  >   '{"id": 6, "op": "state"}'
+  {"id": 4, "ok": true, "result": {"namespace": "acme"}}
+  {"id": 5, "ok": true, "result": {"completed": 2, "state": {"relations": {"OFFERED": [["acme101"]], "TAKES": []}, "scalars": {}}}}
+  {"id": 6, "ok": true, "result": {"relations": {"OFFERED": [["acme101"]], "TAKES": []}, "scalars": {}}}
+  $ fds client --socket fds.sock \
+  >   '{"id": 7, "op": "attach", "namespace": "globex", "token": "sesame"}' \
+  >   '{"id": 8, "op": "state"}'
+  {"id": 7, "ok": true, "result": {"namespace": "globex"}}
+  {"id": 8, "ok": true, "result": {"relations": {"OFFERED": [], "TAKES": []}, "scalars": {}}}
+  $ fds client --socket fds.sock '{"id": 9, "op": "state"}'
+  {"id": 9, "ok": true, "result": {"relations": {"OFFERED": [["cs101"]], "TAKES": []}, "scalars": {}}}
+
+A malformed request is a structured reply (with the id echoed when the
+JSON carried one) and never kills the connection:
+
+  $ fds client --socket fds.sock '{"id": 10, "nop": "ping"}' '{"id": 11, "op": "ping"}'
+  {"id": 10, "ok": false, "error": {"phase": "parse", "code": "exec-failure", "message": "request needs an \"op\" string", "context": {}}}
+  {"id": 11, "ok": true, "result": "pong"}
+
+The pooled client reuses connections across a repeated script:
+
+  $ fds client --socket fds.sock --pool 2 --requests 3 --quiet '{"id": 12, "op": "ping"}'
+  3 responses
+
+Shut down and check the per-namespace journals: each tenant's commits
+landed in its own journal next to the base one:
+
+  $ fds client --socket fds.sock '{"id": 13, "op": "shutdown"}'
+  {"id": 13, "ok": true, "result": "bye"}
+  $ wait
+  $ cat gw.journal
+  epoch 1
+  call initiate
+  call offer cs101
+  commit
+  $ cat gw.journal.acme
+  call initiate
+  call offer acme101
+  commit
+  $ test -f gw.journal.globex || echo "no commits, no journal entries"
+  no commits, no journal entries

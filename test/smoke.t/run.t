@@ -7,6 +7,7 @@ can be run locally, from the repo root, without GitHub Actions:
 - bash ci/service-smoke.sh -- serve daemon lifecycle over a socket
 - bash ci/replication-smoke.sh -- leader/follower chaos, journal replay
 - bash ci/delta-smoke.sh -- journaled burst checked differentially
+- bash ci/gateway-smoke.sh -- 100 clients, tenants, overload rejection
 
 They need dune on PATH (CI wraps them in `opam exec`) and write their
 scratch files into the current directory. This cram keeps the cheapest

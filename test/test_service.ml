@@ -199,7 +199,7 @@ let has_prefix ~affix s =
 
 let handle_exn session src =
   match Protocol.request_of_string src with
-  | Error e -> Alcotest.failf "bad request: %s" (Error.to_string e)
+  | Error (_, e) -> Alcotest.failf "bad request: %s" (Error.to_string e)
   | Ok req -> Protocol.handle session req
 
 let test_protocol_dispatch () =
@@ -344,7 +344,7 @@ let test_read_only_rejection () =
   let role = Protocol.Follower r in
   let handle src =
     match Protocol.request_of_string src with
-    | Error e -> Alcotest.failf "bad request: %s" (Error.to_string e)
+    | Error (_, e) -> Alcotest.failf "bad request: %s" (Error.to_string e)
     | Ok req -> (
         match Protocol.handle ~role (Replica.session r) req with
         | Protocol.Reply resp -> resp
@@ -376,7 +376,7 @@ let test_stale_epoch_fetch () =
   ignore (run_exn leader [ ("initiate", []) ]);
   let fetch ~epoch =
     match Protocol.request_of_string (Protocol.fetch_request ~id:(Json.Num 1.) ~from:0 ~epoch) with
-    | Error e -> Alcotest.failf "bad fetch: %s" (Error.to_string e)
+    | Error (_, e) -> Alcotest.failf "bad fetch: %s" (Error.to_string e)
     | Ok req -> (
         match Protocol.handle ~role:(Protocol.Leader log) leader req with
         | Protocol.Reply resp -> resp
@@ -395,7 +395,7 @@ let test_stale_epoch_fetch () =
      Protocol.request_of_string
        (Protocol.fetch_request ~id:(Json.Num 2.) ~from:0 ~epoch:1)
    with
-   | Error e -> Alcotest.failf "bad fetch: %s" (Error.to_string e)
+   | Error (_, e) -> Alcotest.failf "bad fetch: %s" (Error.to_string e)
    | Ok req -> (
        match Protocol.handle leader req with
        | Protocol.Reply resp ->
@@ -537,6 +537,264 @@ let replication_converges =
       in
       converged && replay_agrees)
 
+(* ------------------------------------------------------------------ *)
+(* gateway: framing edge cases, batch, admission, tenancy              *)
+(* ------------------------------------------------------------------ *)
+
+let read_all_from_string (s : string) =
+  let path = Filename.temp_file "fds_frames" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc s;
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go acc =
+            match Protocol.read_frame ic with
+            | Some p -> go (p :: acc)
+            | None -> List.rev acc
+          in
+          go []))
+
+(* the blank-header regression: stray newlines between frames used to
+   read as end-of-stream and silently drop the rest of the pipeline *)
+let test_blank_header_skipped () =
+  Alcotest.(check (list string))
+    "blank lines between frames are skipped" [ "abc"; "de" ]
+    (read_all_from_string "3\nabc\n\n\n2\nde\n")
+
+let test_oversized_frame_rejected () =
+  match read_all_from_string "999999999\nx\n" with
+  | _ -> Alcotest.fail "oversized frame must raise"
+  | exception Error.Error e ->
+    Alcotest.(check bool) "structured length error" true
+      (contains ~sub:"bad frame length" e.Error.message)
+
+let test_missing_trailing_newline () =
+  (* tolerated at EOF... *)
+  Alcotest.(check (list string))
+    "missing newline at EOF tolerated" [ "abc" ]
+    (read_all_from_string "3\nabc");
+  (* ...but mid-stream the byte after the payload must be the newline *)
+  match read_all_from_string "3\nabcX2\nde\n" with
+  | _ -> Alcotest.fail "mid-stream missing newline must raise"
+  | exception Error.Error e ->
+    Alcotest.(check bool) "structured framing error" true
+      (contains ~sub:"trailing newline" e.Error.message)
+
+let test_reader_pipelines () =
+  let rfd, wfd = Unix.pipe () in
+  let r = Protocol.Reader.create rfd in
+  let send s = ignore (Unix.write_substring wfd s 0 (String.length s)) in
+  send "3\nabc\n\n2\nde\n";
+  (match Protocol.Reader.next r ~block:true with
+   | `Frame p -> Alcotest.(check string) "first frame" "abc" p
+   | _ -> Alcotest.fail "expected the first frame");
+  (match Protocol.Reader.next r ~block:false with
+   | `Frame p ->
+     Alcotest.(check string) "second frame drained without blocking" "de" p
+   | _ -> Alcotest.fail "expected the buffered second frame");
+  (match Protocol.Reader.next r ~block:false with
+   | `Pending -> ()
+   | _ -> Alcotest.fail "a drained pipeline must report pending");
+  send "4\nwxyz" (* missing trailing newline, then EOF *);
+  Unix.close wfd;
+  (match Protocol.Reader.next r ~block:true with
+   | `Frame p -> Alcotest.(check string) "newline tolerated at EOF" "wxyz" p
+   | _ -> Alcotest.fail "expected the EOF-terminated frame");
+  (match Protocol.Reader.next r ~block:true with
+   | `Eof -> ()
+   | _ -> Alcotest.fail "expected a clean EOF");
+  Unix.close rfd
+
+(* the id-echo regression: malformed requests used to answer id: null
+   even when the JSON parsed enough to carry the id *)
+let test_error_id_echo () =
+  (match Protocol.request_of_string {|{"id": 7, "nop": "ping"}|} with
+   | Ok _ -> Alcotest.fail "missing op must be an error"
+   | Error (id, e) ->
+     Alcotest.(check string) "the id is echoed" "7" (Json.to_string id);
+     Alcotest.(check bool) "op mentioned" true
+       (contains ~sub:"op" e.Error.message));
+  match Protocol.request_of_string "{nope" with
+  | Ok _ -> Alcotest.fail "bad JSON must be an error"
+  | Error (id, _) ->
+    Alcotest.(check string) "null id when unparsable" "null" (Json.to_string id)
+
+let test_batch_dispatch () =
+  let s = session_exn ~config:(Config.make ~transactional:true ()) () in
+  (match
+     handle_exn s
+       {|{"id": 9, "op": "batch", "requests": [{"id": 1, "op": "ping"}, {"id": 2, "op": "run", "calls": ["initiate()", "offer(cs101)"]}, {"id": 3, "op": "query", "wff": "exists c:course. OFFERED(c)"}]}|}
+   with
+   | Protocol.Final _ -> Alcotest.fail "batch must not stop the server"
+   | Protocol.Reply r ->
+     Alcotest.(check bool) "batch envelope ok" true
+       (has_prefix ~affix:{|{"id": 9, "ok": true|} r);
+     Alcotest.(check bool) "sub-responses carried in order" true
+       (contains ~sub:{|{"id": 1, "ok": true, "result": "pong"}|} r);
+     Alcotest.(check bool) "the query saw the run's commit" true
+       (contains ~sub:{|{"id": 3, "ok": true, "result": true}|} r));
+  (match
+     handle_exn s
+       {|{"id": 10, "op": "batch", "requests": [{"id": 1, "op": "batch", "requests": []}, {"id": 2, "op": "shutdown"}]}|}
+   with
+   | Protocol.Final _ -> Alcotest.fail "nested shutdown must not stop the server"
+   | Protocol.Reply r ->
+     Alcotest.(check bool) "envelope still ok" true
+       (has_prefix ~affix:{|{"id": 10, "ok": true|} r);
+     Alcotest.(check bool) "nesting rejected per item" true
+       (contains ~sub:"not allowed inside a batch" r));
+  match handle_exn s {|{"id": 11, "op": "batch"}|} with
+  | Protocol.Final _ -> Alcotest.fail "empty batch must not stop the server"
+  | Protocol.Reply r ->
+    Alcotest.(check bool) "an empty batch is an error" true
+      (has_prefix ~affix:{|{"id": 11, "ok": false|} r)
+
+let test_batch_admission () =
+  let s = session_exn () in
+  let admitted = ref 0 in
+  let admit () =
+    incr admitted;
+    if !admitted > 2 then
+      Result.Error (Error.overloaded ~retry_after_s:0.5 "rate exceeded")
+    else Ok ()
+  in
+  match
+    Protocol.request_of_string
+      {|{"id": 1, "op": "batch", "requests": [{"id": 1, "op": "ping"}, {"id": 2, "op": "ping"}, {"id": 3, "op": "ping"}]}|}
+  with
+  | Error (_, e) -> Alcotest.failf "bad request: %s" (Error.to_string e)
+  | Ok req ->
+    (match Protocol.handle ~admit s req with
+     | Protocol.Final _ -> Alcotest.fail "batch must not stop the server"
+     | Protocol.Reply r ->
+       Alcotest.(check int) "each sub-request admitted once" 3 !admitted;
+       Alcotest.(check bool) "first two served" true
+         (contains ~sub:{|{"id": 1, "ok": true, "result": "pong"}|} r
+         && contains ~sub:{|{"id": 2, "ok": true, "result": "pong"}|} r);
+       Alcotest.(check bool) "third overloaded with a retry hint" true
+         (contains ~sub:{|"code": "overloaded"|} r
+         && contains ~sub:{|"retry-after-ms": "500"|} r))
+
+let test_bucket () =
+  let now = ref 0.0 in
+  let b = Budget.Bucket.make ~clock:(fun () -> !now) ~rate:2.0 ~burst:2.0 () in
+  Alcotest.(check bool) "burst admits" true (Budget.Bucket.take b 1.0 = Ok ());
+  Alcotest.(check bool) "burst admits twice" true
+    (Budget.Bucket.take b 1.0 = Ok ());
+  (match Budget.Bucket.take b 1.0 with
+   | Ok () -> Alcotest.fail "an empty bucket must reject"
+   | Error wait ->
+     Alcotest.(check (float 1e-6)) "retry hint is the refill time" 0.5 wait);
+  now := !now +. 0.5;
+  Alcotest.(check bool) "refills at the rate" true
+    (Budget.Bucket.take b 1.0 = Ok ());
+  (* post-charging actual spend can drive the bucket into debt *)
+  Budget.Bucket.charge b 4.0;
+  match Budget.Bucket.take b 0.0 with
+  | Ok () -> Alcotest.fail "in debt even a free take must reject"
+  | Error wait ->
+    Alcotest.(check bool) "the debt must be paid off first" true (wait >= 1.9)
+
+(* step-rate admission: a heavy first request is admitted (the bucket
+   starts full) and its actual spend puts the store in debt, so the
+   next requests are rejected with a structured Overloaded — reads
+   included. Deterministic: paying off the debt takes seconds, the test
+   runs in milliseconds. *)
+let test_step_rate_overload () =
+  let config = Config.make ~step_rate:1.0 () in
+  let s = session_exn ~config () in
+  ignore (run_exn s [ ("initiate", []); ("offer", [ v "cs101" ]) ]);
+  (match Session.run s [ ("offer", [ v "cs102" ]) ] with
+   | Ok _ -> Alcotest.fail "expected overload"
+   | Error f ->
+     Alcotest.(check string) "structured overloaded" "overloaded"
+       (Error.code_name f.Session.fail_error.Error.code);
+     Alcotest.(check bool) "carries a retry hint" true
+       (List.mem_assoc "retry-after-ms" f.Session.fail_error.Error.context));
+  match Session.query s "exists c:course. OFFERED(c)" with
+  | Ok _ -> Alcotest.fail "reads are metered by the same bucket"
+  | Error e ->
+    Alcotest.(check string) "query overloaded too" "overloaded"
+      (Error.code_name e.Error.code)
+
+(* the multi-tenant substrate: independent stores over one schema share
+   the planner cache (plan keys mix the schema fingerprint) while their
+   states stay isolated *)
+let test_store_planner_sharing () =
+  let a = session_exn () in
+  let _, m0 = Planner.stats () in
+  let b = session_exn () in
+  let _, m1 = Planner.stats () in
+  Alcotest.(check int) "a second identical-schema store compiles nothing" m0 m1;
+  ignore (run_exn a [ ("initiate", []); ("offer", [ v "cs101" ]) ]);
+  let offered st = Relation.cardinal (Db.relation_exn st "OFFERED") in
+  Alcotest.(check int) "writes land in A" 1 (offered (Session.db a));
+  Alcotest.(check int) "and are invisible in B" 0 (offered (Session.db b))
+
+let arbitrary_batch_requests =
+  let sub_gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map
+            (fun id ->
+              Json.Obj
+                [ ("id", Json.Num (float_of_int id)); ("op", Json.Str "ping") ])
+            (int_bound 100);
+          map
+            (fun w ->
+              Json.Obj
+                [
+                  ("id", Json.Str w);
+                  ("op", Json.Str "query");
+                  ("wff", Json.Str "exists c:course. OFFERED(c)");
+                ])
+            (oneofl [ "a"; "b"; "c" ]);
+          map
+            (fun c ->
+              Json.Obj
+                [
+                  ("op", Json.Str "run");
+                  ("calls", Json.Arr [ Json.Str (Fmt.str "offer(%s)" c) ]);
+                ])
+            (oneofl [ "cs101"; "cs102" ]);
+        ])
+  in
+  QCheck.make
+    ~print:(fun reqs -> Json.to_string (Json.Arr reqs))
+    QCheck.Gen.(list_size (int_range 1 8) sub_gen)
+
+let batch_frames_roundtrip =
+  QCheck.Test.make ~name:"random batch frames round-trip the framing layer"
+    ~count:50 arbitrary_batch_requests (fun reqs ->
+      let payload =
+        Json.to_string
+          (Json.Obj
+             [
+               ("id", Json.Num 1.);
+               ("op", Json.Str "batch");
+               ("requests", Json.Arr reqs);
+             ])
+      in
+      match roundtrip_frames [ payload; payload ] with
+      | [ p1; p2 ] ->
+        p1 = payload && p2 = payload
+        && (match Protocol.request_of_string p1 with
+            | Ok req ->
+              req.Protocol.op = "batch"
+              && (match Json.field "requests" req.Protocol.body with
+                 | Some (Json.Arr items) ->
+                   List.length items = List.length reqs
+                 | _ -> false)
+            | Error _ -> false)
+      | _ -> false)
+
 let suite =
   [
     Alcotest.test_case "planner cache stays warm across session calls" `Quick
@@ -558,6 +816,29 @@ let suite =
       test_torn_snapshot_recovery;
     Alcotest.test_case "replication: recovery is snapshot-bounded" `Quick
       test_bounded_recovery;
+    Alcotest.test_case "framing: blank header lines are skipped" `Quick
+      test_blank_header_skipped;
+    Alcotest.test_case "framing: oversized frames are rejected" `Quick
+      test_oversized_frame_rejected;
+    Alcotest.test_case "framing: trailing newline required mid-stream" `Quick
+      test_missing_trailing_newline;
+    Alcotest.test_case "framing: the reader drains pipelines" `Quick
+      test_reader_pipelines;
+    Alcotest.test_case "protocol: error replies echo the request id" `Quick
+      test_error_id_echo;
+    Alcotest.test_case "protocol: batch dispatch" `Quick test_batch_dispatch;
+    Alcotest.test_case "protocol: batch admits per sub-request" `Quick
+      test_batch_admission;
+    Alcotest.test_case "admission: token bucket takes, waits, and debts" `Quick
+      test_bucket;
+    Alcotest.test_case "admission: step-rate overload is structured" `Quick
+      test_step_rate_overload;
+    Alcotest.test_case "tenancy: stores share plans, isolate state" `Quick
+      test_store_planner_sharing;
   ]
   @ List.map QCheck_alcotest.to_alcotest
-      [ concurrent_commits_serializable; replication_converges ]
+      [
+        concurrent_commits_serializable;
+        replication_converges;
+        batch_frames_roundtrip;
+      ]
