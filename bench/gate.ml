@@ -25,6 +25,11 @@
      --delta-speedup-min (default 0: disabled; CI passes 5 — the
      differential layer must beat re-running every compiled plan by
      that margin). Machine-free, gated whenever the minimum is > 0.
+   - [monitor_commit_overhead], a transactional commit with streaming
+     temporal monitors attached relative to the same commit without
+     them, fails above --monitor-overhead-max (default 0: disabled; CI
+     passes 3 — monitoring a two-axiom theory must stay within 3x the
+     bare commit). Machine-free, gated whenever the maximum is > 0.
    - [gateway_rps], aggregate pipelined requests/second through the
      socket gateway, fails below --rps-min (default 0: disabled; CI
      passes 200). The floor is absolute, not machine-relative — it is
@@ -65,10 +70,11 @@ let () =
   let speedup_min = ref 1.5 in
   let delta_min = ref 0.0 in
   let rps_min = ref 0.0 in
+  let monitor_max = ref 0.0 in
   let usage =
     "gate --baseline FILE --current FILE [--threshold F] [--trace-overhead-max F] \
      [--session-speedup-min F] [--check23-speedup-min F] [--delta-speedup-min F] \
-     [--rps-min F]"
+     [--rps-min F] [--monitor-overhead-max F]"
   in
   Arg.parse
     [
@@ -95,6 +101,10 @@ let () =
         Arg.Set_float rps_min,
         "F required gateway requests/second, an absolute floor \
          (default 0: disabled; CI passes 200)" );
+      ( "--monitor-overhead-max",
+        Arg.Set_float monitor_max,
+        "F allowed monitored-commit cost relative to a bare commit \
+         (default 0: disabled; CI passes 3)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     usage;
@@ -199,6 +209,20 @@ let () =
                "  %s %-24s %.2fx (min %.2fx: warm session vs per-request setup)\n"
                (if ok then "ok  " else "FAIL")
                "session_warm_speedup" f !session_min
+           | "monitor_commit_overhead", Json.Num f ->
+             if !monitor_max > 0. then begin
+               let ok = f <= !monitor_max in
+               if not ok then incr failures;
+               Printf.printf
+                 "  %s %-24s %.2fx (max %.2fx: monitored commit vs bare \
+                  commit)\n"
+                 (if ok then "ok  " else "FAIL")
+                 "monitor_commit_overhead" f !monitor_max
+             end
+             else
+               Printf.printf
+                 "  skip %-24s %.2fx (gate disabled: --monitor-overhead-max 0)\n"
+                 "monitor_commit_overhead" f
            | "gateway_rps", Json.Num f ->
              if !rps_min > 0. then begin
                let ok = f >= !rps_min in

@@ -519,8 +519,23 @@ let serve_cmd =
                  workers: the shed connection gets one structured \
                  overloaded frame and is closed, never parked.")
   in
+  let monitors_arg =
+    Arg.(value & opt (some file) None & info [ "monitors" ] ~docv:"THEORY-FILE"
+           ~doc:"Attach streaming temporal monitors compiled from this theory \
+                 file: every commit advances them, violations become event \
+                 frames on subscribed connections (see the 'subscribe' op) \
+                 and monitor.* metrics. Attached after recovery, so a \
+                 replayed journal does not re-fire events.")
+  in
+  let enforce_arg =
+    Arg.(value & flag & info [ "enforce-monitors" ]
+           ~doc:"Roll back commits that violate a monitored axiom (structured \
+                 monitor-violation error) instead of only reporting them. \
+                 Followers always observe: they cannot reject entries the \
+                 leader already committed.")
+  in
   let run path socket tcp workers spec_path follow snapshot_every auth
-      max_queue faults (config : Config.t) =
+      max_queue monitors_path enforce faults (config : Config.t) =
     setup config;
     let listen = listen_of socket tcp in
     let follow = Option.map peer_of follow in
@@ -537,6 +552,19 @@ let serve_cmd =
       | Ok s -> s
       | Error e -> exit_err "%s" e.Fdbs_kernel.Error.message
     in
+    let monitors =
+      Option.map
+        (fun p ->
+          match Fdbs_rpr.Monitor.of_file ~schema p with
+          | Ok m ->
+            List.iter
+              (fun (axiom, why) ->
+                Fmt.epr "fds: warning: monitor %s skipped: %s@." axiom why)
+              (Fdbs_rpr.Monitor.skipped m);
+            (m, if enforce then `Enforce else `Observe)
+          | Error e -> exit_err "%s: %s" p (Fdbs_kernel.Error.to_string e))
+        monitors_path
+    in
     arm_faults faults;
     let ready () =
       match follow with
@@ -550,7 +578,7 @@ let serve_cmd =
     in
     match
       Server.serve ~workers ?spec ~config ~ready ?follow ~snapshot_every
-        ?auth ~max_queue listen schema
+        ?auth ~max_queue ?monitors listen schema
     with
     | Ok st ->
       Fmt.epr "fds: server stopped (%d connections, %d requests)@."
@@ -569,7 +597,7 @@ let serve_cmd =
           durable per commit, the trace observer fires on exit.")
     Term.(const run $ schema_file $ socket_arg $ tcp_arg $ workers $ spec_opt
           $ follow_arg $ snapshot_every_arg $ auth_arg $ max_queue_arg
-          $ fault_arg $ config_term)
+          $ monitors_arg $ enforce_arg $ fault_arg $ config_term)
 
 let client_cmd =
   let requests =
@@ -727,6 +755,205 @@ let client_cmd =
              connections round-robin and --requests N repeats the script.")
     Term.(const run $ socket_arg $ tcp_arg $ retries_arg $ pool_arg
           $ repeat_arg $ quiet_arg $ requests)
+
+(* ------------------------------------------------------------------ *)
+(* monitor                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let kind_name = function
+  | Fdbs_temporal.Tformula.Static -> "static"
+  | Fdbs_temporal.Tformula.Transition -> "transition"
+
+let monitor_cmd =
+  let schema_pos =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"SCHEMA-FILE")
+  in
+  let theory_pos =
+    Arg.(value & pos 1 (some file) None & info [] ~docv:"THEORY-FILE")
+  in
+  let subscribe_arg =
+    Arg.(value & flag & info [ "subscribe" ]
+           ~doc:"Connect to a running server (--socket/--tcp), negotiate \
+                 protocol v2, subscribe, and print each event frame as one \
+                 JSON line; requires the server to run with --monitors.")
+  in
+  let events_arg =
+    Arg.(value & opt int 0 & info [ "events" ] ~docv:"N"
+           ~doc:"With --subscribe: exit after N violation events (0 = stream \
+                 until the server closes the connection).")
+  in
+  let run schema_path theory_path subscribe socket tcp events
+      (config : Config.t) =
+    setup config;
+    if subscribe then begin
+      (* live mode: raw protocol client over the typed frame helpers *)
+      let addr =
+        match listen_of socket tcp with
+        | `Unix path -> Unix.ADDR_UNIX path
+        | `Tcp (host, port) ->
+          Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+      in
+      let rec connect attempt =
+        let sock =
+          Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0
+        in
+        match Unix.connect sock addr with
+        | () -> sock
+        | exception Unix.Unix_error (err, _, _) ->
+          Unix.close sock;
+          (match err with
+           | (Unix.ECONNREFUSED | Unix.ENOENT) when attempt < 50 ->
+             Unix.sleepf 0.1;
+             connect (attempt + 1)
+           | _ -> exit_err "cannot connect: %s" (Unix.error_message err))
+      in
+      let sock = connect 0 in
+      let ic = Unix.in_channel_of_descr sock in
+      let oc = Unix.out_channel_of_descr sock in
+      let exchange req =
+        Protocol.write_frame oc (Json.to_string req);
+        match Protocol.read_frame ic with
+        | None -> exit_err "server closed the connection"
+        | Some payload ->
+          (match Json.parse payload with
+           | exception Json.Parse_error m -> exit_err "bad reply: %s" m
+           | v -> v)
+      in
+      (* hello first: an old server answers "unknown operation" and a
+         monitor-less one omits the feature, both reported cleanly *)
+      let hello =
+        exchange
+          (Json.Obj
+             [
+               ("id", Json.Num 0.);
+               ("op", Json.Str "hello");
+               ("version", Json.Num 2.);
+             ])
+      in
+      let features =
+        match
+          Option.bind (Json.field "result" hello) (Json.field "features")
+        with
+        | Some (Json.Arr items) -> List.filter_map Json.to_string_opt items
+        | _ -> []
+      in
+      if Option.bind (Json.field "ok" hello) Json.to_bool_opt <> Some true then
+        exit_err "server does not speak protocol v2 (no hello)"
+      else if not (List.mem "monitors" features) then
+        exit_err "server has no monitors attached (fds serve --monitors)";
+      let sub =
+        exchange (Json.Obj [ ("id", Json.Num 1.); ("op", Json.Str "subscribe") ])
+      in
+      (match Option.bind (Json.field "ok" sub) Json.to_bool_opt with
+       | Some true -> ()
+       | _ -> exit_err "subscribe rejected: %s" (Json.to_string sub));
+      (* the reply is followed by event frames only: a heartbeat first,
+         then one violation frame per fired monitor *)
+      let rec stream seen =
+        if events > 0 && seen >= events then ()
+        else
+          match Protocol.read_frame ic with
+          | None -> ()
+          | Some payload ->
+            print_endline payload;
+            flush stdout;
+            let seen =
+              match Json.parse payload with
+              | exception Json.Parse_error _ -> seen
+              | v ->
+                (match Protocol.classify_frame v with
+                 | `Event "violation" -> seen + 1
+                 | _ -> seen)
+            in
+            stream seen
+      in
+      stream 0;
+      close_out_noerr oc
+    end
+    else begin
+      let require what = function
+        | Some p -> p
+        | None ->
+          exit_err "monitor needs %s (or --subscribe for the live mode)" what
+      in
+      let schema_path = require "a SCHEMA-FILE" schema_path in
+      let theory_path = require "a THEORY-FILE" theory_path in
+      let schema =
+        match Fdbs_rpr.Rparser.schema (read_file schema_path) with
+        | Ok s -> s
+        | Error e -> exit_err "%s" e.Error.message
+      in
+      let m =
+        match Fdbs_rpr.Monitor.of_file ~schema theory_path with
+        | Ok m -> m
+        | Error e -> exit_err "%s" (Error.to_string e)
+      in
+      Fmt.pr "theory %s against schema %s:@." (Fdbs_rpr.Monitor.name m)
+        schema.Fdbs_rpr.Schema.name;
+      List.iter
+        (fun (c : Fdbs_rpr.Monitor.compiled) ->
+          Fmt.pr "  %s: %s, depth %d%s@." c.Fdbs_rpr.Monitor.m_name
+            (kind_name c.Fdbs_rpr.Monitor.m_kind) c.Fdbs_rpr.Monitor.m_depth
+            (if c.Fdbs_rpr.Monitor.m_compiled then "" else " (naive)"))
+        (Fdbs_rpr.Monitor.monitors m);
+      List.iter
+        (fun (axiom, why) -> Fmt.pr "  %s: skipped (%s)@." axiom why)
+        (Fdbs_rpr.Monitor.skipped m);
+      match config.Config.journal with
+      | None -> ()
+      | Some journal ->
+        (* replay the journal through the session machinery with the
+           monitors attached and observing: every violation in the
+           history is reported, the replay itself always completes *)
+        let config =
+          { config with Config.journal = None; Config.transactional = true }
+        in
+        let session =
+          match Session.open_ ~config ~schema () with
+          | Ok s -> s
+          | Error e -> exit_err "%s" e.Error.message
+        in
+        Session.Store.attach_monitors (Session.store session) m;
+        (match
+           Session.subscribe session (fun events ->
+               List.iter
+                 (fun ev -> Fmt.pr "%a@." Fdbs_rpr.Monitor.pp_event ev)
+                 events)
+         with
+         | Ok () -> ()
+         | Error e -> exit_err "%s" (Error.to_string e));
+        (match Fdbs_rpr.Journal.load journal with
+         | Error e -> exit_err "%s" (Error.to_string e)
+         | Ok (entries, torn) ->
+           (match torn with
+            | Some what -> Fmt.epr "fds: warning: journal %s: %s@." journal what
+            | None -> ());
+           List.iteri
+             (fun i (entry : Fdbs_rpr.Journal.entry) ->
+               match Session.run session entry.Fdbs_rpr.Journal.calls with
+               | Ok _ -> ()
+               | Error f ->
+                 exit_err "entry %d: %s" (i + 1)
+                   (Error.to_string f.Session.fail_error))
+             entries;
+           (match Session.monitor session with
+            | Ok st ->
+              Fmt.pr "replayed %d entries: %d violations@." (List.length entries)
+                st.Session.mon_violations
+            | Error e -> exit_err "%s" (Error.to_string e)))
+    end
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Streaming temporal monitors. Offline: compile a theory's axioms \
+          against a schema, report which are monitorable (and why the rest \
+          are skipped), and — with --journal — replay a write-ahead journal \
+          through them, printing every violation. With --subscribe: connect \
+          to a running 'fds serve --monitors' server and stream its \
+          violation/heartbeat event frames.")
+    Term.(const run $ schema_pos $ theory_pos $ subscribe_arg $ socket_arg
+          $ tcp_arg $ events_arg $ config_term)
 
 (* ------------------------------------------------------------------ *)
 (* verify-files                                                        *)
@@ -937,7 +1164,7 @@ let () =
            [ verify_cmd; verify_files_cmd; check_spec_cmd; check_schema_cmd;
              grammar_cmd; analyze_cmd; derive_cmd; synthesize_cmd; eval_cmd;
              explain_cmd; run_cmd; replay_cmd; serve_cmd; client_cmd;
-             stats_cmd; demo_cmd ])
+             monitor_cmd; stats_cmd; demo_cmd ])
     with
     | Sys_error msg -> Fmt.epr "fds: %s@." msg; 2
     | Fdbs_rpr.Semantics.Exec_error msg -> Fmt.epr "fds: execution error: %s@." msg; 2

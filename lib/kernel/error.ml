@@ -33,6 +33,9 @@ type code =
       (** admission control refused the request (rate limit or shed
           load); the context carries [retry-after-ms] *)
   | Unauthorized  (** a missing or invalid credential *)
+  | Monitor_violation of string
+      (** a streaming temporal monitor fired; the violated axiom's
+          name *)
 
 let code_name = function
   | Budget_exhausted r -> "budget-" ^ Budget.resource_name r
@@ -49,6 +52,7 @@ let code_name = function
   | Stale_epoch -> "stale-epoch"
   | Overloaded -> "overloaded"
   | Unauthorized -> "unauthorized"
+  | Monitor_violation _ -> "monitor-violation"
 
 type t = {
   code : code;

@@ -25,6 +25,9 @@ type code =
       (** admission control refused the request (rate limit or shed
           load); the context carries [retry-after-ms] *)
   | Unauthorized  (** a missing or invalid credential *)
+  | Monitor_violation of string
+      (** a streaming temporal monitor fired; the violated axiom's
+          name *)
 
 val code_name : code -> string
 

@@ -166,11 +166,21 @@ let valid_states ?jobs (t1 : Ttheory.t) ~(domain : Domain.t) : Structure.t list 
     let tbl = List.map (fun (p : Signature.pred) -> (p.Signature.pname, p.Signature.pargs)) db_preds in
     fun name -> List.assoc name tbl
   in
-  let statics =
-    List.filter_map
-      (fun (ax : Ttheory.axiom) -> Tformula.to_formula ax.Ttheory.ax_formula)
-      (Ttheory.static_axioms t1)
+  (* Only the static axioms constrain a single state; the modal ones
+     are checked over the universe by {!check}. Project through
+     {!Check.static_projections} — a mixed axiom whose modal part makes
+     it non-static is skipped {e by name}, never silently: the skipped
+     names land on the enclosing trace span so a "valid states" count
+     can always be audited against the axioms it actually used. *)
+  let statics, skipped_modal =
+    Check.static_projections
+      (List.map
+         (fun (ax : Ttheory.axiom) -> (ax.Ttheory.ax_name, ax.Ttheory.ax_formula))
+         t1.Ttheory.axioms)
   in
+  if skipped_modal <> [] && Trace.enabled () then
+    Trace.add_attr "skipped-modal-axioms" (String.concat "," skipped_modal);
+  let statics = List.map snd statics in
   (* The candidate structures are independent; filter them in parallel,
      keeping the enumeration order. *)
   Pool.map ?jobs

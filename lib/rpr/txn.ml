@@ -22,11 +22,16 @@ type t = {
           through the refinement interpretation *)
   journal : string option;  (** journal file path *)
   fsync : bool;  (** fsync journal appends (power-loss durability) *)
+  on_commit :
+    (before:Db.t -> after:Db.t -> ((unit -> unit), Error.t) result) option;
+      (** commit hook (streaming monitors): run after constraints pass,
+          before the journal append; its publish thunk fires with the
+          constraint materializations', an [Error] rolls back *)
 }
 
 let make ?(check_constraints = true) ?(extra_constraints = []) ?journal
-    ?(fsync = false) env =
-  { txn_env = env; check_constraints; extra_constraints; journal; fsync }
+    ?(fsync = false) ?on_commit env =
+  { txn_env = env; check_constraints; extra_constraints; journal; fsync; on_commit }
 
 (** A rolled-back transaction: the structured error and the restored
     pre-transaction state (always [Db.equal] to the snapshot). *)
@@ -154,6 +159,17 @@ let run ?budget (txn : t) (calls : Journal.call list) (db : Db.t) :
         Fault.hit "txn.commit";
         let* publishes =
           span "txn.check" (fun () -> check_constraints txn env ~snapshot final)
+        in
+        (* the monitor hook sees the exact transition the commit makes;
+           its publish joins the constraint materializations' *)
+        let* publishes =
+          match txn.on_commit with
+          | None -> Ok publishes
+          | Some hook ->
+            span "txn.monitor" (fun () ->
+                match hook ~before:snapshot ~after:final with
+                | Ok publish -> Ok (publishes @ [ publish ])
+                | Result.Error e -> Result.Error e)
         in
         let* () =
           match txn.journal with

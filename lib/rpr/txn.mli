@@ -16,6 +16,15 @@ type t = {
           through the refinement interpretation *)
   journal : string option;  (** journal file path *)
   fsync : bool;  (** fsync journal appends (power-loss durability) *)
+  on_commit :
+    (before:Db.t -> after:Db.t -> ((unit -> unit), Error.t) result) option;
+      (** commit hook, run after the schema's constraints pass and
+          before the journal append. [Ok publish] joins the constraint
+          materializations' publish phase — fired only once the commit
+          is durable; an [Error] rolls the transaction back. The
+          streaming {!Monitor}s ride this hook: observing monitors
+          always return [Ok] (events are delivered in the publish
+          thunk), enforcing ones turn a violation into a rollback. *)
 }
 
 val make :
@@ -23,6 +32,7 @@ val make :
   ?extra_constraints:(string * Fdbs_logic.Formula.t) list ->
   ?journal:string ->
   ?fsync:bool ->
+  ?on_commit:(before:Db.t -> after:Db.t -> ((unit -> unit), Error.t) result) ->
   Semantics.env ->
   t
 

@@ -468,15 +468,6 @@ type fetched = {
 let error_of_json (v : Json.t) : Error.t =
   let str name = Option.bind (Json.field name v) Json.to_string_opt in
   let message = Option.value ~default:"remote error" (str "message") in
-  let code =
-    match str "code" with
-    | Some "read-only" -> Error.Read_only
-    | Some "stale-epoch" -> Error.Stale_epoch
-    | Some "io-failure" -> Error.Io_failure
-    | Some "overloaded" -> Error.Overloaded
-    | Some "unauthorized" -> Error.Unauthorized
-    | _ -> Error.Exec_failure
-  in
   let context =
     match Json.field "context" v with
     | Some (Json.Obj fields) ->
@@ -485,6 +476,18 @@ let error_of_json (v : Json.t) : Error.t =
           match jv with Json.Str s -> Some (k, s) | _ -> None)
         fields
     | _ -> []
+  in
+  let code =
+    match str "code" with
+    | Some "read-only" -> Error.Read_only
+    | Some "stale-epoch" -> Error.Stale_epoch
+    | Some "io-failure" -> Error.Io_failure
+    | Some "overloaded" -> Error.Overloaded
+    | Some "unauthorized" -> Error.Unauthorized
+    | Some "monitor-violation" ->
+      Error.Monitor_violation
+        (Option.value ~default:"?" (List.assoc_opt "monitor" context))
+    | _ -> Error.Exec_failure
   in
   Error.make ~context Error.Exec code message
 
@@ -633,6 +636,94 @@ let stats_to_json ?(role = Standalone) (s : Session.stats) : Json.t =
      ]
     @ replication_to_json role)
 
+(* --- protocol versioning and monitor events --- *)
+
+(* Version 1 is the original request/reply protocol (no [hello], no
+   event frames); version 2 adds the [hello] handshake, the [monitor]
+   status op, and server-pushed event frames on subscribed
+   connections. Clients that never send [hello] are v1 and are served
+   exactly as before. *)
+let protocol_version = 2
+
+(* The ops this server answers for the given role. [attach] and
+   [subscribe] are connection-level: the server intercepts them before
+   the per-request dispatch, so a bare {!handle} caller rejects them. *)
+let supported_ops ~(role : role) : string list =
+  let read =
+    [
+      "ping"; "hello"; "query"; "eval"; "explain"; "state"; "stats";
+      "monitor"; "subscribe"; "batch"; "shutdown";
+    ]
+  in
+  let write = [ "run"; "begin"; "commit"; "rollback"; "replay"; "attach" ] in
+  match role with
+  | Standalone -> read @ write
+  | Leader _ -> read @ write @ [ "fetch" ]
+  | Follower _ -> read
+
+let kind_to_string : Fdbs_temporal.Tformula.kind -> string = function
+  | Fdbs_temporal.Tformula.Static -> "static"
+  | Fdbs_temporal.Tformula.Transition -> "transition"
+
+let monitor_status_to_json (m : Session.monitor_status) : Json.t =
+  Json.Obj
+    [
+      ("theory", Json.Str m.Session.mon_theory);
+      ( "mode",
+        Json.Str
+          (match m.Session.mon_mode with
+           | `Observe -> "observe"
+           | `Enforce -> "enforce") );
+      ("commits", num m.Session.mon_commits);
+      ("violations", num m.Session.mon_violations);
+      ( "axioms",
+        Json.Arr
+          (List.map
+             (fun (a : Session.monitor_axiom) ->
+               Json.Obj
+                 [
+                   ("name", Json.Str a.Session.ma_name);
+                   ("kind", Json.Str (kind_to_string a.Session.ma_kind));
+                   ("depth", num a.Session.ma_depth);
+                   ("compiled", Json.Bool a.Session.ma_compiled);
+                   ("violations", num a.Session.ma_violations);
+                 ])
+             m.Session.mon_axioms) );
+      ( "skipped",
+        Json.Obj
+          (List.map (fun (n, r) -> (n, Json.Str r)) m.Session.mon_skipped) );
+    ]
+
+(* Event frames are pushed by the server on subscribed connections,
+   interleaved with replies. They are tagged with an ["event"] member
+   (and never carry ["id"]/["ok"]), so a client can tell them apart
+   from the reply stream. *)
+let violation_frame (ev : Monitor.event) : string =
+  Json.to_string
+    (Json.Obj
+       [
+         ("event", Json.Str "violation");
+         ("monitor", Json.Str ev.Monitor.ev_axiom);
+         ("kind", Json.Str (kind_to_string ev.Monitor.ev_kind));
+         ("state", num ev.Monitor.ev_state);
+       ])
+
+let heartbeat_frame ~(commits : int) ~(violations : int) : string =
+  Json.to_string
+    (Json.Obj
+       [
+         ("event", Json.Str "heartbeat");
+         ("commits", num commits);
+         ("violations", num violations);
+       ])
+
+(** Classify an incoming frame on a subscribed connection: an event
+    frame (tagged ["event"]) or an ordinary reply. *)
+let classify_frame (v : Json.t) : [ `Event of string | `Reply ] =
+  match Option.bind (Json.field "event" v) Json.to_string_opt with
+  | Some e -> `Event e
+  | None -> `Reply
+
 type reply =
   | Reply of string
   | Final of string  (** reply, then shut the server down *)
@@ -652,8 +743,8 @@ let read_only op =
    applied only at the framing layer. *)
 let no_admit () : (unit, Error.t) result = Ok ()
 
-let rec handle_obj ?(role = Standalone) ?(admit = no_admit) (session : Session.t)
-    (req : request) : Json.t * bool =
+let rec handle_obj ?(role = Standalone) ?(admit = no_admit) ?(features = [])
+    (session : Session.t) (req : request) : Json.t * bool =
   let id = req.id in
   let ok result = (ok_obj ~id result, false) in
   let err e = (error_obj ~id e, false) in
@@ -670,6 +761,33 @@ let rec handle_obj ?(role = Standalone) ?(admit = no_admit) (session : Session.t
   | op, _ -> (
     match op with
   | "ping" -> ok (Json.Str "pong")
+  | "hello" ->
+    (* the v2 handshake: the client declares its version (absent = 1,
+       but any client sending [hello] is at least 2) and learns what
+       this server answers — the op set for its role and the
+       connection's feature flags ("monitors", "subscribe", ...). The
+       effective version is the lower of the two. *)
+    let client =
+      Option.value ~default:protocol_version
+        (Option.bind (Json.field "version" req.body) Json.to_int_opt)
+    in
+    ok
+      (Json.Obj
+         [
+           ("version", num (min client protocol_version));
+           ( "ops",
+             Json.Arr
+               (List.map (fun o -> Json.Str o) (supported_ops ~role)) );
+           ("features", Json.Arr (List.map (fun f -> Json.Str f) features));
+         ])
+  | "monitor" ->
+    of_result monitor_status_to_json (Session.monitor session)
+  | "subscribe" ->
+    (* connection-level: the server swaps the connection into event
+       streaming before dispatch ever sees the op *)
+    err
+      (proto_error
+         "subscribe must be a connection's own request (served by fds serve)")
   | "batch" ->
     (* N requests in one frame: each sub-request is admitted and
        dispatched in order, and the reply carries the sub-responses as
@@ -690,7 +808,7 @@ let rec handle_obj ?(role = Standalone) ?(admit = no_admit) (session : Session.t
               (match admit () with
                | Result.Error e -> error_obj ~id:sub_req.id e
                | Ok () ->
-                 fst (handle_obj ~role ~admit session sub_req)))
+                 fst (handle_obj ~role ~admit ~features session sub_req)))
        in
        ok (Json.Arr (List.map sub items)))
   | "run" ->
@@ -759,7 +877,7 @@ let rec handle_obj ?(role = Standalone) ?(admit = no_admit) (session : Session.t
   | "shutdown" -> (ok_obj ~id (Json.Str "bye"), true)
   | op -> err (proto_error "unknown operation %S" op))
 
-let handle ?role ?admit (session : Session.t) (req : request) : reply =
-  let obj, final = handle_obj ?role ?admit session req in
+let handle ?role ?admit ?features (session : Session.t) (req : request) : reply =
+  let obj, final = handle_obj ?role ?admit ?features session req in
   let s = Json.to_string obj in
   if final then Final s else Reply s

@@ -9,12 +9,19 @@
     kernel's deterministic {!Fdbs_kernel.Json.to_string}, so responses
     are byte-stable across runs.
 
-    Operations: [ping], [run] (["calls"]: array of call strings or
-    [{"proc", "args"}] objects), [query] (["wff"]), [eval] (["term"],
-    optional ["trace"]), [explain], [begin], [commit], [rollback],
-    [state], [stats], [replay] (["journal"]), [batch] (["requests"]:
-    non-empty array of request objects executed in order, answered as
-    one array — [batch], [shutdown], [attach], and [fetch] may not
+    Operations: [ping], [hello] (optional ["version"]; the v2
+    handshake — answers the negotiated version, the op set for the
+    connection's role, and the server's feature flags; clients that
+    never send it are v1 and served unchanged), [run] (["calls"]:
+    array of call strings or [{"proc", "args"}] objects), [query]
+    (["wff"]), [eval] (["term"], optional ["trace"]), [explain],
+    [begin], [commit], [rollback], [state], [stats], [monitor] (the
+    attached streaming monitors' status: per-axiom kind/depth/
+    violation counts and the skipped axioms), [subscribe] (handled by
+    the server: switches the connection into event streaming — see
+    below), [replay] (["journal"]), [batch] (["requests"]: non-empty
+    array of request objects executed in order, answered as one array —
+    [batch], [shutdown], [attach], [subscribe], and [fetch] may not
     nest), [attach] (["namespace"], optional ["token"]; handled by the
     server, which swaps the connection onto that namespace's store),
     [shutdown], and — served by replication leaders only — [fetch]
@@ -23,7 +30,16 @@
     when the offset predates its truncation base. On a follower the
     write ops ([run], [begin], [commit], [rollback], [replay]) are
     rejected with a structured [Read_only] error, and [attach] with
-    [Read_only] too (namespaces live on the leader). *)
+    [Read_only] too (namespaces live on the leader).
+
+    {b Event frames.} A [subscribe]d connection receives, besides its
+    replies, server-pushed frames tagged with an ["event"] member (and
+    no ["id"]/["ok"]):
+    [{"event": "violation", "monitor": <axiom>, "kind":
+    "static"|"transition", "state": <n>}] when a streaming monitor
+    fires, and [{"event": "heartbeat", "commits": <n>, "violations":
+    <n>}] immediately after subscribing (so clients can sync their
+    counters). Use {!classify_frame} to tell the streams apart. *)
 
 open Fdbs_kernel
 open Fdbs_rpr
@@ -115,6 +131,32 @@ type fetched = {
 val fetched_of_response :
   schema:Schema.t -> string -> (fetched, Error.t) result
 
+(** The protocol version this build speaks. Version 1 is the original
+    request/reply protocol; version 2 adds the [hello] handshake, the
+    [monitor] op, and event frames on [subscribe]d connections. *)
+val protocol_version : int
+
+(** The ops the server answers for the given role — the [hello]
+    reply's ["ops"] array. [attach] and [subscribe] are
+    connection-level (intercepted by the server before dispatch). *)
+val supported_ops : role:role -> string list
+
+(** A monitor status as the [monitor] op's result object. *)
+val monitor_status_to_json : Session.monitor_status -> Json.t
+
+(** The serialized [{"event": "violation", ...}] frame for a monitor
+    event, ready for {!output_frame}. *)
+val violation_frame : Monitor.event -> string
+
+(** The serialized [{"event": "heartbeat", ...}] frame sent when a
+    connection subscribes. *)
+val heartbeat_frame : commits:int -> violations:int -> string
+
+(** Classify an incoming frame on a subscribed connection: [`Event]
+    carries the ["event"] tag ("violation", "heartbeat"), [`Reply] is
+    an ordinary response. *)
+val classify_frame : Json.t -> [ `Event of string | `Reply ]
+
 type reply =
   | Reply of string
   | Final of string  (** reply, then shut the server down *)
@@ -126,13 +168,15 @@ val error_of_json : Json.t -> Error.t
 (** Execute one request against a session, as [role] (default
     {!Standalone}). [admit] is the server's admission hook, charged
     once per sub-request of a [batch] (an [Error] becomes that
-    sub-request's [Overloaded] reply). Never raises — every failure
-    becomes an [{"ok": false}] response — except for an armed
+    sub-request's [Overloaded] reply). [features] is the server's
+    feature-flag list, echoed in [hello] replies. Never raises — every
+    failure becomes an [{"ok": false}] response — except for an armed
     [replication.fetch] fault, which propagates so the server can cut
     the stream. *)
 val handle :
   ?role:role ->
   ?admit:(unit -> (unit, Error.t) result) ->
+  ?features:string list ->
   Session.t ->
   request ->
   reply

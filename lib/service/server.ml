@@ -46,10 +46,19 @@ type conn = {
   fd : Unix.file_descr;
   reader : Protocol.Reader.t;
   oc : out_channel;
+  wlock : Mutex.t;
+      (* serializes writes to [oc]: the serving worker's replies and
+         event frames pushed by committing workers interleave at frame
+         granularity. Never held across Session calls (the store lock
+         nests inside it, not around it). *)
   session : Session.t ref;  (* rebound by [attach] *)
   bucket : Budget.Bucket.t option;  (* per-connection request admission *)
   stopping : bool ref;  (* this connection carried a shutdown request *)
 }
+
+let with_wlock conn f =
+  Mutex.lock conn.wlock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock conn.wlock) f
 
 type t = {
   store : Session.Store.t;
@@ -70,6 +79,9 @@ type t = {
   wake_w : Unix.file_descr;
   namespaces : (string, Session.Store.t) Hashtbl.t;
   ns_lock : Mutex.t;
+  subscribers : (Unix.file_descr, conn) Hashtbl.t;
+      (* connections that asked for event frames; guarded by [sub_lock] *)
+  sub_lock : Mutex.t;
   connections : int Atomic.t;
   requests : int Atomic.t;
 }
@@ -85,6 +97,8 @@ let c_bad_frames = Metrics.counter "service.bad_frames"
 let c_throttled = Metrics.counter "service.throttled"
 let c_shed = Metrics.counter "service.shed"
 let c_attached = Metrics.counter "service.attached"
+let c_subscribed = Metrics.counter "service.subscribed"
+let c_events_pushed = Metrics.counter "service.events_pushed"
 
 let wake_byte = Bytes.of_string "x"
 
@@ -196,6 +210,68 @@ let handle_attach server (req : Protocol.request) :
   Ok (st, ns)
 
 (* ------------------------------------------------------------------ *)
+(* monitor subscriptions                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Fan a batch of monitor events out to every subscribed connection as
+   violation frames. Runs on the committing worker (the store sink is
+   called from the commit's publish phase), so pushes are short
+   buffered writes; a subscriber whose socket fails is dropped from
+   the registry and left for the dispatcher to reap. *)
+let broadcast_events server (events : Monitor.event list) =
+  Mutex.lock server.sub_lock;
+  let subs = Hashtbl.fold (fun _ c acc -> c :: acc) server.subscribers [] in
+  Mutex.unlock server.sub_lock;
+  if subs <> [] then begin
+    let frames = List.map Protocol.violation_frame events in
+    List.iter
+      (fun conn ->
+        match
+          with_wlock conn (fun () ->
+              List.iter (Protocol.output_frame conn.oc) frames;
+              flush conn.oc)
+        with
+        | () -> Metrics.add c_events_pushed (List.length frames)
+        | exception Sys_error _ ->
+          Mutex.lock server.sub_lock;
+          Hashtbl.remove server.subscribers conn.fd;
+          Mutex.unlock server.sub_lock)
+      subs
+  end
+
+(* The [subscribe] op lives here rather than in Protocol.handle because
+   it changes what the connection receives from now on. The reply is
+   followed by one deterministic heartbeat frame, so a client can sync
+   its counters before the first violation arrives. *)
+let handle_subscribe server conn (req : Protocol.request) : unit =
+  let id = req.Protocol.id in
+  match Session.monitor !(conn.session) with
+  | Result.Error e ->
+    with_wlock conn (fun () ->
+        Protocol.output_frame conn.oc (Protocol.error_response ~id e))
+  | Ok status ->
+    Mutex.lock server.sub_lock;
+    Hashtbl.replace server.subscribers conn.fd conn;
+    Mutex.unlock server.sub_lock;
+    Metrics.incr c_subscribed;
+    with_wlock conn (fun () ->
+        Protocol.output_frame conn.oc
+          (Protocol.ok_response ~id
+             (Json.Obj
+                [
+                  ("subscribed", Json.Bool true);
+                  ("theory", Json.Str status.Session.mon_theory);
+                ]));
+        Protocol.output_frame conn.oc
+          (Protocol.heartbeat_frame ~commits:status.Session.mon_commits
+             ~violations:status.Session.mon_violations))
+
+let unsubscribe server conn =
+  Mutex.lock server.sub_lock;
+  Hashtbl.remove server.subscribers conn.fd;
+  Mutex.unlock server.sub_lock
+
+(* ------------------------------------------------------------------ *)
 (* connections                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -214,6 +290,7 @@ let new_conn server fd =
     fd;
     reader = Protocol.Reader.create fd;
     oc = Unix.out_channel_of_descr fd;
+    wlock = Mutex.create ();
     session = ref (Session.on_store server.store);
     bucket =
       (match server.config.Config.rate_limit with
@@ -240,33 +317,48 @@ let admit server conn () =
          (Error.overloaded ~retry_after_s:wait
             "connection overloaded: request rate exceeded"))
 
+(* The [hello] feature flags for this connection: what the server
+   layers on top of the per-request protocol. *)
+let features_of server conn =
+  (match server.role with
+   | Protocol.Follower _ -> []
+   | _ -> [ "namespaces" ])
+  @
+  match Session.Store.monitors (Session.store !(conn.session)) with
+  | Some _ -> [ "monitors"; "subscribe" ]
+  | None -> []
+
 let handle_frame server conn payload =
   let oc = conn.oc in
+  let write r = with_wlock conn (fun () -> Protocol.output_frame oc r) in
   match Protocol.request_of_string payload with
   | Result.Error (id, e) ->
     (* a parse failure is the client's malformed frame, not a served
        request: account it separately *)
     Metrics.incr c_bad_frames;
-    Protocol.output_frame oc (Protocol.error_response ~id e)
+    write (Protocol.error_response ~id e)
   | Ok req ->
     let id = req.Protocol.id in
     (* a batch admits (and counts) each sub-request inside the
        handler instead of paying once for the envelope *)
     (match if req.Protocol.op = "batch" then Ok () else admit server conn ()
      with
-     | Result.Error e -> Protocol.output_frame oc (Protocol.error_response ~id e)
+     | Result.Error e -> write (Protocol.error_response ~id e)
      | Ok () ->
        (match req.Protocol.op with
         | "attach" ->
           (match handle_attach server req with
-           | Result.Error e ->
-             Protocol.output_frame oc (Protocol.error_response ~id e)
+           | Result.Error e -> write (Protocol.error_response ~id e)
            | Ok (st, ns) ->
              Session.close !(conn.session);
+             (* a subscription follows the session it was made on, not
+                the connection: attaching elsewhere drops it *)
+             unsubscribe server conn;
              conn.session := Session.on_store st;
-             Protocol.output_frame oc
+             write
                (Protocol.ok_response ~id
                   (Json.Obj [ ("namespace", Json.Str ns) ])))
+        | "subscribe" -> handle_subscribe server conn req
         | _ ->
           (match
              (* Per-request budgets are rebuilt inside the handler
@@ -284,17 +376,20 @@ let handle_frame server conn payload =
                    "service.request"
                    (fun () ->
                      Protocol.handle ~role:server.role
-                       ~admit:(admit server conn) !(conn.session) req))
+                       ~admit:(admit server conn)
+                       ~features:(features_of server conn)
+                       !(conn.session) req))
            with
-           | Protocol.Reply r -> Protocol.output_frame oc r
+           | Protocol.Reply r -> write r
            | Protocol.Final r ->
-             Protocol.output_frame oc r;
+             write r;
              conn.stopping := true)))
 
 (* [close_out_noerr] flushes buffered replies (the shutdown "bye"
    included) before closing the underlying fd. *)
 let close_conn server conn =
   if !(conn.stopping) then request_stop server;
+  unsubscribe server conn;
   Session.close !(conn.session);
   close_out_noerr conn.oc
 
@@ -321,7 +416,7 @@ let serve_ready server conn =
         | `Pending ->
           (* pipeline drained: one corked flush, then back to the
              watch set *)
-          flush conn.oc;
+          with_wlock conn (fun () -> flush conn.oc);
           `Park
     in
     try go () with
@@ -329,7 +424,9 @@ let serve_ready server conn =
       (* malformed frame: report once, then drop the connection *)
       Metrics.incr c_bad_frames;
       (try
-         Protocol.write_frame conn.oc (Protocol.error_response ~id:Json.Null e)
+         with_wlock conn (fun () ->
+             Protocol.write_frame conn.oc
+               (Protocol.error_response ~id:Json.Null e))
        with Sys_error _ -> ());
       `Close
     | End_of_file | Sys_error _ -> `Close
@@ -550,7 +647,7 @@ let follow_loop server (replica : Replica.t) (leader : Unix.sockaddr)
 
 let serve ?(workers = 0) ?spec ?(config = Config.default)
     ?(ready = fun () -> ()) ?follow ?snapshot_every ?auth ?(max_queue = 1024)
-    (listen : listen) schema : (stats, Error.t) result =
+    ?monitors (listen : listen) schema : (stats, Error.t) result =
   let ( let* ) = Result.bind in
   (* 0 (the default) sizes the worker pool to the machine: one domain
      per core, at least two so one long-running request cannot block
@@ -603,6 +700,24 @@ let serve ?(workers = 0) ?spec ?(config = Config.default)
       Ok (Protocol.Leader log, None)
     | None, None -> Ok (Protocol.Standalone, None)
   in
+  (* Monitors attach after recovery, so the replayed history does not
+     re-fire events; from here every commit — a leader's client write
+     or a follower's applied entry — advances them. A follower cannot
+     reject entries the leader already committed, so enforcement
+     downgrades to observation there. *)
+  (match monitors with
+   | None -> ()
+   | Some (m, mode) ->
+     let mode =
+       match (mode, role) with
+       | `Enforce, Protocol.Follower _ ->
+         Fmt.epr
+           "fds: warning: followers cannot enforce monitors (entries are \
+            already committed on the leader); observing@.";
+         `Observe
+       | mode, _ -> mode
+     in
+     Session.Store.attach_monitors ~mode store m);
   let addr = address listen in
   (* a SIGKILLed predecessor leaves its Unix socket file behind; if
      nothing answers on it any more, reclaim the address *)
@@ -646,10 +761,22 @@ let serve ?(workers = 0) ?spec ?(config = Config.default)
         wake_w;
         namespaces;
         ns_lock = Mutex.create ();
+        subscribers = Hashtbl.create 16;
+        sub_lock = Mutex.create ();
         connections = Atomic.make 0;
         requests = Atomic.make 0;
       }
     in
+    (* monitor events fan out to subscribed connections from the
+       committing worker's publish phase *)
+    (match Session.Store.monitors store with
+     | Some _ ->
+       (match
+          Session.Store.on_monitor_events store (broadcast_events server)
+        with
+        | Ok () -> ()
+        | Result.Error _ -> ())
+     | None -> ());
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let on_signal = Sys.Signal_handle (fun _ -> request_stop server) in
     Sys.set_signal Sys.sigint on_signal;

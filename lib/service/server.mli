@@ -58,7 +58,20 @@ type stats = {
     connection to a named namespace — an independent store with its own
     journal ([config.journal ^ "." ^ name], recovered at first attach)
     over the shared planner cache; with [auth] set, [attach] requires
-    the matching ["token"]. *)
+    the matching ["token"]. The [hello] op negotiates the protocol
+    version and advertises the connection's features ("namespaces",
+    and "monitors"/"subscribe" when monitors are attached).
+
+    Monitors: [monitors] attaches compiled streaming monitors
+    ({!Fdbs_rpr.Monitor}) to the boot store {e after} recovery (a
+    replayed history does not re-fire events). Every commit advances
+    them — on a follower the applied leader entries do, at zero leader
+    cost. [`Observe] pushes violation event frames to [subscribe]d
+    connections; [`Enforce] additionally rolls violating commits back
+    with a structured [Monitor_violation] error (downgraded to
+    [`Observe] on followers, which cannot reject committed entries).
+    Event pushes are serialized with the reply stream by a
+    per-connection write lock, so frames never interleave. *)
 val serve :
   ?workers:int ->
   ?spec:Fdbs_algebra.Spec.t ->
@@ -68,6 +81,7 @@ val serve :
   ?snapshot_every:int ->
   ?auth:string ->
   ?max_queue:int ->
+  ?monitors:Fdbs_rpr.Monitor.t * [ `Observe | `Enforce ] ->
   listen ->
   Fdbs_rpr.Schema.t ->
   (stats, Error.t) result

@@ -52,6 +52,19 @@ let guard (f : unit -> ('a, Error.t) result) : ('a, Error.t) result =
 (* ------------------------------------------------------------------ *)
 
 module Store = struct
+  (* Streaming monitors attached to the store: every commit advances
+     them through the {!Txn} commit hook. [`Observe] reports
+     violations (events to the sinks, metrics, trace); [`Enforce]
+     additionally rolls the violating commit back. *)
+  type monitors = {
+    mon : Monitor.t;
+    mode : [ `Observe | `Enforce ];
+    mutable sinks : (Monitor.event list -> unit) list;
+        (* called after a violating commit published, outside no lock
+           but the store's — the server fans events out to subscribed
+           connections from here *)
+  }
+
   type t = {
     schema : Schema.t;
     spec : Fdbs_algebra.Spec.t option;
@@ -64,6 +77,7 @@ module Store = struct
            later requests are rejected until it refills *)
     mutable db : Db.t;
     mutable domain : Domain.t;
+    mutable monitors : monitors option;
     mutable sessions : int;  (* sessions ever opened *)
     mutable commits : int;   (* committed batches/transactions *)
   }
@@ -110,6 +124,7 @@ module Store = struct
              | Some rate -> Some (Budget.Bucket.make ~rate ()));
           db = Schema.empty_db schema;
           domain = Domain.empty;
+          monitors = None;
           sessions = 0;
           commits = 0;
         }
@@ -130,7 +145,58 @@ module Store = struct
      every peer domain reuses it. *)
   let snapshot (st : t) : Db.t * Domain.t =
     locked st (fun () -> (st.db, st.domain))
+
+  (* Seed the monitors with the current committed state and hook them
+     into every subsequent commit. Attaching after recovery/replay is
+     deliberate: a replayed history does not re-fire events. *)
+  let attach_monitors ?(mode = `Observe) (st : t) (m : Monitor.t) : unit =
+    locked st (fun () ->
+        Monitor.attach m st.db;
+        st.monitors <- Some { mon = m; mode; sinks = [] })
+
+  let monitors (st : t) : Monitor.t option =
+    locked st (fun () -> Option.map (fun a -> a.mon) st.monitors)
+
+  let monitor_mode (st : t) : [ `Observe | `Enforce ] option =
+    locked st (fun () -> Option.map (fun a -> a.mode) st.monitors)
+
+  (* Register an event sink; sinks run on the committing thread, after
+     the violating commit published. *)
+  let on_monitor_events (st : t) (sink : Monitor.event list -> unit) :
+    (unit, Error.t) result =
+    locked st (fun () ->
+        match st.monitors with
+        | None ->
+          Result.Error
+            (Error.make Error.Exec Error.Exec_failure
+               "store has no monitors attached")
+        | Some a ->
+          a.sinks <- a.sinks @ [ sink ];
+          Ok ())
 end
+
+(* The {!Txn} commit hook carrying the store's monitors: prospective
+   verdicts before the journal append, publish (and event fan-out)
+   only once the commit is durable. Enforcing monitors turn the first
+   violation into the rollback error. *)
+let monitor_hook (st : Store.t) :
+  (before:Db.t -> after:Db.t -> ((unit -> unit), Error.t) result) option =
+  match st.Store.monitors with
+  | None -> None
+  | Some a ->
+    Some
+      (fun ~before ~after ->
+        let events, publish =
+          Monitor.check a.Store.mon ~domain:st.Store.domain ~before ~after
+        in
+        match (a.Store.mode, events) with
+        | `Enforce, ev :: _ -> Result.Error (Monitor.error_of_event ev)
+        | _ ->
+          Ok
+            (fun () ->
+              publish ();
+              if events <> [] then
+                List.iter (fun sink -> sink events) a.Store.sinks))
 
 (* ------------------------------------------------------------------ *)
 (* Sessions                                                            *)
@@ -291,7 +357,8 @@ let run_locked (st : Store.t) (calls : Journal.call list) :
       let txn =
         Txn.make ~check_constraints:st.Store.config.Config.check_constraints
           ?journal:st.Store.config.Config.journal
-          ~fsync:st.Store.config.Config.fsync env
+          ~fsync:st.Store.config.Config.fsync
+          ?on_commit:(monitor_hook st) env
       in
       match Txn.run txn calls st.Store.db with
       | Ok final ->
@@ -302,11 +369,27 @@ let run_locked (st : Store.t) (calls : Journal.call list) :
       | Result.Error rb ->
         fail_with rb.Txn.restored rb.Txn.error)
     else
+      let before = st.Store.db in
+      (* non-transactional mode has no rollback, so monitors can only
+         observe: the batch's net transition is reported after the
+         fact, never enforced *)
+      let observe db =
+        match st.Store.monitors with
+        | Some a when not (db == before) ->
+          let events =
+            Monitor.advance a.Store.mon ~domain:st.Store.domain ~before
+              ~after:db
+          in
+          if events <> [] then
+            List.iter (fun sink -> sink events) a.Store.sinks
+        | _ -> ()
+      in
       let rec go completed db = function
         | [] ->
           st.Store.db <- db;
           st.Store.commits <- st.Store.commits + 1;
           Metrics.incr c_commits;
+          observe db;
           Ok { state = db; completed = List.rev completed }
         | ((name, args) as call) :: rest ->
           (match Semantics.call_det env name args db with
@@ -413,7 +496,8 @@ let commit (s : t) : (Db.t, Error.t) result =
               Txn.make
                 ~check_constraints:st.Store.config.Config.check_constraints
                 ?journal:st.Store.config.Config.journal
-                ~fsync:st.Store.config.Config.fsync env
+                ~fsync:st.Store.config.Config.fsync
+                ?on_commit:(monitor_hook st) env
             in
             match Txn.run txn calls st.Store.db with
             | Ok final ->
@@ -751,3 +835,58 @@ let stats (s : t) : stats =
         commits = s.store.Store.commits;
         metrics = Metrics.snapshot ();
       })
+
+(* ------------------------------------------------------------------ *)
+(* monitors                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type monitor_axiom = {
+  ma_name : string;  (** the axiom's name in the temporal theory *)
+  ma_kind : Fdbs_temporal.Tformula.kind;
+  ma_depth : int;  (** modal nesting depth = the verdict's lag *)
+  ma_compiled : bool;  (** safe plan vs. naive evaluation *)
+  ma_violations : int;
+}
+
+type monitor_status = {
+  mon_theory : string;  (** the monitored theory's name *)
+  mon_mode : [ `Observe | `Enforce ];
+  mon_commits : int;  (** commits the monitors have advanced through *)
+  mon_violations : int;  (** events fired, across all axioms *)
+  mon_axioms : monitor_axiom list;
+  mon_skipped : (string * string) list;  (** axiom, reason *)
+}
+
+let monitor (s : t) : (monitor_status, Error.t) result =
+  let st = s.store in
+  match Store.monitors st with
+  | None ->
+    Result.Error
+      (exec_error Error.Exec_failure "store has no monitors attached")
+  | Some m ->
+    let mode = Option.value ~default:`Observe (Store.monitor_mode st) in
+    Ok
+      {
+        mon_theory = Monitor.name m;
+        mon_mode = mode;
+        mon_commits = Monitor.commits m;
+        mon_violations = Monitor.violations m;
+        mon_axioms =
+          List.map
+            (fun (c : Monitor.compiled) ->
+              {
+                ma_name = c.Monitor.m_name;
+                ma_kind = c.Monitor.m_kind;
+                ma_depth = c.Monitor.m_depth;
+                ma_compiled = c.Monitor.m_compiled;
+                ma_violations = c.Monitor.m_violations;
+              })
+            (Monitor.monitors m);
+        mon_skipped = Monitor.skipped m;
+      }
+
+(* Subscribe the callback to the store's monitor events; it runs on
+   the committing thread after each violating commit published. *)
+let subscribe (s : t) (sink : Monitor.event list -> unit) :
+  (unit, Error.t) result =
+  Store.on_monitor_events s.store sink

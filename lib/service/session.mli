@@ -39,6 +39,26 @@ module Store : sig
       path; relation indexes built on the snapshot are published
       one-shot and shared by every reader domain. *)
   val snapshot : t -> Db.t * Fdbs_kernel.Domain.t
+
+  (** Seed the streaming monitors with the store's current committed
+      state and advance them on every subsequent commit (through the
+      {!Fdbs_rpr.Txn} commit hook). Attach {e after} recovery/replay so
+      a replayed history does not re-fire events. [`Observe] (default)
+      reports violations to the registered sinks; [`Enforce] also rolls
+      the violating commit back with a
+      {!Fdbs_kernel.Error.Monitor_violation}. In non-transactional mode
+      there is no rollback, so monitors always observe. *)
+  val attach_monitors :
+    ?mode:[ `Observe | `Enforce ] -> t -> Monitor.t -> unit
+
+  val monitors : t -> Monitor.t option
+  val monitor_mode : t -> [ `Observe | `Enforce ] option
+
+  (** Register an event sink, called on the committing thread after the
+      violating commit published. Errors when no monitors are
+      attached. *)
+  val on_monitor_events :
+    t -> (Monitor.event list -> unit) -> (unit, Error.t) result
 end
 
 type t
@@ -165,3 +185,30 @@ type stats = {
 }
 
 val stats : t -> stats
+
+type monitor_axiom = {
+  ma_name : string;  (** the axiom's name in the temporal theory *)
+  ma_kind : Fdbs_temporal.Tformula.kind;
+  ma_depth : int;  (** modal nesting depth = the verdict's lag *)
+  ma_compiled : bool;  (** safe plan vs. naive evaluation *)
+  ma_violations : int;
+}
+
+type monitor_status = {
+  mon_theory : string;  (** the monitored theory's name *)
+  mon_mode : [ `Observe | `Enforce ];
+  mon_commits : int;  (** commits the monitors have advanced through *)
+  mon_violations : int;  (** events fired, across all axioms *)
+  mon_axioms : monitor_axiom list;
+  mon_skipped : (string * string) list;  (** axiom, reason *)
+}
+
+(** The store's monitor status — the typed counterpart of the
+    protocol's [monitor] op. Errors when no monitors are attached. *)
+val monitor : t -> (monitor_status, Error.t) result
+
+(** Subscribe the callback to the store's monitor events — the typed
+    counterpart of the protocol's [subscribe] op. The callback runs on
+    the committing thread after each violating commit published. Errors
+    when no monitors are attached. *)
+val subscribe : t -> (Monitor.event list -> unit) -> (unit, Error.t) result

@@ -53,6 +53,25 @@ let consistent_states (u : Universe.t) (axioms : Tformula.t list) : int list =
     (fun i -> List.for_all (holds_at u i) static)
     (List.init (Universe.num_states u) Fun.id)
 
+(** Project a named axiom list onto its static (first-order) part, and
+    say which axioms were left out. Earlier callers did this with a
+    bare [List.filter_map Tformula.to_formula], which silently dropped
+    every modal axiom of a mixed list — an analysis could claim "all
+    axioms hold" while never having looked at half of them. The second
+    component names the skipped modal axioms so callers can report
+    them. *)
+let static_projections (axioms : (string * Tformula.t) list) :
+    (string * Formula.t) list * string list =
+  let statics, skipped =
+    List.partition_map
+      (fun (name, f) ->
+        match Tformula.to_formula f with
+        | Some fo -> Either.Left (name, fo)
+        | None -> Either.Right name)
+      axioms
+  in
+  (statics, skipped)
+
 type report = {
   axiom : string;
   kind : Tformula.kind;

@@ -22,6 +22,12 @@ val holds_everywhere : Universe.t -> Tformula.t -> bool
     it is a model of A1"). *)
 val consistent_states : Universe.t -> Tformula.t list -> int list
 
+(** Project named axioms onto their static (first-order) parts; the
+    second component names the modal axioms that were skipped, so a
+    static-only analysis can report rather than silently ignore them. *)
+val static_projections :
+  (string * Tformula.t) list -> (string * Formula.t) list * string list
+
 type report = {
   axiom : string;
   kind : Tformula.kind;

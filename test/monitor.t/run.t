@@ -1,0 +1,82 @@
+Streaming temporal monitors behind the versioned subscription API:
+serve a schema with monitors compiled from a theory file, subscribe a
+client to the event stream, commit an update that breaks a transition
+axiom, and watch the violation arrive as a tagged event frame.
+
+  $ fds serve guarded.schema --socket fds.sock --transactional --journal srv.journal --monitors guarded.theory 2>server.log &
+  $ for i in $(seq 1 100); do test -S fds.sock && break; sleep 0.1; done
+
+A subscriber connects first: it negotiates protocol v2 with hello,
+subscribes, and prints every event frame. The first frame is the
+deterministic heartbeat, so we can wait for it before committing.
+
+  $ fds monitor --subscribe --socket fds.sock --events 1 > sub.out &
+  $ SUB=$!
+  $ for i in $(seq 1 100); do test -s sub.out && break; sleep 0.1; done
+
+The v2 handshake advertises the op set and the feature flags; old
+clients that never send hello keep speaking v1 unchanged.
+
+  $ fds client --socket fds.sock '{"id": 1, "op": "hello", "version": 2}'
+  {"id": 1, "ok": true, "result": {"version": 2, "ops": ["ping", "hello", "query", "eval", "explain", "state", "stats", "monitor", "subscribe", "batch", "shutdown", "run", "begin", "commit", "rollback", "replay", "attach", "fetch"], "features": ["namespaces", "monitors", "subscribe"]}}
+
+Offer a course, then retract it. The schema's own constraints allow
+the retraction -- only the theory's transition axiom (once offered,
+always offered) forbids it, and the monitors are observing, so the
+commit succeeds and the violation is reported out of band.
+
+  $ fds client --socket fds.sock \
+  >   '{"id": 2, "op": "run", "calls": ["initiate()", "offer(cs101)"]}' \
+  >   '{"id": 3, "op": "run", "calls": ["retract(cs101)"]}'
+  {"id": 2, "ok": true, "result": {"completed": 2, "state": {"relations": {"OFFERED": [["cs101"]], "TAKES": []}, "scalars": {}}}}
+  {"id": 3, "ok": true, "result": {"completed": 1, "state": {"relations": {"OFFERED": [], "TAKES": []}, "scalars": {}}}}
+
+The monitor op reports per-axiom verdict counters: the transition
+axiom fired once, about pre-retraction state 1 (verdicts lag by the
+axiom's modal depth).
+
+  $ fds client --socket fds.sock '{"id": 4, "op": "monitor"}'
+  {"id": 4, "ok": true, "result": {"theory": "guarded", "mode": "observe", "commits": 2, "violations": 1, "axioms": [{"name": "takes_offered", "kind": "static", "depth": 0, "compiled": true, "violations": 0}, {"name": "no_retract", "kind": "transition", "depth": 1, "compiled": true, "violations": 1}], "skipped": {}}}
+
+The subscriber received the heartbeat and then the violation event
+frame, pushed from the committing worker the moment the commit became
+durable:
+
+  $ wait $SUB
+  $ cat sub.out
+  {"event": "heartbeat", "commits": 0, "violations": 0}
+  {"event": "violation", "monitor": "no_retract", "kind": "transition", "state": 1}
+
+  $ fds client --socket fds.sock '{"id": 5, "op": "shutdown"}'
+  {"id": 5, "ok": true, "result": "bye"}
+  $ wait
+  $ cat server.log
+  fds: serving guarded on fds.sock
+  fds: server stopped (5 connections, 7 requests)
+
+Offline, the same monitors replay the server's journal and find the
+same violation:
+
+  $ fds monitor guarded.schema guarded.theory --journal srv.journal
+  theory guarded against schema guarded:
+    takes_offered: static, depth 0
+    no_retract: transition, depth 1
+  monitor no_retract (transition) violated at state 1
+  replayed 2 entries: 1 violations
+
+With --enforce-monitors the violating commit is rolled back with a
+structured monitor-violation error instead: the schema's promise set
+now includes the theory's transition axioms.
+
+  $ fds serve guarded.schema --socket fds2.sock --transactional --monitors guarded.theory --enforce-monitors 2>server2.log &
+  $ for i in $(seq 1 100); do test -S fds2.sock && break; sleep 0.1; done
+  $ fds client --socket fds2.sock \
+  >   '{"id": 1, "op": "run", "calls": ["initiate()", "offer(cs101)"]}' \
+  >   '{"id": 2, "op": "run", "calls": ["retract(cs101)"]}' \
+  >   '{"id": 3, "op": "state"}' \
+  >   '{"id": 4, "op": "shutdown"}'
+  {"id": 1, "ok": true, "result": {"completed": 2, "state": {"relations": {"OFFERED": [["cs101"]], "TAKES": []}, "scalars": {}}}}
+  {"id": 2, "ok": false, "error": {"phase": "commit", "code": "monitor-violation", "message": "monitor no_retract violated at state 1", "context": {"completed": "0", "monitor": "no_retract", "state": "1"}}}
+  {"id": 3, "ok": true, "result": {"relations": {"OFFERED": [["cs101"]], "TAKES": []}, "scalars": {}}}
+  {"id": 4, "ok": true, "result": "bye"}
+  $ wait

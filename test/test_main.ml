@@ -15,4 +15,5 @@ let () =
       ("properties", Test_props.suite);
       ("service", Test_service.suite);
       ("delta", Test_delta.suite);
+      ("monitor", Test_monitor.suite);
     ]
